@@ -1,0 +1,60 @@
+//! Figure 8: CCLO invocation latency (NOP) from different callers.
+//!
+//! Paper shape: FPGA kernels invoking the engine directly see minimal
+//! latency; the Coyote host driver costs roughly a PCIe write + read; the
+//! XRT path is orders of magnitude slower (ioctl-based, not meant for
+//! fine-grained control).
+
+use accl_bench::print_table;
+use accl_core::driver::CollSpec;
+use accl_core::kernel::KernelOp;
+use accl_core::{AcclCluster, ClusterConfig, CollOp, DType};
+
+fn kernel_nop_us() -> f64 {
+    let mut c = AcclCluster::build(ClusterConfig::coyote_rdma(2));
+    let prog = vec![
+        KernelOp::Issue(CollSpec::new(CollOp::Nop, 0, DType::U8)),
+        KernelOp::Finalize,
+    ];
+    let idle = vec![KernelOp::Finalize];
+    let kernels = c.run_kernel_programs(vec![prog, idle]);
+    c.kernel(kernels[0]).finished_at().unwrap().as_us_f64()
+}
+
+fn host_nop_us(cfg: ClusterConfig) -> f64 {
+    let mut c = AcclCluster::build(cfg);
+    let specs = (0..c.len())
+        .map(|_| CollSpec::new(CollOp::Nop, 0, DType::U8))
+        .collect();
+    let records = c.host_collective(specs);
+    records[0].breakdown.unwrap().total.as_us_f64()
+}
+
+fn main() {
+    let kernel = kernel_nop_us();
+    let coyote = host_nop_us(ClusterConfig::coyote_rdma(2));
+    let xrt = host_nop_us(ClusterConfig::xrt_tcp(2));
+    print_table(
+        "Figure 8: CCLO NOP invocation latency (us)",
+        &["caller", "latency"],
+        &[
+            vec!["FPGA kernel".into(), format!("{kernel:.2}")],
+            vec!["Coyote host driver".into(), format!("{coyote:.2}")],
+            vec!["XRT host driver".into(), format!("{xrt:.2}")],
+        ],
+    );
+    assert!(
+        kernel < coyote && coyote < xrt,
+        "ordering must match Fig. 8"
+    );
+    assert!(
+        kernel < 2.0,
+        "kernel invocation must be minimal, got {kernel}"
+    );
+    assert!(xrt / coyote > 10.0, "XRT must be far slower than Coyote");
+    println!(
+        "\nratios: coyote/kernel = {:.1}x, xrt/coyote = {:.1}x",
+        coyote / kernel,
+        xrt / coyote
+    );
+}

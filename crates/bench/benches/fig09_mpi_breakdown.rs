@@ -1,0 +1,58 @@
+//! Figure 9: latency breakdown of broadcasting FPGA-produced data with
+//! software MPI (8 ranks, Coyote platform).
+//!
+//! The modelled device-to-device path: (1) PCIe device→host, (2) software
+//! MPI bcast, (3) PCIe host→device, (4) invoking the next kernel. Paper
+//! shape: PCIe transfers dominate small messages; the collective dominates
+//! large ones.
+
+use accl_bench::{mpi_collective_latency, pcie_leg, print_table, size_label, size_sweep};
+use accl_core::{ClusterConfig, CollOp};
+use accl_swmpi::MpiConfig;
+
+fn main() {
+    let invoke = ClusterConfig::coyote_rdma(2).invocation_latency();
+    let mut rows = Vec::new();
+    let mut crossover_seen = false;
+    let mut small_pcie_frac = 0.0;
+    for &bytes in &size_sweep() {
+        let pcie_out = pcie_leg(bytes);
+        let coll = mpi_collective_latency(8, MpiConfig::openmpi_rdma(), CollOp::Bcast, bytes, 9);
+        let pcie_back = pcie_leg(bytes);
+        let total = pcie_out + coll + pcie_back + invoke;
+        let pcie_frac = (pcie_out + pcie_back).as_us_f64() / total.as_us_f64();
+        if bytes == 1024 {
+            small_pcie_frac = pcie_frac;
+        }
+        if coll.as_us_f64() > (pcie_out + pcie_back).as_us_f64() {
+            crossover_seen = true;
+        }
+        rows.push(vec![
+            size_label(bytes),
+            format!("{:.1}", pcie_out.as_us_f64()),
+            format!("{:.1}", coll.as_us_f64()),
+            format!("{:.1}", pcie_back.as_us_f64()),
+            format!("{:.1}", invoke.as_us_f64()),
+            format!("{:.1}", total.as_us_f64()),
+            format!("{:.0}%", 100.0 * pcie_frac),
+        ]);
+    }
+    print_table(
+        "Figure 9: software-MPI bcast of FPGA data, breakdown (us), 8 ranks",
+        &[
+            "size",
+            "PCIe out",
+            "MPI bcast",
+            "PCIe back",
+            "invoke",
+            "total",
+            "PCIe share",
+        ],
+        &rows,
+    );
+    assert!(
+        small_pcie_frac > 0.3,
+        "PCIe must be a dominant share at small sizes ({small_pcie_frac})"
+    );
+    assert!(crossover_seen, "collective must dominate at large sizes");
+}

@@ -1,0 +1,67 @@
+//! Figure 12: reduce latency vs. rank count at 8 KB and 128 KB.
+//!
+//! Paper shape: at 8 KB ACCL+'s all-to-one keeps latency nearly flat with
+//! rank count; at 128 KB it switches to the binary tree, with latency
+//! stepping up when the tree deepens and plateauing while depth is
+//! constant. Software MPI's finer-grained algorithm switching (three
+//! regimes at 8 KB) keeps it competitive in H2H.
+
+use accl_bench::{
+    accl_collective_latency_sync, coyote_cluster, mpi_collective_latency, print_table,
+};
+use accl_core::{AlgoConfig, BufLoc, CollOp, SyncProto};
+use accl_swmpi::MpiConfig;
+
+fn main() {
+    let cfg = MpiConfig::openmpi_rdma();
+    let algo = AlgoConfig::default();
+    for &(bytes, label) in &[(8u64 * 1024, "8KB"), (128 * 1024, "128KB")] {
+        let mut rows = Vec::new();
+        let mut accl_series = Vec::new();
+        for ranks in 2..=8usize {
+            let mut c = coyote_cluster(ranks);
+            // The paper's Fig. 12 reduce runs rendezvous: all-to-one at
+            // 8 KB (flat in rank count), binary tree at 128 KB.
+            let accl = accl_collective_latency_sync(
+                &mut c,
+                CollOp::Reduce,
+                bytes,
+                BufLoc::Device,
+                SyncProto::Rendezvous,
+            );
+            let mpi = mpi_collective_latency(ranks, cfg, CollOp::Reduce, bytes, 13);
+            let accl_algo = format!("{:?}", algo.reduce_like(bytes, true));
+            let mpi_algo = format!("{:?}", cfg.algorithm(CollOp::Reduce, bytes, ranks as u32));
+            accl_series.push(accl.as_us_f64());
+            rows.push(vec![
+                ranks.to_string(),
+                format!("{:.1}", accl.as_us_f64()),
+                accl_algo,
+                format!("{:.1}", mpi.as_us_f64()),
+                mpi_algo,
+            ]);
+        }
+        print_table(
+            &format!("Figure 12 ({label}): reduce latency (us) vs ranks"),
+            &["ranks", "ACCL+", "ACCL+ algo", "MPI RDMA", "MPI algo"],
+            &rows,
+        );
+        if bytes == 8 * 1024 {
+            // All-to-one: shallow growth from 2 to 8 ranks.
+            let growth = accl_series.last().unwrap() / accl_series.first().unwrap();
+            assert!(
+                growth < 4.0,
+                "8KB all-to-one growth too steep: {growth:.2}x"
+            );
+        } else {
+            // Tree: latency at 5..8 ranks (depth 3) stays within a band.
+            let depth3: Vec<f64> = accl_series[3..].to_vec(); // ranks 5..=8
+            let spread = depth3.iter().cloned().fold(f64::MIN, f64::max)
+                / depth3.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(
+                spread < 1.6,
+                "128KB tree should plateau at constant depth: spread {spread:.2}"
+            );
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 13: collective performance on the XRT platform with TCP —
+//! ACCL+ TCP vs. software MPI TCP vs. the legacy ACCL engine.
+//!
+//! Paper shape: ACCL+ TCP beats software MPI TCP everywhere (line-rate
+//! hardware TCP), and beats ACCL because the RxBuf manager moved packet
+//! reassembly out of the micro-controller. Serving *host* data on XRT pays
+//! heavy staging + invocation overheads compared to device data.
+
+use accl_bench::{
+    accl_collective_latency, accl_collective_total, mpi_collective_latency, print_table, size_label,
+};
+use accl_core::{AcclCluster, BufLoc, ClusterConfig, CollOp};
+use accl_swmpi::MpiConfig;
+
+fn main() {
+    let n = 8;
+    let sizes: Vec<u64> = (0..7).map(|i| 1024u64 << (2 * i)).collect();
+    for (name, op) in [("bcast", CollOp::Bcast), ("reduce", CollOp::Reduce)] {
+        let mut rows = Vec::new();
+        let mut acclplus_beats_legacy = 0usize;
+        for &bytes in &sizes {
+            let mut c = AcclCluster::build(ClusterConfig::xrt_tcp(n));
+            let accl_dev = accl_collective_latency(&mut c, op, bytes, BufLoc::Device);
+            let mut c = AcclCluster::build(ClusterConfig::xrt_tcp(n));
+            let accl_host = accl_collective_total(&mut c, op, bytes, BufLoc::Host);
+            let mut c = AcclCluster::build(ClusterConfig::legacy_accl_tcp(n));
+            let legacy = accl_collective_latency(&mut c, op, bytes, BufLoc::Device);
+            let mpi = mpi_collective_latency(n, MpiConfig::mpich_tcp(), op, bytes, 17);
+            acclplus_beats_legacy += usize::from(legacy > accl_dev);
+            rows.push(vec![
+                size_label(bytes),
+                format!("{:.1}", accl_dev.as_us_f64()),
+                format!("{:.1}", legacy.as_us_f64()),
+                format!("{:.1}", mpi.as_us_f64()),
+                format!("{:.1}", accl_host.as_us_f64()),
+            ]);
+        }
+        print_table(
+            &format!("Figure 13 ({name}): XRT/TCP latency (us), 8 ranks"),
+            &[
+                "size",
+                "ACCL+ (device)",
+                "ACCL legacy (device)",
+                "MPI TCP (host)",
+                "ACCL+ (host, staged)",
+            ],
+            &rows,
+        );
+        assert!(
+            acclplus_beats_legacy >= sizes.len() - 1,
+            "{name}: ACCL+ must beat legacy ACCL ({acclplus_beats_legacy}/{})",
+            sizes.len()
+        );
+    }
+    // Host-data penalty on XRT: staging + invocation dominate small sizes.
+    let mut c = AcclCluster::build(ClusterConfig::xrt_tcp(n));
+    let host_small = accl_collective_total(&mut c, CollOp::Bcast, 4096, BufLoc::Host);
+    let mut c = AcclCluster::build(ClusterConfig::xrt_tcp(n));
+    let dev_small = accl_collective_latency(&mut c, CollOp::Bcast, 4096, BufLoc::Device);
+    println!(
+        "\nXRT host-vs-device overhead at 4K: {:.1}x",
+        host_small.as_us_f64() / dev_small.as_us_f64()
+    );
+    assert!(host_small.as_us_f64() > 3.0 * dev_small.as_us_f64());
+}

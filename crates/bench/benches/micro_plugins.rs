@@ -1,0 +1,89 @@
+//! Criterion microbenchmarks of the CCLO's data/control primitives: the
+//! streaming reduction plugin, message-signature framing, and firmware
+//! schedule generation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use accl_cclo::command::{CollOp, DataLoc};
+use accl_cclo::config::Algorithm;
+use accl_cclo::firmware::{FirmwareTable, FwEnv};
+use accl_cclo::msg::{DType, MsgSignature, MsgType, ReduceFn};
+use accl_cclo::plugins;
+
+fn bench_combine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plugins/combine");
+    let a: Vec<u8> = (0..1 << 20).map(|i| (i % 255) as u8).collect();
+    let b: Vec<u8> = (0..1 << 20).map(|i| (i % 253) as u8).collect();
+    g.throughput(Throughput::Bytes(2 << 20));
+    for (name, dtype) in [
+        ("f32_sum", DType::F32),
+        ("i32_sum", DType::I32),
+        ("f64_sum", DType::F64),
+        ("fx32_sum", DType::Fx32),
+    ] {
+        g.bench_function(name, |bch| {
+            bch.iter(|| black_box(plugins::combine(dtype, ReduceFn::Sum, &a, &b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_signature(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plugins/signature");
+    let sig = MsgSignature {
+        src_rank: 3,
+        dst_rank: 7,
+        mtype: MsgType::Eager,
+        payload_len: 1 << 20,
+        tag: 0x1234_5678,
+        seq: 42,
+        addr: 0,
+        comm: 0,
+    };
+    g.bench_function("encode_decode", |b| {
+        b.iter(|| {
+            let wire = black_box(&sig).encode();
+            black_box(MsgSignature::decode(&wire))
+        })
+    });
+    g.finish();
+}
+
+fn bench_firmware_scheduling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plugins/firmware");
+    let table = FirmwareTable::stock();
+    for (name, op, algo) in [
+        ("reduce_tree_8", CollOp::Reduce, Algorithm::BinaryTree),
+        ("allreduce_ring_8", CollOp::AllReduce, Algorithm::Ring),
+        ("alltoall_8", CollOp::AllToAll, Algorithm::Linear),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for rank in 0..8 {
+                    let env = FwEnv {
+                        rank,
+                        size: 8,
+                        count: 1024,
+                        dtype: DType::F32,
+                        func: ReduceFn::Sum,
+                        root: 0,
+                        bytes: 4096,
+                        eager: false,
+                        algorithm: algo,
+                        src: DataLoc::Mem(accl_mem::MemAddr::Virt(0)),
+                        dst: DataLoc::Mem(accl_mem::MemAddr::Virt(0x1000)),
+                    };
+                    black_box(table.schedule(op, &env));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_combine, bench_signature, bench_firmware_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion microbenchmarks of the simulation kernel's hot paths: event
+//! scheduling/dispatch, bandwidth-pipe reservations, and the sparse
+//! memory store. These gate the wall-clock cost of every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use accl_mem::MemStore;
+use accl_sim::prelude::*;
+
+struct Sink;
+impl Component for Sink {
+    fn on_event(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, payload: Payload) {
+        black_box(payload.downcast::<u64>());
+    }
+}
+
+struct SelfChain {
+    remaining: u64,
+}
+impl Component for SelfChain {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, port: PortId, payload: Payload) {
+        let v = payload.downcast::<u64>();
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send_self(port, Dur::from_ns(1), v + 1);
+        }
+    }
+}
+
+fn bench_event_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcore/event_dispatch");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("chain_10k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(0);
+            let id = sim.add("chain", SelfChain { remaining: 10_000 });
+            sim.post(Endpoint::of(id), Time::ZERO, 0u64);
+            sim.run();
+            black_box(sim.events_executed())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fanout_schedule(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcore/heap");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("post_then_drain_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(0);
+            let sink = sim.add("sink", Sink);
+            for i in 0..10_000u64 {
+                // Reverse-ish order stresses the heap.
+                sim.post(Endpoint::of(sink), Time::from_ps(10_000 - i), i);
+            }
+            sim.run();
+            black_box(sim.now())
+        })
+    });
+    g.finish();
+}
+
+fn bench_pipe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcore/pipe");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("reserve_100k", |b| {
+        b.iter(|| {
+            let mut p = Pipe::gbps(100.0);
+            let mut t = Time::ZERO;
+            for _ in 0..100_000 {
+                let (_, end) = p.reserve(t, 4096);
+                t = end;
+            }
+            black_box(p.bytes_moved())
+        })
+    });
+    g.finish();
+}
+
+fn bench_memstore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcore/memstore");
+    let data = vec![0xa5u8; 1 << 20];
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("write_read_1mib", |b| {
+        b.iter(|| {
+            let mut m = MemStore::new();
+            m.write(0x1234, &data);
+            black_box(m.read(0x1234, data.len()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets =
+    bench_event_dispatch,
+    bench_fanout_schedule,
+    bench_pipe,
+    bench_memstore
+);
+criterion_main!(benches);

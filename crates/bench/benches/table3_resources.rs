@@ -1,0 +1,34 @@
+//! Table 3: FPGA resource utilization of the ACCL+ components and the
+//! decomposed DLRM layers on the Alveo U55C.
+
+use accl_bench::print_table;
+use accl_resource::{table3_report, Device};
+
+fn main() {
+    let device = Device::u55c();
+    println!(
+        "{}: {:.0}k LUT, {:.0} DSP, {:.0} BRAM, {:.0} URAM (100%)",
+        device.name, device.total.klut, device.total.dsp, device.total.bram, device.total.uram
+    );
+    let rows: Vec<Vec<String>> = table3_report(&device)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.component,
+                format!("{:.1}%", r.utilization.lut_pct),
+                format!("{:.1}%", r.utilization.dsp_pct),
+                format!("{:.1}%", r.utilization.bram_pct),
+                format!("{:.1}%", r.utilization.uram_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 3: resource utilization (% of one U55C; DLRM rows sum over their decomposition)",
+        &["component", "CLB kLUT", "DSP", "BRAM", "URAM"],
+        &rows,
+    );
+    println!(
+        "\npaper reference: CCLO 12.1/1.6/5.7/0, TCP POE 19.8/0/10.6/0, RDMA POE 13.0/0/5.3/0,"
+    );
+    println!("                 FC1 278.1/580.1/186.3/798.3, FC2 29.6/85.1/34.2/97.9, FC3 6.2/16.1/2.2/20.8");
+}

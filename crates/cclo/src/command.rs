@@ -1,0 +1,142 @@
+//! The CCLO command interface: what hosts and FPGA kernels invoke.
+//!
+//! Mirrors the MPI-like API of Listing 1 — op, datatype, count, root,
+//! reduce function, communicator, flags — with the buffer arguments
+//! generalized to [`DataLoc`] so the same command structure serves both
+//! memory-based (MPI-like) and streaming collectives (Listing 2).
+
+use accl_mem::MemAddr;
+use accl_sim::prelude::*;
+
+use crate::msg::{DType, ReduceFn};
+
+/// Collective operations implemented by the stock firmware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollOp {
+    /// No-op: measures pure invocation latency (Fig. 8).
+    Nop,
+    /// Point-to-point send to `root`.
+    Send,
+    /// Point-to-point receive from `root`.
+    Recv,
+    /// Broadcast from `root`.
+    Bcast,
+    /// Reduce to `root`.
+    Reduce,
+    /// Gather to `root`.
+    Gather,
+    /// Scatter from `root`.
+    Scatter,
+    /// All-gather.
+    AllGather,
+    /// All-reduce.
+    AllReduce,
+    /// Reduce-scatter (block distribution).
+    ReduceScatter,
+    /// All-to-all personalized exchange.
+    AllToAll,
+    /// Barrier.
+    Barrier,
+    /// A user-registered collective (firmware slot `n`).
+    Custom(u16),
+}
+
+/// Where a collective's data comes from / goes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataLoc {
+    /// A memory buffer (virtual for Coyote, physical-device for Vitis).
+    Mem(MemAddr),
+    /// The CCLO's kernel data stream (streaming collectives, Listing 2).
+    Stream,
+    /// No data (NOP, barrier, or ops where this side is unused).
+    None,
+}
+
+/// Synchronization protocol selection (paper §4.4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncProto {
+    /// Let the engine pick per its runtime configuration.
+    Auto,
+    /// Force eager (Rx-buffered) messages.
+    Eager,
+    /// Force rendezvous (handshake + direct placement). RDMA only.
+    Rendezvous,
+}
+
+/// A command submitted to the CCLO engine.
+#[derive(Debug, Clone, Copy)]
+pub struct CcloCommand {
+    /// The collective to execute.
+    pub op: CollOp,
+    /// Element count.
+    pub count: u64,
+    /// Element datatype.
+    pub dtype: DType,
+    /// Root rank (send/recv peer for point-to-point ops).
+    pub root: u32,
+    /// User tag namespace (collective steps sub-allocate within it).
+    pub tag: u64,
+    /// Communicator id.
+    pub comm: u32,
+    /// Reduction function (reduce-like ops).
+    pub func: ReduceFn,
+    /// Input data location.
+    pub src: DataLoc,
+    /// Output data location.
+    pub dst: DataLoc,
+    /// Synchronization protocol.
+    pub sync: SyncProto,
+    /// Where to deliver the [`CcloDone`] completion.
+    pub reply_to: Endpoint,
+    /// Caller ticket echoed in the completion.
+    pub ticket: u64,
+}
+
+impl CcloCommand {
+    /// Total payload bytes of this command.
+    pub fn bytes(&self) -> u64 {
+        self.count * self.dtype.size() as u64
+    }
+}
+
+/// Completion of a CCLO command.
+#[derive(Debug, Clone, Copy)]
+pub struct CcloDone {
+    /// Ticket from the originating command.
+    pub ticket: u64,
+    /// The operation that completed.
+    pub op: CollOp,
+    /// Payload bytes moved (per the command's count × dtype).
+    pub bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accl_sim::event::{ComponentId, Endpoint};
+
+    #[test]
+    fn command_bytes() {
+        let cmd = CcloCommand {
+            op: CollOp::Bcast,
+            count: 256,
+            dtype: DType::F32,
+            root: 0,
+            tag: 0,
+            comm: 0,
+            func: ReduceFn::Sum,
+            src: DataLoc::None,
+            dst: DataLoc::None,
+            sync: SyncProto::Auto,
+            reply_to: Endpoint::of(component_id(0)),
+            ticket: 0,
+        };
+        assert_eq!(cmd.bytes(), 1024);
+    }
+
+    fn component_id(_i: u32) -> ComponentId {
+        // Use a simulator to mint a real id.
+        let mut sim = accl_sim::sim::Simulator::new(0);
+        sim.reserve("x")
+    }
+}

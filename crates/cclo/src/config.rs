@@ -1,0 +1,256 @@
+//! CCLO engine configuration: clocking, control-plane costs, buffer pools,
+//! communicators, and runtime-tunable collective algorithm selection.
+
+use accl_net::NodeAddr;
+use accl_poe::SessionId;
+use accl_sim::time::Dur;
+use serde::{Deserialize, Serialize};
+
+/// Which algorithm a collective uses (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Root sends to every rank directly (bcast/scatter), or every rank
+    /// sends to the root (gather/reduce "all-to-one").
+    OneToAll,
+    /// Recursive doubling: log2(p) rounds of pairwise exchanges.
+    RecursiveDoubling,
+    /// Ring pass around the communicator.
+    Ring,
+    /// Binary tree rooted at the collective's root.
+    BinaryTree,
+    /// Direct pairwise exchange (all-to-all "linear").
+    Linear,
+}
+
+/// Runtime-tunable algorithm selection thresholds (paper §4.4.4: "tuning of
+/// the algorithms ... can be done at runtime by setting configuration
+/// parameters to the CCLO engine").
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AlgoConfig {
+    /// Messages at or below this size use the eager protocol when `Auto`.
+    pub eager_max_bytes: u64,
+    /// Bcast switches from one-to-all to recursive doubling at this rank
+    /// count (rendezvous only).
+    pub bcast_recursive_min_ranks: u32,
+    /// Reduce/gather switch from all-to-one to a binary tree above this
+    /// message size (rendezvous; avoids root in-cast).
+    pub tree_min_bytes: u64,
+    /// All-reduce switches to the bandwidth-optimal ring composition
+    /// (reduce-scatter + allgather) at and above this size.
+    pub allreduce_ring_min_bytes: u64,
+}
+
+impl Default for AlgoConfig {
+    fn default() -> Self {
+        AlgoConfig {
+            eager_max_bytes: 16 * 1024,
+            bcast_recursive_min_ranks: 5,
+            tree_min_bytes: 64 * 1024,
+            allreduce_ring_min_bytes: 256 * 1024,
+        }
+    }
+}
+
+impl AlgoConfig {
+    /// Algorithm for a broadcast of `bytes` over `ranks` ranks.
+    pub fn bcast(&self, ranks: u32, rendezvous: bool) -> Algorithm {
+        if rendezvous && ranks >= self.bcast_recursive_min_ranks {
+            Algorithm::RecursiveDoubling
+        } else {
+            Algorithm::OneToAll
+        }
+    }
+
+    /// Algorithm for reduce/gather of `bytes` (Table 1: eager→ring;
+    /// rendezvous→all-to-one below the tree threshold, binary tree above).
+    pub fn reduce_like(&self, bytes: u64, rendezvous: bool) -> Algorithm {
+        if !rendezvous {
+            Algorithm::Ring
+        } else if bytes > self.tree_min_bytes {
+            Algorithm::BinaryTree
+        } else {
+            Algorithm::OneToAll
+        }
+    }
+
+    /// Algorithm for an all-reduce of `bytes`: the ring composition above
+    /// its threshold, otherwise the reduce+bcast composition using
+    /// [`AlgoConfig::reduce_like`]'s choice.
+    pub fn allreduce(&self, bytes: u64, advanced: bool) -> Algorithm {
+        if bytes >= self.allreduce_ring_min_bytes {
+            Algorithm::Ring
+        } else {
+            self.reduce_like(bytes, advanced)
+        }
+    }
+
+    /// Whether a message of `bytes` should go eager under `Auto`, given the
+    /// transport supports rendezvous at all.
+    pub fn pick_eager(&self, bytes: u64, rendezvous_available: bool) -> bool {
+        !rendezvous_available || bytes <= self.eager_max_bytes
+    }
+}
+
+/// Legacy-ACCL emulation (the Fig. 13 baseline): the predecessor engine ran
+/// its micro-controller at a lower clock and performed packet reassembly in
+/// firmware, serializing per-packet work through the uC.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LegacyUcConfig {
+    /// Legacy uC clock, MHz (ACCL's MicroBlaze ran around 100 MHz).
+    pub clock_mhz: f64,
+    /// uC cycles spent per received packet (reassembly bookkeeping).
+    pub per_packet_cycles: u64,
+    /// Extra uC cycles per collective step (more orchestration in firmware).
+    pub per_step_extra_cycles: u64,
+}
+
+impl Default for LegacyUcConfig {
+    fn default() -> Self {
+        LegacyUcConfig {
+            clock_mhz: 100.0,
+            per_packet_cycles: 50,
+            per_step_extra_cycles: 300,
+        }
+    }
+}
+
+/// Full CCLO engine configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CcloConfig {
+    /// Engine clock, MHz (250 in the microbenchmarks, 115 in the DLRM
+    /// design due to routing pressure).
+    pub clock_mhz: f64,
+    /// uC cycles to receive + decode a command.
+    pub uc_cmd_decode_cycles: u64,
+    /// uC cycles to issue one coarse-grained control op.
+    pub uc_op_issue_cycles: u64,
+    /// uC cycles to process one notification (DMP done, rendezvous ctrl).
+    pub uc_notif_cycles: u64,
+    /// DMP cycles to decode and launch one microcode instruction.
+    pub dmp_instr_cycles: u64,
+    /// Internal datapath width in bytes per cycle (64 B AXI-Stream).
+    pub datapath_bytes_per_cycle: u64,
+    /// RBM-to-DMP match discovery quantum, cycles (models DMP polling).
+    pub rbm_poll_cycles: u64,
+    /// Number of Rx buffers in the eager pool.
+    pub rx_buf_count: u32,
+    /// Size of each Rx buffer, bytes (eager messages must fit).
+    pub rx_buf_bytes: u64,
+    /// Scratch region base address in device memory (collective internals).
+    pub scratch_base: u64,
+    /// Scratch region size, bytes.
+    pub scratch_bytes: u64,
+    /// Legacy-ACCL mode (Fig. 13 baseline) when set.
+    pub legacy_uc: Option<LegacyUcConfig>,
+    /// Algorithm selection thresholds.
+    pub algo: AlgoConfig,
+}
+
+impl Default for CcloConfig {
+    fn default() -> Self {
+        CcloConfig {
+            clock_mhz: 250.0,
+            uc_cmd_decode_cycles: 100,
+            uc_op_issue_cycles: 60,
+            uc_notif_cycles: 40,
+            dmp_instr_cycles: 16,
+            datapath_bytes_per_cycle: 64,
+            rbm_poll_cycles: 32,
+            rx_buf_count: 16,
+            rx_buf_bytes: 16 << 20,
+            scratch_base: 0x4000_0000,
+            scratch_bytes: 512 << 20,
+            legacy_uc: None,
+            algo: AlgoConfig::default(),
+        }
+    }
+}
+
+impl CcloConfig {
+    /// Duration of `cycles` engine clock cycles.
+    pub fn cycles(&self, cycles: u64) -> Dur {
+        Dur::for_cycles(cycles, self.clock_mhz)
+    }
+
+    /// Datapath bandwidth in Gb/s (64 B/cycle at 250 MHz = 128 Gb/s).
+    pub fn datapath_gbps(&self) -> f64 {
+        self.datapath_bytes_per_cycle as f64 * self.clock_mhz * 1e6 * 8.0 / 1e9
+    }
+
+    /// The legacy-ACCL preset used as the Fig. 13 comparison baseline.
+    pub fn legacy_accl() -> Self {
+        CcloConfig {
+            legacy_uc: Some(LegacyUcConfig::default()),
+            ..Self::default()
+        }
+    }
+}
+
+/// A communicator: the ordered group of ranks this CCLO belongs to, and the
+/// POE session carrying traffic to each peer. Lives in the CCLO's
+/// configuration memory, written by the host over MMIO (paper §4.4.1).
+#[derive(Debug, Clone)]
+pub struct CommunicatorCfg {
+    /// This CCLO's rank.
+    pub rank: u32,
+    /// Per-rank (fabric address, local session id); entry `rank` is unused.
+    pub peers: Vec<(NodeAddr, SessionId)>,
+}
+
+impl CommunicatorCfg {
+    /// Number of ranks.
+    pub fn size(&self) -> u32 {
+        self.peers.len() as u32
+    }
+
+    /// The POE session to use for `peer_rank`.
+    pub fn session(&self, peer_rank: u32) -> SessionId {
+        assert_ne!(peer_rank, self.rank, "no session to self");
+        self.peers[peer_rank as usize].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datapath_bandwidth() {
+        let cfg = CcloConfig::default();
+        assert!((cfg.datapath_gbps() - 128.0).abs() < 1e-9);
+        assert_eq!(cfg.cycles(250), Dur::from_us(1));
+    }
+
+    #[test]
+    fn table1_algorithm_selection() {
+        let algo = AlgoConfig::default();
+        // Bcast: one-to-all small rank counts, recursive doubling at scale
+        // (rendezvous only).
+        assert_eq!(algo.bcast(4, true), Algorithm::OneToAll);
+        assert_eq!(algo.bcast(8, true), Algorithm::RecursiveDoubling);
+        assert_eq!(algo.bcast(8, false), Algorithm::OneToAll);
+        // Reduce: eager→ring; rendezvous→all-to-one small, tree large.
+        assert_eq!(algo.reduce_like(8 << 10, false), Algorithm::Ring);
+        assert_eq!(algo.reduce_like(8 << 10, true), Algorithm::OneToAll);
+        assert_eq!(algo.reduce_like(128 << 10, true), Algorithm::BinaryTree);
+    }
+
+    #[test]
+    fn eager_choice_respects_transport() {
+        let algo = AlgoConfig::default();
+        assert!(algo.pick_eager(1024, true));
+        assert!(!algo.pick_eager(1 << 20, true));
+        // UDP/TCP have no rendezvous: always eager.
+        assert!(algo.pick_eager(1 << 20, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "no session to self")]
+    fn self_session_panics() {
+        let cfg = CommunicatorCfg {
+            rank: 0,
+            peers: vec![(NodeAddr(0), SessionId(0)), (NodeAddr(1), SessionId(1))],
+        };
+        cfg.session(0);
+    }
+}

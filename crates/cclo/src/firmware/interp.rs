@@ -1,0 +1,979 @@
+//! Abstract schedule interpreter: functional validation of firmware.
+//!
+//! Executes the per-rank schedules of a collective jointly, moving real
+//! bytes but no simulated time, and reports the final buffer contents. This
+//! is the tool for validating custom collectives before deploying them —
+//! the simulation-platform idea of §4.2 distilled to pure functionality —
+//! and it powers the exhaustive algorithm test matrix in this crate.
+//!
+//! The interpreter reproduces the engine's concurrency semantics:
+//! instructions issue in order but complete out of order; `WaitAll` is the
+//! only intra-rank barrier; memory operands snapshot at execution time;
+//! rendezvous sends block until the matching init announces a landing zone.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::firmware::{BufRef, DmpInstr, FwEnv, FwOp, Schedule, SlotDst, SlotSrc};
+use crate::msg::ReduceFn;
+use crate::plugins;
+
+/// Per-rank buffer state for interpretation.
+#[derive(Debug, Clone, Default)]
+pub struct RankState {
+    /// Source buffer contents.
+    pub src: Vec<u8>,
+    /// Destination buffer contents.
+    pub dst: Vec<u8>,
+    /// Scratch region.
+    pub scratch: Vec<u8>,
+    /// Bytes the kernel will push on the stream-in interface.
+    pub stream_in: VecDeque<u8>,
+    /// Bytes the CCLO pushed to the kernel.
+    pub stream_out: Vec<u8>,
+}
+
+impl RankState {
+    /// A rank whose source holds `src` and whose destination has room for
+    /// `dst_len` bytes.
+    pub fn with_src(src: Vec<u8>, dst_len: usize) -> Self {
+        RankState {
+            src,
+            dst: vec![0; dst_len],
+            ..Self::default()
+        }
+    }
+
+    fn buf(&self, r: BufRef) -> &Vec<u8> {
+        match r {
+            BufRef::Src => &self.src,
+            BufRef::Dst => &self.dst,
+            BufRef::Scratch => &self.scratch,
+        }
+    }
+
+    fn buf_mut(&mut self, r: BufRef) -> &mut Vec<u8> {
+        match r {
+            BufRef::Src => &mut self.src,
+            BufRef::Dst => &mut self.dst,
+            BufRef::Scratch => &mut self.scratch,
+        }
+    }
+
+    fn read(&self, r: BufRef, off: u64, len: u64) -> Vec<u8> {
+        let b = self.buf(r);
+        let (off, len) = (off as usize, len as usize);
+        assert!(
+            off + len <= b.len(),
+            "read past end of {r:?}: {}..{} > {}",
+            off,
+            off + len,
+            b.len()
+        );
+        b[off..off + len].to_vec()
+    }
+
+    fn write(&mut self, r: BufRef, off: u64, data: &[u8]) {
+        let b = self.buf_mut(r);
+        let off = off as usize;
+        assert!(
+            off + data.len() <= b.len(),
+            "write past end of {r:?}: {}..{} > {}",
+            off,
+            off + data.len(),
+            b.len()
+        );
+        b[off..off + data.len()].copy_from_slice(data);
+    }
+}
+
+/// Why interpretation failed.
+#[derive(Debug)]
+pub enum InterpError {
+    /// No rank could make progress but work remains.
+    Deadlock {
+        /// Human-readable description of each stuck rank.
+        stuck: Vec<String>,
+    },
+    /// Messages were sent that nobody received.
+    UnconsumedMessages {
+        /// `(src, dst, tag)` keys with leftover messages.
+        keys: Vec<(u32, u32, u64)>,
+    },
+}
+
+/// In-flight interpreter state for one rank.
+struct RankRun {
+    ops: VecDeque<FwOp>,
+    /// Issued-but-incomplete DMP instructions.
+    pending: Vec<DmpInstr>,
+    /// Rendezvous receives awaiting the DONE signal.
+    waiting_done: Vec<(u32, u64)>,
+}
+
+/// Joint interpreter over all ranks of a communicator.
+pub struct Interp {
+    ranks: Vec<RankState>,
+    runs: Vec<RankRun>,
+    dtype_func: (crate::msg::DType, ReduceFn),
+    /// (src, dst, tag) → FIFO of eager messages.
+    eager: HashMap<(u32, u32, u64), VecDeque<Vec<u8>>>,
+    /// (sender, receiver, tag) → landing zone announced by receiver.
+    rndzv_init: HashMap<(u32, u32, u64), (BufRef, u64, u64)>,
+    /// (sender, receiver, tag) → data landed.
+    rndzv_done: HashMap<(u32, u32, u64), bool>,
+    /// Total messages transferred (for test assertions on message counts).
+    messages: u64,
+}
+
+impl Interp {
+    /// Creates an interpreter for `schedules[r]` running against `states[r]`.
+    pub fn new(env0: &FwEnv, schedules: Vec<Schedule>, mut states: Vec<RankState>) -> Self {
+        assert_eq!(schedules.len(), states.len());
+        for (st, sched) in states.iter_mut().zip(&schedules) {
+            st.scratch.resize(sched.scratch_bytes as usize, 0);
+        }
+        Interp {
+            runs: schedules
+                .into_iter()
+                .map(|s| RankRun {
+                    ops: s.ops.into(),
+                    pending: Vec::new(),
+                    waiting_done: Vec::new(),
+                })
+                .collect(),
+            ranks: states,
+            dtype_func: (env0.dtype, env0.func),
+            eager: HashMap::new(),
+            rndzv_init: HashMap::new(),
+            rndzv_done: HashMap::new(),
+            messages: 0,
+        }
+    }
+
+    /// Messages transferred during the run.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Runs all schedules to completion.
+    pub fn run(mut self) -> Result<Vec<RankState>, InterpError> {
+        loop {
+            let mut progressed = false;
+            for r in 0..self.runs.len() {
+                progressed |= self.step_rank(r as u32);
+            }
+            if self.done() {
+                let leftovers: Vec<(u32, u32, u64)> = self
+                    .eager
+                    .iter()
+                    .filter(|(_, q)| !q.is_empty())
+                    .map(|(&k, _)| k)
+                    .collect();
+                if !leftovers.is_empty() {
+                    return Err(InterpError::UnconsumedMessages { keys: leftovers });
+                }
+                return Ok(self.ranks);
+            }
+            if !progressed {
+                let stuck = self
+                    .runs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| {
+                        !r.ops.is_empty() || !r.pending.is_empty() || !r.waiting_done.is_empty()
+                    })
+                    .map(|(i, r)| {
+                        format!(
+                            "rank {i}: {} ops left (next: {:?}), {} pending instrs ({:?}), awaiting dones: {:?}",
+                            r.ops.len(),
+                            r.ops.front(),
+                            r.pending.len(),
+                            r.pending,
+                            r.waiting_done
+                        )
+                    })
+                    .collect();
+                return Err(InterpError::Deadlock { stuck });
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.runs
+            .iter()
+            .all(|r| r.ops.is_empty() && r.pending.is_empty() && r.waiting_done.is_empty())
+    }
+
+    /// Advances one rank as far as possible; returns whether anything moved.
+    #[allow(clippy::while_let_loop)] // the loop has several distinct exits
+    fn step_rank(&mut self, rank: u32) -> bool {
+        let mut progressed = false;
+        // Retry pending instructions first (their inputs may have arrived).
+        let pending = core::mem::take(&mut self.runs[rank as usize].pending);
+        for instr in pending {
+            if self.try_exec(rank, &instr) {
+                progressed = true;
+                self.messages +=
+                    matches!(instr.res, SlotDst::EagerTx { .. } | SlotDst::RndzvTx { .. }) as u64;
+            } else {
+                self.runs[rank as usize].pending.push(instr);
+            }
+        }
+        // Issue further ops.
+        loop {
+            let Some(op) = self.runs[rank as usize].ops.front().copied() else {
+                break;
+            };
+            match op {
+                FwOp::WaitAll => {
+                    let run = &self.runs[rank as usize];
+                    if run.pending.is_empty() && run.waiting_done.is_empty() {
+                        self.runs[rank as usize].ops.pop_front();
+                        progressed = true;
+                        continue;
+                    }
+                    break;
+                }
+                FwOp::Dmp(instr) => {
+                    self.runs[rank as usize].ops.pop_front();
+                    progressed = true;
+                    if self.try_exec(rank, &instr) {
+                        self.messages +=
+                            matches!(instr.res, SlotDst::EagerTx { .. } | SlotDst::RndzvTx { .. })
+                                as u64;
+                    } else {
+                        self.runs[rank as usize].pending.push(instr);
+                    }
+                }
+                FwOp::RndzvRecvInit {
+                    peer,
+                    buf,
+                    off,
+                    len,
+                    tag,
+                } => {
+                    self.runs[rank as usize].ops.pop_front();
+                    progressed = true;
+                    let prev = self.rndzv_init.insert((peer, rank, tag), (buf, off, len));
+                    assert!(
+                        prev.is_none(),
+                        "duplicate rendezvous init (peer={peer}, rank={rank}, tag={tag})"
+                    );
+                }
+                FwOp::WaitRndzvDone { peer, tag } => {
+                    // Blocking: the op stream must not pass an unfinished
+                    // rendezvous (subsequent instructions may read the
+                    // landing buffer).
+                    if self.rndzv_done.remove(&(peer, rank, tag)).is_some() {
+                        self.runs[rank as usize].ops.pop_front();
+                        progressed = true;
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Attempts to execute a DMP instruction; returns false if inputs are
+    /// not yet available.
+    fn try_exec(&mut self, rank: u32, instr: &DmpInstr) -> bool {
+        // Rendezvous sends additionally need the landing zone.
+        if let SlotDst::RndzvTx { peer, tag } = instr.res {
+            if !self.rndzv_init.contains_key(&(rank, peer, tag)) {
+                return false;
+            }
+        }
+        // Check operand availability without consuming.
+        for slot in [Some(&instr.op0), instr.op1.as_ref()].into_iter().flatten() {
+            match *slot {
+                SlotSrc::EagerRx { peer, tag } => {
+                    let ready = self
+                        .eager
+                        .get(&(peer, rank, tag))
+                        .is_some_and(|q| !q.is_empty());
+                    if !ready {
+                        return false;
+                    }
+                }
+                SlotSrc::Stream => {
+                    if (self.ranks[rank as usize].stream_in.len() as u64) < instr.len {
+                        return false;
+                    }
+                }
+                SlotSrc::Mem(..) => {}
+            }
+        }
+        // Gather operand bytes (consuming).
+        let mut fetch = |slot: &SlotSrc, ranks: &mut Vec<RankState>| -> Vec<u8> {
+            match *slot {
+                SlotSrc::Mem(buf, off) => ranks[rank as usize].read(buf, off, instr.len),
+                SlotSrc::EagerRx { peer, tag } => {
+                    let msg = self
+                        .eager
+                        .get_mut(&(peer, rank, tag))
+                        .and_then(VecDeque::pop_front)
+                        .expect("checked above");
+                    assert_eq!(
+                        msg.len() as u64,
+                        instr.len,
+                        "eager message length mismatch (peer={peer}, tag={tag})"
+                    );
+                    msg
+                }
+                SlotSrc::Stream => {
+                    let st = &mut ranks[rank as usize].stream_in;
+                    (0..instr.len).map(|_| st.pop_front().unwrap()).collect()
+                }
+            }
+        };
+        let a = fetch(&instr.op0, &mut self.ranks);
+        let result = match instr.op1 {
+            None => a,
+            Some(op1) => {
+                let b = fetch(&op1, &mut self.ranks);
+                let (dtype, func) = self.dtype_func;
+                plugins::combine(dtype, func, &a, &b).to_vec()
+            }
+        };
+        // Deliver the result.
+        match instr.res {
+            SlotDst::Mem(buf, off) => self.ranks[rank as usize].write(buf, off, &result),
+            SlotDst::Stream => self.ranks[rank as usize]
+                .stream_out
+                .extend_from_slice(&result),
+            SlotDst::EagerTx { peer, tag } => {
+                self.eager
+                    .entry((rank, peer, tag))
+                    .or_default()
+                    .push_back(result);
+            }
+            SlotDst::RndzvTx { peer, tag } => {
+                let (buf, off, len) = self.rndzv_init.remove(&(rank, peer, tag)).unwrap();
+                assert_eq!(len, instr.len, "rendezvous length mismatch");
+                self.ranks[peer as usize].write(buf, off, &result);
+                self.rndzv_done.insert((rank, peer, tag), true);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // rank loops index parallel arrays
+mod tests {
+    use super::*;
+    use crate::command::{CollOp, DataLoc};
+    use crate::config::Algorithm;
+    use crate::firmware::FirmwareTable;
+    use crate::msg::DType;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Builds envs/states and interprets `op` for all ranks; returns states.
+    #[allow(clippy::too_many_arguments)] // a test harness mirroring FwEnv
+    fn run_collective(
+        op: CollOp,
+        size: u32,
+        root: u32,
+        count: u64,
+        eager: bool,
+        algorithm: Algorithm,
+        srcs: &[Vec<u8>],
+        dst_len: usize,
+        src_loc_len: usize,
+    ) -> Vec<RankState> {
+        let table = FirmwareTable::stock();
+        let mut schedules = Vec::new();
+        let mut states = Vec::new();
+        for rank in 0..size {
+            let env = FwEnv {
+                rank,
+                size,
+                count,
+                dtype: DType::I32,
+                func: ReduceFn::Sum,
+                root,
+                bytes: count * 4,
+                eager,
+                algorithm,
+                src: DataLoc::Mem(accl_mem::MemAddr::Virt(0)),
+                dst: DataLoc::Mem(accl_mem::MemAddr::Virt(0)),
+            };
+            schedules.push(table.schedule(op, &env));
+            let mut st = RankState::with_src(srcs[rank as usize].clone(), dst_len);
+            st.src.resize(src_loc_len, 0);
+            states.push(st);
+        }
+        let env0 = FwEnv {
+            rank: 0,
+            size,
+            count,
+            dtype: DType::I32,
+            func: ReduceFn::Sum,
+            root,
+            bytes: count * 4,
+            eager,
+            algorithm,
+            src: DataLoc::None,
+            dst: DataLoc::None,
+        };
+        Interp::new(&env0, schedules, states)
+            .run()
+            .unwrap_or_else(|e| {
+                panic!("{op:?} p={size} root={root} eager={eager} {algorithm:?}: {e:?}")
+            })
+    }
+
+    fn i32s(vals: &[i32]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn rand_i32s(rng: &mut StdRng, n: u64) -> Vec<u8> {
+        let vals: Vec<i32> = (0..n).map(|_| rng.random_range(-1000..1000)).collect();
+        i32s(&vals)
+    }
+
+    fn sum_vecs(srcs: &[Vec<u8>]) -> Vec<u8> {
+        crate::plugins::combine_all(DType::I32, ReduceFn::Sum, srcs.iter().map(|v| v.as_slice()))
+            .to_vec()
+    }
+
+    /// The full matrix: every algorithm × protocol × odd/even/pow2 sizes ×
+    /// several roots must produce the textbook result.
+    #[test]
+    fn bcast_all_variants_match() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &size in &[2u32, 3, 4, 5, 7, 8] {
+            for root in [0, size - 1, size / 2] {
+                for eager in [true, false] {
+                    for algo in [Algorithm::OneToAll, Algorithm::RecursiveDoubling] {
+                        let count = 16u64;
+                        let payload = rand_i32s(&mut rng, count);
+                        // Bcast operates on dst: root's dst holds the data.
+                        let srcs: Vec<Vec<u8>> = (0..size).map(|_| vec![]).collect();
+                        let mut states: Vec<RankState> = (0..size)
+                            .map(|_| RankState::with_src(vec![], (count * 4) as usize))
+                            .collect();
+                        states[root as usize].dst = payload.clone();
+                        let table = FirmwareTable::stock();
+                        let mut schedules = Vec::new();
+                        for rank in 0..size {
+                            let env = FwEnv {
+                                rank,
+                                size,
+                                count,
+                                dtype: DType::I32,
+                                func: ReduceFn::Sum,
+                                root,
+                                bytes: count * 4,
+                                eager,
+                                algorithm: algo,
+                                src: DataLoc::None,
+                                dst: DataLoc::Mem(accl_mem::MemAddr::Virt(0)),
+                            };
+                            schedules.push(table.schedule(CollOp::Bcast, &env));
+                        }
+                        let env0 = FwEnv {
+                            rank: 0,
+                            size,
+                            count,
+                            dtype: DType::I32,
+                            func: ReduceFn::Sum,
+                            root,
+                            bytes: count * 4,
+                            eager,
+                            algorithm: algo,
+                            src: DataLoc::None,
+                            dst: DataLoc::None,
+                        };
+                        let out = Interp::new(&env0, schedules, states).run().unwrap();
+                        for (r, st) in out.iter().enumerate() {
+                            assert_eq!(
+                                st.dst, payload,
+                                "bcast p={size} root={root} eager={eager} algo={algo:?} rank={r}"
+                            );
+                        }
+                        let _ = srcs;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_all_variants_match() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &size in &[2u32, 3, 5, 8] {
+            for root in [0, size - 1] {
+                for (eager, algo) in [
+                    (true, Algorithm::Ring),
+                    (true, Algorithm::OneToAll),
+                    (false, Algorithm::OneToAll),
+                    (false, Algorithm::BinaryTree),
+                    (true, Algorithm::BinaryTree),
+                ] {
+                    let count = 32u64;
+                    let srcs: Vec<Vec<u8>> =
+                        (0..size).map(|_| rand_i32s(&mut rng, count)).collect();
+                    let expect = sum_vecs(&srcs);
+                    let out = run_collective(
+                        CollOp::Reduce,
+                        size,
+                        root,
+                        count,
+                        eager,
+                        algo,
+                        &srcs,
+                        (count * 4) as usize,
+                        (count * 4) as usize,
+                    );
+                    assert_eq!(
+                        out[root as usize].dst, expect,
+                        "reduce p={size} root={root} eager={eager} algo={algo:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_all_variants_match() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &size in &[2u32, 3, 5, 8] {
+            for root in [0, 1 % size] {
+                for (eager, algo) in [
+                    (true, Algorithm::Ring),
+                    (true, Algorithm::OneToAll),
+                    (false, Algorithm::OneToAll),
+                    (false, Algorithm::BinaryTree),
+                ] {
+                    let count = 8u64;
+                    let b = (count * 4) as usize;
+                    let srcs: Vec<Vec<u8>> =
+                        (0..size).map(|_| rand_i32s(&mut rng, count)).collect();
+                    let out = run_collective(
+                        CollOp::Gather,
+                        size,
+                        root,
+                        count,
+                        eager,
+                        algo,
+                        &srcs,
+                        b * size as usize,
+                        b,
+                    );
+                    let expect: Vec<u8> = srcs.concat();
+                    assert_eq!(
+                        out[root as usize].dst, expect,
+                        "gather p={size} root={root} eager={eager} algo={algo:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_matches() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for &size in &[2u32, 5, 8] {
+            for root in [0, size - 1] {
+                for eager in [true, false] {
+                    let count = 8u64;
+                    let b = (count * 4) as usize;
+                    let root_src = rand_i32s(&mut rng, count * u64::from(size));
+                    let srcs: Vec<Vec<u8>> = (0..size)
+                        .map(|r| {
+                            if r == root {
+                                root_src.clone()
+                            } else {
+                                vec![0; b * size as usize]
+                            }
+                        })
+                        .collect();
+                    let out = run_collective(
+                        CollOp::Scatter,
+                        size,
+                        root,
+                        count,
+                        eager,
+                        Algorithm::Linear,
+                        &srcs,
+                        b,
+                        b * size as usize,
+                    );
+                    for r in 0..size as usize {
+                        assert_eq!(
+                            out[r].dst,
+                            root_src[r * b..(r + 1) * b].to_vec(),
+                            "scatter p={size} root={root} eager={eager} rank={r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_matches() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &size in &[2u32, 3, 6, 8] {
+            for eager in [true, false] {
+                let count = 8u64;
+                let b = (count * 4) as usize;
+                let srcs: Vec<Vec<u8>> = (0..size).map(|_| rand_i32s(&mut rng, count)).collect();
+                let expect: Vec<u8> = srcs.concat();
+                let out = run_collective(
+                    CollOp::AllGather,
+                    size,
+                    0,
+                    count,
+                    eager,
+                    Algorithm::Ring,
+                    &srcs,
+                    b * size as usize,
+                    b,
+                );
+                for (r, st) in out.iter().enumerate() {
+                    assert_eq!(st.dst, expect, "allgather p={size} eager={eager} rank={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_matches() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for &size in &[2u32, 3, 5, 8] {
+            for (eager, algo) in [
+                (true, Algorithm::Ring),
+                (false, Algorithm::OneToAll),
+                (false, Algorithm::BinaryTree),
+            ] {
+                let count = 16u64;
+                let srcs: Vec<Vec<u8>> = (0..size).map(|_| rand_i32s(&mut rng, count)).collect();
+                let expect = sum_vecs(&srcs);
+                let out = run_collective(
+                    CollOp::AllReduce,
+                    size,
+                    0,
+                    count,
+                    eager,
+                    algo,
+                    &srcs,
+                    (count * 4) as usize,
+                    (count * 4) as usize,
+                );
+                for (r, st) in out.iter().enumerate() {
+                    assert_eq!(
+                        st.dst, expect,
+                        "allreduce p={size} eager={eager} algo={algo:?} rank={r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_matches_including_uneven_blocks() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // Counts chosen so blocks are uneven (count % size != 0) and tiny
+        // (base == 0 → fallback composition).
+        for &size in &[2u32, 3, 5, 8] {
+            for count in [1u64, 2, 7, 33, 64] {
+                for eager in [true, false] {
+                    let srcs: Vec<Vec<u8>> =
+                        (0..size).map(|_| rand_i32s(&mut rng, count)).collect();
+                    let expect = sum_vecs(&srcs);
+                    let out = run_collective(
+                        CollOp::AllReduce,
+                        size,
+                        0,
+                        count,
+                        eager,
+                        Algorithm::Ring,
+                        &srcs,
+                        (count * 4) as usize,
+                        (count * 4) as usize,
+                    );
+                    for (r, st) in out.iter().enumerate() {
+                        assert_eq!(
+                            st.dst, expect,
+                            "ring allreduce p={size} count={count} eager={eager} rank={r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_moves_less_data_than_star() {
+        // Bandwidth optimality: ring moves 2·(p-1)/p·N per rank; the
+        // reduce+bcast composition moves ~2·N on the root's links alone.
+        let table = FirmwareTable::stock();
+        let size = 8u32;
+        let count = 1024u64;
+        let run_msgs = |algo: Algorithm| -> u64 {
+            let mk = |rank: u32| FwEnv {
+                rank,
+                size,
+                count,
+                dtype: DType::I32,
+                func: ReduceFn::Sum,
+                root: 0,
+                bytes: count * 4,
+                eager: true,
+                algorithm: algo,
+                src: DataLoc::Mem(accl_mem::MemAddr::Virt(0)),
+                dst: DataLoc::Mem(accl_mem::MemAddr::Virt(0)),
+            };
+            let schedules: Vec<_> = (0..size)
+                .map(|r| table.schedule(CollOp::AllReduce, &mk(r)))
+                .collect();
+            let states: Vec<RankState> = (0..size)
+                .map(|r| {
+                    RankState::with_src(
+                        rand_i32s(&mut StdRng::seed_from_u64(r.into()), count),
+                        (count * 4) as usize,
+                    )
+                })
+                .collect();
+            let mut i = Interp::new(&mk(0), schedules, states);
+            loop {
+                let mut progressed = false;
+                for r in 0..size {
+                    progressed |= i.step_rank(r);
+                }
+                if i.done() {
+                    break i.messages();
+                }
+                assert!(progressed, "deadlock");
+            }
+        };
+        let ring = run_msgs(Algorithm::Ring);
+        let star = run_msgs(Algorithm::OneToAll);
+        // Ring: 2·(p-1)·p messages of N/p bytes — more messages, but the
+        // largest single-link volume is far smaller. Message-count-wise the
+        // ring sends p·2(p-1) small blocks.
+        assert_eq!(ring, u64::from(2 * (size - 1) * size));
+        assert!(star < ring, "star sends fewer, bigger messages");
+    }
+
+    #[test]
+    fn reduce_scatter_matches() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &size in &[2u32, 3, 4, 7] {
+            for eager in [true, false] {
+                let count = 4u64; // per-block elements
+                let b = (count * 4) as usize;
+                let full = b * size as usize;
+                let srcs: Vec<Vec<u8>> = (0..size)
+                    .map(|_| rand_i32s(&mut rng, count * u64::from(size)))
+                    .collect();
+                let expect = sum_vecs(&srcs);
+                let out = run_collective(
+                    CollOp::ReduceScatter,
+                    size,
+                    0,
+                    count,
+                    eager,
+                    Algorithm::Ring,
+                    &srcs,
+                    b,
+                    full,
+                );
+                for (r, st) in out.iter().enumerate() {
+                    assert_eq!(
+                        st.dst,
+                        expect[r * b..(r + 1) * b].to_vec(),
+                        "reduce_scatter p={size} eager={eager} rank={r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_matches() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for &size in &[2u32, 4, 8] {
+            for eager in [true, false] {
+                let count = 8u64;
+                let b = (count * 4) as usize;
+                let srcs: Vec<Vec<u8>> = (0..size)
+                    .map(|_| rand_i32s(&mut rng, count * u64::from(size)))
+                    .collect();
+                let out = run_collective(
+                    CollOp::AllToAll,
+                    size,
+                    0,
+                    count,
+                    eager,
+                    Algorithm::Linear,
+                    &srcs,
+                    b * size as usize,
+                    b * size as usize,
+                );
+                for r in 0..size as usize {
+                    for p in 0..size as usize {
+                        assert_eq!(
+                            &out[r].dst[p * b..(p + 1) * b],
+                            &srcs[p][r * b..(r + 1) * b],
+                            "alltoall p={size} eager={eager} dst rank={r} from={p}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_completes_without_deadlock() {
+        for &size in &[2u32, 3, 8] {
+            for eager in [true, false] {
+                let srcs: Vec<Vec<u8>> = (0..size).map(|_| vec![]).collect();
+                run_collective(
+                    CollOp::Barrier,
+                    size,
+                    0,
+                    0,
+                    eager,
+                    Algorithm::OneToAll,
+                    &srcs,
+                    0,
+                    0,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn send_recv_pair_via_stream() {
+        // Rank 0 streams out of its kernel; rank 1 receives into memory.
+        let table = FirmwareTable::stock();
+        let count = 16u64;
+        let payload = i32s(&(0..16).collect::<Vec<i32>>());
+        let mk_env = |rank: u32, op_src: DataLoc, op_dst: DataLoc, root: u32| FwEnv {
+            rank,
+            size: 2,
+            count,
+            dtype: DType::I32,
+            func: ReduceFn::Sum,
+            root,
+            bytes: count * 4,
+            eager: true,
+            algorithm: Algorithm::Linear,
+            src: op_src,
+            dst: op_dst,
+        };
+        let env_s = mk_env(0, DataLoc::Stream, DataLoc::None, 1);
+        let env_r = mk_env(
+            1,
+            DataLoc::None,
+            DataLoc::Mem(accl_mem::MemAddr::Virt(0)),
+            0,
+        );
+        let schedules = vec![
+            table.schedule(CollOp::Send, &env_s),
+            table.schedule(CollOp::Recv, &env_r),
+        ];
+        let mut s0 = RankState::default();
+        s0.stream_in.extend(payload.iter());
+        let s1 = RankState::with_src(vec![], payload.len());
+        let out = Interp::new(&env_s, schedules, vec![s0, s1]).run().unwrap();
+        assert_eq!(out[1].dst, payload);
+    }
+
+    #[test]
+    fn mismatched_schedules_deadlock_with_diagnostics() {
+        // A recv with nobody sending must report a deadlock, not hang.
+        let table = FirmwareTable::stock();
+        let env = FwEnv {
+            rank: 0,
+            size: 2,
+            count: 4,
+            dtype: DType::I32,
+            func: ReduceFn::Sum,
+            root: 1,
+            bytes: 16,
+            eager: true,
+            algorithm: Algorithm::Linear,
+            src: DataLoc::None,
+            dst: DataLoc::Mem(accl_mem::MemAddr::Virt(0)),
+        };
+        let schedules = vec![
+            table.schedule(CollOp::Recv, &env),
+            Schedule {
+                ops: vec![],
+                scratch_bytes: 0,
+            },
+        ];
+        let states = vec![RankState::with_src(vec![], 16), RankState::default()];
+        let err = Interp::new(&env, schedules, states).run().unwrap_err();
+        match err {
+            InterpError::Deadlock { stuck } => {
+                assert_eq!(stuck.len(), 1);
+                assert!(stuck[0].contains("rank 0"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_to_all_message_count_is_linear() {
+        // 8-rank one-to-all bcast sends exactly 7 messages; binomial also 7
+        // (same total, different critical path).
+        for algo in [Algorithm::OneToAll, Algorithm::RecursiveDoubling] {
+            let table = FirmwareTable::stock();
+            let size = 8u32;
+            let mk = |rank: u32| FwEnv {
+                rank,
+                size,
+                count: 4,
+                dtype: DType::I32,
+                func: ReduceFn::Sum,
+                root: 0,
+                bytes: 16,
+                eager: true,
+                algorithm: algo,
+                src: DataLoc::None,
+                dst: DataLoc::Mem(accl_mem::MemAddr::Virt(0)),
+            };
+            let schedules: Vec<_> = (0..size)
+                .map(|r| table.schedule(CollOp::Bcast, &mk(r)))
+                .collect();
+            let mut states: Vec<RankState> =
+                (0..size).map(|_| RankState::with_src(vec![], 16)).collect();
+            states[0].dst = i32s(&[1, 2, 3, 4]);
+            let interp = Interp::new(&mk(0), schedules, states);
+            let messages = {
+                let mut i = interp;
+                let _ = core::mem::replace(&mut i, Interp::new(&mk(0), vec![], vec![]));
+                // run consumes; recompute below instead.
+                0
+            };
+            let _ = messages;
+            // Recount properly: rebuild and run.
+            let schedules: Vec<_> = (0..size)
+                .map(|r| table.schedule(CollOp::Bcast, &mk(r)))
+                .collect();
+            let mut states: Vec<RankState> =
+                (0..size).map(|_| RankState::with_src(vec![], 16)).collect();
+            states[0].dst = i32s(&[1, 2, 3, 4]);
+            let mut i = Interp::new(&mk(0), schedules, states);
+            let msgs = loop {
+                let mut progressed = false;
+                for r in 0..size {
+                    progressed |= i.step_rank(r);
+                }
+                if i.done() {
+                    break i.messages();
+                }
+                assert!(progressed, "deadlock");
+            };
+            assert_eq!(msgs, 7, "algo={algo:?}");
+        }
+    }
+}

@@ -1,0 +1,674 @@
+//! CCLO firmware: collective algorithms as swappable programs.
+//!
+//! The paper's key flexibility claim (§4.4.1) is that collectives are
+//! implemented in micro-controller *firmware* — "a communication pattern as
+//! a C function in uC firmware" — so new collectives deploy without
+//! re-synthesizing the FPGA. This module reproduces that structure: a
+//! [`CollectiveProgram`] emits a schedule of coarse-grained control
+//! operations ([`FwOp`]) which the uC executes, issuing microcode to the
+//! data-movement processor and control messages to the Tx system. Programs
+//! are registered in a [`FirmwareTable`] at runtime; `accl-core` exposes
+//! `load_firmware` so applications can install their own.
+
+pub mod interp;
+pub mod programs;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::command::{CollOp, DataLoc};
+use crate::config::Algorithm;
+use crate::msg::{DType, ReduceFn};
+
+/// A buffer reference resolved by the uC against the current call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufRef {
+    /// The call's source buffer.
+    Src,
+    /// The call's destination buffer.
+    Dst,
+    /// The CCLO scratch region (collective-internal temporaries).
+    Scratch,
+}
+
+/// A data endpoint within a schedule step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Place {
+    /// `buf + offset` in memory.
+    Buf(BufRef, u64),
+    /// The CCLO's kernel data stream.
+    Stream,
+}
+
+impl Place {
+    /// The call's source buffer at `off`.
+    pub fn src(off: u64) -> Place {
+        Place::Buf(BufRef::Src, off)
+    }
+
+    /// The call's destination buffer at `off`.
+    pub fn dst(off: u64) -> Place {
+        Place::Buf(BufRef::Dst, off)
+    }
+}
+
+/// An operand slot of a DMP microcode instruction (data *into* the CCLO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotSrc {
+    /// Read from memory.
+    Mem(BufRef, u64),
+    /// An eager message from `peer` with `tag` (matched through the RBM).
+    EagerRx {
+        /// Sending rank.
+        peer: u32,
+        /// Matching tag.
+        tag: u64,
+    },
+    /// Pull from the kernel data stream.
+    Stream,
+}
+
+/// The result slot of a DMP microcode instruction (data *out of* the CCLO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotDst {
+    /// Write to memory.
+    Mem(BufRef, u64),
+    /// Send as an eager message to `peer` with `tag`.
+    EagerTx {
+        /// Destination rank.
+        peer: u32,
+        /// Matching tag.
+        tag: u64,
+    },
+    /// Rendezvous-send to `peer`: the uC holds this instruction until the
+    /// peer's `RNDZV_INIT` for `tag` resolves the remote address, then the
+    /// data leaves as an RDMA WRITE followed by `RNDZV_DONE`.
+    RndzvTx {
+        /// Destination rank.
+        peer: u32,
+        /// Matching tag.
+        tag: u64,
+    },
+    /// Push to the kernel data stream.
+    Stream,
+}
+
+/// One DMP microcode instruction: up to two operand slots and one result
+/// slot (paper §4.4.1, "each microcode instruction has three slots").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmpInstr {
+    /// First operand.
+    pub op0: SlotSrc,
+    /// Optional second operand (reductions).
+    pub op1: Option<SlotSrc>,
+    /// Result slot.
+    pub res: SlotDst,
+    /// Transfer length in bytes (all slots move exactly this much).
+    pub len: u64,
+}
+
+/// A coarse-grained control operation issued by the uC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FwOp {
+    /// Issue DMP microcode (proceeds asynchronously; FIFO queues allow
+    /// multiple in flight).
+    Dmp(DmpInstr),
+    /// Block until every DMP instruction issued so far has completed.
+    WaitAll,
+    /// Rendezvous receive, part 1: announce our landing buffer to `peer`.
+    RndzvRecvInit {
+        /// The sending rank.
+        peer: u32,
+        /// Landing buffer.
+        buf: BufRef,
+        /// Offset within the landing buffer.
+        off: u64,
+        /// Expected length.
+        len: u64,
+        /// Matching tag.
+        tag: u64,
+    },
+    /// Rendezvous receive, part 2: block until `peer`'s `RNDZV_DONE`.
+    WaitRndzvDone {
+        /// The sending rank.
+        peer: u32,
+        /// Matching tag.
+        tag: u64,
+    },
+}
+
+/// Everything a program needs to emit its per-rank schedule.
+#[derive(Debug, Clone)]
+pub struct FwEnv {
+    /// This rank.
+    pub rank: u32,
+    /// Communicator size.
+    pub size: u32,
+    /// Element count (MPI semantics per collective: total for
+    /// bcast/reduce, per-block for gather/scatter/alltoall/allgather).
+    pub count: u64,
+    /// Element type.
+    pub dtype: DType,
+    /// Reduction function.
+    pub func: ReduceFn,
+    /// Root rank (peer rank for send/recv).
+    pub root: u32,
+    /// Block size in bytes (`count * dtype.size()`).
+    pub bytes: u64,
+    /// Whether this call runs the eager protocol (else rendezvous).
+    pub eager: bool,
+    /// The algorithm selected by the runtime configuration (Table 1).
+    pub algorithm: Algorithm,
+    /// Source data location.
+    pub src: DataLoc,
+    /// Destination data location.
+    pub dst: DataLoc,
+}
+
+impl FwEnv {
+    /// `(rank - root) mod size`: this rank's position relative to the root.
+    pub fn vrank(&self) -> u32 {
+        (self.rank + self.size - self.root % self.size) % self.size
+    }
+
+    /// Inverse of [`FwEnv::vrank`].
+    pub fn from_vrank(&self, v: u32) -> u32 {
+        (v + self.root) % self.size
+    }
+}
+
+/// Schedule builder handed to programs.
+///
+/// The builder encapsulates the eager/rendezvous split: `send`/`recv` emit
+/// the right op sequences for the call's protocol, so most programs are
+/// protocol-oblivious. Steps that touch the kernel stream always use eager
+/// (rendezvous needs a memory landing zone).
+pub struct Sched {
+    eager: bool,
+    ops: Vec<FwOp>,
+    scratch_used: u64,
+    tag_base: u64,
+}
+
+impl Sched {
+    /// Creates a builder for `env`.
+    pub fn new(env: &FwEnv) -> Self {
+        Sched {
+            eager: env.eager,
+            ops: Vec::new(),
+            scratch_used: 0,
+            tag_base: 0,
+        }
+    }
+
+    /// Offsets every subsequent tag by `base` — lets composed collectives
+    /// (e.g. allreduce's reduce and bcast phases) keep their tag spaces
+    /// disjoint.
+    pub fn set_tag_namespace(&mut self, base: u64) {
+        self.tag_base = base;
+    }
+
+    /// Allocates `len` bytes of scratch, returning its [`Place`].
+    pub fn alloc_scratch(&mut self, len: u64) -> Place {
+        let off = self.scratch_used;
+        // Keep scratch 64 B aligned (one datapath beat).
+        self.scratch_used += len.div_ceil(64) * 64;
+        Place::Buf(BufRef::Scratch, off)
+    }
+
+    /// Total scratch bytes this schedule requires.
+    pub fn scratch_bytes(&self) -> u64 {
+        self.scratch_used
+    }
+
+    /// Raw op emission, for custom programs needing full control.
+    pub fn emit(&mut self, op: FwOp) {
+        self.ops.push(op);
+    }
+
+    fn src_slot(place: Place) -> SlotSrc {
+        match place {
+            Place::Buf(b, off) => SlotSrc::Mem(b, off),
+            Place::Stream => SlotSrc::Stream,
+        }
+    }
+
+    fn dst_slot(place: Place) -> SlotDst {
+        match place {
+            Place::Buf(b, off) => SlotDst::Mem(b, off),
+            Place::Stream => SlotDst::Stream,
+        }
+    }
+
+    fn eager_for(&self, place: Place) -> bool {
+        self.eager || matches!(place, Place::Stream)
+    }
+
+    /// Sends `len` bytes from `from` to rank `peer` under `tag`.
+    pub fn send(&mut self, peer: u32, from: Place, len: u64, tag: u64) {
+        let tag = self.tag_base + tag;
+        let res = if self.eager_for(from) {
+            SlotDst::EagerTx { peer, tag }
+        } else {
+            SlotDst::RndzvTx { peer, tag }
+        };
+        self.ops.push(FwOp::Dmp(DmpInstr {
+            op0: Self::src_slot(from),
+            op1: None,
+            res,
+            len,
+        }));
+    }
+
+    /// Receives `len` bytes from rank `peer` under `tag` into `into`.
+    pub fn recv(&mut self, peer: u32, into: Place, len: u64, tag: u64) {
+        let tag = self.tag_base + tag;
+        self.recv_abs(peer, into, len, tag);
+    }
+
+    /// Like [`Sched::recv`], but `tag` is absolute (no namespace offset).
+    fn recv_abs(&mut self, peer: u32, into: Place, len: u64, tag: u64) {
+        if self.eager_for(into) {
+            self.ops.push(FwOp::Dmp(DmpInstr {
+                op0: SlotSrc::EagerRx { peer, tag },
+                op1: None,
+                res: Self::dst_slot(into),
+                len,
+            }));
+        } else {
+            let Place::Buf(buf, off) = into else {
+                unreachable!("stream destinations always take the eager path")
+            };
+            self.ops.push(FwOp::RndzvRecvInit {
+                peer,
+                buf,
+                off,
+                len,
+                tag,
+            });
+            self.ops.push(FwOp::WaitRndzvDone { peer, tag });
+        }
+    }
+
+    /// Receives from `peer`, combines with `local`, and stores to `into`.
+    ///
+    /// Under rendezvous the incoming data first lands in scratch, then a
+    /// DMP instruction performs the combine — exactly the temporary-free
+    /// vs. buffered trade-off of §4.4.3.
+    pub fn recv_combine(&mut self, peer: u32, local: Place, into: Place, len: u64, tag: u64) {
+        let tag = self.tag_base + tag;
+        if self.eager_for(local) || self.eager_for(into) || self.eager {
+            self.ops.push(FwOp::Dmp(DmpInstr {
+                op0: SlotSrc::EagerRx { peer, tag },
+                op1: Some(Self::src_slot(local)),
+                res: Self::dst_slot(into),
+                len,
+            }));
+        } else {
+            let landing = self.alloc_scratch(len);
+            self.recv_abs(peer, landing, len, tag);
+            self.ops.push(FwOp::Dmp(DmpInstr {
+                op0: Self::src_slot(landing),
+                op1: Some(Self::src_slot(local)),
+                res: Self::dst_slot(into),
+                len,
+            }));
+        }
+    }
+
+    /// Receives from `peer_from`, combines with `local`, forwards to `peer_to`.
+    pub fn recv_combine_send(
+        &mut self,
+        peer_from: u32,
+        local: Place,
+        peer_to: u32,
+        len: u64,
+        tag_in: u64,
+        tag_out: u64,
+    ) {
+        let (tag_in, tag_out) = (self.tag_base + tag_in, self.tag_base + tag_out);
+        if self.eager {
+            self.ops.push(FwOp::Dmp(DmpInstr {
+                op0: SlotSrc::EagerRx {
+                    peer: peer_from,
+                    tag: tag_in,
+                },
+                op1: Some(Self::src_slot(local)),
+                res: SlotDst::EagerTx {
+                    peer: peer_to,
+                    tag: tag_out,
+                },
+                len,
+            }));
+        } else {
+            let landing = self.alloc_scratch(len);
+            self.recv_abs(peer_from, landing, len, tag_in);
+            self.ops.push(FwOp::Dmp(DmpInstr {
+                op0: Self::src_slot(landing),
+                op1: Some(Self::src_slot(local)),
+                res: SlotDst::RndzvTx {
+                    peer: peer_to,
+                    tag: tag_out,
+                },
+                len,
+            }));
+        }
+    }
+
+    /// Posts several receives at once: all rendezvous inits go out before
+    /// any wait, so the peers' transfers overlap (the uC's op stream blocks
+    /// on each `WaitRndzvDone`, which would otherwise serialize them).
+    /// Under eager the RBM buffers arrivals regardless, so this is simply
+    /// the individual receives.
+    pub fn recv_many(&mut self, recvs: &[(u32, Place, u64, u64)]) {
+        if self.eager || recvs.iter().any(|&(_, p, _, _)| matches!(p, Place::Stream)) {
+            for &(peer, into, len, tag) in recvs {
+                self.recv(peer, into, len, tag);
+            }
+            return;
+        }
+        for &(peer, into, len, tag) in recvs {
+            let tag = self.tag_base + tag;
+            let Place::Buf(buf, off) = into else {
+                unreachable!()
+            };
+            self.ops.push(FwOp::RndzvRecvInit {
+                peer,
+                buf,
+                off,
+                len,
+                tag,
+            });
+        }
+        for &(peer, _, _, tag) in recvs {
+            let tag = self.tag_base + tag;
+            self.ops.push(FwOp::WaitRndzvDone { peer, tag });
+        }
+    }
+
+    /// Posts rendezvous inits only (no waits); pair with
+    /// [`Sched::wait_done`]. Must not be used on eager calls.
+    pub fn post_inits(&mut self, recvs: &[(u32, Place, u64, u64)]) {
+        assert!(!self.eager, "post_inits is a rendezvous-only primitive");
+        for &(peer, into, len, tag) in recvs {
+            let tag = self.tag_base + tag;
+            let Place::Buf(buf, off) = into else {
+                unreachable!("rendezvous landing zones are memory buffers")
+            };
+            self.ops.push(FwOp::RndzvRecvInit {
+                peer,
+                buf,
+                off,
+                len,
+                tag,
+            });
+        }
+    }
+
+    /// Blocks until `peer`'s rendezvous done for `tag` arrives.
+    pub fn wait_done(&mut self, peer: u32, tag: u64) {
+        let tag = self.tag_base + tag;
+        self.ops.push(FwOp::WaitRndzvDone { peer, tag });
+    }
+
+    /// Local copy of `len` bytes.
+    pub fn copy(&mut self, from: Place, to: Place, len: u64) {
+        self.ops.push(FwOp::Dmp(DmpInstr {
+            op0: Self::src_slot(from),
+            op1: None,
+            res: Self::dst_slot(to),
+            len,
+        }));
+    }
+
+    /// Local combine: `into = a ⊕ b`.
+    pub fn combine(&mut self, a: Place, b: Place, into: Place, len: u64) {
+        self.ops.push(FwOp::Dmp(DmpInstr {
+            op0: Self::src_slot(a),
+            op1: Some(Self::src_slot(b)),
+            res: Self::dst_slot(into),
+            len,
+        }));
+    }
+
+    /// Barrier: every DMP instruction issued so far must complete before
+    /// later ops run.
+    pub fn wait_all(&mut self) {
+        self.ops.push(FwOp::WaitAll);
+    }
+
+    /// Finalizes the schedule.
+    pub fn finish(self) -> Schedule {
+        Schedule {
+            ops: self.ops,
+            scratch_bytes: self.scratch_used,
+        }
+    }
+}
+
+/// A finished per-rank schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// The control ops, in program order.
+    pub ops: Vec<FwOp>,
+    /// Scratch bytes the schedule requires.
+    pub scratch_bytes: u64,
+}
+
+/// A collective algorithm implemented "in firmware".
+pub trait CollectiveProgram: Send + Sync {
+    /// Human-readable name (diagnostics).
+    fn name(&self) -> &str;
+
+    /// Emits this rank's schedule for the call described by `env`.
+    fn build(&self, env: &FwEnv, sched: &mut Sched);
+
+    /// Modelled uC cycles spent computing the schedule, beyond the
+    /// per-op issue cost. Defaults to a small constant.
+    fn planning_cycles(&self, _env: &FwEnv) -> u64 {
+        120
+    }
+}
+
+/// The uC's firmware table: which program serves each collective op.
+///
+/// Swapping entries at runtime is the reproduction of "modifying the
+/// collective implementation without hardware recompilation".
+#[derive(Clone)]
+pub struct FirmwareTable {
+    programs: HashMap<CollOp, Arc<dyn CollectiveProgram>>,
+}
+
+impl FirmwareTable {
+    /// An empty table (no collectives loadable).
+    pub fn empty() -> Self {
+        FirmwareTable {
+            programs: HashMap::new(),
+        }
+    }
+
+    /// The stock firmware implementing Table 1.
+    pub fn stock() -> Self {
+        let mut t = Self::empty();
+        programs::register_stock(&mut t);
+        t
+    }
+
+    /// Installs (or replaces) the program serving `op`.
+    pub fn load(&mut self, op: CollOp, program: Arc<dyn CollectiveProgram>) {
+        self.programs.insert(op, program);
+    }
+
+    /// Looks up the program for `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no firmware is loaded for `op`.
+    pub fn get(&self, op: CollOp) -> &Arc<dyn CollectiveProgram> {
+        self.programs
+            .get(&op)
+            .unwrap_or_else(|| panic!("no firmware loaded for {op:?}"))
+    }
+
+    /// Whether firmware is loaded for `op`.
+    pub fn has(&self, op: CollOp) -> bool {
+        self.programs.contains_key(&op)
+    }
+
+    /// Builds the schedule for `env` using the loaded firmware.
+    pub fn schedule(&self, op: CollOp, env: &FwEnv) -> Schedule {
+        let mut sched = Sched::new(env);
+        self.get(op).build(env, &mut sched);
+        sched.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(eager: bool) -> FwEnv {
+        FwEnv {
+            rank: 1,
+            size: 4,
+            count: 16,
+            dtype: DType::F32,
+            func: ReduceFn::Sum,
+            root: 0,
+            bytes: 64,
+            eager,
+            algorithm: Algorithm::OneToAll,
+            src: DataLoc::None,
+            dst: DataLoc::None,
+        }
+    }
+
+    #[test]
+    fn eager_send_recv_are_single_ops() {
+        let e = env(true);
+        let mut s = Sched::new(&e);
+        s.send(2, Place::src(0), 64, 7);
+        s.recv(3, Place::dst(0), 64, 8);
+        let sched = s.finish();
+        assert_eq!(sched.ops.len(), 2);
+        assert!(matches!(
+            sched.ops[0],
+            FwOp::Dmp(DmpInstr {
+                res: SlotDst::EagerTx { peer: 2, tag: 7 },
+                ..
+            })
+        ));
+        assert!(matches!(
+            sched.ops[1],
+            FwOp::Dmp(DmpInstr {
+                op0: SlotSrc::EagerRx { peer: 3, tag: 8 },
+                ..
+            })
+        ));
+        assert_eq!(sched.scratch_bytes, 0);
+    }
+
+    #[test]
+    fn rendezvous_recv_expands_to_handshake() {
+        let e = env(false);
+        let mut s = Sched::new(&e);
+        s.recv(3, Place::dst(128), 64, 9);
+        let sched = s.finish();
+        assert_eq!(
+            sched.ops,
+            vec![
+                FwOp::RndzvRecvInit {
+                    peer: 3,
+                    buf: BufRef::Dst,
+                    off: 128,
+                    len: 64,
+                    tag: 9
+                },
+                FwOp::WaitRndzvDone { peer: 3, tag: 9 },
+            ]
+        );
+    }
+
+    #[test]
+    fn rendezvous_combine_lands_in_scratch() {
+        let e = env(false);
+        let mut s = Sched::new(&e);
+        s.recv_combine(2, Place::src(0), Place::dst(0), 100, 1);
+        let sched = s.finish();
+        // init + wait + combine instruction.
+        assert_eq!(sched.ops.len(), 3);
+        assert_eq!(sched.scratch_bytes, 128); // 100 rounded to 64B beats
+        assert!(matches!(
+            sched.ops[2],
+            FwOp::Dmp(DmpInstr {
+                op0: SlotSrc::Mem(BufRef::Scratch, 0),
+                op1: Some(SlotSrc::Mem(BufRef::Src, 0)),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn stream_places_force_eager() {
+        let e = env(false); // rendezvous call
+        let mut s = Sched::new(&e);
+        s.send(2, Place::Stream, 64, 0);
+        let sched = s.finish();
+        assert!(matches!(
+            sched.ops[0],
+            FwOp::Dmp(DmpInstr {
+                op0: SlotSrc::Stream,
+                res: SlotDst::EagerTx { .. },
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn scratch_allocations_are_aligned_and_disjoint() {
+        let e = env(true);
+        let mut s = Sched::new(&e);
+        let a = s.alloc_scratch(10);
+        let b = s.alloc_scratch(100);
+        assert_eq!(a, Place::Buf(BufRef::Scratch, 0));
+        assert_eq!(b, Place::Buf(BufRef::Scratch, 64));
+        assert_eq!(s.scratch_bytes(), 64 + 128);
+    }
+
+    #[test]
+    fn firmware_table_load_and_replace() {
+        struct Dummy(&'static str);
+        impl CollectiveProgram for Dummy {
+            fn name(&self) -> &str {
+                self.0
+            }
+            fn build(&self, _env: &FwEnv, _s: &mut Sched) {}
+        }
+        let mut t = FirmwareTable::empty();
+        assert!(!t.has(CollOp::Bcast));
+        t.load(CollOp::Bcast, Arc::new(Dummy("v1")));
+        assert_eq!(t.get(CollOp::Bcast).name(), "v1");
+        t.load(CollOp::Bcast, Arc::new(Dummy("v2")));
+        assert_eq!(t.get(CollOp::Bcast).name(), "v2");
+    }
+
+    #[test]
+    #[should_panic(expected = "no firmware loaded")]
+    fn missing_firmware_panics() {
+        FirmwareTable::empty().get(CollOp::Reduce);
+    }
+
+    #[test]
+    fn vrank_roundtrip() {
+        let mut e = env(true);
+        e.root = 2;
+        e.rank = 1;
+        assert_eq!(e.vrank(), 3);
+        assert_eq!(e.from_vrank(3), 1);
+        for v in 0..4 {
+            let mut e2 = e.clone();
+            e2.rank = e.from_vrank(v);
+            assert_eq!(e2.vrank(), v);
+        }
+    }
+}

@@ -1,0 +1,789 @@
+//! Stock firmware: the collective algorithms of Table 1.
+//!
+//! | Collective | Eager          | Rendezvous                      |
+//! |------------|----------------|---------------------------------|
+//! | Bcast      | One-to-all     | One-to-all / recursive doubling |
+//! | Reduce     | Ring           | All-to-one / binomial tree      |
+//! | Gather     | Ring           | All-to-one / binomial tree      |
+//! | All-to-all | Linear         | Linear                          |
+//!
+//! plus send/recv, scatter, allgather (ring), allreduce (reduce+bcast),
+//! reduce-scatter (ring) and barrier. "Binary tree" collectives use the
+//! binomial shape (contiguous vrank subtrees), the standard realization of
+//! tree reduce/gather in MPI implementations.
+//!
+//! Every program is a [`CollectiveProgram`]; the uC executes whatever is
+//! loaded in its [`FirmwareTable`], so all of these can be replaced at
+//! runtime — the paper's "collectives without re-synthesis" property.
+
+use std::sync::Arc;
+
+use crate::command::{CollOp, DataLoc};
+use crate::config::Algorithm;
+use crate::firmware::{CollectiveProgram, FirmwareTable, FwEnv, Place, Sched};
+
+/// Tag namespace stride separating phases of composed collectives.
+const PHASE_TAG: u64 = 1 << 24;
+
+fn src_place(env: &FwEnv) -> Place {
+    match env.src {
+        DataLoc::Stream => Place::Stream,
+        _ => Place::src(0),
+    }
+}
+
+fn dst_place(env: &FwEnv) -> Place {
+    match env.dst {
+        DataLoc::Stream => Place::Stream,
+        _ => Place::dst(0),
+    }
+}
+
+fn dst_at(env: &FwEnv, off: u64) -> Place {
+    match env.dst {
+        DataLoc::Stream => Place::Stream,
+        _ => Place::dst(off),
+    }
+}
+
+/// Point-to-point send to `env.root`.
+pub struct SendProgram;
+
+impl CollectiveProgram for SendProgram {
+    fn name(&self) -> &str {
+        "send"
+    }
+
+    fn build(&self, env: &FwEnv, s: &mut Sched) {
+        if env.bytes == 0 {
+            return;
+        }
+        s.send(env.root, src_place(env), env.bytes, 0);
+    }
+
+    fn planning_cycles(&self, _env: &FwEnv) -> u64 {
+        // Point-to-point fast path: no pattern computation in firmware.
+        24
+    }
+}
+
+/// Point-to-point receive from `env.root`.
+pub struct RecvProgram;
+
+impl CollectiveProgram for RecvProgram {
+    fn name(&self) -> &str {
+        "recv"
+    }
+
+    fn build(&self, env: &FwEnv, s: &mut Sched) {
+        if env.bytes == 0 {
+            return;
+        }
+        s.recv(env.root, dst_place(env), env.bytes, 0);
+    }
+
+    fn planning_cycles(&self, _env: &FwEnv) -> u64 {
+        24
+    }
+}
+
+/// Broadcast over the *destination* buffer (MPI bcast semantics: one buffer,
+/// root provides it, everyone else receives it).
+pub struct BcastProgram;
+
+impl CollectiveProgram for BcastProgram {
+    fn name(&self) -> &str {
+        "bcast"
+    }
+
+    fn build(&self, env: &FwEnv, s: &mut Sched) {
+        let len = env.bytes;
+        if len == 0 || env.size == 1 {
+            return;
+        }
+        match env.algorithm {
+            Algorithm::RecursiveDoubling => binomial_bcast(env, s, len),
+            _ => {
+                // One-to-all.
+                if env.rank == env.root {
+                    for v in 1..env.size {
+                        s.send(env.from_vrank(v), dst_place(env), len, v as u64);
+                    }
+                } else {
+                    s.recv(env.root, dst_place(env), len, env.vrank() as u64);
+                }
+            }
+        }
+    }
+}
+
+/// Binomial-tree broadcast: recv from the parent, then fan out to
+/// progressively closer children (the "recursive doubling" row of Table 1).
+fn binomial_bcast(env: &FwEnv, s: &mut Sched, len: u64) {
+    let vrank = env.vrank();
+    let size = env.size;
+    let mut mask = 1u32;
+    while mask < size {
+        if vrank & mask != 0 {
+            let parent = env.from_vrank(vrank - mask);
+            s.recv(parent, dst_place(env), len, u64::from(mask));
+            // The received data feeds the fan-out below.
+            s.wait_all();
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while mask > 0 {
+        if vrank + mask < size {
+            let child = env.from_vrank(vrank + mask);
+            s.send(child, dst_place(env), len, u64::from(mask));
+        }
+        mask >>= 1;
+    }
+}
+
+/// Reduce to `env.root`.
+pub struct ReduceProgram;
+
+impl CollectiveProgram for ReduceProgram {
+    fn name(&self) -> &str {
+        "reduce"
+    }
+
+    fn build(&self, env: &FwEnv, s: &mut Sched) {
+        let len = env.bytes;
+        if len == 0 {
+            return;
+        }
+        if env.size == 1 {
+            s.copy(src_place(env), dst_place(env), len);
+            return;
+        }
+        match env.algorithm {
+            Algorithm::Ring => ring_reduce(env, s, len),
+            Algorithm::BinaryTree => binomial_reduce(env, s, len),
+            _ => all_to_one_reduce(env, s, len),
+        }
+    }
+}
+
+/// Ring reduce: partials accumulate along the chain v1 → v2 → … → v0(root).
+fn ring_reduce(env: &FwEnv, s: &mut Sched, len: u64) {
+    let v = env.vrank();
+    let size = env.size;
+    let next = env.from_vrank((v + 1) % size);
+    if v == 1 {
+        s.send(next, src_place(env), len, 0);
+    } else if v == 0 {
+        let prev = env.from_vrank(size - 1);
+        s.recv_combine(prev, src_place(env), dst_place(env), len, 0);
+    } else {
+        let prev = env.from_vrank(v - 1);
+        s.recv_combine_send(prev, src_place(env), next, len, 0, 0);
+    }
+}
+
+/// All-to-one reduce: every rank sends to the root, which folds serially.
+/// Simple and latency-optimal for small messages; in-cast-bound for large
+/// ones (Fig. 12's motivation for switching to the tree).
+fn all_to_one_reduce(env: &FwEnv, s: &mut Sched, len: u64) {
+    let v = env.vrank();
+    if v != 0 {
+        s.send(env.root, src_place(env), len, u64::from(v));
+        return;
+    }
+    if env.eager {
+        // Eager arrivals buffer in the RBM concurrently; only the folds
+        // serialize (accumulator dependency).
+        let mut acc = src_place(env);
+        for peer_v in 1..env.size {
+            let peer = env.from_vrank(peer_v);
+            s.recv_combine(peer, acc, dst_place(env), len, u64::from(peer_v));
+            s.wait_all();
+            acc = dst_place(env);
+        }
+        return;
+    }
+    // Rendezvous: post every landing zone up front so all peers WRITE in
+    // parallel, then fold as the dones arrive.
+    let landings: Vec<Place> = (1..env.size).map(|_| s.alloc_scratch(len)).collect();
+    let recvs: Vec<(u32, Place, u64, u64)> = (1..env.size)
+        .map(|peer_v| {
+            (
+                env.from_vrank(peer_v),
+                landings[(peer_v - 1) as usize],
+                len,
+                u64::from(peer_v),
+            )
+        })
+        .collect();
+    // Inits only; the folds below wait for each done in turn.
+    let inits: Vec<_> = recvs.clone();
+    s.post_inits(&inits);
+    let mut acc = src_place(env);
+    for peer_v in 1..env.size {
+        let peer = env.from_vrank(peer_v);
+        s.wait_done(peer, u64::from(peer_v));
+        s.combine(landings[(peer_v - 1) as usize], acc, dst_place(env), len);
+        s.wait_all();
+        acc = dst_place(env);
+    }
+}
+
+/// Binomial-tree reduce: subtree partials climb toward the root.
+fn binomial_reduce(env: &FwEnv, s: &mut Sched, len: u64) {
+    let vrank = env.vrank();
+    let size = env.size;
+    let is_root = vrank == 0;
+    let mut acc = src_place(env);
+    let scratch_acc = if is_root {
+        dst_place(env)
+    } else {
+        s.alloc_scratch(len)
+    };
+    // Enumerate children (ascending mask) and the parent, if any.
+    let mut children: Vec<(u32, u32)> = Vec::new(); // (rank, mask)
+    let mut parent: Option<(u32, u32)> = None;
+    let mut mask = 1u32;
+    while mask < size {
+        if vrank & mask == 0 {
+            if vrank + mask < size {
+                children.push((env.from_vrank(vrank + mask), mask));
+            }
+            mask <<= 1;
+        } else {
+            parent = Some((env.from_vrank(vrank - mask), mask));
+            break;
+        }
+    }
+    if env.eager {
+        for &(child, mask) in &children {
+            s.recv_combine(child, acc, scratch_acc, len, u64::from(mask));
+            s.wait_all();
+            acc = scratch_acc;
+        }
+    } else {
+        // Rendezvous: all child landing zones announced up front so the
+        // subtree partials transfer in parallel; folds follow the dones.
+        let landings: Vec<Place> = children.iter().map(|_| s.alloc_scratch(len)).collect();
+        let recvs: Vec<(u32, Place, u64, u64)> = children
+            .iter()
+            .zip(&landings)
+            .map(|(&(child, mask), &pl)| (child, pl, len, u64::from(mask)))
+            .collect();
+        s.post_inits(&recvs);
+        for (&(child, mask), &landing) in children.iter().zip(&landings) {
+            s.wait_done(child, u64::from(mask));
+            s.combine(landing, acc, scratch_acc, len);
+            s.wait_all();
+            acc = scratch_acc;
+        }
+    }
+    if let Some((parent, mask)) = parent {
+        s.send(parent, acc, len, u64::from(mask));
+        return;
+    }
+    if is_root && acc == src_place(env) {
+        // Degenerate case (size == 1 handled by caller; unreachable here).
+        s.copy(acc, dst_place(env), len);
+    }
+}
+
+/// Gather to `env.root`: rank `r`'s block lands at `dst + r*bytes`.
+pub struct GatherProgram;
+
+impl CollectiveProgram for GatherProgram {
+    fn name(&self) -> &str {
+        "gather"
+    }
+
+    fn build(&self, env: &FwEnv, s: &mut Sched) {
+        let b = env.bytes;
+        if b == 0 {
+            return;
+        }
+        if env.size == 1 {
+            s.copy(src_place(env), dst_at(env, 0), b);
+            return;
+        }
+        match env.algorithm {
+            Algorithm::Ring => ring_gather(env, s, b),
+            Algorithm::BinaryTree => binomial_gather(env, s, b),
+            _ => {
+                // All-to-one.
+                let v = env.vrank();
+                if v != 0 {
+                    s.send(env.root, src_place(env), b, u64::from(v));
+                } else {
+                    let recvs: Vec<(u32, crate::firmware::Place, u64, u64)> = (1..env.size)
+                        .map(|peer_v| {
+                            let peer = env.from_vrank(peer_v);
+                            (peer, dst_at(env, u64::from(peer) * b), b, u64::from(peer_v))
+                        })
+                        .collect();
+                    s.recv_many(&recvs);
+                    s.copy(src_place(env), dst_at(env, u64::from(env.rank) * b), b);
+                }
+            }
+        }
+    }
+}
+
+/// Ring gather: blocks accumulate along the chain toward the root.
+fn ring_gather(env: &FwEnv, s: &mut Sched, b: u64) {
+    let v = env.vrank();
+    let size = env.size;
+    if v == 1 {
+        s.send(env.from_vrank(2 % size), src_place(env), b, 0);
+    } else if v == 0 {
+        // Root: receive the chain's (size-1) blocks, then scatter them into
+        // their absolute positions.
+        let landing = s.alloc_scratch(b * u64::from(size - 1));
+        let Place::Buf(lbuf, loff) = landing else {
+            unreachable!()
+        };
+        s.recv(
+            env.from_vrank(size - 1),
+            Place::Buf(lbuf, loff),
+            b * u64::from(size - 1),
+            0,
+        );
+        s.wait_all();
+        for chain_idx in 0..size - 1 {
+            // Block at chain position i belongs to vrank i+1.
+            let owner = env.from_vrank(chain_idx + 1);
+            s.copy(
+                Place::Buf(lbuf, loff + u64::from(chain_idx) * b),
+                dst_at(env, u64::from(owner) * b),
+                b,
+            );
+        }
+        s.copy(src_place(env), dst_at(env, u64::from(env.rank) * b), b);
+    } else {
+        // Middle of the chain: prepend received blocks, append own.
+        let landing = s.alloc_scratch(b * u64::from(v));
+        let Place::Buf(lbuf, loff) = landing else {
+            unreachable!()
+        };
+        s.recv(
+            env.from_vrank(v - 1),
+            Place::Buf(lbuf, loff),
+            b * u64::from(v - 1),
+            0,
+        );
+        s.copy(
+            src_place(env),
+            Place::Buf(lbuf, loff + u64::from(v - 1) * b),
+            b,
+        );
+        s.wait_all();
+        s.send(
+            env.from_vrank((v + 1) % size),
+            Place::Buf(lbuf, loff),
+            b * u64::from(v),
+            0,
+        );
+    }
+}
+
+/// Binomial gather: contiguous vrank-block subtrees merge upward.
+fn binomial_gather(env: &FwEnv, s: &mut Sched, b: u64) {
+    let vrank = env.vrank();
+    let size = env.size;
+    // Scratch holds blocks for vranks [vrank, vrank + subtree).
+    let max_subtree = {
+        // Largest power of two not exceeding what this node can own.
+        let mut m = 1u32;
+        while vrank & m == 0 && m < size {
+            m <<= 1;
+        }
+        m.min(size - vrank)
+    };
+    let multi = max_subtree > 1;
+    let stage = if multi {
+        s.alloc_scratch(b * u64::from(max_subtree))
+    } else {
+        src_place(env)
+    };
+    let Place::Buf(sbuf, soff) = stage else {
+        unreachable!()
+    };
+    if multi {
+        s.copy(src_place(env), Place::Buf(sbuf, soff), b);
+    }
+    let mut mask = 1u32;
+    let mut subtree = 1u32;
+    let mut child_recvs: Vec<(u32, Place, u64, u64)> = Vec::new();
+    let mut send_up: Option<(u32, u32)> = None;
+    while mask < size {
+        if vrank & mask == 0 {
+            if vrank + mask < size {
+                let child = env.from_vrank(vrank + mask);
+                let child_sub = mask.min(size - (vrank + mask));
+                child_recvs.push((
+                    child,
+                    Place::Buf(sbuf, soff + u64::from(mask) * b),
+                    b * u64::from(child_sub),
+                    u64::from(mask),
+                ));
+                subtree += child_sub;
+            }
+            mask <<= 1;
+        } else {
+            send_up = Some((env.from_vrank(vrank - mask), mask));
+            break;
+        }
+    }
+    // All child landing zones announced together: subtrees arrive in
+    // parallel where the tree allows.
+    s.recv_many(&child_recvs);
+    if let Some((parent, mask)) = send_up {
+        s.wait_all();
+        s.send(
+            parent,
+            Place::Buf(sbuf, soff),
+            b * u64::from(subtree),
+            u64::from(mask),
+        );
+        return;
+    }
+    // Root: place every block at its absolute position.
+    debug_assert_eq!(subtree, size);
+    s.wait_all();
+    for v in 0..size {
+        let owner = env.from_vrank(v);
+        s.copy(
+            Place::Buf(sbuf, soff + u64::from(v) * b),
+            dst_at(env, u64::from(owner) * b),
+            b,
+        );
+    }
+}
+
+/// Scatter from `env.root` (linear).
+pub struct ScatterProgram;
+
+impl CollectiveProgram for ScatterProgram {
+    fn name(&self) -> &str {
+        "scatter"
+    }
+
+    fn build(&self, env: &FwEnv, s: &mut Sched) {
+        let b = env.bytes;
+        if b == 0 {
+            return;
+        }
+        if env.size == 1 {
+            s.copy(src_place(env), dst_place(env), b);
+            return;
+        }
+        if env.rank == env.root {
+            for v in 1..env.size {
+                let peer = env.from_vrank(v);
+                s.send(peer, Place::src(u64::from(peer) * b), b, u64::from(v));
+            }
+            s.copy(Place::src(u64::from(env.rank) * b), dst_place(env), b);
+        } else {
+            s.recv(env.root, dst_place(env), b, u64::from(env.vrank()));
+        }
+    }
+}
+
+/// Ring allgather: `size-1` pipelined block rotations.
+pub struct AllGatherProgram;
+
+impl CollectiveProgram for AllGatherProgram {
+    fn name(&self) -> &str {
+        "allgather"
+    }
+
+    fn build(&self, env: &FwEnv, s: &mut Sched) {
+        let b = env.bytes;
+        if b == 0 {
+            return;
+        }
+        let size = env.size;
+        let rank = env.rank;
+        s.copy(src_place(env), dst_at(env, u64::from(rank) * b), b);
+        if size == 1 {
+            return;
+        }
+        s.wait_all();
+        let next = (rank + 1) % size;
+        let prev = (rank + size - 1) % size;
+        for step in 0..size - 1 {
+            let send_block = (rank + size - step) % size;
+            let recv_block = (rank + 2 * size - step - 1) % size;
+            s.send(
+                next,
+                dst_at(env, u64::from(send_block) * b),
+                b,
+                u64::from(step),
+            );
+            s.recv(
+                prev,
+                dst_at(env, u64::from(recv_block) * b),
+                b,
+                u64::from(step),
+            );
+            s.wait_all();
+        }
+    }
+}
+
+/// All-reduce. Two compositions, selected by the runtime algorithm:
+///
+/// - default: reduce to rank 0 then broadcast (latency-oriented);
+/// - [`Algorithm::Ring`]: ring reduce-scatter followed by ring allgather —
+///   the bandwidth-optimal composition (2·(p-1)/p · bytes per link), the
+///   kind of finer-grained tuning §4.4.4 earmarks as future firmware work.
+pub struct AllReduceProgram;
+
+impl CollectiveProgram for AllReduceProgram {
+    fn name(&self) -> &str {
+        "allreduce"
+    }
+
+    fn build(&self, env: &FwEnv, s: &mut Sched) {
+        if env.bytes == 0 {
+            return;
+        }
+        if env.algorithm == Algorithm::Ring && env.size > 1 && !matches!(env.src, DataLoc::Stream) {
+            ring_allreduce(env, s);
+            return;
+        }
+        let mut sub = env.clone();
+        sub.root = 0;
+        s.set_tag_namespace(PHASE_TAG);
+        ReduceProgram.build(&sub, s);
+        s.wait_all();
+        s.set_tag_namespace(2 * PHASE_TAG);
+        BcastProgram.build(&sub, s);
+        s.set_tag_namespace(0);
+    }
+}
+
+/// Ring allreduce over the full vector: the vector is cut into `size`
+/// blocks; `size-1` reduce-scatter rotations leave each rank with one
+/// fully-reduced block, and `size-1` allgather rotations circulate the
+/// reduced blocks. Works for any vector length (blocks may be uneven; the
+/// final partial block is padded into the last range).
+fn ring_allreduce(env: &FwEnv, s: &mut Sched) {
+    let size = env.size;
+    let rank = env.rank;
+    let total = env.bytes;
+    // Block boundaries: even split aligned to whole elements (the plugin
+    // combines element-wise), remainder on the last block.
+    let dsize = env.dtype.size() as u64;
+    let base = (total / u64::from(size)) / dsize * dsize;
+    let bounds = |blk: u32| -> (u64, u64) {
+        let start = u64::from(blk) * base;
+        let end = if blk == size - 1 { total } else { start + base };
+        (start, end)
+    };
+    if base == 0 {
+        // Degenerate tiny vectors: fall back to reduce+bcast semantics by
+        // funnelling through rank 0 directly.
+        let mut sub = env.clone();
+        sub.root = 0;
+        s.set_tag_namespace(PHASE_TAG);
+        ReduceProgram.build(&sub, s);
+        s.wait_all();
+        s.set_tag_namespace(2 * PHASE_TAG);
+        BcastProgram.build(&sub, s);
+        s.set_tag_namespace(0);
+        return;
+    }
+    // Work in dst: copy src there once; all rotations update dst in place.
+    s.copy(src_place(env), dst_place(env), total);
+    s.wait_all();
+    let next = (rank + 1) % size;
+    let prev = (rank + size - 1) % size;
+    let at = |blk: u32| -> (Place, u64) {
+        let (start, end) = bounds(blk);
+        (Place::dst(start), end - start)
+    };
+    s.set_tag_namespace(PHASE_TAG);
+    // Phase 1: reduce-scatter rotations.
+    for step in 0..size - 1 {
+        let send_block = (rank + 2 * size - step - 1) % size;
+        let recv_block = (rank + 2 * size - step - 2) % size;
+        let (spl, slen) = at(send_block);
+        let (rpl, rlen) = at(recv_block);
+        s.send(next, spl, slen, u64::from(step));
+        s.recv_combine(prev, rpl, rpl, rlen, u64::from(step));
+        s.wait_all();
+    }
+    s.set_tag_namespace(2 * PHASE_TAG);
+    // Phase 2: allgather rotations (each rank's fully-reduced block is its
+    // own after phase 1).
+    for step in 0..size - 1 {
+        let send_block = (rank + size - step) % size;
+        let recv_block = (rank + 2 * size - step - 1) % size;
+        let (spl, slen) = at(send_block);
+        let (rpl, rlen) = at(recv_block);
+        s.send(next, spl, slen, u64::from(step));
+        s.recv(prev, rpl, rlen, u64::from(step));
+        s.wait_all();
+    }
+    s.set_tag_namespace(0);
+}
+
+/// Ring reduce-scatter: each rank ends with its fully-reduced block.
+pub struct ReduceScatterProgram;
+
+impl CollectiveProgram for ReduceScatterProgram {
+    fn name(&self) -> &str {
+        "reduce_scatter"
+    }
+
+    fn build(&self, env: &FwEnv, s: &mut Sched) {
+        let b = env.bytes;
+        if b == 0 {
+            return;
+        }
+        let size = env.size;
+        let rank = env.rank;
+        if size == 1 {
+            s.copy(src_place(env), dst_place(env), b);
+            return;
+        }
+        // Working vector in scratch.
+        let work = s.alloc_scratch(b * u64::from(size));
+        let Place::Buf(wbuf, woff) = work else {
+            unreachable!()
+        };
+        let at = |blk: u32| Place::Buf(wbuf, woff + u64::from(blk) * b);
+        s.copy(src_place(env), Place::Buf(wbuf, woff), b * u64::from(size));
+        s.wait_all();
+        let next = (rank + 1) % size;
+        let prev = (rank + size - 1) % size;
+        for step in 0..size - 1 {
+            let send_block = (rank + 2 * size - step - 1) % size;
+            let recv_block = (rank + 2 * size - step - 2) % size;
+            s.send(next, at(send_block), b, u64::from(step));
+            s.recv_combine(prev, at(recv_block), at(recv_block), b, u64::from(step));
+            s.wait_all();
+        }
+        // After size-1 rotations this rank's own block is fully reduced.
+        s.copy(at(rank), dst_place(env), b);
+    }
+}
+
+/// Linear all-to-all: direct pairwise exchange (Table 1's only row without
+/// algorithmic variants).
+pub struct AllToAllProgram;
+
+impl CollectiveProgram for AllToAllProgram {
+    fn name(&self) -> &str {
+        "alltoall"
+    }
+
+    fn build(&self, env: &FwEnv, s: &mut Sched) {
+        let b = env.bytes;
+        if b == 0 {
+            return;
+        }
+        let rank = env.rank;
+        if env.eager {
+            for peer in 0..env.size {
+                if peer == rank {
+                    s.copy(
+                        Place::src(u64::from(rank) * b),
+                        dst_at(env, u64::from(rank) * b),
+                        b,
+                    );
+                } else {
+                    s.send(peer, Place::src(u64::from(peer) * b), b, 0);
+                    s.recv(peer, dst_at(env, u64::from(peer) * b), b, 0);
+                }
+            }
+            return;
+        }
+        // Rendezvous: announce every landing zone first so all peers WRITE
+        // concurrently, then issue our sends, then collect the dones.
+        let recvs: Vec<(u32, Place, u64, u64)> = (0..env.size)
+            .filter(|&p| p != rank)
+            .map(|p| (p, dst_at(env, u64::from(p) * b), b, 0))
+            .collect();
+        s.post_inits(&recvs);
+        for peer in 0..env.size {
+            if peer == rank {
+                s.copy(
+                    Place::src(u64::from(rank) * b),
+                    dst_at(env, u64::from(rank) * b),
+                    b,
+                );
+            } else {
+                s.send(peer, Place::src(u64::from(peer) * b), b, 0);
+            }
+        }
+        for peer in 0..env.size {
+            if peer != rank {
+                s.wait_done(peer, 0);
+            }
+        }
+    }
+}
+
+/// Barrier: 1-byte all-to-one followed by 1-byte one-to-all, rooted at 0.
+pub struct BarrierProgram;
+
+impl CollectiveProgram for BarrierProgram {
+    fn name(&self) -> &str {
+        "barrier"
+    }
+
+    fn build(&self, env: &FwEnv, s: &mut Sched) {
+        if env.size == 1 {
+            return;
+        }
+        let token = s.alloc_scratch(1);
+        if env.rank == 0 {
+            for peer in 1..env.size {
+                let landing = s.alloc_scratch(1);
+                s.recv(peer, landing, 1, u64::from(peer));
+            }
+            s.wait_all();
+            for peer in 1..env.size {
+                s.send(peer, token, 1, PHASE_TAG + u64::from(peer));
+            }
+        } else {
+            s.send(0, token, 1, u64::from(env.rank));
+            let landing = s.alloc_scratch(1);
+            s.recv(0, landing, 1, PHASE_TAG + u64::from(env.rank));
+        }
+    }
+}
+
+/// No-op: measures invocation latency (Fig. 8).
+pub struct NopProgram;
+
+impl CollectiveProgram for NopProgram {
+    fn name(&self) -> &str {
+        "nop"
+    }
+
+    fn build(&self, _env: &FwEnv, _s: &mut Sched) {}
+
+    fn planning_cycles(&self, _env: &FwEnv) -> u64 {
+        0
+    }
+}
+
+/// Loads the stock firmware into `table`.
+pub fn register_stock(table: &mut FirmwareTable) {
+    table.load(CollOp::Nop, Arc::new(NopProgram));
+    table.load(CollOp::Send, Arc::new(SendProgram));
+    table.load(CollOp::Recv, Arc::new(RecvProgram));
+    table.load(CollOp::Bcast, Arc::new(BcastProgram));
+    table.load(CollOp::Reduce, Arc::new(ReduceProgram));
+    table.load(CollOp::Gather, Arc::new(GatherProgram));
+    table.load(CollOp::Scatter, Arc::new(ScatterProgram));
+    table.load(CollOp::AllGather, Arc::new(AllGatherProgram));
+    table.load(CollOp::AllReduce, Arc::new(AllReduceProgram));
+    table.load(CollOp::ReduceScatter, Arc::new(ReduceScatterProgram));
+    table.load(CollOp::AllToAll, Arc::new(AllToAllProgram));
+    table.load(CollOp::Barrier, Arc::new(BarrierProgram));
+}

@@ -1,0 +1,204 @@
+//! The ACCL+ lightweight message protocol (paper §4.4.2).
+//!
+//! Every CCLO-level message carries a fixed-size *signature* ahead of the
+//! payload: rank ids, message type, length, tag and a sequence number. The
+//! Tx system packetizes it, the Rx system parses it, and the RxBuf manager
+//! uses it to reassemble and match eager messages. Rendezvous control
+//! messages (`RndzvInit`/`RndzvDone`) are signature-only and additionally
+//! carry the receiver's resolved buffer address.
+
+use bytes::Bytes;
+
+/// Size of the wire signature, in bytes (one 64 B datapath beat).
+pub const SIGNATURE_BYTES: usize = 64;
+
+/// Magic value guarding against framing bugs.
+const MAGIC: u32 = 0xACC1_06E5;
+
+/// CCLO message types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgType {
+    /// Eager data message: payload follows the signature.
+    Eager = 0,
+    /// Rendezvous init: receiver announces its result buffer address.
+    RndzvInit = 1,
+    /// Rendezvous done: sender announces WRITE completion.
+    RndzvDone = 2,
+}
+
+impl MsgType {
+    fn from_u8(v: u8) -> MsgType {
+        match v {
+            0 => MsgType::Eager,
+            1 => MsgType::RndzvInit,
+            2 => MsgType::RndzvDone,
+            other => panic!("corrupt message signature: type {other}"),
+        }
+    }
+}
+
+/// The parsed message signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgSignature {
+    /// Sending rank within the communicator.
+    pub src_rank: u32,
+    /// Destination rank within the communicator.
+    pub dst_rank: u32,
+    /// Message type.
+    pub mtype: MsgType,
+    /// Payload length in bytes (excluding the signature itself).
+    pub payload_len: u64,
+    /// Message tag (collective-internal matching key).
+    pub tag: u64,
+    /// Per-(src,dst) sequence number maintained by the Tx system.
+    pub seq: u64,
+    /// Rendezvous buffer address (init) — zero otherwise.
+    pub addr: u64,
+    /// Communicator id.
+    pub comm: u32,
+}
+
+impl MsgSignature {
+    /// Serializes the signature into its 64-byte wire form.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = [0u8; SIGNATURE_BYTES];
+        buf[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        buf[4] = self.mtype as u8;
+        buf[8..12].copy_from_slice(&self.src_rank.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.dst_rank.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.payload_len.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.tag.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.seq.to_le_bytes());
+        buf[40..48].copy_from_slice(&self.addr.to_le_bytes());
+        buf[48..52].copy_from_slice(&self.comm.to_le_bytes());
+        Bytes::copy_from_slice(&buf)
+    }
+
+    /// Parses a 64-byte wire signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is too short or the magic does not match —
+    /// both indicate framing bugs, which must fail loudly in simulation.
+    pub fn decode(buf: &[u8]) -> MsgSignature {
+        assert!(
+            buf.len() >= SIGNATURE_BYTES,
+            "signature needs {SIGNATURE_BYTES} bytes, got {}",
+            buf.len()
+        );
+        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        assert_eq!(magic, MAGIC, "corrupt message signature (bad magic)");
+        MsgSignature {
+            mtype: MsgType::from_u8(buf[4]),
+            src_rank: u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+            dst_rank: u32::from_le_bytes(buf[12..16].try_into().unwrap()),
+            payload_len: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
+            tag: u64::from_le_bytes(buf[24..32].try_into().unwrap()),
+            seq: u64::from_le_bytes(buf[32..40].try_into().unwrap()),
+            addr: u64::from_le_bytes(buf[40..48].try_into().unwrap()),
+            comm: u32::from_le_bytes(buf[48..52].try_into().unwrap()),
+        }
+    }
+}
+
+/// Element datatypes supported by the streaming plugins (Listing 1's
+/// `dataType` argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// Unsigned byte.
+    U8,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// IEEE 754 single precision.
+    F32,
+    /// IEEE 754 double precision.
+    F64,
+    /// Q16.16 fixed point (the DLRM use case computes in 32-bit fixed point).
+    Fx32,
+}
+
+impl DType {
+    /// Element size in bytes.
+    pub const fn size(self) -> usize {
+        match self {
+            DType::U8 => 1,
+            DType::I32 | DType::F32 | DType::Fx32 => 4,
+            DType::I64 | DType::F64 => 8,
+        }
+    }
+}
+
+/// Reduction functions implementable by the binary streaming plugin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceFn {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise product.
+    Prod,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> MsgSignature {
+        MsgSignature {
+            src_rank: 3,
+            dst_rank: 5,
+            mtype: MsgType::Eager,
+            payload_len: 123_456,
+            tag: 0xdead_beef,
+            seq: 42,
+            addr: 0,
+            comm: 1,
+        }
+    }
+
+    #[test]
+    fn signature_roundtrips() {
+        let s = sig();
+        let wire = s.encode();
+        assert_eq!(wire.len(), SIGNATURE_BYTES);
+        assert_eq!(MsgSignature::decode(&wire), s);
+    }
+
+    #[test]
+    fn rndzv_init_carries_address() {
+        let s = MsgSignature {
+            mtype: MsgType::RndzvInit,
+            addr: 0x1234_5678_9abc,
+            ..sig()
+        };
+        let back = MsgSignature::decode(&s.encode());
+        assert_eq!(back.mtype, MsgType::RndzvInit);
+        assert_eq!(back.addr, 0x1234_5678_9abc);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad magic")]
+    fn garbage_is_rejected() {
+        MsgSignature::decode(&[0u8; SIGNATURE_BYTES]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 64 bytes")]
+    fn short_buffer_is_rejected() {
+        MsgSignature::decode(&[0u8; 10]);
+    }
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::U8.size(), 1);
+        assert_eq!(DType::I32.size(), 4);
+        assert_eq!(DType::F32.size(), 4);
+        assert_eq!(DType::Fx32.size(), 4);
+        assert_eq!(DType::I64.size(), 8);
+        assert_eq!(DType::F64.size(), 8);
+    }
+}

@@ -1,0 +1,526 @@
+//! The RxBuf Manager: eager-message buffering, reassembly and matching.
+//!
+//! The RBM owns the pool of Rx buffers in FPGA memory. Incoming eager
+//! messages (possibly interleaved across sessions) are reassembled into a
+//! buffer; when the DMP asks for a `(comm, src, tag)` message, the RBM
+//! matches FIFO against completed messages and streams the payload into the
+//! datapath, freeing the buffer afterwards (paper §4.4.1, paths ⑤/⑥ of
+//! Fig. 5).
+//!
+//! In legacy-ACCL mode the per-packet reassembly bookkeeping is charged to
+//! the (slow, sequential) embedded micro-controller instead of dedicated
+//! hardware — the architectural difference the paper credits for ACCL+'s
+//! advantage over ACCL in Fig. 13.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+
+use accl_sim::prelude::*;
+
+use crate::config::CcloConfig;
+use crate::msg::MsgSignature;
+use crate::rxsys::{RbmData, RbmMeta, RxMsgKey};
+
+/// Matching key for eager messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatchKey {
+    /// Communicator id.
+    pub comm: u32,
+    /// Sending rank.
+    pub src_rank: u32,
+    /// Message tag.
+    pub tag: u64,
+}
+
+impl MatchKey {
+    fn of(sig: &MsgSignature) -> MatchKey {
+        MatchKey {
+            comm: sig.comm,
+            src_rank: sig.src_rank,
+            tag: sig.tag,
+        }
+    }
+}
+
+/// A DMP request for an expected eager message.
+#[derive(Debug, Clone, Copy)]
+pub struct RbmQuery {
+    /// What to match.
+    pub key: MatchKey,
+    /// Expected payload length (checked on match).
+    pub len: u64,
+    /// Ticket echoed in the streamed chunks.
+    pub ticket: u64,
+    /// Where to stream the payload.
+    pub reply: Endpoint,
+}
+
+/// A payload chunk streamed from an Rx buffer into the datapath.
+#[derive(Debug, Clone)]
+pub struct RbmStream {
+    /// Ticket from the matching [`RbmQuery`].
+    pub ticket: u64,
+    /// Offset within the payload.
+    pub offset: u64,
+    /// The bytes.
+    pub data: Bytes,
+    /// Whether the payload is complete after this chunk.
+    pub last: bool,
+}
+
+/// Ports of the [`Rbm`] component.
+pub mod ports {
+    use accl_sim::event::PortId;
+
+    /// Message signatures from the Rx system ([`super::RbmMeta`]).
+    pub const META: PortId = PortId(0);
+    /// Payload data from the Rx system ([`super::RbmData`]).
+    pub const DATA: PortId = PortId(1);
+    /// Match requests from the DMP ([`super::RbmQuery`]).
+    pub const QUERY: PortId = PortId(2);
+}
+
+/// One buffered (or in-flight) eager message.
+struct MsgState {
+    sig: MsgSignature,
+    pieces: Vec<(u64, Bytes)>,
+    received: u64,
+    admitted: bool,
+    /// Earliest time the assembled message is usable (buffer writes and,
+    /// in legacy mode, uC per-packet work).
+    ready_at: Time,
+    matched: bool,
+}
+
+/// The RxBuf manager component.
+pub struct Rbm {
+    cfg: CcloConfig,
+    msgs: HashMap<RxMsgKey, MsgState>,
+    /// Arrival-ordered completed-or-inflight messages per matching key.
+    by_match: HashMap<MatchKey, VecDeque<RxMsgKey>>,
+    /// Waiting DMP queries per matching key.
+    queries: HashMap<MatchKey, VecDeque<RbmQuery>>,
+    /// Free Rx buffers.
+    free_bufs: u32,
+    /// Messages waiting for a buffer.
+    waiting_admission: VecDeque<RxMsgKey>,
+    /// Rx-buffer write bandwidth (packets landing).
+    write_pipe: Pipe,
+    /// Rx-buffer read-out bandwidth (matched payloads to the DMP) —
+    /// a separate physical stream interface from the write path.
+    read_pipe: Pipe,
+    /// Legacy mode: serialized uC per-packet work.
+    legacy_pipe: Option<Pipe>,
+    /// Times the pool ran dry (eager backpressure events).
+    pub exhaustion_events: u64,
+    chunk_bytes: u64,
+}
+
+impl Rbm {
+    /// Creates an RBM per the engine configuration.
+    pub fn new(cfg: CcloConfig) -> Self {
+        let datapath_bps = cfg.datapath_bytes_per_cycle as f64 * cfg.clock_mhz * 1e6;
+        let legacy_pipe = cfg.legacy_uc.map(|l| {
+            Pipe::bytes_per_sec(1e30)
+                .with_per_item(Dur::for_cycles(l.per_packet_cycles, l.clock_mhz))
+        });
+        Rbm {
+            free_bufs: cfg.rx_buf_count,
+            msgs: HashMap::new(),
+            by_match: HashMap::new(),
+            queries: HashMap::new(),
+            waiting_admission: VecDeque::new(),
+            write_pipe: Pipe::bytes_per_sec(datapath_bps),
+            read_pipe: Pipe::bytes_per_sec(datapath_bps),
+            legacy_pipe,
+            exhaustion_events: 0,
+            chunk_bytes: 4096,
+            cfg,
+        }
+    }
+
+    /// Buffers currently free.
+    pub fn free_buffers(&self) -> u32 {
+        self.free_bufs
+    }
+
+    /// Messages buffered but not yet matched.
+    pub fn unmatched_messages(&self) -> usize {
+        self.msgs.values().filter(|m| !m.matched).count()
+    }
+
+    fn try_match(&mut self, ctx: &mut Ctx<'_>, key: MatchKey) {
+        loop {
+            let Some(q) = self.queries.get(&key).and_then(|q| q.front().copied()) else {
+                return;
+            };
+            // Head message for this key must be complete and admitted.
+            let Some(&mkey) = self.by_match.get(&key).and_then(VecDeque::front) else {
+                return;
+            };
+            let msg = self.msgs.get(&mkey).expect("match index out of sync");
+            if !msg.admitted || msg.received < msg.sig.payload_len {
+                return;
+            }
+            assert_eq!(
+                q.len, msg.sig.payload_len,
+                "eager match length mismatch for {key:?}"
+            );
+            // Commit the match.
+            self.queries.get_mut(&key).unwrap().pop_front();
+            self.by_match.get_mut(&key).unwrap().pop_front();
+            let mut msg = self.msgs.remove(&mkey).unwrap();
+            msg.matched = true;
+            self.stream_out(ctx, &q, msg);
+            // Buffer freed; admit a waiting message if any.
+            self.free_bufs += 1;
+            if let Some(wkey) = self.waiting_admission.pop_front() {
+                self.free_bufs -= 1;
+                let wmatch = {
+                    let m = self.msgs.get_mut(&wkey).expect("waiting msg vanished");
+                    m.admitted = true;
+                    MatchKey::of(&m.sig)
+                };
+                if wmatch == key {
+                    continue;
+                }
+                self.try_match(ctx, wmatch);
+            }
+        }
+    }
+
+    /// Streams a matched message's payload to the DMP.
+    fn stream_out(&mut self, ctx: &mut Ctx<'_>, q: &RbmQuery, msg: MsgState) {
+        // Discovery is quantized by the DMP's polling interval (§4.4.1:
+        // "the DMP sends out requests periodically to the RBM").
+        let poll = self.cfg.cycles(self.cfg.rbm_poll_cycles);
+        let start = msg.ready_at.max(ctx.now()) + poll;
+        if msg.sig.payload_len == 0 {
+            ctx.send_at(
+                q.reply,
+                start,
+                RbmStream {
+                    ticket: q.ticket,
+                    offset: 0,
+                    data: Bytes::new(),
+                    last: true,
+                },
+            );
+            return;
+        }
+        // Reassemble in offset order and emit datapath-paced chunks.
+        let mut pieces = msg.pieces;
+        pieces.sort_by_key(|(off, _)| *off);
+        let mut buf = Vec::with_capacity(msg.sig.payload_len as usize);
+        for (off, data) in pieces {
+            assert_eq!(off as usize, buf.len(), "payload reassembly gap");
+            buf.extend_from_slice(&data);
+        }
+        let payload = Bytes::from(buf);
+        let total = payload.len() as u64;
+        let mut off = 0u64;
+        while off < total {
+            let n = self.chunk_bytes.min(total - off);
+            let (_, end) = self.read_pipe.reserve(start, n);
+            ctx.send_at(
+                q.reply,
+                end,
+                RbmStream {
+                    ticket: q.ticket,
+                    offset: off,
+                    data: payload.slice(off as usize..(off + n) as usize),
+                    last: off + n == total,
+                },
+            );
+            off += n;
+        }
+    }
+}
+
+impl Component for Rbm {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, port: PortId, payload: Payload) {
+        match port {
+            ports::META => {
+                let meta = payload.downcast::<RbmMeta>();
+                assert!(
+                    meta.sig.payload_len <= self.cfg.rx_buf_bytes,
+                    "eager message ({} B) exceeds Rx buffer size ({} B)",
+                    meta.sig.payload_len,
+                    self.cfg.rx_buf_bytes
+                );
+                let admitted = if self.free_bufs > 0 {
+                    self.free_bufs -= 1;
+                    true
+                } else {
+                    self.exhaustion_events += 1;
+                    ctx.stats().add("rbm.exhausted", 1);
+                    self.waiting_admission.push_back(meta.key);
+                    false
+                };
+                let key = MatchKey::of(&meta.sig);
+                self.msgs.insert(
+                    meta.key,
+                    MsgState {
+                        sig: meta.sig,
+                        pieces: Vec::new(),
+                        received: 0,
+                        admitted,
+                        ready_at: ctx.now(),
+                        matched: false,
+                    },
+                );
+                self.by_match.entry(key).or_default().push_back(meta.key);
+                if meta.sig.payload_len == 0 {
+                    self.try_match(ctx, key);
+                }
+            }
+            ports::DATA => {
+                let data = payload.downcast::<RbmData>();
+                let Some(msg) = self.msgs.get_mut(&data.key) else {
+                    panic!("RBM data for unknown message {:?}", data.key);
+                };
+                let n = data.data.len() as u64;
+                msg.received += n;
+                debug_assert!(
+                    msg.received <= msg.sig.payload_len,
+                    "RBM overflow: {} > {}",
+                    msg.received,
+                    msg.sig.payload_len
+                );
+                // Charge the buffer write.
+                let (_, wr_end) = self.write_pipe.reserve(ctx.now(), n);
+                let mut ready = wr_end;
+                if let Some(lp) = &mut self.legacy_pipe {
+                    // Legacy ACCL: the uC touches every packet.
+                    let (_, uc_end) = lp.reserve(ctx.now(), 1);
+                    ready = ready.max(uc_end);
+                }
+                msg.pieces.push((data.offset, data.data));
+                msg.ready_at = msg.ready_at.max(ready);
+                if msg.received == msg.sig.payload_len {
+                    let key = MatchKey::of(&msg.sig);
+                    self.try_match(ctx, key);
+                }
+            }
+            ports::QUERY => {
+                let q = payload.downcast::<RbmQuery>();
+                self.queries.entry(q.key).or_default().push_back(q);
+                self.try_match(ctx, q.key);
+            }
+            other => panic!("RBM has no port {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::MsgType;
+    use accl_poe::iface::SessionId;
+
+    fn sig(src: u32, tag: u64, len: u64) -> MsgSignature {
+        MsgSignature {
+            src_rank: src,
+            dst_rank: 0,
+            mtype: MsgType::Eager,
+            payload_len: len,
+            tag,
+            seq: 0,
+            addr: 0,
+            comm: 0,
+        }
+    }
+
+    struct Harness {
+        sim: Simulator,
+        rbm: ComponentId,
+        out: ComponentId,
+    }
+
+    fn harness(cfg: CcloConfig) -> Harness {
+        let mut sim = Simulator::new(0);
+        let out = sim.add("out", Mailbox::<RbmStream>::new());
+        let rbm = sim.add("rbm", Rbm::new(cfg));
+        Harness { sim, rbm, out }
+    }
+
+    fn meta(h: &mut Harness, msg_id: u64, sig: MsgSignature) {
+        h.sim.post(
+            Endpoint::new(h.rbm, ports::META),
+            h.sim.now(),
+            RbmMeta {
+                key: RxMsgKey {
+                    session: SessionId(0),
+                    msg_id,
+                },
+                sig,
+            },
+        );
+        h.sim.run();
+    }
+
+    fn data(h: &mut Harness, msg_id: u64, offset: u64, bytes: Vec<u8>) {
+        h.sim.post(
+            Endpoint::new(h.rbm, ports::DATA),
+            h.sim.now(),
+            RbmData {
+                key: RxMsgKey {
+                    session: SessionId(0),
+                    msg_id,
+                },
+                offset,
+                data: Bytes::from(bytes),
+            },
+        );
+        h.sim.run();
+    }
+
+    fn query(h: &mut Harness, src: u32, tag: u64, len: u64, ticket: u64) {
+        let reply = Endpoint::of(h.out);
+        h.sim.post(
+            Endpoint::new(h.rbm, ports::QUERY),
+            h.sim.now(),
+            RbmQuery {
+                key: MatchKey {
+                    comm: 0,
+                    src_rank: src,
+                    tag,
+                },
+                len,
+                ticket,
+                reply,
+            },
+        );
+        h.sim.run();
+    }
+
+    fn collect(h: &Harness, ticket: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        for s in h
+            .sim
+            .component::<Mailbox<RbmStream>>(h.out)
+            .values()
+            .filter(|s| s.ticket == ticket)
+        {
+            assert_eq!(s.offset as usize, out.len());
+            out.extend_from_slice(&s.data);
+        }
+        out
+    }
+
+    #[test]
+    fn message_then_query_matches() {
+        let mut h = harness(CcloConfig::default());
+        meta(&mut h, 0, sig(3, 7, 100));
+        data(&mut h, 0, 0, vec![5u8; 100]);
+        query(&mut h, 3, 7, 100, 42);
+        assert_eq!(collect(&h, 42), vec![5u8; 100]);
+        assert_eq!(h.sim.component::<Rbm>(h.rbm).free_buffers(), 16);
+    }
+
+    #[test]
+    fn query_then_message_matches() {
+        let mut h = harness(CcloConfig::default());
+        query(&mut h, 1, 9, 50, 1);
+        assert!(h.sim.component::<Mailbox<RbmStream>>(h.out).is_empty());
+        meta(&mut h, 5, sig(1, 9, 50));
+        data(&mut h, 5, 0, vec![8u8; 50]);
+        assert_eq!(collect(&h, 1), vec![8u8; 50]);
+    }
+
+    #[test]
+    fn out_of_order_pieces_reassemble() {
+        let mut h = harness(CcloConfig::default());
+        meta(&mut h, 0, sig(0, 0, 10));
+        data(&mut h, 0, 6, vec![2u8; 4]);
+        data(&mut h, 0, 0, vec![1u8; 6]);
+        query(&mut h, 0, 0, 10, 0);
+        assert_eq!(collect(&h, 0), [vec![1u8; 6], vec![2u8; 4]].concat());
+    }
+
+    #[test]
+    fn same_key_messages_match_fifo() {
+        let mut h = harness(CcloConfig::default());
+        meta(&mut h, 0, sig(2, 4, 4));
+        data(&mut h, 0, 0, vec![1u8; 4]);
+        meta(&mut h, 1, sig(2, 4, 4));
+        data(&mut h, 1, 0, vec![2u8; 4]);
+        query(&mut h, 2, 4, 4, 100);
+        query(&mut h, 2, 4, 4, 101);
+        assert_eq!(collect(&h, 100), vec![1u8; 4]);
+        assert_eq!(collect(&h, 101), vec![2u8; 4]);
+    }
+
+    #[test]
+    fn pool_exhaustion_defers_admission() {
+        let cfg = CcloConfig {
+            rx_buf_count: 1,
+            ..CcloConfig::default()
+        };
+        let mut h = harness(cfg);
+        meta(&mut h, 0, sig(0, 0, 4));
+        data(&mut h, 0, 0, vec![1u8; 4]);
+        // Second message finds no buffer.
+        meta(&mut h, 1, sig(0, 1, 4));
+        data(&mut h, 1, 0, vec![2u8; 4]);
+        assert_eq!(h.sim.component::<Rbm>(h.rbm).exhaustion_events, 1);
+        // The second message cannot match until the first is consumed.
+        query(&mut h, 0, 1, 4, 7);
+        assert!(collect(&h, 7).is_empty());
+        query(&mut h, 0, 0, 4, 8);
+        assert_eq!(collect(&h, 8), vec![1u8; 4]);
+        // Consuming message 0 freed the buffer; message 1 now matches.
+        assert_eq!(collect(&h, 7), vec![2u8; 4]);
+    }
+
+    #[test]
+    fn legacy_mode_delays_availability() {
+        let run = |legacy: bool| -> f64 {
+            let cfg = if legacy {
+                CcloConfig::legacy_accl()
+            } else {
+                CcloConfig::default()
+            };
+            let mut h = harness(cfg);
+            query(&mut h, 0, 0, 64 * 1024, 0);
+            meta(&mut h, 0, sig(0, 0, 64 * 1024));
+            // 16 packets of 4 KiB.
+            for i in 0..16 {
+                data(&mut h, 0, i * 4096, vec![1u8; 4096]);
+            }
+            h.sim
+                .component::<Mailbox<RbmStream>>(h.out)
+                .last_arrival()
+                .unwrap()
+                .as_us_f64()
+        };
+        let fast = run(false);
+        let slow = run(true);
+        // 16 packets × 50 cycles at 100 MHz = 8 us of serialized uC work,
+        // partially overlapped with the buffer writes (~4 us).
+        assert!(slow > fast + 3.0, "fast={fast} slow={slow}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds Rx buffer size")]
+    fn oversized_message_panics() {
+        let cfg = CcloConfig {
+            rx_buf_bytes: 1024,
+            ..CcloConfig::default()
+        };
+        let mut h = harness(cfg);
+        meta(&mut h, 0, sig(0, 0, 4096));
+    }
+
+    #[test]
+    fn zero_length_message_matches() {
+        let mut h = harness(CcloConfig::default());
+        meta(&mut h, 0, sig(1, 2, 0));
+        query(&mut h, 1, 2, 0, 3);
+        let streams = h.sim.component::<Mailbox<RbmStream>>(h.out);
+        assert_eq!(streams.len(), 1);
+        assert!(streams.items()[0].1.last);
+        assert!(streams.items()[0].1.data.is_empty());
+    }
+}

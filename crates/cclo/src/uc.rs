@@ -1,0 +1,807 @@
+//! The embedded micro-controller: the CCLO's flexible control plane.
+//!
+//! Receives commands from the host or FPGA kernels, selects protocol and
+//! algorithm per its runtime configuration (Table 1), runs the loaded
+//! firmware to obtain the per-rank schedule, and issues coarse-grained
+//! control operations: microcode to the DMP, rendezvous control messages to
+//! the Tx system. Every issue costs uC cycles at the engine clock — the uC
+//! is sequential and slow, which is exactly why the firmware only issues
+//! coarse commands to latency-optimized hardware blocks (paper §4.4.1).
+//!
+//! Commands execute strictly FIFO (one collective at a time per engine);
+//! within a call, DMP instructions pipeline freely until a `WaitAll` or a
+//! rendezvous dependency blocks the op stream.
+
+use std::collections::{HashMap, VecDeque};
+
+use accl_mem::MemAddr;
+
+use accl_sim::prelude::*;
+
+use crate::command::{CcloCommand, CcloDone, CollOp, DataLoc, SyncProto};
+use crate::config::{CcloConfig, CommunicatorCfg};
+use crate::dmp::{ports as dmp_ports, DmpDone, Microcode, RDst, RSrc};
+use crate::firmware::{BufRef, FirmwareTable, FwEnv, FwOp, SlotDst, SlotSrc};
+use crate::msg::{MsgSignature, MsgType};
+use crate::rbm::MatchKey;
+use crate::rxsys::UcNotif;
+use crate::txsys::{ports as tx_ports, TxJob};
+
+/// Ports of the [`Uc`] component.
+pub mod ports {
+    use accl_sim::event::PortId;
+
+    /// Command submissions ([`super::CcloCommand`]).
+    pub const CMD: PortId = PortId(0);
+    /// DMP completions ([`super::DmpDone`]).
+    pub const DMP_DONE: PortId = PortId(1);
+    /// Rendezvous notifications from the Rx system ([`super::UcNotif`]).
+    pub const NOTIF: PortId = PortId(2);
+    /// Internal sequencing events.
+    pub const STEP: PortId = PortId(3);
+}
+
+/// Why the current call's op stream is blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    /// Ready to issue the next op (a STEP event is in flight).
+    Stepping,
+    /// Waiting for outstanding DMP instructions.
+    WaitAll,
+    /// Waiting for a rendezvous done from `(peer, tag)`.
+    RndzvDone(u32, u64),
+}
+
+/// The active call's execution state.
+struct CallState {
+    cmd: CcloCommand,
+    env: FwEnv,
+    ops: VecDeque<FwOp>,
+    outstanding: u32,
+    /// Rendezvous sends parked until the peer's init arrives (the op
+    /// stream keeps flowing — "FIFO queues allow multiple in-flight
+    /// instructions", §4.4.1).
+    parked: Vec<crate::firmware::DmpInstr>,
+    blocked: Blocked,
+    scratch_base: u64,
+}
+
+/// The embedded controller component.
+pub struct Uc {
+    cfg: CcloConfig,
+    firmware: FirmwareTable,
+    communicators: HashMap<u32, CommunicatorCfg>,
+    dmp: ComponentId,
+    txsys: ComponentId,
+    /// Whether the attached POE supports rendezvous (RDMA).
+    rendezvous_capable: bool,
+    /// Whether the transport is reliable (advanced eager algorithms OK).
+    reliable: bool,
+    /// Base of the scratch region (platform-specific address space).
+    scratch_mem: MemAddr,
+    queue: VecDeque<CcloCommand>,
+    call: Option<CallState>,
+    next_ticket: u64,
+    /// Received rendezvous inits: (peer, tag) → FIFO of landing addresses.
+    inits: HashMap<(u32, u64), VecDeque<u64>>,
+    /// Received rendezvous dones: (peer, tag) → count.
+    dones: HashMap<(u32, u64), u32>,
+    calls_completed: u64,
+}
+
+impl Uc {
+    /// Creates a uC driving the given DMP and Tx system.
+    pub fn new(
+        cfg: CcloConfig,
+        firmware: FirmwareTable,
+        dmp: ComponentId,
+        txsys: ComponentId,
+        rendezvous_capable: bool,
+        reliable: bool,
+        scratch_mem: MemAddr,
+    ) -> Self {
+        Uc {
+            cfg,
+            firmware,
+            communicators: HashMap::new(),
+            dmp,
+            txsys,
+            rendezvous_capable,
+            reliable,
+            scratch_mem,
+            queue: VecDeque::new(),
+            call: None,
+            next_ticket: 0,
+            inits: HashMap::new(),
+            dones: HashMap::new(),
+            calls_completed: 0,
+        }
+    }
+
+    /// Installs a communicator in the configuration memory (host MMIO).
+    pub fn set_communicator(&mut self, id: u32, cfg: CommunicatorCfg) {
+        self.communicators.insert(id, cfg);
+    }
+
+    /// Replaces the firmware serving `op` (no re-synthesis required).
+    pub fn load_firmware(
+        &mut self,
+        op: CollOp,
+        program: std::sync::Arc<dyn crate::firmware::CollectiveProgram>,
+    ) {
+        self.firmware.load(op, program);
+    }
+
+    /// Updates the runtime algorithm-selection configuration.
+    pub fn set_algo_config(&mut self, algo: crate::config::AlgoConfig) {
+        self.cfg.algo = algo;
+    }
+
+    /// Calls completed so far.
+    pub fn calls_completed(&self) -> u64 {
+        self.calls_completed
+    }
+
+    fn comm(&self, id: u32) -> &CommunicatorCfg {
+        self.communicators
+            .get(&id)
+            .unwrap_or_else(|| panic!("communicator {id} not configured"))
+    }
+
+    /// Builds the firmware environment for a command (protocol + algorithm
+    /// selection per the runtime config).
+    fn build_env(&self, cmd: &CcloCommand) -> FwEnv {
+        let comm = self.comm(cmd.comm);
+        let bytes = cmd.bytes();
+        let eager = match cmd.sync {
+            SyncProto::Eager => true,
+            SyncProto::Rendezvous => {
+                assert!(
+                    self.rendezvous_capable,
+                    "rendezvous requires an RDMA-capable POE"
+                );
+                false
+            }
+            SyncProto::Auto => self.cfg.algo.pick_eager(bytes, self.rendezvous_capable),
+        };
+        // Streaming calls always run eager steps where streams are touched,
+        // and simple algorithms avoid re-reading consumed streams.
+        let streaming = matches!(cmd.src, DataLoc::Stream) || matches!(cmd.dst, DataLoc::Stream);
+        // Advanced (tree / recursive-doubling) algorithms are safe under
+        // rendezvous or any reliable transport; unreliable UDP keeps the
+        // simple patterns (§4.4.4).
+        let advanced = !eager || self.reliable;
+        let algorithm = match cmd.op {
+            CollOp::Bcast => {
+                if streaming {
+                    crate::config::Algorithm::OneToAll
+                } else {
+                    self.cfg.algo.bcast(comm.size(), advanced)
+                }
+            }
+            CollOp::Reduce | CollOp::Gather => {
+                if streaming && eager {
+                    // Ring needs only single-pass stream access.
+                    self.cfg.algo.reduce_like(bytes, false)
+                } else {
+                    self.cfg.algo.reduce_like(bytes, advanced)
+                }
+            }
+            CollOp::AllReduce => {
+                if streaming {
+                    self.cfg.algo.reduce_like(bytes, false)
+                } else {
+                    self.cfg.algo.allreduce(bytes, advanced)
+                }
+            }
+            CollOp::AllGather | CollOp::ReduceScatter => crate::config::Algorithm::Ring,
+            _ => crate::config::Algorithm::Linear,
+        };
+        FwEnv {
+            rank: comm.rank,
+            size: comm.size(),
+            count: cmd.count,
+            dtype: cmd.dtype,
+            func: cmd.func,
+            root: cmd.root,
+            bytes,
+            eager,
+            algorithm,
+            src: cmd.src,
+            dst: cmd.dst,
+        }
+    }
+
+    /// Starts the next queued call, if idle.
+    fn maybe_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.call.is_some() {
+            return;
+        }
+        let Some(cmd) = self.queue.pop_front() else {
+            return;
+        };
+        let env = self.build_env(&cmd);
+        let program = self.firmware.get(cmd.op).clone();
+        let schedule = {
+            let mut sched = crate::firmware::Sched::new(&env);
+            program.build(&env, &mut sched);
+            sched.finish()
+        };
+        assert!(
+            schedule.scratch_bytes <= self.cfg.scratch_bytes,
+            "schedule needs {} B scratch, engine has {}",
+            schedule.scratch_bytes,
+            self.cfg.scratch_bytes
+        );
+        let planning = self.cfg.cycles(
+            self.cfg.uc_cmd_decode_cycles
+                + program.planning_cycles(&env)
+                + self
+                    .cfg
+                    .legacy_uc
+                    .map_or(0, |l| l.per_step_extra_cycles * schedule.ops.len() as u64),
+        );
+        self.call = Some(CallState {
+            cmd,
+            env,
+            ops: schedule.ops.into(),
+            outstanding: 0,
+            parked: Vec::new(),
+            blocked: Blocked::Stepping,
+            scratch_base: 0,
+        });
+        ctx.send_self(ports::STEP, planning, ());
+    }
+
+    /// Resolves a buffer reference to a platform address.
+    fn resolve_buf(&self, call: &CallState, buf: BufRef, off: u64) -> MemAddr {
+        let loc = match buf {
+            BufRef::Src => call.cmd.src,
+            BufRef::Dst => call.cmd.dst,
+            BufRef::Scratch => {
+                return match self.scratch_mem {
+                    MemAddr::Virt(base) => MemAddr::Virt(base + call.scratch_base + off),
+                    MemAddr::Phys(t, base) => MemAddr::Phys(t, base + call.scratch_base + off),
+                };
+            }
+        };
+        match loc {
+            DataLoc::Mem(addr) => addr.offset(off),
+            DataLoc::Stream => panic!("buffer reference into a stream location"),
+            DataLoc::None => panic!("buffer reference but command has no {buf:?} buffer"),
+        }
+    }
+
+    fn resolve_src(&self, call: &CallState, slot: SlotSrc) -> RSrc {
+        match slot {
+            SlotSrc::Mem(buf, off) => RSrc::Mem(self.resolve_buf(call, buf, off)),
+            SlotSrc::EagerRx { peer, tag } => RSrc::Eager(MatchKey {
+                comm: call.cmd.comm,
+                src_rank: peer,
+                tag: self.wire_tag(call, tag),
+            }),
+            SlotSrc::Stream => RSrc::Stream,
+        }
+    }
+
+    /// Resolves and issues one DMP instruction (inits already available
+    /// for rendezvous sends).
+    fn issue_dmp(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        call: &mut CallState,
+        instr: crate::firmware::DmpInstr,
+    ) {
+        let issue_cost = self.cfg.cycles(self.cfg.uc_op_issue_cycles);
+        let resolved_res = match instr.res {
+            SlotDst::Mem(buf, off) => RDst::Mem(self.resolve_buf(call, buf, off)),
+            SlotDst::Stream => RDst::Stream,
+            SlotDst::EagerTx { peer, tag } => {
+                let comm = self.comm(call.cmd.comm);
+                RDst::Eager {
+                    session: comm.session(peer),
+                    sig: self.signature(call, peer, MsgType::Eager, instr.len, tag, 0),
+                }
+            }
+            SlotDst::RndzvTx { peer, tag } => {
+                let key = (peer, self.wire_tag(call, tag));
+                let addr = self
+                    .inits
+                    .get_mut(&key)
+                    .and_then(std::collections::VecDeque::pop_front)
+                    .expect("issue_dmp called without an available init");
+                let comm = self.comm(call.cmd.comm);
+                RDst::Rndzv {
+                    session: comm.session(peer),
+                    remote_addr: addr,
+                    done_sig: self.signature(call, peer, MsgType::RndzvDone, 0, tag, 0),
+                }
+            }
+        };
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        call.outstanding += 1;
+        let mc = Microcode {
+            ticket,
+            op0: self.resolve_src(call, instr.op0),
+            op1: instr.op1.map(|s| self.resolve_src(call, s)),
+            res: resolved_res,
+            len: instr.len,
+            dtype: call.env.dtype,
+            func: call.env.func,
+        };
+        ctx.send(Endpoint::new(self.dmp, dmp_ports::INSTR), issue_cost, mc);
+    }
+
+    /// Issues parked rendezvous sends whose inits arrived — strictly in
+    /// program order. In-order issuance keeps the Tx stream faithful to
+    /// the algorithm's send priority (a binomial root must serve its
+    /// deepest subtree first even if a shallow child's init races ahead);
+    /// the firmware programs post all inits before depending on any done,
+    /// so in-order parking cannot deadlock.
+    fn unpark(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(mut call) = self.call.take() else {
+            return;
+        };
+        while let Some(&instr) = call.parked.first() {
+            let SlotDst::RndzvTx { peer, tag } = instr.res else {
+                unreachable!("only rendezvous sends park")
+            };
+            let key = (peer, self.wire_tag(&call, tag));
+            if self.inits.get(&key).is_some_and(|q| !q.is_empty()) {
+                call.parked.remove(0);
+                self.issue_dmp(ctx, &mut call, instr);
+            } else {
+                break;
+            }
+        }
+        self.call = Some(call);
+    }
+
+    /// Namespaces program tags under the user's call tag.
+    fn wire_tag(&self, call: &CallState, tag: u64) -> u64 {
+        (call.cmd.tag << 32) | tag
+    }
+
+    fn signature(
+        &self,
+        call: &CallState,
+        peer: u32,
+        mtype: MsgType,
+        payload_len: u64,
+        tag: u64,
+        addr: u64,
+    ) -> MsgSignature {
+        MsgSignature {
+            src_rank: call.env.rank,
+            dst_rank: peer,
+            mtype,
+            payload_len,
+            tag: self.wire_tag(call, tag),
+            seq: 0,
+            addr,
+            comm: call.cmd.comm,
+        }
+    }
+
+    /// Executes ops until the stream blocks or the call completes.
+    fn step(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(mut call) = self.call.take() else {
+            return;
+        };
+        call.blocked = Blocked::Stepping;
+        let issue_cost = self.cfg.cycles(self.cfg.uc_op_issue_cycles);
+        loop {
+            let Some(&op) = call.ops.front() else {
+                if call.outstanding == 0 && call.parked.is_empty() {
+                    // Call complete.
+                    self.calls_completed += 1;
+                    ctx.send(
+                        call.cmd.reply_to,
+                        issue_cost,
+                        CcloDone {
+                            ticket: call.cmd.ticket,
+                            op: call.cmd.op,
+                            bytes: call.cmd.bytes(),
+                        },
+                    );
+                    self.call = None;
+                    self.maybe_start(ctx);
+                    return;
+                }
+                call.blocked = Blocked::WaitAll;
+                self.call = Some(call);
+                return;
+            };
+            match op {
+                FwOp::WaitAll => {
+                    if call.outstanding > 0 || !call.parked.is_empty() {
+                        call.blocked = Blocked::WaitAll;
+                        self.call = Some(call);
+                        return;
+                    }
+                    call.ops.pop_front();
+                    continue;
+                }
+                FwOp::Dmp(instr) => {
+                    call.ops.pop_front();
+                    // Rendezvous sends whose peer has not announced a
+                    // landing zone yet are parked; the op stream continues
+                    // (symmetric exchanges would deadlock otherwise).
+                    if let SlotDst::RndzvTx { peer, tag } = instr.res {
+                        let key = (peer, self.wire_tag(&call, tag));
+                        let has_init = self.inits.get(&key).is_some_and(|q| !q.is_empty());
+                        if !has_init {
+                            call.parked.push(instr);
+                            call.blocked = Blocked::Stepping;
+                            self.call = Some(call);
+                            ctx.send_self(ports::STEP, issue_cost, ());
+                            return;
+                        }
+                    }
+                    self.issue_dmp(ctx, &mut call, instr);
+                    call.blocked = Blocked::Stepping;
+                    self.call = Some(call);
+                    ctx.send_self(ports::STEP, issue_cost, ());
+                    return;
+                }
+                FwOp::RndzvRecvInit {
+                    peer,
+                    buf,
+                    off,
+                    len,
+                    tag,
+                } => {
+                    call.ops.pop_front();
+                    let addr = self.resolve_buf(&call, buf, off);
+                    let MemAddr::Virt(vaddr) = addr else {
+                        panic!("rendezvous landing buffers need unified virtual memory (Coyote)")
+                    };
+                    let comm = self.comm(call.cmd.comm);
+                    let session = comm.session(peer);
+                    let sig = self.signature(&call, peer, MsgType::RndzvInit, 0, tag, vaddr);
+                    let _ = len; // the sender's instruction carries the length
+
+                    ctx.send(
+                        Endpoint::new(self.txsys, tx_ports::JOB),
+                        issue_cost,
+                        TxJob::Ctrl { session, sig },
+                    );
+                    call.blocked = Blocked::Stepping;
+                    self.call = Some(call);
+                    ctx.send_self(ports::STEP, issue_cost, ());
+                    return;
+                }
+                FwOp::WaitRndzvDone { peer, tag } => {
+                    let key = (peer, self.wire_tag(&call, tag));
+                    let count = self.dones.entry(key).or_insert(0);
+                    if *count > 0 {
+                        *count -= 1;
+                        call.ops.pop_front();
+                        continue;
+                    }
+                    call.blocked = Blocked::RndzvDone(peer, key.1);
+                    self.call = Some(call);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Re-enters the step loop if the blocker cleared.
+    fn unblock(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(call) = &self.call else {
+            return;
+        };
+        let ready = match call.blocked {
+            Blocked::Stepping => false, // a STEP event is already in flight
+            Blocked::WaitAll => call.outstanding == 0 && call.parked.is_empty(),
+            Blocked::RndzvDone(peer, tag) => self.dones.get(&(peer, tag)).copied().unwrap_or(0) > 0,
+        };
+        if ready {
+            let cost = self.cfg.cycles(self.cfg.uc_notif_cycles);
+            if let Some(c) = &mut self.call {
+                c.blocked = Blocked::Stepping;
+            }
+            ctx.send_self(ports::STEP, cost, ());
+        }
+    }
+}
+
+impl Component for Uc {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, port: PortId, payload: Payload) {
+        match port {
+            ports::CMD => {
+                let cmd = payload.downcast::<CcloCommand>();
+                assert!(
+                    self.firmware.has(cmd.op),
+                    "no firmware loaded for {:?}",
+                    cmd.op
+                );
+                self.queue.push_back(cmd);
+                self.maybe_start(ctx);
+            }
+            ports::STEP => {
+                payload.downcast::<()>();
+                self.step(ctx);
+            }
+            ports::DMP_DONE => {
+                let done = payload.downcast::<DmpDone>();
+                let _ = done;
+                let call = self
+                    .call
+                    .as_mut()
+                    .expect("DMP completion with no active call");
+                assert!(call.outstanding > 0, "unexpected DMP completion");
+                call.outstanding -= 1;
+                self.unblock(ctx);
+            }
+            ports::NOTIF => {
+                match payload.downcast::<UcNotif>() {
+                    UcNotif::RndzvInit(sig) => {
+                        self.inits
+                            .entry((sig.src_rank, sig.tag))
+                            .or_default()
+                            .push_back(sig.addr);
+                        self.unpark(ctx);
+                    }
+                    UcNotif::RndzvDone(sig) => {
+                        *self.dones.entry((sig.src_rank, sig.tag)).or_insert(0) += 1;
+                    }
+                }
+                self.unblock(ctx);
+            }
+            other => panic!("uC has no port {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CcloConfig;
+    use crate::firmware::{FirmwareTable, Place, Sched};
+    use crate::txsys::TxJob;
+    use accl_mem::MemTarget;
+    use accl_net::NodeAddr;
+    use accl_poe::iface::SessionId;
+    use accl_sim::prelude::{Endpoint, Mailbox, Simulator, Time};
+    use std::sync::Arc;
+
+    /// A harness wiring a uC to mailboxes standing in for the DMP and Tx
+    /// system, so control-plane behaviour can be observed in isolation.
+    struct Harness {
+        sim: Simulator,
+        uc: ComponentId,
+        dmp: ComponentId,
+        #[allow(dead_code)] // kept for tests that grow Tx-job checks
+        txsys: ComponentId,
+        done: ComponentId,
+    }
+
+    fn harness(rendezvous: bool) -> Harness {
+        let mut sim = Simulator::new(0);
+        let dmp = sim.add("dmp", Mailbox::<Microcode>::new());
+        let txsys = sim.add("txsys", Mailbox::<TxJob>::new());
+        let done = sim.add("done", Mailbox::<crate::command::CcloDone>::new());
+        let mut uc = Uc::new(
+            CcloConfig::default(),
+            FirmwareTable::stock(),
+            dmp,
+            txsys,
+            rendezvous,
+            true,
+            MemAddr::Phys(MemTarget::Device, 0x4000_0000),
+        );
+        uc.set_communicator(
+            0,
+            CommunicatorCfg {
+                rank: 0,
+                peers: vec![
+                    (NodeAddr(0), SessionId(0)),
+                    (NodeAddr(1), SessionId(1)),
+                    (NodeAddr(2), SessionId(2)),
+                ],
+            },
+        );
+        let uc = sim.add("uc", uc);
+        Harness {
+            sim,
+            uc,
+            dmp,
+            txsys,
+            done,
+        }
+    }
+
+    fn cmd(h: &Harness, op: CollOp, count: u64, root: u32, sync: SyncProto) -> CcloCommand {
+        CcloCommand {
+            op,
+            count,
+            dtype: crate::msg::DType::I32,
+            root,
+            tag: 3,
+            comm: 0,
+            func: crate::msg::ReduceFn::Sum,
+            src: DataLoc::Mem(MemAddr::Phys(MemTarget::Device, 0x1000)),
+            dst: DataLoc::Mem(MemAddr::Phys(MemTarget::Device, 0x2000)),
+            sync,
+            reply_to: Endpoint::of(h.done),
+            ticket: 9,
+        }
+    }
+
+    #[test]
+    fn nop_completes_after_decode_cost() {
+        let mut h = harness(false);
+        let mut c = cmd(&h, CollOp::Nop, 0, 0, SyncProto::Auto);
+        c.src = DataLoc::None;
+        c.dst = DataLoc::None;
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c);
+        h.sim.run();
+        let done = h.sim.component::<Mailbox<crate::command::CcloDone>>(h.done);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done.items()[0].1.ticket, 9);
+        // Decode (100 cy @ 250 MHz = 0.4 us) + completion issue cost.
+        let t = done.items()[0].0.as_us_f64();
+        assert!((0.3..1.5).contains(&t), "NOP at {t} us");
+        assert_eq!(h.sim.component::<Uc>(h.uc).calls_completed(), 1);
+    }
+
+    #[test]
+    fn eager_send_issues_one_microcode_with_signature() {
+        let mut h = harness(false);
+        let c = cmd(&h, CollOp::Send, 256, 1, SyncProto::Eager);
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c);
+        h.sim.run();
+        let mc = h.sim.component::<Mailbox<Microcode>>(h.dmp);
+        assert_eq!(mc.len(), 1);
+        let m = &mc.items()[0].1;
+        assert_eq!(m.len, 1024);
+        match &m.res {
+            RDst::Eager { session, sig } => {
+                assert_eq!(*session, SessionId(1));
+                assert_eq!(sig.src_rank, 0);
+                assert_eq!(sig.dst_rank, 1);
+                assert_eq!(sig.payload_len, 1024);
+                // Tag namespaced under the user tag.
+                assert_eq!(sig.tag >> 32, 3);
+            }
+            other => panic!("expected eager result, got {other:?}"),
+        }
+        // The call is still open until the DMP reports completion.
+        assert_eq!(
+            h.sim
+                .component::<Mailbox<crate::command::CcloDone>>(h.done)
+                .len(),
+            0
+        );
+        let ticket = mc.items()[0].1.ticket;
+        h.sim.post(
+            Endpoint::new(h.uc, ports::DMP_DONE),
+            h.sim.now(),
+            DmpDone { ticket },
+        );
+        h.sim.run();
+        assert_eq!(
+            h.sim
+                .component::<Mailbox<crate::command::CcloDone>>(h.done)
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn rendezvous_send_parks_until_init_and_issues_in_order() {
+        let mut h = harness(true);
+        // A bcast from rank 0 over 3 ranks, rendezvous: two RndzvTx sends
+        // (to ranks 1 and 2, in one-to-all order 1 then 2... with 3 ranks
+        // the selection is OneToAll).
+        let c = cmd(&h, CollOp::Bcast, 4096, 0, SyncProto::Rendezvous);
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c);
+        h.sim.run();
+        // No init yet: nothing issued, both parked.
+        assert_eq!(h.sim.component::<Mailbox<Microcode>>(h.dmp).len(), 0);
+        // Rank 2's init arrives FIRST — but program order sends to rank 1
+        // first, so nothing can issue yet (in-order unparking).
+        let init = |src_rank: u32, tag_low: u64| {
+            crate::rxsys::UcNotif::RndzvInit(crate::msg::MsgSignature {
+                src_rank,
+                dst_rank: 0,
+                mtype: crate::msg::MsgType::RndzvInit,
+                payload_len: 0,
+                tag: (3 << 32) | tag_low,
+                seq: 0,
+                addr: 0xbeef_0000,
+                comm: 0,
+            })
+        };
+        h.sim
+            .post(Endpoint::new(h.uc, ports::NOTIF), h.sim.now(), init(2, 2));
+        h.sim.run();
+        assert_eq!(
+            h.sim.component::<Mailbox<Microcode>>(h.dmp).len(),
+            0,
+            "head-of-queue send (to rank 1) must gate later sends"
+        );
+        // Rank 1's init arrives: both issue, in program order.
+        h.sim
+            .post(Endpoint::new(h.uc, ports::NOTIF), h.sim.now(), init(1, 1));
+        h.sim.run();
+        let mc = h.sim.component::<Mailbox<Microcode>>(h.dmp);
+        assert_eq!(mc.len(), 2);
+        let sessions: Vec<SessionId> = mc
+            .values()
+            .map(|m| match &m.res {
+                RDst::Rndzv { session, .. } => *session,
+                other => panic!("expected rendezvous result, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(sessions, vec![SessionId(1), SessionId(2)]);
+    }
+
+    #[test]
+    fn commands_queue_fifo_per_engine() {
+        let mut h = harness(false);
+        let c1 = cmd(&h, CollOp::Send, 16, 1, SyncProto::Eager);
+        let mut c2 = cmd(&h, CollOp::Nop, 0, 0, SyncProto::Auto);
+        c2.src = DataLoc::None;
+        c2.dst = DataLoc::None;
+        c2.ticket = 10;
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c1);
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c2);
+        h.sim.run();
+        // The NOP cannot complete before the send's DMP work finishes.
+        assert_eq!(
+            h.sim
+                .component::<Mailbox<crate::command::CcloDone>>(h.done)
+                .len(),
+            0
+        );
+        let ticket = h.sim.component::<Mailbox<Microcode>>(h.dmp).items()[0]
+            .1
+            .ticket;
+        h.sim.post(
+            Endpoint::new(h.uc, ports::DMP_DONE),
+            h.sim.now(),
+            DmpDone { ticket },
+        );
+        h.sim.run();
+        let done = h.sim.component::<Mailbox<crate::command::CcloDone>>(h.done);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done.items()[0].1.ticket, 9);
+        assert_eq!(done.items()[1].1.ticket, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "communicator 5 not configured")]
+    fn unknown_communicator_panics() {
+        let mut h = harness(false);
+        let mut c = cmd(&h, CollOp::Send, 16, 1, SyncProto::Eager);
+        c.comm = 5;
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c);
+        h.sim.run();
+    }
+
+    #[test]
+    fn custom_firmware_slot_is_callable_after_load() {
+        struct Noop;
+        impl crate::firmware::CollectiveProgram for Noop {
+            fn name(&self) -> &str {
+                "noop"
+            }
+            fn build(&self, _env: &crate::firmware::FwEnv, s: &mut Sched) {
+                // A local copy so the schedule is non-empty.
+                s.copy(Place::src(0), Place::dst(0), 64);
+            }
+        }
+        let mut h = harness(false);
+        h.sim
+            .component_mut::<Uc>(h.uc)
+            .load_firmware(CollOp::Custom(7), Arc::new(Noop));
+        let c = cmd(&h, CollOp::Custom(7), 16, 0, SyncProto::Auto);
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c);
+        h.sim.run();
+        assert_eq!(h.sim.component::<Mailbox<Microcode>>(h.dmp).len(), 1);
+    }
+}

@@ -1,0 +1,569 @@
+//! End-to-end CCLO engine tests on a simulated multi-FPGA cluster.
+//!
+//! Builds N nodes — each with a memory bus, a protocol offload engine and a
+//! CCLO engine — on a switched 100 Gb/s fabric, runs collectives issued as
+//! engine commands, and verifies both the resulting memory contents and
+//! coarse timing properties.
+
+use bytes::Bytes;
+
+use accl_cclo::command::{CcloCommand, CcloDone, CollOp, DataLoc, SyncProto};
+use accl_cclo::config::CcloConfig;
+use accl_cclo::dmp::{ports as dmp_ports, KernelPush};
+use accl_cclo::engine::{CcloEngine, CcloEngineSpec};
+use accl_cclo::msg::{DType, ReduceFn};
+use accl_cclo::rbm::RbmStream;
+use accl_cclo::uc::ports as uc_ports;
+use accl_mem::{MemAddr, MemBusConfig, MemTarget, MemoryBus};
+use accl_net::{NetConfig, Network};
+use accl_poe::iface::{ports as poe_ports, SessionId, SessionTable};
+use accl_poe::rdma::{RdmaConfig, RdmaPoe};
+use accl_poe::tcp::{TcpConfig, TcpPoe};
+use accl_poe::udp::{UdpConfig, UdpPoe};
+use accl_sim::prelude::*;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Proto {
+    Udp,
+    Tcp,
+    Rdma,
+}
+
+const SCRATCH_BASE: u64 = 0x4000_0000;
+const SRC_BASE: u64 = 0x1000_0000;
+const DST_BASE: u64 = 0x2000_0000;
+
+struct Cluster {
+    sim: Simulator,
+    engines: Vec<CcloEngine>,
+    buses: Vec<ComponentId>,
+    dones: Vec<ComponentId>,
+    net_switch: ComponentId,
+    proto: Proto,
+}
+
+impl Cluster {
+    fn build(n: usize, proto: Proto) -> Cluster {
+        Self::build_cfg(n, proto, CcloConfig::default())
+    }
+
+    fn build_with_fault(n: usize, proto: Proto, plan: accl_net::FaultPlan) -> Cluster {
+        let mut c = Self::build_cfg(n, proto, CcloConfig::default());
+        let switch = c.net_switch;
+        c.sim
+            .component_mut::<accl_net::Switch>(switch)
+            .set_fault_plan(plan);
+        c
+    }
+
+    fn build_cfg(n: usize, proto: Proto, cfg: CcloConfig) -> Cluster {
+        let mut sim = Simulator::new(7);
+        let net = Network::build(&mut sim, NetConfig::default(), n);
+        let mut engines = Vec::new();
+        let mut buses = Vec::new();
+        let mut dones = Vec::new();
+        for i in 0..n {
+            let bus_cfg = if proto == Proto::Rdma {
+                MemBusConfig::coyote()
+            } else {
+                MemBusConfig::default()
+            };
+            let bus = sim.add(format!("n{i}.bus"), MemoryBus::new(bus_cfg));
+            if proto == Proto::Rdma {
+                // Driver-style eager mapping of every region we will touch.
+                let b = sim.component_mut::<MemoryBus>(bus);
+                b.map_range(SRC_BASE, 64 << 20, MemTarget::Device);
+                b.map_range(DST_BASE, 64 << 20, MemTarget::Device);
+                b.map_range(SCRATCH_BASE, 64 << 20, MemTarget::Device);
+            }
+            let poe = sim.reserve(format!("n{i}.poe"));
+            let scratch_mem = if proto == Proto::Rdma {
+                MemAddr::Virt(SCRATCH_BASE)
+            } else {
+                MemAddr::Phys(MemTarget::Device, SCRATCH_BASE)
+            };
+            let engine = CcloEngine::build(
+                &mut sim,
+                &format!("n{i}.cclo"),
+                &CcloEngineSpec {
+                    cfg,
+                    mem_bus: bus,
+                    poe,
+                    rendezvous_capable: proto == Proto::Rdma,
+                    reliable: proto != Proto::Udp,
+                    scratch_mem,
+                },
+            );
+            let mut sessions = SessionTable::new();
+            for j in 0..n {
+                if i != j {
+                    sessions.connect(SessionId(j as u32), net.addr(j), SessionId(i as u32));
+                }
+            }
+            let up = engine.poe_upward();
+            match proto {
+                Proto::Udp => {
+                    sim.install(
+                        poe,
+                        UdpPoe::new(UdpConfig::default(), net.tx(i), up, sessions),
+                    );
+                }
+                Proto::Tcp => {
+                    sim.install(
+                        poe,
+                        TcpPoe::new(TcpConfig::default(), net.tx(i), up, sessions),
+                    );
+                }
+                Proto::Rdma => {
+                    sim.install(
+                        poe,
+                        RdmaPoe::new(RdmaConfig::default(), net.tx(i), up, sessions)
+                            .with_mem_bus(bus),
+                    );
+                }
+            }
+            net.attach_rx(&mut sim, i, Endpoint::new(poe, poe_ports::NET_RX));
+            let comm = accl_cclo::config::CommunicatorCfg {
+                rank: i as u32,
+                peers: (0..n).map(|j| (net.addr(j), SessionId(j as u32))).collect(),
+            };
+            engine.set_communicator(&mut sim, 0, comm);
+            let done = sim.add(format!("n{i}.done"), Mailbox::<CcloDone>::new());
+            engines.push(engine);
+            buses.push(bus);
+            dones.push(done);
+        }
+        let net_switch = net.switch_id();
+        Cluster {
+            sim,
+            engines,
+            buses,
+            dones,
+            net_switch,
+            proto,
+        }
+    }
+
+    fn mem_addr(&self, base: u64) -> DataLoc {
+        match self.proto {
+            Proto::Rdma => DataLoc::Mem(MemAddr::Virt(base)),
+            _ => DataLoc::Mem(MemAddr::Phys(MemTarget::Device, base)),
+        }
+    }
+
+    fn write_src(&mut self, node: usize, data: &[u8]) {
+        self.sim
+            .component_mut::<MemoryBus>(self.buses[node])
+            .device_write(SRC_BASE, data);
+    }
+
+    fn read_dst(&self, node: usize, len: usize) -> Vec<u8> {
+        self.sim
+            .component::<MemoryBus>(self.buses[node])
+            .device_read(DST_BASE, len)
+    }
+
+    fn issue(&mut self, node: usize, cmd: CcloCommand) {
+        self.sim.post(
+            Endpoint::new(self.engines[node].uc, uc_ports::CMD),
+            self.sim.now(),
+            cmd,
+        );
+    }
+
+    fn cmd(&self, node: usize, op: CollOp, count: u64, root: u32, sync: SyncProto) -> CcloCommand {
+        CcloCommand {
+            op,
+            count,
+            dtype: DType::I32,
+            root,
+            tag: 1,
+            comm: 0,
+            func: ReduceFn::Sum,
+            src: self.mem_addr(SRC_BASE),
+            dst: self.mem_addr(DST_BASE),
+            sync,
+            reply_to: Endpoint::of(self.dones[node]),
+            ticket: node as u64,
+        }
+    }
+
+    fn completions(&self, node: usize) -> usize {
+        self.sim
+            .component::<Mailbox<CcloDone>>(self.dones[node])
+            .len()
+    }
+}
+
+fn i32s(vals: &[i32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn patterned(node: usize, count: u64) -> Vec<u8> {
+    i32s(
+        &(0..count)
+            .map(|i| (node as i32 + 1) * 1000 + i as i32)
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn summed(n: usize, count: u64) -> Vec<u8> {
+    i32s(
+        &(0..count)
+            .map(|i| {
+                (0..n as i32)
+                    .map(|node| (node + 1) * 1000 + i as i32)
+                    .sum::<i32>()
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[test]
+fn send_recv_over_each_protocol() {
+    for proto in [Proto::Udp, Proto::Tcp, Proto::Rdma] {
+        let mut c = Cluster::build(2, proto);
+        let count = 4096u64;
+        let payload = patterned(0, count);
+        c.write_src(0, &payload);
+        let send = c.cmd(0, CollOp::Send, count, 1, SyncProto::Auto);
+        let recv = c.cmd(1, CollOp::Recv, count, 0, SyncProto::Auto);
+        c.issue(0, send);
+        c.issue(1, recv);
+        c.sim.run();
+        assert_eq!(c.completions(0), 1);
+        assert_eq!(c.completions(1), 1);
+        assert_eq!(c.read_dst(1, payload.len()), payload);
+    }
+}
+
+#[test]
+fn rdma_rendezvous_send_recv_places_directly() {
+    let mut c = Cluster::build(2, Proto::Rdma);
+    let count = 64 * 1024u64; // 256 KiB > eager threshold
+    let payload = patterned(0, count);
+    c.write_src(0, &payload);
+    let send = c.cmd(0, CollOp::Send, count, 1, SyncProto::Rendezvous);
+    let recv = c.cmd(1, CollOp::Recv, count, 0, SyncProto::Rendezvous);
+    c.issue(0, send);
+    c.issue(1, recv);
+    c.sim.run();
+    assert_eq!(c.read_dst(1, payload.len()), payload);
+    // The receiver's RBM never buffered the payload (direct placement).
+    let rbm = c.sim.component::<accl_cclo::rbm::Rbm>(c.engines[1].rbm);
+    assert_eq!(rbm.unmatched_messages(), 0);
+    assert_eq!(rbm.free_buffers(), CcloConfig::default().rx_buf_count);
+}
+
+#[test]
+fn nop_invocation_latency_is_sub_microsecond_from_kernel() {
+    let mut c = Cluster::build(2, Proto::Rdma);
+    let mut cmd = c.cmd(0, CollOp::Nop, 0, 0, SyncProto::Auto);
+    cmd.src = DataLoc::None;
+    cmd.dst = DataLoc::None;
+    c.issue(0, cmd);
+    c.sim.run();
+    let done_at = c.sim.component::<Mailbox<CcloDone>>(c.dones[0]).items()[0].0;
+    // Decode (150 cycles) + completion: ~0.8 us at 250 MHz.
+    let us = done_at.as_us_f64();
+    assert!(us > 0.3 && us < 2.0, "NOP invocation latency {us} us");
+}
+
+#[test]
+fn bcast_all_protocols_and_sizes() {
+    for proto in [Proto::Tcp, Proto::Rdma] {
+        for count in [64u64, 65536] {
+            let n = 4;
+            let mut c = Cluster::build(n, proto);
+            let payload = patterned(9, count);
+            // Bcast operates on dst buffers; root provides the data there.
+            c.sim
+                .component_mut::<MemoryBus>(c.buses[0])
+                .device_write(DST_BASE, &payload);
+            for node in 0..n {
+                let mut cmd = c.cmd(node, CollOp::Bcast, count, 0, SyncProto::Auto);
+                cmd.src = DataLoc::None;
+                c.issue(node, cmd);
+            }
+            c.sim.run();
+            for node in 0..n {
+                assert_eq!(c.completions(node), 1, "proto missing completion");
+                assert_eq!(
+                    c.read_dst(node, payload.len()),
+                    payload,
+                    "bcast node {node} count {count}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_eager_and_rendezvous() {
+    for (proto, sync, count) in [
+        (Proto::Tcp, SyncProto::Auto, 1024u64),
+        (Proto::Rdma, SyncProto::Eager, 1024),
+        (Proto::Rdma, SyncProto::Rendezvous, 1024),
+        (Proto::Rdma, SyncProto::Auto, 131072), // large → tree rendezvous
+    ] {
+        let n = 4;
+        let mut c = Cluster::build(n, proto);
+        for node in 0..n {
+            let data = patterned(node, count);
+            c.write_src(node, &data);
+        }
+        for node in 0..n {
+            let cmd = c.cmd(node, CollOp::Reduce, count, 0, sync);
+            c.issue(node, cmd);
+        }
+        c.sim.run();
+        assert_eq!(
+            c.read_dst(0, (count * 4) as usize),
+            summed(n, count),
+            "reduce failed"
+        );
+    }
+}
+
+#[test]
+fn allreduce_delivers_everywhere() {
+    let n = 4;
+    let count = 4096u64;
+    let mut c = Cluster::build(n, Proto::Rdma);
+    for node in 0..n {
+        c.write_src(node, &patterned(node, count));
+    }
+    for node in 0..n {
+        let cmd = c.cmd(node, CollOp::AllReduce, count, 0, SyncProto::Auto);
+        c.issue(node, cmd);
+    }
+    c.sim.run();
+    let expect = summed(n, count);
+    for node in 0..n {
+        assert_eq!(
+            c.read_dst(node, expect.len()),
+            expect,
+            "allreduce node {node}"
+        );
+    }
+}
+
+#[test]
+fn gather_scatter_alltoall() {
+    let n = 4;
+    let count = 256u64;
+    let b = (count * 4) as usize;
+    // Gather.
+    let mut c = Cluster::build(n, Proto::Rdma);
+    for node in 0..n {
+        c.write_src(node, &patterned(node, count));
+    }
+    for node in 0..n {
+        let cmd = c.cmd(node, CollOp::Gather, count, 0, SyncProto::Auto);
+        c.issue(node, cmd);
+    }
+    c.sim.run();
+    let expect: Vec<u8> = (0..n).flat_map(|nd| patterned(nd, count)).collect();
+    assert_eq!(c.read_dst(0, b * n), expect, "gather");
+
+    // Scatter.
+    let mut c = Cluster::build(n, Proto::Rdma);
+    let root_src: Vec<u8> = (0..n).flat_map(|nd| patterned(nd + 7, count)).collect();
+    c.write_src(0, &root_src);
+    for node in 0..n {
+        let cmd = c.cmd(node, CollOp::Scatter, count, 0, SyncProto::Auto);
+        c.issue(node, cmd);
+    }
+    c.sim.run();
+    for node in 0..n {
+        assert_eq!(
+            c.read_dst(node, b),
+            root_src[node * b..(node + 1) * b],
+            "scatter node {node}"
+        );
+    }
+
+    // All-to-all.
+    let mut c = Cluster::build(n, Proto::Rdma);
+    for node in 0..n {
+        let blocks: Vec<u8> = (0..n)
+            .flat_map(|to| patterned(node * 10 + to, count))
+            .collect();
+        c.write_src(node, &blocks);
+    }
+    for node in 0..n {
+        let cmd = c.cmd(node, CollOp::AllToAll, count, 0, SyncProto::Auto);
+        c.issue(node, cmd);
+    }
+    c.sim.run();
+    for node in 0..n {
+        for from in 0..n {
+            assert_eq!(
+                c.read_dst(node, b * n)[from * b..(from + 1) * b],
+                patterned(from * 10 + node, count),
+                "alltoall dst {node} from {from}"
+            );
+        }
+    }
+}
+
+#[test]
+fn barrier_synchronizes() {
+    let n = 4;
+    let mut c = Cluster::build(n, Proto::Tcp);
+    for node in 0..n {
+        let mut cmd = c.cmd(node, CollOp::Barrier, 0, 0, SyncProto::Auto);
+        cmd.src = DataLoc::None;
+        cmd.dst = DataLoc::None;
+        c.issue(node, cmd);
+    }
+    c.sim.run();
+    for node in 0..n {
+        assert_eq!(c.completions(node), 1, "barrier node {node}");
+    }
+}
+
+#[test]
+fn streaming_send_recv_kernel_to_kernel() {
+    // Rank 0 kernel pushes data into the CCLO; rank 1's CCLO streams it
+    // back out to its kernel (Listing 2 end-to-end).
+    let mut c = Cluster::build(2, Proto::Rdma);
+    let count = 8192u64;
+    let payload = patterned(3, count);
+    let kernel_sink = c.sim.add("kernel1.rx", Mailbox::<RbmStream>::new());
+    c.engines[1].set_kernel_out(&mut c.sim, Endpoint::of(kernel_sink));
+    let mut send = c.cmd(0, CollOp::Send, count, 1, SyncProto::Auto);
+    send.src = DataLoc::Stream;
+    let mut recv = c.cmd(1, CollOp::Recv, count, 0, SyncProto::Auto);
+    recv.dst = DataLoc::Stream;
+    c.issue(0, send);
+    c.issue(1, recv);
+    // Kernel pushes the payload (after the command, per Listing 2).
+    c.sim.post(
+        Endpoint::new(c.engines[0].dmp, dmp_ports::STREAM_IN),
+        Time::from_ps(1),
+        KernelPush {
+            data: Bytes::from(payload.clone()),
+        },
+    );
+    c.sim.run();
+    let mut got = vec![0u8; payload.len()];
+    for (_, s) in c.sim.component::<Mailbox<RbmStream>>(kernel_sink).items() {
+        got[s.offset as usize..s.offset as usize + s.data.len()].copy_from_slice(&s.data);
+    }
+    assert_eq!(got, payload);
+    assert_eq!(c.completions(0), 1);
+    assert_eq!(c.completions(1), 1);
+}
+
+#[test]
+fn large_transfer_throughput_is_line_rate_class() {
+    let mut c = Cluster::build(2, Proto::Rdma);
+    let count = (16 << 20) / 4u64; // 16 MiB
+    let payload = patterned(0, count);
+    c.write_src(0, &payload);
+    c.issue(0, c.cmd(0, CollOp::Send, count, 1, SyncProto::Auto));
+    c.issue(1, c.cmd(1, CollOp::Recv, count, 0, SyncProto::Auto));
+    c.sim.run();
+    assert_eq!(c.read_dst(1, payload.len()), payload);
+    let t = c.sim.component::<Mailbox<CcloDone>>(c.dones[1]).items()[0].0;
+    let gbps = (count * 4) as f64 * 8.0 / t.as_ns_f64();
+    assert!(gbps > 70.0, "end-to-end goodput {gbps:.1} Gb/s");
+}
+
+#[test]
+fn runtime_firmware_swap_changes_behaviour() {
+    use accl_cclo::firmware::{CollectiveProgram, FwEnv, Place, Sched};
+
+    /// A deliberately quirky bcast: root relays through rank 1.
+    struct RelayBcast;
+    impl CollectiveProgram for RelayBcast {
+        fn name(&self) -> &str {
+            "relay_bcast"
+        }
+        fn build(&self, env: &FwEnv, s: &mut Sched) {
+            let len = env.bytes;
+            match env.rank {
+                0 => s.send(1, Place::dst(0), len, 0),
+                1 => {
+                    s.recv(0, Place::dst(0), len, 0);
+                    s.wait_all();
+                    for peer in 2..env.size {
+                        s.send(peer, Place::dst(0), len, u64::from(peer));
+                    }
+                }
+                r => s.recv(1, Place::dst(0), len, u64::from(r)),
+            }
+        }
+    }
+
+    let n = 4;
+    let count = 1024u64;
+    let mut c = Cluster::build(n, Proto::Tcp);
+    let payload = patterned(5, count);
+    c.sim
+        .component_mut::<MemoryBus>(c.buses[0])
+        .device_write(DST_BASE, &payload);
+    for e in &c.engines {
+        e.load_firmware(&mut c.sim, CollOp::Bcast, std::sync::Arc::new(RelayBcast));
+    }
+    for node in 0..n {
+        let mut cmd = c.cmd(node, CollOp::Bcast, count, 0, SyncProto::Auto);
+        cmd.src = DataLoc::None;
+        c.issue(node, cmd);
+    }
+    c.sim.run();
+    for node in 1..n {
+        assert_eq!(
+            c.read_dst(node, payload.len()),
+            payload,
+            "relay node {node}"
+        );
+    }
+}
+
+#[test]
+fn back_to_back_collectives_on_one_engine() {
+    // FIFO command execution: a reduce followed by a bcast with the same
+    // tag must not cross-match.
+    let n = 3;
+    let count = 512u64;
+    let mut c = Cluster::build(n, Proto::Rdma);
+    for node in 0..n {
+        c.write_src(node, &patterned(node, count));
+    }
+    for node in 0..n {
+        let reduce = c.cmd(node, CollOp::Reduce, count, 0, SyncProto::Auto);
+        c.issue(node, reduce);
+        let mut bcast = c.cmd(node, CollOp::Bcast, count, 0, SyncProto::Auto);
+        bcast.src = DataLoc::None;
+        c.issue(node, bcast);
+    }
+    c.sim.run();
+    let expect = summed(n, count);
+    for node in 0..n {
+        assert_eq!(c.completions(node), 2, "node {node} completions");
+        assert_eq!(c.read_dst(node, expect.len()), expect, "node {node} result");
+    }
+}
+
+#[test]
+fn udp_loss_stalls_eager_collective_while_tcp_recovers() {
+    // Drop one data frame. UDP has no recovery: the receive never
+    // completes within the horizon. TCP retransmits and completes.
+    let run = |proto: Proto| -> usize {
+        let count = 4096u64;
+        let mut c = Cluster::build_with_fault(2, proto, accl_net::FaultPlan::drop_frames([1]));
+        let payload = patterned(0, count);
+        c.write_src(0, &payload);
+        let send = c.cmd(0, CollOp::Send, count, 1, SyncProto::Eager);
+        let recv = c.cmd(1, CollOp::Recv, count, 0, SyncProto::Eager);
+        c.issue(0, send);
+        c.issue(1, recv);
+        // Bounded: 100 ms of simulated time is eons for a 16 KB transfer.
+        c.sim.run_until(Time::ZERO + Dur::from_ms(100));
+        c.completions(1)
+    };
+    assert_eq!(run(Proto::Udp), 0, "UDP cannot recover a lost frame");
+    assert_eq!(run(Proto::Tcp), 1, "TCP must retransmit and complete");
+}

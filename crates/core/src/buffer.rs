@@ -1,0 +1,207 @@
+//! Driver-side buffer management (the `BaseBuffer` hierarchy of §4.2).
+//!
+//! Buffers wrap a region of simulated memory plus the platform-specific
+//! information the CCL driver needs: where the bytes physically live and
+//! how the CCLO addresses them. On Coyote, buffers live in unified virtual
+//! memory and are eagerly mapped into the shell TLB at allocation (the
+//! `CoyoteBuffer` behaviour the paper highlights); on Vitis/XRT, host and
+//! device buffers are distinct and host data must be staged.
+
+use accl_cclo::command::DataLoc;
+use accl_mem::{MemAddr, MemTarget};
+
+/// Which memory a buffer's bytes live in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufLoc {
+    /// Host DRAM.
+    Host,
+    /// FPGA card memory (HBM).
+    Device,
+}
+
+impl BufLoc {
+    /// The memory-bus target for this location.
+    pub fn target(self) -> MemTarget {
+        match self {
+            BufLoc::Host => MemTarget::Host,
+            BufLoc::Device => MemTarget::Device,
+        }
+    }
+}
+
+/// A handle to an allocated buffer on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferHandle {
+    /// Owning node.
+    pub node: usize,
+    /// Location of the bytes.
+    pub loc: BufLoc,
+    /// Address within that location's space. On Coyote this is also the
+    /// unified virtual address.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Whether the owning platform exposes unified virtual memory.
+    pub unified: bool,
+    /// For partitioned platforms: the device-side staging shadow address
+    /// (allocated lazily by the driver for host buffers).
+    pub staging_addr: Option<u64>,
+}
+
+impl BufferHandle {
+    /// The address the CCLO uses to reach this buffer *without staging*.
+    ///
+    /// On unified-memory platforms any buffer is directly addressable; on
+    /// partitioned platforms only device buffers are.
+    pub fn direct_addr(&self) -> Option<MemAddr> {
+        if self.unified {
+            Some(MemAddr::Virt(self.addr))
+        } else if self.loc == BufLoc::Device {
+            Some(MemAddr::Phys(MemTarget::Device, self.addr))
+        } else {
+            None
+        }
+    }
+
+    /// The address the CCLO uses after the driver staged this buffer.
+    pub fn staged_addr(&self) -> MemAddr {
+        match self.direct_addr() {
+            Some(a) => a,
+            None => MemAddr::Phys(
+                MemTarget::Device,
+                self.staging_addr
+                    .expect("host buffer was not assigned a staging shadow"),
+            ),
+        }
+    }
+
+    /// The command-argument form of this buffer (post-staging address).
+    pub fn data_loc(&self) -> DataLoc {
+        DataLoc::Mem(self.staged_addr())
+    }
+
+    /// Whether a collective touching this buffer needs staging copies.
+    pub fn needs_staging(&self) -> bool {
+        !self.unified && self.loc == BufLoc::Host
+    }
+}
+
+/// Address-space layout of one simulated node, shared by the driver.
+///
+/// Regions are disjoint by construction; the scratch region is reserved for
+/// the CCLO engine's collective internals.
+#[derive(Debug)]
+pub struct NodeSpaces {
+    host: accl_mem::AddrSpace,
+    device: accl_mem::AddrSpace,
+}
+
+/// Base of the host allocation region.
+pub const HOST_REGION_BASE: u64 = 0x0100_0000_0000;
+/// Base of the device allocation region.
+pub const DEVICE_REGION_BASE: u64 = 0x0000_1000_0000;
+/// Base of the CCLO scratch region (device memory).
+pub const SCRATCH_BASE: u64 = 0x0000_c000_0000;
+/// Size of the CCLO scratch region.
+pub const SCRATCH_BYTES: u64 = 1 << 30;
+
+impl NodeSpaces {
+    /// Creates the standard layout: 256 GiB of host space, 2 GiB of device
+    /// space (a U55C has 16 GiB HBM; 2 GiB of *allocatable* space keeps the
+    /// sparse store small while leaving room for scratch).
+    pub fn new() -> Self {
+        NodeSpaces {
+            host: accl_mem::AddrSpace::new(HOST_REGION_BASE, 256 << 30),
+            device: accl_mem::AddrSpace::new(DEVICE_REGION_BASE, 2 << 30),
+        }
+    }
+
+    /// Allocates `len` bytes in `loc`, 4 KiB aligned.
+    pub fn alloc(&mut self, loc: BufLoc, len: u64) -> u64 {
+        let space = match loc {
+            BufLoc::Host => &mut self.host,
+            BufLoc::Device => &mut self.device,
+        };
+        space
+            .alloc(len.max(1), 4096)
+            .unwrap_or_else(|| panic!("out of {loc:?} buffer space ({len} B)"))
+            .addr
+    }
+
+    /// Frees a previously allocated region.
+    pub fn free(&mut self, loc: BufLoc, addr: u64, len: u64) {
+        let space = match loc {
+            BufLoc::Host => &mut self.host,
+            BufLoc::Device => &mut self.device,
+        };
+        space.free(accl_mem::Region {
+            addr,
+            len: len.max(1),
+        });
+    }
+}
+
+impl Default for NodeSpaces {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handle(unified: bool, loc: BufLoc, staging: Option<u64>) -> BufferHandle {
+        BufferHandle {
+            node: 0,
+            loc,
+            addr: 0x1000,
+            len: 64,
+            unified,
+            staging_addr: staging,
+        }
+    }
+
+    #[test]
+    fn unified_buffers_are_always_direct() {
+        let h = handle(true, BufLoc::Host, None);
+        assert_eq!(h.direct_addr(), Some(MemAddr::Virt(0x1000)));
+        assert!(!h.needs_staging());
+        let d = handle(true, BufLoc::Device, None);
+        assert_eq!(d.direct_addr(), Some(MemAddr::Virt(0x1000)));
+    }
+
+    #[test]
+    fn partitioned_host_buffers_need_staging() {
+        let h = handle(false, BufLoc::Host, Some(0x9000));
+        assert_eq!(h.direct_addr(), None);
+        assert!(h.needs_staging());
+        assert_eq!(h.staged_addr(), MemAddr::Phys(MemTarget::Device, 0x9000));
+    }
+
+    #[test]
+    #[should_panic(expected = "staging shadow")]
+    fn unstaged_host_buffer_panics() {
+        handle(false, BufLoc::Host, None).staged_addr();
+    }
+
+    #[test]
+    fn node_spaces_are_disjoint() {
+        let mut s = NodeSpaces::new();
+        let h = s.alloc(BufLoc::Host, 4096);
+        let d = s.alloc(BufLoc::Device, 4096);
+        assert!(h >= HOST_REGION_BASE);
+        assert!((DEVICE_REGION_BASE..HOST_REGION_BASE).contains(&d));
+        s.free(BufLoc::Host, h, 4096);
+        s.free(BufLoc::Device, d, 4096);
+    }
+
+    #[test]
+    fn scratch_region_does_not_overlap_device_allocs() {
+        let mut s = NodeSpaces::new();
+        for _ in 0..100 {
+            let d = s.alloc(BufLoc::Device, 1 << 20);
+            assert!(d + (1 << 20) <= SCRATCH_BASE);
+        }
+    }
+}

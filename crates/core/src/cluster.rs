@@ -1,0 +1,419 @@
+//! Cluster assembly: N nodes of CPU + FPGA on a switched fabric.
+//!
+//! `AcclCluster` is the top of the public API: it builds the network, and
+//! per node a memory bus, protocol offload engine, CCLO engine, XDMA
+//! staging engine (partitioned platforms) and host CCL driver, fully wired.
+//! Applications then allocate buffers, write initial data, and run host or
+//! kernel programs against the cluster.
+
+use accl_cclo::config::CommunicatorCfg;
+use accl_cclo::engine::{CcloEngine, CcloEngineSpec};
+use accl_mem::{MemAddr, MemBusConfig, MemoryBus, XdmaEngine};
+use accl_net::Network;
+use accl_poe::iface::{ports as poe_ports, SessionId, SessionTable};
+use accl_poe::rdma::{RdmaConfig, RdmaPoe};
+use accl_poe::tcp::{TcpConfig, TcpPoe};
+use accl_poe::udp::{UdpConfig, UdpPoe};
+use accl_sim::prelude::*;
+
+use crate::buffer::{BufLoc, BufferHandle, NodeSpaces, SCRATCH_BASE, SCRATCH_BYTES};
+use crate::driver::{CollSpec, HostDriver};
+use crate::host::{ports as host_ports, HostOp, HostProc, OpRecord};
+use crate::kernel::{ports as kernel_ports, KernelOp, KernelProc};
+use crate::platform::{ClusterConfig, Platform, Transport};
+
+/// Per-node component handles.
+pub struct NodeHandles {
+    /// The memory bus.
+    pub bus: ComponentId,
+    /// The protocol offload engine.
+    pub poe: ComponentId,
+    /// The CCLO engine blocks.
+    pub cclo: CcloEngine,
+    /// The XDMA staging engine (partitioned platforms only).
+    pub xdma: Option<ComponentId>,
+    /// The host CCL driver.
+    pub driver: ComponentId,
+}
+
+/// Counters of one node's engine, read back MMIO-style after (or during)
+/// a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeStats {
+    /// CCLO commands completed by the uC.
+    pub collectives_completed: u64,
+    /// Host driver calls completed (includes staging/invocation phases).
+    pub driver_calls_completed: u64,
+    /// Tx-system jobs fully transmitted.
+    pub tx_jobs: u64,
+    /// Rx-system messages whose signatures parsed.
+    pub rx_messages: u64,
+    /// DMP microcode instructions retired.
+    pub dmp_instructions: u64,
+    /// Rx buffers currently free.
+    pub rx_buffers_free: u32,
+    /// Times the eager pool ran dry.
+    pub rx_pool_exhaustions: u64,
+}
+
+/// A fully wired simulated cluster.
+pub struct AcclCluster {
+    /// The simulator; exposed for advanced orchestration.
+    pub sim: Simulator,
+    cfg: ClusterConfig,
+    net: Network,
+    nodes: Vec<NodeHandles>,
+    spaces: Vec<NodeSpaces>,
+}
+
+impl AcclCluster {
+    /// Builds a cluster per `cfg`.
+    pub fn build(cfg: ClusterConfig) -> AcclCluster {
+        cfg.validate();
+        let mut sim = Simulator::new(cfg.seed);
+        let net = Network::build(&mut sim, cfg.net, cfg.nodes);
+        let unified = cfg.platform == Platform::Coyote;
+        let mut nodes = Vec::new();
+        let mut spaces = Vec::new();
+        for i in 0..cfg.nodes {
+            let bus_cfg = if unified {
+                MemBusConfig::coyote()
+            } else {
+                MemBusConfig::default()
+            };
+            let bus = sim.add(format!("n{i}.bus"), MemoryBus::new(bus_cfg));
+            if unified {
+                // The scratch region is device-resident and eagerly mapped.
+                sim.component_mut::<MemoryBus>(bus).map_range(
+                    SCRATCH_BASE,
+                    SCRATCH_BYTES,
+                    accl_mem::MemTarget::Device,
+                );
+            }
+            let poe = sim.reserve(format!("n{i}.poe"));
+            let scratch_mem = if unified {
+                MemAddr::Virt(SCRATCH_BASE)
+            } else {
+                MemAddr::Phys(accl_mem::MemTarget::Device, SCRATCH_BASE)
+            };
+            let cclo = CcloEngine::build(
+                &mut sim,
+                &format!("n{i}.cclo"),
+                &CcloEngineSpec {
+                    cfg: cfg.cclo,
+                    mem_bus: bus,
+                    poe,
+                    rendezvous_capable: cfg.transport.rendezvous_capable(),
+                    reliable: cfg.transport != Transport::Udp,
+                    scratch_mem,
+                },
+            );
+            let mut sessions = SessionTable::new();
+            for j in 0..cfg.nodes {
+                if i != j {
+                    sessions.connect(SessionId(j as u32), net.addr(j), SessionId(i as u32));
+                }
+            }
+            let up = cclo.poe_upward();
+            match cfg.transport {
+                Transport::Udp => {
+                    sim.install(
+                        poe,
+                        UdpPoe::new(UdpConfig::default(), net.tx(i), up, sessions),
+                    );
+                }
+                Transport::Tcp => {
+                    sim.install(
+                        poe,
+                        TcpPoe::new(TcpConfig::default(), net.tx(i), up, sessions),
+                    );
+                }
+                Transport::Rdma => {
+                    sim.install(
+                        poe,
+                        RdmaPoe::new(RdmaConfig::default(), net.tx(i), up, sessions)
+                            .with_mem_bus(bus),
+                    );
+                }
+            }
+            net.attach_rx(&mut sim, i, Endpoint::new(poe, poe_ports::NET_RX));
+            cclo.set_communicator(
+                &mut sim,
+                0,
+                CommunicatorCfg {
+                    rank: i as u32,
+                    peers: (0..cfg.nodes)
+                        .map(|j| (net.addr(j), SessionId(j as u32)))
+                        .collect(),
+                },
+            );
+            let xdma = (!unified).then(|| {
+                sim.add(
+                    format!("n{i}.xdma"),
+                    XdmaEngine::new(bus, cfg.xdma_setup_us()),
+                )
+            });
+            let driver = sim.add(
+                format!("n{i}.driver"),
+                HostDriver::new(i as u32, cclo.cmd(), xdma, cfg.invocation_latency()),
+            );
+            nodes.push(NodeHandles {
+                bus,
+                poe,
+                cclo,
+                xdma,
+                driver,
+            });
+            spaces.push(NodeSpaces::new());
+        }
+        AcclCluster {
+            sim,
+            cfg,
+            net,
+            nodes,
+            spaces,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The fabric.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Per-node handles.
+    pub fn node(&self, i: usize) -> &NodeHandles {
+        &self.nodes[i]
+    }
+
+    /// Allocates a buffer on `node` in `loc`.
+    ///
+    /// On Coyote the range is eagerly mapped into the node's TLB (the
+    /// `CoyoteBuffer` behaviour); on XRT, host buffers get a device-side
+    /// staging shadow.
+    pub fn alloc(&mut self, node: usize, loc: BufLoc, len: u64) -> BufferHandle {
+        let unified = self.cfg.platform == Platform::Coyote;
+        let addr = self.spaces[node].alloc(loc, len);
+        let staging_addr =
+            (!unified && loc == BufLoc::Host).then(|| self.spaces[node].alloc(BufLoc::Device, len));
+        if unified {
+            self.sim
+                .component_mut::<MemoryBus>(self.nodes[node].bus)
+                .map_range(addr, len, loc.target());
+        }
+        BufferHandle {
+            node,
+            loc,
+            addr,
+            len,
+            unified,
+            staging_addr,
+        }
+    }
+
+    /// Writes `data` into a buffer (zero-time, test/benchmark setup).
+    pub fn write(&mut self, buf: &BufferHandle, data: &[u8]) {
+        assert!(data.len() as u64 <= buf.len, "write exceeds buffer");
+        let bus = self
+            .sim
+            .component_mut::<MemoryBus>(self.nodes[buf.node].bus);
+        match buf.loc {
+            BufLoc::Host => bus.host_write(buf.addr, data),
+            BufLoc::Device => bus.device_write(buf.addr, data),
+        }
+    }
+
+    /// Reads a buffer's contents (zero-time, verification).
+    pub fn read(&self, buf: &BufferHandle) -> Vec<u8> {
+        let bus = self.sim.component::<MemoryBus>(self.nodes[buf.node].bus);
+        match buf.loc {
+            BufLoc::Host => bus.host_read(buf.addr, buf.len as usize),
+            BufLoc::Device => bus.device_read(buf.addr, buf.len as usize),
+        }
+    }
+
+    /// Runs one host program per node (entry `i` runs on node `i`),
+    /// starting simultaneously at the current simulated time.
+    ///
+    /// Returns each node's op records.
+    pub fn run_host_programs(&mut self, programs: Vec<Vec<HostOp>>) -> Vec<Vec<OpRecord>> {
+        assert_eq!(programs.len(), self.nodes.len(), "one program per node");
+        let start = self.sim.now();
+        let procs: Vec<ComponentId> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, ops)| {
+                let driver = Endpoint::new(self.nodes[i].driver, crate::driver::ports::CALL);
+                let id = self.sim.add(
+                    format!("n{i}.hostproc.{}", start.as_ps()),
+                    HostProc::new(driver, ops),
+                );
+                self.sim
+                    .post(Endpoint::new(id, host_ports::START), start, ());
+                id
+            })
+            .collect();
+        let outcome = self.sim.run();
+        assert_eq!(outcome, RunOutcome::Drained, "simulation stalled");
+        procs
+            .iter()
+            .map(|&id| {
+                let proc = self.sim.component::<HostProc>(id);
+                assert!(
+                    proc.finished_at().is_some(),
+                    "a host program did not finish (deadlock?)"
+                );
+                proc.records().to_vec()
+            })
+            .collect()
+    }
+
+    /// Issues the same collective on every rank through the host drivers
+    /// and returns each rank's completion record.
+    pub fn host_collective(&mut self, specs: Vec<CollSpec>) -> Vec<OpRecord> {
+        let programs = specs.into_iter().map(|s| vec![HostOp::Coll(s)]).collect();
+        self.run_host_programs(programs)
+            .into_iter()
+            .map(|records| records[0])
+            .collect()
+    }
+
+    /// Runs one kernel program per node, wired directly to each CCLO
+    /// (F2F mode). Returns the kernel component ids for inspection.
+    ///
+    /// Each call rebinds every engine's kernel-out endpoint to the new
+    /// kernels; do not interleave host streaming collectives that expect a
+    /// previous phase's kernels to keep receiving.
+    pub fn run_kernel_programs(&mut self, programs: Vec<Vec<KernelOp>>) -> Vec<ComponentId> {
+        assert_eq!(programs.len(), self.nodes.len(), "one program per node");
+        let start = self.sim.now();
+        let kernels: Vec<ComponentId> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, ops)| {
+                let id = self.sim.add(
+                    format!("n{i}.kernel.{}", start.as_ps()),
+                    KernelProc::new(
+                        self.nodes[i].cclo.cmd(),
+                        self.nodes[i].cclo.stream_in(),
+                        self.cfg.cclo.clock_mhz,
+                        ops,
+                    ),
+                );
+                self.nodes[i]
+                    .cclo
+                    .set_kernel_out(&mut self.sim, Endpoint::new(id, kernel_ports::STREAM_RX));
+                self.sim
+                    .post(Endpoint::new(id, kernel_ports::START), start, ());
+                id
+            })
+            .collect();
+        let outcome = self.sim.run();
+        assert_eq!(outcome, RunOutcome::Drained, "simulation stalled");
+        for &id in &kernels {
+            assert!(
+                self.sim.component::<KernelProc>(id).finished_at().is_some(),
+                "a kernel program did not finish (deadlock?)"
+            );
+        }
+        kernels
+    }
+
+    /// Kernel inspection helper.
+    pub fn kernel(&self, id: ComponentId) -> &KernelProc {
+        self.sim.component::<KernelProc>(id)
+    }
+
+    /// A snapshot of one node's engine counters (observability: the
+    /// hardware exposes these via the configuration memory over MMIO).
+    pub fn node_stats(&self, i: usize) -> NodeStats {
+        let n = &self.nodes[i];
+        let uc = self.sim.component::<accl_cclo::uc::Uc>(n.cclo.uc);
+        let tx = self.sim.component::<accl_cclo::txsys::TxSys>(n.cclo.txsys);
+        let rbm = self.sim.component::<accl_cclo::rbm::Rbm>(n.cclo.rbm);
+        let rx = self.sim.component::<accl_cclo::rxsys::RxSys>(n.cclo.rxsys);
+        let dmp = self.sim.component::<accl_cclo::dmp::Dmp>(n.cclo.dmp);
+        let driver = self.sim.component::<HostDriver>(n.driver);
+        NodeStats {
+            collectives_completed: uc.calls_completed(),
+            driver_calls_completed: driver.calls_completed(),
+            tx_jobs: tx.jobs_completed(),
+            rx_messages: rx.messages_parsed(),
+            dmp_instructions: dmp.instrs_completed(),
+            rx_buffers_free: rbm.free_buffers(),
+            rx_pool_exhaustions: rbm.exhaustion_events,
+        }
+    }
+
+    /// Defines a sub-communicator: `members[r]` is the node serving rank
+    /// `r` of communicator `id`. Every member engine's configuration
+    /// memory learns the group (the paper's communicator setup, §4.4.1);
+    /// POE sessions are reused — session `j` already reaches node `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate members or an id of 0 (the world communicator
+    /// is created at build time).
+    pub fn add_communicator(&mut self, id: u32, members: &[usize]) {
+        assert_ne!(id, 0, "communicator 0 is the built-in world");
+        let unique: std::collections::HashSet<_> = members.iter().collect();
+        assert_eq!(unique.len(), members.len(), "duplicate communicator member");
+        let peers: Vec<(accl_net::NodeAddr, SessionId)> = members
+            .iter()
+            .map(|&m| (self.net.addr(m), SessionId(m as u32)))
+            .collect();
+        for (rank, &node) in members.iter().enumerate() {
+            self.nodes[node].cclo.set_communicator(
+                &mut self.sim,
+                id,
+                CommunicatorCfg {
+                    rank: rank as u32,
+                    peers: peers.clone(),
+                },
+            );
+            let driver = self.nodes[node].driver;
+            self.sim
+                .component_mut::<HostDriver>(driver)
+                .set_comm_rank(id, rank as u32);
+        }
+    }
+
+    /// Tunes every engine's algorithm-selection thresholds at runtime.
+    pub fn set_algo_config(&mut self, algo: accl_cclo::AlgoConfig) {
+        for i in 0..self.nodes.len() {
+            let engine_uc = self.nodes[i].cclo.uc;
+            self.sim
+                .component_mut::<accl_cclo::uc::Uc>(engine_uc)
+                .set_algo_config(algo);
+        }
+    }
+
+    /// Loads firmware on every engine (user-defined collectives, §4.4.4).
+    pub fn load_firmware(
+        &mut self,
+        op: accl_cclo::CollOp,
+        program: std::sync::Arc<dyn accl_cclo::CollectiveProgram>,
+    ) {
+        for i in 0..self.nodes.len() {
+            let e = &self.nodes[i].cclo;
+            let uc = e.uc;
+            self.sim
+                .component_mut::<accl_cclo::uc::Uc>(uc)
+                .load_firmware(op, program.clone());
+        }
+    }
+}

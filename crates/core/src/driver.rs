@@ -1,0 +1,510 @@
+//! The host-side CCL driver (paper §4.1).
+//!
+//! One driver instance per node mediates between CPU applications and the
+//! CCLO engine: it charges the platform's invocation latency, performs
+//! staging copies on partitioned-memory platforms (XRT), submits the CCLO
+//! command, and reports completion with a per-phase time breakdown — the
+//! quantities behind Fig. 8, 9, 11 and 13.
+
+use std::collections::VecDeque;
+
+use accl_cclo::command::{CcloCommand, CcloDone, CollOp, DataLoc, SyncProto};
+use accl_cclo::msg::{DType, ReduceFn};
+use accl_mem::xdma::{ports as xdma_ports, XdmaCopy, XdmaDir, XdmaDone};
+use accl_sim::prelude::*;
+
+use crate::buffer::BufferHandle;
+
+/// A collective call specification, mirroring the MPI-like API of Listing 1.
+#[derive(Debug, Clone, Copy)]
+pub struct CollSpec {
+    /// The collective.
+    pub op: CollOp,
+    /// Element count (MPI semantics per collective).
+    pub count: u64,
+    /// Element datatype.
+    pub dtype: DType,
+    /// Root rank / point-to-point peer.
+    pub root: u32,
+    /// Reduction function.
+    pub func: ReduceFn,
+    /// User tag.
+    pub tag: u64,
+    /// Synchronization protocol.
+    pub sync: SyncProto,
+    /// Communicator id (0 = the world communicator).
+    pub comm: u32,
+    /// Source buffer (None for ops without one or streaming kernels).
+    pub src: Option<BufferHandle>,
+    /// Destination buffer.
+    pub dst: Option<BufferHandle>,
+}
+
+impl CollSpec {
+    /// A minimal spec for `op` with `count` elements of `dtype`.
+    pub fn new(op: CollOp, count: u64, dtype: DType) -> Self {
+        CollSpec {
+            op,
+            count,
+            dtype,
+            root: 0,
+            func: ReduceFn::Sum,
+            tag: 0,
+            sync: SyncProto::Auto,
+            comm: 0,
+            src: None,
+            dst: None,
+        }
+    }
+
+    /// Sets the root / peer rank.
+    pub fn root(mut self, root: u32) -> Self {
+        self.root = root;
+        self
+    }
+
+    /// Sets the source buffer.
+    pub fn src(mut self, buf: BufferHandle) -> Self {
+        self.src = Some(buf);
+        self
+    }
+
+    /// Sets the destination buffer.
+    pub fn dst(mut self, buf: BufferHandle) -> Self {
+        self.dst = Some(buf);
+        self
+    }
+
+    /// Forces a synchronization protocol.
+    pub fn sync(mut self, sync: SyncProto) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Sets the reduction function.
+    pub fn func(mut self, func: ReduceFn) -> Self {
+        self.func = func;
+        self
+    }
+
+    /// Sets the user tag.
+    pub fn tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// Targets a communicator other than the world (see
+    /// `AcclCluster::add_communicator`).
+    pub fn comm(mut self, comm: u32) -> Self {
+        self.comm = comm;
+        self
+    }
+}
+
+/// A call submitted to the driver.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverCall {
+    /// What to execute.
+    pub spec: CollSpec,
+    /// Completion destination.
+    pub reply_to: Endpoint,
+    /// Ticket echoed in the reply.
+    pub ticket: u64,
+}
+
+/// Driver completion, with the per-phase breakdown.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverDone {
+    /// Ticket from the call.
+    pub ticket: u64,
+    /// Time spent staging inputs host→device (zero on unified platforms).
+    pub stage_in: Dur,
+    /// Invocation latency (PCIe write/read or ioctl path).
+    pub invoke: Dur,
+    /// CCLO execution time (command accepted to completion).
+    pub collective: Dur,
+    /// Time staging outputs device→host.
+    pub stage_out: Dur,
+    /// Total wall time of the call.
+    pub total: Dur,
+}
+
+/// Ports of the [`HostDriver`] component.
+pub mod ports {
+    use accl_sim::event::PortId;
+
+    /// Call submissions ([`super::DriverCall`]).
+    pub const CALL: PortId = PortId(0);
+    /// XDMA staging completions.
+    pub const XDMA_DONE: PortId = PortId(1);
+    /// CCLO completions.
+    pub const CCLO_DONE: PortId = PortId(2);
+    /// Internal sequencing.
+    pub const STEP: PortId = PortId(3);
+}
+
+/// Phases of an active driver call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    StageIn { remaining: u32 },
+    Invoke,
+    Collective,
+    StageOut { remaining: u32 },
+}
+
+struct Active {
+    call: DriverCall,
+    phase: Phase,
+    started: Time,
+    phase_started: Time,
+    stage_in: Dur,
+    invoke: Dur,
+    collective: Dur,
+}
+
+/// Which buffers a collective reads and writes on this rank.
+///
+/// Drives staging decisions: inputs are staged host→device before the call,
+/// outputs device→host after.
+pub fn buffer_roles(spec: &CollSpec, rank: u32) -> (Vec<BufferHandle>, Vec<BufferHandle>) {
+    let is_root = rank == spec.root;
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    match spec.op {
+        CollOp::Nop | CollOp::Barrier => {}
+        CollOp::Send => inputs.extend(spec.src),
+        CollOp::Recv => outputs.extend(spec.dst),
+        CollOp::Bcast => {
+            // Bcast operates on dst; the root provides it, everyone receives.
+            if is_root {
+                inputs.extend(spec.dst);
+            } else {
+                outputs.extend(spec.dst);
+            }
+        }
+        CollOp::Reduce => {
+            inputs.extend(spec.src);
+            if is_root {
+                outputs.extend(spec.dst);
+            }
+        }
+        CollOp::Gather => {
+            inputs.extend(spec.src);
+            if is_root {
+                outputs.extend(spec.dst);
+            }
+        }
+        CollOp::Scatter => {
+            if is_root {
+                inputs.extend(spec.src);
+            }
+            outputs.extend(spec.dst);
+        }
+        CollOp::AllGather
+        | CollOp::AllReduce
+        | CollOp::ReduceScatter
+        | CollOp::AllToAll
+        | CollOp::Custom(_) => {
+            inputs.extend(spec.src);
+            outputs.extend(spec.dst);
+        }
+    }
+    (inputs, outputs)
+}
+
+/// The host-side CCL driver component for one node.
+pub struct HostDriver {
+    rank: u32,
+    /// This node's rank within each configured communicator.
+    comm_ranks: std::collections::HashMap<u32, u32>,
+    cclo_cmd: Endpoint,
+    /// XDMA engine, present on partitioned-memory platforms.
+    xdma: Option<ComponentId>,
+    invocation_latency: Dur,
+    queue: VecDeque<DriverCall>,
+    active: Option<Active>,
+    next_cclo_ticket: u64,
+    calls_completed: u64,
+}
+
+impl HostDriver {
+    /// Creates a driver submitting to `cclo_cmd` with the given costs.
+    pub fn new(
+        rank: u32,
+        cclo_cmd: Endpoint,
+        xdma: Option<ComponentId>,
+        invocation_latency: Dur,
+    ) -> Self {
+        let mut comm_ranks = std::collections::HashMap::new();
+        comm_ranks.insert(0, rank);
+        HostDriver {
+            rank,
+            comm_ranks,
+            cclo_cmd,
+            xdma,
+            invocation_latency,
+            queue: VecDeque::new(),
+            active: None,
+            next_cclo_ticket: 0,
+            calls_completed: 0,
+        }
+    }
+
+    /// Calls completed so far.
+    pub fn calls_completed(&self) -> u64 {
+        self.calls_completed
+    }
+
+    /// Records this node's rank within communicator `comm` (driver-side
+    /// mirror of the engine's communicator setup).
+    pub fn set_comm_rank(&mut self, comm: u32, rank: u32) {
+        self.comm_ranks.insert(comm, rank);
+    }
+
+    /// This node's rank within `comm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a member of `comm`.
+    fn comm_rank(&self, comm: u32) -> u32 {
+        *self
+            .comm_ranks
+            .get(&comm)
+            .unwrap_or_else(|| panic!("node {} is not in communicator {comm}", self.rank))
+    }
+
+    fn maybe_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.active.is_some() {
+            return;
+        }
+        let Some(call) = self.queue.pop_front() else {
+            return;
+        };
+        let now = ctx.now();
+        let (inputs, _) = buffer_roles(&call.spec, self.comm_rank(call.spec.comm));
+        let to_stage: Vec<BufferHandle> = inputs
+            .into_iter()
+            .filter(BufferHandle::needs_staging)
+            .collect();
+        let n = to_stage.len() as u32;
+        self.active = Some(Active {
+            call,
+            phase: Phase::StageIn { remaining: n },
+            started: now,
+            phase_started: now,
+            stage_in: Dur::ZERO,
+            invoke: Dur::ZERO,
+            collective: Dur::ZERO,
+        });
+        if n == 0 {
+            self.enter_invoke(ctx);
+            return;
+        }
+        let xdma = self.xdma.expect("staging required but no XDMA engine");
+        for buf in to_stage {
+            ctx.send(
+                Endpoint::new(xdma, xdma_ports::COPY),
+                Dur::ZERO,
+                XdmaCopy {
+                    dir: XdmaDir::HostToDevice,
+                    host_addr: buf.addr,
+                    dev_addr: buf.staging_addr.expect("unstaged host buffer"),
+                    len: buf.len,
+                    done_to: Endpoint::new(ctx.self_id(), ports::XDMA_DONE),
+                    tag: 0,
+                },
+            );
+        }
+    }
+
+    fn enter_invoke(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let active = self.active.as_mut().expect("no active call");
+        active.stage_in = now.since(active.phase_started);
+        active.phase = Phase::Invoke;
+        active.phase_started = now;
+        ctx.send_self(ports::STEP, self.invocation_latency, ());
+    }
+
+    fn submit_command(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let active = self.active.as_mut().expect("no active call");
+        active.invoke = now.since(active.phase_started);
+        active.phase = Phase::Collective;
+        active.phase_started = now;
+        let spec = active.call.spec;
+        let ticket = self.next_cclo_ticket;
+        self.next_cclo_ticket += 1;
+        let cmd = CcloCommand {
+            op: spec.op,
+            count: spec.count,
+            dtype: spec.dtype,
+            root: spec.root,
+            tag: spec.tag,
+            comm: spec.comm,
+            func: spec.func,
+            src: spec.src.map_or(DataLoc::None, |b| b.data_loc()),
+            dst: spec.dst.map_or(DataLoc::None, |b| b.data_loc()),
+            sync: spec.sync,
+            reply_to: Endpoint::new(ctx.self_id(), ports::CCLO_DONE),
+            ticket,
+        };
+        ctx.send(self.cclo_cmd, Dur::ZERO, cmd);
+    }
+
+    fn enter_stage_out(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let xdma = self.xdma;
+        let active = self.active.as_mut().expect("no active call");
+        active.collective = now.since(active.phase_started);
+        active.phase_started = now;
+        let rank = self
+            .comm_ranks
+            .get(&active.call.spec.comm)
+            .copied()
+            .expect("communicator vanished mid-call");
+        let (_, outputs) = buffer_roles(&active.call.spec, rank);
+        let to_stage: Vec<BufferHandle> = outputs
+            .into_iter()
+            .filter(BufferHandle::needs_staging)
+            .collect();
+        let n = to_stage.len() as u32;
+        active.phase = Phase::StageOut { remaining: n };
+        if n == 0 {
+            self.finish(ctx);
+            return;
+        }
+        let xdma = xdma.expect("staging required but no XDMA engine");
+        for buf in to_stage {
+            ctx.send(
+                Endpoint::new(xdma, xdma_ports::COPY),
+                Dur::ZERO,
+                XdmaCopy {
+                    dir: XdmaDir::DeviceToHost,
+                    host_addr: buf.addr,
+                    dev_addr: buf.staging_addr.expect("unstaged host buffer"),
+                    len: buf.len,
+                    done_to: Endpoint::new(ctx.self_id(), ports::XDMA_DONE),
+                    tag: 1,
+                },
+            );
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let active = self.active.take().expect("no active call");
+        self.calls_completed += 1;
+        let stage_out = now.since(active.phase_started);
+        ctx.send(
+            active.call.reply_to,
+            Dur::ZERO,
+            DriverDone {
+                ticket: active.call.ticket,
+                stage_in: active.stage_in,
+                invoke: active.invoke,
+                collective: active.collective,
+                stage_out,
+                total: now.since(active.started),
+            },
+        );
+        self.maybe_start(ctx);
+    }
+}
+
+impl Component for HostDriver {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, port: PortId, payload: Payload) {
+        match port {
+            ports::CALL => {
+                let call = payload.downcast::<DriverCall>();
+                self.queue.push_back(call);
+                self.maybe_start(ctx);
+            }
+            ports::STEP => {
+                payload.downcast::<()>();
+                debug_assert!(matches!(
+                    self.active.as_ref().map(|a| a.phase),
+                    Some(Phase::Invoke)
+                ));
+                self.submit_command(ctx);
+            }
+            ports::XDMA_DONE => {
+                payload.downcast::<XdmaDone>();
+                let active = self.active.as_mut().expect("XDMA done with no call");
+                match &mut active.phase {
+                    Phase::StageIn { remaining } => {
+                        *remaining -= 1;
+                        if *remaining == 0 {
+                            self.enter_invoke(ctx);
+                        }
+                    }
+                    Phase::StageOut { remaining } => {
+                        *remaining -= 1;
+                        if *remaining == 0 {
+                            self.finish(ctx);
+                        }
+                    }
+                    other => panic!("XDMA completion in phase {other:?}"),
+                }
+            }
+            ports::CCLO_DONE => {
+                payload.downcast::<CcloDone>();
+                self.enter_stage_out(ctx);
+            }
+            other => panic!("driver has no port {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufLoc;
+
+    fn buf(loc: BufLoc, unified: bool) -> BufferHandle {
+        BufferHandle {
+            node: 0,
+            loc,
+            addr: 0x1000,
+            len: 256,
+            unified,
+            staging_addr: if unified { None } else { Some(0x8000) },
+        }
+    }
+
+    #[test]
+    fn roles_cover_all_collectives() {
+        let src = buf(BufLoc::Host, true);
+        let dst = buf(BufLoc::Host, true);
+        let spec = |op| CollSpec::new(op, 64, DType::F32).src(src).dst(dst);
+        // (op, rank) → (n_inputs, n_outputs)
+        let cases = [
+            (CollOp::Send, 1, (1, 0)),
+            (CollOp::Recv, 1, (0, 1)),
+            (CollOp::Bcast, 0, (1, 0)),
+            (CollOp::Bcast, 2, (0, 1)),
+            (CollOp::Reduce, 0, (1, 1)),
+            (CollOp::Reduce, 2, (1, 0)),
+            (CollOp::Gather, 0, (1, 1)),
+            (CollOp::Scatter, 0, (1, 1)),
+            (CollOp::Scatter, 2, (0, 1)),
+            (CollOp::AllReduce, 2, (1, 1)),
+            (CollOp::AllToAll, 2, (1, 1)),
+            (CollOp::Barrier, 2, (0, 0)),
+        ];
+        for (op, rank, (ni, no)) in cases {
+            let (i, o) = buffer_roles(&spec(op), rank);
+            assert_eq!((i.len(), o.len()), (ni, no), "{op:?} rank {rank}");
+        }
+    }
+
+    #[test]
+    fn unified_buffers_never_stage() {
+        let spec = CollSpec::new(CollOp::AllReduce, 64, DType::F32)
+            .src(buf(BufLoc::Host, true))
+            .dst(buf(BufLoc::Host, true));
+        let (i, o) = buffer_roles(&spec, 1);
+        assert!(i.iter().all(|b| !b.needs_staging()));
+        assert!(o.iter().all(|b| !b.needs_staging()));
+    }
+}

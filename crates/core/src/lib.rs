@@ -1,0 +1,33 @@
+//! # accl-core — the ACCL+ public API
+//!
+//! The driver-level library applications program against (paper §4.1–4.2):
+//!
+//! - [`cluster::AcclCluster`] — builds a simulated cluster of CPU+FPGA
+//!   nodes on a switched 100 Gb/s fabric, one CCLO engine per FPGA.
+//! - [`buffer`] — the `BaseBuffer`-style platform-aware buffer handles.
+//! - [`driver`] — the host CCL driver: invocation latency, staging,
+//!   per-phase breakdowns; [`driver::CollSpec`] mirrors Listing 1.
+//! - [`host`] — MPI-like host programs (memory-based collectives).
+//! - [`kernel`] — streaming kernel programs (Listing 2's flow).
+//! - [`platform`] — Coyote vs. Vitis/XRT, UDP/TCP/RDMA presets.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod cluster;
+pub mod driver;
+pub mod host;
+pub mod kernel;
+pub mod platform;
+
+pub use buffer::{BufLoc, BufferHandle};
+pub use cluster::{AcclCluster, NodeHandles, NodeStats};
+pub use driver::{CollSpec, DriverDone, HostDriver};
+pub use host::{HostOp, HostProc, Program};
+pub use kernel::{KernelOp, KernelProc};
+pub use platform::{ClusterConfig, Platform, Transport};
+
+// Re-export the layers below for one-stop consumption.
+pub use accl_cclo::{
+    AlgoConfig, Algorithm, CcloConfig, CollOp, CollectiveProgram, DType, ReduceFn, SyncProto,
+};

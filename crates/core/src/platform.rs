@@ -1,0 +1,158 @@
+//! Platform and transport definitions (paper §4.2–4.3).
+//!
+//! A platform fixes the memory model and the host-side invocation path; a
+//! transport fixes the protocol offload engine. The paper's evaluated
+//! combinations are Coyote+RDMA (shared virtual memory, fast MMIO-based
+//! invocation) and XRT+TCP/UDP (partitioned memory, staging through XDMA,
+//! slow ioctl-based invocation).
+
+use accl_cclo::CcloConfig;
+use accl_net::NetConfig;
+use accl_sim::time::Dur;
+use serde::{Deserialize, Serialize};
+
+/// The development platform hosting the CCLO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Platform {
+    /// Coyote: shared virtual memory, TLB-fronted unified addressing.
+    Coyote,
+    /// Vitis/XRT: partitioned memory, explicit staging.
+    Xrt,
+}
+
+/// The protocol offload engine attached to the CCLO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Transport {
+    /// Unreliable datagrams (VNx UDP).
+    Udp,
+    /// Reliable hardware TCP.
+    Tcp,
+    /// Coyote RDMA (enables the rendezvous protocol).
+    Rdma,
+}
+
+impl Transport {
+    /// Whether this transport supports the rendezvous protocol.
+    pub fn rendezvous_capable(self) -> bool {
+        matches!(self, Transport::Rdma)
+    }
+}
+
+/// Full cluster configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of FPGA-equipped nodes.
+    pub nodes: usize,
+    /// Development platform.
+    pub platform: Platform,
+    /// Protocol offload engine.
+    pub transport: Transport,
+    /// Fabric parameters.
+    pub net: NetConfig,
+    /// CCLO engine parameters.
+    pub cclo: CcloConfig,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's primary configuration: Coyote + RDMA at 100 Gb/s.
+    pub fn coyote_rdma(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            platform: Platform::Coyote,
+            transport: Transport::Rdma,
+            net: NetConfig::default(),
+            cclo: CcloConfig::default(),
+            seed: 1,
+        }
+    }
+
+    /// The XRT + TCP configuration of Fig. 13.
+    pub fn xrt_tcp(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            platform: Platform::Xrt,
+            transport: Transport::Tcp,
+            ..Self::coyote_rdma(nodes)
+        }
+    }
+
+    /// The XRT + UDP configuration.
+    pub fn xrt_udp(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            platform: Platform::Xrt,
+            transport: Transport::Udp,
+            ..Self::coyote_rdma(nodes)
+        }
+    }
+
+    /// Legacy-ACCL baseline on XRT + TCP (Fig. 13's third system).
+    pub fn legacy_accl_tcp(nodes: usize) -> Self {
+        ClusterConfig {
+            cclo: CcloConfig::legacy_accl(),
+            ..Self::xrt_tcp(nodes)
+        }
+    }
+
+    /// Checks platform/transport compatibility.
+    pub fn validate(&self) {
+        assert!(self.nodes >= 1, "cluster needs at least one node");
+        if self.transport == Transport::Rdma {
+            assert_eq!(
+                self.platform,
+                Platform::Coyote,
+                "RDMA requires the Coyote platform (paper §4.3)"
+            );
+        }
+    }
+
+    /// Host-side CCLO invocation latency (Fig. 8): a PCIe write + read on
+    /// Coyote's thin driver vs. XRT's heavyweight ioctl path.
+    pub fn invocation_latency(&self) -> Dur {
+        match self.platform {
+            Platform::Coyote => Dur::from_us_f64(3.0),
+            Platform::Xrt => Dur::from_us_f64(120.0),
+        }
+    }
+
+    /// XDMA staging setup cost per copy (XRT buffer migration).
+    pub fn xdma_setup_us(&self) -> u64 {
+        30
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        ClusterConfig::coyote_rdma(8).validate();
+        ClusterConfig::xrt_tcp(8).validate();
+        ClusterConfig::xrt_udp(4).validate();
+        let legacy = ClusterConfig::legacy_accl_tcp(4);
+        legacy.validate();
+        assert!(legacy.cclo.legacy_uc.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "RDMA requires the Coyote platform")]
+    fn xrt_rdma_is_rejected() {
+        let cfg = ClusterConfig {
+            platform: Platform::Xrt,
+            ..ClusterConfig::coyote_rdma(2)
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn invocation_latency_ordering_matches_fig8() {
+        let coyote = ClusterConfig::coyote_rdma(2).invocation_latency();
+        let xrt = ClusterConfig::xrt_tcp(2).invocation_latency();
+        assert!(coyote < xrt);
+        assert!(coyote.as_us_f64() < 10.0);
+        assert!(xrt.as_us_f64() > 50.0);
+    }
+}

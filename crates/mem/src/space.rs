@@ -1,0 +1,186 @@
+//! Address-space allocation for simulated buffers.
+//!
+//! A first-fit free-list allocator: simple, deterministic, and sufficient
+//! for driver-style buffer management (the ACCL+ CCL driver allocates
+//! communicator Rx buffer pools and user buffers through exactly such an
+//! interface).
+
+/// A region of an address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// Start address.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Region {
+    /// Exclusive end address.
+    pub fn end(&self) -> u64 {
+        self.addr + self.len
+    }
+
+    /// Whether `addr` falls inside this region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.addr && addr < self.end()
+    }
+}
+
+/// A first-fit allocator over `[base, base+size)`.
+#[derive(Debug, Clone)]
+pub struct AddrSpace {
+    base: u64,
+    size: u64,
+    /// Free regions, sorted by address, non-adjacent (coalesced).
+    free: Vec<Region>,
+    allocated: u64,
+}
+
+impl AddrSpace {
+    /// Creates an address space covering `[base, base + size)`.
+    pub fn new(base: u64, size: u64) -> Self {
+        assert!(size > 0, "empty address space");
+        AddrSpace {
+            base,
+            size,
+            free: vec![Region {
+                addr: base,
+                len: size,
+            }],
+            allocated: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.size
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Allocates `len` bytes aligned to `align` (a power of two).
+    ///
+    /// Returns `None` when no free region fits.
+    pub fn alloc(&mut self, len: u64, align: u64) -> Option<Region> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        assert!(len > 0, "zero-length allocation");
+        for i in 0..self.free.len() {
+            let r = self.free[i];
+            let aligned = (r.addr + align - 1) & !(align - 1);
+            let pad = aligned - r.addr;
+            if pad + len <= r.len {
+                // Split: [r.addr, aligned) stays free, [aligned, aligned+len)
+                // is allocated, the tail stays free.
+                let tail_len = r.len - pad - len;
+                let mut replace = Vec::with_capacity(2);
+                if pad > 0 {
+                    replace.push(Region {
+                        addr: r.addr,
+                        len: pad,
+                    });
+                }
+                if tail_len > 0 {
+                    replace.push(Region {
+                        addr: aligned + len,
+                        len: tail_len,
+                    });
+                }
+                self.free.splice(i..=i, replace);
+                self.allocated += len;
+                return Some(Region { addr: aligned, len });
+            }
+        }
+        None
+    }
+
+    /// Returns a region to the free list, coalescing neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region overlaps the free list (double free) or lies
+    /// outside the space.
+    pub fn free(&mut self, region: Region) {
+        assert!(
+            region.addr >= self.base && region.end() <= self.base + self.size,
+            "free of region outside the space"
+        );
+        let idx = self.free.partition_point(|r| r.addr < region.addr);
+        if let Some(next) = self.free.get(idx) {
+            assert!(region.end() <= next.addr, "double free / overlap");
+        }
+        if idx > 0 {
+            assert!(
+                self.free[idx - 1].end() <= region.addr,
+                "double free / overlap"
+            );
+        }
+        self.free.insert(idx, region);
+        self.allocated -= region.len;
+        // Coalesce with neighbours.
+        if idx + 1 < self.free.len() && self.free[idx].end() == self.free[idx + 1].addr {
+            self.free[idx].len += self.free[idx + 1].len;
+            self.free.remove(idx + 1);
+        }
+        if idx > 0 && self.free[idx - 1].end() == self.free[idx].addr {
+            self.free[idx - 1].len += self.free[idx].len;
+            self.free.remove(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut s = AddrSpace::new(0x1000, 1 << 20);
+        let a = s.alloc(100, 64).unwrap();
+        let b = s.alloc(100, 64).unwrap();
+        assert_eq!(a.addr % 64, 0);
+        assert_eq!(b.addr % 64, 0);
+        assert!(a.end() <= b.addr || b.end() <= a.addr);
+        assert_eq!(s.allocated_bytes(), 200);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut s = AddrSpace::new(0, 1024);
+        assert!(s.alloc(1024, 1).is_some());
+        assert!(s.alloc(1, 1).is_none());
+    }
+
+    #[test]
+    fn free_coalesces_for_reuse() {
+        let mut s = AddrSpace::new(0, 1024);
+        let a = s.alloc(512, 1).unwrap();
+        let b = s.alloc(512, 1).unwrap();
+        s.free(a);
+        s.free(b);
+        assert_eq!(s.allocated_bytes(), 0);
+        // Only possible if the two halves coalesced.
+        assert!(s.alloc(1024, 1).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut s = AddrSpace::new(0, 1024);
+        let a = s.alloc(100, 1).unwrap();
+        s.free(a);
+        s.free(a);
+    }
+
+    #[test]
+    fn alignment_padding_stays_usable() {
+        let mut s = AddrSpace::new(1, 4096);
+        let a = s.alloc(100, 256).unwrap();
+        assert_eq!(a.addr % 256, 0);
+        // The padding before `a` is still free for small allocations.
+        let small = s.alloc(100, 1).unwrap();
+        assert!(small.addr < a.addr);
+    }
+}

@@ -1,0 +1,114 @@
+//! Sparse byte-addressable backing store.
+//!
+//! Every simulated memory (host DDR, FPGA HBM) holds real bytes so that
+//! collectives, reductions and the DLRM use case produce verifiable results,
+//! not just timing. The store is sparse — pages materialize on first write —
+//! because experiments address gigabyte-scale spaces while touching only the
+//! buffers in use.
+
+use std::collections::BTreeMap;
+
+/// Page size of the backing store, in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A sparse, zero-initialized byte store.
+#[derive(Default)]
+pub struct MemStore {
+    pages: BTreeMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes `data` starting at `addr`.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = addr + off as u64;
+            let page_base = a & !(PAGE_SIZE - 1);
+            let in_page = (a - page_base) as usize;
+            let n = ((PAGE_SIZE as usize) - in_page).min(data.len() - off);
+            let page = self
+                .pages
+                .entry(page_base)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+            page[in_page..in_page + n].copy_from_slice(&data[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`; untouched bytes read as zero.
+    pub fn read(&self, addr: u64, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        let mut off = 0usize;
+        while off < len {
+            let a = addr + off as u64;
+            let page_base = a & !(PAGE_SIZE - 1);
+            let in_page = (a - page_base) as usize;
+            let n = ((PAGE_SIZE as usize) - in_page).min(len - off);
+            if let Some(page) = self.pages.get(&page_base) {
+                out[off..off + n].copy_from_slice(&page[in_page..in_page + n]);
+            }
+            off += n;
+        }
+        out
+    }
+
+    /// Number of materialized pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Drops all contents.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_within_a_page() {
+        let mut m = MemStore::new();
+        m.write(100, &[1, 2, 3]);
+        assert_eq!(m.read(100, 3), vec![1, 2, 3]);
+        assert_eq!(m.read(99, 5), vec![0, 1, 2, 3, 0]);
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn roundtrip_across_pages() {
+        let mut m = MemStore::new();
+        let data: Vec<u8> = (0..=255)
+            .cycle()
+            .take(3 * PAGE_SIZE as usize)
+            .map(|v| v as u8)
+            .collect();
+        let addr = PAGE_SIZE - 7;
+        m.write(addr, &data);
+        assert_eq!(m.read(addr, data.len()), data);
+        assert_eq!(m.resident_pages(), 4);
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = MemStore::new();
+        assert_eq!(m.read(1 << 40, 8), vec![0; 8]);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn overwrite_is_last_writer_wins() {
+        let mut m = MemStore::new();
+        m.write(0, &[1; 16]);
+        m.write(4, &[2; 4]);
+        let mut expect = vec![1u8; 16];
+        expect[4..8].fill(2);
+        assert_eq!(m.read(0, 16), expect);
+    }
+}

@@ -1,0 +1,175 @@
+//! Fault injection: frame drops and reordering.
+//!
+//! The paper's UDP path is unreliable and its TCP POE must survive loss and
+//! out-of-order delivery; these policies let tests and benchmarks inject
+//! such conditions deterministically (by frame index) or statistically
+//! (by probability, driven by the simulation's seeded RNG).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use accl_sim::time::Dur;
+
+use crate::frame::Frame;
+
+/// A predicate deciding whether a frame should be dropped.
+pub type FramePredicate = Box<dyn Fn(&Frame) -> bool + Send>;
+
+/// What the switch should do with a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Forward normally.
+    Forward,
+    /// Silently drop.
+    Drop,
+    /// Forward, but add this much extra delay (causes reordering).
+    Delay(Dur),
+}
+
+/// A fault-injection policy applied to every frame traversing the switch.
+#[derive(Default)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` of dropping any given frame.
+    pub drop_probability: f64,
+    /// Probability in `[0, 1]` of delaying a frame by `reorder_delay`.
+    pub reorder_probability: f64,
+    /// Extra delay applied to reordered frames.
+    pub reorder_delay: Dur,
+    /// Explicit global frame indices to drop (deterministic loss).
+    pub drop_indices: Vec<u64>,
+    /// Explicit global frame indices to delay by `reorder_delay`.
+    pub delay_indices: Vec<u64>,
+    /// Optional predicate; frames matching it are dropped.
+    pub drop_if: Option<FramePredicate>,
+}
+
+impl FaultPlan {
+    /// A policy that never interferes.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A policy dropping frames i.i.d. with probability `p`.
+    pub fn random_loss(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        FaultPlan {
+            drop_probability: p,
+            ..Self::default()
+        }
+    }
+
+    /// A policy dropping exactly the frames with the given global indices.
+    pub fn drop_frames(indices: impl IntoIterator<Item = u64>) -> Self {
+        FaultPlan {
+            drop_indices: indices.into_iter().collect(),
+            ..Self::default()
+        }
+    }
+
+    /// A policy delaying the given frames by `delay` (forcing reordering).
+    pub fn delay_frames(indices: impl IntoIterator<Item = u64>, delay: Dur) -> Self {
+        FaultPlan {
+            delay_indices: indices.into_iter().collect(),
+            reorder_delay: delay,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this plan can never interfere with traffic.
+    pub fn is_transparent(&self) -> bool {
+        self.drop_probability == 0.0
+            && self.reorder_probability == 0.0
+            && self.drop_indices.is_empty()
+            && self.delay_indices.is_empty()
+            && self.drop_if.is_none()
+    }
+
+    /// Decides the fate of the `index`-th frame traversing the switch.
+    pub fn decide(&self, index: u64, frame: &Frame, rng: &mut StdRng) -> FaultAction {
+        if self.drop_indices.contains(&index) {
+            return FaultAction::Drop;
+        }
+        if let Some(pred) = &self.drop_if {
+            if pred(frame) {
+                return FaultAction::Drop;
+            }
+        }
+        if self.delay_indices.contains(&index) {
+            return FaultAction::Delay(self.reorder_delay);
+        }
+        if self.drop_probability > 0.0 && rng.random_bool(self.drop_probability) {
+            return FaultAction::Drop;
+        }
+        if self.reorder_probability > 0.0 && rng.random_bool(self.reorder_probability) {
+            return FaultAction::Delay(self.reorder_delay);
+        }
+        FaultAction::Forward
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::NodeAddr;
+    use rand::SeedableRng;
+
+    fn frame() -> Frame {
+        Frame::new(NodeAddr(0), NodeAddr(1), 100, ())
+    }
+
+    #[test]
+    fn transparent_plan_forwards_everything() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_transparent());
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..100 {
+            assert_eq!(plan.decide(i, &frame(), &mut rng), FaultAction::Forward);
+        }
+    }
+
+    #[test]
+    fn indexed_drops_are_exact() {
+        let plan = FaultPlan::drop_frames([2, 5]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let fates: Vec<bool> = (0..8)
+            .map(|i| plan.decide(i, &frame(), &mut rng) == FaultAction::Drop)
+            .collect();
+        assert_eq!(
+            fates,
+            [false, false, true, false, false, true, false, false]
+        );
+    }
+
+    #[test]
+    fn indexed_delays_reorder() {
+        let plan = FaultPlan::delay_frames([1], Dur::from_us(3));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(plan.decide(0, &frame(), &mut rng), FaultAction::Forward);
+        assert_eq!(
+            plan.decide(1, &frame(), &mut rng),
+            FaultAction::Delay(Dur::from_us(3))
+        );
+    }
+
+    #[test]
+    fn random_loss_is_roughly_calibrated() {
+        let plan = FaultPlan::random_loss(0.3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let drops = (0..10_000)
+            .filter(|&i| plan.decide(i, &frame(), &mut rng) == FaultAction::Drop)
+            .count();
+        assert!((2_700..3_300).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    fn predicate_drops_matching_frames() {
+        let plan = FaultPlan {
+            drop_if: Some(Box::new(|f: &Frame| f.payload_bytes > 50)),
+            ..FaultPlan::default()
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(plan.decide(0, &frame(), &mut rng), FaultAction::Drop);
+        let small = Frame::new(NodeAddr(0), NodeAddr(1), 10, ());
+        assert_eq!(plan.decide(1, &small, &mut rng), FaultAction::Forward);
+    }
+}

@@ -1,0 +1,25 @@
+//! # accl-net — packet-level network substrate
+//!
+//! Models the evaluation cluster's switched 100 Gb/s fabric: per-node
+//! network ports that serialize frames at line rate, a store-and-forward
+//! output-queued switch, and deterministic fault injection (drops,
+//! reordering) for exercising the reliable protocol engines.
+//!
+//! Frames carry *typed* protocol PDUs; the network only looks at addresses
+//! and sizes. Timing captures serialization, propagation, forwarding
+//! latency, and — critically for collective algorithm selection — egress
+//! queueing (in-cast).
+
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod frame;
+pub mod switch;
+pub mod topology;
+pub mod twotier;
+
+pub use fault::{FaultAction, FaultPlan};
+pub use frame::{Frame, NodeAddr, DEFAULT_MTU, WIRE_OVERHEAD_BYTES};
+pub use switch::{NetPort, PortCounters, Switch};
+pub use topology::{NetConfig, Network};
+pub use twotier::TwoTierNetwork;

@@ -1,0 +1,341 @@
+//! The packet switch and per-node network ports.
+//!
+//! The model is a store-and-forward output-queued switch, matching the
+//! Cisco Nexus fabric of the paper's cluster closely enough for the effects
+//! that matter to collectives: line-rate serialization on every link and
+//! queueing at the egress port. The latter is what produces the in-cast
+//! bottleneck at the root of all-to-one reductions (paper §4.4.4, Fig. 12).
+
+use accl_sim::prelude::*;
+
+use crate::fault::{FaultAction, FaultPlan};
+use crate::frame::{Frame, NodeAddr};
+
+/// Per-output-port bookkeeping inside the switch.
+struct SwitchPort {
+    egress: Pipe,
+    rx_handler: Option<Endpoint>,
+    frames_out: u64,
+    bytes_out: u64,
+}
+
+/// Traffic counters of one switch port, as observed after a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortCounters {
+    /// Frames forwarded out of this port.
+    pub frames_out: u64,
+    /// Wire bytes forwarded out of this port.
+    pub bytes_out: u64,
+}
+
+/// An output-queued, store-and-forward packet switch.
+///
+/// Receives [`Frame`] events (fully serialized by the sender's
+/// [`NetPort`]), applies the fault plan, then queues the frame on the
+/// destination port's egress [`Pipe`] and delivers it to the attached
+/// receiver endpoint after the forwarding latency, egress serialization and
+/// link propagation.
+pub struct Switch {
+    forward_latency: Dur,
+    propagation: Dur,
+    ports: Vec<SwitchPort>,
+    fault: FaultPlan,
+    frame_index: u64,
+    frames_dropped: u64,
+}
+
+impl Switch {
+    /// Creates a switch with `n_ports` ports on `link_gbps` links.
+    pub fn new(n_ports: usize, link_gbps: f64, forward_latency: Dur, propagation: Dur) -> Self {
+        Switch {
+            forward_latency,
+            propagation,
+            ports: (0..n_ports)
+                .map(|_| SwitchPort {
+                    egress: Pipe::gbps(link_gbps),
+                    rx_handler: None,
+                    frames_out: 0,
+                    bytes_out: 0,
+                })
+                .collect(),
+            fault: FaultPlan::none(),
+            frame_index: 0,
+            frames_dropped: 0,
+        }
+    }
+
+    /// Attaches the receive side of port `addr` to `rx`.
+    pub fn attach_rx(&mut self, addr: NodeAddr, rx: Endpoint) {
+        self.ports[addr.index()].rx_handler = Some(rx);
+    }
+
+    /// Installs a fault-injection policy.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan;
+    }
+
+    /// Counters for port `addr`.
+    pub fn port_counters(&self, addr: NodeAddr) -> PortCounters {
+        let p = &self.ports[addr.index()];
+        PortCounters {
+            frames_out: p.frames_out,
+            bytes_out: p.bytes_out,
+        }
+    }
+
+    /// Total frames dropped by fault injection.
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_dropped
+    }
+
+    /// Total frames that entered the switch.
+    pub fn frames_seen(&self) -> u64 {
+        self.frame_index
+    }
+}
+
+impl Component for Switch {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, _port: PortId, payload: Payload) {
+        let frame = payload.downcast::<Frame>();
+        let index = self.frame_index;
+        self.frame_index += 1;
+        let extra = match self.fault.decide(index, &frame, ctx.rng()) {
+            FaultAction::Forward => Dur::ZERO,
+            FaultAction::Delay(d) => d,
+            FaultAction::Drop => {
+                self.frames_dropped += 1;
+                ctx.stats().add("net.switch.drops", 1);
+                return;
+            }
+        };
+        let dst = frame.dst;
+        let port = &mut self.ports[dst.index()];
+        let rx = port.rx_handler.unwrap_or_else(|| {
+            panic!("switch port {dst} has no receiver attached (frame {frame:?})")
+        });
+        let wire = u64::from(frame.wire_bytes());
+        port.frames_out += 1;
+        port.bytes_out += wire;
+        let ready = ctx.now() + self.forward_latency;
+        let (_, end) = port.egress.reserve(ready, wire);
+        // Fault-injected delay is applied on the wire, after serialization,
+        // so a delayed frame can be overtaken (true reordering) instead of
+        // head-of-line blocking the egress FIFO.
+        ctx.send_at(rx, end + self.propagation + extra, frame);
+    }
+}
+
+/// The egress side of a node's NIC/MAC: serializes frames onto the uplink.
+///
+/// Local protocol engines send [`Frame`] events here; the port reserves its
+/// line-rate egress pipe and the frame arrives at the switch once fully
+/// serialized (store-and-forward) plus one propagation delay.
+pub struct NetPort {
+    addr: NodeAddr,
+    switch: Endpoint,
+    egress: Pipe,
+    propagation: Dur,
+    frames_in: u64,
+    bytes_in: u64,
+}
+
+impl NetPort {
+    /// Creates the port for `addr`, uplinked to `switch`.
+    pub fn new(addr: NodeAddr, switch: Endpoint, link_gbps: f64, propagation: Dur) -> Self {
+        NetPort {
+            addr,
+            switch,
+            egress: Pipe::gbps(link_gbps),
+            propagation,
+            frames_in: 0,
+            bytes_in: 0,
+        }
+    }
+
+    /// This port's fabric address.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// Frames submitted by the local device so far.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_in
+    }
+
+    /// Wire bytes submitted by the local device so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_in
+    }
+
+    /// Earliest time the egress link is free (for backpressure estimates).
+    pub fn egress_free_at(&self) -> Time {
+        self.egress.next_free()
+    }
+}
+
+impl Component for NetPort {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, _port: PortId, payload: Payload) {
+        let mut frame = payload.downcast::<Frame>();
+        // Stamp the source: devices don't need to know their own address.
+        frame.src = self.addr;
+        let wire = u64::from(frame.wire_bytes());
+        self.frames_in += 1;
+        self.bytes_in += wire;
+        let (_, end) = self.egress.reserve(ctx.now(), wire);
+        ctx.send_at(self.switch, end + self.propagation, frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::WIRE_OVERHEAD_BYTES;
+    use accl_sim::sim::Simulator;
+
+    struct World {
+        sim: Simulator,
+        switch: ComponentId,
+        ports: Vec<ComponentId>,
+        sinks: Vec<ComponentId>,
+    }
+
+    fn world(n: usize) -> World {
+        let mut sim = Simulator::new(0);
+        let switch_id = sim.reserve("switch");
+        let mut switch = Switch::new(n, 100.0, Dur::from_ns(500), Dur::from_ns(150));
+        let mut ports = Vec::new();
+        let mut sinks = Vec::new();
+        for i in 0..n {
+            let sink = sim.add(format!("sink{i}"), Mailbox::<Frame>::new());
+            switch.attach_rx(NodeAddr(i as u32), Endpoint::of(sink));
+            let port = sim.add(
+                format!("port{i}"),
+                NetPort::new(
+                    NodeAddr(i as u32),
+                    Endpoint::of(switch_id),
+                    100.0,
+                    Dur::from_ns(150),
+                ),
+            );
+            ports.push(port);
+            sinks.push(sink);
+        }
+        sim.install(switch_id, switch);
+        World {
+            sim,
+            switch: switch_id,
+            ports,
+            sinks,
+        }
+    }
+
+    #[test]
+    fn single_frame_end_to_end_latency() {
+        let mut w = world(2);
+        let payload = 1000u32;
+        w.sim.post(
+            Endpoint::of(w.ports[0]),
+            Time::ZERO,
+            Frame::new(NodeAddr(0), NodeAddr(1), payload, 42u32),
+        );
+        w.sim.run();
+        let mb = w.sim.component::<Mailbox<Frame>>(w.sinks[1]);
+        assert_eq!(mb.len(), 1);
+        let wire = u64::from(payload + WIRE_OVERHEAD_BYTES);
+        let ser = Dur::for_bytes_gbps(wire, 100.0);
+        let expect = Time::ZERO
+            + ser                   // NIC egress serialization
+            + Dur::from_ns(150)     // uplink propagation
+            + Dur::from_ns(500)     // switch forwarding
+            + ser                   // switch egress serialization
+            + Dur::from_ns(150); // downlink propagation
+        assert_eq!(mb.items()[0].0, expect);
+        assert_eq!(mb.items()[0].1.body.peek::<u32>(), Some(&42));
+        // Source address stamped by the port.
+        assert_eq!(mb.items()[0].1.src, NodeAddr(0));
+    }
+
+    #[test]
+    fn incast_queues_at_egress_port() {
+        // Nodes 0 and 1 both blast node 2 at t=0; the shared egress port
+        // must serialize them back to back.
+        let mut w = world(3);
+        for src in 0..2u32 {
+            w.sim.post(
+                Endpoint::of(w.ports[src as usize]),
+                Time::ZERO,
+                Frame::new(NodeAddr(src), NodeAddr(2), 4096, src),
+            );
+        }
+        w.sim.run();
+        let mb = w.sim.component::<Mailbox<Frame>>(w.sinks[2]);
+        assert_eq!(mb.len(), 2);
+        let gap = mb.items()[1].0 - mb.items()[0].0;
+        let ser = Dur::for_bytes_gbps(u64::from(4096 + WIRE_OVERHEAD_BYTES), 100.0);
+        // Second frame leaves exactly one serialization time after the first.
+        assert_eq!(gap, ser);
+        let ctr = w
+            .sim
+            .component::<Switch>(w.switch)
+            .port_counters(NodeAddr(2));
+        assert_eq!(ctr.frames_out, 2);
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interfere() {
+        // 0->1 and 2->3 in parallel must arrive at the same time.
+        let mut w = world(4);
+        for (src, dst) in [(0u32, 1u32), (2, 3)] {
+            w.sim.post(
+                Endpoint::of(w.ports[src as usize]),
+                Time::ZERO,
+                Frame::new(NodeAddr(src), NodeAddr(dst), 2048, ()),
+            );
+        }
+        w.sim.run();
+        let t1 = w.sim.component::<Mailbox<Frame>>(w.sinks[1]).items()[0].0;
+        let t3 = w.sim.component::<Mailbox<Frame>>(w.sinks[3]).items()[0].0;
+        assert_eq!(t1, t3);
+    }
+
+    #[test]
+    fn fault_plan_drops_frames() {
+        let mut w = world(2);
+        w.sim
+            .component_mut::<Switch>(w.switch)
+            .set_fault_plan(FaultPlan::drop_frames([0]));
+        for i in 0..2 {
+            w.sim.post(
+                Endpoint::of(w.ports[0]),
+                Time::from_ps(i),
+                Frame::new(NodeAddr(0), NodeAddr(1), 100, i),
+            );
+        }
+        w.sim.run();
+        let mb = w.sim.component::<Mailbox<Frame>>(w.sinks[1]);
+        assert_eq!(mb.len(), 1);
+        assert_eq!(mb.items()[0].1.body.peek::<u64>(), Some(&1));
+        assert_eq!(w.sim.component::<Switch>(w.switch).frames_dropped(), 1);
+    }
+
+    #[test]
+    fn delayed_frame_is_reordered() {
+        let mut w = world(2);
+        w.sim
+            .component_mut::<Switch>(w.switch)
+            .set_fault_plan(FaultPlan::delay_frames([0], Dur::from_us(100)));
+        for i in 0..2u64 {
+            w.sim.post(
+                Endpoint::of(w.ports[0]),
+                Time::from_ps(i),
+                Frame::new(NodeAddr(0), NodeAddr(1), 100, i),
+            );
+        }
+        w.sim.run();
+        let mb = w.sim.component::<Mailbox<Frame>>(w.sinks[1]);
+        assert_eq!(mb.len(), 2);
+        // Frame 1 overtakes frame 0.
+        assert_eq!(mb.items()[0].1.body.peek::<u64>(), Some(&1));
+        assert_eq!(mb.items()[1].1.body.peek::<u64>(), Some(&0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Cluster topology construction.
+//!
+//! The evaluation cluster in the paper is a set of CPU+FPGA nodes attached
+//! to a packet switch: each FPGA has its own 100 Gb/s MAC and each CPU its
+//! own 100 Gb/s commodity NIC, all ports on the same fabric. [`Network`]
+//! builds the switch and one [`NetPort`] per attached device and hands out
+//! the endpoints devices use to transmit.
+
+use accl_sim::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::fault::FaultPlan;
+use crate::frame::NodeAddr;
+use crate::switch::{NetPort, PortCounters, Switch};
+
+/// Physical-layer parameters of the fabric.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Link rate of every port, in Gb/s.
+    pub link_gbps: f64,
+    /// Switch forwarding latency, in nanoseconds.
+    pub switch_latency_ns: u64,
+    /// One-way propagation delay of each link, in nanoseconds.
+    pub propagation_ns: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        // 100 Gb/s ports on a Nexus-class switch, short data-center cables.
+        NetConfig {
+            link_gbps: 100.0,
+            switch_latency_ns: 500,
+            propagation_ns: 150,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Switch forwarding latency as a duration.
+    pub fn switch_latency(&self) -> Dur {
+        Dur::from_ns(self.switch_latency_ns)
+    }
+
+    /// Link propagation delay as a duration.
+    pub fn propagation(&self) -> Dur {
+        Dur::from_ns(self.propagation_ns)
+    }
+}
+
+/// A built fabric: one switch plus one [`NetPort`] per device.
+pub struct Network {
+    switch: ComponentId,
+    ports: Vec<ComponentId>,
+    cfg: NetConfig,
+}
+
+impl Network {
+    /// Builds a fabric with `n_nodes` ports into `sim`.
+    pub fn build(sim: &mut Simulator, cfg: NetConfig, n_nodes: usize) -> Network {
+        let switch_id = sim.reserve("net.switch");
+        let switch = Switch::new(
+            n_nodes,
+            cfg.link_gbps,
+            cfg.switch_latency(),
+            cfg.propagation(),
+        );
+        sim.install(switch_id, switch);
+        let ports = (0..n_nodes)
+            .map(|i| {
+                sim.add(
+                    format!("net.port{i}"),
+                    NetPort::new(
+                        NodeAddr(i as u32),
+                        Endpoint::of(switch_id),
+                        cfg.link_gbps,
+                        cfg.propagation(),
+                    ),
+                )
+            })
+            .collect();
+        Network {
+            switch: switch_id,
+            ports,
+            cfg,
+        }
+    }
+
+    /// Number of ports on the fabric.
+    pub fn len(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Whether the fabric has no ports.
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+    }
+
+    /// The fabric address of node `i`.
+    pub fn addr(&self, i: usize) -> NodeAddr {
+        assert!(i < self.ports.len(), "node {i} out of range");
+        NodeAddr(i as u32)
+    }
+
+    /// The endpoint node `i`'s device sends [`crate::frame::Frame`]s to.
+    pub fn tx(&self, i: usize) -> Endpoint {
+        Endpoint::of(self.ports[i])
+    }
+
+    /// Attaches the receive handler for node `i`.
+    pub fn attach_rx(&self, sim: &mut Simulator, i: usize, rx: Endpoint) {
+        sim.component_mut::<Switch>(self.switch)
+            .attach_rx(self.addr(i), rx);
+    }
+
+    /// Installs a fault-injection policy on the switch.
+    pub fn set_fault_plan(&self, sim: &mut Simulator, plan: FaultPlan) {
+        sim.component_mut::<Switch>(self.switch)
+            .set_fault_plan(plan);
+    }
+
+    /// Egress counters of switch port `i`.
+    pub fn port_counters(&self, sim: &Simulator, i: usize) -> PortCounters {
+        sim.component::<Switch>(self.switch)
+            .port_counters(self.addr(i))
+    }
+
+    /// Frames dropped by fault injection so far.
+    pub fn frames_dropped(&self, sim: &Simulator) -> u64 {
+        sim.component::<Switch>(self.switch).frames_dropped()
+    }
+
+    /// The physical-layer configuration this fabric was built with.
+    pub fn config(&self) -> NetConfig {
+        self.cfg
+    }
+
+    /// Component id of the switch (for advanced introspection).
+    pub fn switch_id(&self) -> ComponentId {
+        self.switch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Frame;
+
+    #[test]
+    fn build_and_route() {
+        let mut sim = Simulator::new(0);
+        let net = Network::build(&mut sim, NetConfig::default(), 4);
+        assert_eq!(net.len(), 4);
+        let sinks: Vec<ComponentId> = (0..4)
+            .map(|i| {
+                let s = sim.add(format!("sink{i}"), Mailbox::<Frame>::new());
+                net.attach_rx(&mut sim, i, Endpoint::of(s));
+                s
+            })
+            .collect();
+        sim.post(
+            net.tx(0),
+            Time::ZERO,
+            Frame::new(net.addr(0), net.addr(3), 64, 9u8),
+        );
+        sim.run();
+        assert_eq!(sim.component::<Mailbox<Frame>>(sinks[3]).len(), 1);
+        assert_eq!(sim.component::<Mailbox<Frame>>(sinks[1]).len(), 0);
+        assert_eq!(net.port_counters(&sim, 3).frames_out, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn addr_out_of_range_panics() {
+        let mut sim = Simulator::new(0);
+        let net = Network::build(&mut sim, NetConfig::default(), 2);
+        net.addr(2);
+    }
+}

@@ -1,0 +1,463 @@
+//! The POE-independent interface (paper §4.3).
+//!
+//! The CCLO engine talks to every protocol offload engine through the same
+//! two pairs of meta/data streaming interfaces (one Tx, one Rx). The meta
+//! side carries op code, length and session id; the data side carries the
+//! payload in chunks. Protocol specifics (segmentation, reliability,
+//! rendezvous WRITE placement) live entirely behind this interface, which is
+//! what makes the CCLO engine protocol-portable.
+
+use bytes::Bytes;
+
+use accl_sim::prelude::*;
+
+/// Identifies one communication session of a POE.
+///
+/// Maps onto a TCP session, an RDMA queue pair, or a UDP peer entry,
+/// depending on the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u32);
+
+/// What a Tx command asks the engine to do with the data that follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxKind {
+    /// Two-sided transfer: deliver to the peer's Rx meta/data interfaces
+    /// (UDP datagram, TCP stream message, RDMA SEND).
+    Send,
+    /// One-sided RDMA WRITE to `remote_addr` (a virtual address in the
+    /// peer's unified memory). Only the RDMA engine accepts this.
+    Write {
+        /// Destination virtual address at the passive side.
+        remote_addr: u64,
+    },
+}
+
+/// A Tx command: "the next `len` bytes on the Tx data stream go to `session`".
+#[derive(Debug, Clone, Copy)]
+pub struct PoeTxCmd {
+    /// Destination session.
+    pub session: SessionId,
+    /// Message length in bytes.
+    pub len: u64,
+    /// Transfer kind.
+    pub kind: TxKind,
+    /// Caller tag, echoed in [`PoeTxDone`].
+    pub tag: u64,
+}
+
+/// A chunk of streaming data (Tx or Rx direction).
+#[derive(Debug, Clone)]
+pub struct StreamChunk {
+    /// The bytes.
+    pub data: Bytes,
+    /// Whether this chunk ends the current message.
+    pub last: bool,
+}
+
+/// Completion of a Tx command (all bytes handed to the wire).
+#[derive(Debug, Clone, Copy)]
+pub struct PoeTxDone {
+    /// Session of the completed command.
+    pub session: SessionId,
+    /// Bytes sent.
+    pub len: u64,
+    /// Tag from the originating [`PoeTxCmd`].
+    pub tag: u64,
+}
+
+/// Rx meta: a message is arriving on `session`.
+///
+/// Emitted once per message, before (or with) its first data chunk.
+#[derive(Debug, Clone, Copy)]
+pub struct PoeRxMeta {
+    /// Source session.
+    pub session: SessionId,
+    /// Engine-assigned message id, unique per session.
+    pub msg_id: u64,
+    /// Total message length in bytes.
+    pub len: u64,
+}
+
+/// Rx data: a chunk of the message identified by `(session, msg_id)`.
+#[derive(Debug, Clone)]
+pub struct RxChunk {
+    /// Source session.
+    pub session: SessionId,
+    /// Message id from the corresponding [`PoeRxMeta`].
+    pub msg_id: u64,
+    /// Offset of this chunk within the message.
+    pub offset: u64,
+    /// The bytes.
+    pub data: Bytes,
+    /// Whether the message is complete after this chunk.
+    pub last: bool,
+}
+
+/// Where a POE delivers its upward-facing events.
+#[derive(Debug, Clone, Copy)]
+pub struct PoeUpward {
+    /// Receives [`PoeRxMeta`].
+    pub rx_meta: Endpoint,
+    /// Receives [`RxChunk`].
+    pub rx_data: Endpoint,
+    /// Receives [`PoeTxDone`].
+    pub tx_done: Endpoint,
+}
+
+/// Standard input ports shared by all POE components.
+pub mod ports {
+    use accl_sim::event::PortId;
+
+    /// Tx commands ([`super::PoeTxCmd`]).
+    pub const TX_CMD: PortId = PortId(0);
+    /// Tx data ([`super::StreamChunk`]), in command order.
+    pub const TX_DATA: PortId = PortId(1);
+    /// Frames arriving from the network ([`accl_net::Frame`]).
+    pub const NET_RX: PortId = PortId(2);
+    /// Internal timers.
+    pub const TIMER: PortId = PortId(3);
+}
+
+/// Session table: local session id → (peer address, peer session id).
+///
+/// Populated by the host driver at communicator construction time — the
+/// paper's "a TCP session / queue pair needs to be established between each
+/// node" (§4.3).
+#[derive(Debug, Default, Clone)]
+pub struct SessionTable {
+    entries: Vec<Option<(accl_net::NodeAddr, SessionId)>>,
+}
+
+impl SessionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs `local → (peer, peer_session)`.
+    pub fn connect(&mut self, local: SessionId, peer: accl_net::NodeAddr, peer_session: SessionId) {
+        let idx = local.0 as usize;
+        if self.entries.len() <= idx {
+            self.entries.resize(idx + 1, None);
+        }
+        assert!(
+            self.entries[idx].is_none(),
+            "session {local:?} connected twice"
+        );
+        self.entries[idx] = Some((peer, peer_session));
+    }
+
+    /// Looks up the peer of `local`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unconnected session — commands to unknown sessions are
+    /// driver bugs, not recoverable protocol conditions.
+    pub fn peer(&self, local: SessionId) -> (accl_net::NodeAddr, SessionId) {
+        self.entries
+            .get(local.0 as usize)
+            .and_then(|e| *e)
+            .unwrap_or_else(|| panic!("session {local:?} not connected"))
+    }
+
+    /// Number of connected sessions.
+    pub fn len(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
+    /// Whether no session is connected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Associates in-order Tx data chunks with the queue of Tx commands.
+///
+/// AXI-Stream semantics: data arrives in exactly the order commands were
+/// issued; the assembler slices the byte stream back into per-command
+/// messages and hands out MTU-sized segments as soon as bytes are available,
+/// so transmission pipelines with the data source.
+#[derive(Debug, Default)]
+pub struct TxAssembler {
+    cmds: std::collections::VecDeque<(PoeTxCmd, u64)>,
+    /// Bytes already emitted for the head command.
+    emitted: u64,
+    /// Buffered bytes not yet emitted (within the head command).
+    pending: Vec<Bytes>,
+    pending_len: u64,
+    next_msg_id: u64,
+}
+
+/// A segment ready for transmission, produced by [`TxAssembler`].
+#[derive(Debug, Clone)]
+pub struct TxSegment {
+    /// The command this segment belongs to.
+    pub cmd: PoeTxCmd,
+    /// Engine-assigned message id (one per command).
+    pub msg_id: u64,
+    /// Offset of the segment within the message.
+    pub offset: u64,
+    /// Segment payload.
+    pub data: Bytes,
+    /// Whether this is the message's final segment.
+    pub last: bool,
+}
+
+impl TxAssembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a command, assigning it the next message id.
+    pub fn push_cmd(&mut self, cmd: PoeTxCmd) -> u64 {
+        assert!(cmd.len > 0, "zero-length Tx command");
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        self.cmds.push_back((cmd, id));
+        id
+    }
+
+    /// Feeds data and drains every full-MTU (or message-final) segment.
+    pub fn push_data(&mut self, data: Bytes, mtu: u32) -> Vec<TxSegment> {
+        self.pending_len += data.len() as u64;
+        self.pending.push(data);
+        self.drain(mtu)
+    }
+
+    /// Commands currently queued (including the in-progress head).
+    pub fn queued_cmds(&self) -> usize {
+        self.cmds.len()
+    }
+
+    fn drain(&mut self, mtu: u32) -> Vec<TxSegment> {
+        let mtu = u64::from(mtu);
+        let mut out = Vec::new();
+        loop {
+            let Some(&(cmd, msg_id)) = self.cmds.front() else {
+                assert!(self.pending_len == 0, "Tx data with no outstanding command");
+                break;
+            };
+            let remaining = cmd.len - self.emitted;
+            let want = remaining.min(mtu);
+            if self.pending_len < want {
+                break;
+            }
+            let seg = self.take_bytes(want as usize);
+            let offset = self.emitted;
+            self.emitted += want;
+            let last = self.emitted == cmd.len;
+            out.push(TxSegment {
+                cmd,
+                msg_id,
+                offset,
+                data: seg,
+                last,
+            });
+            if last {
+                self.cmds.pop_front();
+                self.emitted = 0;
+            }
+        }
+        out
+    }
+
+    fn take_bytes(&mut self, n: usize) -> Bytes {
+        self.pending_len -= n as u64;
+        let first = &mut self.pending[0];
+        if first.len() > n {
+            // Fast path: slice off the front of the first buffer.
+            return first.split_to(n);
+        }
+        if first.len() == n {
+            return self.pending.remove(0);
+        }
+        // Slow path: concatenate across buffers.
+        let mut buf = Vec::with_capacity(n);
+        while buf.len() < n {
+            let need = n - buf.len();
+            let head = &mut self.pending[0];
+            if head.len() <= need {
+                buf.extend_from_slice(head);
+                self.pending.remove(0);
+            } else {
+                buf.extend_from_slice(&head.split_to(need));
+            }
+        }
+        Bytes::from(buf)
+    }
+}
+
+/// Reassembles segment-oriented arrivals (UDP datagrams, RDMA SEND frames)
+/// into upward Meta + Chunk deliveries.
+///
+/// Each wire segment carries `(session, msg_id, offset, total)`; the demux
+/// emits one [`PoeRxMeta`] on the first segment of a message and tracks
+/// received bytes to set the `last` flag, tolerating reordering.
+#[derive(Debug, Default)]
+pub struct RxDemux {
+    inflight: std::collections::HashMap<(SessionId, u64), u64>,
+}
+
+impl RxDemux {
+    /// Creates an empty demux.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes one arriving segment.
+    ///
+    /// Returns `(meta, chunk)` where `meta` is `Some` for the first segment
+    /// of a message.
+    pub fn accept(
+        &mut self,
+        session: SessionId,
+        msg_id: u64,
+        offset: u64,
+        total: u64,
+        data: Bytes,
+    ) -> (Option<PoeRxMeta>, RxChunk) {
+        let key = (session, msg_id);
+        let first = !self.inflight.contains_key(&key);
+        let got = self.inflight.entry(key).or_insert(0);
+        *got += data.len() as u64;
+        debug_assert!(*got <= total, "received more bytes than message length");
+        let last = *got == total;
+        if last {
+            self.inflight.remove(&key);
+        }
+        let meta = first.then_some(PoeRxMeta {
+            session,
+            msg_id,
+            len: total,
+        });
+        (
+            meta,
+            RxChunk {
+                session,
+                msg_id,
+                offset,
+                data,
+                last,
+            },
+        )
+    }
+
+    /// Messages currently partially received.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accl_net::NodeAddr;
+
+    fn cmd(len: u64, tag: u64) -> PoeTxCmd {
+        PoeTxCmd {
+            session: SessionId(1),
+            len,
+            kind: TxKind::Send,
+            tag,
+        }
+    }
+
+    #[test]
+    fn session_table_connects_and_resolves() {
+        let mut t = SessionTable::new();
+        t.connect(SessionId(0), NodeAddr(3), SessionId(7));
+        assert_eq!(t.peer(SessionId(0)), (NodeAddr(3), SessionId(7)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not connected")]
+    fn unconnected_session_panics() {
+        SessionTable::new().peer(SessionId(5));
+    }
+
+    #[test]
+    fn assembler_segments_at_mtu() {
+        let mut a = TxAssembler::new();
+        a.push_cmd(cmd(10_000, 1));
+        let segs = a.push_data(Bytes::from(vec![7u8; 10_000]), 4096);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].data.len(), 4096);
+        assert_eq!(segs[2].data.len(), 10_000 - 8192);
+        assert!(segs[2].last && !segs[0].last);
+        assert_eq!(segs[1].offset, 4096);
+        assert_eq!(a.queued_cmds(), 0);
+    }
+
+    #[test]
+    fn assembler_pipelines_partial_data() {
+        let mut a = TxAssembler::new();
+        a.push_cmd(cmd(8192, 1));
+        // First 4 KiB: one full segment emitted immediately.
+        let segs = a.push_data(Bytes::from(vec![1u8; 4096]), 4096);
+        assert_eq!(segs.len(), 1);
+        // 2 KiB more: not a full MTU and not message end — buffered.
+        assert!(a.push_data(Bytes::from(vec![2u8; 2048]), 4096).is_empty());
+        // Final 2 KiB completes the message.
+        let segs = a.push_data(Bytes::from(vec![3u8; 2048]), 4096);
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0].last);
+        assert_eq!(segs[0].data.len(), 4096);
+        // Byte order preserved across the buffer boundary.
+        assert_eq!(&segs[0].data[0..2048], &[2u8; 2048][..]);
+        assert_eq!(&segs[0].data[2048..], &[3u8; 2048][..]);
+    }
+
+    #[test]
+    fn assembler_spans_multiple_commands() {
+        let mut a = TxAssembler::new();
+        a.push_cmd(cmd(100, 1));
+        a.push_cmd(cmd(200, 2));
+        let segs = a.push_data(Bytes::from(vec![0u8; 300]), 4096);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].cmd.tag, 1);
+        assert_eq!(segs[0].data.len(), 100);
+        assert_eq!(segs[1].cmd.tag, 2);
+        assert_eq!(segs[1].data.len(), 200);
+        assert!(segs[0].last && segs[1].last);
+    }
+
+    #[test]
+    #[should_panic(expected = "no outstanding command")]
+    fn data_without_command_panics() {
+        let mut a = TxAssembler::new();
+        a.push_data(Bytes::from_static(b"x"), 4096);
+    }
+
+    #[test]
+    fn demux_emits_meta_once_and_last_flag() {
+        let mut d = RxDemux::new();
+        let (m1, c1) = d.accept(SessionId(2), 9, 0, 10, Bytes::from(vec![0u8; 6]));
+        assert!(m1.is_some());
+        assert_eq!(m1.unwrap().len, 10);
+        assert!(!c1.last);
+        let (m2, c2) = d.accept(SessionId(2), 9, 6, 10, Bytes::from(vec![0u8; 4]));
+        assert!(m2.is_none());
+        assert!(c2.last);
+        assert_eq!(d.inflight(), 0);
+    }
+
+    #[test]
+    fn demux_tolerates_reordering() {
+        let mut d = RxDemux::new();
+        let (m1, c1) = d.accept(SessionId(0), 1, 6, 10, Bytes::from(vec![0u8; 4]));
+        assert!(m1.is_some());
+        assert!(!c1.last);
+        let (_, c2) = d.accept(SessionId(0), 1, 0, 10, Bytes::from(vec![0u8; 6]));
+        assert!(c2.last);
+    }
+
+    #[test]
+    fn demux_keeps_sessions_separate() {
+        let mut d = RxDemux::new();
+        d.accept(SessionId(0), 1, 0, 10, Bytes::from(vec![0u8; 4]));
+        d.accept(SessionId(1), 1, 0, 10, Bytes::from(vec![0u8; 4]));
+        assert_eq!(d.inflight(), 2);
+    }
+}

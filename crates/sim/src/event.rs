@@ -1,0 +1,225 @@
+//! Events, payloads and component addressing.
+//!
+//! Every interaction in the simulation is an event: a typed payload
+//! delivered to a `(component, port)` pair at a simulated instant. Payloads
+//! are type-erased so that crates layered above the kernel (network, memory,
+//! protocol engines, ...) can define their own message types without the
+//! kernel knowing about them.
+
+use core::any::Any;
+use core::fmt;
+
+use crate::time::Time;
+
+/// Identifies a component registered with the simulator.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub(crate) u32);
+
+impl ComponentId {
+    /// Raw index of this component in the simulator registry.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifies one input port of a component.
+///
+/// Ports let a single component expose several logical interfaces — e.g. the
+/// CCLO data-movement processor has separate ports for microcode input and
+/// datapath acknowledgements — mirroring how a hardware block has distinct
+/// AXI-Stream interfaces.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u16);
+
+impl PortId {
+    /// The default port for components with a single interface.
+    pub const DEFAULT: PortId = PortId(0);
+}
+
+impl fmt::Debug for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A `(component, port)` destination for events.
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Endpoint {
+    /// Target component.
+    pub comp: ComponentId,
+    /// Target port on that component.
+    pub port: PortId,
+}
+
+impl Endpoint {
+    /// Creates an endpoint addressing `port` of `comp`.
+    pub const fn new(comp: ComponentId, port: PortId) -> Self {
+        Endpoint { comp, port }
+    }
+
+    /// Endpoint for the default port of `comp`.
+    pub const fn of(comp: ComponentId) -> Self {
+        Endpoint {
+            comp,
+            port: PortId::DEFAULT,
+        }
+    }
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}.{:?}", self.comp, self.port)
+    }
+}
+
+/// A type-erased event payload.
+///
+/// Producers construct payloads from any `'static + Send` value; consumers
+/// recover the concrete type with [`Payload::downcast`] (consuming) or
+/// [`Payload::peek`] (borrowing). Downcasting to the wrong type is a
+/// programming error and panics with the expected/actual type names, which
+/// in practice pinpoints mis-wired endpoints immediately.
+pub struct Payload {
+    inner: Box<dyn Any + Send>,
+    type_name: &'static str,
+}
+
+impl Payload {
+    /// Wraps `value` into a type-erased payload.
+    pub fn new<T: Any + Send>(value: T) -> Self {
+        Payload {
+            inner: Box::new(value),
+            type_name: core::any::type_name::<T>(),
+        }
+    }
+
+    /// The `type_name` of the wrapped value (for diagnostics/tracing).
+    pub fn type_name(&self) -> &'static str {
+        self.type_name
+    }
+
+    /// Recovers the concrete payload value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not a `T`, naming both types.
+    pub fn downcast<T: Any>(self) -> T {
+        match self.inner.downcast::<T>() {
+            Ok(b) => *b,
+            Err(_) => panic!(
+                "payload downcast failed: expected {}, got {}",
+                core::any::type_name::<T>(),
+                self.type_name
+            ),
+        }
+    }
+
+    /// Attempts to recover the concrete payload value, returning `self` back on mismatch.
+    pub fn try_downcast<T: Any>(self) -> Result<T, Payload> {
+        let type_name = self.type_name;
+        match self.inner.downcast::<T>() {
+            Ok(b) => Ok(*b),
+            Err(inner) => Err(Payload { inner, type_name }),
+        }
+    }
+
+    /// Borrows the payload as a `T` if it is one.
+    pub fn peek<T: Any>(&self) -> Option<&T> {
+        self.inner.downcast_ref::<T>()
+    }
+
+    /// Whether the wrapped value is a `T`.
+    pub fn is<T: Any>(&self) -> bool {
+        self.inner.is::<T>()
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload<{}>", self.type_name)
+    }
+}
+
+/// An event scheduled for execution: `payload` delivered to `dst` at `time`.
+pub(crate) struct Scheduled {
+    pub time: Time,
+    /// Monotone sequence number breaking ties between simultaneous events;
+    /// this makes the execution order total and the simulation deterministic.
+    pub seq: u64,
+    pub dst: Endpoint,
+    pub payload: Payload,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn payload_downcast_roundtrip() {
+        let p = Payload::new(42u32);
+        assert!(p.is::<u32>());
+        assert_eq!(p.peek::<u32>(), Some(&42));
+        assert_eq!(p.downcast::<u32>(), 42);
+    }
+
+    #[test]
+    fn payload_try_downcast_returns_self_on_mismatch() {
+        let p = Payload::new("hello");
+        let p = p.try_downcast::<u64>().unwrap_err();
+        assert_eq!(p.downcast::<&'static str>(), "hello");
+    }
+
+    #[test]
+    #[should_panic(expected = "payload downcast failed")]
+    fn payload_downcast_panics_with_types() {
+        Payload::new(1u8).downcast::<u16>();
+    }
+
+    #[test]
+    fn scheduled_orders_by_time_then_seq() {
+        let ep = Endpoint::of(ComponentId(0));
+        let mk = |time, seq| Scheduled {
+            time: Time::from_ps(time),
+            seq,
+            dst: ep,
+            payload: Payload::new(()),
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(mk(10, 2));
+        heap.push(mk(5, 3));
+        heap.push(mk(10, 1));
+        heap.push(mk(5, 0));
+        let order: Vec<(u64, u64)> = core::iter::from_fn(|| heap.pop())
+            .map(|s| (s.time.as_ps(), s.seq))
+            .collect();
+        assert_eq!(order, vec![(5, 0), (5, 3), (10, 1), (10, 2)]);
+    }
+}

@@ -1,0 +1,56 @@
+//! # accl-sim — deterministic discrete-event simulation kernel
+//!
+//! The foundation of the ACCL+ reproduction: a small, strictly deterministic
+//! discrete-event simulator on which the network, memory, protocol-offload
+//! and CCLO substrates are built.
+//!
+//! Key concepts:
+//!
+//! - [`time::Time`] / [`time::Dur`] — virtual time in integer picoseconds.
+//! - [`sim::Component`] — an event-driven FSM; every simulated hardware block
+//!   or software agent implements this trait.
+//! - [`sim::Simulator`] — the event loop; events execute in `(time, seq)`
+//!   order, making runs bit-for-bit reproducible for a given seed.
+//! - [`pipe::Pipe`] — the shared timing model for bandwidth-limited FIFO
+//!   resources (links, DMA channels, datapaths).
+//! - [`mailbox::Mailbox`] — harness-side collector for observing results.
+//!
+//! # Examples
+//!
+//! ```
+//! use accl_sim::prelude::*;
+//!
+//! struct Echo { to: Endpoint }
+//! impl Component for Echo {
+//!     fn on_event(&mut self, ctx: &mut Ctx<'_>, _port: PortId, payload: Payload) {
+//!         let n = payload.downcast::<u32>();
+//!         ctx.send(self.to, Dur::from_ns(5), n * 2);
+//!     }
+//! }
+//!
+//! let mut sim = Simulator::new(0);
+//! let sink = sim.add("sink", Mailbox::<u32>::new());
+//! let echo = sim.add("echo", Echo { to: Endpoint::of(sink) });
+//! sim.post(Endpoint::of(echo), Time::ZERO, 21u32);
+//! sim.run();
+//! assert_eq!(sim.component::<Mailbox<u32>>(sink).items()[0].1, 42);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod mailbox;
+pub mod pipe;
+pub mod sim;
+pub mod stats;
+pub mod time;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::event::{ComponentId, Endpoint, Payload, PortId};
+    pub use crate::mailbox::Mailbox;
+    pub use crate::pipe::{Latency, Pipe};
+    pub use crate::sim::{Component, Ctx, RunOutcome, Simulator};
+    pub use crate::stats::Stats;
+    pub use crate::time::{Dur, Time};
+}

@@ -1,0 +1,114 @@
+//! Utility components: mailboxes and completion latches.
+//!
+//! Test and benchmark harnesses need a way to observe what the simulated
+//! system produced. A [`Mailbox`] is a trivially simple component that
+//! stores every payload of a given type it receives, along with the arrival
+//! time, for inspection after the run.
+
+use core::any::Any;
+
+use crate::event::{Payload, PortId};
+use crate::sim::{Component, Ctx};
+use crate::time::Time;
+
+/// Collects every received payload of type `T` with its arrival time.
+pub struct Mailbox<T: Any + Send> {
+    items: Vec<(Time, T)>,
+    stop_after: Option<usize>,
+}
+
+impl<T: Any + Send> Mailbox<T> {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Mailbox {
+            items: Vec::new(),
+            stop_after: None,
+        }
+    }
+
+    /// Makes the mailbox halt the simulation once `n` items have arrived.
+    pub fn stop_after(mut self, n: usize) -> Self {
+        self.stop_after = Some(n);
+        self
+    }
+
+    /// The received items in arrival order.
+    pub fn items(&self) -> &[(Time, T)] {
+        &self.items
+    }
+
+    /// The received values without timestamps.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.items.iter().map(|(_, v)| v)
+    }
+
+    /// Number of items received.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has arrived.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Arrival time of the last item, if any.
+    pub fn last_arrival(&self) -> Option<Time> {
+        self.items.last().map(|&(t, _)| t)
+    }
+
+    /// Drains the received items.
+    pub fn take(&mut self) -> Vec<(Time, T)> {
+        core::mem::take(&mut self.items)
+    }
+}
+
+impl<T: Any + Send> Default for Mailbox<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Any + Send> Component for Mailbox<T> {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, _port: PortId, payload: Payload) {
+        self.items.push((ctx.now(), payload.downcast::<T>()));
+        if let Some(n) = self.stop_after {
+            if self.items.len() >= n {
+                ctx.stop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Endpoint;
+    use crate::sim::{RunOutcome, Simulator};
+
+    #[test]
+    fn mailbox_collects_in_order() {
+        let mut sim = Simulator::new(0);
+        let mb = sim.add("mb", Mailbox::<u32>::new());
+        sim.post(Endpoint::of(mb), Time::from_ps(20), 2u32);
+        sim.post(Endpoint::of(mb), Time::from_ps(10), 1u32);
+        sim.run();
+        let got = sim.component::<Mailbox<u32>>(mb);
+        assert_eq!(
+            got.items(),
+            &[(Time::from_ps(10), 1), (Time::from_ps(20), 2)]
+        );
+        assert_eq!(got.last_arrival(), Some(Time::from_ps(20)));
+    }
+
+    #[test]
+    fn mailbox_stop_after_halts_run() {
+        let mut sim = Simulator::new(0);
+        let mb = sim.add("mb", Mailbox::<u8>::new().stop_after(2));
+        for i in 0..5u8 {
+            sim.post(Endpoint::of(mb), Time::from_ps(i as u64), i);
+        }
+        assert_eq!(sim.run(), RunOutcome::Stopped);
+        assert_eq!(sim.component::<Mailbox<u8>>(mb).len(), 2);
+    }
+}

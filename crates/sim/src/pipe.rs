@@ -1,0 +1,194 @@
+//! Bandwidth-limited FIFO resources.
+//!
+//! [`Pipe`] is the timing model shared by every serial resource in the
+//! simulation: a network link serializing frames, a PCIe DMA channel, an HBM
+//! pseudo-channel, or the CCLO's 64 B/cycle internal datapath. Work items
+//! occupy the resource back-to-back; reserving a transfer returns the
+//! interval it occupies, which callers convert into event schedules.
+//!
+//! This "next-free bookkeeping" style is equivalent to simulating an
+//! output-queued FIFO explicitly, but costs O(1) per transfer instead of an
+//! event per queue slot.
+
+use crate::time::{Dur, Time};
+
+/// A FIFO resource with fixed bandwidth and an optional fixed per-item overhead.
+#[derive(Debug, Clone)]
+pub struct Pipe {
+    bytes_per_sec: f64,
+    per_item: Dur,
+    next_free: Time,
+    busy: Dur,
+    items: u64,
+    bytes: u64,
+}
+
+impl Pipe {
+    /// Creates a pipe with `gbps` (10^9 bits/s) of bandwidth.
+    pub fn gbps(gbps: f64) -> Self {
+        Self::bytes_per_sec(gbps * 1e9 / 8.0)
+    }
+
+    /// Creates a pipe with `bps` bytes/second of bandwidth.
+    pub fn bytes_per_sec(bps: f64) -> Self {
+        assert!(bps > 0.0, "pipe bandwidth must be positive");
+        Pipe {
+            bytes_per_sec: bps,
+            per_item: Dur::ZERO,
+            next_free: Time::ZERO,
+            busy: Dur::ZERO,
+            items: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Adds a fixed overhead charged per reserved item (e.g. a DMA descriptor
+    /// setup or per-packet header processing).
+    pub fn with_per_item(mut self, overhead: Dur) -> Self {
+        self.per_item = overhead;
+        self
+    }
+
+    /// The configured bandwidth in bytes/second.
+    pub fn bandwidth_bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Earliest instant at which the resource is idle.
+    pub fn next_free(&self) -> Time {
+        self.next_free
+    }
+
+    /// Time the resource has spent busy so far.
+    pub fn busy_time(&self) -> Dur {
+        self.busy
+    }
+
+    /// Items reserved so far.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Bytes reserved so far.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Pure query: how long would `bytes` occupy this resource?
+    pub fn service_time(&self, bytes: u64) -> Dur {
+        Dur::for_bytes_bw(bytes, self.bytes_per_sec) + self.per_item
+    }
+
+    /// Reserves the resource for `bytes` arriving at `now`.
+    ///
+    /// Returns `(start, end)`: the transfer begins when the resource frees up
+    /// (no earlier than `now`) and ends after its serialization time.
+    pub fn reserve(&mut self, now: Time, bytes: u64) -> (Time, Time) {
+        let start = self.next_free.max(now);
+        let dur = self.service_time(bytes);
+        let end = start + dur;
+        self.next_free = end;
+        self.busy += dur;
+        self.items += 1;
+        self.bytes += bytes;
+        (start, end)
+    }
+
+    /// Queueing delay a `bytes`-sized item arriving `now` would experience
+    /// before starting service.
+    pub fn queuing_delay(&self, now: Time) -> Dur {
+        self.next_free.since(now)
+    }
+
+    /// Resets occupancy bookkeeping (bandwidth configuration is kept).
+    pub fn reset(&mut self) {
+        self.next_free = Time::ZERO;
+        self.busy = Dur::ZERO;
+        self.items = 0;
+        self.bytes = 0;
+    }
+}
+
+/// A fixed-latency stage, e.g. link propagation or a switch forwarding delay.
+///
+/// Unlike [`Pipe`], a `Latency` stage is infinitely parallel: items do not
+/// queue behind each other, they are merely delayed.
+#[derive(Debug, Clone, Copy)]
+pub struct Latency(pub Dur);
+
+impl Latency {
+    /// Creates a fixed-latency stage of `ns` nanoseconds.
+    pub fn from_ns(ns: u64) -> Self {
+        Latency(Dur::from_ns(ns))
+    }
+
+    /// When an item entering at `now` exits this stage.
+    pub fn through(&self, now: Time) -> Time {
+        now + self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_to_back_transfers_queue() {
+        let mut p = Pipe::gbps(100.0); // 12.5 GB/s
+        let t0 = Time::ZERO;
+        let (s1, e1) = p.reserve(t0, 1250); // 100 ns
+        assert_eq!(s1, t0);
+        assert_eq!(e1, Time::from_ps(100_000));
+        // Second transfer arrives while the first is in flight: it queues.
+        let (s2, e2) = p.reserve(Time::from_ps(50_000), 1250);
+        assert_eq!(s2, e1);
+        assert_eq!(e2, Time::from_ps(200_000));
+        assert_eq!(p.items(), 2);
+        assert_eq!(p.bytes_moved(), 2500);
+        assert_eq!(p.busy_time(), Dur::from_ns(200));
+    }
+
+    #[test]
+    fn idle_gap_is_not_charged() {
+        let mut p = Pipe::gbps(100.0);
+        p.reserve(Time::ZERO, 1250);
+        // Arrives long after the pipe freed up: starts immediately.
+        let (s, _) = p.reserve(Time::from_ps(1_000_000), 1250);
+        assert_eq!(s, Time::from_ps(1_000_000));
+        assert_eq!(p.busy_time(), Dur::from_ns(200));
+    }
+
+    #[test]
+    fn per_item_overhead_is_charged() {
+        let mut p = Pipe::gbps(100.0).with_per_item(Dur::from_ns(50));
+        let (_, e) = p.reserve(Time::ZERO, 1250);
+        assert_eq!(e, Time::from_ps(150_000));
+        assert_eq!(p.service_time(1250), Dur::from_ns(150));
+    }
+
+    #[test]
+    fn queuing_delay_reports_backlog() {
+        let mut p = Pipe::gbps(8.0); // 1 GB/s
+        p.reserve(Time::ZERO, 1_000_000); // busy 1 ms
+        assert_eq!(p.queuing_delay(Time::from_ps(0)), Dur::from_us(1_000));
+        assert_eq!(p.queuing_delay(Time::from_ps(10u64.pow(9))), Dur::ZERO);
+    }
+
+    #[test]
+    fn latency_stage_is_parallel() {
+        let l = Latency::from_ns(500);
+        assert_eq!(l.through(Time::ZERO), Time::from_ps(500_000));
+        assert_eq!(l.through(Time::from_ps(100)), Time::from_ps(500_100));
+    }
+
+    #[test]
+    fn reset_preserves_bandwidth() {
+        let mut p = Pipe::gbps(100.0);
+        p.reserve(Time::ZERO, 10_000);
+        p.reset();
+        assert_eq!(p.items(), 0);
+        assert_eq!(p.next_free(), Time::ZERO);
+        let (s, _) = p.reserve(Time::ZERO, 1250);
+        assert_eq!(s, Time::ZERO);
+    }
+}

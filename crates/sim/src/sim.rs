@@ -1,0 +1,640 @@
+//! The discrete-event simulator: component registry, event queue, main loop.
+//!
+//! The simulator is strictly deterministic: events execute in `(time, seq)`
+//! order where `seq` is the order of scheduling, and the only source of
+//! randomness is a seeded RNG. Running the same build twice with the same
+//! seed replays the identical event timeline — the property the ACCL+ paper
+//! relies on for its own simulation platform (§4.2) and that our integration
+//! tests assert.
+
+use core::any::Any;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::event::{ComponentId, Endpoint, Payload, PortId, Scheduled};
+use crate::stats::Stats;
+use crate::time::{Dur, Time};
+
+/// A simulated hardware or software entity.
+///
+/// Components are event-driven finite-state machines: all interaction happens
+/// through [`Component::on_event`], and side effects are expressed by
+/// scheduling further events via [`Ctx`]. This mirrors how the corresponding
+/// RTL blocks (DMP, RxBuf manager, Tx/Rx systems, ...) react to AXI-Stream
+/// transactions.
+pub trait Component: Any + Send {
+    /// Handles `payload` arriving on `port` at time `ctx.now()`.
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, port: PortId, payload: Payload);
+}
+
+/// Scheduling context handed to a component while it executes an event.
+pub struct Ctx<'a> {
+    now: Time,
+    self_id: ComponentId,
+    queue: &'a mut BinaryHeap<Scheduled>,
+    seq: &'a mut u64,
+    rng: &'a mut StdRng,
+    stats: &'a mut Stats,
+    stop: &'a mut bool,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The id of the component currently executing.
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Schedules `payload` for delivery to `dst` after `delay`.
+    pub fn send<T: Any + Send>(&mut self, dst: Endpoint, delay: Dur, payload: T) {
+        self.send_at(dst, self.now + delay, payload);
+    }
+
+    /// Schedules `payload` for delivery to `dst` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn send_at<T: Any + Send>(&mut self, dst: Endpoint, at: Time, payload: T) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.queue.push(Scheduled {
+            time: at,
+            seq,
+            dst,
+            payload: Payload::new(payload),
+        });
+    }
+
+    /// Schedules `payload` back to `port` of the executing component after `delay`.
+    pub fn send_self<T: Any + Send>(&mut self, port: PortId, delay: Dur, payload: T) {
+        self.send(Endpoint::new(self.self_id, port), delay, payload);
+    }
+
+    /// Deterministic simulation-wide RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Simulation-wide statistics registry.
+    pub fn stats(&mut self) -> &mut Stats {
+        self.stats
+    }
+
+    /// Requests the main loop to stop after the current event.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// Why [`Simulator::run`] (or a bounded variant) returned.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// A component called [`Ctx::stop`].
+    Stopped,
+    /// The time horizon passed with events still pending.
+    Horizon,
+    /// The event budget was exhausted with events still pending.
+    Budget,
+}
+
+/// One captured event delivery (see [`Simulator::enable_trace`]).
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Delivery time.
+    pub time: Time,
+    /// Destination component id.
+    pub comp: ComponentId,
+    /// Destination port.
+    pub port: PortId,
+    /// `type_name` of the payload.
+    pub payload_type: &'static str,
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    time: Time,
+    queue: BinaryHeap<Scheduled>,
+    seq: u64,
+    components: Vec<Option<Box<dyn Component>>>,
+    names: Vec<String>,
+    rng: StdRng,
+    stats: Stats,
+    stop: bool,
+    executed: u64,
+    /// Event trace ring buffer (None = tracing off).
+    trace: Option<(Vec<TraceRecord>, usize)>,
+}
+
+impl Simulator {
+    /// Creates an empty simulator with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            time: Time::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            components: Vec::new(),
+            names: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            stats: Stats::new(),
+            stop: false,
+            executed: 0,
+            trace: None,
+        }
+    }
+
+    /// Enables event tracing into a ring buffer of `capacity` records —
+    /// the simulation-platform debugging workflow of the paper's §4.2:
+    /// when a collective stalls, the last deliveries name the component
+    /// and message type where progress stopped.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        assert!(capacity > 0, "zero-capacity trace");
+        self.trace = Some((Vec::with_capacity(capacity), capacity));
+    }
+
+    /// The captured trace, oldest first.
+    pub fn trace(&self) -> Vec<TraceRecord> {
+        match &self.trace {
+            None => Vec::new(),
+            Some((ring, cap)) => {
+                if ring.len() < *cap {
+                    ring.clone()
+                } else {
+                    // The ring wraps at `executed % cap`.
+                    let split = (self.executed as usize) % cap;
+                    let mut out = ring[split..].to_vec();
+                    out.extend_from_slice(&ring[..split]);
+                    out
+                }
+            }
+        }
+    }
+
+    /// Renders the last `n` trace records with component names.
+    pub fn trace_tail(&self, n: usize) -> String {
+        let trace = self.trace();
+        let start = trace.len().saturating_sub(n);
+        trace[start..]
+            .iter()
+            .map(|r| {
+                format!(
+                    "{} -> {}.{:?} [{}]\n",
+                    r.time,
+                    self.name(r.comp),
+                    r.port,
+                    r.payload_type
+                )
+            })
+            .collect()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.time
+    }
+
+    /// Total events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Registers a component and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, comp: impl Component) -> ComponentId {
+        let id = self.reserve(name);
+        self.install(id, comp);
+        id
+    }
+
+    /// Reserves a component id without installing the component yet.
+    ///
+    /// Two-phase registration lets mutually-connected components (e.g. the
+    /// CCLO's uC and DMP, which address each other) be constructed with each
+    /// other's endpoints before either exists.
+    pub fn reserve(&mut self, name: impl Into<String>) -> ComponentId {
+        let id = ComponentId(u32::try_from(self.components.len()).expect("too many components"));
+        self.components.push(None);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Installs `comp` into a slot previously obtained from [`Simulator::reserve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already occupied.
+    pub fn install(&mut self, id: ComponentId, comp: impl Component) {
+        let slot = &mut self.components[id.index()];
+        assert!(
+            slot.is_none(),
+            "component {} installed twice",
+            self.name(id)
+        );
+        *slot = Some(Box::new(comp));
+    }
+
+    /// The registration name of `id`.
+    pub fn name(&self, id: ComponentId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of registered (or reserved) components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Borrows an installed component, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component is missing or of a different type.
+    pub fn component<T: Component>(&self, id: ComponentId) -> &T {
+        let comp = self.components[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("component {} not installed", self.name(id)));
+        (comp.as_ref() as &dyn Any)
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| {
+                panic!(
+                    "component {} is not a {}",
+                    self.name(id),
+                    core::any::type_name::<T>()
+                )
+            })
+    }
+
+    /// Mutably borrows an installed component, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component is missing or of a different type.
+    pub fn component_mut<T: Component>(&mut self, id: ComponentId) -> &mut T {
+        let name = self.names[id.index()].clone();
+        let comp = self.components[id.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("component {name} not installed"));
+        (comp.as_mut() as &mut dyn Any)
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("component {name} is not a {}", core::any::type_name::<T>()))
+    }
+
+    /// Schedules `payload` for delivery to `dst` at absolute time `at`
+    /// from outside any component (e.g. test or benchmark setup).
+    pub fn post<T: Any + Send>(&mut self, dst: Endpoint, at: Time, payload: T) {
+        assert!(at >= self.time, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            time: at,
+            seq,
+            dst,
+            payload: Payload::new(payload),
+        });
+    }
+
+    /// Schedules `payload` for delivery to `dst` after `delay` from now.
+    pub fn post_in<T: Any + Send>(&mut self, dst: Endpoint, delay: Dur, payload: T) {
+        self.post(dst, self.time + delay, payload);
+    }
+
+    /// Read-only statistics registry.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Mutable statistics registry (e.g. to reset between sweep points).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// Executes a single event. Returns `false` if the queue was empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event addresses a reserved-but-uninstalled component.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.time, "event queue went backwards");
+        self.time = ev.time;
+        if let Some((ring, cap)) = &mut self.trace {
+            let rec = TraceRecord {
+                time: ev.time,
+                comp: ev.dst.comp,
+                port: ev.dst.port,
+                payload_type: ev.payload.type_name(),
+            };
+            if ring.len() < *cap {
+                ring.push(rec);
+            } else {
+                let idx = (self.executed as usize) % *cap;
+                ring[idx] = rec;
+            }
+        }
+        self.executed += 1;
+        // Take the component out of its slot so the handler can borrow the
+        // simulator internals mutably without aliasing itself.
+        let mut comp = self.components[ev.dst.comp.index()]
+            .take()
+            .unwrap_or_else(|| {
+                panic!(
+                    "event {:?} addressed to uninstalled component {}",
+                    ev.payload,
+                    self.names[ev.dst.comp.index()]
+                )
+            });
+        let mut ctx = Ctx {
+            now: self.time,
+            self_id: ev.dst.comp,
+            queue: &mut self.queue,
+            seq: &mut self.seq,
+            rng: &mut self.rng,
+            stats: &mut self.stats,
+            stop: &mut self.stop,
+        };
+        comp.on_event(&mut ctx, ev.dst.port, ev.payload);
+        self.components[ev.dst.comp.index()] = Some(comp);
+        true
+    }
+
+    /// Runs until the event queue drains or a component calls [`Ctx::stop`].
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_bounded(Time::MAX, u64::MAX)
+    }
+
+    /// Runs until `horizon` (exclusive), queue drain, or stop.
+    pub fn run_until(&mut self, horizon: Time) -> RunOutcome {
+        self.run_bounded(horizon, u64::MAX)
+    }
+
+    /// Runs with both a time horizon and an event budget.
+    ///
+    /// The event budget is a guard against accidental event storms (a
+    /// mis-configured retransmission timer, say); production experiments set
+    /// it to `u64::MAX`.
+    pub fn run_bounded(&mut self, horizon: Time, max_events: u64) -> RunOutcome {
+        self.stop = false;
+        let mut budget = max_events;
+        loop {
+            if self.stop {
+                return RunOutcome::Stopped;
+            }
+            match self.queue.peek() {
+                None => return RunOutcome::Drained,
+                Some(ev) if ev.time >= horizon => {
+                    self.time = horizon.min(ev.time);
+                    return RunOutcome::Horizon;
+                }
+                Some(_) => {}
+            }
+            if budget == 0 {
+                return RunOutcome::Budget;
+            }
+            budget -= 1;
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A component that counts pings and optionally echoes them to a peer.
+    struct Pinger {
+        received: Vec<(u64, u32)>,
+        peer: Option<Endpoint>,
+        bounces_left: u32,
+    }
+
+    #[derive(Clone, Copy)]
+    struct Ping(u32);
+
+    impl Component for Pinger {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, _port: PortId, payload: Payload) {
+            let ping = payload.downcast::<Ping>();
+            self.received.push((ctx.now().as_ps(), ping.0));
+            if let (Some(peer), true) = (self.peer, self.bounces_left > 0) {
+                self.bounces_left -= 1;
+                ctx.send(peer, Dur::from_ns(10), Ping(ping.0 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_between_two_components() {
+        let mut sim = Simulator::new(1);
+        let a = sim.reserve("a");
+        let b = sim.reserve("b");
+        sim.install(
+            a,
+            Pinger {
+                received: vec![],
+                peer: Some(Endpoint::of(b)),
+                bounces_left: 3,
+            },
+        );
+        sim.install(
+            b,
+            Pinger {
+                received: vec![],
+                peer: Some(Endpoint::of(a)),
+                bounces_left: 3,
+            },
+        );
+        sim.post(Endpoint::of(a), Time::ZERO, Ping(0));
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        // a gets pings 0, 2, 4, 6 at t = 0, 20ns, 40ns, 60ns... but bounce
+        // budget of 3 per side caps the exchange at 7 total events.
+        let a_ref = sim.component::<Pinger>(a);
+        let b_ref = sim.component::<Pinger>(b);
+        assert_eq!(a_ref.received.len() + b_ref.received.len(), 7);
+        assert_eq!(a_ref.received[0], (0, 0));
+        assert_eq!(b_ref.received[0], (10_000, 1));
+        assert_eq!(a_ref.received[1], (20_000, 2));
+        assert_eq!(sim.events_executed(), 7);
+    }
+
+    #[test]
+    fn horizon_stops_before_future_events() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add(
+            "a",
+            Pinger {
+                received: vec![],
+                peer: None,
+                bounces_left: 0,
+            },
+        );
+        sim.post(Endpoint::of(a), Time::from_ps(5_000), Ping(1));
+        sim.post(Endpoint::of(a), Time::from_ps(15_000), Ping(2));
+        assert_eq!(sim.run_until(Time::from_ps(10_000)), RunOutcome::Horizon);
+        assert_eq!(sim.component::<Pinger>(a).received.len(), 1);
+        assert_eq!(sim.now(), Time::from_ps(10_000));
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        assert_eq!(sim.component::<Pinger>(a).received.len(), 2);
+    }
+
+    #[test]
+    fn event_budget_limits_execution() {
+        struct SelfLooper;
+        impl Component for SelfLooper {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, port: PortId, _payload: Payload) {
+                ctx.send_self(port, Dur::from_ns(1), ());
+            }
+        }
+        let mut sim = Simulator::new(0);
+        let a = sim.add("loop", SelfLooper);
+        sim.post(Endpoint::of(a), Time::ZERO, ());
+        assert_eq!(sim.run_bounded(Time::MAX, 100), RunOutcome::Budget);
+        assert_eq!(sim.events_executed(), 100);
+    }
+
+    #[test]
+    fn stop_terminates_run() {
+        struct Stopper;
+        impl Component for Stopper {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, _port: PortId, _payload: Payload) {
+                ctx.stop();
+            }
+        }
+        let mut sim = Simulator::new(0);
+        let a = sim.add("stopper", Stopper);
+        sim.post(Endpoint::of(a), Time::from_ps(7), ());
+        sim.post(Endpoint::of(a), Time::from_ps(9), ());
+        assert_eq!(sim.run(), RunOutcome::Stopped);
+        assert_eq!(sim.now(), Time::from_ps(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "uninstalled component")]
+    fn event_to_reserved_slot_panics() {
+        let mut sim = Simulator::new(0);
+        let a = sim.reserve("ghost");
+        sim.post(Endpoint::of(a), Time::ZERO, ());
+        sim.run();
+    }
+
+    #[test]
+    fn simultaneous_events_execute_in_scheduling_order() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add(
+            "a",
+            Pinger {
+                received: vec![],
+                peer: None,
+                bounces_left: 0,
+            },
+        );
+        for i in 0..10 {
+            sim.post(Endpoint::of(a), Time::from_ps(100), Ping(i));
+        }
+        sim.run();
+        let got: Vec<u32> = sim
+            .component::<Pinger>(a)
+            .received
+            .iter()
+            .map(|&(_, v)| v)
+            .collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn trace_captures_deliveries_in_order() {
+        let mut sim = Simulator::new(0);
+        sim.enable_trace(16);
+        let a = sim.add(
+            "a",
+            Pinger {
+                received: vec![],
+                peer: None,
+                bounces_left: 0,
+            },
+        );
+        for i in 0..3u64 {
+            sim.post(Endpoint::of(a), Time::from_ps(i * 10), Ping(i as u32));
+        }
+        sim.run();
+        let trace = sim.trace();
+        assert_eq!(trace.len(), 3);
+        assert!(trace.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(trace[0].payload_type.contains("Ping"));
+        let tail = sim.trace_tail(2);
+        assert_eq!(tail.matches("Ping").count(), 2);
+    }
+
+    #[test]
+    fn trace_ring_keeps_the_newest_records() {
+        let mut sim = Simulator::new(0);
+        sim.enable_trace(4);
+        let a = sim.add(
+            "a",
+            Pinger {
+                received: vec![],
+                peer: None,
+                bounces_left: 0,
+            },
+        );
+        for i in 0..10u64 {
+            sim.post(Endpoint::of(a), Time::from_ps(i), Ping(i as u32));
+        }
+        sim.run();
+        let trace = sim.trace();
+        assert_eq!(trace.len(), 4);
+        // Oldest-first and ending with the final delivery.
+        assert_eq!(trace[0].time, Time::from_ps(6));
+        assert_eq!(trace[3].time, Time::from_ps(9));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_timeline() {
+        fn run_once(seed: u64) -> Vec<(u64, u32)> {
+            use rand::RngExt;
+            struct Jitterer {
+                peer: Option<Endpoint>,
+                log: Vec<(u64, u32)>,
+                remaining: u32,
+            }
+            impl Component for Jitterer {
+                fn on_event(&mut self, ctx: &mut Ctx<'_>, _port: PortId, payload: Payload) {
+                    let v = payload.downcast::<u32>();
+                    self.log.push((ctx.now().as_ps(), v));
+                    if self.remaining > 0 {
+                        self.remaining -= 1;
+                        let jitter = ctx.rng().random_range(1..1000u64);
+                        let peer = self.peer.unwrap_or(Endpoint::of(ctx.self_id()));
+                        ctx.send(peer, Dur::from_ps(jitter), v + 1);
+                    }
+                }
+            }
+            let mut sim = Simulator::new(seed);
+            let a = sim.add(
+                "a",
+                Jitterer {
+                    peer: None,
+                    log: vec![],
+                    remaining: 50,
+                },
+            );
+            sim.post(Endpoint::of(a), Time::ZERO, 0u32);
+            sim.run();
+            sim.component::<Jitterer>(a).log.clone()
+        }
+        assert_eq!(run_once(42), run_once(42));
+        assert_ne!(run_once(42), run_once(43));
+    }
+}

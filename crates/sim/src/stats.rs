@@ -1,0 +1,124 @@
+//! Simulation-wide statistics: counters and sample series.
+//!
+//! Components record measurements under string keys; benchmark harnesses
+//! read them back after a run to produce the paper's tables. Keys are
+//! free-form but the convention is `"<node>.<component>.<metric>"`.
+
+use std::collections::BTreeMap;
+
+/// A set of named counters and sample series.
+#[derive(Default, Debug, Clone)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+    series: BTreeMap<String, Vec<f64>>,
+}
+
+impl Stats {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `key`, creating it at zero if absent.
+    pub fn add(&mut self, key: &str, delta: u64) {
+        *self.counters.entry(key.to_string()).or_insert(0) += delta;
+    }
+
+    /// Current value of counter `key` (zero if never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Appends a sample to series `key`.
+    pub fn record(&mut self, key: &str, value: f64) {
+        self.series.entry(key.to_string()).or_default().push(value);
+    }
+
+    /// All samples recorded under `key`.
+    pub fn samples(&self, key: &str) -> &[f64] {
+        self.series.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Mean of the samples under `key`, or `None` if empty.
+    pub fn mean(&self, key: &str) -> Option<f64> {
+        let s = self.samples(key);
+        if s.is_empty() {
+            None
+        } else {
+            Some(s.iter().sum::<f64>() / s.len() as f64)
+        }
+    }
+
+    /// The `p` percentile (0.0..=100.0) of samples under `key`.
+    pub fn percentile(&self, key: &str, p: f64) -> Option<f64> {
+        let mut s: Vec<f64> = self.samples(key).to_vec();
+        if s.is_empty() {
+            return None;
+        }
+        s.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let rank = (p / 100.0 * (s.len() - 1) as f64).round() as usize;
+        Some(s[rank.min(s.len() - 1)])
+    }
+
+    /// Maximum sample under `key`.
+    pub fn max_sample(&self, key: &str) -> Option<f64> {
+        self.samples(key)
+            .iter()
+            .copied()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Iterates over all counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates over all series names in key order.
+    pub fn series_keys(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Clears all counters and series (e.g. between sweep points).
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.series.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.add("pkts", 3);
+        s.add("pkts", 4);
+        assert_eq!(s.counter("pkts"), 7);
+        assert_eq!(s.counter("absent"), 0);
+    }
+
+    #[test]
+    fn series_statistics() {
+        let mut s = Stats::new();
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            s.record("lat", v);
+        }
+        assert_eq!(s.samples("lat").len(), 4);
+        assert_eq!(s.mean("lat"), Some(2.5));
+        assert_eq!(s.percentile("lat", 0.0), Some(1.0));
+        assert_eq!(s.percentile("lat", 100.0), Some(4.0));
+        assert_eq!(s.max_sample("lat"), Some(4.0));
+        assert_eq!(s.mean("absent"), None);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = Stats::new();
+        s.add("a", 1);
+        s.record("b", 1.0);
+        s.reset();
+        assert_eq!(s.counter("a"), 0);
+        assert!(s.samples("b").is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! # accl-swmpi — the software MPI baseline
+//!
+//! A cost-modelled reproduction of the paper's comparison systems: OpenMPI
+//! 4.1 + UCX over 100 Gb/s RoCE and MPICH 4.0 over kernel TCP (§5). Ranks
+//! are simulated CPU processes with commodity NICs on the same switched
+//! fabric as the FPGAs; software costs (per-call overheads, bounce-buffer
+//! copies, rendezvous handshakes, SIMD combines) are charged on a single
+//! serialized core, and collective algorithms are selected with the
+//! fine-grained message-size/rank-count heuristics the paper describes for
+//! Fig. 12.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod nic;
+pub mod process;
+pub mod tuning;
+
+pub use cluster::MpiCluster;
+pub use nic::{MpiWire, NicDeliver, NicSend, SwNic};
+pub use process::{MpiCall, MpiOp, MpiProcess, MpiRecord};
+pub use tuning::{MpiConfig, MpiFlavor};

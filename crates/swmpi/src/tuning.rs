@@ -1,0 +1,187 @@
+//! Software-MPI configuration: flavors, costs, and the fine-grained
+//! algorithm selection the paper credits for MPI's competitiveness in some
+//! H2H scenarios (§5, Fig. 12).
+
+use accl_cclo::command::CollOp;
+use accl_cclo::config::Algorithm;
+use accl_sim::time::Dur;
+use serde::{Deserialize, Serialize};
+
+/// Which MPI implementation is being modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MpiFlavor {
+    /// OpenMPI 4.1 + UCX over RoCE (RDMA-capable NIC path).
+    OpenMpiRdma,
+    /// MPICH 4.0 over kernel TCP sockets.
+    MpichTcp,
+}
+
+/// Cost model of one software MPI installation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MpiConfig {
+    /// Implementation flavor.
+    pub flavor: MpiFlavor,
+    /// Effective NIC bandwidth (kernel TCP is CPU-copy limited).
+    pub nic_gbps: f64,
+    /// NIC base latency per message, ns.
+    pub nic_base_latency_ns: u64,
+    /// Wire MTU.
+    pub mtu: u32,
+    /// Software overhead per send posting, µs.
+    pub overhead_send_us: f64,
+    /// Software overhead per receive completion, µs.
+    pub overhead_recv_us: f64,
+    /// Eager/rendezvous threshold, bytes.
+    pub eager_threshold: u64,
+    /// Host memcpy bandwidth (eager copies), Gb/s.
+    pub memcpy_gbps: f64,
+    /// Single-core SIMD reduction bandwidth, Gb/s.
+    pub combine_gbps: f64,
+    /// Software processing per rendezvous handshake message, µs.
+    pub rndzv_sw_us: f64,
+}
+
+impl MpiConfig {
+    /// OpenMPI + UCX over 100 Gb/s RoCE (the paper's RDMA baseline).
+    pub fn openmpi_rdma() -> Self {
+        MpiConfig {
+            flavor: MpiFlavor::OpenMpiRdma,
+            nic_gbps: 97.0,
+            nic_base_latency_ns: 600,
+            mtu: 4096,
+            overhead_send_us: 0.7,
+            overhead_recv_us: 0.7,
+            eager_threshold: 16 * 1024,
+            memcpy_gbps: 88.0,
+            combine_gbps: 160.0,
+            rndzv_sw_us: 0.8,
+        }
+    }
+
+    /// MPICH over kernel TCP (the paper's TCP baseline).
+    pub fn mpich_tcp() -> Self {
+        MpiConfig {
+            flavor: MpiFlavor::MpichTcp,
+            nic_gbps: 55.0,
+            nic_base_latency_ns: 4_000,
+            mtu: 8960,
+            overhead_send_us: 4.0,
+            overhead_recv_us: 4.0,
+            eager_threshold: 64 * 1024,
+            memcpy_gbps: 88.0,
+            combine_gbps: 160.0,
+            rndzv_sw_us: 4.0,
+        }
+    }
+
+    /// Send-posting overhead as a duration.
+    pub fn overhead_send(&self) -> Dur {
+        Dur::from_us_f64(self.overhead_send_us)
+    }
+
+    /// Receive-completion overhead as a duration.
+    pub fn overhead_recv(&self) -> Dur {
+        Dur::from_us_f64(self.overhead_recv_us)
+    }
+
+    /// Rendezvous handshake processing as a duration.
+    pub fn rndzv_sw(&self) -> Dur {
+        Dur::from_us_f64(self.rndzv_sw_us)
+    }
+
+    /// Time to memcpy `bytes` on the host.
+    pub fn memcpy_time(&self, bytes: u64) -> Dur {
+        Dur::for_bytes_gbps(bytes, self.memcpy_gbps)
+    }
+
+    /// Time to combine `bytes` with SIMD.
+    pub fn combine_time(&self, bytes: u64) -> Dur {
+        Dur::for_bytes_gbps(bytes, self.combine_gbps)
+    }
+
+    /// The implementation's algorithm choice for `op` at `bytes` per block
+    /// over `ranks` ranks — the fine-grained selection of Fig. 12: three
+    /// regimes for small reduces (all-to-one < 4 ranks, ring 4–7, binomial
+    /// at 8+) and two for large (all-to-one ≤ 3, binomial above).
+    pub fn algorithm(&self, op: CollOp, bytes: u64, ranks: u32) -> Algorithm {
+        match op {
+            CollOp::Reduce | CollOp::Gather => {
+                if bytes <= 32 * 1024 {
+                    if ranks < 4 {
+                        Algorithm::OneToAll
+                    } else if ranks < 8 {
+                        Algorithm::Ring
+                    } else {
+                        Algorithm::BinaryTree
+                    }
+                } else if ranks <= 3 {
+                    Algorithm::OneToAll
+                } else {
+                    Algorithm::BinaryTree
+                }
+            }
+            CollOp::Bcast => {
+                if ranks <= 4 {
+                    Algorithm::OneToAll
+                } else {
+                    Algorithm::RecursiveDoubling
+                }
+            }
+            CollOp::AllReduce => {
+                if bytes <= 32 * 1024 {
+                    Algorithm::OneToAll
+                } else {
+                    Algorithm::BinaryTree
+                }
+            }
+            CollOp::AllGather | CollOp::ReduceScatter => Algorithm::Ring,
+            _ => Algorithm::Linear,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_selection_has_three_small_regimes() {
+        let cfg = MpiConfig::openmpi_rdma();
+        assert_eq!(
+            cfg.algorithm(CollOp::Reduce, 8 << 10, 2),
+            Algorithm::OneToAll
+        );
+        assert_eq!(cfg.algorithm(CollOp::Reduce, 8 << 10, 5), Algorithm::Ring);
+        assert_eq!(
+            cfg.algorithm(CollOp::Reduce, 8 << 10, 8),
+            Algorithm::BinaryTree
+        );
+        assert_eq!(
+            cfg.algorithm(CollOp::Reduce, 128 << 10, 3),
+            Algorithm::OneToAll
+        );
+        assert_eq!(
+            cfg.algorithm(CollOp::Reduce, 128 << 10, 4),
+            Algorithm::BinaryTree
+        );
+    }
+
+    #[test]
+    fn tcp_flavor_is_slower_everywhere() {
+        let rdma = MpiConfig::openmpi_rdma();
+        let tcp = MpiConfig::mpich_tcp();
+        assert!(tcp.nic_gbps < rdma.nic_gbps);
+        assert!(tcp.overhead_send() > rdma.overhead_send());
+        assert!(tcp.nic_base_latency_ns > rdma.nic_base_latency_ns);
+    }
+
+    #[test]
+    fn cost_helpers_scale_linearly() {
+        let cfg = MpiConfig::openmpi_rdma();
+        assert_eq!(
+            cfg.memcpy_time(2_000_000).as_ps(),
+            2 * cfg.memcpy_time(1_000_000).as_ps()
+        );
+        assert!(cfg.combine_time(1 << 20) < cfg.memcpy_time(1 << 20) * 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! # acclplus — an FPGA-based collective engine, reproduced in Rust
+//!
+//! A full reproduction of **"ACCL+: an FPGA-Based Collective Engine for
+//! Distributed Applications" (OSDI 2024)** as a deterministic discrete-event
+//! simulation: the CCLO collective engine (firmware-driven control plane,
+//! microcoded data plane), UDP/TCP/RDMA protocol offload engines, Coyote and
+//! Vitis/XRT platform models, a packet-level 100 Gb/s switched fabric, a
+//! software-MPI baseline, and the paper's two use cases (distributed GEMV
+//! and 10-FPGA DLRM inference).
+//!
+//! This crate is the facade: it re-exports every layer. Start with
+//! [`AcclCluster`] and the examples:
+//!
+//! ```
+//! use acclplus::{AcclCluster, BufLoc, ClusterConfig, CollOp, CollSpec, DType};
+//!
+//! // Two FPGA nodes on a simulated 100 Gb/s fabric (Coyote + RDMA).
+//! let mut cluster = AcclCluster::build(ClusterConfig::coyote_rdma(2));
+//! let src = cluster.alloc(0, BufLoc::Device, 1024);
+//! let dst = cluster.alloc(1, BufLoc::Device, 1024);
+//! cluster.write(&src, &[42u8; 1024]);
+//! cluster.host_collective(vec![
+//!     CollSpec::new(CollOp::Send, 256, DType::I32).root(1).src(src),
+//!     CollSpec::new(CollOp::Recv, 256, DType::I32).root(0).dst(dst),
+//! ]);
+//! assert_eq!(cluster.read(&dst), vec![42u8; 1024]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use accl_core::driver::CollSpec;
+pub use accl_core::host::{HostOp, Program};
+pub use accl_core::kernel::KernelOp;
+pub use accl_core::{
+    AcclCluster, AlgoConfig, Algorithm, BufLoc, BufferHandle, CcloConfig, ClusterConfig, CollOp,
+    CollectiveProgram, DType, Platform, ReduceFn, SyncProto, Transport,
+};
+
+/// The CCLO engine internals (firmware, DMP, RBM, Tx/Rx).
+pub use accl_cclo as cclo;
+/// The public driver layer.
+pub use accl_core as core_api;
+/// The DLRM use case.
+pub use accl_dlrm as dlrm;
+/// Dense kernels and CPU cost models.
+pub use accl_linalg as linalg;
+/// The memory substrate (host/device, TLB, XDMA).
+pub use accl_mem as mem;
+/// The packet-level network substrate.
+pub use accl_net as net;
+/// The protocol offload engines.
+pub use accl_poe as poe;
+/// FPGA resource accounting.
+pub use accl_resource as resource;
+/// The discrete-event simulation kernel.
+pub use accl_sim as sim;
+/// The software-MPI baseline.
+pub use accl_swmpi as swmpi;

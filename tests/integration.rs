@@ -1,0 +1,445 @@
+//! Cross-crate integration tests: the full stack (driver → CCLO → POE →
+//! fabric → memory) exercised across platforms, transports, protocols and
+//! failure conditions.
+
+#![allow(clippy::needless_range_loop)] // rank loops index parallel spec/buffer arrays
+
+use acclplus::net::FaultPlan;
+use acclplus::{
+    AcclCluster, AlgoConfig, BufLoc, ClusterConfig, CollOp, CollSpec, DType, ReduceFn, SyncProto,
+};
+
+fn i32s(vals: &[i32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn pattern(rank: usize, count: u64) -> Vec<u8> {
+    i32s(
+        &(0..count as i32)
+            .map(|i| i * 7 + rank as i32 * 131)
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn summed(n: usize, count: u64) -> Vec<u8> {
+    i32s(
+        &(0..count as i32)
+            .map(|i| (0..n as i32).map(|r| i * 7 + r * 131).sum())
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Every evaluated platform/transport combination runs the same allreduce
+/// and produces identical (correct) results.
+#[test]
+fn allreduce_across_all_configurations() {
+    let n = 4;
+    let count = 2048u64;
+    let expect = summed(n, count);
+    for (name, cfg, loc) in [
+        (
+            "coyote+rdma/device",
+            ClusterConfig::coyote_rdma(n),
+            BufLoc::Device,
+        ),
+        (
+            "coyote+rdma/host",
+            ClusterConfig::coyote_rdma(n),
+            BufLoc::Host,
+        ),
+        ("xrt+tcp/device", ClusterConfig::xrt_tcp(n), BufLoc::Device),
+        (
+            "xrt+tcp/host(staged)",
+            ClusterConfig::xrt_tcp(n),
+            BufLoc::Host,
+        ),
+        ("xrt+udp/device", ClusterConfig::xrt_udp(n), BufLoc::Device),
+        (
+            "legacy-accl+tcp/device",
+            ClusterConfig::legacy_accl_tcp(n),
+            BufLoc::Device,
+        ),
+    ] {
+        let mut c = AcclCluster::build(cfg);
+        let mut specs = Vec::new();
+        let mut dsts = Vec::new();
+        for rank in 0..n {
+            let src = c.alloc(rank, loc, count * 4);
+            let dst = c.alloc(rank, loc, count * 4);
+            c.write(&src, &pattern(rank, count));
+            specs.push(
+                CollSpec::new(CollOp::AllReduce, count, DType::I32)
+                    .src(src)
+                    .dst(dst),
+            );
+            dsts.push(dst);
+        }
+        c.host_collective(specs);
+        for (rank, dst) in dsts.iter().enumerate() {
+            assert_eq!(c.read(dst), expect, "{name} rank {rank}");
+        }
+    }
+}
+
+/// TCP collectives survive random frame loss on the fabric — the
+/// retransmission machinery under a full collective workload.
+#[test]
+fn tcp_collectives_survive_packet_loss() {
+    let n = 4;
+    let count = 8192u64;
+    let mut c = AcclCluster::build(ClusterConfig::xrt_tcp(n));
+    // 2% random loss, deterministic per the cluster seed.
+    let plan = FaultPlan::random_loss(0.02);
+    let net = c.network();
+    let switch = net.switch_id();
+    c.sim
+        .component_mut::<acclplus::net::Switch>(switch)
+        .set_fault_plan(plan);
+    let mut specs = Vec::new();
+    let mut dsts = Vec::new();
+    for rank in 0..n {
+        let src = c.alloc(rank, BufLoc::Device, count * 4);
+        let dst = c.alloc(rank, BufLoc::Device, count * 4);
+        c.write(&src, &pattern(rank, count));
+        specs.push(
+            CollSpec::new(CollOp::AllReduce, count, DType::I32)
+                .src(src)
+                .dst(dst),
+        );
+        dsts.push(dst);
+    }
+    c.host_collective(specs);
+    let expect = summed(n, count);
+    for (rank, dst) in dsts.iter().enumerate() {
+        assert_eq!(c.read(dst), expect, "rank {rank} after loss");
+    }
+    assert!(
+        c.network().frames_dropped(&c.sim) > 0,
+        "the fault plan must actually have dropped frames"
+    );
+}
+
+/// Identical seeds produce identical timelines; different seeds (with
+/// randomized faults) diverge.
+#[test]
+fn simulation_is_deterministic() {
+    let run = |seed: u64| -> (u64, f64) {
+        let mut c = AcclCluster::build(ClusterConfig {
+            seed,
+            ..ClusterConfig::coyote_rdma(3)
+        });
+        let count = 1024;
+        let mut specs = Vec::new();
+        for rank in 0..3 {
+            let src = c.alloc(rank, BufLoc::Device, count * 4);
+            let dst = c.alloc(rank, BufLoc::Device, count * 4);
+            c.write(&src, &pattern(rank, count));
+            specs.push(
+                CollSpec::new(CollOp::AllReduce, count, DType::I32)
+                    .src(src)
+                    .dst(dst),
+            );
+        }
+        let records = c.host_collective(specs);
+        (
+            c.sim.events_executed(),
+            records
+                .iter()
+                .map(|r| r.finished.as_us_f64())
+                .fold(0.0, f64::max),
+        )
+    };
+    let (e1, t1) = run(77);
+    let (e2, t2) = run(77);
+    assert_eq!(e1, e2);
+    assert_eq!(t1, t2);
+}
+
+/// Runtime algorithm tuning (paper §4.4.4) changes measured behaviour:
+/// forcing the tree threshold low makes small reduces use the tree.
+#[test]
+fn runtime_algorithm_tuning_changes_latency() {
+    let n = 8;
+    let count = 32 * 1024u64; // 128 KB
+    let run = |tree_min: u64| -> f64 {
+        let mut c = AcclCluster::build(ClusterConfig::coyote_rdma(n));
+        c.set_algo_config(AlgoConfig {
+            tree_min_bytes: tree_min,
+            ..AlgoConfig::default()
+        });
+        let mut specs = Vec::new();
+        for rank in 0..n {
+            let src = c.alloc(rank, BufLoc::Device, count * 4);
+            let dst = c.alloc(rank, BufLoc::Device, count * 4);
+            c.write(&src, &pattern(rank, count));
+            specs.push(
+                CollSpec::new(CollOp::Reduce, count, DType::I32)
+                    .src(src)
+                    .dst(dst)
+                    .sync(SyncProto::Rendezvous),
+            );
+        }
+        let records = c.host_collective(specs);
+        records
+            .iter()
+            .map(|r| r.breakdown.unwrap().collective.as_us_f64())
+            .fold(0.0, f64::max)
+    };
+    let all_to_one = run(1 << 20); // threshold high → all-to-one
+    let tree = run(1); // threshold tiny → binary tree
+    assert!(
+        (all_to_one - tree).abs() / all_to_one > 0.05,
+        "algorithm switch must be measurable: {all_to_one} vs {tree}"
+    );
+}
+
+/// Mixed datatype/function coverage through the full engine path.
+#[test]
+fn reduce_functions_and_dtypes() {
+    let n = 3;
+    let count = 512u64;
+    for (dtype, func) in [
+        (DType::I32, ReduceFn::Max),
+        (DType::I32, ReduceFn::Min),
+        (DType::F32, ReduceFn::Sum),
+        (DType::I64, ReduceFn::Sum),
+    ] {
+        let esize = dtype.size() as u64;
+        let mut c = AcclCluster::build(ClusterConfig::coyote_rdma(n));
+        let mut specs = Vec::new();
+        let mut srcs_data = Vec::new();
+        let mut dst0 = None;
+        for rank in 0..n {
+            let src = c.alloc(rank, BufLoc::Device, count * esize);
+            let dst = c.alloc(rank, BufLoc::Device, count * esize);
+            let data: Vec<u8> = match dtype {
+                DType::F32 => (0..count)
+                    .flat_map(|i| ((i as f32) * 0.5 + rank as f32).to_le_bytes())
+                    .collect(),
+                DType::I64 => (0..count)
+                    .flat_map(|i| ((i as i64) - 100 * rank as i64).to_le_bytes())
+                    .collect(),
+                _ => (0..count)
+                    .flat_map(|i| ((i as i32) * (rank as i32 + 1) % 89).to_le_bytes())
+                    .collect(),
+            };
+            c.write(&src, &data);
+            srcs_data.push(data);
+            specs.push(
+                CollSpec::new(CollOp::Reduce, count, dtype)
+                    .src(src)
+                    .dst(dst)
+                    .func(func),
+            );
+            if rank == 0 {
+                dst0 = Some(dst);
+            }
+        }
+        c.host_collective(specs);
+        let expect = acclplus::cclo::plugins::combine_all(
+            dtype,
+            func,
+            srcs_data.iter().map(|v| v.as_slice()),
+        );
+        assert_eq!(
+            c.read(&dst0.unwrap()),
+            expect.to_vec(),
+            "{dtype:?} {func:?}"
+        );
+    }
+}
+
+/// The whole collective surface on one cluster build, back to back —
+/// exercises FIFO command queues, tag namespaces and scratch reuse.
+#[test]
+fn collective_suite_back_to_back() {
+    let n = 4;
+    let count = 256u64;
+    let b = (count * 4) as usize;
+    let mut c = AcclCluster::build(ClusterConfig::coyote_rdma(n));
+    // allgather
+    let mut specs = Vec::new();
+    let mut dsts = Vec::new();
+    let mut srcs = Vec::new();
+    for rank in 0..n {
+        let src = c.alloc(rank, BufLoc::Device, count * 4);
+        let dst = c.alloc(rank, BufLoc::Device, count * 4 * n as u64);
+        c.write(&src, &pattern(rank, count));
+        specs.push(
+            CollSpec::new(CollOp::AllGather, count, DType::I32)
+                .src(src)
+                .dst(dst),
+        );
+        srcs.push(src);
+        dsts.push(dst);
+    }
+    c.host_collective(specs);
+    let expect: Vec<u8> = (0..n).flat_map(|r| pattern(r, count)).collect();
+    for (rank, dst) in dsts.iter().enumerate() {
+        assert_eq!(c.read(dst), expect, "allgather rank {rank}");
+    }
+    // reduce_scatter over fresh buffers on the same cluster
+    let mut specs = Vec::new();
+    let mut rs_dsts = Vec::new();
+    for rank in 0..n {
+        let src = c.alloc(rank, BufLoc::Device, count * 4 * n as u64);
+        let dst = c.alloc(rank, BufLoc::Device, count * 4);
+        c.write(&src, &pattern(rank, count * n as u64));
+        specs.push(
+            CollSpec::new(CollOp::ReduceScatter, count, DType::I32)
+                .src(src)
+                .dst(dst),
+        );
+        rs_dsts.push(dst);
+    }
+    c.host_collective(specs);
+    let full = summed(n, count * n as u64);
+    for (rank, dst) in rs_dsts.iter().enumerate() {
+        assert_eq!(
+            c.read(dst),
+            full[rank * b..(rank + 1) * b].to_vec(),
+            "rs rank {rank}"
+        );
+    }
+}
+
+/// Eager pool exhaustion is survivable: a fan-in of many eager messages to
+/// one rank completes even with a tiny Rx pool (admission queueing).
+#[test]
+fn eager_pool_exhaustion_recovers() {
+    let n = 6;
+    let count = 1024u64;
+    let mut cfg = ClusterConfig::coyote_rdma(n);
+    cfg.cclo.rx_buf_count = 2;
+    let mut c = AcclCluster::build(cfg);
+    let mut specs = Vec::new();
+    let mut dst0 = None;
+    for rank in 0..n {
+        let src = c.alloc(rank, BufLoc::Device, count * 4);
+        let dst = c.alloc(rank, BufLoc::Device, count * 4 * n as u64);
+        c.write(&src, &pattern(rank, count));
+        specs.push(
+            CollSpec::new(CollOp::Gather, count, DType::I32)
+                .src(src)
+                .dst(dst)
+                .sync(SyncProto::Eager),
+        );
+        if rank == 0 {
+            dst0 = Some(dst);
+        }
+    }
+    c.host_collective(specs);
+    let expect: Vec<u8> = (0..n).flat_map(|r| pattern(r, count)).collect();
+    assert_eq!(c.read(&dst0.unwrap()), expect);
+}
+
+/// Ten nodes — the paper's cluster scale — running a full mix.
+#[test]
+fn ten_node_mixed_workload() {
+    let n = 10;
+    let count = 512u64;
+    let mut c = AcclCluster::build(ClusterConfig::coyote_rdma(n));
+    for op in [CollOp::Bcast, CollOp::AllReduce, CollOp::AllToAll] {
+        let mut specs = Vec::new();
+        let mut handles = Vec::new();
+        for rank in 0..n {
+            let (src_len, dst_len) = match op {
+                CollOp::AllToAll => (count * 4 * n as u64, count * 4 * n as u64),
+                _ => (count * 4, count * 4),
+            };
+            let src = c.alloc(rank, BufLoc::Device, src_len);
+            let dst = c.alloc(rank, BufLoc::Device, dst_len);
+            c.write(&src, &pattern(rank, src_len / 4));
+            if op == CollOp::Bcast && rank == 0 {
+                c.write(&dst, &pattern(99, count));
+            }
+            let mut s = CollSpec::new(op, count, DType::I32).src(src).dst(dst);
+            if op == CollOp::Bcast {
+                s.src = None;
+            }
+            specs.push(s);
+            handles.push(dst);
+        }
+        c.host_collective(specs);
+        match op {
+            CollOp::Bcast => {
+                for (rank, dst) in handles.iter().enumerate() {
+                    assert_eq!(c.read(dst), pattern(99, count), "bcast rank {rank}");
+                }
+            }
+            CollOp::AllReduce => {
+                let expect = summed(n, count);
+                for dst in &handles {
+                    assert_eq!(c.read(dst), expect);
+                }
+            }
+            _ => {
+                let b = (count * 4) as usize;
+                for (rank, dst) in handles.iter().enumerate() {
+                    let got = c.read(dst);
+                    for from in 0..n {
+                        assert_eq!(
+                            &got[from * b..(from + 1) * b],
+                            &pattern(from, count * n as u64)[rank * b..(rank + 1) * b],
+                            "alltoall rank {rank} from {from}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sub-communicators: two disjoint groups run independent allreduces on
+/// the same cluster, each over its own rank space (MPI communicator
+/// semantics on the engine's configuration memory).
+#[test]
+fn sub_communicators_run_independently() {
+    let n = 6;
+    let count = 512u64;
+    let mut c = AcclCluster::build(ClusterConfig::coyote_rdma(n));
+    let evens: Vec<usize> = (0..n).filter(|x| x % 2 == 0).collect();
+    let odds: Vec<usize> = (0..n).filter(|x| x % 2 == 1).collect();
+    c.add_communicator(1, &evens);
+    c.add_communicator(2, &odds);
+    let mut specs = Vec::new();
+    let mut dsts = Vec::new();
+    for node in 0..n {
+        let src = c.alloc(node, BufLoc::Device, count * 4);
+        let dst = c.alloc(node, BufLoc::Device, count * 4);
+        // Group-specific payloads: evens contribute +1000s, odds -1000s.
+        let bias = if node % 2 == 0 { 1000 } else { -1000 };
+        c.write(
+            &src,
+            &i32s(
+                &(0..count as i32)
+                    .map(|i| i + bias * (node as i32 / 2 + 1))
+                    .collect::<Vec<_>>(),
+            ),
+        );
+        let comm = if node % 2 == 0 { 1 } else { 2 };
+        specs.push(
+            CollSpec::new(CollOp::AllReduce, count, DType::I32)
+                .src(src)
+                .dst(dst)
+                .comm(comm),
+        );
+        dsts.push(dst);
+    }
+    c.host_collective(specs);
+    let expect = |bias: i32| -> Vec<u8> {
+        i32s(
+            &(0..count as i32)
+                .map(|i| (0..3).map(|g| i + bias * (g + 1)).sum())
+                .collect::<Vec<_>>(),
+        )
+    };
+    for node in 0..n {
+        let want = if node % 2 == 0 {
+            expect(1000)
+        } else {
+            expect(-1000)
+        };
+        assert_eq!(c.read(&dsts[node]), want, "node {node}");
+    }
+}

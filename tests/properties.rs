@@ -1,0 +1,400 @@
+//! Property-based tests (proptest) over the core invariants:
+//! collective algorithms, reliable transport, reassembly, plugins,
+//! allocators and framing.
+
+use proptest::prelude::*;
+
+use acclplus::cclo::command::{CollOp, DataLoc};
+use acclplus::cclo::firmware::interp::{Interp, RankState};
+use acclplus::cclo::firmware::{FirmwareTable, FwEnv};
+use acclplus::cclo::msg::{MsgSignature, MsgType, SIGNATURE_BYTES};
+use acclplus::cclo::plugins;
+use acclplus::{Algorithm, DType, ReduceFn};
+
+fn i32s(vals: &[i32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Any reduce configuration — size, root, count, protocol, algorithm —
+/// produces the exact elementwise sum.
+fn reduce_property(
+    size: u32,
+    root: u32,
+    count: u64,
+    eager: bool,
+    algorithm: Algorithm,
+    seeds: Vec<i32>,
+) {
+    let table = FirmwareTable::stock();
+    let srcs: Vec<Vec<u8>> = (0..size)
+        .map(|r| {
+            i32s(
+                &(0..count)
+                    .map(|i| seeds[r as usize].wrapping_mul(i as i32 + 1))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let mk_env = |rank: u32| FwEnv {
+        rank,
+        size,
+        count,
+        dtype: DType::I32,
+        func: ReduceFn::Sum,
+        root,
+        bytes: count * 4,
+        eager,
+        algorithm,
+        src: DataLoc::Mem(acclplus::mem::MemAddr::Virt(0)),
+        dst: DataLoc::Mem(acclplus::mem::MemAddr::Virt(0)),
+    };
+    let schedules: Vec<_> = (0..size)
+        .map(|r| table.schedule(CollOp::Reduce, &mk_env(r)))
+        .collect();
+    let states: Vec<RankState> = srcs
+        .iter()
+        .map(|s| RankState::with_src(s.clone(), (count * 4) as usize))
+        .collect();
+    let out = Interp::new(&mk_env(0), schedules, states)
+        .run()
+        .expect("no deadlock");
+    let expect = plugins::combine_all(DType::I32, ReduceFn::Sum, srcs.iter().map(|v| v.as_slice()));
+    assert_eq!(out[root as usize].dst, expect.to_vec());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_reduce_always_sums(
+        size in 2u32..10,
+        root_raw in 0u32..10,
+        count in 1u64..64,
+        eager in any::<bool>(),
+        algo_idx in 0usize..3,
+        seeds in proptest::collection::vec(-1000i32..1000, 10),
+    ) {
+        let root = root_raw % size;
+        let algorithm = [Algorithm::Ring, Algorithm::OneToAll, Algorithm::BinaryTree][algo_idx];
+        reduce_property(size, root, count, eager, algorithm, seeds);
+    }
+
+    #[test]
+    fn prop_allgather_concatenates(
+        size in 2u32..9,
+        count in 1u64..48,
+        eager in any::<bool>(),
+        seed in any::<i32>(),
+    ) {
+        let table = FirmwareTable::stock();
+        let srcs: Vec<Vec<u8>> = (0..size)
+            .map(|r| i32s(&(0..count).map(|i| seed ^ (r as i32 * 7919 + i as i32)).collect::<Vec<_>>()))
+            .collect();
+        let mk_env = |rank: u32| FwEnv {
+            rank, size, count,
+            dtype: DType::I32, func: ReduceFn::Sum, root: 0,
+            bytes: count * 4, eager, algorithm: Algorithm::Ring,
+            src: DataLoc::Mem(acclplus::mem::MemAddr::Virt(0)),
+            dst: DataLoc::Mem(acclplus::mem::MemAddr::Virt(0)),
+        };
+        let schedules: Vec<_> = (0..size).map(|r| table.schedule(CollOp::AllGather, &mk_env(r))).collect();
+        let states: Vec<RankState> = srcs.iter()
+            .map(|s| RankState::with_src(s.clone(), (count * 4 * u64::from(size)) as usize))
+            .collect();
+        let out = Interp::new(&mk_env(0), schedules, states).run().expect("no deadlock");
+        let expect: Vec<u8> = srcs.concat();
+        for st in &out {
+            prop_assert_eq!(&st.dst, &expect);
+        }
+    }
+
+    #[test]
+    fn prop_signature_roundtrips(
+        src_rank in any::<u32>(),
+        dst_rank in any::<u32>(),
+        mtype_idx in 0u8..3,
+        payload_len in any::<u64>(),
+        tag in any::<u64>(),
+        seq in any::<u64>(),
+        addr in any::<u64>(),
+        comm in any::<u32>(),
+    ) {
+        let mtype = [MsgType::Eager, MsgType::RndzvInit, MsgType::RndzvDone][mtype_idx as usize];
+        let sig = MsgSignature { src_rank, dst_rank, mtype, payload_len, tag, seq, addr, comm };
+        let wire = sig.encode();
+        prop_assert_eq!(wire.len(), SIGNATURE_BYTES);
+        prop_assert_eq!(MsgSignature::decode(&wire), sig);
+    }
+
+    #[test]
+    fn prop_combine_sum_is_commutative_and_linear(
+        a in proptest::collection::vec(any::<i32>(), 1..64),
+        b_seed in any::<i32>(),
+    ) {
+        let b: Vec<i32> = a.iter().map(|v| v.wrapping_add(b_seed)).collect();
+        let ab = plugins::combine(DType::I32, ReduceFn::Sum, &i32s(&a), &i32s(&b));
+        let ba = plugins::combine(DType::I32, ReduceFn::Sum, &i32s(&b), &i32s(&a));
+        prop_assert_eq!(&ab, &ba);
+        // Elementwise: ab[i] == a[i] + b[i] (wrapping).
+        for (i, chunk) in ab.chunks_exact(4).enumerate() {
+            let v = i32::from_le_bytes(chunk.try_into().unwrap());
+            prop_assert_eq!(v, a[i].wrapping_add(b[i]));
+        }
+    }
+
+    #[test]
+    fn prop_max_min_bracket_inputs(
+        a in proptest::collection::vec(any::<i32>(), 1..64),
+        b in proptest::collection::vec(any::<i32>(), 1..64),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let mx = plugins::combine(DType::I32, ReduceFn::Max, &i32s(a), &i32s(b));
+        let mn = plugins::combine(DType::I32, ReduceFn::Min, &i32s(a), &i32s(b));
+        for i in 0..n {
+            let vmx = i32::from_le_bytes(mx[i*4..i*4+4].try_into().unwrap());
+            let vmn = i32::from_le_bytes(mn[i*4..i*4+4].try_into().unwrap());
+            prop_assert_eq!(vmx, a[i].max(b[i]));
+            prop_assert_eq!(vmn, a[i].min(b[i]));
+            prop_assert!(vmn <= vmx);
+        }
+    }
+
+    #[test]
+    fn prop_rle_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let packed = plugins::unary(plugins::UnaryFn::RleCompress, &data);
+        let unpacked = plugins::unary(plugins::UnaryFn::RleDecompress, &packed);
+        prop_assert_eq!(&unpacked[..], &data[..]);
+    }
+
+    #[test]
+    fn prop_addr_space_never_overlaps(
+        ops in proptest::collection::vec((1u64..10_000, 0u8..4), 1..40),
+    ) {
+        let mut space = acclplus::mem::AddrSpace::new(0x1000, 1 << 22);
+        let mut live: Vec<acclplus::mem::Region> = Vec::new();
+        for (len, action) in ops {
+            if action == 0 && !live.is_empty() {
+                let r = live.remove(len as usize % live.len());
+                space.free(r);
+            } else if let Some(r) = space.alloc(len, 64) {
+                for other in &live {
+                    prop_assert!(
+                        r.end() <= other.addr || other.end() <= r.addr,
+                        "overlap: {:?} vs {:?}", r, other
+                    );
+                }
+                live.push(r);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_pipe_reservations_are_fifo_and_additive(
+        sizes in proptest::collection::vec(1u64..100_000, 1..50),
+    ) {
+        use acclplus::sim::pipe::Pipe;
+        use acclplus::sim::time::Time;
+        let mut p = Pipe::gbps(100.0);
+        let mut last_end = Time::ZERO;
+        let mut total = 0u64;
+        for s in &sizes {
+            let (start, end) = p.reserve(Time::ZERO, *s);
+            prop_assert!(start >= last_end || last_end == Time::ZERO || start == last_end);
+            prop_assert!(end > start);
+            last_end = end;
+            total += s;
+        }
+        prop_assert_eq!(p.bytes_moved(), total);
+        // Total busy time equals the serialization time of the total bytes.
+        let expect = acclplus::sim::time::Dur::for_bytes_gbps(total, 100.0);
+        let diff = p.busy_time().as_ps().abs_diff(expect.as_ps());
+        // Rounding is at most 1 ps per reservation.
+        prop_assert!(diff <= sizes.len() as u64);
+    }
+}
+
+/// TCP delivers exactly-once, in-order, under arbitrary drop patterns —
+/// the crown-jewel reliability property, at the POE level.
+#[test]
+fn prop_tcp_survives_arbitrary_loss_patterns() {
+    use acclplus::net::{FaultPlan, NetConfig, Network};
+    use acclplus::poe::iface::{
+        ports, PoeRxMeta, PoeTxCmd, PoeTxDone, RxChunk, SessionId, SessionTable, StreamChunk,
+        TxKind,
+    };
+    use acclplus::poe::tcp::{TcpConfig, TcpPoe};
+    use acclplus::poe::PoeUpward;
+    use acclplus::sim::prelude::*;
+    use bytes::Bytes;
+
+    let mut runner = proptest::test_runner::TestRunner::new(ProptestConfig::with_cases(24));
+    runner
+        .run(
+            &(proptest::collection::vec(0u64..200, 0..24), 1usize..80_000),
+            |(drops, len)| {
+                let mut sim = Simulator::new(9);
+                let net = Network::build(&mut sim, NetConfig::default(), 2);
+                let mut poes = Vec::new();
+                let mut datas = Vec::new();
+                for i in 0..2 {
+                    let meta = sim.add(format!("m{i}"), Mailbox::<PoeRxMeta>::new());
+                    let data = sim.add(format!("d{i}"), Mailbox::<RxChunk>::new());
+                    let done = sim.add(format!("x{i}"), Mailbox::<PoeTxDone>::new());
+                    let mut sessions = SessionTable::new();
+                    sessions.connect(
+                        SessionId(1 - i as u32),
+                        net.addr(1 - i),
+                        SessionId(i as u32),
+                    );
+                    let poe = sim.add(
+                        format!("tcp{i}"),
+                        TcpPoe::new(
+                            TcpConfig::default(),
+                            net.tx(i),
+                            PoeUpward {
+                                rx_meta: Endpoint::of(meta),
+                                rx_data: Endpoint::of(data),
+                                tx_done: Endpoint::of(done),
+                            },
+                            sessions,
+                        ),
+                    );
+                    net.attach_rx(&mut sim, i, Endpoint::new(poe, ports::NET_RX));
+                    poes.push(poe);
+                    datas.push(data);
+                }
+                net.set_fault_plan(&mut sim, FaultPlan::drop_frames(drops));
+                let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+                sim.post(
+                    Endpoint::new(poes[0], ports::TX_CMD),
+                    Time::ZERO,
+                    PoeTxCmd {
+                        session: SessionId(1),
+                        len: len as u64,
+                        kind: TxKind::Send,
+                        tag: 0,
+                    },
+                );
+                sim.post(
+                    Endpoint::new(poes[0], ports::TX_DATA),
+                    Time::ZERO,
+                    StreamChunk {
+                        data: Bytes::from(payload.clone()),
+                        last: true,
+                    },
+                );
+                sim.run();
+                let mut got = vec![0u8; len];
+                let mut total = 0usize;
+                for (_, c) in sim.component::<Mailbox<RxChunk>>(datas[1]).items() {
+                    got[c.offset as usize..c.offset as usize + c.data.len()]
+                        .copy_from_slice(&c.data);
+                    total += c.data.len();
+                }
+                assert_eq!(total, len, "exactly-once delivery");
+                assert_eq!(got, payload, "in-order, uncorrupted");
+                Ok(())
+            },
+        )
+        .unwrap();
+}
+
+/// RDMA SEND delivery is complete and correct under wire reordering
+/// (delayed frames) with small token windows forcing credit round trips.
+#[test]
+fn prop_rdma_survives_reordering_with_tight_tokens() {
+    use acclplus::net::{FaultPlan, NetConfig, Network};
+    use acclplus::poe::iface::{
+        ports, PoeRxMeta, PoeTxCmd, PoeTxDone, RxChunk, SessionId, SessionTable, StreamChunk,
+        TxKind,
+    };
+    use acclplus::poe::rdma::{RdmaConfig, RdmaPoe};
+    use acclplus::poe::PoeUpward;
+    use acclplus::sim::prelude::*;
+    use acclplus::sim::time::Dur as SimDur;
+    use bytes::Bytes;
+
+    let mut runner = proptest::test_runner::TestRunner::new(ProptestConfig::with_cases(16));
+    runner
+        .run(
+            &(
+                proptest::collection::vec(0u64..120, 0..12),
+                1usize..60_000,
+                2u32..16,
+            ),
+            |(delays, len, window)| {
+                let mut sim = Simulator::new(11);
+                let net = Network::build(&mut sim, NetConfig::default(), 2);
+                let cfg = RdmaConfig {
+                    token_window: window,
+                    credit_batch: (window / 2).max(1),
+                    ..RdmaConfig::default()
+                };
+                let mut poes = Vec::new();
+                let mut datas = Vec::new();
+                for i in 0..2 {
+                    let meta = sim.add(format!("m{i}"), Mailbox::<PoeRxMeta>::new());
+                    let data = sim.add(format!("d{i}"), Mailbox::<RxChunk>::new());
+                    let done = sim.add(format!("x{i}"), Mailbox::<PoeTxDone>::new());
+                    let mut sessions = SessionTable::new();
+                    sessions.connect(
+                        SessionId(1 - i as u32),
+                        net.addr(1 - i),
+                        SessionId(i as u32),
+                    );
+                    let poe = sim.add(
+                        format!("rdma{i}"),
+                        RdmaPoe::new(
+                            cfg,
+                            net.tx(i),
+                            PoeUpward {
+                                rx_meta: Endpoint::of(meta),
+                                rx_data: Endpoint::of(data),
+                                tx_done: Endpoint::of(done),
+                            },
+                            sessions,
+                        ),
+                    );
+                    net.attach_rx(&mut sim, i, Endpoint::new(poe, ports::NET_RX));
+                    poes.push(poe);
+                    datas.push(data);
+                }
+                net.set_fault_plan(
+                    &mut sim,
+                    FaultPlan::delay_frames(delays, SimDur::from_us(20)),
+                );
+                let payload: Vec<u8> = (0..len).map(|i| (i % 249) as u8).collect();
+                sim.post(
+                    Endpoint::new(poes[0], ports::TX_CMD),
+                    Time::ZERO,
+                    PoeTxCmd {
+                        session: SessionId(1),
+                        len: len as u64,
+                        kind: TxKind::Send,
+                        tag: 0,
+                    },
+                );
+                sim.post(
+                    Endpoint::new(poes[0], ports::TX_DATA),
+                    Time::ZERO,
+                    StreamChunk {
+                        data: Bytes::from(payload.clone()),
+                        last: true,
+                    },
+                );
+                sim.run();
+                let mut got = vec![0u8; len];
+                let mut total = 0usize;
+                for (_, c) in sim.component::<Mailbox<RxChunk>>(datas[1]).items() {
+                    got[c.offset as usize..c.offset as usize + c.data.len()]
+                        .copy_from_slice(&c.data);
+                    total += c.data.len();
+                }
+                assert_eq!(total, len, "complete delivery despite reordering");
+                assert_eq!(got, payload);
+                Ok(())
+            },
+        )
+        .unwrap();
+}
