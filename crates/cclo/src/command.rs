@@ -99,6 +99,19 @@ impl CcloCommand {
     }
 }
 
+/// Outcome written into a command completion.
+///
+/// Hardware command queues report errors in the completion record rather
+/// than out of band; the driver turns non-`Ok` statuses into typed errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmdStatus {
+    /// The collective ran to completion.
+    Ok,
+    /// The uC's collective watchdog expired while the call was blocked on
+    /// remote progress; the call was aborted locally.
+    TimedOut,
+}
+
 /// Completion of a CCLO command.
 #[derive(Debug, Clone, Copy)]
 pub struct CcloDone {
@@ -108,6 +121,8 @@ pub struct CcloDone {
     pub op: CollOp,
     /// Payload bytes moved (per the command's count × dtype).
     pub bytes: u64,
+    /// Completion status (error completions carry [`CmdStatus::TimedOut`]).
+    pub status: CmdStatus,
 }
 
 #[cfg(test)]

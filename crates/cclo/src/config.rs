@@ -142,6 +142,13 @@ pub struct CcloConfig {
     pub scratch_bytes: u64,
     /// Legacy-ACCL mode (Fig. 13 baseline) when set.
     pub legacy_uc: Option<LegacyUcConfig>,
+    /// Collective watchdog: if the active call makes no progress for this
+    /// many microseconds while blocked on remote events (`WaitAll` with
+    /// outstanding network work, `WaitRndzvDone`), the uC aborts it
+    /// locally, releases its Rx buffers, and completes the command with an
+    /// error status. `None` disables the watchdog (a stalled call then
+    /// parks forever and is reported by the simulator's stall watchdog).
+    pub collective_timeout_us: Option<u64>,
     /// Algorithm selection thresholds.
     pub algo: AlgoConfig,
 }
@@ -161,6 +168,7 @@ impl Default for CcloConfig {
             scratch_base: 0x4000_0000,
             scratch_bytes: 512 << 20,
             legacy_uc: None,
+            collective_timeout_us: None,
             algo: AlgoConfig::default(),
         }
     }

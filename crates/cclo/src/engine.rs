@@ -62,18 +62,17 @@ impl CcloEngine {
         let txsys = sim.reserve(format!("{prefix}.txsys"));
         let rxsys = sim.reserve(format!("{prefix}.rxsys"));
 
-        sim.install(
-            uc,
-            Uc::new(
-                spec.cfg,
-                FirmwareTable::stock(),
-                dmp,
-                txsys,
-                spec.rendezvous_capable,
-                spec.reliable,
-                spec.scratch_mem,
-            ),
+        let mut uc_comp = Uc::new(
+            spec.cfg,
+            FirmwareTable::stock(),
+            dmp,
+            txsys,
+            spec.rendezvous_capable,
+            spec.reliable,
+            spec.scratch_mem,
         );
+        uc_comp.set_rbm(rbm);
+        sim.install(uc, uc_comp);
         sim.install(
             dmp,
             Dmp::new(

@@ -30,8 +30,9 @@ pub mod rxsys;
 pub mod txsys;
 pub mod uc;
 
-pub use command::{CcloCommand, CcloDone, CollOp, DataLoc, SyncProto};
+pub use command::{CcloCommand, CcloDone, CmdStatus, CollOp, DataLoc, SyncProto};
 pub use config::{AlgoConfig, Algorithm, CcloConfig, CommunicatorCfg, LegacyUcConfig};
 pub use engine::{CcloEngine, CcloEngineSpec};
 pub use firmware::{CollectiveProgram, FirmwareTable};
 pub use msg::{DType, MsgSignature, MsgType, ReduceFn};
+pub use rbm::RbmPurge;

@@ -79,6 +79,20 @@ pub mod ports {
     pub const DATA: PortId = PortId(1);
     /// Match requests from the DMP ([`super::RbmQuery`]).
     pub const QUERY: PortId = PortId(2);
+    /// Abort cleanup from the uC ([`super::RbmPurge`]).
+    pub const PURGE: PortId = PortId(3);
+}
+
+/// uC request to drop all eager state belonging to an aborted collective:
+/// buffered messages go back to the pool, waiting DMP queries are
+/// cancelled. Wire tags namespace collective steps under the user tag
+/// (`user_tag << 32 | step`), so one purge covers every step of the call.
+#[derive(Debug, Clone, Copy)]
+pub struct RbmPurge {
+    /// Communicator of the aborted call.
+    pub comm: u32,
+    /// The aborted command's user tag.
+    pub user_tag: u64,
 }
 
 /// One buffered (or in-flight) eager message.
@@ -148,6 +162,59 @@ impl Rbm {
     /// Messages buffered but not yet matched.
     pub fn unmatched_messages(&self) -> usize {
         self.msgs.values().filter(|m| !m.matched).count()
+    }
+
+    /// DMP queries waiting for a matching message.
+    pub fn pending_queries(&self) -> usize {
+        self.queries.values().map(VecDeque::len).sum()
+    }
+
+    /// Drops all state belonging to an aborted collective and returns its
+    /// Rx buffers to the pool (admitting deferred messages into them).
+    fn purge(&mut self, ctx: &mut Ctx<'_>, p: RbmPurge) {
+        let hit = |key: &MatchKey| key.comm == p.comm && key.tag >> 32 == p.user_tag;
+        let mut dropped_queries = 0u64;
+        self.queries.retain(|key, q| {
+            if hit(key) {
+                dropped_queries += q.len() as u64;
+                false
+            } else {
+                true
+            }
+        });
+        let mut victims: Vec<RxMsgKey> = self
+            .msgs
+            .iter()
+            .filter(|(_, m)| hit(&MatchKey::of(&m.sig)))
+            .map(|(k, _)| *k)
+            .collect();
+        victims.sort_by_key(|k| (k.session, k.msg_id));
+        let mut freed = 0u64;
+        for k in &victims {
+            let m = self.msgs.remove(k).unwrap();
+            if m.admitted {
+                self.free_bufs += 1;
+                freed += 1;
+            }
+        }
+        self.waiting_admission.retain(|k| self.msgs.contains_key(k));
+        self.by_match.retain(|key, _| !hit(key));
+        // Freed buffers admit deferred messages in arrival order.
+        let mut to_match = Vec::new();
+        while self.free_bufs > 0 {
+            let Some(wkey) = self.waiting_admission.pop_front() else {
+                break;
+            };
+            self.free_bufs -= 1;
+            let m = self.msgs.get_mut(&wkey).expect("waiting msg vanished");
+            m.admitted = true;
+            to_match.push(MatchKey::of(&m.sig));
+        }
+        for key in to_match {
+            self.try_match(ctx, key);
+        }
+        ctx.stats().add("rbm.purged_bufs", freed);
+        ctx.stats().add("rbm.purged_queries", dropped_queries);
     }
 
     fn try_match(&mut self, ctx: &mut Ctx<'_>, key: MatchKey) {
@@ -307,6 +374,10 @@ impl Component for Rbm {
                 let q = payload.downcast::<RbmQuery>();
                 self.queries.entry(q.key).or_default().push_back(q);
                 self.try_match(ctx, q.key);
+            }
+            ports::PURGE => {
+                let p = payload.downcast::<RbmPurge>();
+                self.purge(ctx, p);
             }
             other => panic!("RBM has no port {other:?}"),
         }
@@ -511,6 +582,42 @@ mod tests {
         };
         let mut h = harness(cfg);
         meta(&mut h, 0, sig(0, 0, 4096));
+    }
+
+    #[test]
+    fn purge_releases_buffers_and_cancels_queries() {
+        let cfg = CcloConfig {
+            rx_buf_count: 1,
+            ..CcloConfig::default()
+        };
+        let mut h = harness(cfg);
+        // An aborted call's message (user tag 5) holds the only buffer; an
+        // unrelated message (user tag 6) waits for admission; a query for
+        // the aborted call's next step is parked.
+        meta(&mut h, 0, sig(2, 5 << 32, 8));
+        data(&mut h, 0, 0, vec![1u8; 8]);
+        meta(&mut h, 1, sig(2, 6 << 32, 8));
+        data(&mut h, 1, 0, vec![2u8; 8]);
+        query(&mut h, 2, (5 << 32) | 1, 8, 77);
+        assert_eq!(h.sim.component::<Rbm>(h.rbm).free_buffers(), 0);
+        assert_eq!(h.sim.component::<Rbm>(h.rbm).pending_queries(), 1);
+        h.sim.post(
+            Endpoint::new(h.rbm, ports::PURGE),
+            h.sim.now(),
+            RbmPurge {
+                comm: 0,
+                user_tag: 5,
+            },
+        );
+        h.sim.run();
+        // The aborted call's buffer went back to the pool and was handed to
+        // the waiting message; its query is gone.
+        let rbm = h.sim.component::<Rbm>(h.rbm);
+        assert_eq!(rbm.pending_queries(), 0);
+        assert_eq!(rbm.unmatched_messages(), 1);
+        query(&mut h, 2, 6 << 32, 8, 78);
+        assert_eq!(collect(&h, 78), vec![2u8; 8]);
+        assert_eq!(h.sim.component::<Rbm>(h.rbm).free_buffers(), 1);
     }
 
     #[test]

@@ -121,6 +121,7 @@ pub struct TxSys {
     /// Fixed per-job processing latency.
     job_latency: Dur,
     jobs_completed: u64,
+    session_errors: u64,
 }
 
 impl TxSys {
@@ -142,12 +143,18 @@ impl TxSys {
             head_started: false,
             job_latency,
             jobs_completed: 0,
+            session_errors: 0,
         }
     }
 
     /// Jobs fully transmitted so far.
     pub fn jobs_completed(&self) -> u64 {
         self.jobs_completed
+    }
+
+    /// Session errors observed on the POE completion queue.
+    pub fn session_errors(&self) -> u64 {
+        self.session_errors
     }
 
     fn next_seq(&mut self, session: SessionId) -> u64 {
@@ -303,8 +310,14 @@ impl Component for TxSys {
                 self.pump(ctx);
             }
             ports::POE_DONE => {
-                // Local POE completion; transmission pacing is handled by
-                // the network pipes, nothing to do here.
+                // Transmit completions need no action (pacing is handled
+                // by the network pipes), but session errors arriving on
+                // the shared completion queue are counted: the uC's
+                // watchdog handles the actual abort.
+                if payload.try_downcast::<accl_poe::PoeSessionError>().is_ok() {
+                    self.session_errors += 1;
+                    ctx.stats().add("txsys.session_errors", 1);
+                }
             }
             other => panic!("Tx system has no port {other:?}"),
         }

@@ -12,18 +12,18 @@
 //! within a call, DMP instructions pipeline freely until a `WaitAll` or a
 //! rendezvous dependency blocks the op stream.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use accl_mem::MemAddr;
 
 use accl_sim::prelude::*;
 
-use crate::command::{CcloCommand, CcloDone, CollOp, DataLoc, SyncProto};
+use crate::command::{CcloCommand, CcloDone, CmdStatus, CollOp, DataLoc, SyncProto};
 use crate::config::{CcloConfig, CommunicatorCfg};
 use crate::dmp::{ports as dmp_ports, DmpDone, Microcode, RDst, RSrc};
 use crate::firmware::{BufRef, FirmwareTable, FwEnv, FwOp, SlotDst, SlotSrc};
 use crate::msg::{MsgSignature, MsgType};
-use crate::rbm::MatchKey;
+use crate::rbm::{ports as rbm_ports, MatchKey, RbmPurge};
 use crate::rxsys::UcNotif;
 use crate::txsys::{ports as tx_ports, TxJob};
 
@@ -39,6 +39,19 @@ pub mod ports {
     pub const NOTIF: PortId = PortId(2);
     /// Internal sequencing events.
     pub const STEP: PortId = PortId(3);
+    /// Collective-watchdog expiry (self-scheduled).
+    pub const TIMEOUT: PortId = PortId(4);
+}
+
+/// Self-scheduled watchdog token. A firing is acted on only if the call it
+/// was armed for is still active and nothing progressed since it was armed
+/// (`gen` unchanged); progress events simply let stale tokens lapse.
+#[derive(Debug, Clone, Copy)]
+struct UcTimeout {
+    /// The watched call's sequence number.
+    seq: u64,
+    /// Progress generation at arming time.
+    gen: u64,
 }
 
 /// Why the current call's op stream is blocked.
@@ -58,12 +71,17 @@ struct CallState {
     env: FwEnv,
     ops: VecDeque<FwOp>,
     outstanding: u32,
+    /// Tickets of DMP instructions issued but not yet completed (moved to
+    /// the orphan set if the call aborts).
+    issued: HashSet<u64>,
     /// Rendezvous sends parked until the peer's init arrives (the op
     /// stream keeps flowing — "FIFO queues allow multiple in-flight
     /// instructions", §4.4.1).
     parked: Vec<crate::firmware::DmpInstr>,
     blocked: Blocked,
     scratch_base: u64,
+    /// Monotone call sequence number (validates watchdog tokens).
+    seq: u64,
 }
 
 /// The embedded controller component.
@@ -87,6 +105,17 @@ pub struct Uc {
     /// Received rendezvous dones: (peer, tag) → count.
     dones: HashMap<(u32, u64), u32>,
     calls_completed: u64,
+    /// The node's RBM (abort cleanup); unset in control-plane-only tests.
+    rbm: Option<ComponentId>,
+    /// Calls started so far (mints [`CallState::seq`]).
+    call_seq: u64,
+    /// Bumped on every completion/notification; stale watchdog tokens
+    /// compare against it.
+    progress_gen: u64,
+    /// Tickets of aborted calls whose DMP completions are still in flight.
+    orphans: HashSet<u64>,
+    orphans_reaped: u64,
+    calls_aborted: u64,
 }
 
 impl Uc {
@@ -115,7 +144,18 @@ impl Uc {
             inits: HashMap::new(),
             dones: HashMap::new(),
             calls_completed: 0,
+            rbm: None,
+            call_seq: 0,
+            progress_gen: 0,
+            orphans: HashSet::new(),
+            orphans_reaped: 0,
+            calls_aborted: 0,
         }
+    }
+
+    /// Wires the node's RBM so aborts can release its Rx buffers.
+    pub fn set_rbm(&mut self, rbm: ComponentId) {
+        self.rbm = Some(rbm);
     }
 
     /// Installs a communicator in the configuration memory (host MMIO).
@@ -140,6 +180,16 @@ impl Uc {
     /// Calls completed so far.
     pub fn calls_completed(&self) -> u64 {
         self.calls_completed
+    }
+
+    /// Calls aborted by the collective watchdog so far.
+    pub fn calls_aborted(&self) -> u64 {
+        self.calls_aborted
+    }
+
+    /// DMP completions reaped for already-aborted calls.
+    pub fn orphans_reaped(&self) -> u64 {
+        self.orphans_reaped
     }
 
     fn comm(&self, id: u32) -> &CommunicatorCfg {
@@ -241,16 +291,83 @@ impl Uc {
                     .legacy_uc
                     .map_or(0, |l| l.per_step_extra_cycles * schedule.ops.len() as u64),
         );
+        let seq = self.call_seq;
+        self.call_seq += 1;
         self.call = Some(CallState {
             cmd,
             env,
             ops: schedule.ops.into(),
             outstanding: 0,
+            issued: HashSet::new(),
             parked: Vec::new(),
             blocked: Blocked::Stepping,
             scratch_base: 0,
+            seq,
         });
         ctx.send_self(ports::STEP, planning, ());
+    }
+
+    /// Arms the collective watchdog for the active call's current blocked
+    /// state. Stale tokens (progress happened, or another call is active)
+    /// lapse harmlessly at expiry.
+    fn arm_timeout(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(us) = self.cfg.collective_timeout_us else {
+            return;
+        };
+        let Some(call) = &self.call else {
+            return;
+        };
+        if call.blocked == Blocked::Stepping {
+            return; // a STEP event is in flight: the op stream is moving
+        }
+        ctx.send_self(
+            ports::TIMEOUT,
+            Dur::from_us(us),
+            UcTimeout {
+                seq: call.seq,
+                gen: self.progress_gen,
+            },
+        );
+    }
+
+    /// Aborts the active call: outstanding DMP work is disowned (its
+    /// completions will be reaped as orphans), the call's eager Rx buffers
+    /// and pending matches are released via the RBM, rendezvous
+    /// bookkeeping under its tag is dropped, and the command completes
+    /// with an error status. The next queued command then starts — a
+    /// wedged collective no longer head-of-line-blocks the engine.
+    fn abort_call(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(call) = self.call.take() else {
+            return;
+        };
+        self.orphans.extend(call.issued.iter().copied());
+        let user_tag = call.cmd.tag;
+        self.inits.retain(|(_, tag), _| tag >> 32 != user_tag);
+        self.dones.retain(|(_, tag), _| tag >> 32 != user_tag);
+        let issue_cost = self.cfg.cycles(self.cfg.uc_op_issue_cycles);
+        if let Some(rbm) = self.rbm {
+            ctx.send(
+                Endpoint::new(rbm, rbm_ports::PURGE),
+                issue_cost,
+                RbmPurge {
+                    comm: call.cmd.comm,
+                    user_tag,
+                },
+            );
+        }
+        self.calls_aborted += 1;
+        ctx.stats().add("uc.collective_timeouts", 1);
+        ctx.send(
+            call.cmd.reply_to,
+            issue_cost,
+            CcloDone {
+                ticket: call.cmd.ticket,
+                op: call.cmd.op,
+                bytes: 0,
+                status: CmdStatus::TimedOut,
+            },
+        );
+        self.maybe_start(ctx);
     }
 
     /// Resolves a buffer reference to a platform address.
@@ -321,6 +438,7 @@ impl Uc {
         let ticket = self.next_ticket;
         self.next_ticket += 1;
         call.outstanding += 1;
+        call.issued.insert(ticket);
         let mc = Microcode {
             ticket,
             op0: self.resolve_src(call, instr.op0),
@@ -403,6 +521,7 @@ impl Uc {
                             ticket: call.cmd.ticket,
                             op: call.cmd.op,
                             bytes: call.cmd.bytes(),
+                            status: CmdStatus::Ok,
                         },
                     );
                     self.call = None;
@@ -411,6 +530,7 @@ impl Uc {
                 }
                 call.blocked = Blocked::WaitAll;
                 self.call = Some(call);
+                self.arm_timeout(ctx);
                 return;
             };
             match op {
@@ -418,6 +538,7 @@ impl Uc {
                     if call.outstanding > 0 || !call.parked.is_empty() {
                         call.blocked = Blocked::WaitAll;
                         self.call = Some(call);
+                        self.arm_timeout(ctx);
                         return;
                     }
                     call.ops.pop_front();
@@ -482,6 +603,7 @@ impl Uc {
                     }
                     call.blocked = Blocked::RndzvDone(peer, key.1);
                     self.call = Some(call);
+                    self.arm_timeout(ctx);
                     return;
                 }
             }
@@ -527,16 +649,27 @@ impl Component for Uc {
             }
             ports::DMP_DONE => {
                 let done = payload.downcast::<DmpDone>();
-                let _ = done;
+                self.progress_gen += 1;
+                if self.orphans.remove(&done.ticket) {
+                    // Completion of an instruction belonging to an aborted
+                    // call: reap it without touching the current call.
+                    self.orphans_reaped += 1;
+                    return;
+                }
                 let call = self
                     .call
                     .as_mut()
                     .expect("DMP completion with no active call");
-                assert!(call.outstanding > 0, "unexpected DMP completion");
+                assert!(
+                    call.issued.remove(&done.ticket),
+                    "unexpected DMP completion"
+                );
                 call.outstanding -= 1;
                 self.unblock(ctx);
+                self.arm_timeout(ctx);
             }
             ports::NOTIF => {
+                self.progress_gen += 1;
                 match payload.downcast::<UcNotif>() {
                     UcNotif::RndzvInit(sig) => {
                         self.inits
@@ -550,9 +683,45 @@ impl Component for Uc {
                     }
                 }
                 self.unblock(ctx);
+                self.arm_timeout(ctx);
+            }
+            ports::TIMEOUT => {
+                let token = payload.downcast::<UcTimeout>();
+                let expired = match &self.call {
+                    Some(call) => {
+                        call.seq == token.seq
+                            && self.progress_gen == token.gen
+                            && call.blocked != Blocked::Stepping
+                    }
+                    None => false,
+                };
+                if expired {
+                    self.abort_call(ctx);
+                }
             }
             other => panic!("uC has no port {other:?}"),
         }
+    }
+
+    fn parked_work(&self) -> Option<ParkedWork> {
+        let call = self.call.as_ref()?;
+        let op = match call.blocked {
+            Blocked::Stepping => format!("{:?}: issuing ops", call.cmd.op),
+            Blocked::WaitAll => format!(
+                "{:?}: WaitAll ({} DMP ops outstanding, {} parked rendezvous sends)",
+                call.cmd.op,
+                call.outstanding,
+                call.parked.len()
+            ),
+            Blocked::RndzvDone(peer, tag) => format!(
+                "{:?}: waiting rendezvous done from rank {peer} (wire tag {tag:#x})",
+                call.cmd.op
+            ),
+        };
+        Some(ParkedWork {
+            rank: Some(call.env.rank),
+            op,
+        })
     }
 }
 
@@ -577,15 +746,21 @@ mod tests {
         #[allow(dead_code)] // kept for tests that grow Tx-job checks
         txsys: ComponentId,
         done: ComponentId,
+        rbm: ComponentId,
     }
 
     fn harness(rendezvous: bool) -> Harness {
+        harness_with(rendezvous, CcloConfig::default())
+    }
+
+    fn harness_with(rendezvous: bool, cfg: CcloConfig) -> Harness {
         let mut sim = Simulator::new(0);
         let dmp = sim.add("dmp", Mailbox::<Microcode>::new());
         let txsys = sim.add("txsys", Mailbox::<TxJob>::new());
         let done = sim.add("done", Mailbox::<crate::command::CcloDone>::new());
+        let rbm = sim.add("rbm", Mailbox::<crate::rbm::RbmPurge>::new());
         let mut uc = Uc::new(
-            CcloConfig::default(),
+            cfg,
             FirmwareTable::stock(),
             dmp,
             txsys,
@@ -593,6 +768,7 @@ mod tests {
             true,
             MemAddr::Phys(MemTarget::Device, 0x4000_0000),
         );
+        uc.set_rbm(rbm);
         uc.set_communicator(
             0,
             CommunicatorCfg {
@@ -611,6 +787,7 @@ mod tests {
             dmp,
             txsys,
             done,
+            rbm,
         }
     }
 
@@ -781,6 +958,131 @@ mod tests {
         c.comm = 5;
         h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c);
         h.sim.run();
+    }
+
+    fn timeout_cfg(us: u64) -> CcloConfig {
+        CcloConfig {
+            collective_timeout_us: Some(us),
+            ..CcloConfig::default()
+        }
+    }
+
+    #[test]
+    fn waitall_timeout_aborts_with_error_completion() {
+        let mut h = harness_with(false, timeout_cfg(50));
+        let c = cmd(&h, CollOp::Send, 256, 1, SyncProto::Eager);
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c);
+        let out = h.sim.run();
+        assert_eq!(out, accl_sim::sim::RunOutcome::Drained);
+        let done = h.sim.component::<Mailbox<crate::command::CcloDone>>(h.done);
+        assert_eq!(done.len(), 1);
+        let (at, d) = &done.items()[0];
+        assert_eq!(d.ticket, 9);
+        assert_eq!(d.status, crate::command::CmdStatus::TimedOut);
+        assert!(at.as_us_f64() >= 50.0, "aborted at {} us", at.as_us_f64());
+        assert_eq!(h.sim.component::<Uc>(h.uc).calls_aborted(), 1);
+        assert_eq!(h.sim.component::<Uc>(h.uc).calls_completed(), 0);
+        // The abort released the call's eager state at the RBM.
+        let purges = h.sim.component::<Mailbox<crate::rbm::RbmPurge>>(h.rbm);
+        assert_eq!(purges.len(), 1);
+        assert_eq!(purges.items()[0].1.user_tag, 3);
+        // A straggling DMP completion for the aborted instruction is
+        // reaped, not misattributed to a later call.
+        let ticket = h.sim.component::<Mailbox<Microcode>>(h.dmp).items()[0]
+            .1
+            .ticket;
+        h.sim.post(
+            Endpoint::new(h.uc, ports::DMP_DONE),
+            h.sim.now(),
+            DmpDone { ticket },
+        );
+        h.sim.run();
+        assert_eq!(h.sim.component::<Uc>(h.uc).orphans_reaped(), 1);
+    }
+
+    #[test]
+    fn rendezvous_wait_done_times_out() {
+        // Rank 0 is a bcast *receiver* (root = 1): it announces its landing
+        // buffer and blocks in WaitRndzvDone. The peer's WRITE never
+        // completes, so the watchdog aborts the call.
+        let mut h = harness_with(true, timeout_cfg(50));
+        let mut c = cmd(&h, CollOp::Bcast, 4096, 1, SyncProto::Rendezvous);
+        c.dst = DataLoc::Mem(MemAddr::Virt(0x2000));
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c);
+        h.sim.run();
+        let done = h.sim.component::<Mailbox<crate::command::CcloDone>>(h.done);
+        assert_eq!(done.len(), 1);
+        assert_eq!(
+            done.items()[0].1.status,
+            crate::command::CmdStatus::TimedOut
+        );
+        assert_eq!(h.sim.component::<Uc>(h.uc).calls_aborted(), 1);
+    }
+
+    #[test]
+    fn abort_unblocks_next_queued_command() {
+        let mut h = harness_with(false, timeout_cfg(50));
+        let c1 = cmd(&h, CollOp::Send, 256, 1, SyncProto::Eager);
+        let mut c2 = cmd(&h, CollOp::Nop, 0, 0, SyncProto::Auto);
+        c2.src = DataLoc::None;
+        c2.dst = DataLoc::None;
+        c2.ticket = 10;
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c1);
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c2);
+        h.sim.run();
+        let done = h.sim.component::<Mailbox<crate::command::CcloDone>>(h.done);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done.items()[0].1.ticket, 9);
+        assert_eq!(
+            done.items()[0].1.status,
+            crate::command::CmdStatus::TimedOut
+        );
+        assert_eq!(done.items()[1].1.ticket, 10);
+        assert_eq!(done.items()[1].1.status, crate::command::CmdStatus::Ok);
+    }
+
+    #[test]
+    fn progress_rearms_the_watchdog() {
+        // A 3-rank eager ring gather at the root issues several DMP ops;
+        // completions trickling in within the timeout keep the call alive
+        // even though total runtime exceeds the timeout.
+        let mut h = harness_with(false, timeout_cfg(50));
+        let c = cmd(&h, CollOp::Send, 256, 1, SyncProto::Eager);
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c);
+        // Let the uC issue and block, then complete the DMP op at 40 us —
+        // inside the window.
+        h.sim.run_until(Time::from_us(40));
+        let ticket = h.sim.component::<Mailbox<Microcode>>(h.dmp).items()[0]
+            .1
+            .ticket;
+        h.sim.post(
+            Endpoint::new(h.uc, ports::DMP_DONE),
+            Time::from_us(40),
+            DmpDone { ticket },
+        );
+        h.sim.run();
+        let done = h.sim.component::<Mailbox<crate::command::CcloDone>>(h.done);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done.items()[0].1.status, crate::command::CmdStatus::Ok);
+        assert_eq!(h.sim.component::<Uc>(h.uc).calls_aborted(), 0);
+    }
+
+    #[test]
+    fn stall_watchdog_names_blocked_collective_when_timeouts_disabled() {
+        let mut h = harness(false);
+        let c = cmd(&h, CollOp::Send, 256, 1, SyncProto::Eager);
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c);
+        let out = h.sim.run();
+        let accl_sim::sim::RunOutcome::Stalled(report) = out else {
+            panic!("expected a stall report, got {out:?}");
+        };
+        assert_eq!(report.component, "uc");
+        assert_eq!(report.rank, Some(0));
+        assert!(
+            report.op.contains("WaitAll"),
+            "report should name the parked op: {}",
+            report.op
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@ use accl_poe::udp::{UdpConfig, UdpPoe};
 use accl_sim::prelude::*;
 
 use crate::buffer::{BufLoc, BufferHandle, NodeSpaces, SCRATCH_BASE, SCRATCH_BYTES};
+use crate::comm::Communicator;
 use crate::driver::{CollSpec, HostDriver};
+use crate::error::{CclError, RetryPolicy};
 use crate::host::{ports as host_ports, HostOp, HostProc, OpRecord};
 use crate::kernel::{ports as kernel_ports, KernelOp, KernelProc};
 use crate::platform::{ClusterConfig, Platform, Transport};
@@ -54,6 +56,10 @@ pub struct NodeStats {
     pub rx_buffers_free: u32,
     /// Times the eager pool ran dry.
     pub rx_pool_exhaustions: u64,
+    /// Collectives aborted by the engine's watchdog.
+    pub collectives_aborted: u64,
+    /// Driver calls that completed with a [`CclError`].
+    pub driver_calls_failed: u64,
 }
 
 /// A fully wired simulated cluster.
@@ -64,6 +70,7 @@ pub struct AcclCluster {
     net: Network,
     nodes: Vec<NodeHandles>,
     spaces: Vec<NodeSpaces>,
+    comms: std::collections::HashMap<u32, Communicator>,
 }
 
 impl AcclCluster {
@@ -166,12 +173,15 @@ impl AcclCluster {
             });
             spaces.push(NodeSpaces::new());
         }
+        let mut comms = std::collections::HashMap::new();
+        comms.insert(0, Communicator::world(cfg.nodes));
         AcclCluster {
             sim,
             cfg,
             net,
             nodes,
             spaces,
+            comms,
         }
     }
 
@@ -198,6 +208,24 @@ impl AcclCluster {
     /// Per-node handles.
     pub fn node(&self, i: usize) -> &NodeHandles {
         &self.nodes[i]
+    }
+
+    /// Schedules a fail-stop crash of node `i` at simulated time `at`:
+    /// from then on the fabric blackholes every frame to or from it.
+    /// Composes with any faults already scheduled.
+    pub fn crash_node(&mut self, i: usize, at: Time) {
+        self.net.crash_node(&mut self.sim, i, at);
+    }
+
+    /// Schedules a `[from, until)` outage of node `i`'s link, composing
+    /// with any faults already scheduled.
+    pub fn link_down(&mut self, i: usize, from: Time, until: Time) {
+        self.net.link_down(&mut self.sim, i, from, until);
+    }
+
+    /// Replaces the fabric's fault plan wholesale (loss, delay, outages).
+    pub fn set_fault_plan(&mut self, plan: accl_net::FaultPlan) {
+        self.net.set_fault_plan(&mut self.sim, plan);
     }
 
     /// Allocates a buffer on `node` in `loc`.
@@ -249,7 +277,20 @@ impl AcclCluster {
     /// Runs one host program per node (entry `i` runs on node `i`),
     /// starting simultaneously at the current simulated time.
     ///
-    /// Returns each node's op records.
+    /// Returns each node's op records. Collective outcomes are in each
+    /// record's [`DriverDone::result`](crate::driver::DriverDone): after
+    /// the run, timeouts on nodes whose transport diagnosed a dead peer
+    /// session are upgraded to [`CclError::PeerFailed`], mirroring how a
+    /// real driver reads the POE's error registers when a call fails.
+    /// Nodes with no local diagnosis additionally accept accusations
+    /// gossiped from non-suspect nodes, so every survivor of a fail-stop
+    /// crash observes `PeerFailed` rather than a bare `Timeout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation stalls (a component parked work forever;
+    /// only possible with the engine watchdog disabled) or a host program
+    /// never finishes.
     pub fn run_host_programs(&mut self, programs: Vec<Vec<HostOp>>) -> Vec<Vec<OpRecord>> {
         assert_eq!(programs.len(), self.nodes.len(), "one program per node");
         let start = self.sim.now();
@@ -267,9 +308,12 @@ impl AcclCluster {
                 id
             })
             .collect();
-        let outcome = self.sim.run();
-        assert_eq!(outcome, RunOutcome::Drained, "simulation stalled");
-        procs
+        match self.sim.run() {
+            RunOutcome::Drained => {}
+            RunOutcome::Stalled(report) => panic!("simulation stalled: {report}"),
+            other => panic!("simulation ended abnormally: {other:?}"),
+        }
+        let mut results: Vec<Vec<OpRecord>> = procs
             .iter()
             .map(|&id| {
                 let proc = self.sim.component::<HostProc>(id);
@@ -279,7 +323,38 @@ impl AcclCluster {
                 );
                 proc.records().to_vec()
             })
-            .collect()
+            .collect();
+        // Failure-detector readout. A node trusts its own POE's dead-session
+        // diagnosis first. Nodes without one (e.g. a ring rank that never
+        // sends toward the dead peer) accept accusations gossiped from
+        // nodes that are not themselves suspects — a crashed node also
+        // "diagnoses" every peer it could not reach, and must not get to
+        // frame the survivors.
+        let own: Vec<Vec<u32>> = (0..self.nodes.len())
+            .map(|n| self.failed_peers(n))
+            .collect();
+        let suspects: std::collections::BTreeSet<u32> = own.iter().flatten().copied().collect();
+        let gossiped: std::collections::BTreeSet<u32> = own
+            .iter()
+            .enumerate()
+            .filter(|(n, _)| !suspects.contains(&(*n as u32)))
+            .flat_map(|(_, peers)| peers.iter().copied())
+            .collect();
+        for (node, records) in results.iter_mut().enumerate() {
+            let verdict = own[node]
+                .first()
+                .copied()
+                .or_else(|| gossiped.iter().copied().find(|&p| p != node as u32));
+            let Some(peer) = verdict else { continue };
+            for rec in records {
+                if let Some(b) = &mut rec.breakdown {
+                    if matches!(b.result, Err(CclError::Timeout) | Err(CclError::Aborted)) {
+                        b.result = Err(CclError::PeerFailed(peer));
+                    }
+                }
+            }
+        }
+        results
     }
 
     /// Issues the same collective on every rank through the host drivers
@@ -322,8 +397,11 @@ impl AcclCluster {
                 id
             })
             .collect();
-        let outcome = self.sim.run();
-        assert_eq!(outcome, RunOutcome::Drained, "simulation stalled");
+        match self.sim.run() {
+            RunOutcome::Drained => {}
+            RunOutcome::Stalled(report) => panic!("simulation stalled: {report}"),
+            other => panic!("simulation ended abnormally: {other:?}"),
+        }
         for &id in &kernels {
             assert!(
                 self.sim.component::<KernelProc>(id).finished_at().is_some(),
@@ -356,7 +434,55 @@ impl AcclCluster {
             dmp_instructions: dmp.instrs_completed(),
             rx_buffers_free: rbm.free_buffers(),
             rx_pool_exhaustions: rbm.exhaustion_events,
+            collectives_aborted: uc.calls_aborted(),
+            driver_calls_failed: driver.calls_failed(),
         }
+    }
+
+    /// Peer nodes whose transport session from `node` has entered an
+    /// error state (TCP retransmission-limit abort, RDMA queue-pair
+    /// error) — the driver-visible fail-stop failure detector. Session
+    /// `j` carries traffic to node `j`, so the returned values are peer
+    /// node indices (= world ranks), sorted ascending. UDP is
+    /// connectionless and never diagnoses peers.
+    pub fn failed_peers(&self, node: usize) -> Vec<u32> {
+        let poe = self.nodes[node].poe;
+        let mut peers: Vec<u32> = match self.cfg.transport {
+            Transport::Udp => Vec::new(),
+            Transport::Tcp => self
+                .sim
+                .component::<TcpPoe>(poe)
+                .failed_sessions()
+                .into_iter()
+                .map(|(s, _)| s.0)
+                .collect(),
+            Transport::Rdma => self
+                .sim
+                .component::<RdmaPoe>(poe)
+                .failed_qps()
+                .into_iter()
+                .map(|(s, _)| s.0)
+                .collect(),
+        };
+        peers.sort_unstable();
+        peers.dedup();
+        peers
+    }
+
+    /// Sets every node driver's retry policy for timed-out eager
+    /// collectives.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        for i in 0..self.nodes.len() {
+            let driver = self.nodes[i].driver;
+            self.sim
+                .component_mut::<HostDriver>(driver)
+                .set_retry_policy(policy);
+        }
+    }
+
+    /// A communicator installed on this cluster, by id (0 = world).
+    pub fn communicator(&self, id: u32) -> Option<&Communicator> {
+        self.comms.get(&id)
     }
 
     /// Defines a sub-communicator: `members[r]` is the node serving rank
@@ -369,9 +495,21 @@ impl AcclCluster {
     /// Panics on duplicate members or an id of 0 (the world communicator
     /// is created at build time).
     pub fn add_communicator(&mut self, id: u32, members: &[usize]) {
-        assert_ne!(id, 0, "communicator 0 is the built-in world");
-        let unique: std::collections::HashSet<_> = members.iter().collect();
-        assert_eq!(unique.len(), members.len(), "duplicate communicator member");
+        self.install_communicator(&Communicator::new(id, members.to_vec()));
+    }
+
+    /// Installs a [`Communicator`] description on every member node —
+    /// the second half of the ULFM recovery workflow: after
+    /// [`Communicator::shrink`] excludes failed nodes, installing the
+    /// survivor group lets collectives be reissued on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id of 0 (the world communicator is created at build
+    /// time) or an out-of-range member node.
+    pub fn install_communicator(&mut self, comm: &Communicator) {
+        assert_ne!(comm.id(), 0, "communicator 0 is the built-in world");
+        let members = comm.members();
         let peers: Vec<(accl_net::NodeAddr, SessionId)> = members
             .iter()
             .map(|&m| (self.net.addr(m), SessionId(m as u32)))
@@ -379,7 +517,7 @@ impl AcclCluster {
         for (rank, &node) in members.iter().enumerate() {
             self.nodes[node].cclo.set_communicator(
                 &mut self.sim,
-                id,
+                comm.id(),
                 CommunicatorCfg {
                     rank: rank as u32,
                     peers: peers.clone(),
@@ -388,8 +526,9 @@ impl AcclCluster {
             let driver = self.nodes[node].driver;
             self.sim
                 .component_mut::<HostDriver>(driver)
-                .set_comm_rank(id, rank as u32);
+                .set_comm_rank(comm.id(), rank as u32);
         }
+        self.comms.insert(comm.id(), comm.clone());
     }
 
     /// Tunes every engine's algorithm-selection thresholds at runtime.

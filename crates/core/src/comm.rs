@@ -1,0 +1,135 @@
+//! Communicator handles and ULFM-style recovery.
+//!
+//! A [`Communicator`] is the host-side description of a rank group: an
+//! ordered list of member nodes. The world communicator (id 0) covers
+//! every node and exists from cluster construction. After a fail-stop
+//! fault is reported as [`crate::error::CclError::PeerFailed`], the
+//! application excludes the dead nodes with [`Communicator::shrink`] —
+//! the User-Level Failure Mitigation (`MPI_Comm_shrink`) workflow —
+//! installs the survivor group via
+//! [`crate::cluster::AcclCluster::install_communicator`], and reissues
+//! the collective on it.
+
+/// An ordered group of nodes acting as ranks of one communicator.
+///
+/// Entry `r` of [`Communicator::members`] is the node serving rank `r`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Communicator {
+    id: u32,
+    members: Vec<usize>,
+}
+
+impl Communicator {
+    /// The built-in world communicator over `nodes` nodes (id 0, node `i`
+    /// is rank `i`).
+    pub fn world(nodes: usize) -> Self {
+        Communicator {
+            id: 0,
+            members: (0..nodes).collect(),
+        }
+    }
+
+    /// A communicator `id` whose rank `r` is served by `members[r]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty member list or duplicate members.
+    pub fn new(id: u32, members: Vec<usize>) -> Self {
+        assert!(
+            !members.is_empty(),
+            "communicator needs at least one member"
+        );
+        let unique: std::collections::HashSet<_> = members.iter().collect();
+        assert_eq!(unique.len(), members.len(), "duplicate communicator member");
+        Communicator { id, members }
+    }
+
+    /// The communicator id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The member nodes, in rank order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> u32 {
+        self.members.len() as u32
+    }
+
+    /// Whether `node` is a member.
+    pub fn contains(&self, node: usize) -> bool {
+        self.members.contains(&node)
+    }
+
+    /// The rank `node` serves, if it is a member.
+    pub fn rank_of(&self, node: usize) -> Option<u32> {
+        self.members
+            .iter()
+            .position(|&m| m == node)
+            .map(|r| r as u32)
+    }
+
+    /// ULFM-style shrink: a new communicator `new_id` over the surviving
+    /// members, excluding every node in `failed`. Rank order of the
+    /// survivors is preserved (ranks are renumbered densely).
+    ///
+    /// This is a pure description; install it on a cluster with
+    /// [`crate::cluster::AcclCluster::install_communicator`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no member survives.
+    pub fn shrink(&self, new_id: u32, failed: &[usize]) -> Communicator {
+        let members: Vec<usize> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|m| !failed.contains(m))
+            .collect();
+        assert!(!members.is_empty(), "shrink left no surviving members");
+        Communicator {
+            id: new_id,
+            members,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_covers_all_nodes() {
+        let w = Communicator::world(4);
+        assert_eq!(w.id(), 0);
+        assert_eq!(w.size(), 4);
+        assert_eq!(w.rank_of(2), Some(2));
+        assert_eq!(w.rank_of(4), None);
+    }
+
+    #[test]
+    fn shrink_renumbers_survivors() {
+        let w = Communicator::world(4);
+        let s = w.shrink(1, &[1]);
+        assert_eq!(s.id(), 1);
+        assert_eq!(s.members(), &[0, 2, 3]);
+        assert_eq!(s.rank_of(2), Some(1));
+        assert_eq!(s.rank_of(3), Some(2));
+        assert!(!s.contains(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no surviving members")]
+    fn shrink_to_nothing_panics() {
+        Communicator::world(2).shrink(1, &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate communicator member")]
+    fn duplicate_members_rejected() {
+        Communicator::new(1, vec![0, 0]);
+    }
+}

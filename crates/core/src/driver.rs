@@ -8,12 +8,13 @@
 
 use std::collections::VecDeque;
 
-use accl_cclo::command::{CcloCommand, CcloDone, CollOp, DataLoc, SyncProto};
+use accl_cclo::command::{CcloCommand, CcloDone, CmdStatus, CollOp, DataLoc, SyncProto};
 use accl_cclo::msg::{DType, ReduceFn};
 use accl_mem::xdma::{ports as xdma_ports, XdmaCopy, XdmaDir, XdmaDone};
 use accl_sim::prelude::*;
 
 use crate::buffer::BufferHandle;
+use crate::error::{CclError, RetryPolicy};
 
 /// A collective call specification, mirroring the MPI-like API of Listing 1.
 #[derive(Debug, Clone, Copy)]
@@ -117,11 +118,16 @@ pub struct DriverCall {
 pub struct DriverDone {
     /// Ticket from the call.
     pub ticket: u64,
+    /// The call's outcome. On `Err` the destination buffers are undefined
+    /// and no device→host staging was performed.
+    pub result: Result<(), CclError>,
     /// Time spent staging inputs host→device (zero on unified platforms).
     pub stage_in: Dur,
-    /// Invocation latency (PCIe write/read or ioctl path).
+    /// Invocation latency (PCIe write/read or ioctl path). With retries,
+    /// the cumulative latency across attempts.
     pub invoke: Dur,
-    /// CCLO execution time (command accepted to completion).
+    /// CCLO execution time (command accepted to completion). With retries,
+    /// the cumulative time across attempts (backoff waits excluded).
     pub collective: Dur,
     /// Time staging outputs device→host.
     pub stage_out: Dur,
@@ -141,6 +147,8 @@ pub mod ports {
     pub const CCLO_DONE: PortId = PortId(2);
     /// Internal sequencing.
     pub const STEP: PortId = PortId(3);
+    /// Retry backoff expiry.
+    pub const RETRY: PortId = PortId(4);
 }
 
 /// Phases of an active driver call.
@@ -160,6 +168,8 @@ struct Active {
     stage_in: Dur,
     invoke: Dur,
     collective: Dur,
+    /// Completed attempts that timed out (0 while the first one runs).
+    attempt: u32,
 }
 
 /// Which buffers a collective reads and writes on this rank.
@@ -221,10 +231,13 @@ pub struct HostDriver {
     /// XDMA engine, present on partitioned-memory platforms.
     xdma: Option<ComponentId>,
     invocation_latency: Dur,
+    retry: RetryPolicy,
     queue: VecDeque<DriverCall>,
     active: Option<Active>,
     next_cclo_ticket: u64,
     calls_completed: u64,
+    calls_failed: u64,
+    retries_attempted: u64,
 }
 
 impl HostDriver {
@@ -243,16 +256,40 @@ impl HostDriver {
             cclo_cmd,
             xdma,
             invocation_latency,
+            retry: RetryPolicy::none(),
             queue: VecDeque::new(),
             active: None,
             next_cclo_ticket: 0,
             calls_completed: 0,
+            calls_failed: 0,
+            retries_attempted: 0,
         }
     }
 
-    /// Calls completed so far.
+    /// This node's world rank.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Calls completed so far (with either outcome).
     pub fn calls_completed(&self) -> u64 {
         self.calls_completed
+    }
+
+    /// Calls that completed with an error.
+    pub fn calls_failed(&self) -> u64 {
+        self.calls_failed
+    }
+
+    /// Collective attempts resubmitted under the retry policy.
+    pub fn retries_attempted(&self) -> u64 {
+        self.retries_attempted
+    }
+
+    /// Sets the retry policy for timed-out eager collectives.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        self.retry = policy;
     }
 
     /// Records this node's rank within communicator `comm` (driver-side
@@ -261,16 +298,9 @@ impl HostDriver {
         self.comm_ranks.insert(comm, rank);
     }
 
-    /// This node's rank within `comm`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the node is not a member of `comm`.
-    fn comm_rank(&self, comm: u32) -> u32 {
-        *self
-            .comm_ranks
-            .get(&comm)
-            .unwrap_or_else(|| panic!("node {} is not in communicator {comm}", self.rank))
+    /// This node's rank within `comm`, if it is a member.
+    fn comm_rank(&self, comm: u32) -> Option<u32> {
+        self.comm_ranks.get(&comm).copied()
     }
 
     fn maybe_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -281,7 +311,30 @@ impl HostDriver {
             return;
         };
         let now = ctx.now();
-        let (inputs, _) = buffer_roles(&call.spec, self.comm_rank(call.spec.comm));
+        // Calls against a communicator this node is not part of are
+        // user errors; reject them with a typed error instead of taking
+        // the whole simulation down.
+        let Some(rank) = self.comm_rank(call.spec.comm) else {
+            self.calls_completed += 1;
+            self.calls_failed += 1;
+            ctx.stats().add("driver.calls_rejected", 1);
+            ctx.send(
+                call.reply_to,
+                Dur::ZERO,
+                DriverDone {
+                    ticket: call.ticket,
+                    result: Err(CclError::InvalidCommunicator(call.spec.comm)),
+                    stage_in: Dur::ZERO,
+                    invoke: Dur::ZERO,
+                    collective: Dur::ZERO,
+                    stage_out: Dur::ZERO,
+                    total: Dur::ZERO,
+                },
+            );
+            self.maybe_start(ctx);
+            return;
+        };
+        let (inputs, _) = buffer_roles(&call.spec, rank);
         let to_stage: Vec<BufferHandle> = inputs
             .into_iter()
             .filter(BufferHandle::needs_staging)
@@ -295,6 +348,7 @@ impl HostDriver {
             stage_in: Dur::ZERO,
             invoke: Dur::ZERO,
             collective: Dur::ZERO,
+            attempt: 0,
         });
         if n == 0 {
             self.enter_invoke(ctx);
@@ -329,7 +383,7 @@ impl HostDriver {
     fn submit_command(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
         let active = self.active.as_mut().expect("no active call");
-        active.invoke = now.since(active.phase_started);
+        active.invoke += now.since(active.phase_started);
         active.phase = Phase::Collective;
         active.phase_started = now;
         let spec = active.call.spec;
@@ -356,7 +410,7 @@ impl HostDriver {
         let now = ctx.now();
         let xdma = self.xdma;
         let active = self.active.as_mut().expect("no active call");
-        active.collective = now.since(active.phase_started);
+        active.collective += now.since(active.phase_started);
         active.phase_started = now;
         let rank = self
             .comm_ranks
@@ -401,10 +455,62 @@ impl HostDriver {
             Dur::ZERO,
             DriverDone {
                 ticket: active.call.ticket,
+                result: Ok(()),
                 stage_in: active.stage_in,
                 invoke: active.invoke,
                 collective: active.collective,
                 stage_out,
+                total: now.since(active.started),
+            },
+        );
+        self.maybe_start(ctx);
+    }
+
+    /// Handles a CCLO error completion: retry an eager call under the
+    /// policy, otherwise fail the call. Rendezvous calls are never
+    /// retried — their distributed handshake state cannot be resumed
+    /// unilaterally.
+    fn handle_cclo_error(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let retry = self.retry;
+        let active = self.active.as_mut().expect("CCLO error with no call");
+        active.collective += now.since(active.phase_started);
+        active.attempt += 1;
+        let retryable = active.call.spec.sync != SyncProto::Rendezvous;
+        if retryable && active.attempt < retry.max_attempts {
+            let backoff = retry.backoff(active.attempt - 1);
+            active.phase = Phase::Invoke;
+            self.retries_attempted += 1;
+            ctx.stats().add("driver.retries", 1);
+            ctx.send_self(ports::RETRY, backoff, ());
+            return;
+        }
+        let err = if active.attempt > 1 {
+            CclError::Aborted
+        } else {
+            CclError::Timeout
+        };
+        self.fail(ctx, err);
+    }
+
+    /// Completes the active call with `err`, skipping output staging (the
+    /// destination buffers hold no defined result).
+    fn fail(&mut self, ctx: &mut Ctx<'_>, err: CclError) {
+        let now = ctx.now();
+        let active = self.active.take().expect("no active call");
+        self.calls_completed += 1;
+        self.calls_failed += 1;
+        ctx.stats().add("driver.calls_failed", 1);
+        ctx.send(
+            active.call.reply_to,
+            Dur::ZERO,
+            DriverDone {
+                ticket: active.call.ticket,
+                result: Err(err),
+                stage_in: active.stage_in,
+                invoke: active.invoke,
+                collective: active.collective,
+                stage_out: Dur::ZERO,
                 total: now.since(active.started),
             },
         );
@@ -448,8 +554,20 @@ impl Component for HostDriver {
                 }
             }
             ports::CCLO_DONE => {
-                payload.downcast::<CcloDone>();
-                self.enter_stage_out(ctx);
+                let done = payload.downcast::<CcloDone>();
+                match done.status {
+                    CmdStatus::Ok => self.enter_stage_out(ctx),
+                    CmdStatus::TimedOut => self.handle_cclo_error(ctx),
+                }
+            }
+            ports::RETRY => {
+                payload.downcast::<()>();
+                // Backoff expired: charge the invocation path again and
+                // resubmit the command with a fresh CCLO ticket.
+                let active = self.active.as_mut().expect("retry with no call");
+                debug_assert_eq!(active.phase, Phase::Invoke);
+                active.phase_started = ctx.now();
+                ctx.send_self(ports::STEP, self.invocation_latency, ());
             }
             other => panic!("driver has no port {other:?}"),
         }

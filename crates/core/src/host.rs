@@ -10,6 +10,7 @@ use std::collections::VecDeque;
 use accl_sim::prelude::*;
 
 use crate::driver::{CollSpec, DriverCall, DriverDone};
+use crate::error::CclError;
 
 /// One step of a host program.
 #[derive(Debug, Clone)]
@@ -32,6 +33,14 @@ pub struct OpRecord {
     pub finished: Time,
     /// For collectives: the driver's phase breakdown.
     pub breakdown: Option<DriverDone>,
+}
+
+impl OpRecord {
+    /// The op's outcome: compute ops always succeed, collectives report
+    /// the driver's result.
+    pub fn result(&self) -> Result<(), CclError> {
+        self.breakdown.map_or(Ok(()), |b| b.result)
+    }
 }
 
 /// Ports of the [`HostProc`] component.

@@ -10,19 +10,27 @@
 //! - [`host`] — MPI-like host programs (memory-based collectives).
 //! - [`kernel`] — streaming kernel programs (Listing 2's flow).
 //! - [`platform`] — Coyote vs. Vitis/XRT, UDP/TCP/RDMA presets.
+//! - [`error`] — typed collective failures ([`error::CclError`]) and the
+//!   driver's retry policy (fail-stop fault model).
+//! - [`comm`] — communicator handles and ULFM-style
+//!   [`comm::Communicator::shrink`] recovery.
 
 #![warn(missing_docs)]
 
 pub mod buffer;
 pub mod cluster;
+pub mod comm;
 pub mod driver;
+pub mod error;
 pub mod host;
 pub mod kernel;
 pub mod platform;
 
 pub use buffer::{BufLoc, BufferHandle};
 pub use cluster::{AcclCluster, NodeHandles, NodeStats};
+pub use comm::Communicator;
 pub use driver::{CollSpec, DriverDone, HostDriver};
+pub use error::{CclError, RetryPolicy};
 pub use host::{HostOp, HostProc, Program};
 pub use kernel::{KernelOp, KernelProc};
 pub use platform::{ClusterConfig, Platform, Transport};

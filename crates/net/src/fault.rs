@@ -1,16 +1,23 @@
-//! Fault injection: frame drops and reordering.
+//! Fault injection: frame drops, reordering, link-state schedules and
+//! whole-node crashes.
 //!
 //! The paper's UDP path is unreliable and its TCP POE must survive loss and
 //! out-of-order delivery; these policies let tests and benchmarks inject
-//! such conditions deterministically (by frame index) or statistically
-//! (by probability, driven by the simulation's seeded RNG).
+//! such conditions deterministically (by frame index, by simulated-time
+//! window, or by crash time) or statistically (by probability, driven by
+//! the simulation's seeded RNG). Everything here is a pure function of
+//! `(frame index, simulated time, seeded RNG)`, so fault timelines replay
+//! bit-for-bit under the same seed.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use accl_sim::time::Dur;
+use accl_sim::time::{Dur, Time};
 
-use crate::frame::Frame;
+use crate::frame::{Frame, NodeAddr};
 
 /// A predicate deciding whether a frame should be dropped.
 pub type FramePredicate = Box<dyn Fn(&Frame) -> bool + Send>;
@@ -26,6 +33,54 @@ pub enum FaultAction {
     Delay(Dur),
 }
 
+/// A time-scheduled link-state model: a list of `[down, up)` windows
+/// during which the link is dark and every frame traversing it is lost.
+///
+/// Windows are kept sorted by start time, so membership is a binary
+/// search regardless of how many flaps a schedule describes.
+#[derive(Debug, Default, Clone)]
+pub struct LinkSchedule {
+    /// Sorted, non-overlapping `[down, up)` windows.
+    windows: Vec<(Time, Time)>,
+}
+
+impl LinkSchedule {
+    /// An always-up link.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a `[from, until)` outage window. Windows may be added in any
+    /// order; overlapping windows are merged.
+    pub fn down(mut self, from: Time, until: Time) -> Self {
+        assert!(from < until, "empty outage window");
+        self.windows.push((from, until));
+        self.windows.sort();
+        // Merge overlaps so binary search sees disjoint windows.
+        let mut merged: Vec<(Time, Time)> = Vec::with_capacity(self.windows.len());
+        for (lo, hi) in self.windows.drain(..) {
+            match merged.last_mut() {
+                Some((_, prev_hi)) if lo <= *prev_hi => *prev_hi = (*prev_hi).max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        self.windows = merged;
+        self
+    }
+
+    /// Whether the link is dark at time `t`.
+    pub fn is_down(&self, t: Time) -> bool {
+        // Last window starting at or before `t`.
+        let i = self.windows.partition_point(|&(lo, _)| lo <= t);
+        i > 0 && t < self.windows[i - 1].1
+    }
+
+    /// Whether this schedule contains no outage windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+}
+
 /// A fault-injection policy applied to every frame traversing the switch.
 #[derive(Default)]
 pub struct FaultPlan {
@@ -36,11 +91,18 @@ pub struct FaultPlan {
     /// Extra delay applied to reordered frames.
     pub reorder_delay: Dur,
     /// Explicit global frame indices to drop (deterministic loss).
-    pub drop_indices: Vec<u64>,
+    /// Sorted set: membership is O(log n) however long the schedule.
+    pub drop_indices: BTreeSet<u64>,
     /// Explicit global frame indices to delay by `reorder_delay`.
-    pub delay_indices: Vec<u64>,
+    pub delay_indices: BTreeSet<u64>,
     /// Optional predicate; frames matching it are dropped.
     pub drop_if: Option<FramePredicate>,
+    /// Per-port link outage schedules; frames whose source or destination
+    /// link is dark are lost.
+    pub link_schedules: BTreeMap<NodeAddr, LinkSchedule>,
+    /// Whole-node crash times; from the crash instant on, the switch
+    /// blackholes every frame to or from the node.
+    pub node_crashes: BTreeMap<NodeAddr, Time>,
 }
 
 impl FaultPlan {
@@ -75,6 +137,41 @@ impl FaultPlan {
         }
     }
 
+    /// A policy taking `addr`'s link down for `[from, until)`.
+    pub fn link_down(addr: NodeAddr, from: Time, until: Time) -> Self {
+        Self::default().with_link_down(addr, from, until)
+    }
+
+    /// A policy crashing `addr` (fail-stop) at time `at`.
+    pub fn node_crash(addr: NodeAddr, at: Time) -> Self {
+        Self::default().with_node_crash(addr, at)
+    }
+
+    /// Adds an outage window for `addr`'s link to this plan.
+    pub fn with_link_down(mut self, addr: NodeAddr, from: Time, until: Time) -> Self {
+        let sched = self.link_schedules.remove(&addr).unwrap_or_default();
+        self.link_schedules.insert(addr, sched.down(from, until));
+        self
+    }
+
+    /// Adds a fail-stop crash of `addr` at time `at` to this plan.
+    /// If the node already has a crash time, the earlier one wins.
+    pub fn with_node_crash(mut self, addr: NodeAddr, at: Time) -> Self {
+        let at = self.node_crashes.get(&addr).map_or(at, |&t| t.min(at));
+        self.node_crashes.insert(addr, at);
+        self
+    }
+
+    /// The crash time of `addr`, if one is scheduled.
+    pub fn crash_time(&self, addr: NodeAddr) -> Option<Time> {
+        self.node_crashes.get(&addr).copied()
+    }
+
+    /// Whether `addr` has crashed by time `now`.
+    pub fn is_crashed(&self, addr: NodeAddr, now: Time) -> bool {
+        self.crash_time(addr).is_some_and(|at| now >= at)
+    }
+
     /// Whether this plan can never interfere with traffic.
     pub fn is_transparent(&self) -> bool {
         self.drop_probability == 0.0
@@ -82,10 +179,23 @@ impl FaultPlan {
             && self.drop_indices.is_empty()
             && self.delay_indices.is_empty()
             && self.drop_if.is_none()
+            && self.link_schedules.values().all(LinkSchedule::is_empty)
+            && self.node_crashes.is_empty()
     }
 
-    /// Decides the fate of the `index`-th frame traversing the switch.
-    pub fn decide(&self, index: u64, frame: &Frame, rng: &mut StdRng) -> FaultAction {
+    /// Decides the fate of the `index`-th frame traversing the switch at
+    /// simulated time `now`.
+    pub fn decide(&self, index: u64, now: Time, frame: &Frame, rng: &mut StdRng) -> FaultAction {
+        if self.is_crashed(frame.src, now) || self.is_crashed(frame.dst, now) {
+            return FaultAction::Drop;
+        }
+        for addr in [frame.src, frame.dst] {
+            if let Some(sched) = self.link_schedules.get(&addr) {
+                if sched.is_down(now) {
+                    return FaultAction::Drop;
+                }
+            }
+        }
         if self.drop_indices.contains(&index) {
             return FaultAction::Drop;
         }
@@ -123,7 +233,10 @@ mod tests {
         assert!(plan.is_transparent());
         let mut rng = StdRng::seed_from_u64(0);
         for i in 0..100 {
-            assert_eq!(plan.decide(i, &frame(), &mut rng), FaultAction::Forward);
+            assert_eq!(
+                plan.decide(i, Time::ZERO, &frame(), &mut rng),
+                FaultAction::Forward
+            );
         }
     }
 
@@ -132,7 +245,7 @@ mod tests {
         let plan = FaultPlan::drop_frames([2, 5]);
         let mut rng = StdRng::seed_from_u64(0);
         let fates: Vec<bool> = (0..8)
-            .map(|i| plan.decide(i, &frame(), &mut rng) == FaultAction::Drop)
+            .map(|i| plan.decide(i, Time::ZERO, &frame(), &mut rng) == FaultAction::Drop)
             .collect();
         assert_eq!(
             fates,
@@ -140,13 +253,34 @@ mod tests {
         );
     }
 
+    /// Micro-test for the sorted-set representation: membership stays
+    /// exact at the boundaries of a long, dense schedule where the old
+    /// `Vec::contains` scan was O(n) per frame.
+    #[test]
+    fn indexed_drops_scale_to_long_schedules() {
+        let plan = FaultPlan::drop_frames((0..100_000u64).map(|i| i * 2));
+        assert_eq!(plan.drop_indices.len(), 100_000);
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in [0u64, 1, 2, 99_999, 100_000, 199_998, 199_999, 200_000] {
+            let want = i % 2 == 0 && i < 200_000;
+            assert_eq!(
+                plan.decide(i, Time::ZERO, &frame(), &mut rng) == FaultAction::Drop,
+                want,
+                "index {i}"
+            );
+        }
+    }
+
     #[test]
     fn indexed_delays_reorder() {
         let plan = FaultPlan::delay_frames([1], Dur::from_us(3));
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(plan.decide(0, &frame(), &mut rng), FaultAction::Forward);
         assert_eq!(
-            plan.decide(1, &frame(), &mut rng),
+            plan.decide(0, Time::ZERO, &frame(), &mut rng),
+            FaultAction::Forward
+        );
+        assert_eq!(
+            plan.decide(1, Time::ZERO, &frame(), &mut rng),
             FaultAction::Delay(Dur::from_us(3))
         );
     }
@@ -156,7 +290,7 @@ mod tests {
         let plan = FaultPlan::random_loss(0.3);
         let mut rng = StdRng::seed_from_u64(7);
         let drops = (0..10_000)
-            .filter(|&i| plan.decide(i, &frame(), &mut rng) == FaultAction::Drop)
+            .filter(|&i| plan.decide(i, Time::ZERO, &frame(), &mut rng) == FaultAction::Drop)
             .count();
         assert!((2_700..3_300).contains(&drops), "drops={drops}");
     }
@@ -168,8 +302,102 @@ mod tests {
             ..FaultPlan::default()
         };
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(plan.decide(0, &frame(), &mut rng), FaultAction::Drop);
+        assert_eq!(
+            plan.decide(0, Time::ZERO, &frame(), &mut rng),
+            FaultAction::Drop
+        );
         let small = Frame::new(NodeAddr(0), NodeAddr(1), 10, ());
-        assert_eq!(plan.decide(1, &small, &mut rng), FaultAction::Forward);
+        assert_eq!(
+            plan.decide(1, Time::ZERO, &small, &mut rng),
+            FaultAction::Forward
+        );
+    }
+
+    #[test]
+    fn link_schedule_windows_bound_the_outage() {
+        let sched = LinkSchedule::new()
+            .down(Time::from_ps(100), Time::from_ps(200))
+            .down(Time::from_ps(400), Time::from_ps(500));
+        assert!(!sched.is_down(Time::from_ps(99)));
+        assert!(sched.is_down(Time::from_ps(100)));
+        assert!(sched.is_down(Time::from_ps(199)));
+        assert!(!sched.is_down(Time::from_ps(200)));
+        assert!(!sched.is_down(Time::from_ps(399)));
+        assert!(sched.is_down(Time::from_ps(450)));
+        assert!(!sched.is_down(Time::from_ps(500)));
+    }
+
+    #[test]
+    fn overlapping_windows_merge() {
+        let sched = LinkSchedule::new()
+            .down(Time::from_ps(100), Time::from_ps(300))
+            .down(Time::from_ps(200), Time::from_ps(400));
+        assert!(sched.is_down(Time::from_ps(350)));
+        assert!(!sched.is_down(Time::from_ps(400)));
+    }
+
+    #[test]
+    fn link_down_drops_only_inside_window() {
+        let plan = FaultPlan::link_down(NodeAddr(1), Time::from_us(1), Time::from_us(2));
+        assert!(!plan.is_transparent());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            plan.decide(0, Time::ZERO, &frame(), &mut rng),
+            FaultAction::Forward
+        );
+        assert_eq!(
+            plan.decide(1, Time::from_us(1), &frame(), &mut rng),
+            FaultAction::Drop
+        );
+        assert_eq!(
+            plan.decide(2, Time::from_us(2), &frame(), &mut rng),
+            FaultAction::Forward
+        );
+        // The outage applies to frames in either direction of the port.
+        let reverse = Frame::new(NodeAddr(1), NodeAddr(0), 100, ());
+        assert_eq!(
+            plan.decide(3, Time::from_us(1) + Dur::from_ns(1), &reverse, &mut rng),
+            FaultAction::Drop
+        );
+    }
+
+    #[test]
+    fn node_crash_blackholes_forever_after() {
+        let plan = FaultPlan::node_crash(NodeAddr(0), Time::from_us(5));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            plan.decide(0, Time::from_us(4), &frame(), &mut rng),
+            FaultAction::Forward
+        );
+        assert_eq!(
+            plan.decide(1, Time::from_us(5), &frame(), &mut rng),
+            FaultAction::Drop
+        );
+        assert_eq!(
+            plan.decide(2, Time::from_us(500), &frame(), &mut rng),
+            FaultAction::Drop
+        );
+        // Frames *to* the dead node vanish too.
+        let inbound = Frame::new(NodeAddr(2), NodeAddr(0), 100, ());
+        assert_eq!(
+            plan.decide(3, Time::from_us(6), &inbound, &mut rng),
+            FaultAction::Drop
+        );
+        // Traffic between live nodes is unaffected.
+        let other = Frame::new(NodeAddr(2), NodeAddr(3), 100, ());
+        assert_eq!(
+            plan.decide(4, Time::from_us(6), &other, &mut rng),
+            FaultAction::Forward
+        );
+        assert!(plan.is_crashed(NodeAddr(0), Time::from_us(5)));
+        assert!(!plan.is_crashed(NodeAddr(0), Time::from_us(4)));
+        assert_eq!(plan.crash_time(NodeAddr(0)), Some(Time::from_us(5)));
+    }
+
+    #[test]
+    fn earlier_crash_time_wins() {
+        let plan = FaultPlan::node_crash(NodeAddr(0), Time::from_us(5))
+            .with_node_crash(NodeAddr(0), Time::from_us(9));
+        assert_eq!(plan.crash_time(NodeAddr(0)), Some(Time::from_us(5)));
     }
 }

@@ -74,6 +74,17 @@ impl Switch {
         self.fault = plan;
     }
 
+    /// Mutable access to the installed fault plan, for composing link
+    /// outages / node crashes onto an existing policy.
+    pub fn fault_plan_mut(&mut self) -> &mut FaultPlan {
+        &mut self.fault
+    }
+
+    /// The installed fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
+    }
+
     /// Counters for port `addr`.
     pub fn port_counters(&self, addr: NodeAddr) -> PortCounters {
         let p = &self.ports[addr.index()];
@@ -99,7 +110,8 @@ impl Component for Switch {
         let frame = payload.downcast::<Frame>();
         let index = self.frame_index;
         self.frame_index += 1;
-        let extra = match self.fault.decide(index, &frame, ctx.rng()) {
+        let now = ctx.now();
+        let extra = match self.fault.decide(index, now, &frame, ctx.rng()) {
             FaultAction::Forward => Dur::ZERO,
             FaultAction::Delay(d) => d,
             FaultAction::Drop => {

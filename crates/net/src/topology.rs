@@ -118,6 +118,25 @@ impl Network {
             .set_fault_plan(plan);
     }
 
+    /// Schedules a fail-stop crash of node `i` at simulated time `at`,
+    /// composing with whatever fault plan is already installed. From `at`
+    /// on, the switch blackholes all frames to or from the node.
+    pub fn crash_node(&self, sim: &mut Simulator, i: usize, at: Time) {
+        let addr = self.addr(i);
+        let sw = sim.component_mut::<Switch>(self.switch);
+        let plan = std::mem::take(sw.fault_plan_mut());
+        sw.set_fault_plan(plan.with_node_crash(addr, at));
+    }
+
+    /// Schedules a `[from, until)` outage of node `i`'s link, composing
+    /// with the installed fault plan.
+    pub fn link_down(&self, sim: &mut Simulator, i: usize, from: Time, until: Time) {
+        let addr = self.addr(i);
+        let sw = sim.component_mut::<Switch>(self.switch);
+        let plan = std::mem::take(sw.fault_plan_mut());
+        sw.set_fault_plan(plan.with_link_down(addr, from, until));
+    }
+
     /// Egress counters of switch port `i`.
     pub fn port_counters(&self, sim: &Simulator, i: usize) -> PortCounters {
         sim.component::<Switch>(self.switch)

@@ -65,6 +65,41 @@ pub struct PoeTxDone {
     pub tag: u64,
 }
 
+/// Why a POE declared a session dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionErrorKind {
+    /// TCP: the retransmission limit was exhausted without the peer ever
+    /// acknowledging forward progress — the peer or its link is gone.
+    RetransmitLimit,
+    /// RDMA: the queue pair was token-starved for longer than the
+    /// starvation timeout — no flow-control credits came back.
+    TokenStarvation,
+}
+
+impl core::fmt::Display for SessionErrorKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SessionErrorKind::RetransmitLimit => write!(f, "retransmission limit exhausted"),
+            SessionErrorKind::TokenStarvation => write!(f, "flow-control token starvation"),
+        }
+    }
+}
+
+/// Fatal session failure, delivered on the same endpoint as [`PoeTxDone`]
+/// (completion-queue discipline: every command eventually yields either a
+/// success or an error completion, and a session-fatal event is reported
+/// once with `tag: None`). Consumers must `try_downcast` completions.
+#[derive(Debug, Clone, Copy)]
+pub struct PoeSessionError {
+    /// The failed session.
+    pub session: SessionId,
+    /// Failure cause.
+    pub kind: SessionErrorKind,
+    /// Tag of the command this error completes, or `None` for the
+    /// session-fatal notification itself.
+    pub tag: Option<u64>,
+}
+
 /// Rx meta: a message is arriving on `session`.
 ///
 /// Emitted once per message, before (or with) its first data chunk.
@@ -102,6 +137,43 @@ pub struct PoeUpward {
     pub rx_data: Endpoint,
     /// Receives [`PoeTxDone`].
     pub tx_done: Endpoint,
+}
+
+/// Harness component collecting both success and error completions from a
+/// POE `tx_done` endpoint (which carries [`PoeTxDone`] and
+/// [`PoeSessionError`] interleaved, completion-queue style).
+#[derive(Debug, Default)]
+pub struct CompletionLog {
+    dones: Vec<(Time, PoeTxDone)>,
+    errors: Vec<(Time, PoeSessionError)>,
+}
+
+impl CompletionLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Successful completions in arrival order.
+    pub fn dones(&self) -> &[(Time, PoeTxDone)] {
+        &self.dones
+    }
+
+    /// Error completions in arrival order.
+    pub fn errors(&self) -> &[(Time, PoeSessionError)] {
+        &self.errors
+    }
+}
+
+impl Component for CompletionLog {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, _port: PortId, payload: Payload) {
+        match payload.try_downcast::<PoeTxDone>() {
+            Ok(done) => self.dones.push((ctx.now(), done)),
+            Err(other) => self
+                .errors
+                .push((ctx.now(), other.downcast::<PoeSessionError>())),
+        }
+    }
 }
 
 /// Standard input ports shared by all POE components.

@@ -22,8 +22,9 @@ pub mod tcp;
 pub mod udp;
 
 pub use iface::{
-    ports, PoeRxMeta, PoeTxCmd, PoeTxDone, PoeUpward, RxChunk, RxDemux, SessionId, SessionTable,
-    StreamChunk, TxAssembler, TxKind, TxSegment,
+    ports, CompletionLog, PoeRxMeta, PoeSessionError, PoeTxCmd, PoeTxDone, PoeUpward, RxChunk,
+    RxDemux, SessionErrorKind, SessionId, SessionTable, StreamChunk, TxAssembler, TxKind,
+    TxSegment,
 };
 pub use rdma::{RdmaConfig, RdmaPdu, RdmaPoe, WriteDelivery};
 pub use tcp::{TcpConfig, TcpPoe, TcpSegment};

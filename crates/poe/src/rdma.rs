@@ -16,9 +16,16 @@ use accl_net::Frame;
 use accl_sim::prelude::*;
 
 use crate::iface::{
-    ports, PoeTxCmd, PoeTxDone, PoeUpward, RxDemux, SessionId, SessionTable, StreamChunk,
-    TxAssembler, TxKind, TxSegment,
+    ports, PoeSessionError, PoeTxCmd, PoeTxDone, PoeUpward, RxDemux, SessionErrorKind, SessionId,
+    SessionTable, StreamChunk, TxAssembler, TxKind, TxSegment,
 };
+
+/// Token-starvation watchdog timer (self-addressed).
+#[derive(Debug, Clone, Copy)]
+struct StarveTimer {
+    qp: SessionId,
+    gen: u64,
+}
 
 /// RDMA wire protocol data units.
 #[derive(Debug, Clone)]
@@ -84,6 +91,10 @@ pub struct RdmaConfig {
     pub credit_batch: u32,
     /// Passive-side WRITE delivery target.
     pub write_delivery: WriteDelivery,
+    /// A queue pair stalled on tokens for this long with no credit arriving
+    /// transitions to the error state (fail-stop peer detection). Credit
+    /// round trips are a few µs here, so the default is very conservative.
+    pub starvation_timeout_us: u64,
 }
 
 impl Default for RdmaConfig {
@@ -94,6 +105,7 @@ impl Default for RdmaConfig {
             token_window: 64,
             credit_batch: 16,
             write_delivery: WriteDelivery::Memory,
+            starvation_timeout_us: 1_000,
         }
     }
 }
@@ -117,6 +129,11 @@ pub struct RdmaPoe {
     stalled: HashMap<SessionId, VecDeque<TxSegment>>,
     /// Receiver-side pending credit counts per peer QP.
     owed_credits: HashMap<SessionId, u32>,
+    /// Starvation-timer generation per QP; bumped on every credit so a
+    /// pending timer from before the progress is recognized as stale.
+    starve_gen: HashMap<SessionId, u64>,
+    /// Queue pairs in the error state.
+    qp_error: HashMap<SessionId, SessionErrorKind>,
     frames_sent: u64,
     frames_received: u64,
 }
@@ -137,6 +154,8 @@ impl RdmaPoe {
             inflight: HashMap::new(),
             stalled: HashMap::new(),
             owed_credits: HashMap::new(),
+            starve_gen: HashMap::new(),
+            qp_error: HashMap::new(),
             frames_sent: 0,
             frames_received: 0,
         }
@@ -164,20 +183,89 @@ impl RdmaPoe {
         self.frames_received
     }
 
+    /// Queue pairs in the error state, in QP order.
+    pub fn failed_qps(&self) -> Vec<(SessionId, SessionErrorKind)> {
+        let mut out: Vec<_> = self.qp_error.iter().map(|(&q, &k)| (q, k)).collect();
+        out.sort_unstable_by_key(|&(q, _)| q);
+        out
+    }
+
     fn latency(&self) -> Dur {
         Dur::from_ns(self.cfg.processing_ns)
+    }
+
+    fn arm_starve_timer(&mut self, ctx: &mut Ctx<'_>, qp: SessionId) {
+        let gen = *self.starve_gen.entry(qp).or_insert(0);
+        ctx.send_self(
+            ports::TIMER,
+            Dur::from_us(self.cfg.starvation_timeout_us),
+            StarveTimer { qp, gen },
+        );
     }
 
     /// Sends or stalls a segment depending on the QP's token budget.
     fn dispatch(&mut self, ctx: &mut Ctx<'_>, seg: TxSegment) {
         let qp = seg.cmd.session;
+        if let Some(&kind) = self.qp_error.get(&qp) {
+            // Error-state QP: discard, completing the command in error once
+            // its final fragment is consumed.
+            if seg.last {
+                ctx.send(
+                    self.up.tx_done,
+                    self.latency(),
+                    PoeSessionError {
+                        session: qp,
+                        kind,
+                        tag: Some(seg.cmd.tag),
+                    },
+                );
+            }
+            return;
+        }
         let inflight = self.inflight.entry(qp).or_insert(0);
         if *inflight >= self.cfg.token_window {
-            self.stalled.entry(qp).or_default().push_back(seg);
+            let q = self.stalled.entry(qp).or_default();
+            let first = q.is_empty();
+            q.push_back(seg);
+            if first {
+                self.arm_starve_timer(ctx, qp);
+            }
             return;
         }
         *inflight += 1;
         self.transmit(ctx, seg);
+    }
+
+    /// Transitions `qp` to the error state: drops its stalled fragments and
+    /// emits the session-fatal error completion plus one error completion
+    /// per command whose final fragment was dropped.
+    fn fail_qp(&mut self, ctx: &mut Ctx<'_>, qp: SessionId, kind: SessionErrorKind) {
+        let latency = self.latency();
+        self.qp_error.insert(qp, kind);
+        *self.starve_gen.entry(qp).or_insert(0) += 1;
+        ctx.stats().add("poe.rdma.qp_errors", 1);
+        ctx.send(
+            self.up.tx_done,
+            latency,
+            PoeSessionError {
+                session: qp,
+                kind,
+                tag: None,
+            },
+        );
+        for seg in self.stalled.remove(&qp).unwrap_or_default() {
+            if seg.last {
+                ctx.send(
+                    self.up.tx_done,
+                    latency,
+                    PoeSessionError {
+                        session: qp,
+                        kind,
+                        tag: Some(seg.cmd.tag),
+                    },
+                );
+            }
+        }
     }
 
     fn transmit(&mut self, ctx: &mut Ctx<'_>, seg: TxSegment) {
@@ -238,6 +326,11 @@ impl RdmaPoe {
     }
 
     fn on_credit(&mut self, ctx: &mut Ctx<'_>, qp: SessionId, frames: u32) {
+        if self.qp_error.contains_key(&qp) {
+            return;
+        }
+        // Any credit is forward progress: invalidate the pending timer.
+        *self.starve_gen.entry(qp).or_insert(0) += 1;
         let inflight = self.inflight.entry(qp).or_insert(0);
         *inflight = inflight.saturating_sub(frames);
         while *self.inflight.get(&qp).unwrap() < self.cfg.token_window {
@@ -246,6 +339,9 @@ impl RdmaPoe {
             };
             *self.inflight.get_mut(&qp).unwrap() += 1;
             self.transmit(ctx, seg);
+        }
+        if self.stalled.get(&qp).is_some_and(|q| !q.is_empty()) {
+            self.arm_starve_timer(ctx, qp);
         }
     }
 }
@@ -332,20 +428,62 @@ impl Component for RdmaPoe {
                     }
                 }
             }
+            ports::TIMER => {
+                let timer = payload.downcast::<StarveTimer>();
+                let stale = self.starve_gen.get(&timer.qp).copied().unwrap_or(0) != timer.gen;
+                let still_stalled = self.stalled.get(&timer.qp).is_some_and(|q| !q.is_empty());
+                if stale || !still_stalled || self.qp_error.contains_key(&timer.qp) {
+                    return;
+                }
+                self.fail_qp(ctx, timer.qp, SessionErrorKind::TokenStarvation);
+            }
             other => panic!("RDMA engine has no port {other:?}"),
         }
+    }
+
+    fn parked_work(&self) -> Option<ParkedWork> {
+        // Token-starved queue pairs (lowest QP first, deterministically).
+        let starved = self
+            .stalled
+            .iter()
+            .filter(|(qp, q)| !q.is_empty() && !self.qp_error.contains_key(qp))
+            .min_by_key(|(&qp, _)| qp);
+        if let Some((&qp, q)) = starved {
+            return Some(ParkedWork {
+                rank: None,
+                op: format!("rdma qp {}: {} fragments token-starved", qp.0, q.len()),
+            });
+        }
+        // Commands still waiting for their stream bytes.
+        let queued = self.assembler.queued_cmds();
+        if queued > 0 {
+            return Some(ParkedWork {
+                rank: None,
+                op: format!("rdma tx: {queued} commands awaiting stream data"),
+            });
+        }
+        // Partially received messages that will never complete.
+        let partial = self.demux.inflight() + self.write_demux.inflight();
+        if partial > 0 {
+            return Some(ParkedWork {
+                rank: None,
+                op: format!("rdma rx: {partial} partial messages"),
+            });
+        }
+        None
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::iface::{PoeRxMeta, RxChunk};
+    use crate::iface::{CompletionLog, PoeRxMeta, RxChunk};
     use accl_mem::{MemBusConfig, MemTarget, MemoryBus};
     use accl_net::{NetConfig, Network};
 
     struct Bench {
         sim: Simulator,
+        net: Network,
         poes: Vec<ComponentId>,
         metas: Vec<ComponentId>,
         datas: Vec<ComponentId>,
@@ -361,7 +499,7 @@ mod tests {
         for i in 0..n {
             let meta = sim.add(format!("meta{i}"), Mailbox::<PoeRxMeta>::new());
             let data = sim.add(format!("data{i}"), Mailbox::<RxChunk>::new());
-            let done = sim.add(format!("done{i}"), Mailbox::<PoeTxDone>::new());
+            let done = sim.add(format!("done{i}"), CompletionLog::new());
             let bus = sim.add(format!("bus{i}"), MemoryBus::new(MemBusConfig::coyote()));
             let mut sessions = SessionTable::new();
             for j in 0..n {
@@ -393,6 +531,7 @@ mod tests {
         }
         Bench {
             sim,
+            net,
             poes,
             metas,
             datas,
@@ -442,7 +581,7 @@ mod tests {
         }
         assert_eq!(got, msg);
         assert_eq!(
-            b.sim.component::<Mailbox<PoeTxDone>>(b.dones[0]).items()[0]
+            b.sim.component::<CompletionLog>(b.dones[0]).dones()[0]
                 .1
                 .tag,
             3
@@ -481,7 +620,10 @@ mod tests {
             msg
         );
         // The initiator saw a local completion.
-        assert_eq!(b.sim.component::<Mailbox<PoeTxDone>>(b.dones[0]).len(), 1);
+        assert_eq!(
+            b.sim.component::<CompletionLog>(b.dones[0]).dones().len(),
+            1
+        );
     }
 
     #[test]
@@ -535,6 +677,75 @@ mod tests {
         assert_eq!(got, msg);
         // Strictly more frames received than sent fragments (credits flow).
         assert!(b.sim.component::<RdmaPoe>(b.poes[0]).frames_received() > 0);
+        // Ordinary credit-paced flow never trips the starvation watchdog.
+        assert!(b
+            .sim
+            .component::<RdmaPoe>(b.poes[0])
+            .failed_qps()
+            .is_empty());
+        assert!(b
+            .sim
+            .component::<CompletionLog>(b.dones[0])
+            .errors()
+            .is_empty());
+    }
+
+    #[test]
+    fn receiver_crash_starves_tokens_into_qp_error() {
+        // Window of 4 and a crashed receiver: the first 4 fragments vanish,
+        // no credits ever return, and the starvation watchdog must move the
+        // QP to the error state instead of parking forever.
+        let cfg = RdmaConfig {
+            token_window: 4,
+            credit_batch: 2,
+            ..RdmaConfig::default()
+        };
+        let mut b = bench_cfg(2, cfg, None);
+        b.net.crash_node(&mut b.sim, 1, Time::ZERO);
+        issue(&mut b, 0, 1, TxKind::Send, vec![7u8; 64 * 1024], 5);
+        let out = b.sim.run();
+        assert_eq!(out, RunOutcome::Drained, "outcome: {out:?}");
+        let poe = b.sim.component::<RdmaPoe>(b.poes[0]);
+        assert_eq!(
+            poe.failed_qps(),
+            vec![(SessionId(1), SessionErrorKind::TokenStarvation)]
+        );
+        let log = b.sim.component::<CompletionLog>(b.dones[0]);
+        let tags: Vec<Option<u64>> = log.errors().iter().map(|&(_, e)| e.tag).collect();
+        // Session-fatal notification plus the error completion of the
+        // command whose final fragment was dropped.
+        assert_eq!(tags, vec![None, Some(5)]);
+        // Detection happens one starvation timeout after the stall began.
+        let (at, _) = log.errors()[0];
+        assert!(
+            at >= Time::from_us(cfg.starvation_timeout_us) && at < Time::from_ms(10),
+            "error at {at}"
+        );
+        // Nothing was delivered upward on the dead side.
+        assert_eq!(b.sim.component::<Mailbox<PoeRxMeta>>(b.metas[1]).len(), 0);
+    }
+
+    #[test]
+    fn deadline_watchdog_names_token_starved_qp() {
+        // Starvation detection disabled far beyond the horizon: the stall
+        // deadline sweep must still name the starved QP.
+        let cfg = RdmaConfig {
+            token_window: 4,
+            credit_batch: 2,
+            starvation_timeout_us: 1_000_000,
+            ..RdmaConfig::default()
+        };
+        let mut b = bench_cfg(2, cfg, None);
+        b.net.crash_node(&mut b.sim, 1, Time::ZERO);
+        issue(&mut b, 0, 1, TxKind::Send, vec![7u8; 64 * 1024], 5);
+        b.sim.set_stall_deadline(Time::from_ms(1));
+        match b.sim.run() {
+            RunOutcome::Stalled(report) => {
+                assert_eq!(report.component, "rdma0");
+                assert!(report.op.contains("token-starved"), "op: {}", report.op);
+            }
+            other => panic!("expected stall, got {other:?}"),
+        }
     }
 
     #[test]

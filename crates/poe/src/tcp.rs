@@ -17,8 +17,8 @@ use accl_net::Frame;
 use accl_sim::prelude::*;
 
 use crate::iface::{
-    ports, PoeRxMeta, PoeTxCmd, PoeTxDone, PoeUpward, RxChunk, SessionId, SessionTable,
-    StreamChunk, TxKind,
+    ports, PoeRxMeta, PoeSessionError, PoeTxCmd, PoeTxDone, PoeUpward, RxChunk, SessionErrorKind,
+    SessionId, SessionTable, StreamChunk, TxKind,
 };
 
 /// In-stream message header: 8-byte little-endian length prefix.
@@ -70,6 +70,10 @@ pub struct TcpConfig {
     pub min_rto_us: u64,
     /// Maximum retransmission timeout, µs.
     pub max_rto_us: u64,
+    /// Consecutive RTO expirations without forward progress before the
+    /// session is declared dead (fail-stop peer detection). Mirrors Linux
+    /// `tcp_retries2`, scaled down to data-center RTOs.
+    pub max_retransmits: u32,
 }
 
 impl Default for TcpConfig {
@@ -81,6 +85,7 @@ impl Default for TcpConfig {
             init_rto_us: 100,
             min_rto_us: 25,
             max_rto_us: 10_000,
+            max_retransmits: 8,
         }
     }
 }
@@ -102,6 +107,10 @@ struct TxState {
     timer_armed: bool,
     rtt_probe: Option<(u64, Time)>,
     retransmits: u64,
+    /// Consecutive RTO expirations since the last forward ACK.
+    consec_rto: u32,
+    /// Set once the session is declared dead; no further transmission.
+    error: Option<SessionErrorKind>,
 }
 
 /// Receiver-side per-session state.
@@ -224,6 +233,17 @@ impl TcpPoe {
         self.tx.values().map(|s| s.retransmits).sum()
     }
 
+    /// Sessions declared dead so far, in session order.
+    pub fn failed_sessions(&self) -> Vec<(SessionId, SessionErrorKind)> {
+        let mut out: Vec<_> = self
+            .tx
+            .iter()
+            .filter_map(|(&s, st)| st.error.map(|k| (s, k)))
+            .collect();
+        out.sort_unstable_by_key(|&(s, _)| s);
+        out
+    }
+
     fn latency(&self) -> Dur {
         Dur::from_ns(self.cfg.processing_ns)
     }
@@ -271,23 +291,71 @@ impl TcpPoe {
             head.remaining -= take;
             if head.remaining == 0 {
                 let msg = self.out_q.pop_front().unwrap();
-                ctx.send(
-                    self.up.tx_done,
-                    latency,
-                    PoeTxDone {
-                        session: msg.cmd.session,
-                        len: msg.cmd.len,
-                        tag: msg.cmd.tag,
-                    },
-                );
+                match self.session_error(msg.cmd.session) {
+                    // A command attributed to a dead session completes in
+                    // error: its bytes were consumed but never leave.
+                    Some(kind) => ctx.send(
+                        self.up.tx_done,
+                        latency,
+                        PoeSessionError {
+                            session: msg.cmd.session,
+                            kind,
+                            tag: Some(msg.cmd.tag),
+                        },
+                    ),
+                    None => ctx.send(
+                        self.up.tx_done,
+                        latency,
+                        PoeTxDone {
+                            session: msg.cmd.session,
+                            len: msg.cmd.len,
+                            tag: msg.cmd.tag,
+                        },
+                    ),
+                }
             } else {
                 break;
             }
         }
     }
 
+    /// The error a session died with, if any.
+    fn session_error(&self, session: SessionId) -> Option<SessionErrorKind> {
+        self.tx.get(&session).and_then(|st| st.error)
+    }
+
+    /// Declares `session` dead: releases all buffered stream state, disarms
+    /// the timer and emits the session-fatal error completion. Commands
+    /// still queued (or issued later) for the session complete in error as
+    /// their stream bytes are consumed.
+    fn abort_session(&mut self, ctx: &mut Ctx<'_>, session: SessionId, kind: SessionErrorKind) {
+        let latency = self.latency();
+        let st = self.tx_state(session);
+        st.error = Some(kind);
+        st.timer_armed = false;
+        st.unacked.clear();
+        st.pending.clear();
+        st.pending_len = 0;
+        st.rtt_probe = None;
+        ctx.stats().add("poe.tcp.session_errors", 1);
+        ctx.send(
+            self.up.tx_done,
+            latency,
+            PoeSessionError {
+                session,
+                kind,
+                tag: None,
+            },
+        );
+    }
+
     fn stream_push(&mut self, ctx: &mut Ctx<'_>, session: SessionId, data: Bytes) {
         let st = self.tx_state(session);
+        if st.error.is_some() {
+            // Dead session: consume (and discard) the bytes so attribution
+            // of later commands on other sessions keeps flowing.
+            return;
+        }
         st.pending_len += data.len() as u64;
         st.pending.push_back(data);
         self.try_send(ctx, session);
@@ -388,10 +456,15 @@ impl TcpPoe {
         let max_rto = Dur::from_us(self.cfg.max_rto_us);
         let now = ctx.now();
         let st = self.tx_state(session);
+        if st.error.is_some() {
+            // Late ACK to a session already declared dead.
+            return;
+        }
         st.peer_rwnd = ack.window;
         if ack.ack > st.snd_una {
             st.snd_una = ack.ack;
             st.dup_acks = 0;
+            st.consec_rto = 0;
             while let Some(&(seq, ref data)) = st.unacked.front() {
                 if seq + data.len() as u64 <= st.snd_una {
                     st.unacked.pop_front();
@@ -511,12 +584,20 @@ impl Component for TcpPoe {
             ports::TIMER => {
                 let timer = payload.downcast::<RtoTimer>();
                 let max_rto = Dur::from_us(self.cfg.max_rto_us);
+                let max_retransmits = self.cfg.max_retransmits;
                 let st = self.tx_state(timer.session);
                 if !st.timer_armed || st.timer_gen != timer.gen || st.unacked.is_empty() {
                     return;
                 }
-                st.rto = (st.rto * 2).min(max_rto);
                 let session = timer.session;
+                st.consec_rto += 1;
+                if st.consec_rto > max_retransmits {
+                    // Fail-stop detection: the peer never acknowledged any
+                    // progress across the whole backoff ladder.
+                    self.abort_session(ctx, session, SessionErrorKind::RetransmitLimit);
+                    return;
+                }
+                st.rto = (st.rto * 2).min(max_rto);
                 self.retransmit_head(ctx, session);
                 let st = self.tx_state(session);
                 Self::arm_timer_inner(ctx, st, session);
@@ -524,11 +605,61 @@ impl Component for TcpPoe {
             other => panic!("TCP engine has no port {other:?}"),
         }
     }
+
+    fn parked_work(&self) -> Option<ParkedWork> {
+        // Oldest command still waiting for its stream bytes: attribution is
+        // FIFO across sessions, so a starved head blocks everything behind.
+        if let Some(head) = self.out_q.front() {
+            return Some(ParkedWork {
+                rank: None,
+                op: format!(
+                    "tcp tx tag={} session={}: awaiting {} stream bytes",
+                    head.cmd.tag, head.cmd.session.0, head.remaining
+                ),
+            });
+        }
+        // Live sessions holding unsent or unacknowledged bytes (lowest
+        // session id first, for deterministic reports).
+        let stuck = self
+            .tx
+            .iter()
+            .filter(|(_, st)| st.error.is_none() && (st.pending_len > 0 || !st.unacked.is_empty()))
+            .min_by_key(|(&s, _)| s);
+        if let Some((&s, st)) = stuck {
+            let unacked: u64 = st.unacked.iter().map(|(_, d)| d.len() as u64).sum();
+            return Some(ParkedWork {
+                rank: None,
+                op: format!(
+                    "tcp session {}: {} bytes unacked, {} bytes pending",
+                    s.0, unacked, st.pending_len
+                ),
+            });
+        }
+        // Receive side: a message cut off mid-stream.
+        let partial = self
+            .rx
+            .iter()
+            .filter(|(_, st)| {
+                !st.ooo.is_empty() || st.deframer.msg_len > 0 || !st.deframer.header.is_empty()
+            })
+            .min_by_key(|(&s, _)| s);
+        if let Some((&s, st)) = partial {
+            return Some(ParkedWork {
+                rank: None,
+                op: format!(
+                    "tcp session {}: partial rx message at offset {} of {}",
+                    s.0, st.deframer.msg_off, st.deframer.msg_len
+                ),
+            });
+        }
+        None
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::iface::CompletionLog;
     use accl_net::{FaultPlan, NetConfig, Network};
 
     struct Bench {
@@ -548,7 +679,7 @@ mod tests {
         for i in 0..n {
             let meta = sim.add(format!("meta{i}"), Mailbox::<PoeRxMeta>::new());
             let data = sim.add(format!("data{i}"), Mailbox::<RxChunk>::new());
-            let done = sim.add(format!("done{i}"), Mailbox::<PoeTxDone>::new());
+            let done = sim.add(format!("done{i}"), CompletionLog::new());
             let mut sessions = SessionTable::new();
             for j in 0..n {
                 if i != j {
@@ -629,7 +760,7 @@ mod tests {
         assert_eq!(metas.items()[0].1.len, 50_000);
         assert_eq!(received(&b, 1, msg.len()), msg);
         assert_eq!(
-            b.sim.component::<Mailbox<PoeTxDone>>(b.dones[0]).items()[0]
+            b.sim.component::<CompletionLog>(b.dones[0]).dones()[0]
                 .1
                 .tag,
             9
@@ -771,6 +902,110 @@ mod tests {
         for dst in 1..8 {
             assert_eq!(received(&b, dst, 8192), vec![dst as u8; 8192]);
         }
-        assert_eq!(b.sim.component::<Mailbox<PoeTxDone>>(b.dones[0]).len(), 7);
+        assert_eq!(
+            b.sim.component::<CompletionLog>(b.dones[0]).dones().len(),
+            7
+        );
+    }
+
+    #[test]
+    fn peer_crash_aborts_after_bounded_retransmissions() {
+        let mut b = bench(2);
+        // Node 1 fail-stops before anything is exchanged.
+        b.net.crash_node(&mut b.sim, 1, Time::ZERO);
+        send(&mut b, 0, 1, vec![9u8; 20_000], 7);
+        let out = b.sim.run();
+        // The abort releases all parked state, so the run drains cleanly
+        // instead of hanging or looping on retransmissions forever.
+        assert_eq!(out, RunOutcome::Drained, "outcome: {out:?}");
+        let log = b.sim.component::<CompletionLog>(b.dones[0]);
+        assert_eq!(log.errors().len(), 1, "errors: {:?}", log.errors());
+        let (at, err) = log.errors()[0];
+        assert_eq!(err.session, SessionId(1));
+        assert_eq!(err.kind, SessionErrorKind::RetransmitLimit);
+        assert_eq!(err.tag, None);
+        // Exactly the configured number of RTO retransmissions happened.
+        let poe = b.sim.component::<TcpPoe>(b.poes[0]);
+        assert_eq!(
+            poe.retransmissions(),
+            u64::from(TcpConfig::default().max_retransmits)
+        );
+        assert_eq!(
+            poe.failed_sessions(),
+            vec![(SessionId(1), SessionErrorKind::RetransmitLimit)]
+        );
+        // Detection latency is bounded by the RTO backoff ladder.
+        assert!(at < Time::from_ms(100), "abort at {at}");
+        // Nothing ever reached the crashed peer.
+        assert_eq!(b.sim.component::<Mailbox<PoeRxMeta>>(b.metas[1]).len(), 0);
+    }
+
+    #[test]
+    fn link_flap_recovers_within_retransmit_budget() {
+        let mut b = bench(2);
+        // Node 1's link is dark for the first 500 µs, then heals.
+        b.net
+            .link_down(&mut b.sim, 1, Time::ZERO, Time::from_us(500));
+        let msg: Vec<u8> = (0..30_000u32).map(|i| (i % 227) as u8).collect();
+        send(&mut b, 0, 1, msg.clone(), 4);
+        b.sim.run();
+        // Retransmission rode out the outage: delivered exactly once, no
+        // session error.
+        assert_eq!(received(&b, 1, msg.len()), msg);
+        let poe = b.sim.component::<TcpPoe>(b.poes[0]);
+        assert!(poe.retransmissions() >= 1);
+        assert!(poe.failed_sessions().is_empty());
+        assert!(b
+            .sim
+            .component::<CompletionLog>(b.dones[0])
+            .errors()
+            .is_empty());
+    }
+
+    #[test]
+    fn command_on_dead_session_completes_in_error() {
+        let mut b = bench(2);
+        b.net.crash_node(&mut b.sim, 1, Time::ZERO);
+        send(&mut b, 0, 1, vec![1u8; 4096], 1);
+        b.sim.run();
+        // Session is dead now; a later command still gets a completion —
+        // an error one, tagged with the command's tag.
+        send(&mut b, 0, 1, vec![2u8; 4096], 2);
+        let out = b.sim.run();
+        assert_eq!(out, RunOutcome::Drained, "outcome: {out:?}");
+        let log = b.sim.component::<CompletionLog>(b.dones[0]);
+        let tags: Vec<Option<u64>> = log.errors().iter().map(|&(_, e)| e.tag).collect();
+        assert!(
+            tags.contains(&None),
+            "session-fatal error missing: {tags:?}"
+        );
+        assert!(tags.contains(&Some(2)), "command error missing: {tags:?}");
+    }
+
+    #[test]
+    fn stall_watchdog_names_starved_tx_command() {
+        let mut b = bench(2);
+        // A command whose stream data never arrives: the engine parks it.
+        b.sim.post(
+            Endpoint::new(b.poes[0], ports::TX_CMD),
+            Time::ZERO,
+            PoeTxCmd {
+                session: SessionId(1),
+                len: 1000,
+                kind: TxKind::Send,
+                tag: 42,
+            },
+        );
+        match b.sim.run() {
+            RunOutcome::Stalled(report) => {
+                assert_eq!(report.component, "tcp0");
+                assert!(
+                    report.op.contains("awaiting 1000 stream bytes"),
+                    "op: {}",
+                    report.op
+                );
+            }
+            other => panic!("expected stall, got {other:?}"),
+        }
     }
 }

@@ -50,7 +50,7 @@ pub mod prelude {
     pub use crate::event::{ComponentId, Endpoint, Payload, PortId};
     pub use crate::mailbox::Mailbox;
     pub use crate::pipe::{Latency, Pipe};
-    pub use crate::sim::{Component, Ctx, RunOutcome, Simulator};
+    pub use crate::sim::{Component, Ctx, ParkedWork, RunOutcome, Simulator, StallReport};
     pub use crate::stats::Stats;
     pub use crate::time::{Dur, Time};
 }

@@ -27,6 +27,30 @@ use crate::time::{Dur, Time};
 pub trait Component: Any + Send {
     /// Handles `payload` arriving on `port` at time `ctx.now()`.
     fn on_event(&mut self, ctx: &mut Ctx<'_>, port: PortId, payload: Payload);
+
+    /// Describes work this component is still holding — a parked collective,
+    /// an unacknowledged transmission, an admission-queued message — that
+    /// should have completed before the event queue drains.
+    ///
+    /// The stall watchdog consults this when the simulation runs out of
+    /// events (or passes the configured deadline): any component reporting
+    /// parked work turns a silent hang into a [`RunOutcome::Stalled`] with a
+    /// [`StallReport`] naming the culprit. Idle components return `None`
+    /// (the default).
+    fn parked_work(&self) -> Option<ParkedWork> {
+        None
+    }
+}
+
+/// A description of unfinished work held by a component, reported to the
+/// stall watchdog via [`Component::parked_work`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParkedWork {
+    /// The rank the component belongs to, when it models a per-node block.
+    pub rank: Option<u32>,
+    /// Human-readable description of the parked operation
+    /// (e.g. `"WaitAll: 3 outstanding"`, `"tcp session 2: 5 unacked"`).
+    pub op: String,
 }
 
 /// Scheduling context handed to a component while it executes an event.
@@ -100,9 +124,9 @@ impl Ctx<'_> {
 }
 
 /// Why [`Simulator::run`] (or a bounded variant) returned.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RunOutcome {
-    /// The event queue drained completely.
+    /// The event queue drained completely with no component holding work.
     Drained,
     /// A component called [`Ctx::stop`].
     Stopped,
@@ -110,6 +134,46 @@ pub enum RunOutcome {
     Horizon,
     /// The event budget was exhausted with events still pending.
     Budget,
+    /// The event queue drained (or the stall deadline passed) while at
+    /// least one component still held parked work — a hung collective,
+    /// lost message, or dead peer. The report names the first stuck
+    /// component; [`Simulator::stall_reports`] lists all of them.
+    Stalled(StallReport),
+}
+
+/// Diagnosis of a stalled simulation: which component was still holding
+/// work when the event queue drained, and what that work was. This is the
+/// paper's §4.4 "stalled collective" debugging workflow made machine-
+/// readable: instead of a silent hang, the run names the parked op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallReport {
+    /// Id of the stuck component.
+    pub comp: ComponentId,
+    /// Registration name of the stuck component (e.g. `"n2.cclo.uc"`).
+    pub component: String,
+    /// Rank the component belongs to, if it models a per-node block.
+    pub rank: Option<u32>,
+    /// The parked operation, as reported by the component.
+    pub op: String,
+    /// Simulated time at which the stall was detected.
+    pub at: Time,
+}
+
+impl core::fmt::Display for StallReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.rank {
+            Some(r) => write!(
+                f,
+                "stall at {}: {} (rank {}) parked on {}",
+                self.at, self.component, r, self.op
+            ),
+            None => write!(
+                f,
+                "stall at {}: {} parked on {}",
+                self.at, self.component, self.op
+            ),
+        }
+    }
 }
 
 /// One captured event delivery (see [`Simulator::enable_trace`]).
@@ -138,6 +202,9 @@ pub struct Simulator {
     executed: u64,
     /// Event trace ring buffer (None = tracing off).
     trace: Option<(Vec<TraceRecord>, usize)>,
+    /// Simulated-time deadline for the stall watchdog (None = only check
+    /// at queue drain).
+    stall_deadline: Option<Time>,
 }
 
 impl Simulator {
@@ -154,7 +221,22 @@ impl Simulator {
             stop: false,
             executed: 0,
             trace: None,
+            stall_deadline: None,
         }
+    }
+
+    /// Arms the stall watchdog's simulated-time deadline: if `deadline`
+    /// passes while any component still reports [`Component::parked_work`],
+    /// the run returns [`RunOutcome::Stalled`] even though events (e.g. an
+    /// endless retransmission loop) are still flowing. Without a deadline
+    /// the watchdog only fires when the event queue drains.
+    pub fn set_stall_deadline(&mut self, deadline: Time) {
+        self.stall_deadline = Some(deadline);
+    }
+
+    /// Disarms the simulated-time stall deadline.
+    pub fn clear_stall_deadline(&mut self) {
+        self.stall_deadline = None;
     }
 
     /// Enables event tracing into a ring buffer of `capacity` records —
@@ -389,12 +471,36 @@ impl Simulator {
     pub fn run_bounded(&mut self, horizon: Time, max_events: u64) -> RunOutcome {
         self.stop = false;
         let mut budget = max_events;
+        let mut deadline_pending = self.stall_deadline;
         loop {
             if self.stop {
                 return RunOutcome::Stopped;
             }
+            // Stall watchdog, deadline edge: sweep for parked work the
+            // first time simulated time reaches the deadline — including
+            // when the next pending event would jump past it (a lone
+            // far-future timer must not mask the stall). Checked once so
+            // the sweep cost is not paid per event.
+            if let Some(deadline) = deadline_pending {
+                let crossing = self.time >= deadline
+                    || self.queue.peek().is_some_and(|ev| ev.time >= deadline);
+                if crossing {
+                    deadline_pending = None;
+                    self.time = self.time.max(deadline.min(horizon));
+                    if let Some(report) = self.first_stall_report() {
+                        return RunOutcome::Stalled(report);
+                    }
+                }
+            }
             match self.queue.peek() {
-                None => return RunOutcome::Drained,
+                None => {
+                    // Stall watchdog, drain edge: a clean drain means no
+                    // component should still be holding work.
+                    return match self.first_stall_report() {
+                        Some(report) => RunOutcome::Stalled(report),
+                        None => RunOutcome::Drained,
+                    };
+                }
                 Some(ev) if ev.time >= horizon => {
                     self.time = horizon.min(ev.time);
                     return RunOutcome::Horizon;
@@ -407,6 +513,30 @@ impl Simulator {
             budget -= 1;
             self.step();
         }
+    }
+
+    /// The stall report of the lowest-id stuck component, if any.
+    fn first_stall_report(&self) -> Option<StallReport> {
+        self.stall_reports().into_iter().next()
+    }
+
+    /// Sweeps every installed component for parked work and returns one
+    /// [`StallReport`] per stuck component, in component-id order.
+    pub fn stall_reports(&self) -> Vec<StallReport> {
+        self.components
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let parked = slot.as_ref()?.parked_work()?;
+                Some(StallReport {
+                    comp: ComponentId(i as u32),
+                    component: self.names[i].clone(),
+                    rank: parked.rank,
+                    op: parked.op,
+                    at: self.time,
+                })
+            })
+            .collect()
     }
 }
 
@@ -598,6 +728,122 @@ mod tests {
         // Oldest-first and ending with the final delivery.
         assert_eq!(trace[0].time, Time::from_ps(6));
         assert_eq!(trace[3].time, Time::from_ps(9));
+    }
+
+    /// A component that holds parked work until it receives `n` pings.
+    struct Collector {
+        rank: u32,
+        want: u32,
+        got: u32,
+    }
+
+    impl Component for Collector {
+        fn on_event(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _payload: Payload) {
+            self.got += 1;
+        }
+
+        fn parked_work(&self) -> Option<ParkedWork> {
+            (self.got < self.want).then(|| ParkedWork {
+                rank: Some(self.rank),
+                op: format!("WaitAll: {} of {} received", self.got, self.want),
+            })
+        }
+    }
+
+    #[test]
+    fn watchdog_reports_parked_work_on_drain() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add(
+            "n0.collector",
+            Collector {
+                rank: 0,
+                want: 2,
+                got: 0,
+            },
+        );
+        // Only one of the two expected pings ever arrives.
+        sim.post(Endpoint::of(a), Time::from_ns(5), ());
+        match sim.run() {
+            RunOutcome::Stalled(report) => {
+                assert_eq!(report.comp, a);
+                assert_eq!(report.component, "n0.collector");
+                assert_eq!(report.rank, Some(0));
+                assert_eq!(report.op, "WaitAll: 1 of 2 received");
+                assert_eq!(report.at, Time::from_ns(5));
+                assert!(report.to_string().contains("n0.collector"));
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_when_work_completes() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add(
+            "collector",
+            Collector {
+                rank: 0,
+                want: 2,
+                got: 0,
+            },
+        );
+        sim.post(Endpoint::of(a), Time::from_ns(5), ());
+        sim.post(Endpoint::of(a), Time::from_ns(9), ());
+        assert_eq!(sim.run(), RunOutcome::Drained);
+    }
+
+    #[test]
+    fn watchdog_deadline_fires_amid_event_storms() {
+        // A self-looping component keeps the queue busy forever (a
+        // retransmission storm); the deadline still surfaces the stall.
+        struct Storm;
+        impl Component for Storm {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, port: PortId, _payload: Payload) {
+                ctx.send_self(port, Dur::from_us(1), ());
+            }
+        }
+        let mut sim = Simulator::new(0);
+        let storm = sim.add("storm", Storm);
+        let stuck = sim.add(
+            "n3.collector",
+            Collector {
+                rank: 3,
+                want: 1,
+                got: 0,
+            },
+        );
+        sim.post(Endpoint::of(storm), Time::ZERO, ());
+        sim.set_stall_deadline(Time::from_us(50));
+        match sim.run() {
+            RunOutcome::Stalled(report) => {
+                assert_eq!(report.comp, stuck);
+                assert_eq!(report.rank, Some(3));
+                assert!(sim.now() >= Time::from_us(50));
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stall_reports_list_every_stuck_component() {
+        let mut sim = Simulator::new(0);
+        for rank in 0..3u32 {
+            sim.add(
+                format!("n{rank}.collector"),
+                Collector {
+                    rank,
+                    want: 1,
+                    got: 0,
+                },
+            );
+        }
+        assert!(matches!(sim.run(), RunOutcome::Stalled(_)));
+        let reports = sim.stall_reports();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(
+            reports.iter().filter_map(|r| r.rank).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

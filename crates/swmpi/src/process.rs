@@ -345,7 +345,10 @@ impl MpiProcess {
                     if self.inputs_ready(&instr) {
                         self.start_exec(ctx, instr);
                     } else {
-                        self.pending.push(Pending { instr, cts_sent: false });
+                        self.pending.push(Pending {
+                            instr,
+                            cts_sent: false,
+                        });
                         self.match_rts(ctx);
                     }
                 }

@@ -32,8 +32,9 @@ pub use accl_core::driver::CollSpec;
 pub use accl_core::host::{HostOp, Program};
 pub use accl_core::kernel::KernelOp;
 pub use accl_core::{
-    AcclCluster, AlgoConfig, Algorithm, BufLoc, BufferHandle, CcloConfig, ClusterConfig, CollOp,
-    CollectiveProgram, DType, Platform, ReduceFn, SyncProto, Transport,
+    AcclCluster, AlgoConfig, Algorithm, BufLoc, BufferHandle, CclError, CcloConfig, ClusterConfig,
+    CollOp, CollectiveProgram, Communicator, DType, Platform, ReduceFn, RetryPolicy, SyncProto,
+    Transport,
 };
 
 /// The CCLO engine internals (firmware, DMP, RBM, Tx/Rx).

@@ -1,0 +1,164 @@
+//! Minimal offline stand-in for `rand`.
+//!
+//! Provides the subset the workspace uses: a seedable deterministic
+//! [`rngs::StdRng`] plus the [`RngExt`] extension trait with
+//! `random_bool` / `random_range`. The generator is xoshiro256** seeded
+//! via SplitMix64 — statistically solid and, critically for the DES,
+//! bit-for-bit reproducible for a given seed on every platform.
+
+/// Core trait for random number sources.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Trait for RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Constructs the RNG from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi)` using `bits` as entropy source.
+    fn sample_range(lo: Self, hi: Self, rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: Self, hi: Self, rng: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as u128) - (lo as u128);
+                // Rejection sampling over a 64-bit draw keeps the
+                // distribution exactly uniform.
+                let zone = u128::from(u64::MAX) + 1 - ((u128::from(u64::MAX) + 1) % span);
+                loop {
+                    let v = u128::from(rng());
+                    if v < zone {
+                        return lo + (v % span) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: Self, hi: Self, rng: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let zone = u128::from(u64::MAX) + 1 - ((u128::from(u64::MAX) + 1) % span);
+                loop {
+                    let v = u128::from(rng());
+                    if v < zone {
+                        return (lo as i128 + (v % span) as i128) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Extension methods available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Returns `true` with probability `p` (`0.0 ..= 1.0`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 bits of entropy → uniform in [0, 1).
+        let v = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        v < p
+    }
+
+    /// Samples uniformly from the half-open range `lo..hi`.
+    fn random_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        let mut draw = || self.next_u64();
+        T::sample_range(range.start, range.end, &mut draw)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic RNG: xoshiro256** seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state, per the
+            // xoshiro reference implementation.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0..1_000_000u64),
+                b.random_range(0..1_000_000u64)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(-50..50i32);
+            assert!((-50..50).contains(&v));
+            let u = rng.random_range(3..17usize);
+            assert!((3..17).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}
