@@ -1,12 +1,55 @@
 //! Criterion microbenchmarks of the simulation kernel's hot paths: event
 //! scheduling/dispatch, bandwidth-pipe reservations, and the sparse
 //! memory store. These gate the wall-clock cost of every experiment.
+//!
+//! Beyond the criterion groups, the binary times a set of queue-heavy
+//! workloads (1M-event churn, mixed near/far timers) with a counting
+//! allocator and emits machine-readable `BENCH_simcore.json` with
+//! events/sec and allocs/event, alongside the frozen pre-overhaul
+//! baseline so the perf trajectory is tracked in-repo.
+//!
+//! Set `ACCL_BENCH_QUICK=1` for a CI-friendly smoke run (fewer samples,
+//! same JSON schema).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, Criterion, Throughput};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use accl_mem::MemStore;
 use accl_sim::prelude::*;
+
+/// Global allocator wrapper counting allocation calls, so the JSON report
+/// can track allocs/event — the metric the inline-payload and slab work
+/// is meant to drive toward zero.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 struct Sink;
 impl Component for Sink {
@@ -23,6 +66,27 @@ impl Component for SelfChain {
         let v = payload.downcast::<u64>();
         if self.remaining > 0 {
             self.remaining -= 1;
+            ctx.send_self(port, Dur::from_ns(1), v + 1);
+        }
+    }
+}
+
+/// A chain that interleaves short-delay events with periodic far-future
+/// timers (RTO-like, 100 us out) — the near/far mix the tiered queue is
+/// designed for.
+struct MixedTimerChain {
+    remaining: u64,
+    timer_sink: Endpoint,
+}
+impl Component for MixedTimerChain {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, port: PortId, payload: Payload) {
+        let v = payload.downcast::<u64>();
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            if self.remaining.is_multiple_of(64) {
+                // Far-future timer: lands in the spill heap, not the calendar.
+                ctx.send(self.timer_sink, Dur::from_us(100), v);
+            }
             ctx.send_self(port, Dur::from_ns(1), v + 1);
         }
     }
@@ -66,10 +130,11 @@ fn bench_pipe(c: &mut Criterion) {
     g.throughput(Throughput::Elements(100_000));
     g.bench_function("reserve_100k", |b| {
         b.iter(|| {
-            let mut p = Pipe::gbps(100.0);
+            // black_box the rate so LTO can't constant-fold the whole loop.
+            let mut p = Pipe::gbps(black_box(100.0));
             let mut t = Time::ZERO;
             for _ in 0..100_000 {
-                let (_, end) = p.reserve(t, 4096);
+                let (_, end) = p.reserve(t, black_box(4096));
                 t = end;
             }
             black_box(p.bytes_moved())
@@ -92,6 +157,141 @@ fn bench_memstore(c: &mut Criterion) {
     g.finish();
 }
 
+// ---------------------------------------------------------------------------
+// JSON-emitting workloads (events/sec + allocs/event)
+// ---------------------------------------------------------------------------
+
+/// One measured workload result.
+struct WorkloadResult {
+    name: &'static str,
+    events: u64,
+    events_per_sec: f64,
+    allocs_per_event: f64,
+}
+
+/// Times `work` (which returns the number of events it executed) over
+/// `reps` repetitions, reporting best-rep throughput and allocs/event.
+fn measure(name: &'static str, reps: u32, mut work: impl FnMut() -> u64) -> WorkloadResult {
+    // Warm-up rep, also used for the allocation count.
+    let allocs_before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let events = work();
+    let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - allocs_before;
+
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let n = black_box(work());
+        let elapsed = start.elapsed();
+        assert_eq!(n, events, "workload {name} is not steady");
+        best = best.min(elapsed);
+    }
+    WorkloadResult {
+        name,
+        events,
+        events_per_sec: events as f64 / best.as_secs_f64(),
+        allocs_per_event: allocs as f64 / events as f64,
+    }
+}
+
+fn chain_events(n: u64) -> u64 {
+    let mut sim = Simulator::new(0);
+    let id = sim.add("chain", SelfChain { remaining: n });
+    sim.post(Endpoint::of(id), Time::ZERO, 0u64);
+    sim.run();
+    sim.events_executed()
+}
+
+fn mixed_near_far(n: u64) -> u64 {
+    let mut sim = Simulator::new(0);
+    let sink = sim.add("sink", Sink);
+    let id = sim.reserve("mix");
+    sim.install(
+        id,
+        MixedTimerChain {
+            remaining: n,
+            timer_sink: Endpoint::of(sink),
+        },
+    );
+    sim.post(Endpoint::of(id), Time::ZERO, 0u64);
+    sim.run();
+    sim.events_executed()
+}
+
+fn post_then_drain(n: u64) -> u64 {
+    let mut sim = Simulator::new(0);
+    let sink = sim.add("sink", Sink);
+    for i in 0..n {
+        sim.post(Endpoint::of(sink), Time::from_ps(n - i), i);
+    }
+    sim.run();
+    sim.events_executed()
+}
+
+/// Pre-PR2 kernel baseline (global `BinaryHeap<Scheduled>`, one `Box` per
+/// payload, `Vec<u8>` chunk copies), measured on the CI container before
+/// the tiered-queue/inline-payload overhaul. Frozen so every future run
+/// reports its speedup against the same reference.
+const BASELINE: &[(&str, f64, f64)] = &[
+    // (workload, events_per_sec, allocs_per_event) — measured 2026-08-07
+    ("chain_10k_events", 20_337_239.0, 1.0),
+    ("chain_1m_events", 17_518_890.0, 1.0),
+    ("mixed_near_far_256k", 7_767_264.0, 1.0),
+    ("post_then_drain_100k", 5_288_176.0, 1.0),
+];
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn emit_json(results: &[WorkloadResult], quick: bool) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"micro_simcore\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    out.push_str(
+        "  \"baseline_note\": \"pre-overhaul kernel: BinaryHeap + boxed payloads + copied chunks\",\n",
+    );
+    out.push_str("  \"baseline\": {\n");
+    for (i, (name, eps, ape)) in BASELINE.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"events_per_sec\": {:.0}, \"allocs_per_event\": {:.3}}}{}\n",
+            json_escape(name),
+            eps,
+            ape,
+            if i + 1 < BASELINE.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"current\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let speedup = BASELINE
+            .iter()
+            .find(|(n, _, _)| *n == r.name)
+            .map(|(_, eps, _)| r.events_per_sec / eps);
+        out.push_str(&format!(
+            "    \"{}\": {{\"events\": {}, \"events_per_sec\": {:.0}, \"allocs_per_event\": {:.3}{}}}{}\n",
+            json_escape(r.name),
+            r.events,
+            r.events_per_sec,
+            r.allocs_per_event,
+            speedup
+                .map(|s| format!(", \"speedup_vs_baseline\": {s:.2}"))
+                .unwrap_or_default(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    // Write to the workspace root (cargo runs benches with the package dir
+    // as cwd) so CI can pick the file up from a fixed path.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json");
+    std::fs::write(path, &out).expect("write BENCH_simcore.json");
+    println!("\nwrote BENCH_simcore.json:\n{out}");
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
@@ -101,4 +301,31 @@ criterion_group!(
     bench_pipe,
     bench_memstore
 );
-criterion_main!(benches);
+
+fn main() {
+    let quick = std::env::var("ACCL_BENCH_QUICK").is_ok_and(|v| v == "1");
+    if !quick {
+        benches();
+    }
+
+    let (chain_n, mix_n, drain_n, reps) = if quick {
+        (100_000u64, 32_768u64, 10_000u64, 2)
+    } else {
+        (1_000_000, 262_144, 100_000, 5)
+    };
+    let results = vec![
+        measure("chain_10k_events", reps, || chain_events(10_000)),
+        measure("chain_1m_events", reps, move || chain_events(chain_n)),
+        measure("mixed_near_far_256k", reps, move || mixed_near_far(mix_n)),
+        measure("post_then_drain_100k", reps, move || {
+            post_then_drain(drain_n)
+        }),
+    ];
+    for r in &results {
+        println!(
+            "workload {:<24} {:>12.0} events/s  {:>7.3} allocs/event",
+            r.name, r.events_per_sec, r.allocs_per_event
+        );
+    }
+    emit_json(&results, quick);
+}

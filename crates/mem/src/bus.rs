@@ -277,9 +277,11 @@ impl Component for MemoryBus {
                 assert!(req.len > 0, "zero-length read");
                 let (target, base, penalty) = self.resolve(req.addr, req.len);
                 let chunk = u64::from(self.cfg.chunk_bytes.max(1));
+                // One allocation per request; every chunk below is a
+                // refcounted slice of it.
                 let data = match target {
-                    MemTarget::Host => self.host.read(base, req.len as usize),
-                    MemTarget::Device => self.device.read(base, req.len as usize),
+                    MemTarget::Host => self.host.read_bytes(base, req.len as usize),
+                    MemTarget::Device => self.device.read_bytes(base, req.len as usize),
                 };
                 self.bytes_read += req.len;
                 let (pipe, latency) = self.pipe(target, false);
@@ -287,7 +289,6 @@ impl Component for MemoryBus {
                 let (_, _end) = pipe.reserve(start, req.len);
                 // Deliver chunks pipelined: chunk i lands once its bytes have
                 // crossed the pipe, plus the access latency.
-                let data = Bytes::from(data);
                 let mut off = 0u64;
                 let t0 = pipe.next_free() - pipe.service_time(req.len);
                 while off < req.len {

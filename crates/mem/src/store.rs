@@ -6,6 +6,7 @@
 //! because experiments address gigabyte-scale spaces while touching only the
 //! buffers in use.
 
+use bytes::Bytes;
 use std::collections::BTreeMap;
 
 /// Page size of the backing store, in bytes.
@@ -57,6 +58,16 @@ impl MemStore {
         out
     }
 
+    /// Reads `len` bytes starting at `addr` into a shared, refcounted
+    /// buffer.
+    ///
+    /// This is the DMA-path entry point: the returned [`Bytes`] is handed
+    /// through chunking, framing and retransmission queues as zero-copy
+    /// slices of the one allocation made here.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Bytes {
+        Bytes::from(self.read(addr, len))
+    }
+
     /// Number of materialized pages.
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
@@ -100,6 +111,16 @@ mod tests {
         let m = MemStore::new();
         assert_eq!(m.read(1 << 40, 8), vec![0; 8]);
         assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_bytes_matches_read_and_slices_share_storage() {
+        let mut m = MemStore::new();
+        m.write(10, &[9u8; 100]);
+        let b = m.read_bytes(0, 200);
+        assert_eq!(&b[..], &m.read(0, 200)[..]);
+        // Slicing the returned buffer must not copy.
+        assert_eq!(b.slice(10..110).as_ptr(), b[10..].as_ptr());
     }
 
     #[test]

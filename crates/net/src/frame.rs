@@ -58,6 +58,13 @@ pub struct Frame {
     /// Payload size used for serialization timing (headers are added via
     /// [`WIRE_OVERHEAD_BYTES`]).
     pub payload_bytes: u32,
+    /// How many wire packets this frame stands for (≥ 1).
+    ///
+    /// A coalescing protocol engine may carry several MTU segments in one
+    /// simulation event; each segment still pays its own header on the
+    /// wire, so timing and byte counters stay identical to the
+    /// one-event-per-segment schedule.
+    pub segments: u32,
     /// The typed protocol PDU.
     pub body: Payload,
 }
@@ -69,13 +76,22 @@ impl Frame {
             src,
             dst,
             payload_bytes,
+            segments: 1,
             body: Payload::new(body),
         }
     }
 
-    /// Total bytes this frame occupies on the wire.
+    /// Marks the frame as carrying `segments` wire packets.
+    pub fn with_segments(mut self, segments: u32) -> Self {
+        assert!(segments >= 1, "a frame carries at least one segment");
+        self.segments = segments;
+        self
+    }
+
+    /// Total bytes this frame occupies on the wire (headers charged per
+    /// segment).
     pub fn wire_bytes(&self) -> u32 {
-        self.payload_bytes + WIRE_OVERHEAD_BYTES
+        self.payload_bytes + self.segments * WIRE_OVERHEAD_BYTES
     }
 }
 
@@ -100,6 +116,12 @@ mod tests {
     fn wire_bytes_include_overhead() {
         let f = Frame::new(NodeAddr(0), NodeAddr(1), 1000, ());
         assert_eq!(f.wire_bytes(), 1000 + WIRE_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn coalesced_segments_pay_per_segment_headers() {
+        let f = Frame::new(NodeAddr(0), NodeAddr(1), 4 * 4096, ()).with_segments(4);
+        assert_eq!(f.wire_bytes(), 4 * 4096 + 4 * WIRE_OVERHEAD_BYTES);
     }
 
     #[test]

@@ -126,10 +126,12 @@ impl Component for Switch {
             panic!("switch port {dst} has no receiver attached (frame {frame:?})")
         });
         let wire = u64::from(frame.wire_bytes());
-        port.frames_out += 1;
+        port.frames_out += u64::from(frame.segments);
         port.bytes_out += wire;
         let ready = ctx.now() + self.forward_latency;
-        let (_, end) = port.egress.reserve(ready, wire);
+        let (_, end) = port
+            .egress
+            .reserve_batch(ready, wire, u64::from(frame.segments));
         // Fault-injected delay is applied on the wire, after serialization,
         // so a delayed frame can be overtaken (true reordering) instead of
         // head-of-line blocking the egress FIFO.
@@ -191,9 +193,11 @@ impl Component for NetPort {
         // Stamp the source: devices don't need to know their own address.
         frame.src = self.addr;
         let wire = u64::from(frame.wire_bytes());
-        self.frames_in += 1;
+        self.frames_in += u64::from(frame.segments);
         self.bytes_in += wire;
-        let (_, end) = self.egress.reserve(ctx.now(), wire);
+        let (_, end) = self
+            .egress
+            .reserve_batch(ctx.now(), wire, u64::from(frame.segments));
         ctx.send_at(self.switch, end + self.propagation, frame);
     }
 }

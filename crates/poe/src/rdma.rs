@@ -95,6 +95,14 @@ pub struct RdmaConfig {
     /// transitions to the error state (fail-stop peer detection). Credit
     /// round trips are a few µs here, so the default is very conservative.
     pub starvation_timeout_us: u64,
+    /// MTU fragments coalesced per simulation event (≥ 1).
+    ///
+    /// With `coalesce = k`, one Tx event carries up to `k` MTU fragments
+    /// in a single [`Frame`]; tokens and credits are accounted **per
+    /// MTU**, so the flow-control window, wire bytes (headers are charged
+    /// per fragment) and timing all match the one-event-per-fragment
+    /// schedule. The default of 1 reproduces the historical behaviour.
+    pub coalesce: u32,
 }
 
 impl Default for RdmaConfig {
@@ -106,6 +114,7 @@ impl Default for RdmaConfig {
             credit_batch: 16,
             write_delivery: WriteDelivery::Memory,
             starvation_timeout_us: 1_000,
+            coalesce: 1,
         }
     }
 }
@@ -194,6 +203,13 @@ impl RdmaPoe {
         Dur::from_ns(self.cfg.processing_ns)
     }
 
+    /// MTU-fragment tokens a segment of `len` payload bytes occupies.
+    fn tokens_for(&self, len: usize) -> u32 {
+        ((len as u64).div_ceil(u64::from(self.cfg.mtu)).max(1))
+            .try_into()
+            .expect("token count overflow")
+    }
+
     fn arm_starve_timer(&mut self, ctx: &mut Ctx<'_>, qp: SessionId) {
         let gen = *self.starve_gen.entry(qp).or_insert(0);
         ctx.send_self(
@@ -222,8 +238,13 @@ impl RdmaPoe {
             }
             return;
         }
+        let tokens = self.tokens_for(seg.data.len());
         let inflight = self.inflight.entry(qp).or_insert(0);
-        if *inflight >= self.cfg.token_window {
+        // Tokens are per MTU fragment, so a coalesced segment charges the
+        // same window budget its fragments would. A segment wider than the
+        // whole window still goes out when the QP is idle (no deadlock).
+        let fits = *inflight + tokens <= self.cfg.token_window || *inflight == 0;
+        if !fits || self.stalled.get(&qp).is_some_and(|q| !q.is_empty()) {
             let q = self.stalled.entry(qp).or_default();
             let first = q.is_empty();
             q.push_back(seg);
@@ -232,7 +253,7 @@ impl RdmaPoe {
             }
             return;
         }
-        *inflight += 1;
+        *inflight += tokens;
         self.transmit(ctx, seg);
     }
 
@@ -288,8 +309,10 @@ impl RdmaPoe {
                 data: seg.data.clone(),
             },
         };
-        self.frames_sent += 1;
-        let frame = Frame::new(accl_net::NodeAddr(0), peer, seg.data.len() as u32, pdu);
+        let fragments = self.tokens_for(seg.data.len());
+        self.frames_sent += u64::from(fragments);
+        let frame = Frame::new(accl_net::NodeAddr(0), peer, seg.data.len() as u32, pdu)
+            .with_segments(fragments);
         ctx.send(self.net_tx, latency, frame);
         if seg.last {
             ctx.send(
@@ -304,10 +327,11 @@ impl RdmaPoe {
         }
     }
 
-    /// Accumulates receiver-side credits and returns them in batches.
-    fn credit(&mut self, ctx: &mut Ctx<'_>, src_qp: SessionId, flush: bool) {
+    /// Accumulates receiver-side credits (in MTU-fragment units) and
+    /// returns them in batches.
+    fn credit(&mut self, ctx: &mut Ctx<'_>, src_qp: SessionId, units: u32, flush: bool) {
         let owed = self.owed_credits.entry(src_qp).or_insert(0);
-        *owed += 1;
+        *owed += units;
         if *owed >= self.cfg.credit_batch || flush {
             let frames = core::mem::take(owed);
             let (peer, peer_qp) = self.sessions.peer(src_qp);
@@ -333,11 +357,22 @@ impl RdmaPoe {
         *self.starve_gen.entry(qp).or_insert(0) += 1;
         let inflight = self.inflight.entry(qp).or_insert(0);
         *inflight = inflight.saturating_sub(frames);
-        while *self.inflight.get(&qp).unwrap() < self.cfg.token_window {
-            let Some(seg) = self.stalled.get_mut(&qp).and_then(VecDeque::pop_front) else {
+        loop {
+            let inflight = *self.inflight.get(&qp).unwrap();
+            let Some(head_len) = self
+                .stalled
+                .get(&qp)
+                .and_then(|q| q.front())
+                .map(|s| s.data.len())
+            else {
                 break;
             };
-            *self.inflight.get_mut(&qp).unwrap() += 1;
+            let tokens = self.tokens_for(head_len);
+            if inflight + tokens > self.cfg.token_window && inflight > 0 {
+                break;
+            }
+            let seg = self.stalled.get_mut(&qp).unwrap().pop_front().unwrap();
+            *self.inflight.get_mut(&qp).unwrap() += tokens;
             self.transmit(ctx, seg);
         }
         if self.stalled.get(&qp).is_some_and(|q| !q.is_empty()) {
@@ -355,14 +390,17 @@ impl Component for RdmaPoe {
             }
             ports::TX_DATA => {
                 let chunk = payload.downcast::<StreamChunk>();
-                let segs = self.assembler.push_data(chunk.data, self.cfg.mtu);
+                // Segment at `coalesce` MTUs per event; tokens, credits and
+                // wire headers stay per-MTU (see `RdmaConfig::coalesce`).
+                let unit = self.cfg.mtu.saturating_mul(self.cfg.coalesce.max(1));
+                let segs = self.assembler.push_data(chunk.data, unit);
                 for seg in segs {
                     self.dispatch(ctx, seg);
                 }
             }
             ports::NET_RX => {
                 let frame = payload.downcast::<Frame>();
-                self.frames_received += 1;
+                self.frames_received += u64::from(frame.segments);
                 let latency = self.latency();
                 match frame.body.downcast::<RdmaPdu>() {
                     RdmaPdu::Send {
@@ -372,13 +410,14 @@ impl Component for RdmaPoe {
                         total,
                         data,
                     } => {
+                        let units = self.tokens_for(data.len());
                         let (meta, chunk) = self.demux.accept(dst_qp, msg_id, offset, total, data);
                         let flush = chunk.last;
                         if let Some(meta) = meta {
                             ctx.send(self.up.rx_meta, latency, meta);
                         }
                         ctx.send(self.up.rx_data, latency, chunk);
-                        self.credit(ctx, dst_qp, flush);
+                        self.credit(ctx, dst_qp, units, flush);
                     }
                     RdmaPdu::Write {
                         dst_qp,
@@ -388,6 +427,7 @@ impl Component for RdmaPoe {
                         total,
                         data,
                     } => {
+                        let units = self.tokens_for(data.len());
                         match self.cfg.write_delivery {
                             WriteDelivery::Memory => {
                                 let bus = self.mem_bus.unwrap_or_else(|| {
@@ -406,7 +446,7 @@ impl Component for RdmaPoe {
                                 // The CCLO is bypassed; only flow control sees
                                 // the fragment.
                                 let last = offset + data.len() as u64 == total;
-                                self.credit(ctx, dst_qp, last);
+                                self.credit(ctx, dst_qp, units, last);
                             }
                             WriteDelivery::Stream => {
                                 let to = self.write_stream_to.unwrap_or_else(|| {
@@ -419,7 +459,7 @@ impl Component for RdmaPoe {
                                     ctx.send(self.up.rx_meta, latency, meta);
                                 }
                                 ctx.send(to, latency, chunk);
-                                self.credit(ctx, dst_qp, flush);
+                                self.credit(ctx, dst_qp, units, flush);
                             }
                         }
                     }
@@ -761,6 +801,45 @@ mod tests {
             .unwrap();
         let gbps = (len as f64) * 8.0 / t.as_ns_f64();
         assert!(gbps > 90.0, "goodput={gbps:.1} Gb/s");
+    }
+
+    #[test]
+    fn coalescing_preserves_flow_control_with_fewer_events() {
+        let len = 2 << 20;
+        let msg: Vec<u8> = (0..len as u32).map(|i| (i % 229) as u8).collect();
+        let run = |coalesce: u32| {
+            let cfg = RdmaConfig {
+                token_window: 16,
+                credit_batch: 4,
+                coalesce,
+                ..RdmaConfig::default()
+            };
+            let mut b = bench_cfg(2, cfg, None);
+            issue(&mut b, 0, 1, TxKind::Send, msg.clone(), 0);
+            b.sim.run();
+            let mut got = vec![0u8; len];
+            for (_, c) in b.sim.component::<Mailbox<RxChunk>>(b.datas[1]).items() {
+                got[c.offset as usize..c.offset as usize + c.data.len()].copy_from_slice(&c.data);
+            }
+            assert_eq!(got, msg, "coalesce={coalesce}");
+            let poe = b.sim.component::<RdmaPoe>(b.poes[0]);
+            assert!(poe.failed_qps().is_empty(), "coalesce={coalesce}");
+            (
+                poe.frames_sent(),
+                b.sim.events_executed(),
+                b.net.port_counters(&b.sim, 1).bytes_out,
+            )
+        };
+        let (frames1, events1, bytes1) = run(1);
+        let (frames4, events4, bytes4) = run(4);
+        // Tokens, credits and headers are per MTU, so the wire story is
+        // identical; only the event count shrinks.
+        assert_eq!(frames1, frames4);
+        assert_eq!(bytes1, bytes4);
+        assert!(
+            events4 * 2 < events1,
+            "coalescing saved too few events: {events4} vs {events1}"
+        );
     }
 
     #[test]

@@ -5,11 +5,22 @@
 //! are type-erased so that crates layered above the kernel (network, memory,
 //! protocol engines, ...) can define their own message types without the
 //! kernel knowing about them.
+//!
+//! Payloads use a small-value optimization: values of at most
+//! [`INLINE_PAYLOAD_WORDS`] machine words (and word alignment) are stored
+//! inline in the `Payload` itself, so the dominant event types — timer
+//! ticks, acknowledgements, completion records, chunk descriptors holding a
+//! refcounted `Bytes` — never touch the allocator on the hot path. Larger
+//! or over-aligned values fall back to boxing. The typed-downcast API is
+//! identical for both representations.
 
-use core::any::Any;
+use core::any::{Any, TypeId};
 use core::fmt;
+use core::mem::{align_of, size_of, ManuallyDrop, MaybeUninit};
 
-use crate::time::Time;
+/// Number of machine words a payload value may occupy and still be stored
+/// inline (without boxing).
+pub const INLINE_PAYLOAD_WORDS: usize = 3;
 
 /// Identifies a component registered with the simulator.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -78,6 +89,101 @@ impl fmt::Debug for Endpoint {
     }
 }
 
+/// Per-type metadata for inline payloads, promoted to a `'static` constant
+/// per monomorphization so an [`InlineValue`] carries a single pointer of
+/// runtime type information.
+struct PayloadMeta {
+    type_id: fn() -> TypeId,
+    type_name: fn() -> &'static str,
+    drop_fn: unsafe fn(*mut u8),
+}
+
+trait HasPayloadMeta {
+    const META: PayloadMeta;
+}
+
+impl<T: 'static> HasPayloadMeta for T {
+    const META: PayloadMeta = PayloadMeta {
+        type_id: TypeId::of::<T>,
+        type_name: core::any::type_name::<T>,
+        drop_fn: drop_in_place_erased::<T>,
+    };
+}
+
+/// Inline storage for small payload values: raw word-aligned bytes plus a
+/// pointer to just enough runtime type information to check, drop and move
+/// out the stored value.
+///
+/// Invariants (upheld by [`Payload::new`]):
+/// - `buf` holds a valid `T` with `meta == &<T as HasPayloadMeta>::META`,
+///   `size_of::<T>() <= INLINE_PAYLOAD_WORDS * word` and
+///   `align_of::<T>() <= align_of::<usize>()`;
+/// - `T: Send`, so the auto-derived `Send` for the raw storage is sound.
+struct InlineValue {
+    buf: MaybeUninit<[usize; INLINE_PAYLOAD_WORDS]>,
+    meta: &'static PayloadMeta,
+}
+
+unsafe fn drop_in_place_erased<T>(p: *mut u8) {
+    unsafe { core::ptr::drop_in_place(p.cast::<T>()) }
+}
+
+impl InlineValue {
+    /// Whether a `T` qualifies for inline storage.
+    const fn fits<T>() -> bool {
+        size_of::<T>() <= INLINE_PAYLOAD_WORDS * size_of::<usize>()
+            && align_of::<T>() <= align_of::<usize>()
+    }
+
+    fn new<T: Any + Send>(value: T) -> InlineValue {
+        debug_assert!(InlineValue::fits::<T>());
+        let mut buf = MaybeUninit::<[usize; INLINE_PAYLOAD_WORDS]>::uninit();
+        // SAFETY: `fits` guarantees size and alignment; the value is moved
+        // into the buffer and ownership is tracked by `InlineValue`'s Drop.
+        unsafe { buf.as_mut_ptr().cast::<T>().write(value) };
+        InlineValue {
+            buf,
+            meta: &<T as HasPayloadMeta>::META,
+        }
+    }
+
+    fn is<T: Any>(&self) -> bool {
+        // Same monomorphization usually means the same promoted META
+        // constant; the pointer comparison is the hot-path win and the
+        // `TypeId` call covers duplicate instantiations across codegen
+        // units.
+        core::ptr::eq(self.meta, &<T as HasPayloadMeta>::META)
+            || (self.meta.type_id)() == TypeId::of::<T>()
+    }
+
+    fn peek<T: Any>(&self) -> Option<&T> {
+        // SAFETY: type checked; buffer holds a valid `T` per invariants.
+        self.is::<T>()
+            .then(|| unsafe { &*self.buf.as_ptr().cast::<T>() })
+    }
+
+    /// Moves the stored value out. Caller must have checked `is::<T>()`.
+    fn take<T: Any>(self) -> T {
+        debug_assert!(self.is::<T>());
+        let this = ManuallyDrop::new(self);
+        // SAFETY: type checked by the caller; `ManuallyDrop` suppresses the
+        // destructor so the value is not dropped after being read out.
+        unsafe { this.buf.as_ptr().cast::<T>().read() }
+    }
+}
+
+impl Drop for InlineValue {
+    fn drop(&mut self) {
+        // SAFETY: `drop_fn` matches the stored type per invariants.
+        unsafe { (self.meta.drop_fn)(self.buf.as_mut_ptr().cast::<u8>()) }
+    }
+}
+
+enum Repr {
+    Inline(InlineValue),
+    Boxed(Box<dyn Any + Send>, &'static str),
+}
+
 /// A type-erased event payload.
 ///
 /// Producers construct payloads from any `'static + Send` value; consumers
@@ -85,23 +191,37 @@ impl fmt::Debug for Endpoint {
 /// [`Payload::peek`] (borrowing). Downcasting to the wrong type is a
 /// programming error and panics with the expected/actual type names, which
 /// in practice pinpoints mis-wired endpoints immediately.
+///
+/// Values of at most [`INLINE_PAYLOAD_WORDS`] words are stored inline
+/// (no allocation); larger values are boxed. The distinction is not
+/// observable through the API.
 pub struct Payload {
-    inner: Box<dyn Any + Send>,
-    type_name: &'static str,
+    repr: Repr,
 }
 
 impl Payload {
     /// Wraps `value` into a type-erased payload.
+    #[inline]
     pub fn new<T: Any + Send>(value: T) -> Self {
-        Payload {
-            inner: Box::new(value),
-            type_name: core::any::type_name::<T>(),
-        }
+        let repr = if InlineValue::fits::<T>() {
+            Repr::Inline(InlineValue::new(value))
+        } else {
+            Repr::Boxed(Box::new(value), core::any::type_name::<T>())
+        };
+        Payload { repr }
     }
 
     /// The `type_name` of the wrapped value (for diagnostics/tracing).
     pub fn type_name(&self) -> &'static str {
-        self.type_name
+        match &self.repr {
+            Repr::Inline(v) => (v.meta.type_name)(),
+            Repr::Boxed(_, name) => name,
+        }
+    }
+
+    /// Whether the wrapped value is stored inline (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline(_))
     }
 
     /// Recovers the concrete payload value.
@@ -109,78 +229,61 @@ impl Payload {
     /// # Panics
     ///
     /// Panics if the payload is not a `T`, naming both types.
+    #[inline]
     pub fn downcast<T: Any>(self) -> T {
-        match self.inner.downcast::<T>() {
-            Ok(b) => *b,
-            Err(_) => panic!(
+        match self.try_downcast::<T>() {
+            Ok(v) => v,
+            Err(p) => panic!(
                 "payload downcast failed: expected {}, got {}",
                 core::any::type_name::<T>(),
-                self.type_name
+                p.type_name()
             ),
         }
     }
 
     /// Attempts to recover the concrete payload value, returning `self` back on mismatch.
+    #[inline]
     pub fn try_downcast<T: Any>(self) -> Result<T, Payload> {
-        let type_name = self.type_name;
-        match self.inner.downcast::<T>() {
-            Ok(b) => Ok(*b),
-            Err(inner) => Err(Payload { inner, type_name }),
+        match self.repr {
+            Repr::Inline(v) if v.is::<T>() => Ok(v.take()),
+            Repr::Boxed(b, name) => match b.downcast::<T>() {
+                Ok(b) => Ok(*b),
+                Err(inner) => Err(Payload {
+                    repr: Repr::Boxed(inner, name),
+                }),
+            },
+            repr => Err(Payload { repr }),
         }
     }
 
     /// Borrows the payload as a `T` if it is one.
     pub fn peek<T: Any>(&self) -> Option<&T> {
-        self.inner.downcast_ref::<T>()
+        match &self.repr {
+            Repr::Inline(v) => v.peek::<T>(),
+            Repr::Boxed(b, _) => b.downcast_ref::<T>(),
+        }
     }
 
     /// Whether the wrapped value is a `T`.
     pub fn is<T: Any>(&self) -> bool {
-        self.inner.is::<T>()
+        match &self.repr {
+            Repr::Inline(v) => v.is::<T>(),
+            Repr::Boxed(b, _) => b.is::<T>(),
+        }
     }
 }
 
 impl fmt::Debug for Payload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Payload<{}>", self.type_name)
-    }
-}
-
-/// An event scheduled for execution: `payload` delivered to `dst` at `time`.
-pub(crate) struct Scheduled {
-    pub time: Time,
-    /// Monotone sequence number breaking ties between simultaneous events;
-    /// this makes the execution order total and the simulation deterministic.
-    pub seq: u64,
-    pub dst: Endpoint,
-    pub payload: Payload,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl Eq for Scheduled {}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        write!(f, "Payload<{}>", self.type_name())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::BinaryHeap;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn payload_downcast_roundtrip() {
@@ -204,22 +307,59 @@ mod tests {
     }
 
     #[test]
-    fn scheduled_orders_by_time_then_seq() {
-        let ep = Endpoint::of(ComponentId(0));
-        let mk = |time, seq| Scheduled {
-            time: Time::from_ps(time),
-            seq,
-            dst: ep,
-            payload: Payload::new(()),
-        };
-        let mut heap = BinaryHeap::new();
-        heap.push(mk(10, 2));
-        heap.push(mk(5, 3));
-        heap.push(mk(10, 1));
-        heap.push(mk(5, 0));
-        let order: Vec<(u64, u64)> = core::iter::from_fn(|| heap.pop())
-            .map(|s| (s.time.as_ps(), s.seq))
-            .collect();
-        assert_eq!(order, vec![(5, 0), (5, 3), (10, 1), (10, 2)]);
+    fn small_values_are_inline_large_are_boxed() {
+        assert!(Payload::new(7u64).is_inline());
+        assert!(Payload::new(()).is_inline());
+        assert!(Payload::new([0usize; INLINE_PAYLOAD_WORDS]).is_inline());
+        // One word over the threshold: boxed.
+        assert!(!Payload::new([0usize; INLINE_PAYLOAD_WORDS + 1]).is_inline());
+        // Over-aligned: boxed even though it fits by size.
+        #[repr(align(32))]
+        struct OverAligned(#[allow(dead_code)] u8);
+        assert!(!Payload::new(OverAligned(1)).is_inline());
+        assert_eq!(Payload::new(OverAligned(9)).downcast::<OverAligned>().0, 9);
+    }
+
+    #[test]
+    fn inline_and_boxed_have_identical_api_behaviour() {
+        let small = Payload::new(5u16);
+        let large = Payload::new([5u64; 8]);
+        assert!(small.is::<u16>() && !small.is::<u64>());
+        assert!(large.is::<[u64; 8]>());
+        assert_eq!(small.peek::<u16>(), Some(&5));
+        assert_eq!(large.peek::<[u64; 8]>(), Some(&[5u64; 8]));
+        assert!(small.try_downcast::<u64>().is_err());
+        assert_eq!(large.downcast::<[u64; 8]>(), [5u64; 8]);
+    }
+
+    #[test]
+    fn inline_payloads_drop_their_value_exactly_once() {
+        struct Canary(Arc<AtomicU32>);
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicU32::new(0));
+
+        // Dropped without downcast.
+        let p = Payload::new(Canary(Arc::clone(&drops)));
+        assert!(p.is_inline(), "Canary should fit inline");
+        drop(p);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+
+        // Moved out via downcast: dropped once by the caller.
+        let p = Payload::new(Canary(Arc::clone(&drops)));
+        let c = p.downcast::<Canary>();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        drop(c);
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+
+        // Failed try_downcast keeps the value alive in the returned payload.
+        let p = Payload::new(Canary(Arc::clone(&drops)));
+        let p = p.try_downcast::<u32>().unwrap_err();
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+        drop(p);
+        assert_eq!(drops.load(Ordering::SeqCst), 3);
     }
 }

@@ -41,6 +41,7 @@
 pub mod event;
 pub mod mailbox;
 pub mod pipe;
+pub mod queue;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -50,7 +51,10 @@ pub mod prelude {
     pub use crate::event::{ComponentId, Endpoint, Payload, PortId};
     pub use crate::mailbox::Mailbox;
     pub use crate::pipe::{Latency, Pipe};
-    pub use crate::sim::{Component, Ctx, ParkedWork, RunOutcome, Simulator, StallReport};
+    pub use crate::queue::QueueKind;
+    pub use crate::sim::{
+        Component, Ctx, ParkedWork, RunOutcome, RunSummary, Simulator, StallReport,
+    };
     pub use crate::stats::Stats;
     pub use crate::time::{Dur, Time};
 }

@@ -6,14 +6,20 @@
 //! seed replays the identical event timeline — the property the ACCL+ paper
 //! relies on for its own simulation platform (§4.2) and that our integration
 //! tests assert.
+//!
+//! The event queue is the tiered calendar/heap scheduler of [`crate::queue`];
+//! [`Simulator::set_queue_kind`] switches to the legacy single-heap structure
+//! for A/B timeline validation, and [`Simulator::enable_digest`] folds every
+//! delivery into an order-sensitive hash so two runs can be compared without
+//! recording full traces.
 
 use core::any::Any;
-use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::event::{ComponentId, Endpoint, Payload, PortId, Scheduled};
+use crate::event::{ComponentId, Endpoint, Payload, PortId};
+use crate::queue::{EventQueue, QueueKind};
 use crate::stats::Stats;
 use crate::time::{Dur, Time};
 
@@ -57,7 +63,7 @@ pub struct ParkedWork {
 pub struct Ctx<'a> {
     now: Time,
     self_id: ComponentId,
-    queue: &'a mut BinaryHeap<Scheduled>,
+    queue: &'a mut EventQueue,
     seq: &'a mut u64,
     rng: &'a mut StdRng,
     stats: &'a mut Stats,
@@ -94,12 +100,7 @@ impl Ctx<'_> {
         );
         let seq = *self.seq;
         *self.seq += 1;
-        self.queue.push(Scheduled {
-            time: at,
-            seq,
-            dst,
-            payload: Payload::new(payload),
-        });
+        self.queue.push(at, seq, dst, Payload::new(payload));
     }
 
     /// Schedules `payload` back to `port` of the executing component after `delay`.
@@ -139,6 +140,26 @@ pub enum RunOutcome {
     /// lost message, or dead peer. The report names the first stuck
     /// component; [`Simulator::stall_reports`] lists all of them.
     Stalled(StallReport),
+}
+
+/// Scheduler observability for one `run*` call: how many events executed
+/// and how deep the event queue got. Retrieved via
+/// [`Simulator::last_run_summary`]; the same gauges are recorded into
+/// [`Stats`] under `sim.kernel.*`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Why the run returned.
+    pub outcome: RunOutcome,
+    /// Events executed during this run (not cumulative).
+    pub events_executed: u64,
+    /// Maximum queue depth observed (checked after every event).
+    pub max_queue_depth: usize,
+    /// Median queue depth over the sampled series.
+    pub queue_depth_p50: usize,
+    /// 99th-percentile queue depth over the sampled series.
+    pub queue_depth_p99: usize,
+    /// Queue depth when the run returned.
+    pub final_queue_depth: usize,
 }
 
 /// Diagnosis of a stalled simulation: which component was still holding
@@ -189,10 +210,25 @@ pub struct TraceRecord {
     pub payload_type: &'static str,
 }
 
+/// Queue-depth gauges are subsampled at this stride to keep the hot loop
+/// cheap; the maximum is still tracked on every event.
+const DEPTH_SAMPLE_STRIDE: u64 = 64;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
 /// The discrete-event simulator.
 pub struct Simulator {
     time: Time,
-    queue: BinaryHeap<Scheduled>,
+    queue: EventQueue,
     seq: u64,
     components: Vec<Option<Box<dyn Component>>>,
     names: Vec<String>,
@@ -202,17 +238,27 @@ pub struct Simulator {
     executed: u64,
     /// Event trace ring buffer (None = tracing off).
     trace: Option<(Vec<TraceRecord>, usize)>,
+    /// Running timeline digest (None = digesting off).
+    digest: Option<u64>,
     /// Simulated-time deadline for the stall watchdog (None = only check
     /// at queue drain).
     stall_deadline: Option<Time>,
+    /// Scheduler gauges for the most recent `run*` call.
+    last_run_summary: Option<RunSummary>,
 }
 
 impl Simulator {
-    /// Creates an empty simulator with the given RNG seed.
+    /// Creates an empty simulator with the given RNG seed and the default
+    /// (tiered calendar) event queue.
     pub fn new(seed: u64) -> Self {
+        Simulator::new_with_queue(seed, QueueKind::default())
+    }
+
+    /// Creates an empty simulator with an explicit event-queue structure.
+    pub fn new_with_queue(seed: u64, kind: QueueKind) -> Self {
         Simulator {
             time: Time::ZERO,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(kind),
             seq: 0,
             components: Vec::new(),
             names: Vec::new(),
@@ -221,8 +267,27 @@ impl Simulator {
             stop: false,
             executed: 0,
             trace: None,
+            digest: None,
             stall_deadline: None,
+            last_run_summary: None,
         }
+    }
+
+    /// The event-queue structure currently in use.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
+    }
+
+    /// Switches the event-queue structure, preserving all pending events
+    /// and their `(time, seq)` execution order. Used to A/B the tiered
+    /// scheduler against the legacy heap on identical workloads.
+    pub fn set_queue_kind(&mut self, kind: QueueKind) {
+        self.queue.set_kind(kind);
+    }
+
+    /// Number of events currently pending in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
     }
 
     /// Arms the stall watchdog's simulated-time deadline: if `deadline`
@@ -246,6 +311,23 @@ impl Simulator {
     pub fn enable_trace(&mut self, capacity: usize) {
         assert!(capacity > 0, "zero-capacity trace");
         self.trace = Some((Vec::with_capacity(capacity), capacity));
+    }
+
+    /// Enables the timeline digest: every delivery folds
+    /// `(time, seq, dst, type_name)` into an FNV-1a hash, so two runs can
+    /// be compared for bit-identical event order without recording full
+    /// traces. Must be called before the first event executes to cover
+    /// the whole timeline.
+    pub fn enable_digest(&mut self) {
+        if self.digest.is_none() {
+            self.digest = Some(FNV_OFFSET);
+        }
+    }
+
+    /// The running timeline digest, if [`Simulator::enable_digest`] was
+    /// called.
+    pub fn timeline_digest(&self) -> Option<u64> {
+        self.digest
     }
 
     /// The captured trace, oldest first.
@@ -292,6 +374,11 @@ impl Simulator {
     /// Total events executed so far.
     pub fn events_executed(&self) -> u64 {
         self.executed
+    }
+
+    /// Scheduler gauges for the most recent `run*` call.
+    pub fn last_run_summary(&self) -> Option<&RunSummary> {
+        self.last_run_summary.as_ref()
     }
 
     /// Registers a component and returns its id.
@@ -379,12 +466,7 @@ impl Simulator {
         assert!(at >= self.time, "cannot schedule into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled {
-            time: at,
-            seq,
-            dst,
-            payload: Payload::new(payload),
-        });
+        self.queue.push(at, seq, dst, Payload::new(payload));
     }
 
     /// Schedules `payload` for delivery to `dst` after `delay` from now.
@@ -408,17 +490,49 @@ impl Simulator {
     ///
     /// Panics if an event addresses a reserved-but-uninstalled component.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else {
+        let Some((time, seq, idx)) = self.queue.pop_key() else {
             return false;
         };
-        debug_assert!(ev.time >= self.time, "event queue went backwards");
-        self.time = ev.time;
+        debug_assert!(time >= self.time, "event queue went backwards");
+        self.time = time;
+        let (dst, payload) = self.queue.take(idx);
+        if self.trace.is_some() || self.digest.is_some() {
+            self.note_delivery(time, seq, dst, payload.type_name());
+        }
+        self.executed += 1;
+        // Take the component out of its slot so the handler can borrow the
+        // simulator internals mutably without aliasing itself.
+        let mut comp = self.components[dst.comp.index()].take().unwrap_or_else(|| {
+            panic!(
+                "event {:?} addressed to uninstalled component {}",
+                payload,
+                self.names[dst.comp.index()]
+            )
+        });
+        let mut ctx = Ctx {
+            now: self.time,
+            self_id: dst.comp,
+            queue: &mut self.queue,
+            seq: &mut self.seq,
+            rng: &mut self.rng,
+            stats: &mut self.stats,
+            stop: &mut self.stop,
+        };
+        comp.on_event(&mut ctx, dst.port, payload);
+        self.components[dst.comp.index()] = Some(comp);
+        true
+    }
+
+    /// Records a delivery into the trace ring and/or timeline digest.
+    /// Out of line so the common no-observer `step` stays lean.
+    #[inline(never)]
+    fn note_delivery(&mut self, time: Time, seq: u64, dst: Endpoint, type_name: &'static str) {
         if let Some((ring, cap)) = &mut self.trace {
             let rec = TraceRecord {
-                time: ev.time,
-                comp: ev.dst.comp,
-                port: ev.dst.port,
-                payload_type: ev.payload.type_name(),
+                time,
+                comp: dst.comp,
+                port: dst.port,
+                payload_type: type_name,
             };
             if ring.len() < *cap {
                 ring.push(rec);
@@ -427,30 +541,13 @@ impl Simulator {
                 ring[idx] = rec;
             }
         }
-        self.executed += 1;
-        // Take the component out of its slot so the handler can borrow the
-        // simulator internals mutably without aliasing itself.
-        let mut comp = self.components[ev.dst.comp.index()]
-            .take()
-            .unwrap_or_else(|| {
-                panic!(
-                    "event {:?} addressed to uninstalled component {}",
-                    ev.payload,
-                    self.names[ev.dst.comp.index()]
-                )
-            });
-        let mut ctx = Ctx {
-            now: self.time,
-            self_id: ev.dst.comp,
-            queue: &mut self.queue,
-            seq: &mut self.seq,
-            rng: &mut self.rng,
-            stats: &mut self.stats,
-            stop: &mut self.stop,
-        };
-        comp.on_event(&mut ctx, ev.dst.port, ev.payload);
-        self.components[ev.dst.comp.index()] = Some(comp);
-        true
+        if let Some(digest) = &mut self.digest {
+            fnv1a(digest, &time.as_ps().to_le_bytes());
+            fnv1a(digest, &seq.to_le_bytes());
+            fnv1a(digest, &dst.comp.0.to_le_bytes());
+            fnv1a(digest, &dst.port.0.to_le_bytes());
+            fnv1a(digest, type_name.as_bytes());
+        }
     }
 
     /// Runs until the event queue drains or a component calls [`Ctx::stop`].
@@ -469,9 +566,38 @@ impl Simulator {
     /// mis-configured retransmission timer, say); production experiments set
     /// it to `u64::MAX`.
     pub fn run_bounded(&mut self, horizon: Time, max_events: u64) -> RunOutcome {
+        let events_before = self.executed;
+        let mut gauges = DepthGauges::new();
+        let outcome = self.run_loop(horizon, max_events, &mut gauges);
+        let executed = self.executed - events_before;
+        self.stats.add("sim.kernel.events_executed", executed);
+        let summary = gauges.summarize(outcome.clone(), executed, self.queue.len());
+        self.stats
+            .record("sim.kernel.queue_depth.max", summary.max_queue_depth as f64);
+        self.last_run_summary = Some(summary);
+        outcome
+    }
+
+    fn run_loop(&mut self, horizon: Time, max_events: u64, gauges: &mut DepthGauges) -> RunOutcome {
         self.stop = false;
         let mut budget = max_events;
         let mut deadline_pending = self.stall_deadline;
+        // Fast path for unbounded runs (the common case): no horizon or
+        // deadline peeks in the per-event loop.
+        if horizon == Time::MAX && max_events == u64::MAX && deadline_pending.is_none() {
+            loop {
+                if self.stop {
+                    return RunOutcome::Stopped;
+                }
+                if !self.step() {
+                    return match self.first_stall_report() {
+                        Some(report) => RunOutcome::Stalled(report),
+                        None => RunOutcome::Drained,
+                    };
+                }
+                gauges.observe(self.executed, self.queue.len());
+            }
+        }
         loop {
             if self.stop {
                 return RunOutcome::Stopped;
@@ -482,8 +608,8 @@ impl Simulator {
             // far-future timer must not mask the stall). Checked once so
             // the sweep cost is not paid per event.
             if let Some(deadline) = deadline_pending {
-                let crossing = self.time >= deadline
-                    || self.queue.peek().is_some_and(|ev| ev.time >= deadline);
+                let crossing =
+                    self.time >= deadline || self.queue.peek_time().is_some_and(|t| t >= deadline);
                 if crossing {
                     deadline_pending = None;
                     self.time = self.time.max(deadline.min(horizon));
@@ -492,7 +618,7 @@ impl Simulator {
                     }
                 }
             }
-            match self.queue.peek() {
+            match self.queue.peek_time() {
                 None => {
                     // Stall watchdog, drain edge: a clean drain means no
                     // component should still be holding work.
@@ -501,8 +627,8 @@ impl Simulator {
                         None => RunOutcome::Drained,
                     };
                 }
-                Some(ev) if ev.time >= horizon => {
-                    self.time = horizon.min(ev.time);
+                Some(t) if t >= horizon => {
+                    self.time = horizon.min(t);
                     return RunOutcome::Horizon;
                 }
                 Some(_) => {}
@@ -512,6 +638,7 @@ impl Simulator {
             }
             budget -= 1;
             self.step();
+            gauges.observe(self.executed, self.queue.len());
         }
     }
 
@@ -537,6 +664,51 @@ impl Simulator {
                 })
             })
             .collect()
+    }
+}
+
+/// Queue-depth tracking for one `run*` call: exact maximum, subsampled
+/// series for percentiles.
+struct DepthGauges {
+    max: usize,
+    samples: Vec<usize>,
+}
+
+impl DepthGauges {
+    fn new() -> Self {
+        DepthGauges {
+            max: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn observe(&mut self, executed: u64, depth: usize) {
+        if depth > self.max {
+            self.max = depth;
+        }
+        if executed.is_multiple_of(DEPTH_SAMPLE_STRIDE) {
+            self.samples.push(depth);
+        }
+    }
+
+    fn summarize(mut self, outcome: RunOutcome, executed: u64, final_depth: usize) -> RunSummary {
+        self.samples.sort_unstable();
+        let pct = |p: f64| -> usize {
+            if self.samples.is_empty() {
+                return 0;
+            }
+            let rank = (p * (self.samples.len() - 1) as f64).round() as usize;
+            self.samples[rank.min(self.samples.len() - 1)]
+        };
+        RunSummary {
+            outcome,
+            events_executed: executed,
+            max_queue_depth: self.max,
+            queue_depth_p50: pct(0.50),
+            queue_depth_p99: pct(0.99),
+            final_queue_depth: final_depth,
+        }
     }
 }
 
@@ -882,5 +1054,113 @@ mod tests {
         }
         assert_eq!(run_once(42), run_once(42));
         assert_ne!(run_once(42), run_once(43));
+    }
+
+    /// Workload with pseudo-random near/far delays used for the digest and
+    /// queue-kind equivalence tests.
+    struct JitterMix {
+        remaining: u32,
+    }
+
+    impl Component for JitterMix {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, port: PortId, payload: Payload) {
+            use rand::RngExt;
+            let v = payload.downcast::<u32>();
+            if self.remaining == 0 {
+                return;
+            }
+            self.remaining -= 1;
+            let delay = match v % 5 {
+                0 => Dur::from_us(ctx.rng().random_range(1..200u64)), // far
+                _ => Dur::from_ps(ctx.rng().random_range(1..5000u64)), // near
+            };
+            ctx.send_self(port, delay, v + 1);
+            if v.is_multiple_of(3) {
+                // A second simultaneous event exercises seq tie-breaks.
+                ctx.send_self(port, delay, v + 1000);
+            }
+        }
+    }
+
+    fn digest_with_kind(kind: QueueKind) -> u64 {
+        let mut sim = Simulator::new_with_queue(7, kind);
+        sim.enable_digest();
+        let a = sim.add("mix", JitterMix { remaining: 500 });
+        sim.post(Endpoint::of(a), Time::ZERO, 0u32);
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        sim.timeline_digest().expect("digest enabled")
+    }
+
+    #[test]
+    fn queue_kinds_produce_identical_timelines() {
+        let calendar = digest_with_kind(QueueKind::Calendar);
+        let heap = digest_with_kind(QueueKind::Heap);
+        assert_eq!(calendar, heap, "tiered queue changed the event order");
+    }
+
+    #[test]
+    fn digest_detects_timeline_differences() {
+        let mut sim = Simulator::new(0);
+        sim.enable_digest();
+        let a = sim.add("mix", JitterMix { remaining: 10 });
+        sim.post(Endpoint::of(a), Time::ZERO, 0u32);
+        sim.run();
+        let d1 = sim.timeline_digest().unwrap();
+
+        let mut sim = Simulator::new(0);
+        sim.enable_digest();
+        let a = sim.add("mix", JitterMix { remaining: 11 });
+        sim.post(Endpoint::of(a), Time::ZERO, 0u32);
+        sim.run();
+        let d2 = sim.timeline_digest().unwrap();
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn set_queue_kind_mid_build_preserves_pending_events() {
+        let run = |swap: bool| -> u64 {
+            let mut sim = Simulator::new(3);
+            sim.enable_digest();
+            let a = sim.add("mix", JitterMix { remaining: 200 });
+            for i in 0..10u32 {
+                sim.post(Endpoint::of(a), Time::from_ps(u64::from(i) * 7), i);
+            }
+            if swap {
+                sim.set_queue_kind(QueueKind::Heap);
+                assert_eq!(sim.queue_kind(), QueueKind::Heap);
+            }
+            sim.run();
+            sim.timeline_digest().unwrap()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn run_summary_reports_depth_and_event_gauges() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add(
+            "a",
+            Pinger {
+                received: vec![],
+                peer: None,
+                bounces_left: 0,
+            },
+        );
+        for i in 0..100u64 {
+            sim.post(Endpoint::of(a), Time::from_ps(i), Ping(i as u32));
+        }
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        let summary = sim.last_run_summary().expect("run recorded a summary");
+        assert_eq!(summary.outcome, RunOutcome::Drained);
+        assert_eq!(summary.events_executed, 100);
+        assert_eq!(summary.max_queue_depth, 99);
+        assert_eq!(summary.final_queue_depth, 0);
+        assert!(summary.queue_depth_p50 <= summary.queue_depth_p99);
+        assert!(summary.queue_depth_p99 <= summary.max_queue_depth);
+        assert_eq!(sim.stats().counter("sim.kernel.events_executed"), 100);
+        assert_eq!(
+            sim.stats().max_sample("sim.kernel.queue_depth.max"),
+            Some(99.0)
+        );
     }
 }

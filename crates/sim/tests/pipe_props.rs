@@ -1,0 +1,84 @@
+//! Property tests for the fixed-point [`Pipe`] arithmetic.
+//!
+//! The load-bearing property is *segmentation neutrality*: splitting a
+//! transfer into arbitrary back-to-back pieces must end at exactly the
+//! instant the unsplit transfer would. TCP/RDMA segmentation and the POE
+//! coalescing knob rely on this — changing how many events carry a message
+//! must not move its last byte on the wire.
+
+use accl_sim::pipe::Pipe;
+use accl_sim::time::{Dur, Time};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn reserving_n_equals_two_halves_back_to_back(
+        tenth_gbps in 1u64..4_000,
+        n in 1u64..2_000_000,
+        split_ppm in 0u64..1_000_000,
+    ) {
+        let gbps = tenth_gbps as f64 / 10.0;
+        let k = ((n as u128 * split_ppm as u128) / 1_000_000) as u64;
+
+        let mut whole = Pipe::gbps(gbps);
+        let (ws, we) = whole.reserve(Time::ZERO, n);
+
+        let mut halves = Pipe::gbps(gbps);
+        let (hs, _) = halves.reserve(Time::ZERO, k);
+        let (_, he) = halves.reserve(Time::ZERO, n - k);
+
+        prop_assert_eq!(ws, hs);
+        prop_assert_eq!(we, he, "gbps={} n={} k={}", gbps, n, k);
+        prop_assert_eq!(whole.busy_time(), halves.busy_time());
+        prop_assert_eq!(whole.bytes_moved(), halves.bytes_moved());
+    }
+
+    #[test]
+    fn many_way_splits_are_also_exact(
+        tenth_gbps in 1u64..4_000,
+        n in 64u64..1_000_000,
+        pieces in 2u64..64,
+    ) {
+        let gbps = tenth_gbps as f64 / 10.0;
+        let mut whole = Pipe::gbps(gbps);
+        let (_, we) = whole.reserve(Time::ZERO, n);
+
+        let mut split = Pipe::gbps(gbps);
+        let each = n / pieces;
+        let mut sent = 0;
+        let mut end = Time::ZERO;
+        for _ in 0..pieces - 1 {
+            end = split.reserve(Time::ZERO, each).1;
+            sent += each;
+        }
+        end = end.max(split.reserve(Time::ZERO, n - sent).1);
+
+        prop_assert_eq!(we, end, "gbps={} n={} pieces={}", gbps, n, pieces);
+    }
+
+    #[test]
+    fn batch_reservation_matches_serial_segments(
+        tenth_gbps in 1u64..4_000,
+        mtu in 64u64..9_216,
+        segs in 1u64..32,
+        overhead_ps in 0u64..100_000,
+    ) {
+        let gbps = tenth_gbps as f64 / 10.0;
+        let per_item = Dur::from_ps(overhead_ps);
+
+        let mut batched = Pipe::gbps(gbps).with_per_item(per_item);
+        let (_, be) = batched.reserve_batch(Time::ZERO, mtu * segs, segs);
+
+        let mut serial = Pipe::gbps(gbps).with_per_item(per_item);
+        let mut end = Time::ZERO;
+        for _ in 0..segs {
+            end = serial.reserve(Time::ZERO, mtu).1;
+        }
+
+        prop_assert_eq!(be, end, "gbps={} mtu={} segs={}", gbps, mtu, segs);
+        prop_assert_eq!(batched.items(), serial.items());
+        prop_assert_eq!(batched.busy_time(), serial.busy_time());
+    }
+}

@@ -1,9 +1,14 @@
 //! Minimal offline stand-in for the `bytes` crate.
 //!
 //! Implements the subset of [`Bytes`] the workspace uses: cheap clones via
-//! `Arc`, zero-copy `slice`/`split_to`, and `Deref<Target = [u8]>`. The
+//! `Arc`, zero-copy `slice`/`split_to`, and `Deref<Target = [u8]>`, plus a
+//! small [`BytesMut`] builder with zero-copy [`BytesMut::freeze`]. The
 //! semantics match upstream for this subset; only the implementation (a
-//! shared `Arc<[u8]>` window) is simplified.
+//! shared `Arc<Vec<u8>>` window) is simplified.
+//!
+//! `From<Vec<u8>>` is zero-copy: the vector's buffer is moved into the
+//! shared allocation rather than copied, which keeps `MemStore::read` →
+//! frame body → retransmit queue a single-allocation path.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -13,7 +18,7 @@ use std::sync::Arc;
 /// A cheaply cloneable, immutable, contiguous slice of memory.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -37,7 +42,7 @@ impl Bytes {
     fn from_vec(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            data: v.into(),
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -162,6 +167,64 @@ impl<'a> IntoIterator for &'a Bytes {
     }
 }
 
+/// A growable byte buffer that freezes into an immutable [`Bytes`]
+/// without copying.
+///
+/// This is the gather-side counterpart of `Bytes`: assemble a message
+/// from scattered pieces, then `freeze()` hands the accumulated buffer
+/// to the shared allocation.
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Creates an empty buffer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends `s` to the buffer.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Converts the accumulated bytes into an immutable `Bytes` (no copy).
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> BytesMut {
+        BytesMut { buf }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,5 +245,25 @@ mod tests {
         let a = Bytes::from(vec![9u8, 1, 2, 9]).slice(1..3);
         let b = Bytes::from(vec![1u8, 2]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_vec_reuses_the_allocation() {
+        let v = vec![7u8; 4096];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ptr(), ptr, "From<Vec<u8>> must be zero-copy");
+    }
+
+    #[test]
+    fn bytes_mut_builds_and_freezes() {
+        let mut m = BytesMut::with_capacity(8);
+        m.extend_from_slice(&[1, 2]);
+        m.extend_from_slice(&[3]);
+        assert_eq!(m.len(), 3);
+        let ptr = m.as_ptr();
+        let b = m.freeze();
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b.as_ptr(), ptr, "freeze must be zero-copy");
     }
 }
