@@ -11,7 +11,7 @@ use accl_sim::prelude::*;
 use crate::msg::{DType, ReduceFn};
 
 /// Collective operations implemented by the stock firmware.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CollOp {
     /// No-op: measures pure invocation latency (Fig. 8).
     Nop,

@@ -7,7 +7,7 @@
 //! queues keep multiple in flight (paper §4.4.1). Two-operand instructions
 //! route both streams through the binary plugin (reduction).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
 
@@ -141,7 +141,7 @@ pub struct Dmp {
     uc_done: Endpoint,
     /// Kernel stream output endpoint (streaming collectives).
     kernel_out: Option<Endpoint>,
-    inflight: HashMap<u64, InstrState>,
+    inflight: BTreeMap<u64, InstrState>,
     /// Instructions wanting kernel-stream data, in issue order.
     stream_waiters: VecDeque<(u64, u8)>,
     /// Kernel bytes not yet claimed by an instruction.
@@ -173,7 +173,7 @@ impl Dmp {
             txsys,
             uc_done,
             kernel_out: None,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             stream_waiters: VecDeque::new(),
             stream_buf: VecDeque::new(),
             stream_buf_len: 0,

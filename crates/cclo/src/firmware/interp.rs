@@ -11,7 +11,7 @@
 //! only intra-rank barrier; memory operands snapshot at execution time;
 //! rendezvous sends block until the matching init announces a landing zone.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::firmware::{BufRef, DmpInstr, FwEnv, FwOp, Schedule, SlotDst, SlotSrc};
 use crate::msg::ReduceFn;
@@ -116,11 +116,11 @@ pub struct Interp {
     runs: Vec<RankRun>,
     dtype_func: (crate::msg::DType, ReduceFn),
     /// (src, dst, tag) → FIFO of eager messages.
-    eager: HashMap<(u32, u32, u64), VecDeque<Vec<u8>>>,
+    eager: BTreeMap<(u32, u32, u64), VecDeque<Vec<u8>>>,
     /// (sender, receiver, tag) → landing zone announced by receiver.
-    rndzv_init: HashMap<(u32, u32, u64), (BufRef, u64, u64)>,
+    rndzv_init: BTreeMap<(u32, u32, u64), (BufRef, u64, u64)>,
     /// (sender, receiver, tag) → data landed.
-    rndzv_done: HashMap<(u32, u32, u64), bool>,
+    rndzv_done: BTreeMap<(u32, u32, u64), bool>,
     /// Total messages transferred (for test assertions on message counts).
     messages: u64,
 }
@@ -143,9 +143,9 @@ impl Interp {
                 .collect(),
             ranks: states,
             dtype_func: (env0.dtype, env0.func),
-            eager: HashMap::new(),
-            rndzv_init: HashMap::new(),
-            rndzv_done: HashMap::new(),
+            eager: BTreeMap::new(),
+            rndzv_init: BTreeMap::new(),
+            rndzv_done: BTreeMap::new(),
             messages: 0,
         }
     }

@@ -13,7 +13,7 @@
 pub mod interp;
 pub mod programs;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::command::{CollOp, DataLoc};
@@ -476,14 +476,14 @@ pub trait CollectiveProgram: Send + Sync {
 /// collective implementation without hardware recompilation".
 #[derive(Clone)]
 pub struct FirmwareTable {
-    programs: HashMap<CollOp, Arc<dyn CollectiveProgram>>,
+    programs: BTreeMap<CollOp, Arc<dyn CollectiveProgram>>,
 }
 
 impl FirmwareTable {
     /// An empty table (no collectives loadable).
     pub fn empty() -> Self {
         FirmwareTable {
-            programs: HashMap::new(),
+            programs: BTreeMap::new(),
         }
     }
 

@@ -12,7 +12,7 @@
 //! hardware — the architectural difference the paper credits for ACCL+'s
 //! advantage over ACCL in Fig. 13.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
 
@@ -23,7 +23,7 @@ use crate::msg::MsgSignature;
 use crate::rxsys::{RbmData, RbmMeta, RxMsgKey};
 
 /// Matching key for eager messages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MatchKey {
     /// Communicator id.
     pub comm: u32,
@@ -110,11 +110,18 @@ struct MsgState {
 /// The RxBuf manager component.
 pub struct Rbm {
     cfg: CcloConfig,
-    msgs: HashMap<RxMsgKey, MsgState>,
+    msgs: BTreeMap<RxMsgKey, MsgState>,
     /// Arrival-ordered completed-or-inflight messages per matching key.
-    by_match: HashMap<MatchKey, VecDeque<RxMsgKey>>,
+    by_match: BTreeMap<MatchKey, VecDeque<RxMsgKey>>,
     /// Waiting DMP queries per matching key.
-    queries: HashMap<MatchKey, VecDeque<RbmQuery>>,
+    queries: BTreeMap<MatchKey, VecDeque<RbmQuery>>,
+    /// Data pieces that arrived before their message's [`RbmMeta`]. The Rx
+    /// system always *sends* META no later than the first DATA of a
+    /// message, so an orphan can only exist while both deliveries share a
+    /// timestamp — it is drained as soon as the META executes. Keeping the
+    /// two handlers commutative keeps the RBM off the sim-time race
+    /// detector's radar (see accl-sim's `race` module).
+    orphan_data: BTreeMap<RxMsgKey, Vec<RbmData>>,
     /// Free Rx buffers.
     free_bufs: u32,
     /// Messages waiting for a buffer.
@@ -141,9 +148,10 @@ impl Rbm {
         });
         Rbm {
             free_bufs: cfg.rx_buf_count,
-            msgs: HashMap::new(),
-            by_match: HashMap::new(),
-            queries: HashMap::new(),
+            msgs: BTreeMap::new(),
+            by_match: BTreeMap::new(),
+            queries: BTreeMap::new(),
+            orphan_data: BTreeMap::new(),
             waiting_admission: VecDeque::new(),
             write_pipe: Pipe::bytes_per_sec(datapath_bps),
             read_pipe: Pipe::bytes_per_sec(datapath_bps),
@@ -215,6 +223,38 @@ impl Rbm {
         }
         ctx.stats().add("rbm.purged_bufs", freed);
         ctx.stats().add("rbm.purged_queries", dropped_queries);
+    }
+
+    /// Folds one payload piece into its message's reassembly state.
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, data: RbmData) {
+        let Some(msg) = self.msgs.get_mut(&data.key) else {
+            // META and this DATA share a timestamp and the tie-break rule
+            // delivered DATA first; park the piece until META executes.
+            self.orphan_data.entry(data.key).or_default().push(data);
+            return;
+        };
+        let n = data.data.len() as u64;
+        msg.received += n;
+        debug_assert!(
+            msg.received <= msg.sig.payload_len,
+            "RBM overflow: {} > {}",
+            msg.received,
+            msg.sig.payload_len
+        );
+        // Charge the buffer write.
+        let (_, wr_end) = self.write_pipe.reserve(ctx.now(), n);
+        let mut ready = wr_end;
+        if let Some(lp) = &mut self.legacy_pipe {
+            // Legacy ACCL: the uC touches every packet.
+            let (_, uc_end) = lp.reserve(ctx.now(), 1);
+            ready = ready.max(uc_end);
+        }
+        msg.pieces.push((data.offset, data.data));
+        msg.ready_at = msg.ready_at.max(ready);
+        if msg.received == msg.sig.payload_len {
+            let key = MatchKey::of(&msg.sig);
+            self.try_match(ctx, key);
+        }
     }
 
     fn try_match(&mut self, ctx: &mut Ctx<'_>, key: MatchKey) {
@@ -338,37 +378,18 @@ impl Component for Rbm {
                     },
                 );
                 self.by_match.entry(key).or_default().push_back(meta.key);
+                if let Some(orphans) = self.orphan_data.remove(&meta.key) {
+                    for data in orphans {
+                        self.on_data(ctx, data);
+                    }
+                }
                 if meta.sig.payload_len == 0 {
                     self.try_match(ctx, key);
                 }
             }
             ports::DATA => {
                 let data = payload.downcast::<RbmData>();
-                let Some(msg) = self.msgs.get_mut(&data.key) else {
-                    panic!("RBM data for unknown message {:?}", data.key);
-                };
-                let n = data.data.len() as u64;
-                msg.received += n;
-                debug_assert!(
-                    msg.received <= msg.sig.payload_len,
-                    "RBM overflow: {} > {}",
-                    msg.received,
-                    msg.sig.payload_len
-                );
-                // Charge the buffer write.
-                let (_, wr_end) = self.write_pipe.reserve(ctx.now(), n);
-                let mut ready = wr_end;
-                if let Some(lp) = &mut self.legacy_pipe {
-                    // Legacy ACCL: the uC touches every packet.
-                    let (_, uc_end) = lp.reserve(ctx.now(), 1);
-                    ready = ready.max(uc_end);
-                }
-                msg.pieces.push((data.offset, data.data));
-                msg.ready_at = msg.ready_at.max(ready);
-                if msg.received == msg.sig.payload_len {
-                    let key = MatchKey::of(&msg.sig);
-                    self.try_match(ctx, key);
-                }
+                self.on_data(ctx, data);
             }
             ports::QUERY => {
                 let q = payload.downcast::<RbmQuery>();

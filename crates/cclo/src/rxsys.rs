@@ -7,7 +7,7 @@
 //! Rendezvous *payloads* never appear here — the RDMA engine writes them
 //! straight to memory, bypassing the CCLO (§4.3).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 
@@ -17,7 +17,7 @@ use accl_sim::prelude::*;
 use crate::msg::{MsgSignature, MsgType, SIGNATURE_BYTES};
 
 /// Unique handle for an in-flight received message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RxMsgKey {
     /// POE session the message arrived on.
     pub session: SessionId,
@@ -78,7 +78,7 @@ pub struct RxSys {
     rbm_data: Endpoint,
     uc_notif: Endpoint,
     parse_latency: Dur,
-    inflight: HashMap<RxMsgKey, MsgParse>,
+    inflight: BTreeMap<RxMsgKey, MsgParse>,
     messages_parsed: u64,
 }
 
@@ -95,7 +95,7 @@ impl RxSys {
             rbm_data,
             uc_notif,
             parse_latency,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             messages_parsed: 0,
         }
     }

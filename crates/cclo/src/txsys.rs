@@ -7,7 +7,7 @@
 //! physical Tx data stream — with payload chunks buffered per ticket until
 //! their job reaches the head of the queue (paper §4.4.2).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
 
@@ -111,9 +111,9 @@ pub struct TxSys {
     poe_tx_data: Endpoint,
     dmp_done: Endpoint,
     /// Per-session Tx sequence numbers (part of the message signature).
-    seq: HashMap<SessionId, u64>,
+    seq: BTreeMap<SessionId, u64>,
     jobs: VecDeque<TxJob>,
-    bufs: HashMap<u64, TicketBuf>,
+    bufs: BTreeMap<u64, TicketBuf>,
     /// Bytes of the head job already handed to the POE.
     head_sent: u64,
     /// Whether the head job's POE command + header went out.
@@ -136,9 +136,9 @@ impl TxSys {
             poe_tx_cmd,
             poe_tx_data,
             dmp_done,
-            seq: HashMap::new(),
+            seq: BTreeMap::new(),
             jobs: VecDeque::new(),
-            bufs: HashMap::new(),
+            bufs: BTreeMap::new(),
             head_sent: 0,
             head_started: false,
             job_latency,

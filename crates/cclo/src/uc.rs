@@ -12,7 +12,7 @@
 //! within a call, DMP instructions pipeline freely until a `WaitAll` or a
 //! rendezvous dependency blocks the op stream.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use accl_mem::MemAddr;
 
@@ -73,7 +73,7 @@ struct CallState {
     outstanding: u32,
     /// Tickets of DMP instructions issued but not yet completed (moved to
     /// the orphan set if the call aborts).
-    issued: HashSet<u64>,
+    issued: BTreeSet<u64>,
     /// Rendezvous sends parked until the peer's init arrives (the op
     /// stream keeps flowing — "FIFO queues allow multiple in-flight
     /// instructions", §4.4.1).
@@ -88,7 +88,7 @@ struct CallState {
 pub struct Uc {
     cfg: CcloConfig,
     firmware: FirmwareTable,
-    communicators: HashMap<u32, CommunicatorCfg>,
+    communicators: BTreeMap<u32, CommunicatorCfg>,
     dmp: ComponentId,
     txsys: ComponentId,
     /// Whether the attached POE supports rendezvous (RDMA).
@@ -101,9 +101,9 @@ pub struct Uc {
     call: Option<CallState>,
     next_ticket: u64,
     /// Received rendezvous inits: (peer, tag) → FIFO of landing addresses.
-    inits: HashMap<(u32, u64), VecDeque<u64>>,
+    inits: BTreeMap<(u32, u64), VecDeque<u64>>,
     /// Received rendezvous dones: (peer, tag) → count.
-    dones: HashMap<(u32, u64), u32>,
+    dones: BTreeMap<(u32, u64), u32>,
     calls_completed: u64,
     /// The node's RBM (abort cleanup); unset in control-plane-only tests.
     rbm: Option<ComponentId>,
@@ -113,7 +113,7 @@ pub struct Uc {
     /// compare against it.
     progress_gen: u64,
     /// Tickets of aborted calls whose DMP completions are still in flight.
-    orphans: HashSet<u64>,
+    orphans: BTreeSet<u64>,
     orphans_reaped: u64,
     calls_aborted: u64,
 }
@@ -132,7 +132,7 @@ impl Uc {
         Uc {
             cfg,
             firmware,
-            communicators: HashMap::new(),
+            communicators: BTreeMap::new(),
             dmp,
             txsys,
             rendezvous_capable,
@@ -141,13 +141,13 @@ impl Uc {
             queue: VecDeque::new(),
             call: None,
             next_ticket: 0,
-            inits: HashMap::new(),
-            dones: HashMap::new(),
+            inits: BTreeMap::new(),
+            dones: BTreeMap::new(),
             calls_completed: 0,
             rbm: None,
             call_seq: 0,
             progress_gen: 0,
-            orphans: HashSet::new(),
+            orphans: BTreeSet::new(),
             orphans_reaped: 0,
             calls_aborted: 0,
         }
@@ -298,7 +298,7 @@ impl Uc {
             env,
             ops: schedule.ops.into(),
             outstanding: 0,
-            issued: HashSet::new(),
+            issued: BTreeSet::new(),
             parked: Vec::new(),
             blocked: Blocked::Stepping,
             scratch_base: 0,

@@ -70,7 +70,7 @@ pub struct AcclCluster {
     net: Network,
     nodes: Vec<NodeHandles>,
     spaces: Vec<NodeSpaces>,
-    comms: std::collections::HashMap<u32, Communicator>,
+    comms: std::collections::BTreeMap<u32, Communicator>,
 }
 
 impl AcclCluster {
@@ -173,7 +173,7 @@ impl AcclCluster {
             });
             spaces.push(NodeSpaces::new());
         }
-        let mut comms = std::collections::HashMap::new();
+        let mut comms = std::collections::BTreeMap::new();
         comms.insert(0, Communicator::world(cfg.nodes));
         AcclCluster {
             sim,

@@ -39,7 +39,7 @@ impl Communicator {
             !members.is_empty(),
             "communicator needs at least one member"
         );
-        let unique: std::collections::HashSet<_> = members.iter().collect();
+        let unique: std::collections::BTreeSet<_> = members.iter().collect();
         assert_eq!(unique.len(), members.len(), "duplicate communicator member");
         Communicator { id, members }
     }

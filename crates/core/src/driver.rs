@@ -226,7 +226,7 @@ pub fn buffer_roles(spec: &CollSpec, rank: u32) -> (Vec<BufferHandle>, Vec<Buffe
 pub struct HostDriver {
     rank: u32,
     /// This node's rank within each configured communicator.
-    comm_ranks: std::collections::HashMap<u32, u32>,
+    comm_ranks: std::collections::BTreeMap<u32, u32>,
     cclo_cmd: Endpoint,
     /// XDMA engine, present on partitioned-memory platforms.
     xdma: Option<ComponentId>,
@@ -248,7 +248,7 @@ impl HostDriver {
         xdma: Option<ComponentId>,
         invocation_latency: Dur,
     ) -> Self {
-        let mut comm_ranks = std::collections::HashMap::new();
+        let mut comm_ranks = std::collections::BTreeMap::new();
         comm_ranks.insert(0, rank);
         HostDriver {
             rank,

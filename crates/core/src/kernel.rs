@@ -60,7 +60,7 @@ pub struct KernelProc {
     /// Per-message receive buffers in ticket (arrival-stream) order.
     received_msgs: Vec<(u64, Vec<u8>)>,
     /// Ticket → index into `received_msgs`.
-    received_index: std::collections::HashMap<u64, usize>,
+    received_index: std::collections::BTreeMap<u64, usize>,
     received_bytes: u64,
     expect_target: Option<u64>,
     /// A `Compute` op is in progress; the op stream is blocked until its
@@ -88,7 +88,7 @@ impl KernelProc {
             ops: ops.into(),
             outstanding: 0,
             received_msgs: Vec::new(),
-            received_index: std::collections::HashMap::new(),
+            received_index: std::collections::BTreeMap::new(),
             received_bytes: 0,
             expect_target: None,
             computing: false,

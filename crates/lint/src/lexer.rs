@@ -1,0 +1,371 @@
+//! A minimal Rust lexer: just enough fidelity to walk source token-by-token
+//! without being fooled by strings, comments, char literals or raw strings.
+//!
+//! The build environment is offline (no `syn`), so the determinism pass
+//! works on this hand-rolled token stream instead of a full AST. The lexer
+//! preserves line numbers for diagnostics and returns line comments
+//! separately so allow-annotations can be matched to findings.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Punctuation (single char, except `::` which is one token).
+    Punct,
+    /// Integer literal.
+    Int,
+    /// Float literal (has a decimal point, exponent, or f32/f64 suffix).
+    Float,
+    /// String, char, or byte literal (content not inspected).
+    Str,
+    /// Lifetime (`'a`).
+    Lifetime,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// A comment with its source line (1-based). Block comments are attributed
+/// to their starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lexes `src` into tokens and comments. Unrecognised bytes are skipped.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i;
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            comments.push(Comment {
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 0i32;
+            while i < b.len() {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            comments.push(Comment {
+                text: b[start..i.min(b.len())].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw strings: r"..", r#".."#, br#".."# etc.
+        if (c == 'r' || c == 'b') && {
+            let mut j = i;
+            if b[j] == 'b' && j + 1 < b.len() && b[j + 1] == 'r' {
+                j += 1;
+            }
+            if b[j] == 'r' {
+                let mut k = j + 1;
+                while k < b.len() && b[k] == '#' {
+                    k += 1;
+                }
+                k < b.len() && b[k] == '"'
+            } else {
+                false
+            }
+        } {
+            let tline = line;
+            if b[i] == 'b' {
+                i += 1;
+            }
+            i += 1; // past 'r'
+            let mut hashes = 0usize;
+            while i < b.len() && b[i] == '#' {
+                hashes += 1;
+                i += 1;
+            }
+            i += 1; // past opening quote
+            loop {
+                if i >= b.len() {
+                    break;
+                }
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                    continue;
+                }
+                if b[i] == '"' {
+                    let mut k = i + 1;
+                    let mut h = 0usize;
+                    while k < b.len() && b[k] == '#' && h < hashes {
+                        h += 1;
+                        k += 1;
+                    }
+                    if h == hashes {
+                        i = k;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: tline,
+            });
+            continue;
+        }
+        // String / byte-string literal.
+        if c == '"' || (c == 'b' && i + 1 < b.len() && b[i + 1] == '"') {
+            let tline = line;
+            if c == 'b' {
+                i += 1;
+            }
+            i += 1;
+            while i < b.len() {
+                match b[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            toks.push(Token {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: tline,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not closed by a quote.
+            let next = b.get(i + 1).copied().unwrap_or(' ');
+            let after = b.get(i + 2).copied().unwrap_or(' ');
+            if is_ident_start(next) && after != '\'' {
+                let start = i;
+                i += 1;
+                while i < b.len() && is_ident(b[i]) {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            } else {
+                // Char literal: skip to the closing quote.
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        '\\' => i += 2,
+                        '\'' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident(b[i]) {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Number. A '.' only joins the literal when it begins a fractional
+        // part AND the number is not itself a tuple-field index (`pair.0`),
+        // i.e. the previous token was not `.`.
+        if c.is_ascii_digit() {
+            let start = i;
+            let after_dot =
+                matches!(toks.last(), Some(t) if t.kind == TokKind::Punct && t.text == ".");
+            let mut is_float = false;
+            let hex = c == '0' && matches!(b.get(i + 1), Some('x') | Some('X'));
+            i += 1;
+            if hex {
+                i += 1;
+            }
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                if !hex && (b[i] == 'e' || b[i] == 'E') {
+                    // Exponent only if followed by digit or sign+digit.
+                    let sign = matches!(b.get(i + 1), Some('+') | Some('-'));
+                    let d = b.get(i + 1 + usize::from(sign));
+                    if d.is_some_and(|d| d.is_ascii_digit()) {
+                        is_float = true;
+                        i += 1 + usize::from(sign);
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            if !hex && !after_dot && i < b.len() && b[i] == '.' {
+                if b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    is_float = true;
+                    i += 1;
+                    // Fractional digits, then any type suffix (`0.5f32`).
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                } else if !b.get(i + 1).is_some_and(|&d| is_ident_start(d) || d == '.') {
+                    // `1.` (trailing-dot float), but not `1..2` or `1.min(..)`.
+                    is_float = true;
+                    i += 1;
+                }
+            }
+            let text: String = b[start..i].iter().collect();
+            if text.ends_with("f32") || text.ends_with("f64") {
+                is_float = true;
+            }
+            toks.push(Token {
+                kind: if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                },
+                text,
+                line,
+            });
+            continue;
+        }
+        // `::` as one token; everything else single-char punctuation.
+        if c == ':' && b.get(i + 1) == Some(&':') {
+            toks.push(Token {
+                kind: TokKind::Punct,
+                text: "::".into(),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        toks.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    (toks, comments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_idents() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            let s = "HashMap";
+            let r = r#"HashMap"#;
+            let c = 'H';
+            real_ident
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn float_vs_int_vs_tuple_index() {
+        let (toks, _) = lex("a.0.1 + 1.5 + 2 + 3e4 + 1u64 + 0.5f32");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Float)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "3e4", "0.5f32"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let (toks, comments) = lex("a\nb // c\nd");
+        let find = |name: &str| toks.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 2);
+        assert_eq!(find("d"), 3);
+        assert_eq!(comments[0].line, 2);
+    }
+}

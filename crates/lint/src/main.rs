@@ -1,0 +1,62 @@
+//! CLI entry point: `cargo run -p accl-lint [workspace-root]`.
+//!
+//! Lints the sim-visible crates and exits nonzero on any unannotated
+//! finding — the CI determinism gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(find_workspace_root);
+    let findings = match accl_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "accl-lint: cannot walk workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let mut gating = 0usize;
+    let mut allowed = 0usize;
+    for f in &findings {
+        println!("{f}");
+        if f.allowed.is_some() {
+            allowed += 1;
+        } else {
+            gating += 1;
+        }
+    }
+    println!(
+        "accl-lint: {gating} finding(s), {allowed} audited exception(s) across {} crate(s)",
+        accl_lint::LINTED_CRATES.len()
+    );
+    if gating > 0 {
+        eprintln!(
+            "accl-lint: determinism gate FAILED — fix the findings above or annotate audited \
+             exceptions with `// allow_nondeterminism(rule): reason`"
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks up from the current directory to the first dir containing a
+/// `crates/` subdirectory and a `Cargo.toml` (the workspace root), so the
+/// binary works from any subdirectory.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("current dir");
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

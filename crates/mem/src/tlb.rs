@@ -6,7 +6,7 @@
 //! class *eagerly maps* its pages at allocation time precisely to avoid
 //! that penalty — behaviour this model lets us quantify.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use accl_sim::time::Dur;
 use serde::{Deserialize, Serialize};
@@ -63,7 +63,7 @@ pub struct Translation {
 pub struct Tlb {
     cfg: TlbConfig,
     /// Driver-populated translations (the "mapped pages").
-    map: HashMap<u64, MemTarget>,
+    map: BTreeMap<u64, MemTarget>,
     /// TLB cache: per-set LRU lists of virtual page numbers (front = MRU).
     cache: Vec<Vec<u64>>,
     hits: u64,
@@ -77,7 +77,7 @@ impl Tlb {
         assert!(cfg.sets > 0 && cfg.ways > 0, "degenerate TLB geometry");
         Tlb {
             cfg,
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             cache: vec![Vec::new(); cfg.sets],
             hits: 0,
             misses: 0,

@@ -9,7 +9,7 @@
 //! destination target.
 
 use accl_sim::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::bus::{ports as bus_ports, MemAddr, MemChunk, MemDone, MemReadReq, MemWriteReq};
 use crate::tlb::MemTarget;
@@ -71,7 +71,7 @@ pub struct XdmaEngine {
     bus: ComponentId,
     /// Driver + descriptor setup cost charged per copy (XRT ioctl path).
     setup: Dur,
-    inflight: HashMap<u64, CopyState>,
+    inflight: BTreeMap<u64, CopyState>,
     next_tag: u64,
     bytes_copied: u64,
 }
@@ -85,7 +85,7 @@ impl XdmaEngine {
         XdmaEngine {
             bus,
             setup: Dur::from_us(setup_us),
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             next_tag: 0,
             bytes_copied: 0,
         }

@@ -249,6 +249,12 @@ impl SessionTable {
 /// issued; the assembler slices the byte stream back into per-command
 /// messages and hands out MTU-sized segments as soon as bytes are available,
 /// so transmission pipelines with the data source.
+///
+/// Commands and data reach the engine as separate events that may share a
+/// simulated timestamp, so the assembler must not care which executes
+/// first: bytes arriving ahead of their command are buffered and drained
+/// when [`TxAssembler::push_cmd`] runs. (The sim-time race detector
+/// exercises exactly this reordering — see accl-sim's `race` module.)
 #[derive(Debug, Default)]
 pub struct TxAssembler {
     cmds: std::collections::VecDeque<(PoeTxCmd, u64)>,
@@ -281,13 +287,14 @@ impl TxAssembler {
         Self::default()
     }
 
-    /// Enqueues a command, assigning it the next message id.
-    pub fn push_cmd(&mut self, cmd: PoeTxCmd) -> u64 {
+    /// Enqueues a command (assigning it the next message id) and drains
+    /// any segments completed by bytes that arrived ahead of it.
+    pub fn push_cmd(&mut self, cmd: PoeTxCmd, mtu: u32) -> Vec<TxSegment> {
         assert!(cmd.len > 0, "zero-length Tx command");
         let id = self.next_msg_id;
         self.next_msg_id += 1;
         self.cmds.push_back((cmd, id));
-        id
+        self.drain(mtu)
     }
 
     /// Feeds data and drains every full-MTU (or message-final) segment.
@@ -305,11 +312,10 @@ impl TxAssembler {
     fn drain(&mut self, mtu: u32) -> Vec<TxSegment> {
         let mtu = u64::from(mtu);
         let mut out = Vec::new();
-        loop {
-            let Some(&(cmd, msg_id)) = self.cmds.front() else {
-                assert!(self.pending_len == 0, "Tx data with no outstanding command");
-                break;
-            };
+        // When `cmds` runs dry with bytes still pending, those bytes
+        // arrived ahead of their command (possible when both events share
+        // a timestamp): keep them buffered for `push_cmd`.
+        while let Some(&(cmd, msg_id)) = self.cmds.front() {
             let remaining = cmd.len - self.emitted;
             let want = remaining.min(mtu);
             if self.pending_len < want {
@@ -368,7 +374,7 @@ impl TxAssembler {
 /// received bytes to set the `last` flag, tolerating reordering.
 #[derive(Debug, Default)]
 pub struct RxDemux {
-    inflight: std::collections::HashMap<(SessionId, u64), u64>,
+    inflight: std::collections::BTreeMap<(SessionId, u64), u64>,
 }
 
 impl RxDemux {
@@ -452,7 +458,7 @@ mod tests {
     #[test]
     fn assembler_segments_at_mtu() {
         let mut a = TxAssembler::new();
-        a.push_cmd(cmd(10_000, 1));
+        assert!(a.push_cmd(cmd(10_000, 1), 4096).is_empty());
         let segs = a.push_data(Bytes::from(vec![7u8; 10_000]), 4096);
         assert_eq!(segs.len(), 3);
         assert_eq!(segs[0].data.len(), 4096);
@@ -465,7 +471,7 @@ mod tests {
     #[test]
     fn assembler_pipelines_partial_data() {
         let mut a = TxAssembler::new();
-        a.push_cmd(cmd(8192, 1));
+        a.push_cmd(cmd(8192, 1), 4096);
         // First 4 KiB: one full segment emitted immediately.
         let segs = a.push_data(Bytes::from(vec![1u8; 4096]), 4096);
         assert_eq!(segs.len(), 1);
@@ -484,8 +490,8 @@ mod tests {
     #[test]
     fn assembler_spans_multiple_commands() {
         let mut a = TxAssembler::new();
-        a.push_cmd(cmd(100, 1));
-        a.push_cmd(cmd(200, 2));
+        a.push_cmd(cmd(100, 1), 4096);
+        a.push_cmd(cmd(200, 2), 4096);
         let segs = a.push_data(Bytes::from(vec![0u8; 300]), 4096);
         assert_eq!(segs.len(), 2);
         assert_eq!(segs[0].cmd.tag, 1);
@@ -496,10 +502,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no outstanding command")]
-    fn data_without_command_panics() {
+    fn data_before_command_is_buffered_then_drained() {
+        // Command and first data chunk may share a timestamp; either
+        // execution order must produce the same segments.
         let mut a = TxAssembler::new();
-        a.push_data(Bytes::from_static(b"x"), 4096);
+        assert!(a.push_data(Bytes::from(vec![9u8; 100]), 4096).is_empty());
+        let segs = a.push_cmd(cmd(100, 1), 4096);
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0].last);
+        assert_eq!(segs[0].cmd.tag, 1);
+        assert_eq!(&segs[0].data[..], &[9u8; 100][..]);
+        assert_eq!(a.queued_cmds(), 0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! flow control — the property that makes rendezvous collectives with
 //! tree/recursive-doubling patterns safe on this transport (§4.4.4).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
 
@@ -133,16 +133,16 @@ pub struct RdmaPoe {
     demux: RxDemux,
     write_demux: RxDemux,
     /// In-flight (uncredited) fragments per QP.
-    inflight: HashMap<SessionId, u32>,
+    inflight: BTreeMap<SessionId, u32>,
     /// Fragments waiting for tokens, per QP.
-    stalled: HashMap<SessionId, VecDeque<TxSegment>>,
+    stalled: BTreeMap<SessionId, VecDeque<TxSegment>>,
     /// Receiver-side pending credit counts per peer QP.
-    owed_credits: HashMap<SessionId, u32>,
+    owed_credits: BTreeMap<SessionId, u32>,
     /// Starvation-timer generation per QP; bumped on every credit so a
     /// pending timer from before the progress is recognized as stale.
-    starve_gen: HashMap<SessionId, u64>,
+    starve_gen: BTreeMap<SessionId, u64>,
     /// Queue pairs in the error state.
-    qp_error: HashMap<SessionId, SessionErrorKind>,
+    qp_error: BTreeMap<SessionId, SessionErrorKind>,
     frames_sent: u64,
     frames_received: u64,
 }
@@ -160,11 +160,11 @@ impl RdmaPoe {
             assembler: TxAssembler::new(),
             demux: RxDemux::new(),
             write_demux: RxDemux::new(),
-            inflight: HashMap::new(),
-            stalled: HashMap::new(),
-            owed_credits: HashMap::new(),
-            starve_gen: HashMap::new(),
-            qp_error: HashMap::new(),
+            inflight: BTreeMap::new(),
+            stalled: BTreeMap::new(),
+            owed_credits: BTreeMap::new(),
+            starve_gen: BTreeMap::new(),
+            qp_error: BTreeMap::new(),
             frames_sent: 0,
             frames_received: 0,
         }
@@ -192,11 +192,10 @@ impl RdmaPoe {
         self.frames_received
     }
 
-    /// Queue pairs in the error state, in QP order.
+    /// Queue pairs in the error state, in QP order (the map is keyed by
+    /// QP, so iteration is already ordered).
     pub fn failed_qps(&self) -> Vec<(SessionId, SessionErrorKind)> {
-        let mut out: Vec<_> = self.qp_error.iter().map(|(&q, &k)| (q, k)).collect();
-        out.sort_unstable_by_key(|&(q, _)| q);
-        out
+        self.qp_error.iter().map(|(&q, &k)| (q, k)).collect()
     }
 
     fn latency(&self) -> Dur {
@@ -386,7 +385,11 @@ impl Component for RdmaPoe {
         match port {
             ports::TX_CMD => {
                 let cmd = payload.downcast::<PoeTxCmd>();
-                self.assembler.push_cmd(cmd);
+                let unit = self.cfg.mtu.saturating_mul(self.cfg.coalesce.max(1));
+                let segs = self.assembler.push_cmd(cmd, unit);
+                for seg in segs {
+                    self.dispatch(ctx, seg);
+                }
             }
             ports::TX_DATA => {
                 let chunk = payload.downcast::<StreamChunk>();

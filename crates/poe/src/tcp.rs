@@ -9,7 +9,7 @@
 //! upward (paper §4.3: "the meta interfaces contain op code, data length,
 //! communication session IDs").
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use bytes::{Bytes, BytesMut};
 
@@ -205,8 +205,8 @@ pub struct TcpPoe {
     net_tx: Endpoint,
     up: PoeUpward,
     sessions: SessionTable,
-    tx: HashMap<SessionId, TxState>,
-    rx: HashMap<SessionId, RxState>,
+    tx: BTreeMap<SessionId, TxState>,
+    rx: BTreeMap<SessionId, RxState>,
     /// Outbound messages in command order (AXI stream discipline).
     out_q: VecDeque<OutMsg>,
     /// Tx data not yet attributed to a message.
@@ -224,8 +224,8 @@ impl TcpPoe {
             net_tx,
             up,
             sessions,
-            tx: HashMap::new(),
-            rx: HashMap::new(),
+            tx: BTreeMap::new(),
+            rx: BTreeMap::new(),
             out_q: VecDeque::new(),
             raw: VecDeque::new(),
             raw_len: 0,
@@ -244,15 +244,13 @@ impl TcpPoe {
         self.tx.values().map(|s| s.retransmits).sum()
     }
 
-    /// Sessions declared dead so far, in session order.
+    /// Sessions declared dead so far, in session order (the `tx` map is
+    /// keyed by session, so iteration is already ordered).
     pub fn failed_sessions(&self) -> Vec<(SessionId, SessionErrorKind)> {
-        let mut out: Vec<_> = self
-            .tx
+        self.tx
             .iter()
             .filter_map(|(&s, st)| st.error.map(|k| (s, k)))
-            .collect();
-        out.sort_unstable_by_key(|&(s, _)| s);
-        out
+            .collect()
     }
 
     fn latency(&self) -> Dur {

@@ -13,6 +13,7 @@ use accl_sim::prelude::*;
 
 use crate::iface::{
     ports, PoeTxCmd, PoeTxDone, PoeUpward, RxDemux, SessionTable, StreamChunk, TxAssembler, TxKind,
+    TxSegment,
 };
 
 /// Per-datagram header modelled on the wire (message id, offset, total).
@@ -92,6 +93,38 @@ impl UdpPoe {
     fn latency(&self) -> Dur {
         Dur::from_ns(self.cfg.processing_ns)
     }
+
+    /// Sends assembled segments to the wire (and completion notices for
+    /// message-final segments).
+    fn emit_segments(&mut self, ctx: &mut Ctx<'_>, segs: Vec<TxSegment>) {
+        let latency = self.latency();
+        for seg in segs {
+            let (peer, peer_session) = self.sessions.peer(seg.cmd.session);
+            self.dgrams_sent += 1;
+            let dgram = UdpDgram {
+                dst_session: peer_session,
+                msg_id: seg.msg_id,
+                offset: seg.offset,
+                total: seg.cmd.len,
+                data: seg.data.clone(),
+            };
+            let payload_bytes = seg.data.len() as u32 + UDP_SEG_HEADER_BYTES;
+            // `src` is stamped by the NetPort.
+            let frame = Frame::new(accl_net::NodeAddr(0), peer, payload_bytes, dgram);
+            ctx.send(self.net_tx, latency, frame);
+            if seg.last {
+                ctx.send(
+                    self.up.tx_done,
+                    latency,
+                    PoeTxDone {
+                        session: seg.cmd.session,
+                        len: seg.cmd.len,
+                        tag: seg.cmd.tag,
+                    },
+                );
+            }
+        }
+    }
 }
 
 impl Component for UdpPoe {
@@ -104,38 +137,13 @@ impl Component for UdpPoe {
                     "UDP engine supports only two-sided sends, got {:?}",
                     cmd.kind
                 );
-                self.assembler.push_cmd(cmd);
+                let segs = self.assembler.push_cmd(cmd, self.cfg.mtu);
+                self.emit_segments(ctx, segs);
             }
             ports::TX_DATA => {
                 let chunk = payload.downcast::<StreamChunk>();
                 let segs = self.assembler.push_data(chunk.data, self.cfg.mtu);
-                let latency = self.latency();
-                for seg in segs {
-                    let (peer, peer_session) = self.sessions.peer(seg.cmd.session);
-                    self.dgrams_sent += 1;
-                    let dgram = UdpDgram {
-                        dst_session: peer_session,
-                        msg_id: seg.msg_id,
-                        offset: seg.offset,
-                        total: seg.cmd.len,
-                        data: seg.data.clone(),
-                    };
-                    let payload_bytes = seg.data.len() as u32 + UDP_SEG_HEADER_BYTES;
-                    // `src` is stamped by the NetPort.
-                    let frame = Frame::new(accl_net::NodeAddr(0), peer, payload_bytes, dgram);
-                    ctx.send(self.net_tx, latency, frame);
-                    if seg.last {
-                        ctx.send(
-                            self.up.tx_done,
-                            latency,
-                            PoeTxDone {
-                                session: seg.cmd.session,
-                                len: seg.cmd.len,
-                                tag: seg.cmd.tag,
-                            },
-                        );
-                    }
-                }
+                self.emit_segments(ctx, segs);
             }
             ports::NET_RX => {
                 let frame = payload.downcast::<Frame>();

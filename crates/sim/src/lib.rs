@@ -42,6 +42,8 @@ pub mod event;
 pub mod mailbox;
 pub mod pipe;
 pub mod queue;
+#[cfg(feature = "race-detect")]
+pub mod race;
 pub mod sim;
 pub mod stats;
 pub mod time;

@@ -55,14 +55,48 @@ pub enum QueueKind {
 struct EvKey {
     time: u64,
     seq: u64,
+    /// Channel tie-break rank. Zero normally (FIFO by `seq`); under a
+    /// `race-detect` tie-order permutation it is a seeded hash of the
+    /// event's *channel* — `(source component, destination endpoint)` —
+    /// so same-timestamp events from different channels interleave in a
+    /// permuted (but still deterministic and total) order, while each
+    /// channel's own FIFO order and all cross-timestamp order are
+    /// untouched. Same-channel order is program order, never a race;
+    /// cross-channel tie order is exactly what racy handlers depend on.
+    #[cfg(feature = "race-detect")]
+    tie: u64,
     idx: u32,
 }
 
 impl EvKey {
+    #[cfg(feature = "race-detect")]
+    #[inline]
+    fn key(&self) -> (u64, u64, u64) {
+        (self.time, self.tie, self.seq)
+    }
+
+    #[cfg(not(feature = "race-detect"))]
     #[inline]
     fn key(&self) -> (u64, u64) {
         (self.time, self.seq)
     }
+}
+
+/// Channel-source marker for events posted from outside any component
+/// (`Simulator::post` from a test or benchmark harness).
+#[cfg(feature = "race-detect")]
+pub(crate) const SRC_EXTERNAL: u32 = u32::MAX;
+
+/// SplitMix64 finalizer, used to rank channels deterministically under a
+/// tie-order permutation. (Totality of the event order does not depend on
+/// this hash: colliding channel ranks fall back to `seq` order.)
+#[cfg(feature = "race-detect")]
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl PartialEq for EvKey {
@@ -115,6 +149,14 @@ pub(crate) struct EventQueue {
     /// Legacy single-heap structure for [`QueueKind::Heap`].
     heap: BinaryHeap<EvKey>,
     len: usize,
+    /// Seed of the tie-order permutation, when one is active.
+    #[cfg(feature = "race-detect")]
+    tie_salt: Option<u64>,
+    /// Source component of events being pushed right now: the handler the
+    /// simulator is currently executing, or [`SRC_EXTERNAL`] for events
+    /// posted from outside any component.
+    #[cfg(feature = "race-detect")]
+    cur_src: u32,
 }
 
 impl Drop for EventQueue {
@@ -138,7 +180,31 @@ impl EventQueue {
             far: BinaryHeap::new(),
             heap: BinaryHeap::new(),
             len: 0,
+            #[cfg(feature = "race-detect")]
+            tie_salt: None,
+            #[cfg(feature = "race-detect")]
+            cur_src: SRC_EXTERNAL,
         }
+    }
+
+    /// Sets (or clears) the tie-order permutation seed. Affects events
+    /// pushed from now on: same-timestamp events from *different channels*
+    /// (source component → destination endpoint) execute in a seeded
+    /// permutation of the channel interleaving instead of FIFO; each
+    /// channel's own order is program order and never permuted. The order
+    /// stays total and fully deterministic for a given salt; only the
+    /// *tie-breaking rule* changes. Used by the race detector's shadow
+    /// runs to probe whether same-timestamp handlers commute.
+    #[cfg(feature = "race-detect")]
+    pub(crate) fn set_tie_salt(&mut self, salt: Option<u64>) {
+        self.tie_salt = salt;
+    }
+
+    /// Declares the source component of subsequently pushed events (the
+    /// handler about to execute), or [`SRC_EXTERNAL`] between handlers.
+    #[cfg(feature = "race-detect")]
+    pub(crate) fn set_tie_src(&mut self, src: u32) {
+        self.cur_src = src;
     }
 
     pub(crate) fn kind(&self) -> QueueKind {
@@ -174,6 +240,21 @@ impl EventQueue {
         let key = EvKey {
             time: time.as_ps(),
             seq,
+            #[cfg(feature = "race-detect")]
+            tie: match self.tie_salt {
+                Some(salt) => {
+                    // Rank the event's channel, not the event: a seeded
+                    // hash of (source, destination) keeps same-channel
+                    // events adjacent (their order falls back to `seq` =
+                    // program order) while shuffling how distinct channels
+                    // interleave within a timestamp.
+                    let chan = (u64::from(self.cur_src) << 48)
+                        ^ ((dst.comp.index() as u64) << 16)
+                        ^ u64::from(dst.port.0);
+                    splitmix64(chan ^ salt)
+                }
+                None => 0,
+            },
             idx,
         };
         self.len += 1;
@@ -316,6 +397,7 @@ impl EventQueue {
             }
             if !self.buckets[self.cursor].is_empty() {
                 if !self.cursor_sorted {
+                    // allow_nondeterminism(unstable-tie-sort): every key ends in the globally unique seq, so no two elements compare equal
                     self.buckets[self.cursor].sort_unstable_by_key(|e| core::cmp::Reverse(e.key()));
                     self.cursor_sorted = true;
                 }

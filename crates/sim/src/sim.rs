@@ -46,6 +46,16 @@ pub trait Component: Any + Send {
     fn parked_work(&self) -> Option<ParkedWork> {
         None
     }
+
+    /// A digest of this component's externally-meaningful state, for
+    /// end-of-run comparison between a baseline and a shadow run (see the
+    /// `race-detect` feature). Two runs that executed the same logical
+    /// work must produce the same digest even if same-timestamp events
+    /// were handled in a different order; a divergence means the handlers
+    /// do not commute. Components return `None` (the default) to opt out.
+    fn state_digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A description of unfinished work held by a component, reported to the
@@ -245,6 +255,9 @@ pub struct Simulator {
     stall_deadline: Option<Time>,
     /// Scheduler gauges for the most recent `run*` call.
     last_run_summary: Option<RunSummary>,
+    /// Tie-set recorder for the race detector (None = off).
+    #[cfg(feature = "race-detect")]
+    tie_rec: Option<crate::race::TieRecorder>,
 }
 
 impl Simulator {
@@ -270,7 +283,54 @@ impl Simulator {
             digest: None,
             stall_deadline: None,
             last_run_summary: None,
+            #[cfg(feature = "race-detect")]
+            tie_rec: None,
         }
+    }
+
+    /// Replaces the FIFO tie-breaking rule for same-timestamp events with
+    /// a seeded *channel permutation* (applies to events scheduled from
+    /// now on): events keep their program order within one (source
+    /// component → destination endpoint) channel, while the interleaving
+    /// of distinct channels within a timestamp is shuffled. The timeline
+    /// stays total and deterministic for a given `salt`; only the
+    /// cross-channel tie order changes — which is precisely the order no
+    /// handler may depend on. Shadow runs use this to probe whether
+    /// same-timestamp handlers commute — see [`crate::race::shadow_check`].
+    #[cfg(feature = "race-detect")]
+    pub fn permute_tie_order(&mut self, salt: u64) {
+        self.queue.set_tie_salt(Some(salt));
+    }
+
+    /// Enables tie-set recording: every delivery is folded into a
+    /// tie-normalized trace where same-timestamp deliveries are compared
+    /// as an (order-insensitive) set. Must be enabled before the first
+    /// event executes to cover the whole timeline.
+    #[cfg(feature = "race-detect")]
+    pub fn enable_tie_recording(&mut self) {
+        if self.tie_rec.is_none() {
+            self.tie_rec = Some(crate::race::TieRecorder::new());
+        }
+    }
+
+    /// The tie-normalized canonical trace recorded so far (sorted within
+    /// each tie-set), and its digest. See [`crate::race`].
+    #[cfg(feature = "race-detect")]
+    pub fn tie_trace(&self) -> Option<crate::race::CanonTrace> {
+        self.tie_rec.as_ref().map(|r| r.canonical())
+    }
+
+    /// Digests of every component that implements
+    /// [`Component::state_digest`], in component-id order.
+    pub fn state_digests(&self) -> Vec<(ComponentId, u64)> {
+        self.components
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let d = slot.as_ref()?.state_digest()?;
+                Some((ComponentId(i as u32), d))
+            })
+            .collect()
     }
 
     /// The event-queue structure currently in use.
@@ -499,6 +559,10 @@ impl Simulator {
         if self.trace.is_some() || self.digest.is_some() {
             self.note_delivery(time, seq, dst, payload.type_name());
         }
+        #[cfg(feature = "race-detect")]
+        if let Some(rec) = &mut self.tie_rec {
+            rec.record(time, dst, payload.type_name());
+        }
         self.executed += 1;
         // Take the component out of its slot so the handler can borrow the
         // simulator internals mutably without aliasing itself.
@@ -509,6 +573,11 @@ impl Simulator {
                 self.names[dst.comp.index()]
             )
         });
+        // Tag events sent by this handler with their source, so a shadow
+        // run's tie permutation can rank per-channel (FIFO within a
+        // channel, shuffled across channels).
+        #[cfg(feature = "race-detect")]
+        self.queue.set_tie_src(dst.comp.index() as u32);
         let mut ctx = Ctx {
             now: self.time,
             self_id: dst.comp,
@@ -519,6 +588,8 @@ impl Simulator {
             stop: &mut self.stop,
         };
         comp.on_event(&mut ctx, dst.port, payload);
+        #[cfg(feature = "race-detect")]
+        self.queue.set_tie_src(crate::queue::SRC_EXTERNAL);
         self.components[dst.comp.index()] = Some(comp);
         true
     }

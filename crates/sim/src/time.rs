@@ -116,12 +116,14 @@ impl Dur {
     /// Creates a duration from fractional nanoseconds, rounding to the nearest picosecond.
     pub fn from_ns_f64(ns: f64) -> Self {
         debug_assert!(ns >= 0.0, "negative duration: {ns} ns");
+        // allow_nondeterminism(float-timing): audited unit boundary — one rounding from a config-time float, never accumulated
         Dur((ns * 1e3).round() as u64)
     }
 
     /// Creates a duration from fractional microseconds, rounding to the nearest picosecond.
     pub fn from_us_f64(us: f64) -> Self {
         debug_assert!(us >= 0.0, "negative duration: {us} us");
+        // allow_nondeterminism(float-timing): audited unit boundary — one rounding from a config-time float, never accumulated
         Dur((us * 1e6).round() as u64)
     }
 
@@ -136,12 +138,14 @@ impl Dur {
     /// ```
     pub fn for_bytes_gbps(bytes: u64, gbps: f64) -> Self {
         debug_assert!(gbps > 0.0, "non-positive rate: {gbps} Gb/s");
+        // allow_nondeterminism(float-timing): audited unit boundary — one rounding from a config-time float, never accumulated
         Dur(((bytes as f64) * 8_000.0 / gbps).round() as u64)
     }
 
     /// Transfer time of `bytes` over a channel of `bytes_per_sec` bandwidth.
     pub fn for_bytes_bw(bytes: u64, bytes_per_sec: f64) -> Self {
         debug_assert!(bytes_per_sec > 0.0);
+        // allow_nondeterminism(float-timing): audited unit boundary — one rounding from a config-time float, never accumulated
         Dur(((bytes as f64) * 1e12 / bytes_per_sec).round() as u64)
     }
 
@@ -156,6 +160,7 @@ impl Dur {
     /// ```
     pub fn for_cycles(cycles: u64, mhz: f64) -> Self {
         debug_assert!(mhz > 0.0);
+        // allow_nondeterminism(float-timing): audited unit boundary — one rounding from a config-time float, never accumulated
         Dur(((cycles as f64) * 1e6 / mhz).round() as u64)
     }
 

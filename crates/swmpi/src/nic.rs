@@ -8,7 +8,7 @@
 //! configurable bandwidth cap below line rate models the kernel-TCP path's
 //! CPU copy limits.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 
@@ -103,7 +103,7 @@ pub struct SwNic {
     base_latency: Dur,
     next_msg_id: u64,
     /// Reassembly: (src, msg_id) → (received, segments).
-    rx: HashMap<(u32, u64), RxEntry>,
+    rx: BTreeMap<(u32, u64), RxEntry>,
     messages_sent: u64,
 }
 
@@ -130,7 +130,7 @@ impl SwNic {
             shaper: Pipe::gbps(max_gbps),
             base_latency,
             next_msg_id: 0,
-            rx: HashMap::new(),
+            rx: BTreeMap::new(),
             messages_sent: 0,
         }
     }

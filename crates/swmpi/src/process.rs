@@ -7,7 +7,7 @@
 //! messages run the RTS/CTS rendezvous with zero-copy NIC transfers —
 //! the standard MPICH/OpenMPI structure the paper benchmarks against.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
 
@@ -130,9 +130,9 @@ pub struct MpiProcess {
     cpu_free: Time,
     outstanding_cpu: u32,
     // Pt2pt matching state.
-    arrived: HashMap<(u32, u64), VecDeque<Bytes>>,
-    rts_seen: HashMap<(u32, u64), VecDeque<u64>>,
-    cts_waiting: HashMap<(u32, u64), VecDeque<Bytes>>,
+    arrived: BTreeMap<(u32, u64), VecDeque<Bytes>>,
+    rts_seen: BTreeMap<(u32, u64), VecDeque<u64>>,
+    cts_waiting: BTreeMap<(u32, u64), VecDeque<Bytes>>,
 }
 
 impl MpiProcess {
@@ -165,9 +165,9 @@ impl MpiProcess {
             env: None,
             cpu_free: Time::ZERO,
             outstanding_cpu: 0,
-            arrived: HashMap::new(),
-            rts_seen: HashMap::new(),
-            cts_waiting: HashMap::new(),
+            arrived: BTreeMap::new(),
+            rts_seen: BTreeMap::new(),
+            cts_waiting: BTreeMap::new(),
         }
     }
 
