@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Gate the simulator kernel's sustained dispatch rate against a reference.
+
+Compares two sets of `BENCH_simcore.json` files — reference runs vs.
+candidate runs — taking the best events/sec per workload on each side
+(best-of-N masks scheduler noise; the tracked quantity is the machine's
+capability, not its worst moment). Fails if the candidate's sustained
+dispatch workload regresses by more than the tolerance.
+
+Only `chain_1m_events` (sustained dispatch) gates: it is the longest,
+steadiest workload and the one the observability PR's zero-overhead
+contract is written against. The other workloads are reported for
+context — short runs swing tens of percent with CPU frequency state, so
+gating on them would be flaky, not strict.
+
+Usage:
+  check_simcore_regression.py --ref ref1.json [ref2.json ...] \
+      --cur cur1.json [cur2.json ...] [--tolerance 0.02]
+"""
+
+import json
+import sys
+
+GATED = "chain_1m_events"
+
+
+def best(files):
+    rates = {}
+    for path in files:
+        with open(path) as f:
+            cur = json.load(f)["current"]
+        for name, row in cur.items():
+            rate = float(row["events_per_sec"])
+            if rate > rates.get(name, 0.0):
+                rates[name] = rate
+    return rates
+
+
+def main():
+    argv = sys.argv[1:]
+    tol = 0.02
+    refs, curs, bucket = [], [], None
+    i = 0
+    while i < len(argv):
+        a = argv[i]
+        if a == "--ref":
+            bucket = refs
+        elif a == "--cur":
+            bucket = curs
+        elif a == "--tolerance":
+            i += 1
+            tol = float(argv[i])
+        elif bucket is not None:
+            bucket.append(a)
+        else:
+            sys.exit(f"unexpected argument {a!r} (see --help in the docstring)")
+        i += 1
+    if not refs or not curs:
+        sys.exit("need at least one --ref file and one --cur file")
+
+    ref, cur = best(refs), best(curs)
+    failed = False
+    for name in sorted(ref):
+        if name not in cur:
+            sys.exit(f"candidate runs are missing workload {name!r}")
+        ratio = cur[name] / ref[name]
+        gate = name == GATED
+        verdict = ""
+        if gate:
+            if ratio < 1.0 - tol:
+                verdict = f"  << FAIL (allowed regression {tol:.0%})"
+                failed = True
+            else:
+                verdict = "  (gated: OK)"
+        print(
+            f"{name:26s} ref {ref[name]:>12,.0f}  cur {cur[name]:>12,.0f}  "
+            f"ratio {ratio:5.3f}{verdict}"
+        )
+    if failed:
+        sys.exit(1)
+    print(f"check_simcore_regression: OK ({GATED} within {tol:.0%} of reference)")
+
+
+if __name__ == "__main__":
+    main()

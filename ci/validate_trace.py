@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Structural validation of a Chrome/Perfetto trace_event JSON file.
+
+Offline check (stdlib only, no network): verifies the shape that
+ui.perfetto.dev / chrome://tracing require of the JSON Object Format —
+a `traceEvents` array whose entries carry the mandatory fields with the
+right types, plus the repo-specific expectations for a multi-rank
+allreduce trace (several processes, both complete and instant events,
+driver-root span names present).
+
+Usage: validate_trace.py <trace.json> [--min-events N]
+"""
+
+import json
+import sys
+
+ALLOWED_PHASES = {"B", "E", "X", "i", "I", "M"}
+REQUIRED_NAMES = {"driver.coll", "uc.call", "net.wire"}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    args = sys.argv[1:]
+    min_events = 100
+    if "--min-events" in args:
+        at = args.index("--min-events")
+        min_events = int(args[at + 1])
+        del args[at : at + 2]
+    if len(args) != 1:
+        fail("usage: validate_trace.py <trace.json> [--min-events N]")
+
+    with open(args[0]) as f:
+        doc = json.load(f)
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents must be an array")
+
+    names, pids, phases = set(), set(), set()
+    span_events = 0
+    for i, e in enumerate(events):
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in e:
+                fail(f"event {i} missing required field {field!r}: {e}")
+        ph = e["ph"]
+        if ph not in ALLOWED_PHASES:
+            fail(f"event {i} has unknown phase {ph!r}")
+        phases.add(ph)
+        if not isinstance(e["pid"], int) or not isinstance(e["tid"], int):
+            fail(f"event {i}: pid/tid must be integers: {e}")
+        if ph == "M":
+            continue  # metadata events carry no timestamp
+        span_events += 1
+        names.add(e["name"])
+        pids.add(e["pid"])
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"event {i}: ts must be a non-negative number, got {ts!r}")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"event {i}: X event needs non-negative dur, got {dur!r}")
+
+    if span_events < min_events:
+        fail(f"only {span_events} span events (expected >= {min_events})")
+    if "X" not in phases:
+        fail("no complete ('X') events — begin/end pairing broke")
+    if len(pids) < 2:
+        fail(f"expected a multi-rank trace, saw pids {sorted(pids)}")
+    missing = REQUIRED_NAMES - names
+    if missing:
+        fail(f"required span names absent: {sorted(missing)}")
+
+    print(
+        f"validate_trace: OK: {span_events} events, {len(pids)} processes, "
+        f"{len(names)} span names, phases {sorted(phases)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

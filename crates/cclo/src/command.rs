@@ -7,6 +7,7 @@
 
 use accl_mem::MemAddr;
 use accl_sim::prelude::*;
+use accl_sim::trace::SpanId;
 
 use crate::msg::{DType, ReduceFn};
 
@@ -39,6 +40,27 @@ pub enum CollOp {
     Barrier,
     /// A user-registered collective (firmware slot `n`).
     Custom(u16),
+}
+
+impl CollOp {
+    /// Static label for the op (span attributes want `&'static str`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CollOp::Nop => "nop",
+            CollOp::Send => "send",
+            CollOp::Recv => "recv",
+            CollOp::Bcast => "bcast",
+            CollOp::Reduce => "reduce",
+            CollOp::Gather => "gather",
+            CollOp::Scatter => "scatter",
+            CollOp::AllGather => "allgather",
+            CollOp::AllReduce => "allreduce",
+            CollOp::ReduceScatter => "reduce_scatter",
+            CollOp::AllToAll => "alltoall",
+            CollOp::Barrier => "barrier",
+            CollOp::Custom(_) => "custom",
+        }
+    }
 }
 
 /// Where a collective's data comes from / goes to.
@@ -90,6 +112,9 @@ pub struct CcloCommand {
     pub reply_to: Endpoint,
     /// Caller ticket echoed in the completion.
     pub ticket: u64,
+    /// Causal parent for the engine's `uc.call` span ([`SpanId::NONE`]
+    /// when the caller does not trace).
+    pub span: SpanId,
 }
 
 impl CcloCommand {
@@ -145,6 +170,7 @@ mod tests {
             sync: SyncProto::Auto,
             reply_to: Endpoint::of(component_id(0)),
             ticket: 0,
+            span: SpanId::NONE,
         };
         assert_eq!(cmd.bytes(), 1024);
     }

@@ -14,6 +14,7 @@ use bytes::Bytes;
 use accl_mem::bus::{ports as mem_ports, MemAddr, MemChunk, MemDone, MemReadReq, MemWriteReq};
 use accl_poe::iface::SessionId;
 use accl_sim::prelude::*;
+use accl_sim::trace::{Attr, AttrValue, SpanId};
 
 use crate::config::CcloConfig;
 use crate::msg::{DType, MsgSignature, ReduceFn};
@@ -74,6 +75,8 @@ pub struct Microcode {
     pub dtype: DType,
     /// Combine function (two-operand instructions).
     pub func: ReduceFn,
+    /// Causal parent for the instruction's `dmp.instr` span.
+    pub span: SpanId,
 }
 
 /// Completion notification to the uC.
@@ -120,6 +123,8 @@ struct InstrState {
     emitted: u64,
     /// For memory results: whether the final write completed.
     finished: bool,
+    /// The instruction's open `dmp.instr` span.
+    span: SpanId,
 }
 
 impl InstrState {
@@ -197,6 +202,18 @@ impl Dmp {
     fn launch(&mut self, ctx: &mut Ctx<'_>, mc: Microcode) {
         let ticket = mc.ticket;
         let decode = self.cfg.cycles(self.cfg.dmp_instr_cycles);
+        ctx.stats().add("dmp.instrs", 1);
+        let mut instr_span = SpanId::NONE;
+        if ctx.spans_enabled() {
+            instr_span = ctx.span_begin_attrs(
+                "dmp.instr",
+                mc.span,
+                &[Attr {
+                    key: "bytes",
+                    value: AttrValue::Bytes(mc.len),
+                }],
+            );
+        }
         // Result-side job setup happens at decode so the Tx system sees
         // jobs in issue order.
         match &mc.res {
@@ -208,6 +225,7 @@ impl Dmp {
                         ticket,
                         session: *session,
                         sig: *sig,
+                        span: instr_span,
                     },
                 );
             }
@@ -225,6 +243,7 @@ impl Dmp {
                         remote_addr: *remote_addr,
                         len: mc.len,
                         done_sig: *done_sig,
+                        span: instr_span,
                     },
                 );
             }
@@ -246,6 +265,7 @@ impl Dmp {
                             data_to: Endpoint::new(ctx.self_id(), ports::MEM_DATA),
                             done_to: None,
                             tag: slot_tag,
+                            span: instr_span,
                         },
                     );
                 }
@@ -258,6 +278,7 @@ impl Dmp {
                             len: mc.len,
                             ticket: slot_tag,
                             reply: Endpoint::new(ctx.self_id(), ports::RBM_REPLY),
+                            span: instr_span,
                         },
                     );
                 }
@@ -276,6 +297,7 @@ impl Dmp {
                 received: [0, 0],
                 emitted: 0,
                 finished: false,
+                span: instr_span,
             },
         );
         if zero_len {
@@ -385,6 +407,7 @@ impl Dmp {
             st.emitted += n;
             let last = st.emitted == st.mc.len;
             let res = st.mc.res.clone();
+            let instr_span = st.span;
             // Pace the internal datapath (NoC + plugin), per direction.
             let pipe = match res {
                 RDst::Eager { .. } | RDst::Rndzv { .. } => &mut self.tx_path,
@@ -401,6 +424,7 @@ impl Dmp {
                             data: out,
                             done_to: last.then(|| Endpoint::new(ctx.self_id(), ports::MEM_WDONE)),
                             tag: ticket,
+                            span: instr_span,
                         },
                     );
                 }
@@ -439,6 +463,7 @@ impl Dmp {
         let st = self.inflight.remove(&ticket).expect("double completion");
         debug_assert!(!st.finished || st.emitted == st.mc.len);
         self.instrs_completed += 1;
+        ctx.span_end(st.span);
         ctx.send(
             self.uc_done,
             self.cfg.cycles(self.cfg.dmp_instr_cycles),
@@ -614,6 +639,7 @@ mod tests {
                 len: data.len() as u64,
                 dtype: DType::U8,
                 func: ReduceFn::Sum,
+                span: SpanId::NONE,
             },
         );
         h.sim.run();
@@ -650,6 +676,7 @@ mod tests {
                 len: a.len() as u64,
                 dtype: DType::I32,
                 func: ReduceFn::Sum,
+                span: SpanId::NONE,
             },
         );
         h.sim.run();
@@ -680,6 +707,7 @@ mod tests {
                     len: 100,
                     dtype: DType::U8,
                     func: ReduceFn::Sum,
+                    span: SpanId::NONE,
                 },
             );
         }
@@ -735,6 +763,7 @@ mod tests {
                     len: 64,
                     dtype: DType::U8,
                     func: ReduceFn::Sum,
+                    span: SpanId::NONE,
                 },
             );
         }

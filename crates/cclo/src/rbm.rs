@@ -17,6 +17,7 @@ use std::collections::{BTreeMap, VecDeque};
 use bytes::Bytes;
 
 use accl_sim::prelude::*;
+use accl_sim::trace::{Attr, AttrValue, SpanId};
 
 use crate::config::CcloConfig;
 use crate::msg::MsgSignature;
@@ -54,6 +55,9 @@ pub struct RbmQuery {
     pub ticket: u64,
     /// Where to stream the payload.
     pub reply: Endpoint,
+    /// Causal parent for the match's `rbm.msg` span (the querying DMP
+    /// instruction's span).
+    pub span: SpanId,
 }
 
 /// A payload chunk streamed from an Rx buffer into the datapath.
@@ -235,6 +239,7 @@ impl Rbm {
         };
         let n = data.data.len() as u64;
         msg.received += n;
+        ctx.stats().add("rbm.rx_bytes", n);
         debug_assert!(
             msg.received <= msg.sig.payload_len,
             "RBM overflow: {} > {}",
@@ -304,6 +309,9 @@ impl Rbm {
         let poll = self.cfg.cycles(self.cfg.rbm_poll_cycles);
         let start = msg.ready_at.max(ctx.now()) + poll;
         if msg.sig.payload_len == 0 {
+            if ctx.spans_enabled() {
+                ctx.span_interval("rbm.msg", q.span, start, start);
+            }
             ctx.send_at(
                 q.reply,
                 start,
@@ -327,9 +335,11 @@ impl Rbm {
         let payload = Bytes::from(buf);
         let total = payload.len() as u64;
         let mut off = 0u64;
+        let mut last_end = start;
         while off < total {
             let n = self.chunk_bytes.min(total - off);
             let (_, end) = self.read_pipe.reserve(start, n);
+            last_end = last_end.max(end);
             ctx.send_at(
                 q.reply,
                 end,
@@ -341,6 +351,18 @@ impl Rbm {
                 },
             );
             off += n;
+        }
+        if ctx.spans_enabled() {
+            ctx.span_interval_attrs(
+                "rbm.msg",
+                q.span,
+                start,
+                last_end,
+                &[Attr {
+                    key: "bytes",
+                    value: AttrValue::Bytes(total),
+                }],
+            );
         }
     }
 }
@@ -482,6 +504,7 @@ mod tests {
                 len,
                 ticket,
                 reply,
+                span: SpanId::NONE,
             },
         );
         h.sim.run();

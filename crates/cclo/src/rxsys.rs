@@ -182,6 +182,7 @@ impl Component for RxSys {
                     return;
                 };
                 self.messages_parsed += 1;
+                ctx.stats().add("rxsys.messages", 1);
                 let state = self.inflight.get_mut(&key).unwrap();
                 state.sig = Some(sig);
                 let stash = core::mem::take(&mut state.stash);

@@ -13,6 +13,7 @@ use bytes::Bytes;
 
 use accl_poe::iface::{PoeTxCmd, SessionId, StreamChunk, TxKind};
 use accl_sim::prelude::*;
+use accl_sim::trace::{Attr, AttrValue, SpanId};
 
 use crate::msg::{MsgSignature, SIGNATURE_BYTES};
 
@@ -26,6 +27,8 @@ pub enum TxJob {
         session: SessionId,
         /// The signature (seq is filled by the Tx system).
         sig: MsgSignature,
+        /// Causal parent for the job's `tx.job` span.
+        span: SpanId,
     },
     /// Eager message: signature followed by `sig.payload_len` bytes arriving
     /// as [`TxData`] for `ticket`.
@@ -36,6 +39,8 @@ pub enum TxJob {
         session: SessionId,
         /// The signature.
         sig: MsgSignature,
+        /// Causal parent for the job's `tx.job` span.
+        span: SpanId,
     },
     /// Rendezvous payload: RDMA WRITE of `len` bytes to `remote_addr`,
     /// followed automatically by a RNDZV_DONE control message.
@@ -50,6 +55,8 @@ pub enum TxJob {
         len: u64,
         /// The RNDZV_DONE signature to send upon completion.
         done_sig: MsgSignature,
+        /// Causal parent for the job's `tx.job` span.
+        span: SpanId,
     },
 }
 
@@ -58,6 +65,14 @@ impl TxJob {
         match self {
             TxJob::Ctrl { .. } => None,
             TxJob::Eager { ticket, .. } | TxJob::RndzvData { ticket, .. } => Some(*ticket),
+        }
+    }
+
+    fn span(&self) -> SpanId {
+        match self {
+            TxJob::Ctrl { span, .. }
+            | TxJob::Eager { span, .. }
+            | TxJob::RndzvData { span, .. } => *span,
         }
     }
 
@@ -118,6 +133,8 @@ pub struct TxSys {
     head_sent: u64,
     /// Whether the head job's POE command + header went out.
     head_started: bool,
+    /// The head job's `tx.job` span ([`SpanId::NONE`] when tracing is off).
+    head_span: SpanId,
     /// Fixed per-job processing latency.
     job_latency: Dur,
     jobs_completed: u64,
@@ -141,6 +158,7 @@ impl TxSys {
             bufs: BTreeMap::new(),
             head_sent: 0,
             head_started: false,
+            head_span: SpanId::NONE,
             job_latency,
             jobs_completed: 0,
             session_errors: 0,
@@ -209,11 +227,22 @@ impl TxSys {
     }
 
     fn start_job(&mut self, ctx: &mut Ctx<'_>, job: &TxJob) {
+        if ctx.spans_enabled() {
+            self.head_span = ctx.span_begin_attrs(
+                "tx.job",
+                job.span(),
+                &[Attr {
+                    key: "bytes",
+                    value: AttrValue::Bytes(job.payload_len()),
+                }],
+            );
+        }
         match job {
-            TxJob::Ctrl { session, sig } | TxJob::Eager { session, sig, .. } => {
+            TxJob::Ctrl { session, sig, .. } | TxJob::Eager { session, sig, .. } => {
                 let mut sig = *sig;
                 sig.seq = self.next_seq(*session);
                 let total = SIGNATURE_BYTES as u64 + sig.payload_len;
+                ctx.stats().add("txsys.bytes", total);
                 ctx.send(
                     self.poe_tx_cmd,
                     self.job_latency,
@@ -222,6 +251,7 @@ impl TxSys {
                         len: total,
                         kind: TxKind::Send,
                         tag: sig.tag,
+                        span: self.head_span,
                     },
                 );
                 ctx.send(
@@ -239,6 +269,7 @@ impl TxSys {
                 len,
                 ..
             } => {
+                ctx.stats().add("txsys.bytes", *len);
                 ctx.send(
                     self.poe_tx_cmd,
                     self.job_latency,
@@ -249,6 +280,7 @@ impl TxSys {
                             remote_addr: *remote_addr,
                         },
                         tag: 0,
+                        span: self.head_span,
                     },
                 );
             }
@@ -260,6 +292,9 @@ impl TxSys {
         self.head_sent = 0;
         self.head_started = false;
         self.jobs_completed += 1;
+        ctx.stats().add("txsys.jobs", 1);
+        ctx.span_end(self.head_span);
+        self.head_span = SpanId::NONE;
         match job {
             TxJob::Ctrl { .. } => {}
             TxJob::Eager { ticket, .. } => {
@@ -274,6 +309,7 @@ impl TxSys {
                 ticket,
                 session,
                 done_sig,
+                span,
                 ..
             } => {
                 self.bufs.remove(ticket);
@@ -283,6 +319,7 @@ impl TxSys {
                 self.jobs.push_front(TxJob::Ctrl {
                     session: *session,
                     sig: *done_sig,
+                    span: *span,
                 });
                 ctx.send(
                     self.dmp_done,
@@ -382,6 +419,7 @@ mod tests {
             TxJob::Ctrl {
                 session: SessionId(3),
                 sig: sig(0, MsgType::RndzvInit),
+                span: SpanId::NONE,
             },
         );
         h.sim.run();
@@ -405,6 +443,7 @@ mod tests {
                 ticket: 7,
                 session: SessionId(0),
                 sig: sig(100, MsgType::Eager),
+                span: SpanId::NONE,
             },
         );
         h.sim.post(
@@ -445,6 +484,7 @@ mod tests {
                 ticket: 1,
                 session: SessionId(0),
                 sig: sig(10, MsgType::Eager),
+                span: SpanId::NONE,
             },
         );
         h.sim.post(
@@ -454,6 +494,7 @@ mod tests {
                 ticket: 2,
                 session: SessionId(0),
                 sig: sig(10, MsgType::Eager),
+                span: SpanId::NONE,
             },
         );
         h.sim.post(
@@ -499,6 +540,7 @@ mod tests {
                 remote_addr: 0xbeef,
                 len: 50,
                 done_sig: sig(0, MsgType::RndzvDone),
+                span: SpanId::NONE,
             },
         );
         h.sim.post(
@@ -542,6 +584,7 @@ mod tests {
                 TxJob::Ctrl {
                     session: SessionId(0),
                     sig: sig(0, MsgType::RndzvInit),
+                    span: SpanId::NONE,
                 },
             );
         }
@@ -551,6 +594,7 @@ mod tests {
             TxJob::Ctrl {
                 session: SessionId(1),
                 sig: sig(0, MsgType::RndzvInit),
+                span: SpanId::NONE,
             },
         );
         h.sim.run();

@@ -17,6 +17,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use accl_mem::MemAddr;
 
 use accl_sim::prelude::*;
+use accl_sim::trace::{Attr, AttrValue, SpanId};
 
 use crate::command::{CcloCommand, CcloDone, CmdStatus, CollOp, DataLoc, SyncProto};
 use crate::config::{CcloConfig, CommunicatorCfg};
@@ -82,6 +83,8 @@ struct CallState {
     scratch_base: u64,
     /// Monotone call sequence number (validates watchdog tokens).
     seq: u64,
+    /// The call's open `uc.call` span.
+    span: SpanId,
 }
 
 /// The embedded controller component.
@@ -283,14 +286,32 @@ impl Uc {
             schedule.scratch_bytes,
             self.cfg.scratch_bytes
         );
-        let planning = self.cfg.cycles(
-            self.cfg.uc_cmd_decode_cycles
-                + program.planning_cycles(&env)
-                + self
-                    .cfg
-                    .legacy_uc
-                    .map_or(0, |l| l.per_step_extra_cycles * schedule.ops.len() as u64),
-        );
+        let decode_cycles = self.cfg.uc_cmd_decode_cycles
+            + program.planning_cycles(&env)
+            + self
+                .cfg
+                .legacy_uc
+                .map_or(0, |l| l.per_step_extra_cycles * schedule.ops.len() as u64);
+        let planning = self.cfg.cycles(decode_cycles);
+        ctx.stats().add("uc.decode_cycles", decode_cycles);
+        let mut span = SpanId::NONE;
+        if ctx.spans_enabled() {
+            span = ctx.span_begin_attrs(
+                "uc.call",
+                cmd.span,
+                &[
+                    Attr {
+                        key: "op",
+                        value: AttrValue::Str(cmd.op.name()),
+                    },
+                    Attr {
+                        key: "bytes",
+                        value: AttrValue::Bytes(cmd.bytes()),
+                    },
+                ],
+            );
+            ctx.span_interval("uc.decode", span, ctx.now(), ctx.now() + planning);
+        }
         let seq = self.call_seq;
         self.call_seq += 1;
         self.call = Some(CallState {
@@ -303,6 +324,7 @@ impl Uc {
             blocked: Blocked::Stepping,
             scratch_base: 0,
             seq,
+            span,
         });
         ctx.send_self(ports::STEP, planning, ());
     }
@@ -357,6 +379,10 @@ impl Uc {
         }
         self.calls_aborted += 1;
         ctx.stats().add("uc.collective_timeouts", 1);
+        if ctx.spans_enabled() {
+            ctx.span_instant("uc.abort", call.span);
+        }
+        ctx.span_end(call.span);
         ctx.send(
             call.cmd.reply_to,
             issue_cost,
@@ -439,6 +465,8 @@ impl Uc {
         self.next_ticket += 1;
         call.outstanding += 1;
         call.issued.insert(ticket);
+        ctx.stats()
+            .add("uc.issue_cycles", self.cfg.uc_op_issue_cycles);
         let mc = Microcode {
             ticket,
             op0: self.resolve_src(call, instr.op0),
@@ -447,6 +475,7 @@ impl Uc {
             len: instr.len,
             dtype: call.env.dtype,
             func: call.env.func,
+            span: call.span,
         };
         ctx.send(Endpoint::new(self.dmp, dmp_ports::INSTR), issue_cost, mc);
     }
@@ -514,6 +543,8 @@ impl Uc {
                 if call.outstanding == 0 && call.parked.is_empty() {
                     // Call complete.
                     self.calls_completed += 1;
+                    ctx.stats().add("uc.calls", 1);
+                    ctx.span_end(call.span);
                     ctx.send(
                         call.cmd.reply_to,
                         issue_cost,
@@ -583,10 +614,16 @@ impl Uc {
                     let sig = self.signature(&call, peer, MsgType::RndzvInit, 0, tag, vaddr);
                     let _ = len; // the sender's instruction carries the length
 
+                    ctx.stats()
+                        .add("uc.issue_cycles", self.cfg.uc_op_issue_cycles);
                     ctx.send(
                         Endpoint::new(self.txsys, tx_ports::JOB),
                         issue_cost,
-                        TxJob::Ctrl { session, sig },
+                        TxJob::Ctrl {
+                            session,
+                            sig,
+                            span: call.span,
+                        },
                     );
                     call.blocked = Blocked::Stepping;
                     self.call = Some(call);
@@ -670,6 +707,12 @@ impl Component for Uc {
             }
             ports::NOTIF => {
                 self.progress_gen += 1;
+                ctx.stats().add("uc.notifs", 1);
+                if ctx.spans_enabled() {
+                    if let Some(call) = &self.call {
+                        ctx.span_instant("uc.notif", call.span);
+                    }
+                }
                 match payload.downcast::<UcNotif>() {
                     UcNotif::RndzvInit(sig) => {
                         self.inits
@@ -805,6 +848,7 @@ mod tests {
             sync,
             reply_to: Endpoint::of(h.done),
             ticket: 9,
+            span: SpanId::NONE,
         }
     }
 

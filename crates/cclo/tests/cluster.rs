@@ -185,6 +185,7 @@ impl Cluster {
             sync,
             reply_to: Endpoint::of(self.dones[node]),
             ticket: node as u64,
+            span: accl_sim::trace::SpanId::NONE,
         }
     }
 

@@ -416,6 +416,45 @@ impl AcclCluster {
         self.sim.component::<KernelProc>(id)
     }
 
+    /// Enables causal span recording across the whole cluster, keeping
+    /// the most recent `capacity` span events in a ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless accl-sim was built with its `trace` feature (span
+    /// recording compiles away entirely otherwise).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.sim.enable_spans(capacity);
+    }
+
+    /// The recorded span events in record order (empty unless tracing
+    /// was enabled).
+    pub fn trace_events(&self) -> Vec<accl_sim::trace::SpanEvent> {
+        self.sim.span_events()
+    }
+
+    /// Chrome/Perfetto `trace_event` JSON of the recorded timeline —
+    /// load it at `ui.perfetto.dev` or `chrome://tracing`.
+    pub fn chrome_trace(&self) -> String {
+        accl_sim::trace::chrome_trace_json(&self.sim)
+    }
+
+    /// Latency breakdowns of every completed `driver.coll` root span, in
+    /// record order, attributed with the default ACCL rules
+    /// ([`accl_sim::trace::ACCL_BREAKDOWN`]): wire / switch-queue / pcie
+    /// / uc / datapath / other.
+    pub fn latency_breakdowns(&self) -> Vec<accl_sim::trace::Breakdown> {
+        use accl_sim::trace::{span_breakdown, SpanEventKind, ACCL_BREAKDOWN};
+        let events = self.sim.span_events();
+        events
+            .iter()
+            .filter(|e| {
+                e.kind == SpanEventKind::Begin && e.name == "driver.coll" && e.parent.is_none()
+            })
+            .filter_map(|e| span_breakdown(&events, e.id, ACCL_BREAKDOWN))
+            .collect()
+    }
+
     /// A snapshot of one node's engine counters (observability: the
     /// hardware exposes these via the configuration memory over MMIO).
     pub fn node_stats(&self, i: usize) -> NodeStats {

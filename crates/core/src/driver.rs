@@ -12,6 +12,7 @@ use accl_cclo::command::{CcloCommand, CcloDone, CmdStatus, CollOp, DataLoc, Sync
 use accl_cclo::msg::{DType, ReduceFn};
 use accl_mem::xdma::{ports as xdma_ports, XdmaCopy, XdmaDir, XdmaDone};
 use accl_sim::prelude::*;
+use accl_sim::trace::{Attr, AttrValue, SpanId};
 
 use crate::buffer::BufferHandle;
 use crate::error::{CclError, RetryPolicy};
@@ -170,6 +171,10 @@ struct Active {
     collective: Dur,
     /// Completed attempts that timed out (0 while the first one runs).
     attempt: u32,
+    /// The call's root `driver.coll` span.
+    span: SpanId,
+    /// The open phase span (`driver.stage_in` / `driver.invoke` / ...).
+    phase_span: SpanId,
 }
 
 /// Which buffers a collective reads and writes on this rank.
@@ -340,6 +345,29 @@ impl HostDriver {
             .filter(BufferHandle::needs_staging)
             .collect();
         let n = to_stage.len() as u32;
+        let mut span = SpanId::NONE;
+        let mut phase_span = SpanId::NONE;
+        if ctx.spans_enabled() {
+            span = ctx.span_begin_attrs(
+                "driver.coll",
+                SpanId::NONE,
+                &[
+                    Attr {
+                        key: "op",
+                        value: AttrValue::Str(call.spec.op.name()),
+                    },
+                    Attr {
+                        key: "rank",
+                        value: AttrValue::U64(self.rank as u64),
+                    },
+                    Attr {
+                        key: "ticket",
+                        value: AttrValue::U64(call.ticket),
+                    },
+                ],
+            );
+            phase_span = ctx.span_begin("driver.stage_in", span);
+        }
         self.active = Some(Active {
             call,
             phase: Phase::StageIn { remaining: n },
@@ -349,6 +377,8 @@ impl HostDriver {
             invoke: Dur::ZERO,
             collective: Dur::ZERO,
             attempt: 0,
+            span,
+            phase_span,
         });
         if n == 0 {
             self.enter_invoke(ctx);
@@ -366,6 +396,7 @@ impl HostDriver {
                     len: buf.len,
                     done_to: Endpoint::new(ctx.self_id(), ports::XDMA_DONE),
                     tag: 0,
+                    span: phase_span,
                 },
             );
         }
@@ -377,6 +408,11 @@ impl HostDriver {
         active.stage_in = now.since(active.phase_started);
         active.phase = Phase::Invoke;
         active.phase_started = now;
+        ctx.span_end(active.phase_span);
+        active.phase_span = SpanId::NONE;
+        if ctx.spans_enabled() {
+            active.phase_span = ctx.span_begin("driver.invoke", active.span);
+        }
         ctx.send_self(ports::STEP, self.invocation_latency, ());
     }
 
@@ -386,6 +422,12 @@ impl HostDriver {
         active.invoke += now.since(active.phase_started);
         active.phase = Phase::Collective;
         active.phase_started = now;
+        ctx.span_end(active.phase_span);
+        active.phase_span = SpanId::NONE;
+        if ctx.spans_enabled() {
+            active.phase_span = ctx.span_begin("driver.collective", active.span);
+        }
+        let coll_span = active.phase_span;
         let spec = active.call.spec;
         let ticket = self.next_cclo_ticket;
         self.next_cclo_ticket += 1;
@@ -402,6 +444,7 @@ impl HostDriver {
             sync: spec.sync,
             reply_to: Endpoint::new(ctx.self_id(), ports::CCLO_DONE),
             ticket,
+            span: coll_span,
         };
         ctx.send(self.cclo_cmd, Dur::ZERO, cmd);
     }
@@ -412,6 +455,12 @@ impl HostDriver {
         let active = self.active.as_mut().expect("no active call");
         active.collective += now.since(active.phase_started);
         active.phase_started = now;
+        ctx.span_end(active.phase_span);
+        active.phase_span = SpanId::NONE;
+        if ctx.spans_enabled() {
+            active.phase_span = ctx.span_begin("driver.stage_out", active.span);
+        }
+        let stage_span = active.phase_span;
         let rank = self
             .comm_ranks
             .get(&active.call.spec.comm)
@@ -440,6 +489,7 @@ impl HostDriver {
                     len: buf.len,
                     done_to: Endpoint::new(ctx.self_id(), ports::XDMA_DONE),
                     tag: 1,
+                    span: stage_span,
                 },
             );
         }
@@ -449,6 +499,11 @@ impl HostDriver {
         let now = ctx.now();
         let active = self.active.take().expect("no active call");
         self.calls_completed += 1;
+        ctx.stats().add("driver.calls", 1);
+        let total = now.since(active.started);
+        ctx.stats().observe("driver.total_ps", total.as_ps());
+        ctx.span_end(active.phase_span);
+        ctx.span_end(active.span);
         let stage_out = now.since(active.phase_started);
         ctx.send(
             active.call.reply_to,
@@ -460,7 +515,7 @@ impl HostDriver {
                 invoke: active.invoke,
                 collective: active.collective,
                 stage_out,
-                total: now.since(active.started),
+                total,
             },
         );
         self.maybe_start(ctx);
@@ -480,6 +535,11 @@ impl HostDriver {
         if retryable && active.attempt < retry.max_attempts {
             let backoff = retry.backoff(active.attempt - 1);
             active.phase = Phase::Invoke;
+            ctx.span_end(active.phase_span);
+            active.phase_span = SpanId::NONE;
+            if ctx.spans_enabled() {
+                ctx.span_instant("driver.retry", active.span);
+            }
             self.retries_attempted += 1;
             ctx.stats().add("driver.retries", 1);
             ctx.send_self(ports::RETRY, backoff, ());
@@ -500,7 +560,10 @@ impl HostDriver {
         let active = self.active.take().expect("no active call");
         self.calls_completed += 1;
         self.calls_failed += 1;
+        ctx.stats().add("driver.calls", 1);
         ctx.stats().add("driver.calls_failed", 1);
+        ctx.span_end(active.phase_span);
+        ctx.span_end(active.span);
         ctx.send(
             active.call.reply_to,
             Dur::ZERO,
@@ -567,6 +630,9 @@ impl Component for HostDriver {
                 let active = self.active.as_mut().expect("retry with no call");
                 debug_assert_eq!(active.phase, Phase::Invoke);
                 active.phase_started = ctx.now();
+                if ctx.spans_enabled() {
+                    active.phase_span = ctx.span_begin("driver.invoke", active.span);
+                }
                 ctx.send_self(ports::STEP, self.invocation_latency, ());
             }
             other => panic!("driver has no port {other:?}"),

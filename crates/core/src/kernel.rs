@@ -157,6 +157,9 @@ impl KernelProc {
                         sync: spec.sync,
                         reply_to: Endpoint::new(ctx.self_id(), ports::CCLO_DONE),
                         ticket,
+                        // Kernel calls bypass the host driver, so the
+                        // engine's `uc.call` span is the trace root.
+                        span: accl_sim::trace::SpanId::NONE,
                     };
                     // One engine-interface hop: a couple of cycles.
                     ctx.send(self.cclo_cmd, Dur::from_ns(8), cmd);

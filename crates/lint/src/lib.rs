@@ -169,17 +169,39 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
                 allowed: None,
             });
         } else if WALL_CLOCK.contains(&name) {
-            findings.push(Finding {
-                file: file.into(),
-                line: t.line,
-                rule: "wall-clock",
-                severity: Severity::Deny,
-                message: format!(
-                    "`{name}` reads the host clock: simulation logic must use simulated \
-                     time (`Ctx::now`) only"
-                ),
-                allowed: None,
-            });
+            // Only two spellings can reach the host clock: a path use
+            // (`Instant::now`, `SystemTime::now`) or an import through the
+            // `time` module (`use std::time::Instant`). An identifier that
+            // merely *spells* a clock name — the trace module's
+            // `SpanEventKind::Instant` variant, its declaration, a match
+            // arm — is not a clock read, and bare type positions are
+            // unreachable without a flagged import.
+            let path_use = toks.get(i + 1).is_some_and(|n| n.text == "::");
+            // `time::Instant` directly, or inside a brace group:
+            // `use std::time::{Duration, Instant}`.
+            let time_import = {
+                let mut j = i;
+                while j >= 1 && (toks[j - 1].text == "," || toks[j - 1].kind == TokKind::Ident) {
+                    j -= 1;
+                }
+                if j >= 1 && toks[j - 1].text == "{" {
+                    j -= 1;
+                }
+                j >= 2 && toks[j - 1].text == "::" && toks[j - 2].text == "time"
+            };
+            if path_use || time_import {
+                findings.push(Finding {
+                    file: file.into(),
+                    line: t.line,
+                    rule: "wall-clock",
+                    severity: Severity::Deny,
+                    message: format!(
+                        "`{name}` reads the host clock: simulation logic must use simulated \
+                         time (`Ctx::now`) only"
+                    ),
+                    allowed: None,
+                });
+            }
         } else if ENTROPY.contains(&name) {
             findings.push(Finding {
                 file: file.into(),

@@ -90,6 +90,27 @@ fn bad() {
 }
 
 #[test]
+fn qualified_enum_variant_named_instant_is_not_wall_clock() {
+    // `SpanEventKind::Instant` (the trace module's point event) is a
+    // qualified item of another type, not `std::time::Instant`.
+    let clean = "
+fn f(kind: SpanEventKind) -> bool {
+    matches!(kind, SpanEventKind::Instant | SpanEventKind::Begin)
+}
+";
+    assert!(gating_rules(clean).is_empty(), "{:?}", rules(clean));
+    // The real clock stays banned in every spelling that can reach it.
+    for bad in [
+        "use std::time::Instant;",
+        "use std::time::{Duration, Instant};",
+        "fn f() { let t = Instant::now(); drop(t); }",
+        "fn f() -> std::time::Instant { std::time::Instant::now() }",
+    ] {
+        assert!(gating_rules(bad).contains(&"wall-clock"), "{bad}");
+    }
+}
+
+#[test]
 fn float_in_time_constructor_is_flagged_integer_is_not() {
     let bad = "fn f(bytes: u64) -> Dur { Dur::from_ps((bytes as f64 * 3.2) as u64) }";
     assert!(gating_rules(bad).contains(&"float-timing"), "{bad}");
@@ -184,6 +205,22 @@ fn strings_and_comments_are_not_findings() {
 fn f() -> &'static str { "Instant::now and thread_rng in a string" }
 "##;
     assert!(gating_rules(src).is_empty());
+}
+
+#[test]
+fn trace_module_passes_all_rules() {
+    // The tracing subsystem is part of the simulator's determinism
+    // contract (span ids feed golden digests), so the real module source
+    // must come through the linter with zero gating findings — not as a
+    // synthetic snippet, but the file that ships.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../sim/src/trace.rs");
+    let src = std::fs::read_to_string(path).expect("read crates/sim/src/trace.rs");
+    let findings = lint_source("crates/sim/src/trace.rs", &src);
+    let gating: Vec<_> = findings.iter().filter(|f| f.allowed.is_none()).collect();
+    assert!(
+        gating.is_empty(),
+        "trace module has unaudited determinism findings: {gating:?}"
+    );
 }
 
 #[test]

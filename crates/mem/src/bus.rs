@@ -15,6 +15,7 @@
 use bytes::Bytes;
 
 use accl_sim::prelude::*;
+use accl_sim::trace::{Attr, AttrValue, SpanId};
 use serde::{Deserialize, Serialize};
 
 use crate::store::{MemStore, PAGE_SIZE};
@@ -60,6 +61,8 @@ pub struct MemReadReq {
     pub done_to: Option<Endpoint>,
     /// Caller-chosen tag echoed in chunks and completion.
     pub tag: u64,
+    /// Causal parent span of the requester ([`SpanId::NONE`] if untraced).
+    pub span: SpanId,
 }
 
 /// Write request: store `data` at `addr`.
@@ -73,6 +76,8 @@ pub struct MemWriteReq {
     pub done_to: Option<Endpoint>,
     /// Caller-chosen tag echoed in the completion.
     pub tag: u64,
+    /// Causal parent span of the requester ([`SpanId::NONE`] if untraced).
+    pub span: SpanId,
 }
 
 /// A slice of read data in flight to a DMA master.
@@ -267,6 +272,32 @@ impl MemoryBus {
             (MemTarget::Device, true) => (&mut self.hbm_wr, Dur::from_ns(self.cfg.hbm_latency_ns)),
         }
     }
+
+    /// Cumulative busy time of the PCIe pipes (read + write), for link
+    /// utilization accounting.
+    pub fn pcie_busy_time(&self) -> Dur {
+        self.pcie_rd.busy_time() + self.pcie_wr.busy_time()
+    }
+
+    /// Records the TLB counter deltas since `before` into the stats
+    /// registry, so hit rates aggregate across requests and nodes.
+    fn record_tlb_delta(&self, ctx: &mut Ctx<'_>, before: Option<(u64, u64, u64)>) {
+        if let (Some((h0, m0, f0)), Some((h1, m1, f1))) = (before, self.tlb_counters()) {
+            ctx.stats().add("mem.tlb.hits", h1 - h0);
+            ctx.stats().add("mem.tlb.misses", m1 - m0);
+            ctx.stats().add("mem.tlb.faults", f1 - f0);
+        }
+    }
+}
+
+/// Span/stat name for a bus leg: `(counter key, span name)`.
+fn leg_names(target: MemTarget, write: bool) -> (&'static str, &'static str) {
+    match (target, write) {
+        (MemTarget::Host, false) => ("mem.pcie.bytes", "mem.pcie.read"),
+        (MemTarget::Host, true) => ("mem.pcie.bytes", "mem.pcie.write"),
+        (MemTarget::Device, false) => ("mem.hbm.bytes", "mem.hbm.read"),
+        (MemTarget::Device, true) => ("mem.hbm.bytes", "mem.hbm.write"),
+    }
 }
 
 impl Component for MemoryBus {
@@ -275,7 +306,9 @@ impl Component for MemoryBus {
             ports::READ => {
                 let req = payload.downcast::<MemReadReq>();
                 assert!(req.len > 0, "zero-length read");
+                let tlb_before = self.tlb_counters();
                 let (target, base, penalty) = self.resolve(req.addr, req.len);
+                self.record_tlb_delta(ctx, tlb_before);
                 let chunk = u64::from(self.cfg.chunk_bytes.max(1));
                 // One allocation per request; every chunk below is a
                 // refcounted slice of it.
@@ -284,9 +317,23 @@ impl Component for MemoryBus {
                     MemTarget::Device => self.device.read_bytes(base, req.len as usize),
                 };
                 self.bytes_read += req.len;
+                let (counter, span_name) = leg_names(target, false);
+                ctx.stats().add(counter, req.len);
                 let (pipe, latency) = self.pipe(target, false);
                 let start = ctx.now() + penalty;
-                let (_, _end) = pipe.reserve(start, req.len);
+                let (xfer_start, xfer_end) = pipe.reserve(start, req.len);
+                if ctx.spans_enabled() {
+                    ctx.span_interval_attrs(
+                        span_name,
+                        req.span,
+                        xfer_start,
+                        xfer_end + latency,
+                        &[Attr {
+                            key: "bytes",
+                            value: AttrValue::Bytes(req.len),
+                        }],
+                    );
+                }
                 // Deliver chunks pipelined: chunk i lands once its bytes have
                 // crossed the pipe, plus the access latency.
                 let mut off = 0u64;
@@ -327,14 +374,30 @@ impl Component for MemoryBus {
                 let req = payload.downcast::<MemWriteReq>();
                 let len = req.data.len() as u64;
                 assert!(len > 0, "zero-length write");
+                let tlb_before = self.tlb_counters();
                 let (target, base, penalty) = self.resolve(req.addr, len);
+                self.record_tlb_delta(ctx, tlb_before);
                 match target {
                     MemTarget::Host => self.host.write(base, &req.data),
                     MemTarget::Device => self.device.write(base, &req.data),
                 }
                 self.bytes_written += len;
+                let (counter, span_name) = leg_names(target, true);
+                ctx.stats().add(counter, len);
                 let (pipe, latency) = self.pipe(target, true);
-                let (_, end) = pipe.reserve(ctx.now() + penalty, len);
+                let (start, end) = pipe.reserve(ctx.now() + penalty, len);
+                if ctx.spans_enabled() {
+                    ctx.span_interval_attrs(
+                        span_name,
+                        req.span,
+                        start,
+                        end + latency,
+                        &[Attr {
+                            key: "bytes",
+                            value: AttrValue::Bytes(len),
+                        }],
+                    );
+                }
                 if let Some(done) = req.done_to {
                     ctx.send_at(done, end + latency, MemDone { tag: req.tag, len });
                 }
@@ -371,6 +434,7 @@ mod tests {
                 data_to: Endpoint::of(chunks),
                 done_to: Some(Endpoint::of(dones)),
                 tag: 7,
+                span: SpanId::NONE,
             },
         );
         sim.run();
@@ -400,6 +464,7 @@ mod tests {
                     data_to: Endpoint::of(chunks),
                     done_to: None,
                     tag: 0,
+                    span: SpanId::NONE,
                 },
             );
             sim.run();
@@ -425,6 +490,7 @@ mod tests {
                 data: Bytes::from_static(b"hello accl"),
                 done_to: Some(Endpoint::of(dones)),
                 tag: 1,
+                span: SpanId::NONE,
             },
         );
         sim.run();
@@ -438,6 +504,7 @@ mod tests {
                 data_to: Endpoint::of(chunks),
                 done_to: None,
                 tag: 2,
+                span: SpanId::NONE,
             },
         );
         sim.run();
@@ -461,6 +528,7 @@ mod tests {
                 data_to: Endpoint::of(chunks),
                 done_to: None,
                 tag: 0,
+                span: SpanId::NONE,
             },
         );
         sim.run();
@@ -482,6 +550,7 @@ mod tests {
                 data_to: Endpoint::of(chunks),
                 done_to: None,
                 tag: 0,
+                span: SpanId::NONE,
             },
         );
         sim.run();
@@ -505,6 +574,7 @@ mod tests {
                 data_to: Endpoint::of(chunks),
                 done_to: None,
                 tag: 0,
+                span: SpanId::NONE,
             },
         );
         sim.run();
@@ -523,6 +593,7 @@ mod tests {
                     data_to: Endpoint::of(chunks),
                     done_to: None,
                     tag,
+                    span: SpanId::NONE,
                 },
             );
         }

@@ -9,6 +9,7 @@
 //! destination target.
 
 use accl_sim::prelude::*;
+use accl_sim::trace::{Attr, AttrValue, SpanId};
 use std::collections::BTreeMap;
 
 use crate::bus::{ports as bus_ports, MemAddr, MemChunk, MemDone, MemReadReq, MemWriteReq};
@@ -38,6 +39,8 @@ pub struct XdmaCopy {
     pub done_to: Endpoint,
     /// Caller-chosen tag echoed in the completion.
     pub tag: u64,
+    /// Causal parent span of the requester ([`SpanId::NONE`] if untraced).
+    pub span: SpanId,
 }
 
 /// Completion of a staging copy.
@@ -64,6 +67,7 @@ pub mod ports {
 struct CopyState {
     req: XdmaCopy,
     written: u64,
+    span: SpanId,
 }
 
 /// The XDMA staging engine component.
@@ -119,7 +123,33 @@ impl Component for XdmaEngine {
                 let tag = self.next_tag;
                 self.next_tag += 1;
                 let ((src_t, src_a), _) = Self::src_dst(&req);
-                self.inflight.insert(tag, CopyState { req, written: 0 });
+                // The copy span opens at acceptance so the XRT setup cost is
+                // attributed to the staging engine, not to the memory bus.
+                let span = ctx.span_begin_attrs(
+                    "mem.xdma.copy",
+                    req.span,
+                    &[
+                        Attr {
+                            key: "bytes",
+                            value: AttrValue::Bytes(req.len),
+                        },
+                        Attr {
+                            key: "dir",
+                            value: AttrValue::Str(match req.dir {
+                                XdmaDir::HostToDevice => "h2d",
+                                XdmaDir::DeviceToHost => "d2h",
+                            }),
+                        },
+                    ],
+                );
+                self.inflight.insert(
+                    tag,
+                    CopyState {
+                        req,
+                        written: 0,
+                        span,
+                    },
+                );
                 ctx.send(
                     Endpoint::new(self.bus, bus_ports::READ),
                     self.setup,
@@ -129,6 +159,7 @@ impl Component for XdmaEngine {
                         data_to: Endpoint::new(ctx.self_id(), ports::RD_DATA),
                         done_to: None,
                         tag,
+                        span,
                     },
                 );
             }
@@ -139,6 +170,7 @@ impl Component for XdmaEngine {
                     .get(&chunk.tag)
                     .expect("XDMA chunk for unknown copy");
                 let (_, (dst_t, dst_a)) = Self::src_dst(&state.req);
+                let span = state.span;
                 ctx.send(
                     Endpoint::new(self.bus, bus_ports::WRITE),
                     Dur::ZERO,
@@ -147,6 +179,7 @@ impl Component for XdmaEngine {
                         data: chunk.data,
                         done_to: Some(Endpoint::new(ctx.self_id(), ports::WR_DONE)),
                         tag: chunk.tag,
+                        span,
                     },
                 );
             }
@@ -161,6 +194,8 @@ impl Component for XdmaEngine {
                 if state.written == state.req.len {
                     let state = self.inflight.remove(&done.tag).unwrap();
                     self.bytes_copied += state.req.len;
+                    ctx.stats().add("mem.xdma.bytes", state.req.len);
+                    ctx.span_end(state.span);
                     ctx.send(
                         state.req.done_to,
                         Dur::ZERO,
@@ -205,6 +240,7 @@ mod tests {
                 len: data.len() as u64,
                 done_to: Endpoint::of(done),
                 tag: 42,
+                span: SpanId::NONE,
             },
         );
         sim.run();
@@ -236,6 +272,7 @@ mod tests {
                 len: 5000,
                 done_to: Endpoint::of(done),
                 tag: 0,
+                span: SpanId::NONE,
             },
         );
         sim.run();
@@ -261,6 +298,7 @@ mod tests {
                 len,
                 done_to: Endpoint::of(done),
                 tag: 0,
+                span: SpanId::NONE,
             },
         );
         sim.run();
@@ -287,6 +325,7 @@ mod tests {
                     len: 100,
                     done_to: Endpoint::of(done),
                     tag,
+                    span: SpanId::NONE,
                 },
             );
         }

@@ -4,6 +4,7 @@ use core::any::Any;
 use core::fmt;
 
 use accl_sim::event::Payload;
+use accl_sim::trace::SpanId;
 
 /// Ethernet + IP + transport header overhead modelled per frame, in bytes.
 ///
@@ -67,6 +68,10 @@ pub struct Frame {
     pub segments: u32,
     /// The typed protocol PDU.
     pub body: Payload,
+    /// Causal parent span: the sender's segment/transfer span, under which
+    /// the network records its serialization, queueing and hop spans.
+    /// [`SpanId::NONE`] when tracing is off (always when compiled out).
+    pub span: SpanId,
 }
 
 impl Frame {
@@ -78,6 +83,7 @@ impl Frame {
             payload_bytes,
             segments: 1,
             body: Payload::new(body),
+            span: SpanId::NONE,
         }
     }
 
@@ -85,6 +91,13 @@ impl Frame {
     pub fn with_segments(mut self, segments: u32) -> Self {
         assert!(segments >= 1, "a frame carries at least one segment");
         self.segments = segments;
+        self
+    }
+
+    /// Attaches the sender's causal span, handing causality across the
+    /// wire to the network layers and the receiver.
+    pub fn with_span(mut self, span: SpanId) -> Self {
+        self.span = span;
         self
     }
 

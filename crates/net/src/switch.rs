@@ -6,7 +6,12 @@
 //! queueing at the egress port. The latter is what produces the in-cast
 //! bottleneck at the root of all-to-one reductions (paper §4.4.4, Fig. 12).
 
+use std::collections::VecDeque;
+
 use accl_sim::prelude::*;
+use accl_sim::trace::{Attr, AttrValue};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::fault::{FaultAction, FaultPlan};
 use crate::frame::{Frame, NodeAddr};
@@ -17,6 +22,9 @@ struct SwitchPort {
     rx_handler: Option<Endpoint>,
     frames_out: u64,
     bytes_out: u64,
+    /// End times of in-flight egress reservations (monotonic, FIFO pipe);
+    /// its length after expiry-pruning is the instantaneous queue depth.
+    pending_ends: VecDeque<Time>,
 }
 
 /// Traffic counters of one switch port, as observed after a run.
@@ -42,6 +50,11 @@ pub struct Switch {
     fault: FaultPlan,
     frame_index: u64,
     frames_dropped: u64,
+    /// Private entropy stream for the statistical fault policies. Owned by
+    /// the switch (not the deprecated shared `Ctx::rng`) so its draw order
+    /// depends only on the frames this switch sees; builders replace the
+    /// default with `Simulator::fork_rng("net.switch")`.
+    rng: StdRng,
 }
 
 impl Switch {
@@ -56,12 +69,20 @@ impl Switch {
                     rx_handler: None,
                     frames_out: 0,
                     bytes_out: 0,
+                    pending_ends: VecDeque::new(),
                 })
                 .collect(),
             fault: FaultPlan::none(),
             frame_index: 0,
             frames_dropped: 0,
+            rng: StdRng::seed_from_u64(0x5157_11c4),
         }
+    }
+
+    /// Installs the fault-policy entropy stream (conventionally
+    /// `Simulator::fork_rng("net.switch")`).
+    pub fn set_rng(&mut self, rng: StdRng) {
+        self.rng = rng;
     }
 
     /// Attaches the receive side of port `addr` to `rx`.
@@ -103,6 +124,12 @@ impl Switch {
     pub fn frames_seen(&self) -> u64 {
         self.frame_index
     }
+
+    /// Cumulative time port `addr`'s egress link has spent serializing —
+    /// divide by elapsed simulated time for link utilization.
+    pub fn egress_busy_time(&self, addr: NodeAddr) -> Dur {
+        self.ports[addr.index()].egress.busy_time()
+    }
 }
 
 impl Component for Switch {
@@ -111,12 +138,13 @@ impl Component for Switch {
         let index = self.frame_index;
         self.frame_index += 1;
         let now = ctx.now();
-        let extra = match self.fault.decide(index, now, &frame, ctx.rng()) {
+        let extra = match self.fault.decide(index, now, &frame, &mut self.rng) {
             FaultAction::Forward => Dur::ZERO,
             FaultAction::Delay(d) => d,
             FaultAction::Drop => {
                 self.frames_dropped += 1;
                 ctx.stats().add("net.switch.drops", 1);
+                accl_sim::trace_instant!(ctx, "net.drop", frame.span);
                 return;
             }
         };
@@ -129,9 +157,43 @@ impl Component for Switch {
         port.frames_out += u64::from(frame.segments);
         port.bytes_out += wire;
         let ready = ctx.now() + self.forward_latency;
-        let (_, end) = port
+        let (start, end) = port
             .egress
             .reserve_batch(ready, wire, u64::from(frame.segments));
+        // Egress queue metrics: wait time distribution and instantaneous
+        // depth (in-flight reservations not yet drained).
+        while port.pending_ends.front().is_some_and(|&t| t <= now) {
+            port.pending_ends.pop_front();
+        }
+        port.pending_ends.push_back(end);
+        ctx.stats()
+            .add("net.switch.frames", u64::from(frame.segments));
+        ctx.stats().add("net.switch.bytes", wire);
+        ctx.stats()
+            .observe("net.switch.queue_wait_ps", (start - ready).as_ps());
+        ctx.stats()
+            .observe("net.switch.egress_depth", port.pending_ends.len() as u64);
+        if ctx.spans_enabled() {
+            if start > ready {
+                ctx.span_interval("net.queue", frame.span, ready, start);
+            }
+            ctx.span_interval_attrs(
+                "net.wire",
+                frame.span,
+                start,
+                end + self.propagation,
+                &[
+                    Attr {
+                        key: "leg",
+                        value: AttrValue::Str("switch"),
+                    },
+                    Attr {
+                        key: "bytes",
+                        value: AttrValue::Bytes(wire),
+                    },
+                ],
+            );
+        }
         // Fault-injected delay is applied on the wire, after serialization,
         // so a delayed frame can be overtaken (true reordering) instead of
         // head-of-line blocking the egress FIFO.
@@ -185,6 +247,12 @@ impl NetPort {
     pub fn egress_free_at(&self) -> Time {
         self.egress.next_free()
     }
+
+    /// Cumulative time this NIC's egress link has spent serializing —
+    /// divide by elapsed simulated time for uplink utilization.
+    pub fn egress_busy_time(&self) -> Dur {
+        self.egress.busy_time()
+    }
 }
 
 impl Component for NetPort {
@@ -195,9 +263,31 @@ impl Component for NetPort {
         let wire = u64::from(frame.wire_bytes());
         self.frames_in += u64::from(frame.segments);
         self.bytes_in += wire;
-        let (_, end) = self
+        let (start, end) = self
             .egress
             .reserve_batch(ctx.now(), wire, u64::from(frame.segments));
+        ctx.stats().add("net.port.bytes", wire);
+        if ctx.spans_enabled() {
+            if start > ctx.now() {
+                ctx.span_interval("net.queue", frame.span, ctx.now(), start);
+            }
+            ctx.span_interval_attrs(
+                "net.wire",
+                frame.span,
+                start,
+                end + self.propagation,
+                &[
+                    Attr {
+                        key: "leg",
+                        value: AttrValue::Str("nic"),
+                    },
+                    Attr {
+                        key: "bytes",
+                        value: AttrValue::Bytes(wire),
+                    },
+                ],
+            );
+        }
         ctx.send_at(self.switch, end + self.propagation, frame);
     }
 }

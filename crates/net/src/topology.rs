@@ -58,12 +58,16 @@ impl Network {
     /// Builds a fabric with `n_nodes` ports into `sim`.
     pub fn build(sim: &mut Simulator, cfg: NetConfig, n_nodes: usize) -> Network {
         let switch_id = sim.reserve("net.switch");
-        let switch = Switch::new(
+        let mut switch = Switch::new(
             n_nodes,
             cfg.link_gbps,
             cfg.switch_latency(),
             cfg.propagation(),
         );
+        // Per-component entropy stream (not the shared, deprecated
+        // `Ctx::rng`): the fault policies' draw order depends only on the
+        // traffic this switch sees.
+        switch.set_rng(sim.fork_rng("net.switch"));
         sim.install(switch_id, switch);
         let ports = (0..n_nodes)
             .map(|i| {
@@ -156,6 +160,26 @@ impl Network {
     /// Component id of the switch (for advanced introspection).
     pub fn switch_id(&self) -> ComponentId {
         self.switch
+    }
+
+    /// Records per-link utilization gauges into the simulator's stats:
+    /// `net.link.<i>.busy_ps` (switch egress toward node `i`) and
+    /// `net.link.<i>.nic_busy_ps` (node `i`'s NIC egress), in picoseconds
+    /// of cumulative serialization time. Divide by elapsed simulated time
+    /// for utilization. Intended after a run, not on the hot path.
+    pub fn record_link_stats(&self, sim: &mut Simulator) {
+        for i in 0..self.ports.len() {
+            let busy = sim
+                .component::<Switch>(self.switch)
+                .egress_busy_time(self.addr(i));
+            let nic_busy = sim.component::<NetPort>(self.ports[i]).egress_busy_time();
+            sim.stats_mut()
+                .set_gauge(&format!("net.link.{i}.busy_ps"), busy.as_ps() as i64);
+            sim.stats_mut().set_gauge(
+                &format!("net.link.{i}.nic_busy_ps"),
+                nic_busy.as_ps() as i64,
+            );
+        }
     }
 }
 

@@ -8,6 +8,7 @@
 //! by destination.
 
 use accl_sim::prelude::*;
+use accl_sim::trace::{Attr, AttrValue};
 
 use crate::frame::{Frame, NodeAddr};
 use crate::switch::NetPort;
@@ -55,24 +56,42 @@ impl Component for TierSwitch {
         let dst = frame.dst.index();
         let wire = u64::from(frame.wire_bytes());
         let ready = ctx.now() + self.forward_latency;
-        match self.routes.get(dst).copied().flatten() {
+        let (start, end, to) = match self.routes.get(dst).copied().flatten() {
             Some(local_port) => {
                 let (pipe, rx) = &mut self.ports[local_port];
                 let rx =
                     rx.unwrap_or_else(|| panic!("two-tier port for {} has no receiver", frame.dst));
-                let (_, end) = pipe.reserve(ready, wire);
-                ctx.send_at(rx, end + self.propagation, frame);
+                let (start, end) = pipe.reserve(ready, wire);
+                (start, end, rx)
             }
             None => {
                 let (pipe, up) = self
                     .uplink
                     .as_mut()
                     .unwrap_or_else(|| panic!("no route to {} and no uplink", frame.dst));
-                let (_, end) = pipe.reserve(ready, wire);
-                let up = *up;
-                ctx.send_at(up, end + self.propagation, frame);
+                let (start, end) = pipe.reserve(ready, wire);
+                (start, end, *up)
             }
+        };
+        ctx.stats().add("net.tier.bytes", wire);
+        ctx.stats()
+            .observe("net.tier.queue_wait_ps", (start - ready).as_ps());
+        if ctx.spans_enabled() {
+            if start > ready {
+                ctx.span_interval("net.queue", frame.span, ready, start);
+            }
+            ctx.span_interval_attrs(
+                "net.hop",
+                frame.span,
+                start,
+                end + self.propagation,
+                &[Attr {
+                    key: "bytes",
+                    value: AttrValue::Bytes(wire),
+                }],
+            );
         }
+        ctx.send_at(to, end + self.propagation, frame);
     }
 }
 

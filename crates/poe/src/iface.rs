@@ -10,6 +10,7 @@
 use bytes::Bytes;
 
 use accl_sim::prelude::*;
+use accl_sim::trace::SpanId;
 
 /// Identifies one communication session of a POE.
 ///
@@ -43,6 +44,10 @@ pub struct PoeTxCmd {
     pub kind: TxKind,
     /// Caller tag, echoed in [`PoeTxDone`].
     pub tag: u64,
+    /// Causal parent span of the issuer ([`SpanId::NONE`] if untraced).
+    /// Engines parent their per-segment spans under it and hand it across
+    /// the wire via [`accl_net::Frame::with_span`].
+    pub span: SpanId,
 }
 
 /// A chunk of streaming data (Tx or Rx direction).
@@ -111,6 +116,9 @@ pub struct PoeRxMeta {
     pub msg_id: u64,
     /// Total message length in bytes.
     pub len: u64,
+    /// Causal span carried across the wire from the sender (the engine's
+    /// receive-side span when tracing; [`SpanId::NONE`] otherwise).
+    pub span: SpanId,
 }
 
 /// Rx data: a chunk of the message identified by `(session, msg_id)`.
@@ -386,7 +394,8 @@ impl RxDemux {
     /// Processes one arriving segment.
     ///
     /// Returns `(meta, chunk)` where `meta` is `Some` for the first segment
-    /// of a message.
+    /// of a message; `span` is attached to that meta so receive-side
+    /// consumers can parent their spans under the sender's causality.
     pub fn accept(
         &mut self,
         session: SessionId,
@@ -394,6 +403,7 @@ impl RxDemux {
         offset: u64,
         total: u64,
         data: Bytes,
+        span: SpanId,
     ) -> (Option<PoeRxMeta>, RxChunk) {
         let key = (session, msg_id);
         let first = !self.inflight.contains_key(&key);
@@ -408,6 +418,7 @@ impl RxDemux {
             session,
             msg_id,
             len: total,
+            span,
         });
         (
             meta,
@@ -438,6 +449,7 @@ mod tests {
             len,
             kind: TxKind::Send,
             tag,
+            span: SpanId::NONE,
         }
     }
 
@@ -518,11 +530,25 @@ mod tests {
     #[test]
     fn demux_emits_meta_once_and_last_flag() {
         let mut d = RxDemux::new();
-        let (m1, c1) = d.accept(SessionId(2), 9, 0, 10, Bytes::from(vec![0u8; 6]));
+        let (m1, c1) = d.accept(
+            SessionId(2),
+            9,
+            0,
+            10,
+            Bytes::from(vec![0u8; 6]),
+            SpanId::NONE,
+        );
         assert!(m1.is_some());
         assert_eq!(m1.unwrap().len, 10);
         assert!(!c1.last);
-        let (m2, c2) = d.accept(SessionId(2), 9, 6, 10, Bytes::from(vec![0u8; 4]));
+        let (m2, c2) = d.accept(
+            SessionId(2),
+            9,
+            6,
+            10,
+            Bytes::from(vec![0u8; 4]),
+            SpanId::NONE,
+        );
         assert!(m2.is_none());
         assert!(c2.last);
         assert_eq!(d.inflight(), 0);
@@ -531,18 +557,46 @@ mod tests {
     #[test]
     fn demux_tolerates_reordering() {
         let mut d = RxDemux::new();
-        let (m1, c1) = d.accept(SessionId(0), 1, 6, 10, Bytes::from(vec![0u8; 4]));
+        let (m1, c1) = d.accept(
+            SessionId(0),
+            1,
+            6,
+            10,
+            Bytes::from(vec![0u8; 4]),
+            SpanId::NONE,
+        );
         assert!(m1.is_some());
         assert!(!c1.last);
-        let (_, c2) = d.accept(SessionId(0), 1, 0, 10, Bytes::from(vec![0u8; 6]));
+        let (_, c2) = d.accept(
+            SessionId(0),
+            1,
+            0,
+            10,
+            Bytes::from(vec![0u8; 6]),
+            SpanId::NONE,
+        );
         assert!(c2.last);
     }
 
     #[test]
     fn demux_keeps_sessions_separate() {
         let mut d = RxDemux::new();
-        d.accept(SessionId(0), 1, 0, 10, Bytes::from(vec![0u8; 4]));
-        d.accept(SessionId(1), 1, 0, 10, Bytes::from(vec![0u8; 4]));
+        d.accept(
+            SessionId(0),
+            1,
+            0,
+            10,
+            Bytes::from(vec![0u8; 4]),
+            SpanId::NONE,
+        );
+        d.accept(
+            SessionId(1),
+            1,
+            0,
+            10,
+            Bytes::from(vec![0u8; 4]),
+            SpanId::NONE,
+        );
         assert_eq!(d.inflight(), 2);
     }
 }

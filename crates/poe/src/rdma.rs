@@ -14,6 +14,7 @@ use bytes::Bytes;
 use accl_mem::bus::{ports as mem_ports, MemAddr, MemWriteReq};
 use accl_net::Frame;
 use accl_sim::prelude::*;
+use accl_sim::trace::{Attr, AttrValue, SpanId};
 
 use crate::iface::{
     ports, PoeSessionError, PoeTxCmd, PoeTxDone, PoeUpward, RxDemux, SessionErrorKind, SessionId,
@@ -310,8 +311,22 @@ impl RdmaPoe {
         };
         let fragments = self.tokens_for(seg.data.len());
         self.frames_sent += u64::from(fragments);
+        let mut wire_span = SpanId::NONE;
+        if ctx.spans_enabled() {
+            wire_span = ctx.span_interval_attrs(
+                "poe.seg",
+                seg.cmd.span,
+                ctx.now(),
+                ctx.now() + latency,
+                &[Attr {
+                    key: "bytes",
+                    value: AttrValue::Bytes(seg.data.len() as u64),
+                }],
+            );
+        }
         let frame = Frame::new(accl_net::NodeAddr(0), peer, seg.data.len() as u32, pdu)
-            .with_segments(fragments);
+            .with_segments(fragments)
+            .with_span(wire_span);
         ctx.send(self.net_tx, latency, frame);
         if seg.last {
             ctx.send(
@@ -403,8 +418,14 @@ impl Component for RdmaPoe {
             }
             ports::NET_RX => {
                 let frame = payload.downcast::<Frame>();
+                let wire_span = frame.span;
                 self.frames_received += u64::from(frame.segments);
                 let latency = self.latency();
+                let rx_span = if ctx.spans_enabled() && !wire_span.is_none() {
+                    ctx.span_interval("poe.rx", wire_span, ctx.now(), ctx.now() + latency)
+                } else {
+                    SpanId::NONE
+                };
                 match frame.body.downcast::<RdmaPdu>() {
                     RdmaPdu::Send {
                         dst_qp,
@@ -414,7 +435,9 @@ impl Component for RdmaPoe {
                         data,
                     } => {
                         let units = self.tokens_for(data.len());
-                        let (meta, chunk) = self.demux.accept(dst_qp, msg_id, offset, total, data);
+                        let (meta, chunk) = self
+                            .demux
+                            .accept(dst_qp, msg_id, offset, total, data, rx_span);
                         let flush = chunk.last;
                         if let Some(meta) = meta {
                             ctx.send(self.up.rx_meta, latency, meta);
@@ -444,6 +467,7 @@ impl Component for RdmaPoe {
                                         data: data.clone(),
                                         done_to: None,
                                         tag: msg_id,
+                                        span: rx_span,
                                     },
                                 );
                                 // The CCLO is bypassed; only flow control sees
@@ -455,8 +479,9 @@ impl Component for RdmaPoe {
                                 let to = self.write_stream_to.unwrap_or_else(|| {
                                     panic!("stream WRITE delivery configured without endpoint")
                                 });
-                                let (meta, chunk) =
-                                    self.write_demux.accept(dst_qp, msg_id, offset, total, data);
+                                let (meta, chunk) = self
+                                    .write_demux
+                                    .accept(dst_qp, msg_id, offset, total, data, rx_span);
                                 let flush = chunk.last;
                                 if let Some(meta) = meta {
                                     ctx.send(self.up.rx_meta, latency, meta);
@@ -597,6 +622,7 @@ mod tests {
                 len,
                 kind,
                 tag,
+                span: SpanId::NONE,
             },
         );
         b.sim.post(

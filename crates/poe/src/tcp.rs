@@ -15,6 +15,7 @@ use bytes::{Bytes, BytesMut};
 
 use accl_net::Frame;
 use accl_sim::prelude::*;
+use accl_sim::trace::{Attr, AttrValue, SpanId};
 
 use crate::iface::{
     ports, PoeRxMeta, PoeSessionError, PoeTxCmd, PoeTxDone, PoeUpward, RxChunk, SessionErrorKind,
@@ -118,6 +119,12 @@ struct TxState {
     timer_armed: bool,
     rtt_probe: Option<(u64, Time)>,
     retransmits: u64,
+    /// Total bytes offered to this session's stream (headers included).
+    pushed: u64,
+    /// Tracing only: `(stream offset, span)` marks recording which message
+    /// span owns each byte range of the stream, so outgoing segments can be
+    /// stamped with their causal parent. Empty when tracing is disabled.
+    marks: VecDeque<(u64, SpanId)>,
     /// Consecutive RTO expirations since the last forward ACK.
     consec_rto: u32,
     /// Set once the session is declared dead; no further transmission.
@@ -163,10 +170,13 @@ impl Deframer {
             }
             let take = ((self.msg_len - self.msg_off) as usize).min(data.len());
             let chunk = data.split_to(take);
+            // Span is stamped by the caller, which knows the arriving
+            // frame's causality; the deframer only sees the byte stream.
             let meta = (self.msg_off == 0).then_some(PoeRxMeta {
                 session,
                 msg_id: self.next_msg_id,
                 len: self.msg_len,
+                span: SpanId::NONE,
             });
             let offset = self.msg_off;
             self.msg_off += take as u64;
@@ -274,7 +284,12 @@ impl TcpPoe {
             if !head.header_sent {
                 let header = Bytes::from((head.cmd.len).to_le_bytes().to_vec());
                 let session = head.cmd.session;
+                let span = head.cmd.span;
                 head.header_sent = true;
+                if ctx.spans_enabled() {
+                    let st = self.tx_state(session);
+                    st.marks.push_back((st.pushed, span));
+                }
                 self.stream_push(ctx, session, header);
                 continue;
             }
@@ -346,6 +361,7 @@ impl TcpPoe {
         st.pending.clear();
         st.pending_len = 0;
         st.rtt_probe = None;
+        st.marks.clear();
         ctx.stats().add("poe.tcp.session_errors", 1);
         ctx.send(
             self.up.tx_done,
@@ -360,6 +376,7 @@ impl TcpPoe {
 
     fn stream_push(&mut self, ctx: &mut Ctx<'_>, session: SessionId, data: Bytes) {
         let st = self.tx_state(session);
+        st.pushed += data.len() as u64;
         if st.error.is_some() {
             // Dead session: consume (and discard) the bytes so attribution
             // of later commands on other sessions keeps flowing.
@@ -368,6 +385,19 @@ impl TcpPoe {
         st.pending_len += data.len() as u64;
         st.pending.push_back(data);
         self.try_send(ctx, session);
+    }
+
+    /// The span owning stream byte `seq`: the last mark at or before it.
+    fn mark_span(st: &TxState, seq: u64) -> SpanId {
+        let mut span = SpanId::NONE;
+        for &(start, s) in &st.marks {
+            if start <= seq {
+                span = s;
+            } else {
+                break;
+            }
+        }
+        span
     }
 
     fn try_send(&mut self, ctx: &mut Ctx<'_>, session: SessionId) {
@@ -416,6 +446,20 @@ impl TcpPoe {
             }
             let segments = n.div_ceil(mss) as u32;
             sent += u64::from(segments);
+            let mut wire_span = SpanId::NONE;
+            if ctx.spans_enabled() {
+                let parent = Self::mark_span(st, seq);
+                wire_span = ctx.span_interval_attrs(
+                    "poe.seg",
+                    parent,
+                    ctx.now(),
+                    ctx.now() + latency,
+                    &[Attr {
+                        key: "bytes",
+                        value: AttrValue::Bytes(n),
+                    }],
+                );
+            }
             let frame = Frame::new(
                 accl_net::NodeAddr(0),
                 peer,
@@ -426,7 +470,8 @@ impl TcpPoe {
                     data,
                 },
             )
-            .with_segments(segments);
+            .with_segments(segments)
+            .with_span(wire_span);
             ctx.send(net_tx, latency, frame);
         }
         self.segments_sent += sent;
@@ -461,6 +506,9 @@ impl TcpPoe {
         st.retransmits += 1;
         // An RTT measured across a retransmission would be ambiguous (Karn).
         st.rtt_probe = None;
+        let parent = Self::mark_span(st, seq);
+        ctx.stats().add("poe.tcp.retransmits", 1);
+        accl_sim::trace_instant!(ctx, "poe.retransmit", parent);
         let segments = (data.len() as u64).div_ceil(u64::from(self.cfg.mss)).max(1) as u32;
         self.segments_sent += u64::from(segments);
         let frame = Frame::new(
@@ -473,7 +521,8 @@ impl TcpPoe {
                 data,
             },
         )
-        .with_segments(segments);
+        .with_segments(segments)
+        .with_span(parent);
         ctx.send(self.net_tx, latency, frame);
     }
 
@@ -492,6 +541,10 @@ impl TcpPoe {
             st.snd_una = ack.ack;
             st.dup_acks = 0;
             st.consec_rto = 0;
+            // Marks below the cumulative ACK can no longer be retransmitted.
+            while st.marks.len() >= 2 && st.marks[1].0 <= st.snd_una {
+                st.marks.pop_front();
+            }
             while let Some(&(seq, ref data)) = st.unacked.front() {
                 if seq + data.len() as u64 <= st.snd_una {
                     st.unacked.pop_front();
@@ -532,8 +585,13 @@ impl TcpPoe {
         }
     }
 
-    fn on_segment(&mut self, ctx: &mut Ctx<'_>, seg: TcpSegment) {
+    fn on_segment(&mut self, ctx: &mut Ctx<'_>, seg: TcpSegment, wire_span: SpanId) {
         let latency = self.latency();
+        let rx_span = if ctx.spans_enabled() {
+            ctx.span_interval("poe.rx", wire_span, ctx.now(), ctx.now() + latency)
+        } else {
+            SpanId::NONE
+        };
         let session = seg.dst_session;
         let (peer, peer_session) = self.sessions.peer(session);
         let rwnd = self.cfg.rwnd_bytes;
@@ -566,10 +624,12 @@ impl TcpPoe {
                 ack: ack_val,
                 window: rwnd,
             },
-        );
+        )
+        .with_span(rx_span);
         ctx.send(self.net_tx, latency, frame);
         for (meta, chunk) in deliveries {
-            if let Some(meta) = meta {
+            if let Some(mut meta) = meta {
+                meta.span = rx_span;
                 ctx.send(self.up.rx_meta, latency, meta);
             }
             ctx.send(self.up.rx_data, latency, chunk);
@@ -603,8 +663,9 @@ impl Component for TcpPoe {
             }
             ports::NET_RX => {
                 let frame = payload.downcast::<Frame>();
+                let wire_span = frame.span;
                 match frame.body.try_downcast::<TcpSegment>() {
-                    Ok(seg) => self.on_segment(ctx, seg),
+                    Ok(seg) => self.on_segment(ctx, seg, wire_span),
                     Err(body) => self.on_ack(ctx, body.downcast::<TcpAck>()),
                 }
             }
@@ -756,6 +817,7 @@ mod tests {
                 len,
                 kind: TxKind::Send,
                 tag,
+                span: SpanId::NONE,
             },
         );
         b.sim.post(
@@ -1063,6 +1125,7 @@ mod tests {
                 len: 1000,
                 kind: TxKind::Send,
                 tag: 42,
+                span: SpanId::NONE,
             },
         );
         match b.sim.run() {

@@ -10,6 +10,7 @@ use bytes::Bytes;
 
 use accl_net::Frame;
 use accl_sim::prelude::*;
+use accl_sim::trace::{Attr, AttrValue, SpanId};
 
 use crate::iface::{
     ports, PoeTxCmd, PoeTxDone, PoeUpward, RxDemux, SessionTable, StreamChunk, TxAssembler, TxKind,
@@ -109,8 +110,22 @@ impl UdpPoe {
                 data: seg.data.clone(),
             };
             let payload_bytes = seg.data.len() as u32 + UDP_SEG_HEADER_BYTES;
+            let mut wire_span = SpanId::NONE;
+            if ctx.spans_enabled() {
+                wire_span = ctx.span_interval_attrs(
+                    "poe.seg",
+                    seg.cmd.span,
+                    ctx.now(),
+                    ctx.now() + latency,
+                    &[Attr {
+                        key: "bytes",
+                        value: AttrValue::Bytes(seg.data.len() as u64),
+                    }],
+                );
+            }
             // `src` is stamped by the NetPort.
-            let frame = Frame::new(accl_net::NodeAddr(0), peer, payload_bytes, dgram);
+            let frame =
+                Frame::new(accl_net::NodeAddr(0), peer, payload_bytes, dgram).with_span(wire_span);
             ctx.send(self.net_tx, latency, frame);
             if seg.last {
                 ctx.send(
@@ -147,16 +162,23 @@ impl Component for UdpPoe {
             }
             ports::NET_RX => {
                 let frame = payload.downcast::<Frame>();
+                let wire_span = frame.span;
                 let dgram = frame.body.downcast::<UdpDgram>();
                 self.dgrams_received += 1;
+                let latency = self.latency();
+                let rx_span = if ctx.spans_enabled() {
+                    ctx.span_interval("poe.rx", wire_span, ctx.now(), ctx.now() + latency)
+                } else {
+                    SpanId::NONE
+                };
                 let (meta, chunk) = self.demux.accept(
                     dgram.dst_session,
                     dgram.msg_id,
                     dgram.offset,
                     dgram.total,
                     dgram.data,
+                    rx_span,
                 );
-                let latency = self.latency();
                 if let Some(meta) = meta {
                     ctx.send(self.up.rx_meta, latency, meta);
                 }
@@ -243,6 +265,7 @@ mod tests {
                 len,
                 kind: TxKind::Send,
                 tag,
+                span: SpanId::NONE,
             },
         );
         b.sim.post(
@@ -334,6 +357,7 @@ mod tests {
                 len: 4,
                 kind: TxKind::Write { remote_addr: 0 },
                 tag: 0,
+                span: SpanId::NONE,
             },
         );
         b.sim.run();

@@ -47,6 +47,7 @@ pub mod race;
 pub mod sim;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -57,6 +58,7 @@ pub mod prelude {
     pub use crate::sim::{
         Component, Ctx, ParkedWork, RunOutcome, RunSummary, Simulator, StallReport,
     };
-    pub use crate::stats::Stats;
+    pub use crate::stats::{Histogram, Stats};
     pub use crate::time::{Dur, Time};
+    pub use crate::trace::{Attr, AttrValue, SpanEvent, SpanId};
 }

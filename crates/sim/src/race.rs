@@ -129,6 +129,10 @@ pub struct RaceReport {
     pub salt: u64,
     /// What diverged: the canonical trace or a final state digest.
     pub detail: String,
+    /// The last few spans recorded by the implicated component in the
+    /// baseline run (empty unless span recording was enabled) — the causal
+    /// history leading into the racing tie-set, not just delivery lines.
+    pub recent_spans: Vec<String>,
 }
 
 impl core::fmt::Display for RaceReport {
@@ -138,7 +142,11 @@ impl core::fmt::Display for RaceReport {
             "sim-time race at {}: handlers of {} for [{}] do not commute under tie permutation \
              (salt {}): {}",
             self.time, self.component, self.payload_type, self.salt, self.detail
-        )
+        )?;
+        for line in &self.recent_spans {
+            write!(f, "\n    span: {line}")?;
+        }
+        Ok(())
     }
 }
 
@@ -172,6 +180,12 @@ where
     let run = |salt: Option<u64>| -> (Simulator, CanonTrace, RunOutcome) {
         let mut sim = Simulator::new(seed);
         sim.enable_tie_recording();
+        // When span tracing is compiled in, record it too so a diverging
+        // run's RaceReport can show the causal history of the racing
+        // component, not just its delivery lines.
+        if crate::trace::COMPILED {
+            sim.enable_spans(1 << 16);
+        }
         if let Some(s) = salt {
             sim.permute_tie_order(s);
         }
@@ -196,6 +210,7 @@ where
                 payload_type: format!("{base_outcome:?} vs {outcome:?}"),
                 salt,
                 detail: "permuted tie order changed how the run terminated".into(),
+                recent_spans: Vec::new(),
             });
         }
         let digests = sim.state_digests();
@@ -324,6 +339,7 @@ fn report_at(
         payload_type: payload_type.to_string(),
         salt,
         detail,
+        recent_spans: sim.span_tail(comp, 8),
     }
 }
 

@@ -22,6 +22,7 @@ use crate::event::{ComponentId, Endpoint, Payload, PortId};
 use crate::queue::{EventQueue, QueueKind};
 use crate::stats::Stats;
 use crate::time::{Dur, Time};
+use crate::trace::{Attr, SpanEvent, SpanId, SpanRecorder};
 
 /// A simulated hardware or software entity.
 ///
@@ -78,6 +79,7 @@ pub struct Ctx<'a> {
     rng: &'a mut StdRng,
     stats: &'a mut Stats,
     stop: &'a mut bool,
+    spans: &'a mut SpanRecorder,
 }
 
 impl Ctx<'_> {
@@ -119,6 +121,20 @@ impl Ctx<'_> {
     }
 
     /// Deterministic simulation-wide RNG.
+    ///
+    /// Deprecated outside the `race-detect` feature: a single shared stream
+    /// couples every consumer's draw order to the global event schedule, so
+    /// an unrelated refactor can silently reseed a component's behaviour.
+    /// Components that need entropy should own a seeded stream obtained via
+    /// [`Simulator::fork_rng`] at build time instead.
+    #[cfg_attr(
+        not(feature = "race-detect"),
+        deprecated(
+            since = "0.5.0",
+            note = "shared ambient entropy couples components through draw order; \
+                    hold a per-component stream from `Simulator::fork_rng` instead"
+        )
+    )]
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
@@ -131,6 +147,87 @@ impl Ctx<'_> {
     /// Requests the main loop to stop after the current event.
     pub fn stop(&mut self) {
         *self.stop = true;
+    }
+
+    /// Whether span recording is live (compiled in via the `trace` feature
+    /// *and* enabled on this simulator). Instrumentation that must compute
+    /// attribute values eagerly can branch on this; plain `span_*` calls
+    /// are already free when recording is off.
+    pub fn spans_enabled(&self) -> bool {
+        self.spans.is_enabled()
+    }
+
+    /// Opens a span named `name` under `parent` at the current time;
+    /// returns its deterministic id ([`SpanId::NONE`] when recording is
+    /// off). Pass [`SpanId::NONE`] as `parent` for a root span.
+    pub fn span_begin(&mut self, name: &'static str, parent: SpanId) -> SpanId {
+        self.spans.begin(self.now, self.self_id, name, parent, &[])
+    }
+
+    /// Opens a span with typed attributes attached.
+    pub fn span_begin_attrs(
+        &mut self,
+        name: &'static str,
+        parent: SpanId,
+        attrs: &[Attr],
+    ) -> SpanId {
+        self.spans
+            .begin(self.now, self.self_id, name, parent, attrs)
+    }
+
+    /// Closes span `id` at the current time. No-op for [`SpanId::NONE`].
+    pub fn span_end(&mut self, id: SpanId) {
+        self.spans.end(self.now, self.self_id, id, &[]);
+    }
+
+    /// Closes span `id` at `at` — which may lie in the simulated future,
+    /// for work whose completion time is already reserved (a [`crate::pipe::Pipe`]
+    /// reservation's end).
+    pub fn span_end_at(&mut self, id: SpanId, at: Time) {
+        self.spans.end(at, self.self_id, id, &[]);
+    }
+
+    /// Closes span `id` at the current time with attributes attached.
+    pub fn span_end_attrs(&mut self, id: SpanId, attrs: &[Attr]) {
+        self.spans.end(self.now, self.self_id, id, attrs);
+    }
+
+    /// Records a complete `[start, end]` span in one call (both times may
+    /// lie in the simulated future); returns its id.
+    pub fn span_interval(
+        &mut self,
+        name: &'static str,
+        parent: SpanId,
+        start: Time,
+        end: Time,
+    ) -> SpanId {
+        self.spans
+            .interval(self.self_id, name, parent, start, end, &[])
+    }
+
+    /// Records a complete `[start, end]` span with attributes attached.
+    pub fn span_interval_attrs(
+        &mut self,
+        name: &'static str,
+        parent: SpanId,
+        start: Time,
+        end: Time,
+        attrs: &[Attr],
+    ) -> SpanId {
+        self.spans
+            .interval(self.self_id, name, parent, start, end, attrs)
+    }
+
+    /// Records a point event under `parent` at the current time.
+    pub fn span_instant(&mut self, name: &'static str, parent: SpanId) {
+        self.spans
+            .instant(self.now, self.self_id, name, parent, &[]);
+    }
+
+    /// Records a point event with typed attributes attached.
+    pub fn span_instant_attrs(&mut self, name: &'static str, parent: SpanId, attrs: &[Attr]) {
+        self.spans
+            .instant(self.now, self.self_id, name, parent, attrs);
     }
 }
 
@@ -188,6 +285,10 @@ pub struct StallReport {
     pub op: String,
     /// Simulated time at which the stall was detected.
     pub at: Time,
+    /// The last few spans recorded by the stuck component (empty unless
+    /// span recording was enabled) — what the component was *doing*, not
+    /// just which payloads it received.
+    pub recent_spans: Vec<String>,
 }
 
 impl core::fmt::Display for StallReport {
@@ -197,13 +298,17 @@ impl core::fmt::Display for StallReport {
                 f,
                 "stall at {}: {} (rank {}) parked on {}",
                 self.at, self.component, r, self.op
-            ),
+            )?,
             None => write!(
                 f,
                 "stall at {}: {} parked on {}",
                 self.at, self.component, self.op
-            ),
+            )?,
         }
+        for line in &self.recent_spans {
+            write!(f, "\n    span: {line}")?;
+        }
+        Ok(())
     }
 }
 
@@ -224,6 +329,9 @@ pub struct TraceRecord {
 /// cheap; the maximum is still tracked on every event.
 const DEPTH_SAMPLE_STRIDE: u64 = 64;
 
+/// How many trailing spans a [`StallReport`] carries per stuck component.
+const STALL_SPAN_TAIL: usize = 8;
+
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
@@ -242,8 +350,10 @@ pub struct Simulator {
     seq: u64,
     components: Vec<Option<Box<dyn Component>>>,
     names: Vec<String>,
+    seed: u64,
     rng: StdRng,
     stats: Stats,
+    spans: SpanRecorder,
     stop: bool,
     executed: u64,
     /// Event trace ring buffer (None = tracing off).
@@ -275,8 +385,10 @@ impl Simulator {
             seq: 0,
             components: Vec::new(),
             names: Vec::new(),
+            seed,
             rng: StdRng::seed_from_u64(seed),
             stats: Stats::new(),
+            spans: SpanRecorder::default(),
             stop: false,
             executed: 0,
             trace: None,
@@ -362,6 +474,75 @@ impl Simulator {
     /// Disarms the simulated-time stall deadline.
     pub fn clear_stall_deadline(&mut self) {
         self.stall_deadline = None;
+    }
+
+    /// The seed this simulator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent, deterministic RNG stream for one component
+    /// from the simulator seed and a stable `label` (conventionally the
+    /// component's registration name). Streams are decoupled: a component
+    /// drawing from its own fork cannot perturb any other component's
+    /// randomness, unlike the shared (now deprecated) [`Ctx::rng`].
+    pub fn fork_rng(&self, label: &str) -> StdRng {
+        let mut h = FNV_OFFSET;
+        fnv1a(&mut h, label.as_bytes());
+        StdRng::seed_from_u64(self.seed ^ h)
+    }
+
+    /// Enables causal span recording into a bounded ring of `capacity`
+    /// events. Requires the `trace` cargo feature (panics without it —
+    /// recording would silently observe nothing). See [`crate::trace`].
+    pub fn enable_spans(&mut self, capacity: usize) {
+        self.spans.enable(capacity);
+    }
+
+    /// Whether span recording is live (compiled in and enabled).
+    pub fn spans_enabled(&self) -> bool {
+        self.spans.is_enabled()
+    }
+
+    /// The surviving span ring contents, oldest first.
+    pub fn span_events(&self) -> Vec<SpanEvent> {
+        self.spans.events()
+    }
+
+    /// Span events evicted by the ring bound (0 when sized generously).
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans.dropped()
+    }
+
+    /// Renders the last `n` spans recorded by `comp`, oldest first — the
+    /// per-component causal history behind [`StallReport::recent_spans`]
+    /// and the race detector's reports.
+    pub fn span_tail(&self, comp: ComponentId, n: usize) -> Vec<String> {
+        let mut lines: Vec<String> = self
+            .spans
+            .events()
+            .iter()
+            .filter(|e| e.comp == comp)
+            .map(|e| {
+                use crate::trace::SpanEventKind;
+                match e.kind {
+                    SpanEventKind::Begin => format!(
+                        "{} begin {} id={:#018x} parent={:#018x}",
+                        e.time, e.name, e.id.0, e.parent.0
+                    ),
+                    SpanEventKind::End => {
+                        format!("{} end id={:#018x}", e.time, e.id.0)
+                    }
+                    SpanEventKind::Instant => {
+                        format!("{} instant {} parent={:#018x}", e.time, e.name, e.parent.0)
+                    }
+                }
+            })
+            .collect();
+        if lines.len() > n {
+            lines.drain(..lines.len() - n);
+        }
+        lines
     }
 
     /// Enables event tracing into a ring buffer of `capacity` records —
@@ -586,6 +767,7 @@ impl Simulator {
             rng: &mut self.rng,
             stats: &mut self.stats,
             stop: &mut self.stop,
+            spans: &mut self.spans,
         };
         comp.on_event(&mut ctx, dst.port, payload);
         #[cfg(feature = "race-detect")]
@@ -726,12 +908,14 @@ impl Simulator {
             .enumerate()
             .filter_map(|(i, slot)| {
                 let parked = slot.as_ref()?.parked_work()?;
+                let comp = ComponentId(i as u32);
                 Some(StallReport {
-                    comp: ComponentId(i as u32),
+                    comp,
                     component: self.names[i].clone(),
                     rank: parked.rank,
                     op: parked.op,
                     at: self.time,
+                    recent_spans: self.span_tail(comp, STALL_SPAN_TAIL),
                 })
             })
             .collect()
@@ -1090,6 +1274,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn determinism_same_seed_same_timeline() {
         fn run_once(seed: u64) -> Vec<(u64, u32)> {
             use rand::RngExt;
@@ -1134,6 +1319,7 @@ mod tests {
     }
 
     impl Component for JitterMix {
+        #[allow(deprecated)]
         fn on_event(&mut self, ctx: &mut Ctx<'_>, port: PortId, payload: Payload) {
             use rand::RngExt;
             let v = payload.downcast::<u32>();

@@ -1,15 +1,137 @@
-//! Simulation-wide statistics: counters and sample series.
+//! Simulation-wide statistics: typed counters, gauges, log-bucketed
+//! histograms and sample series.
 //!
 //! Components record measurements under string keys; benchmark harnesses
 //! read them back after a run to produce the paper's tables. Keys are
 //! free-form but the convention is `"<node>.<component>.<metric>"`.
+//!
+//! Integer instruments ([`Stats::add`], [`Stats::set_gauge`],
+//! [`Stats::observe`]) are float-free and safe to drive from sim-visible
+//! paths; the `f64` sample series ([`Stats::record`]) is reserved for
+//! harness-side post-processing where platform-dependent rounding cannot
+//! leak back into the timeline.
 
 use std::collections::BTreeMap;
 
-/// A set of named counters and sample series.
+/// Number of log2 buckets in a [`Histogram`] (covers the full `u64` range).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// An integer-only, log2-bucketed histogram.
+///
+/// Bucket `i` counts observations whose value needs `i` bits — bucket 0
+/// holds zeros, bucket 1 holds `1`, bucket 2 holds `2..=3`, and so on —
+/// so queue depths, byte counts and cycle counts over many orders of
+/// magnitude stay cheap and deterministic (no floats anywhere).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index of `value`: the number of significant bits.
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Lower bound of bucket `i` (inclusive).
+    pub fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Integer mean (sum / count), or `None` if empty.
+    pub fn mean(&self) -> Option<u64> {
+        (self.count > 0).then(|| self.sum / self.count)
+    }
+
+    /// Upper-bound estimate of the `p`-th permille (0..=1000) observation:
+    /// the inclusive upper bound of the first bucket whose cumulative count
+    /// reaches the rank, clamped to the observed min/max. Integer-only.
+    pub fn percentile_permille(&self, p: u64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (p.min(1000) * self.count).div_ceil(1000).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let ceil = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+                return Some(ceil.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty buckets as `(bucket floor, count)`, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_floor(i), n))
+    }
+}
+
+/// A set of named counters, gauges, histograms and sample series.
 #[derive(Default, Debug, Clone)]
 pub struct Stats {
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
     series: BTreeMap<String, Vec<f64>>,
 }
 
@@ -27,6 +149,29 @@ impl Stats {
     /// Current value of counter `key` (zero if never touched).
     pub fn counter(&self, key: &str) -> u64 {
         self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `key` to `value` (last write wins).
+    pub fn set_gauge(&mut self, key: &str, value: i64) {
+        self.gauges.insert(key.to_string(), value);
+    }
+
+    /// Current value of gauge `key`, if ever set.
+    pub fn gauge(&self, key: &str) -> Option<i64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Records `value` into the log2-bucketed histogram `key`.
+    pub fn observe(&mut self, key: &str, value: u64) {
+        self.histograms
+            .entry(key.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// The histogram under `key`, if any observation was made.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
     }
 
     /// Appends a sample to series `key`.
@@ -50,12 +195,15 @@ impl Stats {
     }
 
     /// The `p` percentile (0.0..=100.0) of samples under `key`.
+    ///
+    /// Uses `total_cmp`, so NaN samples sort to the end (IEEE 754 total
+    /// order) instead of panicking mid-report.
     pub fn percentile(&self, key: &str, p: f64) -> Option<f64> {
         let mut s: Vec<f64> = self.samples(key).to_vec();
         if s.is_empty() {
             return None;
         }
-        s.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        s.sort_by(|a, b| a.total_cmp(b));
         let rank = (p / 100.0 * (s.len() - 1) as f64).round() as usize;
         Some(s[rank.min(s.len() - 1)])
     }
@@ -73,14 +221,27 @@ impl Stats {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// Iterates over all gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates over all histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Iterates over all series names in key order.
     pub fn series_keys(&self) -> impl Iterator<Item = &str> {
         self.series.keys().map(String::as_str)
     }
 
-    /// Clears all counters and series (e.g. between sweep points).
+    /// Clears all counters, gauges, histograms and series (e.g. between
+    /// sweep points).
     pub fn reset(&mut self) {
         self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
         self.series.clear();
     }
 }
@@ -113,12 +274,78 @@ mod tests {
     }
 
     #[test]
+    fn percentile_handles_negative_duplicate_and_nan_samples() {
+        let mut s = Stats::new();
+        for v in [-3.0, -3.0, 0.0, 2.0, 2.0, -7.5] {
+            s.record("lat", v);
+        }
+        assert_eq!(s.percentile("lat", 0.0), Some(-7.5));
+        // Six samples sorted: [-7.5, -3, -3, 0, 2, 2]; rank(50%) = 3.
+        assert_eq!(s.percentile("lat", 50.0), Some(0.0));
+        assert_eq!(s.percentile("lat", 100.0), Some(2.0));
+        // A NaN sample must not panic; total order sorts it last.
+        s.record("lat", f64::NAN);
+        assert_eq!(s.percentile("lat", 0.0), Some(-7.5));
+        assert!(s.percentile("lat", 100.0).unwrap().is_nan());
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut s = Stats::new();
+        assert_eq!(s.gauge("depth"), None);
+        s.set_gauge("depth", 4);
+        s.set_gauge("depth", -1);
+        assert_eq!(s.gauge("depth"), Some(-1));
+        assert_eq!(s.gauges().collect::<Vec<_>>(), vec![("depth", -1)]);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000, 1_000_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1_001_010);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1_000_000));
+        assert_eq!(h.mean(), Some(1_001_010 / 7));
+        assert_eq!(h.percentile_permille(0), Some(0));
+        assert_eq!(h.percentile_permille(1000), Some(1_000_000));
+        // Buckets: 0 -> [0], 1 -> [1], 2..=3 -> bucket floor 2, 4 -> 4.
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        assert!(buckets.contains(&(0, 1)));
+        assert!(buckets.contains(&(2, 2)));
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_floor(64), 1u64 << 63);
+    }
+
+    #[test]
+    fn stats_histogram_registry() {
+        let mut s = Stats::new();
+        s.observe("q.depth", 3);
+        s.observe("q.depth", 9);
+        let h = s.histogram("q.depth").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(9));
+        assert!(s.histogram("absent").is_none());
+        assert_eq!(s.histograms().count(), 1);
+    }
+
+    #[test]
     fn reset_clears_everything() {
         let mut s = Stats::new();
         s.add("a", 1);
         s.record("b", 1.0);
+        s.set_gauge("c", 2);
+        s.observe("d", 3);
         s.reset();
         assert_eq!(s.counter("a"), 0);
         assert!(s.samples("b").is_empty());
+        assert_eq!(s.gauge("c"), None);
+        assert!(s.histogram("d").is_none());
     }
 }

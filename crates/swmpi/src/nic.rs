@@ -14,6 +14,7 @@ use bytes::Bytes;
 
 use accl_net::{Frame, NodeAddr};
 use accl_sim::prelude::*;
+use accl_sim::trace::{Attr, AttrValue, SpanId};
 
 /// MPI wire messages carried by the NIC.
 #[derive(Debug, Clone)]
@@ -62,6 +63,9 @@ pub struct NicSend {
     pub dst: u32,
     /// The message.
     pub msg: MpiWire,
+    /// Causal parent for the NIC's `mpi.nic.tx` span ([`SpanId::NONE`]
+    /// when the caller does not trace).
+    pub span: SpanId,
 }
 
 /// One segment on the wire.
@@ -151,9 +155,23 @@ impl SwNic {
             MpiWire::RndzvData { tag, data } => (3, tag, 0, data),
         };
         let total = data.len() as u64;
+        ctx.stats().add("mpi.nic.msgs", 1);
+        ctx.stats().add("mpi.nic.bytes", total);
+        let mut tx_span = SpanId::NONE;
+        if ctx.spans_enabled() {
+            tx_span = ctx.span_begin_attrs(
+                "mpi.nic.tx",
+                req.span,
+                &[Attr {
+                    key: "bytes",
+                    value: AttrValue::Bytes(total),
+                }],
+            );
+        }
         let dst_addr = (self.addr_of)(req.dst);
         let mtu = u64::from(self.mtu);
         let mut off = 0u64;
+        let mut last_ready = ctx.now();
         loop {
             let n = mtu.min(total - off);
             let seg = Segment {
@@ -169,19 +187,21 @@ impl SwNic {
             let (_, ready) = self
                 .shaper
                 .reserve(ctx.now() + self.base_latency, n.max(64));
+            last_ready = last_ready.max(ready);
             ctx.send_at(
                 self.net_tx,
                 ready,
-                Frame::new(NodeAddr(0), dst_addr, n as u32 + 16, seg),
+                Frame::new(NodeAddr(0), dst_addr, n as u32 + 16, seg).with_span(tx_span),
             );
             off += n;
             if off >= total {
                 break;
             }
         }
+        ctx.span_end_at(tx_span, last_ready);
     }
 
-    fn receive(&mut self, ctx: &mut Ctx<'_>, seg: Segment) {
+    fn receive(&mut self, ctx: &mut Ctx<'_>, seg: Segment, span: SpanId) {
         let key = (seg.src_node, seg.msg_id);
         let entry = self
             .rx
@@ -218,6 +238,16 @@ impl SwNic {
             },
             k => panic!("corrupt NIC segment kind {k}"),
         };
+        if ctx.spans_enabled() {
+            ctx.span_instant_attrs(
+                "mpi.nic.rx",
+                span,
+                &[Attr {
+                    key: "bytes",
+                    value: AttrValue::Bytes(head.total),
+                }],
+            );
+        }
         ctx.send(
             self.deliver_to,
             self.base_latency,
@@ -238,8 +268,9 @@ impl Component for SwNic {
             }
             ports::NET_RX => {
                 let frame = payload.downcast::<Frame>();
+                let span = frame.span;
                 let seg = frame.body.downcast::<Segment>();
-                self.receive(ctx, seg);
+                self.receive(ctx, seg, span);
             }
             other => panic!("NIC has no port {other:?}"),
         }
@@ -294,6 +325,7 @@ mod tests {
                     tag: 7,
                     data: Bytes::from(data.clone()),
                 },
+                span: SpanId::NONE,
             },
         );
         sim.run();
@@ -322,6 +354,7 @@ mod tests {
                     tag: 1,
                     len: 1 << 20,
                 },
+                span: SpanId::NONE,
             },
         );
         sim.run();
@@ -348,6 +381,7 @@ mod tests {
                         tag: 0,
                         data: Bytes::from(vec![1u8; len]),
                     },
+                    span: SpanId::NONE,
                 },
             );
             sim.run();
@@ -376,6 +410,7 @@ mod tests {
                         tag: u64::from(src),
                         data: Bytes::from(vec![src as u8 + 1; 30_000]),
                     },
+                    span: SpanId::NONE,
                 },
             );
         }

@@ -16,6 +16,7 @@ use accl_cclo::firmware::{BufRef, DmpInstr, FirmwareTable, FwEnv, FwOp, SlotDst,
 use accl_cclo::msg::{DType, ReduceFn};
 use accl_cclo::plugins;
 use accl_sim::prelude::*;
+use accl_sim::trace::{Attr, AttrValue, SpanId};
 
 use crate::nic::{MpiWire, NicDeliver, NicSend};
 use crate::tuning::MpiConfig;
@@ -129,6 +130,8 @@ pub struct MpiProcess {
     /// Earliest instant the (single) CPU core is free.
     cpu_free: Time,
     outstanding_cpu: u32,
+    /// The active collective's root span.
+    coll_span: SpanId,
     // Pt2pt matching state.
     arrived: BTreeMap<(u32, u64), VecDeque<Bytes>>,
     rts_seen: BTreeMap<(u32, u64), VecDeque<u64>>,
@@ -165,6 +168,7 @@ impl MpiProcess {
             env: None,
             cpu_free: Time::ZERO,
             outstanding_cpu: 0,
+            coll_span: SpanId::NONE,
             arrived: BTreeMap::new(),
             rts_seen: BTreeMap::new(),
             cts_waiting: BTreeMap::new(),
@@ -197,6 +201,25 @@ impl MpiProcess {
         let end = start + cost;
         self.cpu_free = end;
         self.outstanding_cpu += 1;
+        ctx.stats().add("mpi.cpu_ps", cost.as_ps());
+        if ctx.spans_enabled() {
+            let kind = match &work {
+                CpuWork::Exec(_) => "exec",
+                CpuWork::SendCts { .. } => "cts",
+                CpuWork::SendRndzvData { .. } => "rndzv_data",
+                CpuWork::ComputeDone => "compute",
+            };
+            ctx.span_interval_attrs(
+                "mpi.cpu",
+                self.coll_span,
+                start,
+                end,
+                &[Attr {
+                    key: "kind",
+                    value: AttrValue::Str(kind),
+                }],
+            );
+        }
         ctx.send_self(ports::CPU, end.since(ctx.now()), work);
     }
 
@@ -219,6 +242,27 @@ impl MpiProcess {
 
     fn begin_collective(&mut self, ctx: &mut Ctx<'_>, call: MpiCall) {
         let bytes = call.count * call.dtype.size() as u64;
+        ctx.stats().add("mpi.colls", 1);
+        if ctx.spans_enabled() {
+            self.coll_span = ctx.span_begin_attrs(
+                "mpi.coll",
+                SpanId::NONE,
+                &[
+                    Attr {
+                        key: "op",
+                        value: AttrValue::Str(call.op.name()),
+                    },
+                    Attr {
+                        key: "bytes",
+                        value: AttrValue::Bytes(bytes),
+                    },
+                    Attr {
+                        key: "rank",
+                        value: AttrValue::U64(u64::from(self.rank)),
+                    },
+                ],
+            );
+        }
         let env = FwEnv {
             rank: self.rank,
             size: self.size,
@@ -430,6 +474,7 @@ impl MpiProcess {
                         NicSend {
                             dst: peer,
                             msg: MpiWire::Eager { tag, data: out },
+                            span: self.coll_span,
                         },
                     );
                 } else {
@@ -443,6 +488,7 @@ impl MpiProcess {
                                 tag,
                                 len: instr.len,
                             },
+                            span: self.coll_span,
                         },
                     );
                     self.cts_waiting
@@ -459,6 +505,8 @@ impl MpiProcess {
     fn finish_collective(&mut self, ctx: &mut Ctx<'_>) {
         self.env = None;
         self.call_seq += 1;
+        ctx.span_end(self.coll_span);
+        self.coll_span = SpanId::NONE;
         self.complete_step(ctx);
     }
 
@@ -531,6 +579,7 @@ impl Component for MpiProcess {
                             NicSend {
                                 dst: src,
                                 msg: MpiWire::Cts { tag },
+                                span: self.coll_span,
                             },
                         );
                     }
@@ -541,6 +590,7 @@ impl Component for MpiProcess {
                             NicSend {
                                 dst,
                                 msg: MpiWire::RndzvData { tag, data },
+                                span: self.coll_span,
                             },
                         );
                     }

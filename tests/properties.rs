@@ -274,6 +274,7 @@ fn prop_tcp_survives_arbitrary_loss_patterns() {
                         len: len as u64,
                         kind: TxKind::Send,
                         tag: 0,
+                        span: acclplus::sim::trace::SpanId::NONE,
                     },
                 );
                 sim.post(
@@ -373,6 +374,7 @@ fn prop_rdma_survives_reordering_with_tight_tokens() {
                         len: len as u64,
                         kind: TxKind::Send,
                         tag: 0,
+                        span: acclplus::sim::trace::SpanId::NONE,
                     },
                 );
                 sim.post(
