@@ -18,8 +18,8 @@ use crate::dmp::{ports as dmp_ports, Dmp};
 use crate::firmware::{CollectiveProgram, FirmwareTable};
 use crate::rbm::{ports as rbm_ports, Rbm};
 use crate::rxsys::{ports as rx_ports, RxSys};
-use crate::txsys::{ports as tx_ports, TxSys};
-use crate::uc::{ports as uc_ports, Uc};
+use crate::txsys::{ports as tx_ports, TxFallback, TxSys};
+use crate::uc::{ports as uc_ports, TransportFailover, Uc};
 
 /// Construction parameters for one CCLO engine.
 pub struct CcloEngineSpec {
@@ -153,5 +153,27 @@ impl CcloEngine {
     /// Routes kernel-stream output chunks to `ep` (streaming collectives).
     pub fn set_kernel_out(&self, sim: &mut Simulator, ep: Endpoint) {
         sim.component_mut::<Dmp>(self.dmp).set_kernel_out(ep);
+    }
+
+    /// Arms a standby POE for graceful degradation: after `threshold`
+    /// session errors on the primary, the Tx system retargets its command
+    /// and data streams to `tx_cmd`/`tx_data` and the uC downgrades its
+    /// protocol selection to `profile` (e.g. no rendezvous over TCP).
+    pub fn set_tx_fallback(
+        &self,
+        sim: &mut Simulator,
+        tx_cmd: Endpoint,
+        tx_data: Endpoint,
+        profile: TransportFailover,
+        threshold: u64,
+    ) {
+        sim.component_mut::<TxSys>(self.txsys)
+            .set_fallback(TxFallback {
+                tx_cmd,
+                tx_data,
+                notify: Endpoint::new(self.uc, uc_ports::FAILOVER),
+                profile,
+                threshold,
+            });
     }
 }

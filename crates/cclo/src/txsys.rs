@@ -101,6 +101,23 @@ pub struct TxJobDone {
     pub ticket: u64,
 }
 
+/// A standby POE the Tx system can retarget to when the primary keeps
+/// failing — the graceful-degradation path that fails RDMA collectives
+/// over to a co-resident TCP engine after repeated QP errors.
+#[derive(Debug, Clone, Copy)]
+pub struct TxFallback {
+    /// The fallback POE's Tx command port.
+    pub tx_cmd: Endpoint,
+    /// The fallback POE's Tx data port.
+    pub tx_data: Endpoint,
+    /// Where to announce the switch (the uC's `FAILOVER` port).
+    pub notify: Endpoint,
+    /// Capabilities the uC must downgrade to after the switch.
+    pub profile: crate::uc::TransportFailover,
+    /// Session errors on the primary that trigger the switch.
+    pub threshold: u64,
+}
+
 /// Ports of the [`TxSys`] component.
 pub mod ports {
     use accl_sim::event::PortId;
@@ -139,6 +156,9 @@ pub struct TxSys {
     job_latency: Dur,
     jobs_completed: u64,
     session_errors: u64,
+    /// Armed standby POE; taken when the switch engages.
+    fallback: Option<TxFallback>,
+    failovers: u64,
 }
 
 impl TxSys {
@@ -162,6 +182,8 @@ impl TxSys {
             job_latency,
             jobs_completed: 0,
             session_errors: 0,
+            fallback: None,
+            failovers: 0,
         }
     }
 
@@ -175,6 +197,54 @@ impl TxSys {
         self.session_errors
     }
 
+    /// Arms a standby POE for graceful degradation.
+    pub fn set_fallback(&mut self, fallback: TxFallback) {
+        self.fallback = Some(fallback);
+    }
+
+    /// Times the Tx path switched to a fallback POE.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Switches to the armed fallback once the primary's session-error
+    /// count crosses the threshold. Only called between jobs — a message
+    /// must never be split across two engines — so with a job mid-flight
+    /// the check simply re-runs when the head finishes.
+    fn maybe_failover(&mut self, ctx: &mut Ctx<'_>) {
+        let engage = self
+            .fallback
+            .is_some_and(|fb| self.session_errors >= fb.threshold);
+        if !engage {
+            return;
+        }
+        let fb = self.fallback.take().expect("fallback checked above");
+        self.poe_tx_cmd = fb.tx_cmd;
+        self.poe_tx_data = fb.tx_data;
+        self.failovers += 1;
+        ctx.stats().add("txsys.failovers", 1);
+        // Queued rendezvous WRITEs cannot run on the (two-sided) fallback;
+        // flush them, reporting their tickets done so the DMP unwinds. The
+        // owning calls were already aborted by the watchdog when the
+        // primary's sessions failed, and the driver reissues them — now
+        // routed through the fallback with eager protocol selection.
+        let jobs = std::mem::take(&mut self.jobs);
+        for job in jobs {
+            if let TxJob::RndzvData { ticket, .. } = &job {
+                self.bufs.remove(ticket);
+                ctx.stats().add("txsys.jobs_flushed", 1);
+                ctx.send(
+                    self.dmp_done,
+                    self.job_latency,
+                    TxJobDone { ticket: *ticket },
+                );
+            } else {
+                self.jobs.push_back(job);
+            }
+        }
+        ctx.send(fb.notify, self.job_latency, fb.profile);
+    }
+
     fn next_seq(&mut self, session: SessionId) -> u64 {
         let s = self.seq.entry(session).or_insert(0);
         let v = *s;
@@ -185,6 +255,9 @@ impl TxSys {
     /// Drives the head job as far as available data allows.
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
         loop {
+            if !self.head_started {
+                self.maybe_failover(ctx);
+            }
             let Some(job) = self.jobs.front().cloned() else {
                 return;
             };
@@ -354,6 +427,9 @@ impl Component for TxSys {
                 if payload.try_downcast::<accl_poe::PoeSessionError>().is_ok() {
                     self.session_errors += 1;
                     ctx.stats().add("txsys.session_errors", 1);
+                    if !self.head_started {
+                        self.maybe_failover(ctx);
+                    }
                 }
             }
             other => panic!("Tx system has no port {other:?}"),

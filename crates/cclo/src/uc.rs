@@ -42,6 +42,21 @@ pub mod ports {
     pub const STEP: PortId = PortId(3);
     /// Collective-watchdog expiry (self-scheduled).
     pub const TIMEOUT: PortId = PortId(4);
+    /// Transport-failover notifications from the Tx system
+    /// ([`super::TransportFailover`]).
+    pub const FAILOVER: PortId = PortId(5);
+}
+
+/// Announcement that the Tx path switched to a fallback POE. The uC adopts
+/// the new transport's capabilities for all subsequent protocol and
+/// algorithm selection; the call that triggered the switch has already
+/// been aborted by the watchdog and is reissued by the host driver.
+#[derive(Debug, Clone, Copy)]
+pub struct TransportFailover {
+    /// Whether the fallback POE supports rendezvous.
+    pub rendezvous_capable: bool,
+    /// Whether the fallback transport is reliable.
+    pub reliable: bool,
 }
 
 /// Self-scheduled watchdog token. A firing is acted on only if the call it
@@ -119,6 +134,8 @@ pub struct Uc {
     orphans: BTreeSet<u64>,
     orphans_reaped: u64,
     calls_aborted: u64,
+    /// Transport failovers observed (the Tx system announced a POE swap).
+    failovers_observed: u64,
 }
 
 impl Uc {
@@ -153,6 +170,7 @@ impl Uc {
             orphans: BTreeSet::new(),
             orphans_reaped: 0,
             calls_aborted: 0,
+            failovers_observed: 0,
         }
     }
 
@@ -193,6 +211,11 @@ impl Uc {
     /// DMP completions reaped for already-aborted calls.
     pub fn orphans_reaped(&self) -> u64 {
         self.orphans_reaped
+    }
+
+    /// Transport failovers announced by the Tx system so far.
+    pub fn failovers_observed(&self) -> u64 {
+        self.failovers_observed
     }
 
     fn comm(&self, id: u32) -> &CommunicatorCfg {
@@ -741,6 +764,13 @@ impl Component for Uc {
                 if expired {
                     self.abort_call(ctx);
                 }
+            }
+            ports::FAILOVER => {
+                let fo = payload.downcast::<TransportFailover>();
+                self.rendezvous_capable = fo.rendezvous_capable;
+                self.reliable = fo.reliable;
+                self.failovers_observed += 1;
+                ctx.stats().add("uc.transport_failovers", 1);
             }
             other => panic!("uC has no port {other:?}"),
         }

@@ -1,0 +1,300 @@
+//! The JSON repro format: a failing chaos run, pinned.
+//!
+//! A repro is the complete recipe for re-running one chaos failure: the
+//! exact seed, the workload specification, and the (shrunk) fault-event
+//! schedule. It is deliberately tiny and human-readable — the point of
+//! shrinking is that the file a CI job uploads, or a developer checks in
+//! as a regression, names *the* one or two faults that matter:
+//!
+//! ```json
+//! {
+//!   "format": 1,
+//!   "seed": 17,
+//!   "workload": {
+//!     "op": "allreduce", "nodes": 3, "count": 2048,
+//!     "transport": "tcp", "verify_fcs": false
+//!   },
+//!   "events": [
+//!     {"kind": "corrupt", "index": 9}
+//!   ]
+//! }
+//! ```
+
+use crate::json::{parse, Json};
+use crate::workload::{self, CollKind, RunReport, WorkloadSpec};
+use accl_core::Transport;
+use accl_net::{Degradation, FaultEvent, FaultPlan, NodeAddr};
+use accl_sim::time::{Dur, Time};
+
+/// Repro file format version; bumped on schema changes.
+const FORMAT: u64 = 1;
+
+/// A serializable chaos failure: seed + workload + minimal schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Repro {
+    /// The chaos seed the failure was found at.
+    pub seed: u64,
+    /// The workload that exposed it.
+    pub spec: WorkloadSpec,
+    /// The (typically shrunk) fault schedule.
+    pub events: Vec<FaultEvent>,
+}
+
+impl Repro {
+    /// Rebuilds the fault plan from the event list.
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan::from_events(&self.events)
+    }
+
+    /// Re-runs the workload under the repro's schedule.
+    pub fn replay(&self) -> RunReport {
+        workload::run(&self.spec, self.plan())
+    }
+
+    /// Serializes to the pretty JSON repro format.
+    pub fn to_json(&self) -> String {
+        let spec = Json::Obj(vec![
+            (
+                "op".into(),
+                Json::Str(
+                    match self.spec.kind {
+                        CollKind::AllReduce => "allreduce",
+                        CollKind::Bcast => "bcast",
+                    }
+                    .into(),
+                ),
+            ),
+            ("nodes".into(), Json::Num(self.spec.nodes as u64)),
+            ("count".into(), Json::Num(self.spec.count)),
+            (
+                "transport".into(),
+                Json::Str(
+                    match self.spec.transport {
+                        Transport::Tcp => "tcp",
+                        Transport::Udp => "udp",
+                        Transport::Rdma => "rdma",
+                    }
+                    .into(),
+                ),
+            ),
+            ("verify_fcs".into(), Json::Bool(self.spec.verify_fcs)),
+        ]);
+        Json::Obj(vec![
+            ("format".into(), Json::Num(FORMAT)),
+            ("seed".into(), Json::Num(self.seed)),
+            ("workload".into(), spec),
+            (
+                "events".into(),
+                Json::Arr(self.events.iter().map(event_to_json).collect()),
+            ),
+        ])
+        .pretty()
+    }
+
+    /// Parses a repro file.
+    pub fn from_json(text: &str) -> Result<Repro, String> {
+        let doc = parse(text)?;
+        let format = doc
+            .field("format")?
+            .as_u64()
+            .ok_or("format: not a number")?;
+        if format != FORMAT {
+            return Err(format!(
+                "unsupported repro format {format} (expected {FORMAT})"
+            ));
+        }
+        let seed = doc.field("seed")?.as_u64().ok_or("seed: not a number")?;
+        let w = doc.field("workload")?;
+        let kind = match w.field("op")?.as_str().ok_or("op: not a string")? {
+            "allreduce" => CollKind::AllReduce,
+            "bcast" => CollKind::Bcast,
+            other => return Err(format!("unknown op `{other}`")),
+        };
+        let transport = match w
+            .field("transport")?
+            .as_str()
+            .ok_or("transport: not a string")?
+        {
+            "tcp" => Transport::Tcp,
+            "udp" => Transport::Udp,
+            "rdma" => Transport::Rdma,
+            other => return Err(format!("unknown transport `{other}`")),
+        };
+        let spec = WorkloadSpec {
+            kind,
+            nodes: w.field("nodes")?.as_u64().ok_or("nodes: not a number")? as usize,
+            count: w.field("count")?.as_u64().ok_or("count: not a number")?,
+            transport,
+            verify_fcs: w
+                .field("verify_fcs")?
+                .as_bool()
+                .ok_or("verify_fcs: not a bool")?,
+            seed,
+        };
+        let events = doc
+            .field("events")?
+            .as_arr()
+            .ok_or("events: not an array")?
+            .iter()
+            .map(event_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Repro { seed, spec, events })
+    }
+}
+
+fn event_to_json(ev: &FaultEvent) -> Json {
+    let obj = |kind: &str, rest: Vec<(String, Json)>| {
+        let mut pairs = vec![("kind".to_string(), Json::Str(kind.into()))];
+        pairs.extend(rest);
+        Json::Obj(pairs)
+    };
+    match *ev {
+        FaultEvent::Drop { index } => obj("drop", vec![("index".into(), Json::Num(index))]),
+        FaultEvent::Corrupt { index } => obj("corrupt", vec![("index".into(), Json::Num(index))]),
+        FaultEvent::Duplicate { index } => {
+            obj("duplicate", vec![("index".into(), Json::Num(index))])
+        }
+        FaultEvent::Delay { index, by } => obj(
+            "delay",
+            vec![
+                ("index".into(), Json::Num(index)),
+                ("by_ps".into(), Json::Num(by.as_ps())),
+            ],
+        ),
+        FaultEvent::LinkDown { node, from, until } => obj(
+            "link_down",
+            vec![
+                ("node".into(), Json::Num(node.0 as u64)),
+                ("from_ps".into(), Json::Num(from.as_ps())),
+                ("until_ps".into(), Json::Num(until.as_ps())),
+            ],
+        ),
+        FaultEvent::Degrade { node, window } => obj(
+            "degrade",
+            vec![
+                ("node".into(), Json::Num(node.0 as u64)),
+                ("from_ps".into(), Json::Num(window.from.as_ps())),
+                ("until_ps".into(), Json::Num(window.until.as_ps())),
+                ("loss_ppm".into(), Json::Num(window.loss_ppm as u64)),
+                (
+                    "throttle_gbps_x100".into(),
+                    Json::Num(window.throttle_gbps_x100 as u64),
+                ),
+            ],
+        ),
+        FaultEvent::Crash { node, at } => obj(
+            "crash",
+            vec![
+                ("node".into(), Json::Num(node.0 as u64)),
+                ("at_ps".into(), Json::Num(at.as_ps())),
+            ],
+        ),
+    }
+}
+
+fn event_from_json(v: &Json) -> Result<FaultEvent, String> {
+    let num = |key: &str| -> Result<u64, String> {
+        v.field(key)?
+            .as_u64()
+            .ok_or_else(|| format!("{key}: not a number"))
+    };
+    let node = |key: &str| -> Result<NodeAddr, String> { Ok(NodeAddr(num(key)? as u32)) };
+    match v.field("kind")?.as_str().ok_or("kind: not a string")? {
+        "drop" => Ok(FaultEvent::Drop {
+            index: num("index")?,
+        }),
+        "corrupt" => Ok(FaultEvent::Corrupt {
+            index: num("index")?,
+        }),
+        "duplicate" => Ok(FaultEvent::Duplicate {
+            index: num("index")?,
+        }),
+        "delay" => Ok(FaultEvent::Delay {
+            index: num("index")?,
+            by: Dur::from_ps(num("by_ps")?),
+        }),
+        "link_down" => Ok(FaultEvent::LinkDown {
+            node: node("node")?,
+            from: Time::from_ps(num("from_ps")?),
+            until: Time::from_ps(num("until_ps")?),
+        }),
+        "degrade" => Ok(FaultEvent::Degrade {
+            node: node("node")?,
+            window: Degradation {
+                from: Time::from_ps(num("from_ps")?),
+                until: Time::from_ps(num("until_ps")?),
+                loss_ppm: num("loss_ppm")? as u32,
+                throttle_gbps_x100: num("throttle_gbps_x100")? as u32,
+            },
+        }),
+        "crash" => Ok(FaultEvent::Crash {
+            node: node("node")?,
+            at: Time::from_ps(num("at_ps")?),
+        }),
+        other => Err(format!("unknown event kind `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let repro = Repro {
+            seed: 99,
+            spec: WorkloadSpec {
+                kind: CollKind::Bcast,
+                nodes: 4,
+                count: 512,
+                transport: Transport::Udp,
+                verify_fcs: true,
+                seed: 99,
+            },
+            events: vec![
+                FaultEvent::Drop { index: 3 },
+                FaultEvent::Corrupt { index: 7 },
+                FaultEvent::Duplicate { index: 11 },
+                FaultEvent::Delay {
+                    index: 13,
+                    by: Dur::from_us(40),
+                },
+                FaultEvent::LinkDown {
+                    node: NodeAddr(1),
+                    from: Time::from_ps(500),
+                    until: Time::from_ps(900),
+                },
+                FaultEvent::Degrade {
+                    node: NodeAddr(2),
+                    window: Degradation {
+                        from: Time::from_ps(100),
+                        until: Time::from_ps(200),
+                        loss_ppm: 10_000,
+                        throttle_gbps_x100: 2_500,
+                    },
+                },
+                FaultEvent::Crash {
+                    node: NodeAddr(3),
+                    at: Time::from_ps(1234),
+                },
+            ],
+        };
+        let text = repro.to_json();
+        assert_eq!(Repro::from_json(&text).unwrap(), repro);
+        // The plan the events rebuild is itself explicit, so the event
+        // decomposition round-trips through FaultPlan too.
+        let plan = repro.plan();
+        assert!(plan.is_explicit());
+        let canonical = plan.to_events();
+        assert_eq!(FaultPlan::from_events(&canonical).to_events(), canonical);
+    }
+
+    #[test]
+    fn rejects_unknown_formats_and_kinds() {
+        assert!(Repro::from_json("{\"format\": 2}").is_err());
+        let bad = "{\"format\": 1, \"seed\": 0, \"workload\": {\"op\": \"gather\", \
+                   \"nodes\": 2, \"count\": 1, \"transport\": \"tcp\", \
+                   \"verify_fcs\": true}, \"events\": []}";
+        assert!(Repro::from_json(bad).is_err());
+    }
+}

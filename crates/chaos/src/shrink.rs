@@ -1,0 +1,126 @@
+//! Delta-debugging (`ddmin`) over fault-event schedules.
+//!
+//! A failing chaos seed typically carries a dozen-plus scheduled faults,
+//! almost all of which are bystanders. Because every replay of the same
+//! `(workload, plan)` pair is bit-identical, the classic ddmin algorithm
+//! (Zeller & Hildebrandt) applies directly: partition the event list,
+//! replay subsets and complements, keep whichever still fails, and refine
+//! until the schedule is 1-minimal — removing *any single event* makes
+//! the failure disappear.
+//!
+//! The test predicate is "the workload violates an invariant", not "the
+//! same violation recurs": shrinking is allowed to slide between, say, a
+//! data mismatch and a wedge, as long as each kept subset is a real
+//! failure. In practice a corruption bug shrinks to the one `Corrupt`
+//! event that hits a payload frame.
+
+use accl_net::FaultEvent;
+
+/// Minimizes `events` under `still_fails` with ddmin. Returns the
+/// 1-minimal failing subset and the number of replays spent.
+///
+/// `still_fails(&events)` must be `true` on entry (the caller found the
+/// failure); it is not re-checked. The predicate must be deterministic —
+/// with the simulator's replay guarantee it is, as long as the caller
+/// rebuilds the cluster from scratch per probe.
+pub fn ddmin(
+    events: &[FaultEvent],
+    still_fails: &mut dyn FnMut(&[FaultEvent]) -> bool,
+) -> (Vec<FaultEvent>, u32) {
+    let mut current = events.to_vec();
+    let mut replays = 0u32;
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunks = partition(&current, n);
+        let mut reduced = false;
+
+        // Try each chunk alone: a failing chunk is a much smaller input.
+        for chunk in &chunks {
+            replays += 1;
+            if still_fails(chunk) {
+                current = chunk.clone();
+                n = 2;
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            continue;
+        }
+
+        // Try each complement: dropping one chunk while keeping the rest.
+        if n > 2 {
+            for skip in 0..chunks.len() {
+                let complement: Vec<FaultEvent> = chunks
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .flat_map(|(_, c)| c.iter().copied())
+                    .collect();
+                replays += 1;
+                if still_fails(&complement) {
+                    current = complement;
+                    n = (n - 1).max(2);
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        if reduced {
+            continue;
+        }
+
+        // No progress at this granularity: refine or stop.
+        if n >= current.len() {
+            break;
+        }
+        n = (n * 2).min(current.len());
+    }
+    (current, replays)
+}
+
+fn partition(events: &[FaultEvent], n: usize) -> Vec<Vec<FaultEvent>> {
+    let n = n.min(events.len()).max(1);
+    let chunk = events.len().div_ceil(n);
+    events.chunks(chunk).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(index: u64) -> FaultEvent {
+        FaultEvent::Drop { index }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let events: Vec<FaultEvent> = (0..16).map(ev).collect();
+        let culprit = ev(11);
+        let (min, replays) = ddmin(&events, &mut |subset| subset.contains(&culprit));
+        assert_eq!(min, vec![culprit]);
+        assert!(replays > 0);
+    }
+
+    #[test]
+    fn shrinks_to_an_interacting_pair() {
+        let events: Vec<FaultEvent> = (0..13).map(ev).collect();
+        let (a, b) = (ev(2), ev(9));
+        let (min, _) = ddmin(&events, &mut |s| s.contains(&a) && s.contains(&b));
+        let mut sorted = min.clone();
+        sorted.sort_by_key(|e| match e {
+            FaultEvent::Drop { index } => *index,
+            _ => unreachable!(),
+        });
+        assert_eq!(sorted, vec![a, b]);
+        // 1-minimality: dropping either endpoint breaks the failure.
+        assert!(!(min[1..].contains(&a) && min[1..].contains(&b)));
+    }
+
+    #[test]
+    fn keeps_everything_when_all_events_matter() {
+        let events: Vec<FaultEvent> = (0..5).map(ev).collect();
+        let (min, _) = ddmin(&events, &mut |s| s.len() == 5);
+        assert_eq!(min.len(), 5);
+    }
+}

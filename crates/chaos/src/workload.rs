@@ -1,0 +1,342 @@
+//! The invariant-checked workload: one collective under one fault plan.
+//!
+//! A chaos run is a *closed* experiment: the workload, the cluster
+//! configuration and the fault schedule are all pure functions of the
+//! run's parameters, so a violation found at seed N replays exactly —
+//! which is what makes delta-debugging the schedule possible at all.
+//!
+//! Four invariants are checked, in order of severity:
+//!
+//! 1. **No wedging.** The simulation drains (or the engine watchdog
+//!    fires); a stalled simulator or an unfinished host program is a
+//!    harness violation, never a pass.
+//! 2. **Completion or typed error.** Every rank's collective finishes
+//!    with `Ok` or a [`CclError`]; under a *transparent* plan (no faults)
+//!    any error at all is a violation.
+//! 3. **Data integrity.** A rank whose call completed `Ok` must hold the
+//!    bit-exact golden result (CPU-computed reduction/broadcast) — a
+//!    transport is allowed to fail a call, but never to complete it with
+//!    corrupted payload.
+//! 4. **Metric sanity.** Counters must be consistent with the schedule:
+//!    corrupted-frame discards cannot appear unless the plan injects
+//!    corruption, and a completed call implies driver completions.
+
+use accl_core::{
+    AcclCluster, AlgoConfig, BufLoc, CclError, ClusterConfig, CollOp, CollSpec, DType, HostDriver,
+    HostOp, RetryPolicy, Transport,
+};
+use accl_net::{FaultEvent, FaultPlan};
+
+/// Watchdog window for chaos runs, µs. Comfortably above the worst
+/// transient-recovery latency at the default profile (flaps ≤ 120 µs,
+/// TCP RTO ladder ≤ ~10 ms), far below "wedged".
+const WATCHDOG_US: u64 = 30_000;
+
+/// Driver retries per call: transient faults that abort an attempt are
+/// masked, sustained ones run the budget dry and surface typed.
+const RETRIES: u32 = 4;
+
+/// Which collective the workload issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollKind {
+    /// Sum-allreduce of i32 across all ranks; golden result is the CPU
+    /// elementwise sum of every rank's pattern.
+    AllReduce,
+    /// Broadcast from rank 0; golden result is the root's pattern.
+    Bcast,
+}
+
+/// A fully specified chaos workload: everything needed to rebuild the
+/// cluster and rerun the experiment, bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// The collective under test.
+    pub kind: CollKind,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Elements (i32) per rank.
+    pub count: u64,
+    /// Protocol offload engine.
+    pub transport: Transport,
+    /// Whether the TCP engine verifies frame check sequences at RX.
+    /// `true` in every real configuration; the harness's self-test sets
+    /// it `false` to plant a known integrity bug and confirm the sweep
+    /// catches and shrinks it.
+    pub verify_fcs: bool,
+    /// Simulation seed (also the chaos seed that named this run).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The per-seed workload of a sweep: alternates the collective by
+    /// seed parity so both data paths (reduce rings and broadcast trees)
+    /// see fault coverage.
+    pub fn for_seed(seed: u64, nodes: usize, count: u64, transport: Transport) -> Self {
+        WorkloadSpec {
+            kind: if seed.is_multiple_of(2) {
+                CollKind::AllReduce
+            } else {
+                CollKind::Bcast
+            },
+            nodes,
+            count,
+            transport,
+            verify_fcs: true,
+            seed,
+        }
+    }
+}
+
+/// An invariant violation — the thing a chaos sweep exists to find.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The simulation wedged: stalled mid-run or left a host program
+    /// unfinished. Carries the cluster's diagnosis verbatim.
+    Wedged(String),
+    /// A rank completed `Ok` holding bytes that differ from the golden
+    /// CPU result.
+    DataMismatch {
+        /// The lying rank.
+        rank: u32,
+        /// First differing byte offset.
+        byte: usize,
+    },
+    /// A rank failed under a *transparent* plan — an error with no fault
+    /// to blame.
+    SpuriousError {
+        /// The failing rank.
+        rank: u32,
+        /// Its typed error.
+        error: CclError,
+    },
+    /// A counter disagreed with the schedule.
+    MetricNonsense(String),
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Wedged(why) => write!(f, "wedged: {why}"),
+            Violation::DataMismatch { rank, byte } => {
+                write!(
+                    f,
+                    "rank {rank} completed Ok with wrong data (first bad byte {byte})"
+                )
+            }
+            Violation::SpuriousError { rank, error } => {
+                write!(f, "rank {rank} failed ({error}) under a fault-free plan")
+            }
+            Violation::MetricNonsense(why) => write!(f, "metric nonsense: {why}"),
+        }
+    }
+}
+
+/// The outcome of one chaos run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The first invariant violation found, if any.
+    pub violation: Option<Violation>,
+    /// Per-rank call results (empty if the run wedged).
+    pub results: Vec<Result<(), CclError>>,
+    /// Simulator events executed — the determinism digest.
+    pub events_executed: u64,
+    /// Frames the switch dropped (faults + schedule windows).
+    pub frames_dropped: u64,
+    /// Corrupted frames discarded at POE RX, summed over nodes.
+    pub corrupted_drops: u64,
+    /// Driver retries, summed over ranks.
+    pub retries: u64,
+}
+
+impl RunReport {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+fn i32s(vals: impl Iterator<Item = i32>) -> Vec<u8> {
+    vals.flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn pattern(rank: usize, count: u64) -> Vec<u8> {
+    i32s((0..count as i32).map(|i| i.wrapping_mul(3).wrapping_add(rank as i32 * 97)))
+}
+
+fn golden(spec: &WorkloadSpec) -> Vec<u8> {
+    match spec.kind {
+        CollKind::AllReduce => i32s((0..spec.count as i32).map(|i| {
+            (0..spec.nodes as i32)
+                .map(|r| i.wrapping_mul(3).wrapping_add(r * 97))
+                .fold(0i32, i32::wrapping_add)
+        })),
+        CollKind::Bcast => pattern(0, spec.count),
+    }
+}
+
+/// Runs `spec` under `plan` and checks every invariant.
+///
+/// Takes the plan by value ([`FaultPlan`] holds an un-clonable predicate
+/// slot); regenerate or rebuild from events to run the same schedule
+/// again — both are cheap and exact.
+pub fn run(spec: &WorkloadSpec, plan: FaultPlan) -> RunReport {
+    let mut cfg = ClusterConfig::coyote_rdma(spec.nodes);
+    cfg.transport = spec.transport;
+    cfg.seed = spec.seed;
+    cfg.cclo.collective_timeout_us = Some(WATCHDOG_US);
+    cfg.tcp.verify_fcs = spec.verify_fcs;
+    let mut c = AcclCluster::build(cfg);
+    c.set_retry_policy(RetryPolicy::retries(RETRIES));
+    // Force the ring composition for allreduce: every rank transmits from
+    // the start, maximizing the schedule's fault surface.
+    c.set_algo_config(AlgoConfig {
+        allreduce_ring_min_bytes: 1,
+        ..AlgoConfig::default()
+    });
+    let transparent = plan.is_transparent();
+    let plan_corrupts = !plan.is_explicit()
+        || plan
+            .to_events()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Corrupt { .. }));
+    c.set_fault_plan(plan);
+
+    let mut specs = Vec::new();
+    let mut dsts = Vec::new();
+    for rank in 0..spec.nodes {
+        let dst = c.alloc(rank, BufLoc::Device, spec.count * 4);
+        let coll = match spec.kind {
+            CollKind::AllReduce => {
+                let src = c.alloc(rank, BufLoc::Device, spec.count * 4);
+                c.write(&src, &pattern(rank, spec.count));
+                CollSpec::new(CollOp::AllReduce, spec.count, DType::I32)
+                    .src(src)
+                    .dst(dst)
+            }
+            CollKind::Bcast => {
+                if rank == 0 {
+                    c.write(&dst, &pattern(0, spec.count));
+                }
+                CollSpec::new(CollOp::Bcast, spec.count, DType::I32).dst(dst)
+            }
+        };
+        specs.push(coll);
+        dsts.push(dst);
+    }
+
+    let programs = specs.into_iter().map(|s| vec![HostOp::Coll(s)]).collect();
+    let records = match c.try_run_host_programs(programs) {
+        Ok(records) => records,
+        Err(why) => {
+            return RunReport {
+                violation: Some(Violation::Wedged(why)),
+                results: Vec::new(),
+                events_executed: c.sim.events_executed(),
+                frames_dropped: c.network().frames_dropped(&c.sim),
+                corrupted_drops: (0..spec.nodes).map(|i| c.corrupted_drops(i)).sum(),
+                retries: 0,
+            }
+        }
+    };
+
+    let results: Vec<Result<(), CclError>> = records.iter().map(|r| r[0].result()).collect();
+    let expected = golden(spec);
+    let mut violation = None;
+    for rank in 0..spec.nodes {
+        match results[rank] {
+            Ok(()) => {
+                let got = c.read(&dsts[rank]);
+                if let Some(byte) = first_mismatch(&got, &expected) {
+                    violation = Some(Violation::DataMismatch {
+                        rank: rank as u32,
+                        byte,
+                    });
+                    break;
+                }
+                if c.node_stats(rank).driver_calls_completed == 0 {
+                    violation = Some(Violation::MetricNonsense(format!(
+                        "rank {rank} returned Ok with zero driver completions"
+                    )));
+                    break;
+                }
+            }
+            Err(error) if transparent => {
+                violation = Some(Violation::SpuriousError {
+                    rank: rank as u32,
+                    error,
+                });
+                break;
+            }
+            Err(_) => {}
+        }
+    }
+
+    let corrupted_drops: u64 = (0..spec.nodes).map(|i| c.corrupted_drops(i)).sum();
+    if violation.is_none() && corrupted_drops > 0 && !plan_corrupts {
+        violation = Some(Violation::MetricNonsense(format!(
+            "{corrupted_drops} corrupted-frame discards under a corruption-free plan"
+        )));
+    }
+
+    RunReport {
+        violation,
+        results,
+        events_executed: c.sim.events_executed(),
+        frames_dropped: c.network().frames_dropped(&c.sim),
+        corrupted_drops,
+        retries: (0..spec.nodes)
+            .map(|i| {
+                c.sim
+                    .component::<HostDriver>(c.node(i).driver)
+                    .retries_attempted()
+            })
+            .sum(),
+    }
+}
+
+fn first_mismatch(got: &[u8], expected: &[u8]) -> Option<usize> {
+    if got.len() != expected.len() {
+        return Some(got.len().min(expected.len()));
+    }
+    got.iter().zip(expected).position(|(g, e)| g != e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_runs_pass_on_every_transport() {
+        for transport in [Transport::Tcp, Transport::Udp, Transport::Rdma] {
+            for kind in [CollKind::AllReduce, CollKind::Bcast] {
+                let spec = WorkloadSpec {
+                    kind,
+                    nodes: 2,
+                    count: 256,
+                    transport,
+                    verify_fcs: true,
+                    seed: 1,
+                };
+                let report = run(&spec, FaultPlan::none());
+                assert!(
+                    report.passed(),
+                    "{transport:?}/{kind:?}: {}",
+                    report.violation.unwrap()
+                );
+                assert!(report.results.iter().all(|r| r.is_ok()));
+            }
+        }
+    }
+
+    #[test]
+    fn seed_parity_alternates_the_collective() {
+        assert_eq!(
+            WorkloadSpec::for_seed(0, 2, 64, Transport::Tcp).kind,
+            CollKind::AllReduce
+        );
+        assert_eq!(
+            WorkloadSpec::for_seed(1, 2, 64, Transport::Tcp).kind,
+            CollKind::Bcast
+        );
+    }
+}

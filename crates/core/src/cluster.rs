@@ -8,13 +8,19 @@
 
 use accl_cclo::config::CommunicatorCfg;
 use accl_cclo::engine::{CcloEngine, CcloEngineSpec};
+use accl_cclo::uc::TransportFailover;
 use accl_mem::{MemAddr, MemBusConfig, MemoryBus, XdmaEngine};
 use accl_net::Network;
 use accl_poe::iface::{ports as poe_ports, SessionId, SessionTable};
-use accl_poe::rdma::{RdmaConfig, RdmaPoe};
-use accl_poe::tcp::{TcpConfig, TcpPoe};
+use accl_poe::mux::RxMux;
+use accl_poe::rdma::RdmaPoe;
+use accl_poe::tcp::TcpPoe;
 use accl_poe::udp::{UdpConfig, UdpPoe};
 use accl_sim::prelude::*;
+
+/// Session errors on a primary RDMA POE before the Tx system engages the
+/// standby TCP POE — "repeated QP errors", not a single transient one.
+const FAILOVER_THRESHOLD: u64 = 2;
 
 use crate::buffer::{BufLoc, BufferHandle, NodeSpaces, SCRATCH_BASE, SCRATCH_BYTES};
 use crate::comm::Communicator;
@@ -30,6 +36,8 @@ pub struct NodeHandles {
     pub bus: ComponentId,
     /// The protocol offload engine.
     pub poe: ComponentId,
+    /// The standby TCP POE (RDMA clusters built with `tcp_fallback`).
+    pub fallback_poe: Option<ComponentId>,
     /// The CCLO engine blocks.
     pub cclo: CcloEngine,
     /// The XDMA staging engine (partitioned platforms only).
@@ -115,35 +123,67 @@ impl AcclCluster {
                     scratch_mem,
                 },
             );
-            let mut sessions = SessionTable::new();
-            for j in 0..cfg.nodes {
-                if i != j {
-                    sessions.connect(SessionId(j as u32), net.addr(j), SessionId(i as u32));
+            let make_sessions = || {
+                let mut sessions = SessionTable::new();
+                for j in 0..cfg.nodes {
+                    if i != j {
+                        sessions.connect(SessionId(j as u32), net.addr(j), SessionId(i as u32));
+                    }
                 }
-            }
+                sessions
+            };
             let up = cclo.poe_upward();
             match cfg.transport {
                 Transport::Udp => {
                     sim.install(
                         poe,
-                        UdpPoe::new(UdpConfig::default(), net.tx(i), up, sessions),
+                        UdpPoe::new(UdpConfig::default(), net.tx(i), up, make_sessions()),
                     );
                 }
                 Transport::Tcp => {
-                    sim.install(
-                        poe,
-                        TcpPoe::new(TcpConfig::default(), net.tx(i), up, sessions),
-                    );
+                    sim.install(poe, TcpPoe::new(cfg.tcp, net.tx(i), up, make_sessions()));
                 }
                 Transport::Rdma => {
                     sim.install(
                         poe,
-                        RdmaPoe::new(RdmaConfig::default(), net.tx(i), up, sessions)
-                            .with_mem_bus(bus),
+                        RdmaPoe::new(cfg.rdma, net.tx(i), up, make_sessions()).with_mem_bus(bus),
                     );
                 }
             }
-            net.attach_rx(&mut sim, i, Endpoint::new(poe, poe_ports::NET_RX));
+            // With a standby TCP POE armed, inbound frames pass a protocol
+            // demux in front of the two engines, and the Tx system learns
+            // where to retarget after repeated QP errors.
+            let fallback_poe = (cfg.transport == Transport::Rdma && cfg.tcp_fallback).then(|| {
+                let fb = sim.add(
+                    format!("n{i}.poe.tcp"),
+                    TcpPoe::new(cfg.tcp, net.tx(i), cclo.poe_upward(), make_sessions()),
+                );
+                cclo.set_tx_fallback(
+                    &mut sim,
+                    Endpoint::new(fb, poe_ports::TX_CMD),
+                    Endpoint::new(fb, poe_ports::TX_DATA),
+                    TransportFailover {
+                        rendezvous_capable: false,
+                        reliable: true,
+                    },
+                    FAILOVER_THRESHOLD,
+                );
+                fb
+            });
+            let rx = match fallback_poe {
+                Some(fb) => {
+                    let mux = sim.add(
+                        format!("n{i}.rxmux"),
+                        RxMux::new(
+                            Endpoint::new(poe, poe_ports::NET_RX),
+                            Endpoint::new(fb, poe_ports::NET_RX),
+                        ),
+                    );
+                    Endpoint::new(mux, poe_ports::NET_RX)
+                }
+                None => Endpoint::new(poe, poe_ports::NET_RX),
+            };
+            net.attach_rx(&mut sim, i, rx);
             cclo.set_communicator(
                 &mut sim,
                 0,
@@ -167,6 +207,7 @@ impl AcclCluster {
             nodes.push(NodeHandles {
                 bus,
                 poe,
+                fallback_poe,
                 cclo,
                 xdma,
                 driver,
@@ -292,6 +333,21 @@ impl AcclCluster {
     /// only possible with the engine watchdog disabled) or a host program
     /// never finishes.
     pub fn run_host_programs(&mut self, programs: Vec<Vec<HostOp>>) -> Vec<Vec<OpRecord>> {
+        match self.try_run_host_programs(programs) {
+            Ok(records) => records,
+            Err(why) => panic!("{why}"),
+        }
+    }
+
+    /// Non-panicking [`AcclCluster::run_host_programs`]: a stalled
+    /// simulation or an unfinished host program is reported as `Err` with
+    /// a human-readable diagnosis instead of a panic, leaving the cluster
+    /// inspectable — the entry point for chaos harnesses that must treat
+    /// "the run wedged" as a checkable outcome rather than a crash.
+    pub fn try_run_host_programs(
+        &mut self,
+        programs: Vec<Vec<HostOp>>,
+    ) -> Result<Vec<Vec<OpRecord>>, String> {
         assert_eq!(programs.len(), self.nodes.len(), "one program per node");
         let start = self.sim.now();
         let procs: Vec<ComponentId> = programs
@@ -310,20 +366,17 @@ impl AcclCluster {
             .collect();
         match self.sim.run() {
             RunOutcome::Drained => {}
-            RunOutcome::Stalled(report) => panic!("simulation stalled: {report}"),
-            other => panic!("simulation ended abnormally: {other:?}"),
+            RunOutcome::Stalled(report) => return Err(format!("simulation stalled: {report}")),
+            other => return Err(format!("simulation ended abnormally: {other:?}")),
         }
-        let mut results: Vec<Vec<OpRecord>> = procs
-            .iter()
-            .map(|&id| {
-                let proc = self.sim.component::<HostProc>(id);
-                assert!(
-                    proc.finished_at().is_some(),
-                    "a host program did not finish (deadlock?)"
-                );
-                proc.records().to_vec()
-            })
-            .collect();
+        let mut results: Vec<Vec<OpRecord>> = Vec::with_capacity(procs.len());
+        for &id in &procs {
+            let proc = self.sim.component::<HostProc>(id);
+            if proc.finished_at().is_none() {
+                return Err("a host program did not finish (deadlock?)".to_string());
+            }
+            results.push(proc.records().to_vec());
+        }
         // Failure-detector readout. A node trusts its own POE's dead-session
         // diagnosis first. Nodes without one (e.g. a ring rank that never
         // sends toward the dead peer) accept accusations gossiped from
@@ -354,7 +407,27 @@ impl AcclCluster {
                 }
             }
         }
-        results
+        // Integrity diagnosis. On an unreliable transport a corrupted
+        // frame is simply dropped — never retransmitted — so a timed-out
+        // call on a node whose engine discarded corrupted datagrams is a
+        // payload-integrity failure, not a liveness one. Reliable
+        // transports repair corruption before it can fail a call, so the
+        // upgrade applies to UDP only.
+        if self.cfg.transport == Transport::Udp {
+            for (node, records) in results.iter_mut().enumerate() {
+                if self.corrupted_drops(node) == 0 {
+                    continue;
+                }
+                for rec in records {
+                    if let Some(b) = &mut rec.breakdown {
+                        if matches!(b.result, Err(CclError::Timeout) | Err(CclError::Aborted)) {
+                            b.result = Err(CclError::DataCorrupted);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(results)
     }
 
     /// Issues the same collective on every rank through the host drivers
@@ -495,17 +568,57 @@ impl AcclCluster {
                 .into_iter()
                 .map(|(s, _)| s.0)
                 .collect(),
-            Transport::Rdma => self
-                .sim
-                .component::<RdmaPoe>(poe)
-                .failed_qps()
-                .into_iter()
-                .map(|(s, _)| s.0)
-                .collect(),
+            Transport::Rdma => {
+                let mut qps: Vec<u32> = self
+                    .sim
+                    .component::<RdmaPoe>(poe)
+                    .failed_qps()
+                    .into_iter()
+                    .map(|(s, _)| s.0)
+                    .collect();
+                // A peer is only failed if the standby path (when armed)
+                // gave up on it too; a QP error alone is the degradation
+                // signal, not a fail-stop verdict.
+                if let Some(fb) = self.nodes[node].fallback_poe {
+                    let tcp: Vec<u32> = self
+                        .sim
+                        .component::<TcpPoe>(fb)
+                        .failed_sessions()
+                        .into_iter()
+                        .map(|(s, _)| s.0)
+                        .collect();
+                    qps.retain(|p| tcp.contains(p));
+                }
+                qps
+            }
         };
         peers.sort_unstable();
         peers.dedup();
         peers
+    }
+
+    /// Frames (or datagrams) node `i`'s engines discarded at RX for a bad
+    /// frame check sequence — the observable footprint of in-flight
+    /// corruption that the reliable transports then repaired.
+    pub fn corrupted_drops(&self, i: usize) -> u64 {
+        let poe = self.nodes[i].poe;
+        let primary = match self.cfg.transport {
+            Transport::Udp => self.sim.component::<UdpPoe>(poe).dgrams_corrupted_dropped(),
+            Transport::Tcp => self
+                .sim
+                .component::<TcpPoe>(poe)
+                .frames_corrupted_discarded(),
+            Transport::Rdma => self
+                .sim
+                .component::<RdmaPoe>(poe)
+                .frames_corrupted_discarded(),
+        };
+        let standby = self.nodes[i].fallback_poe.map_or(0, |fb| {
+            self.sim
+                .component::<TcpPoe>(fb)
+                .frames_corrupted_discarded()
+        });
+        primary + standby
     }
 
     /// Sets every node driver's retry policy for timed-out eager

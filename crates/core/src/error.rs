@@ -32,6 +32,11 @@ pub enum CclError {
     Aborted,
     /// The call targeted a communicator this node is not a member of.
     InvalidCommunicator(u32),
+    /// The call failed with in-flight payload corruption observed at this
+    /// node's transport: an unreliable engine discarded corrupted frames
+    /// it cannot retransmit, so the message can never complete. Reliable
+    /// transports repair corruption silently and never report this.
+    DataCorrupted,
 }
 
 impl core::fmt::Display for CclError {
@@ -42,6 +47,12 @@ impl core::fmt::Display for CclError {
             CclError::Aborted => write!(f, "collective aborted after exhausting retries"),
             CclError::InvalidCommunicator(c) => {
                 write!(f, "node is not a member of communicator {c}")
+            }
+            CclError::DataCorrupted => {
+                write!(
+                    f,
+                    "payload corrupted in flight (unrecoverable on this transport)"
+                )
             }
         }
     }

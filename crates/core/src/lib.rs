@@ -39,3 +39,4 @@ pub use platform::{ClusterConfig, Platform, Transport};
 pub use accl_cclo::{
     AlgoConfig, Algorithm, CcloConfig, CollOp, CollectiveProgram, DType, ReduceFn, SyncProto,
 };
+pub use accl_poe::{RdmaConfig, TcpConfig};

@@ -8,6 +8,8 @@
 
 use accl_cclo::CcloConfig;
 use accl_net::NetConfig;
+use accl_poe::rdma::RdmaConfig;
+use accl_poe::tcp::TcpConfig;
 use accl_sim::time::Dur;
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +53,15 @@ pub struct ClusterConfig {
     pub net: NetConfig,
     /// CCLO engine parameters.
     pub cclo: CcloConfig,
+    /// RDMA engine tuning (ignored for other transports).
+    pub rdma: RdmaConfig,
+    /// TCP engine tuning (used by [`Transport::Tcp`] and by the standby
+    /// POE when `tcp_fallback` is set; ignored otherwise).
+    pub tcp: TcpConfig,
+    /// Builds a standby TCP POE next to each RDMA POE and fails
+    /// collectives over to it after repeated QP errors (graceful
+    /// degradation). Only valid with [`Transport::Rdma`].
+    pub tcp_fallback: bool,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -64,6 +75,9 @@ impl ClusterConfig {
             transport: Transport::Rdma,
             net: NetConfig::default(),
             cclo: CcloConfig::default(),
+            rdma: RdmaConfig::default(),
+            tcp: TcpConfig::default(),
+            tcp_fallback: false,
             seed: 1,
         }
     }
@@ -104,6 +118,13 @@ impl ClusterConfig {
                 self.platform,
                 Platform::Coyote,
                 "RDMA requires the Coyote platform (paper §4.3)"
+            );
+        }
+        if self.tcp_fallback {
+            assert_eq!(
+                self.transport,
+                Transport::Rdma,
+                "the TCP fallback backs an RDMA primary"
             );
         }
     }

@@ -12,7 +12,7 @@ use accl_core::{
     AcclCluster, AlgoConfig, BufLoc, CclError, ClusterConfig, CollSpec, HostDriver, Platform,
     RetryPolicy, Transport,
 };
-use accl_sim::prelude::{Dur, RunOutcome, Time};
+use accl_sim::prelude::{Dur, QueueKind, RunOutcome, Time};
 
 fn i32s(vals: &[i32]) -> Vec<u8> {
     vals.iter().flat_map(|v| v.to_le_bytes()).collect()
@@ -323,6 +323,170 @@ fn fault_outcomes_are_deterministic() {
     assert_eq!(run(11), run(11));
     // The signature is rich enough to distinguish runs at all.
     assert!(run(11).contains("PeerFailed"));
+}
+
+/// Transient-fault graceful degradation: a link outage long enough to
+/// exhaust the RDMA go-back-N ladder puts both sides' queue pairs in the
+/// error state, the Tx systems retarget to the standby TCP POE, the uCs
+/// downgrade their protocol selection, and the drivers' retries complete
+/// the collective over TCP — bit-exactly, with no fail-stop verdict
+/// against a peer that was merely unlucky.
+#[test]
+fn rdma_qp_errors_fail_over_to_tcp() {
+    let count = 256u64;
+    let mut cfg = ClusterConfig::coyote_rdma(2);
+    cfg.tcp_fallback = true;
+    // Aggressive ladder so the 300 µs outage is fatal to the QPs: three
+    // go-back-N rounds of 20/40/80 µs reach the error state at ~140 µs.
+    cfg.rdma.rto_us = 20;
+    cfg.rdma.max_retransmits = 2;
+    cfg.cclo.collective_timeout_us = Some(500);
+    let mut c = AcclCluster::build(cfg);
+    // Force the ring composition so both ranks transmit during the outage
+    // and both queue pairs reach the error state.
+    c.set_algo_config(AlgoConfig {
+        allreduce_ring_min_bytes: 1,
+        ..AlgoConfig::default()
+    });
+    c.set_retry_policy(RetryPolicy::retries(4));
+    c.link_down(1, Time::ZERO, Time::from_us(300));
+    let (specs, dsts) = allreduce_setup(&mut c, &[0, 1], count, 0);
+    let records = c.host_collective(specs);
+    for rank in 0..2 {
+        assert_eq!(records[rank].result(), Ok(()), "rank {rank}");
+        assert_eq!(c.read(&dsts[rank]), summed(2, count), "rank {rank} data");
+    }
+    for rank in 0..2 {
+        let tx = c
+            .sim
+            .component::<accl_cclo::txsys::TxSys>(c.node(rank).cclo.txsys);
+        assert_eq!(tx.failovers(), 1, "rank {rank} engaged the standby POE");
+        let uc = c.sim.component::<accl_cclo::uc::Uc>(c.node(rank).cclo.uc);
+        assert_eq!(uc.failovers_observed(), 1, "rank {rank} uC downgrade");
+        let d = c.sim.component::<HostDriver>(c.node(rank).driver);
+        assert!(d.retries_attempted() >= 1, "rank {rank} must have retried");
+        // A transient fault is not a fail-stop failure: with the standby
+        // path healthy, nobody is declared dead.
+        assert!(c.failed_peers(rank).is_empty(), "rank {rank} verdict");
+    }
+}
+
+/// In-flight corruption on the reliable transports is caught by the FCS
+/// check, counted, and repaired by retransmission (TCP) or go-back-N
+/// (RDMA): collective results stay bit-exact and the whole timeline is
+/// identical under either event-queue implementation.
+#[test]
+fn corrupted_frames_repaired_bit_exactly_on_tcp_and_rdma() {
+    let count = 8192u64;
+    let run = |transport: Transport, kind: QueueKind| -> (Vec<Vec<u8>>, u64, u64) {
+        let mut cfg = ClusterConfig::coyote_rdma(2);
+        cfg.transport = transport;
+        cfg.cclo.collective_timeout_us = Some(100_000);
+        let mut c = AcclCluster::build(cfg);
+        c.sim.set_queue_kind(kind);
+        // Explicit indices: the injection is part of the test's contract,
+        // not a probabilistic draw that may come up empty at some seed.
+        c.set_fault_plan(accl_net::FaultPlan::corrupt_frames([2, 5, 9, 13]));
+        let (specs, dsts) = allreduce_setup(&mut c, &[0, 1], count, 0);
+        let records = c.host_collective(specs);
+        for rank in 0..2 {
+            assert_eq!(records[rank].result(), Ok(()), "{transport:?} rank {rank}");
+        }
+        let data = dsts.iter().map(|d| c.read(d)).collect();
+        let drops = (0..2).map(|i| c.corrupted_drops(i)).sum();
+        (data, drops, c.sim.events_executed())
+    };
+    for transport in [Transport::Tcp, Transport::Rdma] {
+        let (data, drops, events) = run(transport, QueueKind::Heap);
+        for rank in 0..2 {
+            assert_eq!(
+                data[rank],
+                summed(2, count),
+                "{transport:?} rank {rank} data"
+            );
+        }
+        assert!(
+            drops > 0,
+            "{transport:?}: corruption must have been injected"
+        );
+        let (data_cal, drops_cal, events_cal) = run(transport, QueueKind::Calendar);
+        assert_eq!(data, data_cal, "{transport:?} queue-kind data divergence");
+        assert_eq!(drops, drops_cal, "{transport:?} queue-kind drop divergence");
+        assert_eq!(
+            events, events_cal,
+            "{transport:?} queue-kind event divergence"
+        );
+    }
+}
+
+/// Corruption on connectionless UDP cannot be repaired; the failed call
+/// comes back [`CclError::DataCorrupted`] — distinguishing integrity loss
+/// from a liveness timeout — backed by the engine's typed drop counters.
+#[test]
+fn udp_corruption_surfaces_as_data_corrupted() {
+    let count = 4096u64;
+    let mut c = AcclCluster::build(coyote_udp(2, 300));
+    c.set_fault_plan(accl_net::FaultPlan::corrupt_frames(0..64));
+    let (specs, _) = allreduce_setup(&mut c, &[0, 1], count, 0);
+    let records = c.host_collective(specs);
+    assert!(
+        records
+            .iter()
+            .any(|r| r.result() == Err(CclError::DataCorrupted)),
+        "a rank must report DataCorrupted, got {records:?}"
+    );
+    assert!((0..2).map(|i| c.corrupted_drops(i)).sum::<u64>() > 0);
+}
+
+/// The ULFM recovery workflow still converges when the surviving links
+/// keep dropping 1–5% of all frames: the crash is diagnosed, the shrunken
+/// communicator's reissued collective completes bit-exactly (TCP absorbs
+/// the sustained loss), and the whole timeline is queue-kind-invariant.
+#[test]
+fn shrink_and_reissue_converges_under_sustained_loss() {
+    let dead = 2usize;
+    let count = 512u64;
+    let run = |loss: f64, kind: QueueKind| -> String {
+        let mut c = AcclCluster::build(coyote_tcp(3, 30_000));
+        c.sim.set_queue_kind(kind);
+        c.set_algo_config(AlgoConfig {
+            allreduce_ring_min_bytes: 1,
+            ..AlgoConfig::default()
+        });
+        c.set_fault_plan(accl_net::FaultPlan::random_loss(loss));
+        c.crash_node(dead, Time::from_us(1));
+        let (specs, _) = allreduce_setup(&mut c, &[0, 1, 2], count, 0);
+        let records = c.host_collective(specs);
+        let failed: Vec<usize> = records
+            .iter()
+            .filter_map(|r| match r.result() {
+                Err(CclError::PeerFailed(p)) => Some(p as usize),
+                _ => None,
+            })
+            .collect();
+        assert!(failed.contains(&dead), "loss {loss}: dead rank undiagnosed");
+
+        let survivors = c.communicator(0).unwrap().shrink(1, &[dead]);
+        c.install_communicator(&survivors);
+        let (mut specs, dsts) = allreduce_setup(&mut c, &[0, 1], count, 1);
+        let mut programs: Vec<Vec<HostOp>> = vec![Vec::new(); 3];
+        programs[0] = vec![HostOp::Coll(specs.remove(0))];
+        programs[1] = vec![HostOp::Coll(specs.remove(0))];
+        let results = c.run_host_programs(programs);
+        for rank in [0usize, 1] {
+            assert_eq!(results[rank][0].result(), Ok(()), "loss {loss} rank {rank}");
+            assert_eq!(c.read(&dsts[rank]), summed(2, count), "loss {loss} data");
+        }
+        assert!(c.network().frames_dropped(&c.sim) > 0);
+        format!("events={} records={records:?}", c.sim.events_executed())
+    };
+    for loss in [0.01, 0.05] {
+        assert_eq!(
+            run(loss, QueueKind::Heap),
+            run(loss, QueueKind::Calendar),
+            "loss {loss}: timeline must be queue-kind-invariant"
+        );
+    }
 }
 
 /// With the engine watchdog disabled, a crash leaves the survivors parked

@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::{RngExt, SeedableRng};
 
 use accl_sim::time::{Dur, Time};
 
@@ -31,6 +31,12 @@ pub enum FaultAction {
     Drop,
     /// Forward, but add this much extra delay (causes reordering).
     Delay(Dur),
+    /// Forward with a flipped FCS: the receiving POE sees a checksum
+    /// mismatch and must discard the frame (transient bit corruption).
+    Corrupt,
+    /// Forward the frame *and* an identical copy right behind it
+    /// (duplication, e.g. from a spurious retransmit in the fabric).
+    Duplicate,
 }
 
 /// A time-scheduled link-state model: a list of `[down, up)` windows
@@ -79,15 +85,79 @@ impl LinkSchedule {
     pub fn is_empty(&self) -> bool {
         self.windows.is_empty()
     }
+
+    /// The sorted, disjoint `[down, up)` windows of this schedule.
+    pub fn windows(&self) -> &[(Time, Time)] {
+        &self.windows
+    }
+}
+
+/// A `[from, until)` window during which a link is degraded — not dark,
+/// but lossy and/or slower than its nominal rate. Composes with
+/// [`LinkSchedule`]: an outage window (total loss) takes precedence over
+/// any overlapping degradation.
+///
+/// Intensities are integers so degradations round-trip exactly through
+/// the JSON repro format and hash/compare without float caveats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Degradation {
+    /// Window start (inclusive).
+    pub from: Time,
+    /// Window end (exclusive).
+    pub until: Time,
+    /// Extra i.i.d. frame loss while active, in parts per million.
+    pub loss_ppm: u32,
+    /// Residual link bandwidth in hundredths of Gb/s (e.g. `2_500` =
+    /// 25 Gb/s); `0` means the window does not throttle. Throttling is
+    /// modelled as an extra per-frame delay: the time the frame's wire
+    /// bytes take at the residual rate (the nominal-rate serialization is
+    /// still paid at the egress pipe).
+    pub throttle_gbps_x100: u32,
+}
+
+impl Degradation {
+    /// Whether the window is active at time `t`.
+    pub fn active(&self, t: Time) -> bool {
+        self.from <= t && t < self.until
+    }
+
+    /// Extra loss probability while active.
+    pub fn loss_probability(&self) -> f64 {
+        f64::from(self.loss_ppm.min(1_000_000)) / 1e6
+    }
+
+    /// Extra serialization delay for a frame of `wire_bytes`, if the
+    /// window throttles.
+    pub fn throttle_delay(&self, wire_bytes: u64) -> Option<Dur> {
+        (self.throttle_gbps_x100 > 0)
+            .then(|| Dur::for_bytes_gbps(wire_bytes, f64::from(self.throttle_gbps_x100) / 100.0))
+    }
 }
 
 /// A fault-injection policy applied to every frame traversing the switch.
+///
+/// # Determinism
+///
+/// [`FaultPlan::decide`] draws from the switch's seeded RNG *lazily*: a
+/// draw happens only when the corresponding probability is nonzero (and
+/// no earlier rule already decided the frame's fate). Installing a plan
+/// whose probabilistic knobs are all zero therefore never perturbs the
+/// RNG stream — explicit indices, windows and crashes replay bit-for-bit
+/// regardless of what other plans did to unrelated streams.
+///
+/// Probabilities assigned directly to the public fields are clamped into
+/// `[0, 1]` at decision time; the constructors additionally assert the
+/// range so typos fail fast.
 #[derive(Default)]
 pub struct FaultPlan {
     /// Probability in `[0, 1]` of dropping any given frame.
     pub drop_probability: f64,
     /// Probability in `[0, 1]` of delaying a frame by `reorder_delay`.
     pub reorder_probability: f64,
+    /// Probability in `[0, 1]` of corrupting a frame (FCS flip).
+    pub corrupt_probability: f64,
+    /// Probability in `[0, 1]` of duplicating a frame.
+    pub duplicate_probability: f64,
     /// Extra delay applied to reordered frames.
     pub reorder_delay: Dur,
     /// Explicit global frame indices to drop (deterministic loss).
@@ -95,14 +165,27 @@ pub struct FaultPlan {
     pub drop_indices: BTreeSet<u64>,
     /// Explicit global frame indices to delay by `reorder_delay`.
     pub delay_indices: BTreeSet<u64>,
+    /// Explicit global frame indices to corrupt (FCS flip).
+    pub corrupt_indices: BTreeSet<u64>,
+    /// Explicit global frame indices to duplicate.
+    pub duplicate_indices: BTreeSet<u64>,
     /// Optional predicate; frames matching it are dropped.
     pub drop_if: Option<FramePredicate>,
     /// Per-port link outage schedules; frames whose source or destination
     /// link is dark are lost.
     pub link_schedules: BTreeMap<NodeAddr, LinkSchedule>,
+    /// Per-port degradation windows (elevated loss / reduced bandwidth),
+    /// kept sorted by window start. The first active window wins when
+    /// windows overlap.
+    pub degradations: BTreeMap<NodeAddr, Vec<Degradation>>,
     /// Whole-node crash times; from the crash instant on, the switch
     /// blackholes every frame to or from the node.
     pub node_crashes: BTreeMap<NodeAddr, Time>,
+}
+
+fn assert_probability(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    p
 }
 
 impl FaultPlan {
@@ -113,9 +196,40 @@ impl FaultPlan {
 
     /// A policy dropping frames i.i.d. with probability `p`.
     pub fn random_loss(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
         FaultPlan {
-            drop_probability: p,
+            drop_probability: assert_probability(p),
+            ..Self::default()
+        }
+    }
+
+    /// A policy corrupting frames i.i.d. with probability `p`.
+    pub fn random_corruption(p: f64) -> Self {
+        FaultPlan {
+            corrupt_probability: assert_probability(p),
+            ..Self::default()
+        }
+    }
+
+    /// A policy duplicating frames i.i.d. with probability `p`.
+    pub fn random_duplication(p: f64) -> Self {
+        FaultPlan {
+            duplicate_probability: assert_probability(p),
+            ..Self::default()
+        }
+    }
+
+    /// A policy corrupting exactly the frames with the given indices.
+    pub fn corrupt_frames(indices: impl IntoIterator<Item = u64>) -> Self {
+        FaultPlan {
+            corrupt_indices: indices.into_iter().collect(),
+            ..Self::default()
+        }
+    }
+
+    /// A policy duplicating exactly the frames with the given indices.
+    pub fn duplicate_frames(indices: impl IntoIterator<Item = u64>) -> Self {
+        FaultPlan {
+            duplicate_indices: indices.into_iter().collect(),
             ..Self::default()
         }
     }
@@ -162,6 +276,22 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a degradation window for `addr`'s link to this plan.
+    pub fn with_degradation(mut self, addr: NodeAddr, window: Degradation) -> Self {
+        assert!(window.from < window.until, "empty degradation window");
+        let windows = self.degradations.entry(addr).or_default();
+        windows.push(window);
+        windows.sort_by_key(|w| (w.from, w.until, w.loss_ppm, w.throttle_gbps_x100));
+        self
+    }
+
+    /// The first active degradation window for `addr` at time `now`.
+    pub fn active_degradation(&self, addr: NodeAddr, now: Time) -> Option<&Degradation> {
+        self.degradations
+            .get(&addr)
+            .and_then(|ws| ws.iter().find(|w| w.active(now)))
+    }
+
     /// The crash time of `addr`, if one is scheduled.
     pub fn crash_time(&self, addr: NodeAddr) -> Option<Time> {
         self.node_crashes.get(&addr).copied()
@@ -176,15 +306,26 @@ impl FaultPlan {
     pub fn is_transparent(&self) -> bool {
         self.drop_probability == 0.0
             && self.reorder_probability == 0.0
+            && self.corrupt_probability == 0.0
+            && self.duplicate_probability == 0.0
             && self.drop_indices.is_empty()
             && self.delay_indices.is_empty()
+            && self.corrupt_indices.is_empty()
+            && self.duplicate_indices.is_empty()
             && self.drop_if.is_none()
             && self.link_schedules.values().all(LinkSchedule::is_empty)
+            && self.degradations.values().all(Vec::is_empty)
             && self.node_crashes.is_empty()
     }
 
     /// Decides the fate of the `index`-th frame traversing the switch at
     /// simulated time `now`.
+    ///
+    /// Rules are checked in a fixed order (crashes, outages, degradation
+    /// loss, explicit indices, predicate, degradation throttle,
+    /// probabilistic knobs) and the first matching rule wins. RNG draws
+    /// happen lazily: only for a nonzero probability whose turn is
+    /// reached, so purely explicit plans never consume entropy.
     pub fn decide(&self, index: u64, now: Time, frame: &Frame, rng: &mut StdRng) -> FaultAction {
         if self.is_crashed(frame.src, now) || self.is_crashed(frame.dst, now) {
             return FaultAction::Drop;
@@ -196,6 +337,17 @@ impl FaultPlan {
                 }
             }
         }
+        // Degradation loss: the worse of the two attached links applies.
+        let degradation = [frame.src, frame.dst]
+            .into_iter()
+            .filter_map(|a| self.active_degradation(a, now))
+            .max_by_key(|w| (w.loss_ppm, w.throttle_gbps_x100));
+        if let Some(w) = degradation {
+            let p = w.loss_probability();
+            if p > 0.0 && rng.random_bool(p) {
+                return FaultAction::Drop;
+            }
+        }
         if self.drop_indices.contains(&index) {
             return FaultAction::Drop;
         }
@@ -204,16 +356,300 @@ impl FaultPlan {
                 return FaultAction::Drop;
             }
         }
+        if self.corrupt_indices.contains(&index) {
+            return FaultAction::Corrupt;
+        }
+        if self.duplicate_indices.contains(&index) {
+            return FaultAction::Duplicate;
+        }
         if self.delay_indices.contains(&index) {
             return FaultAction::Delay(self.reorder_delay);
         }
-        if self.drop_probability > 0.0 && rng.random_bool(self.drop_probability) {
+        if let Some(extra) = degradation.and_then(|w| w.throttle_delay(frame.wire_bytes() as u64)) {
+            return FaultAction::Delay(extra);
+        }
+        let clamp = |p: f64| p.clamp(0.0, 1.0);
+        if self.drop_probability > 0.0 && rng.random_bool(clamp(self.drop_probability)) {
             return FaultAction::Drop;
         }
-        if self.reorder_probability > 0.0 && rng.random_bool(self.reorder_probability) {
+        if self.corrupt_probability > 0.0 && rng.random_bool(clamp(self.corrupt_probability)) {
+            return FaultAction::Corrupt;
+        }
+        if self.duplicate_probability > 0.0 && rng.random_bool(clamp(self.duplicate_probability)) {
+            return FaultAction::Duplicate;
+        }
+        if self.reorder_probability > 0.0 && rng.random_bool(clamp(self.reorder_probability)) {
             return FaultAction::Delay(self.reorder_delay);
         }
         FaultAction::Forward
+    }
+
+    /// Whether the plan consists only of explicit, enumerable faults (no
+    /// probabilistic knobs, no opaque predicate) and thus round-trips
+    /// losslessly through [`FaultPlan::to_events`].
+    pub fn is_explicit(&self) -> bool {
+        self.drop_probability == 0.0
+            && self.reorder_probability == 0.0
+            && self.corrupt_probability == 0.0
+            && self.duplicate_probability == 0.0
+            && self.drop_if.is_none()
+    }
+
+    /// Decomposes the plan's explicit faults into a flat event list (the
+    /// unit of delta-debugging shrinking and of the JSON repro format).
+    /// Probabilistic knobs and `drop_if` are not representable; callers
+    /// should check [`FaultPlan::is_explicit`] when a lossless round trip
+    /// matters.
+    pub fn to_events(&self) -> Vec<FaultEvent> {
+        let mut events = Vec::new();
+        for &i in &self.drop_indices {
+            events.push(FaultEvent::Drop { index: i });
+        }
+        for &i in &self.corrupt_indices {
+            events.push(FaultEvent::Corrupt { index: i });
+        }
+        for &i in &self.duplicate_indices {
+            events.push(FaultEvent::Duplicate { index: i });
+        }
+        for &i in &self.delay_indices {
+            events.push(FaultEvent::Delay {
+                index: i,
+                by: self.reorder_delay,
+            });
+        }
+        for (&node, sched) in &self.link_schedules {
+            for &(from, until) in sched.windows() {
+                events.push(FaultEvent::LinkDown { node, from, until });
+            }
+        }
+        for (&node, windows) in &self.degradations {
+            for &window in windows {
+                events.push(FaultEvent::Degrade { node, window });
+            }
+        }
+        for (&node, &at) in &self.node_crashes {
+            events.push(FaultEvent::Crash { node, at });
+        }
+        events
+    }
+
+    /// Rebuilds a plan from an explicit event list (inverse of
+    /// [`FaultPlan::to_events`] for explicit plans).
+    pub fn from_events(events: &[FaultEvent]) -> Self {
+        let mut plan = FaultPlan::none();
+        for &ev in events {
+            match ev {
+                FaultEvent::Drop { index } => {
+                    plan.drop_indices.insert(index);
+                }
+                FaultEvent::Corrupt { index } => {
+                    plan.corrupt_indices.insert(index);
+                }
+                FaultEvent::Duplicate { index } => {
+                    plan.duplicate_indices.insert(index);
+                }
+                FaultEvent::Delay { index, by } => {
+                    plan.delay_indices.insert(index);
+                    // One shared delay per plan; events carry it so the
+                    // list is self-describing. Mixed delays collapse to
+                    // the maximum.
+                    plan.reorder_delay = plan.reorder_delay.max(by);
+                }
+                FaultEvent::LinkDown { node, from, until } => {
+                    plan = plan.with_link_down(node, from, until);
+                }
+                FaultEvent::Degrade { node, window } => {
+                    plan = plan.with_degradation(node, window);
+                }
+                FaultEvent::Crash { node, at } => {
+                    plan = plan.with_node_crash(node, at);
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// One explicit fault, the atom of schedule shrinking: a failing chaos
+/// run's plan is decomposed into events, subsets are replayed, and the
+/// minimal still-failing subset becomes the repro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Drop the `index`-th frame through the switch.
+    Drop {
+        /// Global frame index.
+        index: u64,
+    },
+    /// Corrupt (FCS-flip) the `index`-th frame.
+    Corrupt {
+        /// Global frame index.
+        index: u64,
+    },
+    /// Duplicate the `index`-th frame.
+    Duplicate {
+        /// Global frame index.
+        index: u64,
+    },
+    /// Delay the `index`-th frame by `by`.
+    Delay {
+        /// Global frame index.
+        index: u64,
+        /// Extra delay.
+        by: Dur,
+    },
+    /// Take `node`'s link dark for `[from, until)`.
+    LinkDown {
+        /// Affected port.
+        node: NodeAddr,
+        /// Outage start (inclusive).
+        from: Time,
+        /// Outage end (exclusive).
+        until: Time,
+    },
+    /// Degrade `node`'s link for the window.
+    Degrade {
+        /// Affected port.
+        node: NodeAddr,
+        /// The degradation window.
+        window: Degradation,
+    },
+    /// Fail-stop crash of `node` at `at`.
+    Crash {
+        /// Crashed node.
+        node: NodeAddr,
+        /// Crash instant.
+        at: Time,
+    },
+}
+
+/// Intensity knobs for randomly generated fault schedules.
+///
+/// A profile is a *budget*, not a probability: [`FaultPlanGen::generate`]
+/// samples exactly the configured number of each fault kind (at seeded
+/// random indices/instants), so every generated plan is fully explicit —
+/// directly shrinkable and serializable, with no concretization step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosProfile {
+    /// Number of fabric ports faults may target.
+    pub nodes: u32,
+    /// Frame-index space per-frame faults are sampled from; pick at least
+    /// the number of frames the workload pushes through the switch
+    /// (sampling beyond it only wastes budget, never breaks anything).
+    pub horizon_frames: u64,
+    /// Simulated-time span `[0, horizon)` windowed faults are sampled in.
+    pub horizon: Dur,
+    /// Frames to drop.
+    pub drops: u32,
+    /// Frames to corrupt (FCS flip → POE discard).
+    pub corrupts: u32,
+    /// Frames to duplicate.
+    pub duplicates: u32,
+    /// Frames to delay by `delay_by`.
+    pub delays: u32,
+    /// Extra delay for delayed frames.
+    pub delay_by: Dur,
+    /// Link outage (flap) windows, each at most `max_flap` long.
+    pub flaps: u32,
+    /// Maximum single-flap duration.
+    pub max_flap: Dur,
+    /// Degradation windows, each at most `max_degradation` long.
+    pub degradations: u32,
+    /// Maximum single-degradation duration.
+    pub max_degradation: Dur,
+    /// Highest extra loss a degradation window may carry, in ppm.
+    pub max_degradation_loss_ppm: u32,
+}
+
+impl ChaosProfile {
+    /// A mild all-kinds default: a handful of each transient fault, no
+    /// crashes (fail-stop is PR 1's territory), sized for collective
+    /// workloads of a few thousand frames and a few milliseconds.
+    pub fn default_profile(nodes: u32) -> Self {
+        ChaosProfile {
+            nodes,
+            horizon_frames: 2_000,
+            horizon: Dur::from_ms(2),
+            drops: 4,
+            corrupts: 4,
+            duplicates: 3,
+            delays: 3,
+            delay_by: Dur::from_us(40),
+            flaps: 1,
+            max_flap: Dur::from_us(120),
+            degradations: 1,
+            max_degradation: Dur::from_us(300),
+            max_degradation_loss_ppm: 50_000,
+        }
+    }
+
+    /// Total number of fault events a generated plan will contain.
+    pub fn budget(&self) -> u32 {
+        self.drops + self.corrupts + self.duplicates + self.delays + self.flaps + self.degradations
+    }
+}
+
+/// Samples whole explicit fault schedules from a [`ChaosProfile`] as a
+/// pure function of seed: same `(profile, seed)` → identical plan,
+/// regardless of anything else the process did.
+pub struct FaultPlanGen;
+
+impl FaultPlanGen {
+    /// Generates the fault schedule for `seed`.
+    pub fn generate(profile: &ChaosProfile, seed: u64) -> FaultPlan {
+        // Decouple from other derived streams: mix the seed before use.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00c4_a05c_7a05_c4a0);
+        let horizon_ps = profile.horizon.as_ps().max(1);
+        let mut events = Vec::with_capacity(profile.budget() as usize);
+        let frame_index = |rng: &mut StdRng| rng.random_range(0..profile.horizon_frames.max(1));
+        for _ in 0..profile.drops {
+            events.push(FaultEvent::Drop {
+                index: frame_index(&mut rng),
+            });
+        }
+        for _ in 0..profile.corrupts {
+            events.push(FaultEvent::Corrupt {
+                index: frame_index(&mut rng),
+            });
+        }
+        for _ in 0..profile.duplicates {
+            events.push(FaultEvent::Duplicate {
+                index: frame_index(&mut rng),
+            });
+        }
+        for _ in 0..profile.delays {
+            events.push(FaultEvent::Delay {
+                index: frame_index(&mut rng),
+                by: profile.delay_by,
+            });
+        }
+        for _ in 0..profile.flaps {
+            let node = NodeAddr(rng.random_range(0..profile.nodes.max(1)));
+            let len = rng.random_range(1..profile.max_flap.as_ps().max(2));
+            let from = rng.random_range(0..horizon_ps);
+            events.push(FaultEvent::LinkDown {
+                node,
+                from: Time::from_ps(from),
+                until: Time::from_ps(from.saturating_add(len)),
+            });
+        }
+        for _ in 0..profile.degradations {
+            let node = NodeAddr(rng.random_range(0..profile.nodes.max(1)));
+            let len = rng.random_range(1..profile.max_degradation.as_ps().max(2));
+            let from = rng.random_range(0..horizon_ps);
+            let loss_ppm = rng.random_range(0..profile.max_degradation_loss_ppm.max(1));
+            // Residual bandwidth between 10 and 50 Gb/s (nominal is 100).
+            let throttle = rng.random_range(1_000u32..5_000);
+            events.push(FaultEvent::Degrade {
+                node,
+                window: Degradation {
+                    from: Time::from_ps(from),
+                    until: Time::from_ps(from.saturating_add(len)),
+                    loss_ppm,
+                    throttle_gbps_x100: throttle,
+                },
+            });
+        }
+        FaultPlan::from_events(&events)
     }
 }
 
@@ -221,7 +657,7 @@ impl FaultPlan {
 mod tests {
     use super::*;
     use crate::frame::NodeAddr;
-    use rand::SeedableRng;
+    use rand::RngCore;
 
     fn frame() -> Frame {
         Frame::new(NodeAddr(0), NodeAddr(1), 100, ())
@@ -399,5 +835,160 @@ mod tests {
         let plan = FaultPlan::node_crash(NodeAddr(0), Time::from_us(5))
             .with_node_crash(NodeAddr(0), Time::from_us(9));
         assert_eq!(plan.crash_time(NodeAddr(0)), Some(Time::from_us(5)));
+    }
+
+    #[test]
+    fn indexed_corruption_and_duplication_are_exact() {
+        let plan = FaultPlan::corrupt_frames([1]);
+        assert!(!plan.is_transparent());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            plan.decide(0, Time::ZERO, &frame(), &mut rng),
+            FaultAction::Forward
+        );
+        assert_eq!(
+            plan.decide(1, Time::ZERO, &frame(), &mut rng),
+            FaultAction::Corrupt
+        );
+        let plan = FaultPlan::duplicate_frames([0]);
+        assert_eq!(
+            plan.decide(0, Time::ZERO, &frame(), &mut rng),
+            FaultAction::Duplicate
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn out_of_range_probability_is_rejected() {
+        FaultPlan::random_corruption(1.5);
+    }
+
+    #[test]
+    fn explicit_plans_draw_no_entropy() {
+        // Two identical RNGs; one decides through an explicit-only plan,
+        // the other doesn't. Their streams must stay in lockstep.
+        let plan = FaultPlan::drop_frames([3]).with_link_down(
+            NodeAddr(0),
+            Time::from_us(1),
+            Time::from_us(2),
+        );
+        let mut used = StdRng::seed_from_u64(9);
+        let mut pristine = StdRng::seed_from_u64(9);
+        for i in 0..32 {
+            plan.decide(i, Time::ZERO, &frame(), &mut used);
+        }
+        assert_eq!(used.next_u64(), pristine.next_u64());
+    }
+
+    #[test]
+    fn degradation_window_adds_loss_and_throttle() {
+        let window = Degradation {
+            from: Time::from_us(10),
+            until: Time::from_us(20),
+            loss_ppm: 1_000_000,
+            throttle_gbps_x100: 2_500, // 25 Gb/s
+        };
+        let plan = FaultPlan::none().with_degradation(NodeAddr(1), window);
+        assert!(!plan.is_transparent());
+        let mut rng = StdRng::seed_from_u64(0);
+        // Outside the window: untouched.
+        assert_eq!(
+            plan.decide(0, Time::from_us(9), &frame(), &mut rng),
+            FaultAction::Forward
+        );
+        // Inside with loss_ppm = 100%: dropped.
+        assert_eq!(
+            plan.decide(1, Time::from_us(15), &frame(), &mut rng),
+            FaultAction::Drop
+        );
+        // Pure throttle window: frames get the residual-rate delay.
+        let throttle_only = Degradation {
+            loss_ppm: 0,
+            ..window
+        };
+        let plan = FaultPlan::none().with_degradation(NodeAddr(1), throttle_only);
+        let f = frame();
+        let want = Dur::for_bytes_gbps(f.wire_bytes() as u64, 25.0);
+        assert_eq!(
+            plan.decide(2, Time::from_us(15), &f, &mut rng),
+            FaultAction::Delay(want)
+        );
+        assert_eq!(
+            plan.decide(3, Time::from_us(20), &f, &mut rng),
+            FaultAction::Forward
+        );
+    }
+
+    #[test]
+    fn degradation_composes_with_link_schedule() {
+        // Outage beats degradation where they overlap.
+        let plan = FaultPlan::link_down(NodeAddr(1), Time::from_us(12), Time::from_us(14))
+            .with_degradation(
+                NodeAddr(1),
+                Degradation {
+                    from: Time::from_us(10),
+                    until: Time::from_us(20),
+                    loss_ppm: 0,
+                    throttle_gbps_x100: 5_000,
+                },
+            );
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            plan.decide(0, Time::from_us(13), &frame(), &mut rng),
+            FaultAction::Drop
+        );
+        assert!(matches!(
+            plan.decide(1, Time::from_us(15), &frame(), &mut rng),
+            FaultAction::Delay(_)
+        ));
+    }
+
+    #[test]
+    fn events_round_trip_explicit_plans() {
+        let plan = FaultPlan::drop_frames([7, 9])
+            .with_link_down(NodeAddr(2), Time::from_us(1), Time::from_us(3))
+            .with_node_crash(NodeAddr(1), Time::from_ms(1))
+            .with_degradation(
+                NodeAddr(0),
+                Degradation {
+                    from: Time::from_us(5),
+                    until: Time::from_us(9),
+                    loss_ppm: 5_000,
+                    throttle_gbps_x100: 0,
+                },
+            );
+        let mut plan = plan;
+        plan.corrupt_indices.insert(11);
+        plan.duplicate_indices.insert(13);
+        plan.delay_indices.insert(15);
+        plan.reorder_delay = Dur::from_us(2);
+        assert!(plan.is_explicit());
+        let events = plan.to_events();
+        assert_eq!(events.len(), 8);
+        let rebuilt = FaultPlan::from_events(&events);
+        assert_eq!(rebuilt.to_events(), events);
+        // Same decisions on a probe set of frames/times.
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(1);
+        for i in 0..32 {
+            let t = Time::from_us(i);
+            assert_eq!(
+                plan.decide(i, t, &frame(), &mut rng_a),
+                rebuilt.decide(i, t, &frame(), &mut rng_b),
+                "index {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_generation_is_a_pure_function_of_seed() {
+        let profile = ChaosProfile::default_profile(4);
+        let a = FaultPlanGen::generate(&profile, 42);
+        let b = FaultPlanGen::generate(&profile, 42);
+        assert_eq!(a.to_events(), b.to_events());
+        assert!(a.is_explicit());
+        assert_eq!(a.to_events().len() as u32, profile.budget());
+        let c = FaultPlanGen::generate(&profile, 43);
+        assert_ne!(a.to_events(), c.to_events());
     }
 }

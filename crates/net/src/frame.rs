@@ -68,6 +68,13 @@ pub struct Frame {
     pub segments: u32,
     /// The typed protocol PDU.
     pub body: Payload,
+    /// Frame check sequence, computed once at TX over the frame's stable
+    /// fields. The network never rewrites it (the sender's `src` stamp is
+    /// deliberately excluded), so a fault-injected bit flip — modelled as
+    /// an XOR of this field — survives to the receiving POE, which
+    /// verifies [`Frame::fcs_ok`] and discards mismatches exactly like
+    /// hardware MACs drop frames with a bad CRC.
+    pub fcs: u32,
     /// Causal parent span: the sender's segment/transfer span, under which
     /// the network records its serialization, queueing and hop spans.
     /// [`SpanId::NONE`] when tracing is off (always when compiled out).
@@ -75,22 +82,81 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// Creates a frame carrying `body` with a modelled payload of `payload_bytes`.
-    pub fn new<T: Any + Send>(src: NodeAddr, dst: NodeAddr, payload_bytes: u32, body: T) -> Self {
+    /// Creates a frame carrying `body` with a modelled payload of
+    /// `payload_bytes`. PDU bodies must be `Clone` so fault injection can
+    /// duplicate frames in flight.
+    pub fn new<T: Any + Send + Clone>(
+        src: NodeAddr,
+        dst: NodeAddr,
+        payload_bytes: u32,
+        body: T,
+    ) -> Self {
         Frame {
             src,
             dst,
             payload_bytes,
             segments: 1,
-            body: Payload::new(body),
+            body: Payload::cloneable(body),
+            fcs: Frame::compute_fcs(dst, payload_bytes, 1),
             span: SpanId::NONE,
+        }
+    }
+
+    /// The FCS a pristine frame with these stable fields carries. `src` is
+    /// excluded: the NIC re-stamps it after the POE builds the frame.
+    pub fn compute_fcs(dst: NodeAddr, payload_bytes: u32, segments: u32) -> u32 {
+        // FNV-1a over the stable header fields; any deterministic mix
+        // works, the only requirement is that an XORed flip is detected.
+        let mut h: u32 = 0x811c_9dc5;
+        for word in [dst.0, payload_bytes, segments] {
+            for b in word.to_le_bytes() {
+                h ^= b as u32;
+                h = h.wrapping_mul(0x0100_0193);
+            }
+        }
+        h
+    }
+
+    /// Whether the frame's FCS matches its contents (no in-flight
+    /// corruption). POEs check this at RX before touching the PDU.
+    pub fn fcs_ok(&self) -> bool {
+        self.fcs == Frame::compute_fcs(self.dst, self.payload_bytes, self.segments)
+    }
+
+    /// Models in-flight corruption: XORs `mask` into the FCS so the
+    /// receiver's check fails. `mask` must be nonzero.
+    pub fn corrupt(&mut self, mask: u32) {
+        assert!(mask != 0, "corrupting with a zero mask is a no-op");
+        self.fcs ^= mask;
+    }
+
+    /// Deep-copies the frame for fault-injected duplication, preserving
+    /// header fields, FCS (a corrupted original duplicates as corrupted)
+    /// and causal span.
+    pub fn clone_wire(&self) -> Frame {
+        Frame {
+            src: self.src,
+            dst: self.dst,
+            payload_bytes: self.payload_bytes,
+            segments: self.segments,
+            body: self
+                .body
+                .try_clone()
+                .expect("frame bodies are always cloneable (Frame::new requires Clone)"),
+            fcs: self.fcs,
+            span: self.span,
         }
     }
 
     /// Marks the frame as carrying `segments` wire packets.
     pub fn with_segments(mut self, segments: u32) -> Self {
         assert!(segments >= 1, "a frame carries at least one segment");
+        // Recompute rather than patch: the frame may already be corrupted,
+        // in which case the mismatch must survive the segment restamp.
+        let was_ok = self.fcs_ok();
         self.segments = segments;
+        let fresh = Frame::compute_fcs(self.dst, self.payload_bytes, segments);
+        self.fcs = if was_ok { fresh } else { fresh ^ 1 };
         self
     }
 
@@ -141,5 +207,37 @@ mod tests {
     fn body_is_typed() {
         let f = Frame::new(NodeAddr(0), NodeAddr(1), 4, 7u32);
         assert_eq!(f.body.downcast::<u32>(), 7);
+    }
+
+    #[test]
+    fn fcs_fresh_frames_verify_and_survive_restamps() {
+        let mut f = Frame::new(NodeAddr(2), NodeAddr(5), 4096, 7u32);
+        assert!(f.fcs_ok());
+        // The NIC re-stamps src; FCS must not cover it.
+        f.src = NodeAddr(3);
+        assert!(f.fcs_ok());
+        let f = f.with_segments(4);
+        assert!(f.fcs_ok());
+    }
+
+    #[test]
+    fn corruption_breaks_fcs_and_sticks_through_restamps() {
+        let mut f = Frame::new(NodeAddr(0), NodeAddr(1), 64, 7u32);
+        f.corrupt(0xdead_beef);
+        assert!(!f.fcs_ok());
+        let f = f.with_segments(2);
+        assert!(!f.fcs_ok(), "corruption must survive a segment restamp");
+    }
+
+    #[test]
+    fn clone_wire_duplicates_body_and_fcs() {
+        let mut f = Frame::new(NodeAddr(0), NodeAddr(1), 64, 9u64);
+        let dup = f.clone_wire();
+        assert!(dup.fcs_ok());
+        assert_eq!(dup.body.downcast::<u64>(), 9);
+        // A corrupted original duplicates as corrupted.
+        f.corrupt(1);
+        let dup = f.clone_wire();
+        assert!(!dup.fcs_ok());
     }
 }

@@ -18,7 +18,9 @@ pub mod switch;
 pub mod topology;
 pub mod twotier;
 
-pub use fault::{FaultAction, FaultPlan};
+pub use fault::{
+    ChaosProfile, Degradation, FaultAction, FaultEvent, FaultPlan, FaultPlanGen, LinkSchedule,
+};
 pub use frame::{Frame, NodeAddr, DEFAULT_MTU, WIRE_OVERHEAD_BYTES};
 pub use switch::{NetPort, PortCounters, Switch};
 pub use topology::{NetConfig, Network};

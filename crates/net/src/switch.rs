@@ -50,6 +50,8 @@ pub struct Switch {
     fault: FaultPlan,
     frame_index: u64,
     frames_dropped: u64,
+    frames_corrupted: u64,
+    frames_duplicated: u64,
     /// Private entropy stream for the statistical fault policies. Owned by
     /// the switch (not the deprecated shared `Ctx::rng`) so its draw order
     /// depends only on the frames this switch sees; builders replace the
@@ -75,6 +77,8 @@ impl Switch {
             fault: FaultPlan::none(),
             frame_index: 0,
             frames_dropped: 0,
+            frames_corrupted: 0,
+            frames_duplicated: 0,
             rng: StdRng::seed_from_u64(0x5157_11c4),
         }
     }
@@ -120,6 +124,16 @@ impl Switch {
         self.frames_dropped
     }
 
+    /// Total frames corrupted (FCS-flipped) by fault injection.
+    pub fn frames_corrupted(&self) -> u64 {
+        self.frames_corrupted
+    }
+
+    /// Total extra frame copies created by fault injection.
+    pub fn frames_duplicated(&self) -> u64 {
+        self.frames_duplicated
+    }
+
     /// Total frames that entered the switch.
     pub fn frames_seen(&self) -> u64 {
         self.frame_index
@@ -130,24 +144,12 @@ impl Switch {
     pub fn egress_busy_time(&self, addr: NodeAddr) -> Dur {
         self.ports[addr.index()].egress.busy_time()
     }
-}
 
-impl Component for Switch {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, _port: PortId, payload: Payload) {
-        let frame = payload.downcast::<Frame>();
-        let index = self.frame_index;
-        self.frame_index += 1;
+    /// Queues `frame` on its destination port's egress and delivers it
+    /// after forwarding latency, serialization, propagation and any
+    /// fault-injected `extra` delay.
+    fn forward_frame(&mut self, ctx: &mut Ctx<'_>, frame: Frame, extra: Dur) {
         let now = ctx.now();
-        let extra = match self.fault.decide(index, now, &frame, &mut self.rng) {
-            FaultAction::Forward => Dur::ZERO,
-            FaultAction::Delay(d) => d,
-            FaultAction::Drop => {
-                self.frames_dropped += 1;
-                ctx.stats().add("net.switch.drops", 1);
-                accl_sim::trace_instant!(ctx, "net.drop", frame.span);
-                return;
-            }
-        };
         let dst = frame.dst;
         let port = &mut self.ports[dst.index()];
         let rx = port.rx_handler.unwrap_or_else(|| {
@@ -198,6 +200,51 @@ impl Component for Switch {
         // so a delayed frame can be overtaken (true reordering) instead of
         // head-of-line blocking the egress FIFO.
         ctx.send_at(rx, end + self.propagation + extra, frame);
+    }
+}
+
+impl Component for Switch {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, _port: PortId, payload: Payload) {
+        let mut frame = payload.downcast::<Frame>();
+        let index = self.frame_index;
+        self.frame_index += 1;
+        let now = ctx.now();
+        let mut duplicate = false;
+        let extra = match self.fault.decide(index, now, &frame, &mut self.rng) {
+            FaultAction::Forward => Dur::ZERO,
+            FaultAction::Delay(d) => d,
+            FaultAction::Drop => {
+                self.frames_dropped += 1;
+                ctx.stats().add("net.switch.drops", 1);
+                accl_sim::trace_instant!(ctx, "net.drop", frame.span);
+                return;
+            }
+            FaultAction::Corrupt => {
+                // Deterministic nonzero mask derived from the frame index:
+                // corruption replays bit-for-bit without an RNG draw.
+                self.frames_corrupted += 1;
+                ctx.stats().add("net.switch.corrupted", 1);
+                accl_sim::trace_instant!(ctx, "net.corrupt", frame.span);
+                frame.corrupt(((index as u32) << 1) | 1);
+                Dur::ZERO
+            }
+            FaultAction::Duplicate => {
+                self.frames_duplicated += 1;
+                ctx.stats().add("net.switch.duplicated", 1);
+                accl_sim::trace_instant!(ctx, "net.duplicate", frame.span);
+                duplicate = true;
+                Dur::ZERO
+            }
+        };
+        if duplicate {
+            // The copy is a real wire occupant: it serializes on the same
+            // egress pipe right behind the original.
+            let copy = frame.clone_wire();
+            self.forward_frame(ctx, frame, extra);
+            self.forward_frame(ctx, copy, extra);
+        } else {
+            self.forward_frame(ctx, frame, extra);
+        }
     }
 }
 
@@ -422,6 +469,53 @@ mod tests {
         assert_eq!(mb.len(), 1);
         assert_eq!(mb.items()[0].1.body.peek::<u64>(), Some(&1));
         assert_eq!(w.sim.component::<Switch>(w.switch).frames_dropped(), 1);
+    }
+
+    #[test]
+    fn corrupted_frame_arrives_with_bad_fcs() {
+        let mut w = world(2);
+        w.sim
+            .component_mut::<Switch>(w.switch)
+            .set_fault_plan(FaultPlan::corrupt_frames([0]));
+        for i in 0..2u64 {
+            w.sim.post(
+                Endpoint::of(w.ports[0]),
+                Time::from_ps(i),
+                Frame::new(NodeAddr(0), NodeAddr(1), 100, i),
+            );
+        }
+        w.sim.run();
+        let mb = w.sim.component::<Mailbox<Frame>>(w.sinks[1]);
+        assert_eq!(mb.len(), 2, "corrupted frames still arrive");
+        assert!(!mb.items()[0].1.fcs_ok());
+        assert!(mb.items()[1].1.fcs_ok());
+        assert_eq!(w.sim.component::<Switch>(w.switch).frames_corrupted(), 1);
+    }
+
+    #[test]
+    fn duplicated_frame_arrives_twice_and_pays_the_wire() {
+        let mut w = world(2);
+        w.sim
+            .component_mut::<Switch>(w.switch)
+            .set_fault_plan(FaultPlan::duplicate_frames([0]));
+        w.sim.post(
+            Endpoint::of(w.ports[0]),
+            Time::ZERO,
+            Frame::new(NodeAddr(0), NodeAddr(1), 1000, 5u64),
+        );
+        w.sim.run();
+        let mb = w.sim.component::<Mailbox<Frame>>(w.sinks[1]);
+        assert_eq!(mb.len(), 2);
+        for (_, f) in mb.items() {
+            assert!(f.fcs_ok());
+            assert_eq!(f.body.peek::<u64>(), Some(&5));
+        }
+        // The copy serializes behind the original on the egress pipe.
+        let ser = Dur::for_bytes_gbps(u64::from(1000 + WIRE_OVERHEAD_BYTES), 100.0);
+        assert_eq!(mb.items()[1].0 - mb.items()[0].0, ser);
+        let sw = w.sim.component::<Switch>(w.switch);
+        assert_eq!(sw.frames_duplicated(), 1);
+        assert_eq!(sw.port_counters(NodeAddr(1)).frames_out, 2);
     }
 
     #[test]

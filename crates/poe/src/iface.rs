@@ -379,10 +379,18 @@ impl TxAssembler {
 ///
 /// Each wire segment carries `(session, msg_id, offset, total)`; the demux
 /// emits one [`PoeRxMeta`] on the first segment of a message and tracks
-/// received bytes to set the `last` flag, tolerating reordering.
+/// received byte ranges to set the `last` flag, tolerating reordering and
+/// *duplication*: a segment whose bytes were already received (network
+/// duplicate, spurious retransmit) is discarded rather than double-counted
+/// toward message completion.
 #[derive(Debug, Default)]
 pub struct RxDemux {
-    inflight: std::collections::BTreeMap<(SessionId, u64), u64>,
+    /// Per-message sorted disjoint received `[lo, hi)` byte ranges.
+    inflight: std::collections::BTreeMap<(SessionId, u64), Vec<(u64, u64)>>,
+    /// Fully delivered messages, kept so a straggling duplicate of a
+    /// completed message cannot resurrect it as a fresh arrival.
+    completed: std::collections::BTreeSet<(SessionId, u64)>,
+    duplicates: u64,
 }
 
 impl RxDemux {
@@ -393,9 +401,11 @@ impl RxDemux {
 
     /// Processes one arriving segment.
     ///
-    /// Returns `(meta, chunk)` where `meta` is `Some` for the first segment
-    /// of a message; `span` is attached to that meta so receive-side
-    /// consumers can parent their spans under the sender's causality.
+    /// Returns `Some((meta, chunk))` for a segment carrying new bytes,
+    /// where `meta` is `Some` for the first segment of a message; `span`
+    /// is attached to that meta so receive-side consumers can parent their
+    /// spans under the sender's causality. Returns `None` for a duplicate
+    /// (bytes already received), which callers must discard.
     pub fn accept(
         &mut self,
         session: SessionId,
@@ -404,15 +414,30 @@ impl RxDemux {
         total: u64,
         data: Bytes,
         span: SpanId,
-    ) -> (Option<PoeRxMeta>, RxChunk) {
+    ) -> Option<(Option<PoeRxMeta>, RxChunk)> {
         let key = (session, msg_id);
+        if self.completed.contains(&key) {
+            self.duplicates += 1;
+            return None;
+        }
         let first = !self.inflight.contains_key(&key);
-        let got = self.inflight.entry(key).or_insert(0);
-        *got += data.len() as u64;
-        debug_assert!(*got <= total, "received more bytes than message length");
-        let last = *got == total;
+        let ranges = self.inflight.entry(key).or_default();
+        let (lo, hi) = (offset, offset + data.len() as u64);
+        debug_assert!(hi <= total, "segment beyond message length");
+        if ranges.iter().any(|&(a, b)| lo < b && a < hi) {
+            // Segment boundaries are stable per message (MTU grid), so any
+            // overlap means the whole segment was already received.
+            self.duplicates += 1;
+            return None;
+        }
+        ranges.push((lo, hi));
+        ranges.sort_unstable();
+        let got: u64 = ranges.iter().map(|&(a, b)| b - a).sum();
+        debug_assert!(got <= total, "received more bytes than message length");
+        let last = got == total;
         if last {
             self.inflight.remove(&key);
+            self.completed.insert(key);
         }
         let meta = first.then_some(PoeRxMeta {
             session,
@@ -420,7 +445,7 @@ impl RxDemux {
             len: total,
             span,
         });
-        (
+        Some((
             meta,
             RxChunk {
                 session,
@@ -429,12 +454,17 @@ impl RxDemux {
                 data,
                 last,
             },
-        )
+        ))
     }
 
     /// Messages currently partially received.
     pub fn inflight(&self) -> usize {
         self.inflight.len()
+    }
+
+    /// Duplicate segments discarded so far.
+    pub fn duplicates_discarded(&self) -> u64 {
+        self.duplicates
     }
 }
 
@@ -530,25 +560,29 @@ mod tests {
     #[test]
     fn demux_emits_meta_once_and_last_flag() {
         let mut d = RxDemux::new();
-        let (m1, c1) = d.accept(
-            SessionId(2),
-            9,
-            0,
-            10,
-            Bytes::from(vec![0u8; 6]),
-            SpanId::NONE,
-        );
+        let (m1, c1) = d
+            .accept(
+                SessionId(2),
+                9,
+                0,
+                10,
+                Bytes::from(vec![0u8; 6]),
+                SpanId::NONE,
+            )
+            .unwrap();
         assert!(m1.is_some());
         assert_eq!(m1.unwrap().len, 10);
         assert!(!c1.last);
-        let (m2, c2) = d.accept(
-            SessionId(2),
-            9,
-            6,
-            10,
-            Bytes::from(vec![0u8; 4]),
-            SpanId::NONE,
-        );
+        let (m2, c2) = d
+            .accept(
+                SessionId(2),
+                9,
+                6,
+                10,
+                Bytes::from(vec![0u8; 4]),
+                SpanId::NONE,
+            )
+            .unwrap();
         assert!(m2.is_none());
         assert!(c2.last);
         assert_eq!(d.inflight(), 0);
@@ -557,25 +591,54 @@ mod tests {
     #[test]
     fn demux_tolerates_reordering() {
         let mut d = RxDemux::new();
-        let (m1, c1) = d.accept(
-            SessionId(0),
-            1,
-            6,
-            10,
-            Bytes::from(vec![0u8; 4]),
-            SpanId::NONE,
-        );
+        let (m1, c1) = d
+            .accept(
+                SessionId(0),
+                1,
+                6,
+                10,
+                Bytes::from(vec![0u8; 4]),
+                SpanId::NONE,
+            )
+            .unwrap();
         assert!(m1.is_some());
         assert!(!c1.last);
-        let (_, c2) = d.accept(
-            SessionId(0),
-            1,
-            0,
-            10,
-            Bytes::from(vec![0u8; 6]),
-            SpanId::NONE,
-        );
+        let (_, c2) = d
+            .accept(
+                SessionId(0),
+                1,
+                0,
+                10,
+                Bytes::from(vec![0u8; 6]),
+                SpanId::NONE,
+            )
+            .unwrap();
         assert!(c2.last);
+    }
+
+    #[test]
+    fn demux_discards_duplicates() {
+        let mut d = RxDemux::new();
+        let seg = |d: &mut RxDemux, offset, len| {
+            d.accept(
+                SessionId(0),
+                1,
+                offset,
+                10,
+                Bytes::from(vec![0u8; len]),
+                SpanId::NONE,
+            )
+        };
+        assert!(seg(&mut d, 0, 6).is_some());
+        // Same segment again mid-message: duplicate, not progress.
+        assert!(seg(&mut d, 0, 6).is_none());
+        assert_eq!(d.duplicates_discarded(), 1);
+        let (_, c) = seg(&mut d, 6, 4).unwrap();
+        assert!(c.last, "duplicates must not inflate the byte count");
+        // A straggler after completion cannot resurrect the message.
+        assert!(seg(&mut d, 6, 4).is_none());
+        assert_eq!(d.duplicates_discarded(), 2);
+        assert_eq!(d.inflight(), 0);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod iface;
+pub mod mux;
 pub mod rdma;
 pub mod tcp;
 pub mod udp;

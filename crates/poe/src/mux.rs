@@ -1,0 +1,115 @@
+//! Inbound frame demultiplexer for dual-POE nodes.
+//!
+//! A node running a primary RDMA engine with a standby TCP engine (the
+//! graceful-degradation path) has one physical network port but two
+//! protocol stacks behind it. [`RxMux`] models the NIC-level protocol
+//! demux in front of stacked offload engines: every inbound frame is
+//! routed to the engine whose PDU type it carries. Forwarding is
+//! zero-latency, so the timing of a mux-fronted engine is identical to a
+//! directly attached one.
+
+use accl_net::Frame;
+use accl_sim::prelude::*;
+
+use crate::rdma::RdmaPdu;
+
+/// Ports of the [`RxMux`] component.
+pub mod ports {
+    use accl_sim::event::PortId;
+
+    /// Inbound frames from the network (same index as the POEs' `NET_RX`
+    /// so the mux can stand in for a POE at the fabric attachment point).
+    pub const NET_RX: PortId = crate::iface::ports::NET_RX;
+}
+
+/// Routes one node's inbound frames between two co-resident POEs by PDU
+/// type: RDMA PDUs to the RDMA engine, everything else to the fallback.
+pub struct RxMux {
+    rdma: Endpoint,
+    other: Endpoint,
+    frames_to_rdma: u64,
+    frames_to_other: u64,
+}
+
+impl RxMux {
+    /// Creates a mux feeding `rdma` (RDMA PDUs) and `other` (the rest).
+    /// Both endpoints are the respective POE's `NET_RX` port.
+    pub fn new(rdma: Endpoint, other: Endpoint) -> Self {
+        RxMux {
+            rdma,
+            other,
+            frames_to_rdma: 0,
+            frames_to_other: 0,
+        }
+    }
+
+    /// Frames routed to the RDMA engine so far.
+    pub fn frames_to_rdma(&self) -> u64 {
+        self.frames_to_rdma
+    }
+
+    /// Frames routed to the fallback engine so far.
+    pub fn frames_to_other(&self) -> u64 {
+        self.frames_to_other
+    }
+}
+
+impl Component for RxMux {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, port: PortId, payload: Payload) {
+        assert_eq!(port, ports::NET_RX, "Rx mux has only the NET_RX port");
+        let frame = payload.downcast::<Frame>();
+        let to = if frame.body.is::<RdmaPdu>() {
+            self.frames_to_rdma += 1;
+            self.rdma
+        } else {
+            self.frames_to_other += 1;
+            self.other
+        };
+        ctx.send(to, Dur::ZERO, frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accl_net::NodeAddr;
+    use accl_sim::trace::SpanId;
+    use bytes::Bytes;
+
+    use crate::iface::SessionId;
+    use crate::tcp::TcpSegment;
+
+    fn frame<T: std::any::Any + Send + Clone>(body: T) -> Frame {
+        Frame::new(NodeAddr(0), NodeAddr(1), 64, body).with_span(SpanId::NONE)
+    }
+
+    #[test]
+    fn routes_by_pdu_type() {
+        let mut sim = Simulator::new(0);
+        let rdma = sim.add("rdma", Mailbox::<Frame>::new());
+        let tcp = sim.add("tcp", Mailbox::<Frame>::new());
+        let mux = sim.add("mux", RxMux::new(Endpoint::of(rdma), Endpoint::of(tcp)));
+        sim.post(
+            Endpoint::new(mux, ports::NET_RX),
+            Time::ZERO,
+            frame(RdmaPdu::Credit {
+                dst_qp: SessionId(0),
+                ack_psn: 1,
+            }),
+        );
+        sim.post(
+            Endpoint::new(mux, ports::NET_RX),
+            Time::ZERO,
+            frame(TcpSegment {
+                dst_session: SessionId(0),
+                seq: 0,
+                data: Bytes::from_static(b"x"),
+            }),
+        );
+        sim.run();
+        assert_eq!(sim.component::<Mailbox<Frame>>(rdma).len(), 1);
+        assert_eq!(sim.component::<Mailbox<Frame>>(tcp).len(), 1);
+        let m = sim.component::<RxMux>(mux);
+        assert_eq!((m.frames_to_rdma(), m.frames_to_other()), (1, 1));
+    }
+}

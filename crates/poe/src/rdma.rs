@@ -28,6 +28,13 @@ struct StarveTimer {
     gen: u64,
 }
 
+/// Retransmission-timeout timer (self-addressed).
+#[derive(Debug, Clone, Copy)]
+struct RtoTimer {
+    qp: SessionId,
+    gen: u64,
+}
+
 /// RDMA wire protocol data units.
 #[derive(Debug, Clone)]
 pub enum RdmaPdu {
@@ -35,6 +42,9 @@ pub enum RdmaPdu {
     Send {
         /// Receiver-local queue pair.
         dst_qp: SessionId,
+        /// Packet sequence number of the first MTU fragment in this frame
+        /// (per direction per QP, counted in MTU-fragment units).
+        psn: u64,
         /// Sender-assigned message id.
         msg_id: u64,
         /// Fragment offset within the message.
@@ -48,6 +58,8 @@ pub enum RdmaPdu {
     Write {
         /// Receiver-local queue pair.
         dst_qp: SessionId,
+        /// Packet sequence number of the first MTU fragment in this frame.
+        psn: u64,
         /// Message id (distinguishes interleaved writes for stream delivery).
         msg_id: u64,
         /// Base virtual address of the destination buffer.
@@ -59,12 +71,21 @@ pub enum RdmaPdu {
         /// Fragment payload.
         data: Bytes,
     },
-    /// Flow-control credit return.
+    /// Cumulative acknowledgement doubling as flow-control credit return.
     Credit {
         /// Receiver-local queue pair (the original sender's side).
         dst_qp: SessionId,
-        /// Number of frame tokens returned.
-        frames: u32,
+        /// Highest in-order PSN received, exclusive: everything below this
+        /// landed and its tokens are free again.
+        ack_psn: u64,
+    },
+    /// Out-of-order arrival report: asks the sender to go back to
+    /// `expected_psn` and retransmit from there.
+    Nak {
+        /// Receiver-local queue pair (the original sender's side).
+        dst_qp: SessionId,
+        /// Next PSN the receiver expects (doubles as a cumulative ack).
+        expected_psn: u64,
     },
 }
 
@@ -104,6 +125,16 @@ pub struct RdmaConfig {
     /// per fragment) and timing all match the one-event-per-fragment
     /// schedule. The default of 1 reproduces the historical behaviour.
     pub coalesce: u32,
+    /// Initial retransmission timeout, µs. Doubles on each consecutive
+    /// go-back-N round without ack progress (capped at 64×). Must be well
+    /// below `starvation_timeout_us` for transient loss to be repaired
+    /// before the fail-stop watchdog gives up, and the cumulative ladder
+    /// to `max_retransmits` must exceed it so a genuinely dead peer is
+    /// diagnosed as starvation, not as a retransmission failure.
+    pub rto_us: u64,
+    /// Consecutive go-back-N rounds without cumulative-ack progress before
+    /// the QP transitions to the error state.
+    pub max_retransmits: u32,
 }
 
 impl Default for RdmaConfig {
@@ -116,8 +147,31 @@ impl Default for RdmaConfig {
             write_delivery: WriteDelivery::Memory,
             starvation_timeout_us: 1_000,
             coalesce: 1,
+            rto_us: 100,
+            max_retransmits: 8,
         }
     }
+}
+
+/// MTU-fragment tokens a payload of `len` bytes occupies (free function so
+/// call sites holding field borrows can use it).
+fn frag_tokens(mtu: u32, len: usize) -> u64 {
+    (len as u64).div_ceil(u64::from(mtu)).max(1)
+}
+
+/// Per-queue-pair reliable-delivery sender state (go-back-N).
+#[derive(Debug, Default)]
+struct QpTx {
+    /// PSN of the next fresh fragment, in MTU-fragment units.
+    next_psn: u64,
+    /// Cumulative PSN acknowledged by the peer (exclusive).
+    acked_psn: u64,
+    /// Transmitted, unacknowledged segments with their start PSNs.
+    unacked: VecDeque<(u64, TxSegment)>,
+    /// Consecutive retransmission rounds without ack progress.
+    retries: u32,
+    /// RTO-timer generation; a pending timer with an older gen is stale.
+    rto_gen: u64,
 }
 
 /// The RDMA protocol offload engine component.
@@ -133,10 +187,15 @@ pub struct RdmaPoe {
     assembler: TxAssembler,
     demux: RxDemux,
     write_demux: RxDemux,
-    /// In-flight (uncredited) fragments per QP.
-    inflight: BTreeMap<SessionId, u32>,
+    /// Per-QP reliable sender state (window accounting + go-back-N).
+    tx: BTreeMap<SessionId, QpTx>,
     /// Fragments waiting for tokens, per QP.
     stalled: BTreeMap<SessionId, VecDeque<TxSegment>>,
+    /// Receiver-side next expected PSN per local QP.
+    expected_psn: BTreeMap<SessionId, u64>,
+    /// `expected_psn` value of the last NAK sent per local QP; one NAK per
+    /// gap, not one per out-of-order arrival behind it.
+    last_nak: BTreeMap<SessionId, u64>,
     /// Receiver-side pending credit counts per peer QP.
     owed_credits: BTreeMap<SessionId, u32>,
     /// Starvation-timer generation per QP; bumped on every credit so a
@@ -146,6 +205,8 @@ pub struct RdmaPoe {
     qp_error: BTreeMap<SessionId, SessionErrorKind>,
     frames_sent: u64,
     frames_received: u64,
+    retransmissions: u64,
+    frames_corrupted_discarded: u64,
 }
 
 impl RdmaPoe {
@@ -161,13 +222,17 @@ impl RdmaPoe {
             assembler: TxAssembler::new(),
             demux: RxDemux::new(),
             write_demux: RxDemux::new(),
-            inflight: BTreeMap::new(),
+            tx: BTreeMap::new(),
             stalled: BTreeMap::new(),
+            expected_psn: BTreeMap::new(),
+            last_nak: BTreeMap::new(),
             owed_credits: BTreeMap::new(),
             starve_gen: BTreeMap::new(),
             qp_error: BTreeMap::new(),
             frames_sent: 0,
             frames_received: 0,
+            retransmissions: 0,
+            frames_corrupted_discarded: 0,
         }
     }
 
@@ -193,6 +258,16 @@ impl RdmaPoe {
         self.frames_received
     }
 
+    /// Go-back-N segment retransmissions so far.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Frames dropped at RX for a bad frame check sequence.
+    pub fn frames_corrupted_discarded(&self) -> u64 {
+        self.frames_corrupted_discarded
+    }
+
     /// Queue pairs in the error state, in QP order (the map is keyed by
     /// QP, so iteration is already ordered).
     pub fn failed_qps(&self) -> Vec<(SessionId, SessionErrorKind)> {
@@ -205,9 +280,16 @@ impl RdmaPoe {
 
     /// MTU-fragment tokens a segment of `len` payload bytes occupies.
     fn tokens_for(&self, len: usize) -> u32 {
-        ((len as u64).div_ceil(u64::from(self.cfg.mtu)).max(1))
+        frag_tokens(self.cfg.mtu, len)
             .try_into()
             .expect("token count overflow")
+    }
+
+    /// In-flight (unacknowledged) fragment tokens on `qp`.
+    fn inflight_tokens(&self, qp: SessionId) -> u32 {
+        self.tx
+            .get(&qp)
+            .map_or(0, |st| (st.next_psn - st.acked_psn) as u32)
     }
 
     fn arm_starve_timer(&mut self, ctx: &mut Ctx<'_>, qp: SessionId) {
@@ -216,6 +298,19 @@ impl RdmaPoe {
             ports::TIMER,
             Dur::from_us(self.cfg.starvation_timeout_us),
             StarveTimer { qp, gen },
+        );
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Ctx<'_>, qp: SessionId) {
+        let Some(st) = self.tx.get(&qp) else { return };
+        let backoff = st.retries.min(6);
+        ctx.send_self(
+            ports::TIMER,
+            Dur::from_us(self.cfg.rto_us << backoff),
+            RtoTimer {
+                qp,
+                gen: st.rto_gen,
+            },
         );
     }
 
@@ -239,11 +334,11 @@ impl RdmaPoe {
             return;
         }
         let tokens = self.tokens_for(seg.data.len());
-        let inflight = self.inflight.entry(qp).or_insert(0);
+        let inflight = self.inflight_tokens(qp);
         // Tokens are per MTU fragment, so a coalesced segment charges the
         // same window budget its fragments would. A segment wider than the
         // whole window still goes out when the QP is idle (no deadlock).
-        let fits = *inflight + tokens <= self.cfg.token_window || *inflight == 0;
+        let fits = inflight + tokens <= self.cfg.token_window || inflight == 0;
         if !fits || self.stalled.get(&qp).is_some_and(|q| !q.is_empty()) {
             let q = self.stalled.entry(qp).or_default();
             let first = q.is_empty();
@@ -253,7 +348,6 @@ impl RdmaPoe {
             }
             return;
         }
-        *inflight += tokens;
         self.transmit(ctx, seg);
     }
 
@@ -264,6 +358,12 @@ impl RdmaPoe {
         let latency = self.latency();
         self.qp_error.insert(qp, kind);
         *self.starve_gen.entry(qp).or_insert(0) += 1;
+        if let Some(st) = self.tx.get_mut(&qp) {
+            // Transmitted `last` fragments already reported local success;
+            // only never-transmitted (stalled) commands complete in error.
+            st.unacked.clear();
+            st.rto_gen += 1;
+        }
         ctx.stats().add("poe.rdma.qp_errors", 1);
         ctx.send(
             self.up.tx_done,
@@ -289,12 +389,43 @@ impl RdmaPoe {
         }
     }
 
+    /// First transmission of a segment: assigns its PSN, charges the token
+    /// window, buffers it for go-back-N retransmission, and reports local
+    /// completion on the final fragment.
     fn transmit(&mut self, ctx: &mut Ctx<'_>, seg: TxSegment) {
+        let qp = seg.cmd.session;
+        let fragments = self.tokens_for(seg.data.len());
+        let st = self.tx.entry(qp).or_default();
+        let psn = st.next_psn;
+        st.next_psn += u64::from(fragments);
+        let was_idle = st.unacked.is_empty();
+        st.unacked.push_back((psn, seg.clone()));
+        if was_idle {
+            st.rto_gen += 1;
+            self.arm_rto(ctx, qp);
+        }
+        self.send_on_wire(ctx, &seg, psn);
+        if seg.last {
+            ctx.send(
+                self.up.tx_done,
+                self.latency(),
+                PoeTxDone {
+                    session: qp,
+                    len: seg.cmd.len,
+                    tag: seg.cmd.tag,
+                },
+            );
+        }
+    }
+
+    /// Emits one data frame carrying `seg` at `psn` (fresh or retransmit).
+    fn send_on_wire(&mut self, ctx: &mut Ctx<'_>, seg: &TxSegment, psn: u64) {
         let (peer, peer_qp) = self.sessions.peer(seg.cmd.session);
         let latency = self.latency();
         let pdu = match seg.cmd.kind {
             TxKind::Send => RdmaPdu::Send {
                 dst_qp: peer_qp,
+                psn,
                 msg_id: seg.msg_id,
                 offset: seg.offset,
                 total: seg.cmd.len,
@@ -302,6 +433,7 @@ impl RdmaPoe {
             },
             TxKind::Write { remote_addr } => RdmaPdu::Write {
                 dst_qp: peer_qp,
+                psn,
                 msg_id: seg.msg_id,
                 addr: remote_addr,
                 offset: seg.offset,
@@ -328,26 +460,47 @@ impl RdmaPoe {
             .with_segments(fragments)
             .with_span(wire_span);
         ctx.send(self.net_tx, latency, frame);
-        if seg.last {
-            ctx.send(
-                self.up.tx_done,
-                latency,
-                PoeTxDone {
-                    session: seg.cmd.session,
-                    len: seg.cmd.len,
-                    tag: seg.cmd.tag,
-                },
-            );
+    }
+
+    /// Go-back-N: retransmits every unacknowledged segment in PSN order.
+    fn go_back(&mut self, ctx: &mut Ctx<'_>, qp: SessionId) {
+        let resend: Vec<(u64, TxSegment)> = self
+            .tx
+            .get(&qp)
+            .map(|st| st.unacked.iter().cloned().collect())
+            .unwrap_or_default();
+        for (psn, seg) in &resend {
+            self.retransmissions += 1;
+            ctx.stats().add("poe.rdma.retransmissions", 1);
+            self.send_on_wire(ctx, seg, *psn);
         }
     }
 
+    /// One retransmission round (NAK- or RTO-triggered); fails the QP when
+    /// the consecutive-round budget is exhausted.
+    fn retry_round(&mut self, ctx: &mut Ctx<'_>, qp: SessionId) {
+        let exhausted = {
+            let st = self.tx.entry(qp).or_default();
+            st.retries += 1;
+            st.rto_gen += 1;
+            st.retries > self.cfg.max_retransmits
+        };
+        if exhausted {
+            self.fail_qp(ctx, qp, SessionErrorKind::RetransmitLimit);
+            return;
+        }
+        self.go_back(ctx, qp);
+        self.arm_rto(ctx, qp);
+    }
+
     /// Accumulates receiver-side credits (in MTU-fragment units) and
-    /// returns them in batches.
+    /// returns them in batches as cumulative acks.
     fn credit(&mut self, ctx: &mut Ctx<'_>, src_qp: SessionId, units: u32, flush: bool) {
         let owed = self.owed_credits.entry(src_qp).or_insert(0);
         *owed += units;
         if *owed >= self.cfg.credit_batch || flush {
-            let frames = core::mem::take(owed);
+            core::mem::take(owed);
+            let ack_psn = self.expected_psn.get(&src_qp).copied().unwrap_or(0);
             let (peer, peer_qp) = self.sessions.peer(src_qp);
             let latency = self.latency();
             let frame = Frame::new(
@@ -356,23 +509,48 @@ impl RdmaPoe {
                 0,
                 RdmaPdu::Credit {
                     dst_qp: peer_qp,
-                    frames,
+                    ack_psn,
                 },
             );
             ctx.send(self.net_tx, latency, frame);
         }
     }
 
-    fn on_credit(&mut self, ctx: &mut Ctx<'_>, qp: SessionId, frames: u32) {
+    fn on_credit(&mut self, ctx: &mut Ctx<'_>, qp: SessionId, ack_psn: u64) {
         if self.qp_error.contains_key(&qp) {
             return;
         }
-        // Any credit is forward progress: invalidate the pending timer.
+        let mtu = self.cfg.mtu;
+        let advanced = {
+            let st = self.tx.entry(qp).or_default();
+            if ack_psn <= st.acked_psn {
+                false // stale duplicate ack
+            } else {
+                st.acked_psn = ack_psn;
+                while let Some((start, seg)) = st.unacked.front() {
+                    if start + frag_tokens(mtu, seg.data.len()) <= ack_psn {
+                        st.unacked.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                // Progress: reset the retry ladder, void pending timers.
+                st.retries = 0;
+                st.rto_gen += 1;
+                true
+            }
+        };
+        if !advanced {
+            return;
+        }
+        // Any ack progress also resets the starvation watchdog.
         *self.starve_gen.entry(qp).or_insert(0) += 1;
-        let inflight = self.inflight.entry(qp).or_insert(0);
-        *inflight = inflight.saturating_sub(frames);
+        if self.tx.get(&qp).is_some_and(|st| !st.unacked.is_empty()) {
+            self.arm_rto(ctx, qp);
+        }
+        // Release stalled segments into the freed window.
         loop {
-            let inflight = *self.inflight.get(&qp).unwrap();
+            let inflight = self.inflight_tokens(qp);
             let Some(head_len) = self
                 .stalled
                 .get(&qp)
@@ -386,12 +564,75 @@ impl RdmaPoe {
                 break;
             }
             let seg = self.stalled.get_mut(&qp).unwrap().pop_front().unwrap();
-            *self.inflight.get_mut(&qp).unwrap() += tokens;
             self.transmit(ctx, seg);
         }
         if self.stalled.get(&qp).is_some_and(|q| !q.is_empty()) {
             self.arm_starve_timer(ctx, qp);
         }
+    }
+
+    fn on_nak(&mut self, ctx: &mut Ctx<'_>, qp: SessionId, expected_psn: u64) {
+        if self.qp_error.contains_key(&qp) {
+            return;
+        }
+        // A NAK carries a cumulative ack: everything below `expected`
+        // landed, so bank that progress first.
+        if expected_psn > self.tx.get(&qp).map_or(0, |st| st.acked_psn) {
+            self.on_credit(ctx, qp, expected_psn);
+        }
+        if self.qp_error.contains_key(&qp) {
+            return;
+        }
+        if self.tx.get(&qp).is_some_and(|st| !st.unacked.is_empty()) {
+            self.retry_round(ctx, qp);
+        }
+    }
+
+    /// PSN gate for arriving data fragments. Returns `true` when the frame
+    /// is the next expected in-order delivery; otherwise discards it: a
+    /// future PSN (the gap left by a lost or corrupted frame) triggers one
+    /// NAK per gap, and a past PSN (go-back-N overshoot or a wire
+    /// duplicate) refreshes the peer's cumulative ack so a lost credit
+    /// cannot wedge the sender.
+    fn rx_in_order(&mut self, ctx: &mut Ctx<'_>, qp: SessionId, psn: u64, fragments: u32) -> bool {
+        let expected = *self.expected_psn.entry(qp).or_insert(0);
+        if psn == expected {
+            self.expected_psn
+                .insert(qp, expected + u64::from(fragments));
+            self.last_nak.remove(&qp);
+            return true;
+        }
+        let latency = self.latency();
+        let (peer, peer_qp) = self.sessions.peer(qp);
+        if psn > expected {
+            ctx.stats().add("poe.rdma.rx_gap_naks", 1);
+            if self.last_nak.get(&qp) != Some(&expected) {
+                self.last_nak.insert(qp, expected);
+                let frame = Frame::new(
+                    accl_net::NodeAddr(0),
+                    peer,
+                    0,
+                    RdmaPdu::Nak {
+                        dst_qp: peer_qp,
+                        expected_psn: expected,
+                    },
+                );
+                ctx.send(self.net_tx, latency, frame);
+            }
+        } else {
+            ctx.stats().add("poe.rdma.rx_duplicates", 1);
+            let frame = Frame::new(
+                accl_net::NodeAddr(0),
+                peer,
+                0,
+                RdmaPdu::Credit {
+                    dst_qp: peer_qp,
+                    ack_psn: expected,
+                },
+            );
+            ctx.send(self.net_tx, latency, frame);
+        }
+        false
     }
 }
 
@@ -418,8 +659,17 @@ impl Component for RdmaPoe {
             }
             ports::NET_RX => {
                 let frame = payload.downcast::<Frame>();
+                if !frame.fcs_ok() {
+                    // A failed check taints every header field: drop the
+                    // whole frame and let go-back-N close the PSN gap.
+                    self.frames_corrupted_discarded += 1;
+                    ctx.stats().add("poe.rdma.frames_corrupted_discarded", 1);
+                    accl_sim::trace_instant!(ctx, "poe.fcs_drop", frame.span);
+                    return;
+                }
                 let wire_span = frame.span;
-                self.frames_received += u64::from(frame.segments);
+                let fragments = frame.segments;
+                self.frames_received += u64::from(fragments);
                 let latency = self.latency();
                 let rx_span = if ctx.spans_enabled() && !wire_span.is_none() {
                     ctx.span_interval("poe.rx", wire_span, ctx.now(), ctx.now() + latency)
@@ -429,15 +679,22 @@ impl Component for RdmaPoe {
                 match frame.body.downcast::<RdmaPdu>() {
                     RdmaPdu::Send {
                         dst_qp,
+                        psn,
                         msg_id,
                         offset,
                         total,
                         data,
                     } => {
+                        if !self.rx_in_order(ctx, dst_qp, psn, fragments) {
+                            return;
+                        }
                         let units = self.tokens_for(data.len());
+                        // The PSN gate admits each fragment exactly once, so
+                        // the demux cannot see duplicates.
                         let (meta, chunk) = self
                             .demux
-                            .accept(dst_qp, msg_id, offset, total, data, rx_span);
+                            .accept(dst_qp, msg_id, offset, total, data, rx_span)
+                            .expect("in-order PSN admitted a duplicate");
                         let flush = chunk.last;
                         if let Some(meta) = meta {
                             ctx.send(self.up.rx_meta, latency, meta);
@@ -447,12 +704,16 @@ impl Component for RdmaPoe {
                     }
                     RdmaPdu::Write {
                         dst_qp,
+                        psn,
                         msg_id,
                         addr,
                         offset,
                         total,
                         data,
                     } => {
+                        if !self.rx_in_order(ctx, dst_qp, psn, fragments) {
+                            return;
+                        }
                         let units = self.tokens_for(data.len());
                         match self.cfg.write_delivery {
                             WriteDelivery::Memory => {
@@ -481,7 +742,8 @@ impl Component for RdmaPoe {
                                 });
                                 let (meta, chunk) = self
                                     .write_demux
-                                    .accept(dst_qp, msg_id, offset, total, data, rx_span);
+                                    .accept(dst_qp, msg_id, offset, total, data, rx_span)
+                                    .expect("in-order PSN admitted a duplicate");
                                 let flush = chunk.last;
                                 if let Some(meta) = meta {
                                     ctx.send(self.up.rx_meta, latency, meta);
@@ -491,20 +753,39 @@ impl Component for RdmaPoe {
                             }
                         }
                     }
-                    RdmaPdu::Credit { dst_qp, frames } => {
-                        self.on_credit(ctx, dst_qp, frames);
+                    RdmaPdu::Credit { dst_qp, ack_psn } => {
+                        self.on_credit(ctx, dst_qp, ack_psn);
+                    }
+                    RdmaPdu::Nak {
+                        dst_qp,
+                        expected_psn,
+                    } => {
+                        self.on_nak(ctx, dst_qp, expected_psn);
                     }
                 }
             }
-            ports::TIMER => {
-                let timer = payload.downcast::<StarveTimer>();
-                let stale = self.starve_gen.get(&timer.qp).copied().unwrap_or(0) != timer.gen;
-                let still_stalled = self.stalled.get(&timer.qp).is_some_and(|q| !q.is_empty());
-                if stale || !still_stalled || self.qp_error.contains_key(&timer.qp) {
-                    return;
+            ports::TIMER => match payload.try_downcast::<StarveTimer>() {
+                Ok(timer) => {
+                    let stale = self.starve_gen.get(&timer.qp).copied().unwrap_or(0) != timer.gen;
+                    let still_stalled = self.stalled.get(&timer.qp).is_some_and(|q| !q.is_empty());
+                    if stale || !still_stalled || self.qp_error.contains_key(&timer.qp) {
+                        return;
+                    }
+                    self.fail_qp(ctx, timer.qp, SessionErrorKind::TokenStarvation);
                 }
-                self.fail_qp(ctx, timer.qp, SessionErrorKind::TokenStarvation);
-            }
+                Err(other) => {
+                    let timer = other.downcast::<RtoTimer>();
+                    let live = self
+                        .tx
+                        .get(&timer.qp)
+                        .is_some_and(|st| st.rto_gen == timer.gen && !st.unacked.is_empty());
+                    if !live || self.qp_error.contains_key(&timer.qp) {
+                        return;
+                    }
+                    ctx.stats().add("poe.rdma.rto_fired", 1);
+                    self.retry_round(ctx, timer.qp);
+                }
+            },
             other => panic!("RDMA engine has no port {other:?}"),
         }
     }
@@ -520,6 +801,23 @@ impl Component for RdmaPoe {
             return Some(ParkedWork {
                 rank: None,
                 op: format!("rdma qp {}: {} fragments token-starved", qp.0, q.len()),
+            });
+        }
+        // Unacknowledged fragments whose retransmission clock ran dry.
+        let unacked = self
+            .tx
+            .iter()
+            .filter(|(qp, st)| !st.unacked.is_empty() && !self.qp_error.contains_key(qp))
+            .min_by_key(|(&qp, _)| qp);
+        if let Some((&qp, st)) = unacked {
+            return Some(ParkedWork {
+                rank: None,
+                op: format!(
+                    "rdma qp {}: {} segments unacked past psn {}",
+                    qp.0,
+                    st.unacked.len(),
+                    st.acked_psn
+                ),
             });
         }
         // Commands still waiting for their stream bytes.
@@ -815,6 +1113,121 @@ mod tests {
             }
             other => panic!("expected stall, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn corrupted_frame_is_discarded_and_repaired_by_go_back_n() {
+        let mut b = bench(2);
+        b.net
+            .set_fault_plan(&mut b.sim, accl_net::FaultPlan::corrupt_frames([2]));
+        let msg: Vec<u8> = (0..30_000u32).map(|i| (i % 239) as u8).collect();
+        issue(&mut b, 0, 1, TxKind::Send, msg.clone(), 0);
+        b.sim.run();
+        let mut got = vec![0u8; msg.len()];
+        for (_, c) in b.sim.component::<Mailbox<RxChunk>>(b.datas[1]).items() {
+            got[c.offset as usize..c.offset as usize + c.data.len()].copy_from_slice(&c.data);
+        }
+        assert_eq!(got, msg, "delivered bytes must be bit-exact");
+        let rx = b.sim.component::<RdmaPoe>(b.poes[1]);
+        assert_eq!(rx.frames_corrupted_discarded(), 1);
+        let tx = b.sim.component::<RdmaPoe>(b.poes[0]);
+        assert!(tx.retransmissions() >= 1);
+        assert!(tx.failed_qps().is_empty());
+    }
+
+    #[test]
+    fn random_loss_is_repaired_by_go_back_n() {
+        let mut b = bench(2);
+        b.net
+            .set_fault_plan(&mut b.sim, accl_net::FaultPlan::random_loss(0.02));
+        let msg: Vec<u8> = (0..100_000u32).map(|i| (i % 247) as u8).collect();
+        issue(&mut b, 0, 1, TxKind::Send, msg.clone(), 0);
+        b.sim.run();
+        let mut got = vec![0u8; msg.len()];
+        let mut total = 0usize;
+        for (_, c) in b.sim.component::<Mailbox<RxChunk>>(b.datas[1]).items() {
+            got[c.offset as usize..c.offset as usize + c.data.len()].copy_from_slice(&c.data);
+            total += c.data.len();
+        }
+        assert_eq!(got, msg);
+        assert_eq!(total, msg.len(), "duplicate or missing delivery");
+        assert!(b
+            .sim
+            .component::<RdmaPoe>(b.poes[0])
+            .failed_qps()
+            .is_empty());
+    }
+
+    #[test]
+    fn duplicated_frames_are_filtered_by_psn() {
+        let mut b = bench(2);
+        b.net
+            .set_fault_plan(&mut b.sim, accl_net::FaultPlan::duplicate_frames([1, 2]));
+        let msg: Vec<u8> = (0..30_000u32).map(|i| (i % 233) as u8).collect();
+        issue(&mut b, 0, 1, TxKind::Send, msg.clone(), 0);
+        b.sim.run();
+        let chunks = b.sim.component::<Mailbox<RxChunk>>(b.datas[1]);
+        let total: usize = chunks.values().map(|c| c.data.len()).sum();
+        assert_eq!(total, msg.len(), "duplicates leaked upward");
+        let mut got = vec![0u8; msg.len()];
+        for (_, c) in chunks.items() {
+            got[c.offset as usize..c.offset as usize + c.data.len()].copy_from_slice(&c.data);
+        }
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn unreachable_peer_with_open_window_exhausts_retransmits() {
+        // Window wider than the whole message: nothing ever stalls on
+        // tokens, so the starvation watchdog never arms and the RTO retry
+        // ladder must be the path that diagnoses the dead peer.
+        let cfg = RdmaConfig {
+            rto_us: 20,
+            max_retransmits: 3,
+            ..RdmaConfig::default()
+        };
+        let mut b = bench_cfg(2, cfg, None);
+        b.net.crash_node(&mut b.sim, 1, Time::ZERO);
+        issue(&mut b, 0, 1, TxKind::Send, vec![7u8; 16 * 1024], 4);
+        let out = b.sim.run();
+        assert_eq!(out, RunOutcome::Drained, "outcome: {out:?}");
+        let poe = b.sim.component::<RdmaPoe>(b.poes[0]);
+        assert_eq!(
+            poe.failed_qps(),
+            vec![(SessionId(1), SessionErrorKind::RetransmitLimit)]
+        );
+        // 4 rounds over the 4-fragment message before giving up.
+        assert_eq!(poe.retransmissions(), 3 * 4);
+        let log = b.sim.component::<CompletionLog>(b.dones[0]);
+        assert_eq!(log.errors().len(), 1);
+        // Ladder: 20 + 40 + 80 + 160 µs before the budget check fails.
+        let (at, _) = log.errors()[0];
+        assert!(at >= Time::from_us(300) && at < Time::from_us(400), "{at}");
+    }
+
+    #[test]
+    fn reordering_triggers_nak_and_recovers() {
+        let mut b = bench(2);
+        b.net.set_fault_plan(
+            &mut b.sim,
+            accl_net::FaultPlan::delay_frames([1], Dur::from_us(50)),
+        );
+        let msg: Vec<u8> = (0..40_000u32).map(|i| (i % 229) as u8).collect();
+        issue(&mut b, 0, 1, TxKind::Send, msg.clone(), 0);
+        b.sim.run();
+        let chunks = b.sim.component::<Mailbox<RxChunk>>(b.datas[1]);
+        let total: usize = chunks.values().map(|c| c.data.len()).sum();
+        assert_eq!(total, msg.len());
+        let mut got = vec![0u8; msg.len()];
+        for (_, c) in chunks.items() {
+            got[c.offset as usize..c.offset as usize + c.data.len()].copy_from_slice(&c.data);
+        }
+        assert_eq!(got, msg);
+        assert!(b
+            .sim
+            .component::<RdmaPoe>(b.poes[0])
+            .failed_qps()
+            .is_empty());
     }
 
     #[test]

@@ -85,6 +85,14 @@ pub struct TcpConfig {
     /// default of 1 reproduces the historical one-event-per-segment
     /// behaviour.
     pub coalesce: u32,
+    /// Verify the frame check sequence at RX and discard corrupted frames
+    /// (the hardware MAC's behaviour, always on in practice).
+    ///
+    /// Exists only so the chaos harness can validate itself: with the
+    /// check *disabled*, a corrupted segment is delivered with a flipped
+    /// payload byte, which the harness's golden-result invariant must
+    /// catch and shrink to a minimal repro.
+    pub verify_fcs: bool,
 }
 
 impl Default for TcpConfig {
@@ -98,6 +106,7 @@ impl Default for TcpConfig {
             max_rto_us: 10_000,
             max_retransmits: 8,
             coalesce: 1,
+            verify_fcs: true,
         }
     }
 }
@@ -224,6 +233,7 @@ pub struct TcpPoe {
     raw_len: u64,
     segments_sent: u64,
     acks_sent: u64,
+    frames_corrupted_discarded: u64,
 }
 
 impl TcpPoe {
@@ -241,12 +251,18 @@ impl TcpPoe {
             raw_len: 0,
             segments_sent: 0,
             acks_sent: 0,
+            frames_corrupted_discarded: 0,
         }
     }
 
     /// Total data segments transmitted (including retransmissions).
     pub fn segments_sent(&self) -> u64 {
         self.segments_sent
+    }
+
+    /// Frames discarded at RX because their FCS check failed.
+    pub fn frames_corrupted_discarded(&self) -> u64 {
+        self.frames_corrupted_discarded
     }
 
     /// Total retransmitted segments across all sessions.
@@ -663,9 +679,27 @@ impl Component for TcpPoe {
             }
             ports::NET_RX => {
                 let frame = payload.downcast::<Frame>();
+                let corrupted = !frame.fcs_ok();
+                if corrupted && self.cfg.verify_fcs {
+                    // Bad CRC: drop at the MAC. The sender's RTO / fast
+                    // retransmit recovers the lost bytes.
+                    self.frames_corrupted_discarded += 1;
+                    ctx.stats().add("poe.tcp.frames_corrupted_discarded", 1);
+                    accl_sim::trace_instant!(ctx, "poe.fcs_drop", frame.span);
+                    return;
+                }
                 let wire_span = frame.span;
                 match frame.body.try_downcast::<TcpSegment>() {
-                    Ok(seg) => self.on_segment(ctx, seg, wire_span),
+                    Ok(mut seg) => {
+                        if corrupted && !seg.data.is_empty() {
+                            // FCS check deliberately disabled (chaos-harness
+                            // self-test): the corruption reaches the stream.
+                            let mut bytes = seg.data.to_vec();
+                            bytes[0] ^= 0xff;
+                            seg.data = Bytes::from(bytes);
+                        }
+                        self.on_segment(ctx, seg, wire_span)
+                    }
                     Err(body) => self.on_ack(ctx, body.downcast::<TcpAck>()),
                 }
             }
@@ -897,6 +931,69 @@ mod tests {
             .filter(|c| c.last)
             .count();
         assert_eq!(lasts, 1);
+    }
+
+    #[test]
+    fn corruption_is_discarded_and_recovers_by_retransmission() {
+        let mut b = bench(2);
+        // Flip bits in the 3rd frame the switch sees (a data segment).
+        b.net
+            .set_fault_plan(&mut b.sim, FaultPlan::corrupt_frames([2]));
+        let msg: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+        send(&mut b, 0, 1, msg.clone(), 0);
+        b.sim.run();
+        // FCS check discards the mangled segment; the retransmit path
+        // restores the exact bytes.
+        assert_eq!(received(&b, 1, msg.len()), msg);
+        let rx_poe = b.sim.component::<TcpPoe>(b.poes[1]);
+        assert_eq!(rx_poe.frames_corrupted_discarded(), 1);
+        assert!(b.sim.component::<TcpPoe>(b.poes[0]).retransmissions() >= 1);
+    }
+
+    #[test]
+    fn disabled_fcs_check_delivers_corrupted_bytes() {
+        // Self-test for the chaos harness: with verification off, the
+        // corrupted segment reaches the application and the payload is
+        // observably wrong. This is the "deliberately injected bug" the
+        // invariant checker must catch.
+        let cfg = TcpConfig {
+            verify_fcs: false,
+            ..TcpConfig::default()
+        };
+        let mut b = bench_cfg(2, cfg);
+        b.net
+            .set_fault_plan(&mut b.sim, FaultPlan::corrupt_frames([2]));
+        let msg: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+        send(&mut b, 0, 1, msg.clone(), 0);
+        b.sim.run();
+        let got = received(&b, 1, msg.len());
+        assert_ne!(got, msg, "corruption should be visible with FCS off");
+        assert_eq!(
+            b.sim
+                .component::<TcpPoe>(b.poes[1])
+                .frames_corrupted_discarded(),
+            0
+        );
+    }
+
+    #[test]
+    fn duplicated_frames_deliver_exactly_once() {
+        let mut b = bench(2);
+        b.net
+            .set_fault_plan(&mut b.sim, FaultPlan::duplicate_frames([1, 3]));
+        let msg: Vec<u8> = (0..40_000u32).map(|i| (i % 249) as u8).collect();
+        send(&mut b, 0, 1, msg.clone(), 0);
+        b.sim.run();
+        assert_eq!(received(&b, 1, msg.len()), msg);
+        // Duplicate segments are old news to the cumulative-ACK receiver:
+        // total delivered bytes must match exactly.
+        let total: usize = b
+            .sim
+            .component::<Mailbox<RxChunk>>(b.datas[1])
+            .values()
+            .map(|c| c.data.len())
+            .sum();
+        assert_eq!(total, msg.len(), "duplicate delivery leaked upward");
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub struct UdpPoe {
     demux: RxDemux,
     dgrams_sent: u64,
     dgrams_received: u64,
+    dgrams_corrupted_dropped: u64,
 }
 
 impl UdpPoe {
@@ -78,6 +79,7 @@ impl UdpPoe {
             demux: RxDemux::new(),
             dgrams_sent: 0,
             dgrams_received: 0,
+            dgrams_corrupted_dropped: 0,
         }
     }
 
@@ -89,6 +91,17 @@ impl UdpPoe {
     /// Datagrams received so far.
     pub fn dgrams_received(&self) -> u64 {
         self.dgrams_received
+    }
+
+    /// Datagrams dropped at RX for a bad frame check sequence. UDP has no
+    /// recovery: these bytes are simply gone, like wire loss.
+    pub fn dgrams_corrupted_dropped(&self) -> u64 {
+        self.dgrams_corrupted_dropped
+    }
+
+    /// Datagrams discarded as duplicates of already-received segments.
+    pub fn dgrams_duplicates_dropped(&self) -> u64 {
+        self.demux.duplicates_discarded()
     }
 
     fn latency(&self) -> Dur {
@@ -162,6 +175,14 @@ impl Component for UdpPoe {
             }
             ports::NET_RX => {
                 let frame = payload.downcast::<Frame>();
+                if !frame.fcs_ok() {
+                    // Connectionless engine: a mangled datagram is
+                    // indistinguishable from loss once dropped.
+                    self.dgrams_corrupted_dropped += 1;
+                    ctx.stats().add("poe.udp.dgrams_corrupted_dropped", 1);
+                    accl_sim::trace_instant!(ctx, "poe.fcs_drop", frame.span);
+                    return;
+                }
                 let wire_span = frame.span;
                 let dgram = frame.body.downcast::<UdpDgram>();
                 self.dgrams_received += 1;
@@ -171,7 +192,7 @@ impl Component for UdpPoe {
                 } else {
                     SpanId::NONE
                 };
-                let (meta, chunk) = self.demux.accept(
+                let accepted = self.demux.accept(
                     dgram.dst_session,
                     dgram.msg_id,
                     dgram.offset,
@@ -179,6 +200,10 @@ impl Component for UdpPoe {
                     dgram.data,
                     rx_span,
                 );
+                let Some((meta, chunk)) = accepted else {
+                    ctx.stats().add("poe.udp.dgrams_duplicates_dropped", 1);
+                    return;
+                };
                 if let Some(meta) = meta {
                     ctx.send(self.up.rx_meta, latency, meta);
                 }
@@ -330,6 +355,41 @@ mod tests {
         // none is marked last.
         assert_eq!(chunks.len(), 2);
         assert!(chunks.values().all(|c| !c.last));
+    }
+
+    #[test]
+    fn corruption_is_typed_loss() {
+        let mut b = bench(2);
+        b.net
+            .set_fault_plan(&mut b.sim, FaultPlan::corrupt_frames([1]));
+        send(&mut b, 0, 1, vec![1u8; 10_000], 0);
+        b.sim.run();
+        // Same observable shape as loss — but the receiver knows why.
+        let chunks = b.sim.component::<Mailbox<RxChunk>>(b.datas[1]);
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks.values().all(|c| !c.last));
+        let poe = b.sim.component::<UdpPoe>(b.poes[1]);
+        assert_eq!(poe.dgrams_corrupted_dropped(), 1);
+        assert_eq!(poe.dgrams_received(), 2);
+    }
+
+    #[test]
+    fn duplicates_are_discarded_and_counted() {
+        let mut b = bench(2);
+        b.net
+            .set_fault_plan(&mut b.sim, FaultPlan::duplicate_frames([0, 2]));
+        let msg: Vec<u8> = (0..10_000u32).map(|i| (i * 3 % 256) as u8).collect();
+        send(&mut b, 0, 1, msg.clone(), 0);
+        b.sim.run();
+        let chunks = b.sim.component::<Mailbox<RxChunk>>(b.datas[1]);
+        assert_eq!(chunks.len(), 3, "duplicates must not reach the app");
+        let mut got = vec![0u8; msg.len()];
+        for (_, c) in chunks.items() {
+            got[c.offset as usize..c.offset as usize + c.data.len()].copy_from_slice(&c.data);
+        }
+        assert_eq!(got, msg);
+        let poe = b.sim.component::<UdpPoe>(b.poes[1]);
+        assert_eq!(poe.dgrams_duplicates_dropped(), 2);
     }
 
     #[test]

@@ -96,6 +96,10 @@ struct PayloadMeta {
     type_id: fn() -> TypeId,
     type_name: fn() -> &'static str,
     drop_fn: unsafe fn(*mut u8),
+    /// Clones the stored value from `src` into `dst` (both valid, aligned
+    /// `T` slots). Present only for payloads built via
+    /// [`Payload::cloneable`]; `Payload::new` cannot observe `T: Clone`.
+    clone_fn: Option<unsafe fn(*const u8, *mut u8)>,
 }
 
 trait HasPayloadMeta {
@@ -107,6 +111,20 @@ impl<T: 'static> HasPayloadMeta for T {
         type_id: TypeId::of::<T>,
         type_name: core::any::type_name::<T>,
         drop_fn: drop_in_place_erased::<T>,
+        clone_fn: None,
+    };
+}
+
+trait HasCloneablePayloadMeta {
+    const META: PayloadMeta;
+}
+
+impl<T: 'static + Clone> HasCloneablePayloadMeta for T {
+    const META: PayloadMeta = PayloadMeta {
+        type_id: TypeId::of::<T>,
+        type_name: core::any::type_name::<T>,
+        drop_fn: drop_in_place_erased::<T>,
+        clone_fn: Some(clone_in_place_erased::<T>),
     };
 }
 
@@ -128,6 +146,18 @@ unsafe fn drop_in_place_erased<T>(p: *mut u8) {
     unsafe { core::ptr::drop_in_place(p.cast::<T>()) }
 }
 
+unsafe fn clone_in_place_erased<T: Clone>(src: *const u8, dst: *mut u8) {
+    unsafe { dst.cast::<T>().write((*src.cast::<T>()).clone()) }
+}
+
+fn clone_boxed_erased<T: Any + Send + Clone>(v: &(dyn Any + Send)) -> Payload {
+    Payload::cloneable(
+        v.downcast_ref::<T>()
+            .expect("boxed clone fn called on wrong type")
+            .clone(),
+    )
+}
+
 impl InlineValue {
     /// Whether a `T` qualifies for inline storage.
     const fn fits<T>() -> bool {
@@ -136,15 +166,39 @@ impl InlineValue {
     }
 
     fn new<T: Any + Send>(value: T) -> InlineValue {
+        InlineValue::with_meta(value, &<T as HasPayloadMeta>::META)
+    }
+
+    fn new_cloneable<T: Any + Send + Clone>(value: T) -> InlineValue {
+        InlineValue::with_meta(value, &<T as HasCloneablePayloadMeta>::META)
+    }
+
+    fn with_meta<T: Any + Send>(value: T, meta: &'static PayloadMeta) -> InlineValue {
         debug_assert!(InlineValue::fits::<T>());
         let mut buf = MaybeUninit::<[usize; INLINE_PAYLOAD_WORDS]>::uninit();
         // SAFETY: `fits` guarantees size and alignment; the value is moved
         // into the buffer and ownership is tracked by `InlineValue`'s Drop.
         unsafe { buf.as_mut_ptr().cast::<T>().write(value) };
-        InlineValue {
+        InlineValue { buf, meta }
+    }
+
+    /// Clones the stored value into a fresh `InlineValue`, if the stored
+    /// type registered a clone fn (built via [`Payload::cloneable`]).
+    fn try_clone(&self) -> Option<InlineValue> {
+        let clone_fn = self.meta.clone_fn?;
+        let mut buf = MaybeUninit::<[usize; INLINE_PAYLOAD_WORDS]>::uninit();
+        // SAFETY: `clone_fn` matches the stored type per invariants; the
+        // destination buffer has the same size/alignment as the source.
+        unsafe {
+            clone_fn(
+                self.buf.as_ptr().cast::<u8>(),
+                buf.as_mut_ptr().cast::<u8>(),
+            )
+        };
+        Some(InlineValue {
             buf,
-            meta: &<T as HasPayloadMeta>::META,
-        }
+            meta: self.meta,
+        })
     }
 
     fn is<T: Any>(&self) -> bool {
@@ -181,8 +235,12 @@ impl Drop for InlineValue {
 
 enum Repr {
     Inline(InlineValue),
-    Boxed(Box<dyn Any + Send>, &'static str),
+    Boxed(Box<dyn Any + Send>, &'static str, BoxedCloneFn),
 }
+
+/// Clone hook for boxed payloads; `None` unless built via
+/// [`Payload::cloneable`].
+type BoxedCloneFn = Option<fn(&(dyn Any + Send)) -> Payload>;
 
 /// A type-erased event payload.
 ///
@@ -206,16 +264,53 @@ impl Payload {
         let repr = if InlineValue::fits::<T>() {
             Repr::Inline(InlineValue::new(value))
         } else {
-            Repr::Boxed(Box::new(value), core::any::type_name::<T>())
+            Repr::Boxed(Box::new(value), core::any::type_name::<T>(), None)
         };
         Payload { repr }
+    }
+
+    /// Wraps `value` into a type-erased payload that supports
+    /// [`Payload::try_clone`]. Behaves identically to [`Payload::new`]
+    /// otherwise; the extra `Clone` bound registers a type-erased clone
+    /// hook (used e.g. by fault injection to duplicate frames in flight).
+    #[inline]
+    pub fn cloneable<T: Any + Send + Clone>(value: T) -> Self {
+        let repr = if InlineValue::fits::<T>() {
+            Repr::Inline(InlineValue::new_cloneable(value))
+        } else {
+            Repr::Boxed(
+                Box::new(value),
+                core::any::type_name::<T>(),
+                Some(clone_boxed_erased::<T>),
+            )
+        };
+        Payload { repr }
+    }
+
+    /// Deep-clones the payload, if it was built via [`Payload::cloneable`].
+    /// Returns `None` for payloads without a registered clone hook.
+    pub fn try_clone(&self) -> Option<Payload> {
+        match &self.repr {
+            Repr::Inline(v) => v.try_clone().map(|v| Payload {
+                repr: Repr::Inline(v),
+            }),
+            Repr::Boxed(b, _, clone_fn) => clone_fn.map(|f| f(&**b)),
+        }
+    }
+
+    /// Whether [`Payload::try_clone`] would succeed.
+    pub fn is_cloneable(&self) -> bool {
+        match &self.repr {
+            Repr::Inline(v) => v.meta.clone_fn.is_some(),
+            Repr::Boxed(_, _, clone_fn) => clone_fn.is_some(),
+        }
     }
 
     /// The `type_name` of the wrapped value (for diagnostics/tracing).
     pub fn type_name(&self) -> &'static str {
         match &self.repr {
             Repr::Inline(v) => (v.meta.type_name)(),
-            Repr::Boxed(_, name) => name,
+            Repr::Boxed(_, name, _) => name,
         }
     }
 
@@ -246,10 +341,10 @@ impl Payload {
     pub fn try_downcast<T: Any>(self) -> Result<T, Payload> {
         match self.repr {
             Repr::Inline(v) if v.is::<T>() => Ok(v.take()),
-            Repr::Boxed(b, name) => match b.downcast::<T>() {
+            Repr::Boxed(b, name, clone_fn) => match b.downcast::<T>() {
                 Ok(b) => Ok(*b),
                 Err(inner) => Err(Payload {
-                    repr: Repr::Boxed(inner, name),
+                    repr: Repr::Boxed(inner, name, clone_fn),
                 }),
             },
             repr => Err(Payload { repr }),
@@ -260,7 +355,7 @@ impl Payload {
     pub fn peek<T: Any>(&self) -> Option<&T> {
         match &self.repr {
             Repr::Inline(v) => v.peek::<T>(),
-            Repr::Boxed(b, _) => b.downcast_ref::<T>(),
+            Repr::Boxed(b, _, _) => b.downcast_ref::<T>(),
         }
     }
 
@@ -268,7 +363,7 @@ impl Payload {
     pub fn is<T: Any>(&self) -> bool {
         match &self.repr {
             Repr::Inline(v) => v.is::<T>(),
-            Repr::Boxed(b, _) => b.is::<T>(),
+            Repr::Boxed(b, _, _) => b.is::<T>(),
         }
     }
 }
@@ -361,5 +456,46 @@ mod tests {
         assert_eq!(drops.load(Ordering::SeqCst), 2);
         drop(p);
         assert_eq!(drops.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn cloneable_payloads_clone_inline_and_boxed() {
+        // Inline.
+        let p = Payload::cloneable(31u64);
+        assert!(p.is_inline() && p.is_cloneable());
+        let q = p.try_clone().expect("inline clone");
+        assert_eq!(p.downcast::<u64>(), 31);
+        assert_eq!(q.downcast::<u64>(), 31);
+        // Boxed.
+        let p = Payload::cloneable([3u64; 16]);
+        assert!(!p.is_inline() && p.is_cloneable());
+        let q = p.try_clone().expect("boxed clone");
+        assert_eq!(q.downcast::<[u64; 16]>(), [3u64; 16]);
+        assert_eq!(p.downcast::<[u64; 16]>(), [3u64; 16]);
+    }
+
+    #[test]
+    fn plain_payloads_are_not_cloneable() {
+        assert!(!Payload::new(7u32).is_cloneable());
+        assert!(Payload::new(7u32).try_clone().is_none());
+        assert!(Payload::new([0u64; 8]).try_clone().is_none());
+    }
+
+    #[test]
+    fn cloned_payloads_drop_independently() {
+        #[derive(Clone)]
+        struct Canary(Arc<AtomicU32>);
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicU32::new(0));
+        let p = Payload::cloneable(Canary(Arc::clone(&drops)));
+        let q = p.try_clone().expect("clone");
+        drop(p);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        drop(q);
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
     }
 }
