@@ -135,6 +135,12 @@ pub enum CmdStatus {
     /// The uC's collective watchdog expired while the call was blocked on
     /// remote progress; the call was aborted locally.
     TimedOut,
+    /// The engine's command queue was full at submission; the command was
+    /// rejected without side effects and may be retried.
+    Busy,
+    /// The call was aborted while a bounded engine resource (the eager Rx
+    /// buffer pool) was exhausted — local starvation, not remote silence.
+    ResourceExhausted,
 }
 
 /// Completion of a CCLO command.

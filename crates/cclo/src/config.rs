@@ -149,6 +149,19 @@ pub struct CcloConfig {
     /// error status. `None` disables the watchdog (a stalled call then
     /// parks forever and is reported by the simulator's stall watchdog).
     pub collective_timeout_us: Option<u64>,
+    /// Command-queue admission bound: at most this many calls may be
+    /// pending (active + queued) per engine. Submissions beyond the bound
+    /// complete immediately with [`CmdStatus::Busy`](crate::command::CmdStatus)
+    /// instead of queueing without limit. `None` keeps the queue unbounded.
+    #[serde(default)]
+    pub max_pending_calls: Option<u32>,
+    /// When set, the RBM notifies the uC each time the eager Rx buffer
+    /// pool runs dry, so watchdog aborts under pool starvation complete
+    /// with [`CmdStatus::ResourceExhausted`](crate::command::CmdStatus)
+    /// instead of a generic timeout. Off by default (the notification is
+    /// an extra event and perturbs event timelines).
+    #[serde(default)]
+    pub notify_rx_exhaustion: bool,
     /// Algorithm selection thresholds.
     pub algo: AlgoConfig,
 }
@@ -169,6 +182,8 @@ impl Default for CcloConfig {
             scratch_bytes: 512 << 20,
             legacy_uc: None,
             collective_timeout_us: None,
+            max_pending_calls: None,
+            notify_rx_exhaustion: false,
             algo: AlgoConfig::default(),
         }
     }

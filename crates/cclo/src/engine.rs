@@ -62,6 +62,9 @@ impl CcloEngine {
         let txsys = sim.reserve(format!("{prefix}.txsys"));
         let rxsys = sim.reserve(format!("{prefix}.rxsys"));
 
+        // Resource labels are scoped by node ("n0.cclo" -> "n0") so stall
+        // reports and the deadlock detector name the owning node.
+        let scope = prefix.split('.').next().unwrap_or(prefix);
         let mut uc_comp = Uc::new(
             spec.cfg,
             FirmwareTable::stock(),
@@ -72,6 +75,7 @@ impl CcloEngine {
             spec.scratch_mem,
         );
         uc_comp.set_rbm(rbm);
+        uc_comp.set_resource_label(format!("cclo.jobq({scope})"));
         sim.install(uc, uc_comp);
         sim.install(
             dmp,
@@ -83,7 +87,12 @@ impl CcloEngine {
                 Endpoint::new(uc, uc_ports::DMP_DONE),
             ),
         );
-        sim.install(rbm, Rbm::new(spec.cfg));
+        let mut rbm_comp = Rbm::new(spec.cfg);
+        rbm_comp.set_resource_label(format!("cclo.rxbuf({scope})"));
+        if spec.cfg.notify_rx_exhaustion {
+            rbm_comp.set_exhaustion_notify(Endpoint::new(uc, uc_ports::NOTIF));
+        }
+        sim.install(rbm, rbm_comp);
         sim.install(
             txsys,
             TxSys::new(

@@ -85,6 +85,9 @@ pub mod ports {
     pub const QUERY: PortId = PortId(2);
     /// Abort cleanup from the uC ([`super::RbmPurge`]).
     pub const PURGE: PortId = PortId(3);
+    /// Fault injection: permanently remove buffers from the pool
+    /// ([`super::RbmShrink`]).
+    pub const SHRINK: PortId = PortId(4);
 }
 
 /// uC request to drop all eager state belonging to an aborted collective:
@@ -97,6 +100,15 @@ pub struct RbmPurge {
     pub comm: u32,
     /// The aborted command's user tag.
     pub user_tag: u64,
+}
+
+/// Chaos fault: permanently removes `bufs` buffers from the Rx pool,
+/// modelling memory pressure or a buffer-accounting bug. Free buffers are
+/// taken first; any remainder is debited as held buffers drain back.
+#[derive(Debug, Clone, Copy)]
+pub struct RbmShrink {
+    /// Buffers to remove.
+    pub bufs: u32,
 }
 
 /// One buffered (or in-flight) eager message.
@@ -139,6 +151,14 @@ pub struct Rbm {
     legacy_pipe: Option<Pipe>,
     /// Times the pool ran dry (eager backpressure events).
     pub exhaustion_events: u64,
+    /// Buffers permanently removed by [`RbmShrink`] faults.
+    shrunk: u32,
+    /// Shrink remainder still to be debited as held buffers free up.
+    shrink_debt: u32,
+    /// Exhaustion notifications to the uC (`notify_rx_exhaustion`).
+    notify: Option<Endpoint>,
+    /// Resource name for stall diagnosis (scoped per node by the engine).
+    resource: String,
     chunk_bytes: u64,
 }
 
@@ -161,14 +181,43 @@ impl Rbm {
             read_pipe: Pipe::bytes_per_sec(datapath_bps),
             legacy_pipe,
             exhaustion_events: 0,
+            shrunk: 0,
+            shrink_debt: 0,
+            notify: None,
+            resource: "cclo.rxbuf".to_string(),
             chunk_bytes: 4096,
             cfg,
         }
     }
 
+    /// Routes pool-exhaustion notifications to the uC's NOTIF port.
+    pub fn set_exhaustion_notify(&mut self, ep: Endpoint) {
+        self.notify = Some(ep);
+    }
+
+    /// Scopes the pool's resource name for stall diagnosis
+    /// (e.g. `"cclo.rxbuf(n0)"`).
+    pub fn set_resource_label(&mut self, label: impl Into<String>) {
+        self.resource = label.into();
+    }
+
     /// Buffers currently free.
     pub fn free_buffers(&self) -> u32 {
         self.free_bufs
+    }
+
+    /// Buffers permanently removed by shrink faults so far.
+    pub fn shrunk(&self) -> u32 {
+        self.shrunk
+    }
+
+    /// Returns one buffer to the pool, paying down shrink debt first.
+    fn release_buf(&mut self) {
+        if self.shrink_debt > 0 {
+            self.shrink_debt -= 1;
+        } else {
+            self.free_bufs += 1;
+        }
     }
 
     /// Messages buffered but not yet matched.
@@ -203,9 +252,11 @@ impl Rbm {
         victims.sort_by_key(|k| (k.session, k.msg_id));
         let mut freed = 0u64;
         for k in &victims {
-            let m = self.msgs.remove(k).unwrap();
+            let Some(m) = self.msgs.remove(k) else {
+                continue;
+            };
             if m.admitted {
-                self.free_bufs += 1;
+                self.release_buf();
                 freed += 1;
             }
         }
@@ -285,19 +336,22 @@ impl Rbm {
             let mut msg = self.msgs.remove(&mkey).unwrap();
             msg.matched = true;
             self.stream_out(ctx, &q, msg);
-            // Buffer freed; admit a waiting message if any.
-            self.free_bufs += 1;
-            if let Some(wkey) = self.waiting_admission.pop_front() {
-                self.free_bufs -= 1;
-                let wmatch = {
-                    let m = self.msgs.get_mut(&wkey).expect("waiting msg vanished");
-                    m.admitted = true;
-                    MatchKey::of(&m.sig)
-                };
-                if wmatch == key {
-                    continue;
+            // Buffer freed; admit a waiting message if any (unless the
+            // freed buffer went to pay down shrink debt).
+            self.release_buf();
+            if self.free_bufs > 0 {
+                if let Some(wkey) = self.waiting_admission.pop_front() {
+                    self.free_bufs -= 1;
+                    let wmatch = {
+                        let m = self.msgs.get_mut(&wkey).expect("waiting msg vanished");
+                        m.admitted = true;
+                        MatchKey::of(&m.sig)
+                    };
+                    if wmatch == key {
+                        continue;
+                    }
+                    self.try_match(ctx, wmatch);
                 }
-                self.try_match(ctx, wmatch);
             }
         }
     }
@@ -384,6 +438,9 @@ impl Component for Rbm {
                 } else {
                     self.exhaustion_events += 1;
                     ctx.stats().add("rbm.exhausted", 1);
+                    if let Some(uc) = self.notify {
+                        ctx.send(uc, Dur::ZERO, crate::rxsys::UcNotif::RxExhausted);
+                    }
                     self.waiting_admission.push_back(meta.key);
                     false
                 };
@@ -422,8 +479,42 @@ impl Component for Rbm {
                 let p = payload.downcast::<RbmPurge>();
                 self.purge(ctx, p);
             }
+            ports::SHRINK => {
+                let s = payload.downcast::<RbmShrink>();
+                let from_free = s.bufs.min(self.free_bufs);
+                self.free_bufs -= from_free;
+                self.shrink_debt += s.bufs - from_free;
+                self.shrunk += s.bufs;
+                ctx.stats().add("rbm.bufs_shrunk", s.bufs as u64);
+            }
             other => panic!("RBM has no port {other:?}"),
         }
+    }
+
+    fn resource_state(&self) -> Option<ResourceState> {
+        let held = self.msgs.values().filter(|m| m.admitted).count() as u64;
+        let deferred = self.waiting_admission.len() as u64;
+        if held == 0 && deferred == 0 && self.shrunk == 0 {
+            return None;
+        }
+        let capacity = self.cfg.rx_buf_count.saturating_sub(self.shrunk) as u64;
+        let mut st = ResourceState::gauges_only(vec![ResourceGauge {
+            name: self.resource.clone(),
+            used: held,
+            capacity: Some(capacity),
+        }]);
+        if deferred > 0 {
+            st.gauges.push(ResourceGauge {
+                name: format!("{}.deferred", self.resource),
+                used: deferred,
+                capacity: None,
+            });
+            st.waits.push(self.resource.clone());
+        }
+        if held > 0 {
+            st.holds.push(self.resource.clone());
+        }
+        Some(st)
     }
 }
 
@@ -662,6 +753,73 @@ mod tests {
         query(&mut h, 2, 6 << 32, 8, 78);
         assert_eq!(collect(&h, 78), vec![2u8; 8]);
         assert_eq!(h.sim.component::<Rbm>(h.rbm).free_buffers(), 1);
+    }
+
+    #[test]
+    fn shrink_fault_removes_buffers_and_surfaces_in_resource_state() {
+        let cfg = CcloConfig {
+            rx_buf_count: 2,
+            ..CcloConfig::default()
+        };
+        let mut h = harness(cfg);
+        // Shrink by 1 while both buffers are free: the pool drops to 1.
+        h.sim.post(
+            Endpoint::new(h.rbm, ports::SHRINK),
+            h.sim.now(),
+            RbmShrink { bufs: 1 },
+        );
+        h.sim.run();
+        assert_eq!(h.sim.component::<Rbm>(h.rbm).free_buffers(), 1);
+        assert_eq!(h.sim.component::<Rbm>(h.rbm).shrunk(), 1);
+        // First message takes the last buffer; the second must defer.
+        meta(&mut h, 0, sig(0, 0, 4));
+        data(&mut h, 0, 0, vec![1u8; 4]);
+        meta(&mut h, 1, sig(0, 1, 4));
+        data(&mut h, 1, 0, vec![2u8; 4]);
+        assert_eq!(h.sim.component::<Rbm>(h.rbm).exhaustion_events, 1);
+        let st = h
+            .sim
+            .component::<Rbm>(h.rbm)
+            .resource_state()
+            .expect("exhausted pool must publish state");
+        assert_eq!(st.waits, vec!["cclo.rxbuf".to_string()]);
+        assert_eq!(st.holds, vec!["cclo.rxbuf".to_string()]);
+        assert_eq!(st.gauges[0].used, 1);
+        assert_eq!(st.gauges[0].capacity, Some(1));
+        assert_eq!(st.gauges[1].name, "cclo.rxbuf.deferred");
+        assert_eq!(st.gauges[1].used, 1);
+        // Consuming the first message hands its buffer to the deferred one.
+        query(&mut h, 0, 0, 4, 7);
+        assert_eq!(collect(&h, 7), vec![1u8; 4]);
+        query(&mut h, 0, 1, 4, 8);
+        assert_eq!(collect(&h, 8), vec![2u8; 4]);
+    }
+
+    #[test]
+    fn shrink_debt_is_paid_from_released_buffers() {
+        let cfg = CcloConfig {
+            rx_buf_count: 1,
+            ..CcloConfig::default()
+        };
+        let mut h = harness(cfg);
+        // The only buffer is held by a message; the shrink becomes debt.
+        meta(&mut h, 0, sig(0, 0, 4));
+        data(&mut h, 0, 0, vec![1u8; 4]);
+        h.sim.post(
+            Endpoint::new(h.rbm, ports::SHRINK),
+            h.sim.now(),
+            RbmShrink { bufs: 1 },
+        );
+        h.sim.run();
+        assert_eq!(h.sim.component::<Rbm>(h.rbm).free_buffers(), 0);
+        // Matching the message releases its buffer straight into the debt:
+        // the pool stays empty forever (capacity shrunk to zero).
+        query(&mut h, 0, 0, 4, 7);
+        assert_eq!(collect(&h, 7), vec![1u8; 4]);
+        assert_eq!(h.sim.component::<Rbm>(h.rbm).free_buffers(), 0);
+        let st = h.sim.component::<Rbm>(h.rbm).resource_state().unwrap();
+        assert_eq!(st.gauges[0].capacity, Some(0));
+        assert_eq!(st.gauges[0].used, 0);
     }
 
     #[test]

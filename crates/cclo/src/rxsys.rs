@@ -32,6 +32,11 @@ pub enum UcNotif {
     RndzvInit(MsgSignature),
     /// Peer's WRITE completed.
     RndzvDone(MsgSignature),
+    /// The RBM's eager Rx buffer pool ran dry (sent only when
+    /// `notify_rx_exhaustion` is configured). Lets the uC classify a
+    /// subsequent watchdog abort as resource exhaustion rather than a
+    /// remote-progress timeout. Not a progress event.
+    RxExhausted,
 }
 
 /// To the RBM: an eager message's signature (one per message, before data).

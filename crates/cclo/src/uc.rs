@@ -136,6 +136,13 @@ pub struct Uc {
     calls_aborted: u64,
     /// Transport failovers observed (the Tx system announced a POE swap).
     failovers_observed: u64,
+    /// Commands rejected at admission because the queue was full.
+    calls_rejected: u64,
+    /// RBM pool-exhaustion notifications since the active call started;
+    /// classifies watchdog aborts as [`CmdStatus::ResourceExhausted`].
+    rx_exhausted_events: u64,
+    /// Resource name of the command queue for stall diagnosis.
+    resource: String,
 }
 
 impl Uc {
@@ -171,7 +178,16 @@ impl Uc {
             orphans_reaped: 0,
             calls_aborted: 0,
             failovers_observed: 0,
+            calls_rejected: 0,
+            rx_exhausted_events: 0,
+            resource: "cclo.jobq".to_string(),
         }
+    }
+
+    /// Scopes the command queue's resource name for stall diagnosis
+    /// (e.g. `"cclo.jobq(n0)"`).
+    pub fn set_resource_label(&mut self, label: impl Into<String>) {
+        self.resource = label.into();
     }
 
     /// Wires the node's RBM so aborts can release its Rx buffers.
@@ -216,6 +232,11 @@ impl Uc {
     /// Transport failovers announced by the Tx system so far.
     pub fn failovers_observed(&self) -> u64 {
         self.failovers_observed
+    }
+
+    /// Commands rejected with [`CmdStatus::Busy`] at admission so far.
+    pub fn calls_rejected(&self) -> u64 {
+        self.calls_rejected
     }
 
     fn comm(&self, id: u32) -> &CommunicatorCfg {
@@ -296,6 +317,7 @@ impl Uc {
         let Some(cmd) = self.queue.pop_front() else {
             return;
         };
+        self.rx_exhausted_events = 0;
         let env = self.build_env(&cmd);
         let program = self.firmware.get(cmd.op).clone();
         let schedule = {
@@ -381,7 +403,7 @@ impl Uc {
     /// bookkeeping under its tag is dropped, and the command completes
     /// with an error status. The next queued command then starts — a
     /// wedged collective no longer head-of-line-blocks the engine.
-    fn abort_call(&mut self, ctx: &mut Ctx<'_>) {
+    fn abort_call(&mut self, ctx: &mut Ctx<'_>, status: CmdStatus) {
         let Some(call) = self.call.take() else {
             return;
         };
@@ -413,7 +435,7 @@ impl Uc {
                 ticket: call.cmd.ticket,
                 op: call.cmd.op,
                 bytes: 0,
-                status: CmdStatus::TimedOut,
+                status,
             },
         );
         self.maybe_start(ctx);
@@ -700,6 +722,30 @@ impl Component for Uc {
                     "no firmware loaded for {:?}",
                     cmd.op
                 );
+                let pending = self.queue.len() + usize::from(self.call.is_some());
+                let full = self
+                    .cfg
+                    .max_pending_calls
+                    .is_some_and(|cap| pending >= cap as usize);
+                if full {
+                    // Admission rejected: complete immediately with Busy
+                    // after the decode cost (the uC still has to look at
+                    // the command to turn it away). No call state is
+                    // created, so the caller may retry freely.
+                    self.calls_rejected += 1;
+                    ctx.stats().add("uc.busy_rejections", 1);
+                    ctx.send(
+                        cmd.reply_to,
+                        self.cfg.cycles(self.cfg.uc_cmd_decode_cycles),
+                        CcloDone {
+                            ticket: cmd.ticket,
+                            op: cmd.op,
+                            bytes: 0,
+                            status: CmdStatus::Busy,
+                        },
+                    );
+                    return;
+                }
                 self.queue.push_back(cmd);
                 self.maybe_start(ctx);
             }
@@ -729,6 +775,15 @@ impl Component for Uc {
                 self.arm_timeout(ctx);
             }
             ports::NOTIF => {
+                let notif = payload.downcast::<UcNotif>();
+                if let UcNotif::RxExhausted = notif {
+                    // Pool starvation is not forward progress: it must not
+                    // lapse pending watchdog tokens. It only recolors a
+                    // later abort as resource exhaustion.
+                    self.rx_exhausted_events += 1;
+                    ctx.stats().add("uc.rx_exhausted_notifs", 1);
+                    return;
+                }
                 self.progress_gen += 1;
                 ctx.stats().add("uc.notifs", 1);
                 if ctx.spans_enabled() {
@@ -736,7 +791,8 @@ impl Component for Uc {
                         ctx.span_instant("uc.notif", call.span);
                     }
                 }
-                match payload.downcast::<UcNotif>() {
+                match notif {
+                    UcNotif::RxExhausted => unreachable!("handled above"),
                     UcNotif::RndzvInit(sig) => {
                         self.inits
                             .entry((sig.src_rank, sig.tag))
@@ -762,7 +818,14 @@ impl Component for Uc {
                     None => false,
                 };
                 if expired {
-                    self.abort_call(ctx);
+                    // A watchdog expiry while the eager pool ran dry during
+                    // the call is local starvation, not remote silence.
+                    let status = if self.rx_exhausted_events > 0 {
+                        CmdStatus::ResourceExhausted
+                    } else {
+                        CmdStatus::TimedOut
+                    };
+                    self.abort_call(ctx, status);
                 }
             }
             ports::FAILOVER => {
@@ -795,6 +858,18 @@ impl Component for Uc {
             rank: Some(call.env.rank),
             op,
         })
+    }
+
+    fn resource_state(&self) -> Option<ResourceState> {
+        let pending = self.queue.len() as u64 + u64::from(self.call.is_some());
+        if pending == 0 && self.cfg.max_pending_calls.is_none() {
+            return None;
+        }
+        Some(ResourceState::gauges_only(vec![ResourceGauge {
+            name: self.resource.clone(),
+            used: pending,
+            capacity: self.cfg.max_pending_calls.map(u64::from),
+        }]))
     }
 }
 
@@ -1139,6 +1214,91 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done.items()[0].1.status, crate::command::CmdStatus::Ok);
         assert_eq!(h.sim.component::<Uc>(h.uc).calls_aborted(), 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_busy() {
+        let cfg = CcloConfig {
+            max_pending_calls: Some(1),
+            ..CcloConfig::default()
+        };
+        let mut h = harness_with(false, cfg);
+        let c1 = cmd(&h, CollOp::Send, 256, 1, SyncProto::Eager);
+        let mut c2 = cmd(&h, CollOp::Send, 256, 1, SyncProto::Eager);
+        c2.ticket = 10;
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c1);
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c2);
+        h.sim.run();
+        // The second command bounced immediately with Busy while the first
+        // is still in flight.
+        let done = h.sim.component::<Mailbox<crate::command::CcloDone>>(h.done);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done.items()[0].1.ticket, 10);
+        assert_eq!(done.items()[0].1.status, crate::command::CmdStatus::Busy);
+        assert_eq!(done.items()[0].1.bytes, 0);
+        assert_eq!(h.sim.component::<Uc>(h.uc).calls_rejected(), 1);
+        // The first command is unaffected and completes once its DMP work
+        // finishes.
+        let ticket = h.sim.component::<Mailbox<Microcode>>(h.dmp).items()[0]
+            .1
+            .ticket;
+        h.sim.post(
+            Endpoint::new(h.uc, ports::DMP_DONE),
+            h.sim.now(),
+            DmpDone { ticket },
+        );
+        h.sim.run();
+        let done = h.sim.component::<Mailbox<crate::command::CcloDone>>(h.done);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done.items()[1].1.ticket, 9);
+        assert_eq!(done.items()[1].1.status, crate::command::CmdStatus::Ok);
+    }
+
+    #[test]
+    fn rx_exhaustion_classifies_watchdog_abort() {
+        let mut h = harness_with(false, timeout_cfg(50));
+        let c = cmd(&h, CollOp::Send, 256, 1, SyncProto::Eager);
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c);
+        // The RBM reports the eager pool dry while the call is blocked;
+        // the notification must NOT count as progress (the watchdog still
+        // fires) but recolors the abort as resource exhaustion.
+        h.sim.post(
+            Endpoint::new(h.uc, ports::NOTIF),
+            Time::from_us(10),
+            crate::rxsys::UcNotif::RxExhausted,
+        );
+        h.sim.run();
+        let done = h.sim.component::<Mailbox<crate::command::CcloDone>>(h.done);
+        assert_eq!(done.len(), 1);
+        assert_eq!(
+            done.items()[0].1.status,
+            crate::command::CmdStatus::ResourceExhausted
+        );
+        assert_eq!(h.sim.component::<Uc>(h.uc).calls_aborted(), 1);
+    }
+
+    #[test]
+    fn jobq_gauge_reports_occupancy_against_cap() {
+        let cfg = CcloConfig {
+            max_pending_calls: Some(4),
+            ..CcloConfig::default()
+        };
+        let mut h = harness_with(false, cfg);
+        let c1 = cmd(&h, CollOp::Send, 256, 1, SyncProto::Eager);
+        let mut c2 = cmd(&h, CollOp::Send, 256, 1, SyncProto::Eager);
+        c2.ticket = 10;
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c1);
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c2);
+        h.sim.run();
+        let st = h
+            .sim
+            .component::<Uc>(h.uc)
+            .resource_state()
+            .expect("capped queue must publish a gauge");
+        assert_eq!(st.gauges.len(), 1);
+        assert_eq!(st.gauges[0].name, "cclo.jobq");
+        assert_eq!(st.gauges[0].used, 2); // one active + one queued
+        assert_eq!(st.gauges[0].capacity, Some(4));
     }
 
     #[test]

@@ -15,14 +15,20 @@ use accl_core::Transport;
 
 const USAGE: &str = "\
 usage: chaos_sweep [--seeds N] [--start-seed S] [--nodes N] [--count ELEMS]
-                   [--transport tcp|udp|rdma] [--break-fcs] [--out FILE] [-q]
+                   [--transport tcp|udp|rdma] [--overload] [--break-fcs]
+                   [--out FILE] [-q]
        chaos_sweep --replay FILE
 
   --seeds N        seeds to run (default 8)
   --start-seed S   first seed (default 0); lets CI shards split a sweep
   --nodes N        cluster size (default 3)
-  --count ELEMS    i32 elements per rank (default 4096)
+  --count ELEMS    i32 elements per rank (default 65536; 16384 under
+                   --overload)
   --transport T    protocol offload engine (default tcp)
+  --overload       bound every cluster resource (switch buffers, tx credit
+                   windows, uC admission, driver queue) and swap in the
+                   resource-pressure fault mix: credit leaks, pause
+                   storms, buffer shrinks
   --break-fcs      disable TCP FCS verification (harness self-test: the
                    sweep must catch the resulting silent corruption)
   --out FILE       where to write the shrunk repro on failure
@@ -47,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
+    let mut count_set = false;
     let value = |i: &mut usize| -> Result<String, String> {
         *i += 1;
         argv.get(*i)
@@ -74,7 +81,8 @@ fn parse_args() -> Result<Args, String> {
             "--count" => {
                 args.cfg.count = value(&mut i)?
                     .parse()
-                    .map_err(|e| format!("--count: {e}"))?
+                    .map_err(|e| format!("--count: {e}"))?;
+                count_set = true;
             }
             "--transport" => {
                 args.cfg.transport = match value(&mut i)?.as_str() {
@@ -84,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown transport `{other}`")),
                 }
             }
+            "--overload" => args.cfg.overload = true,
             "--break-fcs" => args.cfg.verify_fcs = false,
             "--out" => args.out = value(&mut i)?,
             "--replay" => args.replay = Some(value(&mut i)?),
@@ -95,6 +104,14 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
         i += 1;
+    }
+    // Resolved after the loop so `--overload` composes with `--nodes` and
+    // `--count` in any order.
+    if args.cfg.overload {
+        args.cfg.profile = accl_net::ChaosProfile::overload_profile(args.cfg.nodes as u32);
+        if !count_set {
+            args.cfg.count = 16384;
+        }
     }
     Ok(args)
 }
@@ -147,13 +164,14 @@ fn main() -> ExitCode {
 
     let cfg = args.cfg;
     println!(
-        "sweeping {} seed(s) from {} ({} nodes, {} elems, {:?}, fcs {})",
+        "sweeping {} seed(s) from {} ({} nodes, {} elems, {:?}, fcs {}{})",
         cfg.seeds,
         cfg.start_seed,
         cfg.nodes,
         cfg.count,
         cfg.transport,
         if cfg.verify_fcs { "on" } else { "OFF" },
+        if cfg.overload { ", overload" } else { "" },
     );
     let outcome = run_sweep(&cfg, |seed, report| {
         if !args.quiet {

@@ -78,6 +78,7 @@ impl Repro {
                 ),
             ),
             ("verify_fcs".into(), Json::Bool(self.spec.verify_fcs)),
+            ("overload".into(), Json::Bool(self.spec.overload)),
         ]);
         Json::Obj(vec![
             ("format".into(), Json::Num(FORMAT)),
@@ -129,6 +130,13 @@ impl Repro {
                 .field("verify_fcs")?
                 .as_bool()
                 .ok_or("verify_fcs: not a bool")?,
+            // Absent in pre-overload repros: default to the unbounded
+            // cluster those files were recorded against.
+            overload: w
+                .field("overload")
+                .ok()
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
             seed,
         };
         let events = doc
@@ -189,6 +197,30 @@ fn event_to_json(ev: &FaultEvent) -> Json {
                 ("at_ps".into(), Json::Num(at.as_ps())),
             ],
         ),
+        FaultEvent::CreditLeak { node, at, credits } => obj(
+            "credit_leak",
+            vec![
+                ("node".into(), Json::Num(node.0 as u64)),
+                ("at_ps".into(), Json::Num(at.as_ps())),
+                ("credits".into(), Json::Num(credits as u64)),
+            ],
+        ),
+        FaultEvent::PauseStorm { node, at, hold } => obj(
+            "pause_storm",
+            vec![
+                ("node".into(), Json::Num(node.0 as u64)),
+                ("at_ps".into(), Json::Num(at.as_ps())),
+                ("hold_ps".into(), Json::Num(hold.as_ps())),
+            ],
+        ),
+        FaultEvent::BufShrink { node, at, bufs } => obj(
+            "buf_shrink",
+            vec![
+                ("node".into(), Json::Num(node.0 as u64)),
+                ("at_ps".into(), Json::Num(at.as_ps())),
+                ("bufs".into(), Json::Num(bufs as u64)),
+            ],
+        ),
     }
 }
 
@@ -231,6 +263,21 @@ fn event_from_json(v: &Json) -> Result<FaultEvent, String> {
             node: node("node")?,
             at: Time::from_ps(num("at_ps")?),
         }),
+        "credit_leak" => Ok(FaultEvent::CreditLeak {
+            node: node("node")?,
+            at: Time::from_ps(num("at_ps")?),
+            credits: num("credits")? as u32,
+        }),
+        "pause_storm" => Ok(FaultEvent::PauseStorm {
+            node: node("node")?,
+            at: Time::from_ps(num("at_ps")?),
+            hold: Dur::from_ps(num("hold_ps")?),
+        }),
+        "buf_shrink" => Ok(FaultEvent::BufShrink {
+            node: node("node")?,
+            at: Time::from_ps(num("at_ps")?),
+            bufs: num("bufs")? as u32,
+        }),
         other => Err(format!("unknown event kind `{other}`")),
     }
 }
@@ -249,6 +296,7 @@ mod tests {
                 count: 512,
                 transport: Transport::Udp,
                 verify_fcs: true,
+                overload: true,
                 seed: 99,
             },
             events: vec![
@@ -277,6 +325,21 @@ mod tests {
                     node: NodeAddr(3),
                     at: Time::from_ps(1234),
                 },
+                FaultEvent::CreditLeak {
+                    node: NodeAddr(0),
+                    at: Time::from_ps(2000),
+                    credits: 3,
+                },
+                FaultEvent::PauseStorm {
+                    node: NodeAddr(1),
+                    at: Time::from_ps(3000),
+                    hold: Dur::from_us(150),
+                },
+                FaultEvent::BufShrink {
+                    node: NodeAddr(2),
+                    at: Time::from_ps(4000),
+                    bufs: 2,
+                },
             ],
         };
         let text = repro.to_json();
@@ -287,6 +350,17 @@ mod tests {
         assert!(plan.is_explicit());
         let canonical = plan.to_events();
         assert_eq!(FaultPlan::from_events(&canonical).to_events(), canonical);
+    }
+
+    /// Repro files written before the overload flag existed must keep
+    /// parsing, defaulting to the unbounded cluster.
+    #[test]
+    fn missing_overload_field_defaults_to_false() {
+        let old = "{\"format\": 1, \"seed\": 5, \"workload\": {\"op\": \"allreduce\", \
+                   \"nodes\": 3, \"count\": 64, \"transport\": \"tcp\", \
+                   \"verify_fcs\": true}, \"events\": []}";
+        let repro = Repro::from_json(old).unwrap();
+        assert!(!repro.spec.overload);
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub struct SweepConfig {
     pub transport: Transport,
     /// TCP FCS verification; `false` only for harness self-tests.
     pub verify_fcs: bool,
+    /// Builds every experiment's cluster with finite capacities
+    /// (`ClusterConfig::with_overload_limits`); pair with
+    /// [`ChaosProfile::overload_profile`] so credit leaks, pause storms
+    /// and buffer shrinks land on bounded resources.
+    pub overload: bool,
     /// Fault intensity.
     pub profile: ChaosProfile,
 }
@@ -49,7 +54,22 @@ impl SweepConfig {
             count: 65536,
             transport: Transport::Tcp,
             verify_fcs: true,
+            overload: false,
             profile: ChaosProfile::default_profile(nodes as u32),
+        }
+    }
+
+    /// The overload sweep: bounded clusters under the resource-pressure
+    /// fault mix (credit leaks, pause storms, buffer shrinks plus mild
+    /// delays). Smaller payloads than the default sweep — the pressure
+    /// here is on queues and credit windows, not bandwidth.
+    pub fn overload(seeds: u64) -> Self {
+        let nodes = 3usize;
+        SweepConfig {
+            count: 16384,
+            overload: true,
+            profile: ChaosProfile::overload_profile(nodes as u32),
+            ..Self::new(seeds)
         }
     }
 
@@ -57,6 +77,7 @@ impl SweepConfig {
     pub fn spec(&self, seed: u64) -> WorkloadSpec {
         let mut spec = WorkloadSpec::for_seed(seed, self.nodes, self.count, self.transport);
         spec.verify_fcs = self.verify_fcs;
+        spec.overload = self.overload;
         spec
     }
 

@@ -63,6 +63,12 @@ pub struct WorkloadSpec {
     /// it `false` to plant a known integrity bug and confirm the sweep
     /// catches and shrinks it.
     pub verify_fcs: bool,
+    /// Builds the cluster with every elastic resource capped
+    /// ([`ClusterConfig::with_overload_limits`]): finite switch buffers
+    /// with PFC pause, POE tx credit windows, uC admission limits and
+    /// driver shedding. Required for the overload fault kinds (credit
+    /// leaks, pause storms, buffer shrinks) to have anything to bite.
+    pub overload: bool,
     /// Simulation seed (also the chaos seed that named this run).
     pub seed: u64,
 }
@@ -82,6 +88,7 @@ impl WorkloadSpec {
             count,
             transport,
             verify_fcs: true,
+            overload: false,
             seed,
         }
     }
@@ -185,6 +192,9 @@ pub fn run(spec: &WorkloadSpec, plan: FaultPlan) -> RunReport {
     cfg.seed = spec.seed;
     cfg.cclo.collective_timeout_us = Some(WATCHDOG_US);
     cfg.tcp.verify_fcs = spec.verify_fcs;
+    if spec.overload {
+        cfg = cfg.with_overload_limits();
+    }
     let mut c = AcclCluster::build(cfg);
     c.set_retry_policy(RetryPolicy::retries(RETRIES));
     // Force the ring composition for allreduce: every rank transmits from
@@ -315,6 +325,7 @@ mod tests {
                     count: 256,
                     transport,
                     verify_fcs: true,
+                    overload: false,
                     seed: 1,
                 };
                 let report = run(&spec, FaultPlan::none());
@@ -325,6 +336,24 @@ mod tests {
                 );
                 assert!(report.results.iter().all(|r| r.is_ok()));
             }
+        }
+    }
+
+    /// The bounded cluster is behaviourally invisible without induced
+    /// overload: the capped configuration must pass the same transparent
+    /// plans the unbounded one does.
+    #[test]
+    fn fault_free_overload_runs_pass_on_every_transport() {
+        for transport in [Transport::Tcp, Transport::Udp, Transport::Rdma] {
+            let mut spec = WorkloadSpec::for_seed(0, 2, 256, transport);
+            spec.overload = true;
+            let report = run(&spec, FaultPlan::none());
+            assert!(
+                report.passed(),
+                "{transport:?}: {}",
+                report.violation.unwrap()
+            );
+            assert!(report.results.iter().all(|r| r.is_ok()));
         }
     }
 

@@ -1,10 +1,14 @@
 //! Tier-1 checks of the chaos harness itself: a clean sweep at the
 //! default profile, the planted-bug self-test (the sweep must *catch* a
 //! disabled FCS check and shrink it to a tiny repro), replay determinism,
-//! and the checked-in minimal-repro regression.
+//! the checked-in minimal-repro regression, and the overload battery:
+//! 64-seed resource-pressure sweeps per transport plus the planted
+//! credit-leak repro the deadlock detector must name exactly.
 
 use accl_chaos::{run_sweep, Repro, SweepConfig, Violation};
-use accl_net::{ChaosProfile, FaultEvent};
+use accl_core::{AcclCluster, BufLoc, ClusterConfig, CollOp, CollSpec, DType, HostOp, Transport};
+use accl_net::{ChaosProfile, FaultEvent, FaultPlan, NodeAddr};
+use accl_sim::time::Time;
 
 /// Debug-friendly sweep parameters: the default profile against a
 /// workload small enough that a test-profile sweep stays fast, but large
@@ -117,6 +121,141 @@ fn planted_fcs_bug_is_caught_and_shrunk() {
         report.violation.unwrap()
     );
     assert!(report.corrupted_drops > 0);
+}
+
+/// One 64-seed overload sweep: bounded clusters, resource-pressure fault
+/// mix (credit leaks, pause storms, buffer shrinks, mild delays). Every
+/// invariant must hold at every seed — collectives either complete with
+/// golden data or surface a typed error; nothing wedges.
+fn overload_sweep(transport: Transport) {
+    let mut cfg = SweepConfig::overload(64);
+    cfg.transport = transport;
+    let stats = run_sweep(&cfg, |_, _| {}).unwrap_or_else(|failure| {
+        panic!(
+            "{transport:?} seed {} violated an invariant ({}) — shrunk repro:\n{}",
+            failure.repro.seed,
+            failure.violation,
+            failure.repro.to_json()
+        )
+    });
+    assert_eq!(stats.seeds_run, 64, "{transport:?}");
+    assert!(stats.faults_scheduled > 0, "{transport:?}: empty profile");
+}
+
+#[test]
+fn overload_sweep_is_clean_on_tcp() {
+    overload_sweep(Transport::Tcp);
+}
+
+#[test]
+fn overload_sweep_is_clean_on_udp() {
+    overload_sweep(Transport::Udp);
+}
+
+#[test]
+fn overload_sweep_is_clean_on_rdma() {
+    overload_sweep(Transport::Rdma);
+}
+
+/// Replay determinism holds under the overload profile too: the ddmin
+/// soundness argument extends to credit-leak/pause-storm/buf-shrink
+/// schedules against bounded clusters.
+#[test]
+fn overload_replay_is_bit_identical() {
+    let cfg = SweepConfig::overload(1);
+    for seed in [0u64, 1] {
+        let a = accl_chaos::workload::run(&cfg.spec(seed), cfg.plan(seed));
+        let b = accl_chaos::workload::run(&cfg.spec(seed), cfg.plan(seed));
+        assert_eq!(a.events_executed, b.events_executed, "seed {seed}");
+        assert_eq!(a.results, b.results, "seed {seed}");
+        assert_eq!(a.frames_dropped, b.frames_dropped, "seed {seed}");
+        assert_eq!(a.retries, b.retries, "seed {seed}");
+    }
+}
+
+/// The checked-in 1-event credit-leak repro: leaking rank 0's entire tx
+/// credit window strands its POE's queued frames forever — an
+/// unrecoverable wedge no retry budget can mask. The harness must (a)
+/// catch it as a wedge and (b) hand back the deadlock detector's
+/// diagnosis naming the exact leaked resource.
+#[test]
+fn checked_in_credit_leak_repro_is_caught_and_named() {
+    let repro = Repro::from_json(include_str!("data/credit_leak_repro.json")).unwrap();
+    assert_eq!(repro.events.len(), 1, "the checked-in repro is minimal");
+    assert!(repro.spec.overload, "the leak needs a finite credit window");
+    assert!(
+        matches!(
+            repro.events[0],
+            FaultEvent::CreditLeak {
+                node: NodeAddr(0),
+                credits: 32,
+                ..
+            }
+        ),
+        "expected a full-window leak on rank 0: {:?}",
+        repro.events[0]
+    );
+
+    let report = repro.replay();
+    let why = match &report.violation {
+        Some(Violation::Wedged(why)) => why,
+        other => panic!("a full-window credit leak must wedge the run, got: {other:?}"),
+    };
+    assert!(
+        why.contains("net.txcredit(n0)"),
+        "wedge diagnosis does not name the leaked credit window:\n{why}"
+    );
+    assert!(
+        why.contains("orphaned wait"),
+        "the leak should diagnose as an orphaned wait:\n{why}"
+    );
+
+    // The identical schedule against an *unbounded* cluster is harmless:
+    // with no finite window there is nothing to leak dry.
+    let mut unbounded = repro.clone();
+    unbounded.spec.overload = false;
+    let report = unbounded.replay();
+    assert!(
+        report.passed(),
+        "the same leak without capacity limits must be inert: {}",
+        report.violation.unwrap()
+    );
+    assert!(report.results.iter().all(|r| r.is_ok()));
+}
+
+/// The same planted leak with the watchdog disarmed stalls the simulation
+/// — and the deadlock detector must name the exact leaked resource: rank
+/// 0's tx credit window, held by no live component (an orphaned wait, not
+/// a cycle).
+#[test]
+fn credit_leak_wait_is_named_by_the_deadlock_detector() {
+    let mut cfg = ClusterConfig::xrt_tcp(3).with_overload_limits();
+    cfg.cclo.collective_timeout_us = None;
+    let mut c = AcclCluster::build(cfg);
+    c.set_fault_plan(FaultPlan::none().with_credit_leak(NodeAddr(0), Time::from_us(5), 32));
+
+    let count = 1024u64;
+    let mut programs = Vec::new();
+    for node in 0..3 {
+        let src = c.alloc(node, BufLoc::Host, count * 4);
+        let dst = c.alloc(node, BufLoc::Host, count * 4);
+        c.write(&src, &vec![node as u8 + 1; (count * 4) as usize]);
+        let spec = CollSpec::new(CollOp::AllReduce, count, DType::I32)
+            .src(src)
+            .dst(dst);
+        programs.push(vec![HostOp::Coll(spec)]);
+    }
+    let why = c
+        .try_run_host_programs(programs)
+        .expect_err("an unwatched full credit leak must stall the run");
+    assert!(
+        why.contains("net.txcredit(n0)"),
+        "stall diagnosis does not name the leaked credit window:\n{why}"
+    );
+    assert!(
+        why.contains("orphaned wait"),
+        "the leak should diagnose as an orphaned wait, not a cycle:\n{why}"
+    );
 }
 
 /// The checked-in minimal repro (emitted by a real `--break-fcs` sweep)

@@ -68,6 +68,14 @@ pub struct NodeStats {
     pub collectives_aborted: u64,
     /// Driver calls that completed with a [`CclError`].
     pub driver_calls_failed: u64,
+    /// Commands the uC turned away at a full job queue (`Busy`).
+    pub engine_busy_rejections: u64,
+    /// Busy rejections the driver masked by retrying under backoff.
+    pub driver_busy_retries: u64,
+    /// Calls the driver shed at its own full submission queue.
+    pub driver_calls_shed: u64,
+    /// Rx buffers removed from the pool by shrink faults.
+    pub rx_buffers_shrunk: u32,
 }
 
 /// A fully wired simulated cluster.
@@ -150,14 +158,30 @@ impl AcclCluster {
                     );
                 }
             }
+            if let Some(window) = cfg.tx_credit_window {
+                let label = format!("net.txcredit(n{i})");
+                match cfg.transport {
+                    Transport::Udp => sim
+                        .component_mut::<UdpPoe>(poe)
+                        .set_tx_credit_window(Some(window), label),
+                    Transport::Tcp => sim
+                        .component_mut::<TcpPoe>(poe)
+                        .set_tx_credit_window(Some(window), label),
+                    Transport::Rdma => sim
+                        .component_mut::<RdmaPoe>(poe)
+                        .set_tx_credit_window(Some(window), label),
+                }
+            }
             // With a standby TCP POE armed, inbound frames pass a protocol
             // demux in front of the two engines, and the Tx system learns
             // where to retarget after repeated QP errors.
             let fallback_poe = (cfg.transport == Transport::Rdma && cfg.tcp_fallback).then(|| {
-                let fb = sim.add(
-                    format!("n{i}.poe.tcp"),
-                    TcpPoe::new(cfg.tcp, net.tx(i), cclo.poe_upward(), make_sessions()),
-                );
+                let mut standby =
+                    TcpPoe::new(cfg.tcp, net.tx(i), cclo.poe_upward(), make_sessions());
+                if let Some(window) = cfg.tx_credit_window {
+                    standby.set_tx_credit_window(Some(window), format!("net.txcredit(n{i}.tcp)"));
+                }
+                let fb = sim.add(format!("n{i}.poe.tcp"), standby);
                 cclo.set_tx_fallback(
                     &mut sim,
                     Endpoint::new(fb, poe_ports::TX_CMD),
@@ -200,10 +224,19 @@ impl AcclCluster {
                     XdmaEngine::new(bus, cfg.xdma_setup_us()),
                 )
             });
-            let driver = sim.add(
-                format!("n{i}.driver"),
-                HostDriver::new(i as u32, cclo.cmd(), xdma, cfg.invocation_latency()),
-            );
+            let mut driver_comp =
+                HostDriver::new(i as u32, cclo.cmd(), xdma, cfg.invocation_latency());
+            if let Some(policy) = cfg.busy_retry {
+                // Jitter comes from a per-driver forked stream, so busy
+                // backoff schedules replay bit-for-bit per (seed, node)
+                // and never perturb any other component's entropy.
+                driver_comp
+                    .set_busy_retry(policy, Some(sim.fork_rng(&format!("n{i}.driver.busy"))));
+            }
+            if cfg.max_queued_calls.is_some() {
+                driver_comp.set_max_queued_calls(cfg.max_queued_calls);
+            }
+            let driver = sim.add(format!("n{i}.driver"), driver_comp);
             nodes.push(NodeHandles {
                 bus,
                 poe,
@@ -265,7 +298,47 @@ impl AcclCluster {
     }
 
     /// Replaces the fabric's fault plan wholesale (loss, delay, outages).
+    ///
+    /// Overload faults in the plan — credit leaks, pause storms, buffer
+    /// shrinks — are not frame fates the switch can decide; they are
+    /// extracted here and posted as control events straight to the
+    /// affected engines (the POE's credit port, the NIC's pause input,
+    /// the Rx buffer manager's shrink port) at their scheduled instants.
+    /// The remainder of the plan is handed to the switch as before.
     pub fn set_fault_plan(&mut self, plan: accl_net::FaultPlan) {
+        for &(node, at, credits) in &plan.credit_leaks {
+            let n = node.index();
+            if n >= self.nodes.len() {
+                continue;
+            }
+            self.sim.post(
+                Endpoint::new(self.nodes[n].poe, poe_ports::CREDIT),
+                at,
+                accl_poe::iface::TxCreditLeak { credits },
+            );
+        }
+        for &(node, at, hold) in &plan.pause_storms {
+            let n = node.index();
+            if n >= self.nodes.len() {
+                continue;
+            }
+            self.sim.post(
+                Endpoint::of(self.net.port_id(n)),
+                at,
+                accl_net::PauseFrame { until: at + hold },
+            );
+        }
+        for &(node, at, bufs) in &plan.buf_shrinks {
+            let n = node.index();
+            if n >= self.nodes.len() {
+                continue;
+            }
+            self.sim.post(
+                Endpoint::new(self.nodes[n].cclo.rbm, accl_cclo::rbm::ports::SHRINK),
+                at,
+                accl_cclo::rbm::RbmShrink { bufs },
+            );
+        }
         self.net.set_fault_plan(&mut self.sim, plan);
     }
 
@@ -548,6 +621,10 @@ impl AcclCluster {
             rx_pool_exhaustions: rbm.exhaustion_events,
             collectives_aborted: uc.calls_aborted(),
             driver_calls_failed: driver.calls_failed(),
+            engine_busy_rejections: uc.calls_rejected(),
+            driver_busy_retries: driver.busy_retries(),
+            driver_calls_shed: driver.calls_shed(),
+            rx_buffers_shrunk: rbm.shrunk(),
         }
     }
 

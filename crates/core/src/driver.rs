@@ -171,6 +171,10 @@ struct Active {
     collective: Dur,
     /// Completed attempts that timed out (0 while the first one runs).
     attempt: u32,
+    /// Busy rejections bounced at engine admission so far for this call.
+    busy_attempts: u32,
+    /// Status of the last CCLO error completion (colors the final error).
+    last_status: Option<CmdStatus>,
     /// The call's root `driver.coll` span.
     span: SpanId,
     /// The open phase span (`driver.stage_in` / `driver.invoke` / ...).
@@ -237,12 +241,27 @@ pub struct HostDriver {
     xdma: Option<ComponentId>,
     invocation_latency: Dur,
     retry: RetryPolicy,
+    /// Backoff policy for engine-admission (Busy) rejections. Unlike
+    /// timeout retries, busy retries are always safe — the command was
+    /// never admitted — so rendezvous calls retry too.
+    busy_retry: RetryPolicy,
+    /// Per-driver random stream for busy-backoff jitter (decorrelates
+    /// ranks hammering the same engine). `None` means no jitter.
+    busy_rng: Option<rand::rngs::StdRng>,
+    /// Actual backoffs applied to busy retries, in order (determinism
+    /// golden tests compare this schedule across runs).
+    busy_backoffs: Vec<Dur>,
+    /// Driver-side admission bound: calls beyond this many queued are
+    /// load-shed with [`CclError::Busy`] instead of queueing forever.
+    max_queued_calls: Option<u32>,
     queue: VecDeque<DriverCall>,
     active: Option<Active>,
     next_cclo_ticket: u64,
     calls_completed: u64,
     calls_failed: u64,
     retries_attempted: u64,
+    busy_retries: u64,
+    calls_shed: u64,
 }
 
 impl HostDriver {
@@ -262,12 +281,22 @@ impl HostDriver {
             xdma,
             invocation_latency,
             retry: RetryPolicy::none(),
+            busy_retry: RetryPolicy {
+                max_attempts: 8,
+                backoff_base: Dur::from_us(2),
+                backoff_max: Dur::from_us(200),
+            },
+            busy_rng: None,
+            busy_backoffs: Vec::new(),
+            max_queued_calls: None,
             queue: VecDeque::new(),
             active: None,
             next_cclo_ticket: 0,
             calls_completed: 0,
             calls_failed: 0,
             retries_attempted: 0,
+            busy_retries: 0,
+            calls_shed: 0,
         }
     }
 
@@ -295,6 +324,37 @@ impl HostDriver {
     pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
         assert!(policy.max_attempts >= 1, "need at least one attempt");
         self.retry = policy;
+    }
+
+    /// Sets the busy-retry policy and the seeded jitter stream
+    /// (conventionally `sim.fork_rng("nX.driver.busy")`). With the same
+    /// simulator seed the backoff schedule is bit-identical run to run.
+    pub fn set_busy_retry(&mut self, policy: RetryPolicy, rng: Option<rand::rngs::StdRng>) {
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        self.busy_retry = policy;
+        self.busy_rng = rng;
+    }
+
+    /// Bounds the driver's own submission queue; calls beyond the bound
+    /// are load-shed immediately with [`CclError::Busy`].
+    pub fn set_max_queued_calls(&mut self, cap: Option<u32>) {
+        self.max_queued_calls = cap;
+    }
+
+    /// Busy rejections retried against the engine so far.
+    pub fn busy_retries(&self) -> u64 {
+        self.busy_retries
+    }
+
+    /// Calls load-shed at the driver's own admission bound.
+    pub fn calls_shed(&self) -> u64 {
+        self.calls_shed
+    }
+
+    /// The busy backoffs applied so far, in order. Deterministic for a
+    /// given simulator seed; golden determinism tests compare it.
+    pub fn busy_backoff_schedule(&self) -> &[Dur] {
+        &self.busy_backoffs
     }
 
     /// Records this node's rank within communicator `comm` (driver-side
@@ -377,6 +437,8 @@ impl HostDriver {
             invoke: Dur::ZERO,
             collective: Dur::ZERO,
             attempt: 0,
+            busy_attempts: 0,
+            last_status: None,
             span,
             phase_span,
         });
@@ -525,12 +587,13 @@ impl HostDriver {
     /// policy, otherwise fail the call. Rendezvous calls are never
     /// retried — their distributed handshake state cannot be resumed
     /// unilaterally.
-    fn handle_cclo_error(&mut self, ctx: &mut Ctx<'_>) {
+    fn handle_cclo_error(&mut self, ctx: &mut Ctx<'_>, status: CmdStatus) {
         let now = ctx.now();
         let retry = self.retry;
         let active = self.active.as_mut().expect("CCLO error with no call");
         active.collective += now.since(active.phase_started);
         active.attempt += 1;
+        active.last_status = Some(status);
         let retryable = active.call.spec.sync != SyncProto::Rendezvous;
         if retryable && active.attempt < retry.max_attempts {
             let backoff = retry.backoff(active.attempt - 1);
@@ -547,10 +610,44 @@ impl HostDriver {
         }
         let err = if active.attempt > 1 {
             CclError::Aborted
+        } else if status == CmdStatus::ResourceExhausted {
+            CclError::ResourceExhausted
         } else {
             CclError::Timeout
         };
         self.fail(ctx, err);
+    }
+
+    /// Handles an engine-admission rejection: back off (with seeded
+    /// jitter) and resubmit, up to the busy-retry budget. The command was
+    /// never admitted, so this is safe for every protocol.
+    fn handle_busy(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let policy = self.busy_retry;
+        let active = self.active.as_mut().expect("busy rejection with no call");
+        active.collective += now.since(active.phase_started);
+        active.busy_attempts += 1;
+        active.last_status = Some(CmdStatus::Busy);
+        if active.busy_attempts < policy.max_attempts {
+            let mut backoff = policy.backoff(active.busy_attempts - 1);
+            if let Some(rng) = &mut self.busy_rng {
+                use rand::RngExt;
+                let base = policy.backoff_base.as_ps().max(4);
+                backoff += Dur::from_ps(rng.random_range(0..base / 4));
+            }
+            self.busy_backoffs.push(backoff);
+            active.phase = Phase::Invoke;
+            ctx.span_end(active.phase_span);
+            active.phase_span = SpanId::NONE;
+            if ctx.spans_enabled() {
+                ctx.span_instant("driver.busy_retry", active.span);
+            }
+            self.busy_retries += 1;
+            ctx.stats().add("driver.busy_retries", 1);
+            ctx.send_self(ports::RETRY, backoff, ());
+            return;
+        }
+        self.fail(ctx, CclError::Busy);
     }
 
     /// Completes the active call with `err`, skipping output staging (the
@@ -586,6 +683,32 @@ impl Component for HostDriver {
         match port {
             ports::CALL => {
                 let call = payload.downcast::<DriverCall>();
+                let shed = self
+                    .max_queued_calls
+                    .is_some_and(|cap| self.queue.len() >= cap as usize);
+                if shed {
+                    // The driver's own queue is full: shed the call
+                    // immediately instead of growing an unbounded backlog
+                    // behind an overloaded engine.
+                    self.calls_shed += 1;
+                    self.calls_completed += 1;
+                    self.calls_failed += 1;
+                    ctx.stats().add("driver.calls_shed", 1);
+                    ctx.send(
+                        call.reply_to,
+                        Dur::ZERO,
+                        DriverDone {
+                            ticket: call.ticket,
+                            result: Err(CclError::Busy),
+                            stage_in: Dur::ZERO,
+                            invoke: Dur::ZERO,
+                            collective: Dur::ZERO,
+                            stage_out: Dur::ZERO,
+                            total: Dur::ZERO,
+                        },
+                    );
+                    return;
+                }
                 self.queue.push_back(call);
                 self.maybe_start(ctx);
             }
@@ -620,7 +743,10 @@ impl Component for HostDriver {
                 let done = payload.downcast::<CcloDone>();
                 match done.status {
                     CmdStatus::Ok => self.enter_stage_out(ctx),
-                    CmdStatus::TimedOut => self.handle_cclo_error(ctx),
+                    CmdStatus::TimedOut | CmdStatus::ResourceExhausted => {
+                        self.handle_cclo_error(ctx, done.status);
+                    }
+                    CmdStatus::Busy => self.handle_busy(ctx),
                 }
             }
             ports::RETRY => {
@@ -637,6 +763,18 @@ impl Component for HostDriver {
             }
             other => panic!("driver has no port {other:?}"),
         }
+    }
+
+    fn resource_state(&self) -> Option<ResourceState> {
+        let queued = self.queue.len() as u64;
+        if queued == 0 && self.max_queued_calls.is_none() {
+            return None;
+        }
+        Some(ResourceState::gauges_only(vec![ResourceGauge {
+            name: format!("host.callq(n{})", self.rank),
+            used: queued,
+            capacity: self.max_queued_calls.map(u64::from),
+        }]))
     }
 }
 

@@ -37,6 +37,14 @@ pub enum CclError {
     /// it cannot retransmit, so the message can never complete. Reliable
     /// transports repair corruption silently and never report this.
     DataCorrupted,
+    /// The engine (or the driver's own submission queue) was full and the
+    /// call was turned away after exhausting its busy-retry budget. No
+    /// collective work was started; the call is safe to resubmit later.
+    Busy,
+    /// The call was aborted while a bounded engine resource (the eager Rx
+    /// buffer pool) was exhausted: the cluster is overloaded rather than
+    /// partitioned or crashed. Shed load or raise the pool size.
+    ResourceExhausted,
 }
 
 impl core::fmt::Display for CclError {
@@ -53,6 +61,12 @@ impl core::fmt::Display for CclError {
                     f,
                     "payload corrupted in flight (unrecoverable on this transport)"
                 )
+            }
+            CclError::Busy => {
+                write!(f, "engine busy: admission rejected after busy-retry budget")
+            }
+            CclError::ResourceExhausted => {
+                write!(f, "bounded engine resource exhausted (overload)")
             }
         }
     }

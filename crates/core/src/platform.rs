@@ -7,11 +7,13 @@
 //! slow ioctl-based invocation).
 
 use accl_cclo::CcloConfig;
-use accl_net::NetConfig;
+use accl_net::{NetConfig, OverloadPolicy};
 use accl_poe::rdma::RdmaConfig;
 use accl_poe::tcp::TcpConfig;
 use accl_sim::time::Dur;
 use serde::{Deserialize, Serialize};
+
+use crate::error::RetryPolicy;
 
 /// The development platform hosting the CCLO.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,6 +64,19 @@ pub struct ClusterConfig {
     /// collectives over to it after repeated QP errors (graceful
     /// degradation). Only valid with [`Transport::Rdma`].
     pub tcp_fallback: bool,
+    /// Finite per-POE tx credit window: at most this many data frames in
+    /// flight toward the NIC before the engine's tx path backpressures.
+    /// `None` (the default) leaves the window unbounded.
+    pub tx_credit_window: Option<u32>,
+    /// Host-driver admission cap: calls queued beyond this are shed
+    /// immediately with [`crate::error::CclError::Busy`] instead of
+    /// waiting. `None` (the default) queues without bound.
+    pub max_queued_calls: Option<u32>,
+    /// Busy-retry policy for engine admission rejections: a call the uC
+    /// turned away at a full job queue is resubmitted under this backoff
+    /// (with deterministic seeded jitter) before failing with `Busy`.
+    /// `None` (the default) keeps the driver's built-in budget.
+    pub busy_retry: Option<RetryPolicy>,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -78,8 +93,39 @@ impl ClusterConfig {
             rdma: RdmaConfig::default(),
             tcp: TcpConfig::default(),
             tcp_fallback: false,
+            tx_credit_window: None,
+            max_queued_calls: None,
+            busy_retry: None,
             seed: 1,
         }
+    }
+
+    /// Caps every elastic resource in the stack at a finite size, turning
+    /// silent unbounded queueing into explicit backpressure and typed
+    /// `Busy`/`ResourceExhausted` outcomes — the configuration the
+    /// overload chaos profile
+    /// (`accl_chaos::ChaosProfile::overload_profile`) is meant to be run
+    /// against. Layer by layer: the switch holds at most 64 frames per
+    /// egress port and PFC-pauses the offending NIC when full; each POE
+    /// keeps at most 32 data frames in flight toward its NIC; each uC
+    /// admits at most 8 pending collectives (rejecting further ones with
+    /// `Busy`, which the driver retries under jittered backoff); the Rx
+    /// buffer manager reports pool exhaustion to the uC so starved aborts
+    /// surface as `ResourceExhausted`; and each driver sheds calls beyond
+    /// a 16-deep submission queue.
+    pub fn with_overload_limits(mut self) -> Self {
+        self.net.switch_buffer_frames = Some(64);
+        self.net.overload_policy = OverloadPolicy::Pause;
+        self.cclo.max_pending_calls = Some(8);
+        self.cclo.notify_rx_exhaustion = true;
+        self.tx_credit_window = Some(32);
+        self.max_queued_calls = Some(16);
+        self.busy_retry = Some(RetryPolicy {
+            max_attempts: 8,
+            backoff_base: Dur::from_us(2),
+            backoff_max: Dur::from_us(200),
+        });
+        self
     }
 
     /// The XRT + TCP configuration of Fig. 13.

@@ -181,6 +181,20 @@ pub struct FaultPlan {
     /// Whole-node crash times; from the crash instant on, the switch
     /// blackholes every frame to or from the node.
     pub node_crashes: BTreeMap<NodeAddr, Time>,
+    /// Overload fault: at `.1`, leak `.2` tx-window credits from node
+    /// `.0`'s protocol engine (they are consumed and never returned,
+    /// permanently shrinking the window — the canonical cause of a
+    /// credit-starvation wedge). Not applied by [`FaultPlan::decide`];
+    /// the cluster extracts these as control events at build time.
+    pub credit_leaks: BTreeSet<(NodeAddr, Time, u32)>,
+    /// Overload fault: at `.1`, pause node `.0`'s NIC for `.2` regardless
+    /// of actual egress occupancy (a PFC pause storm). Extracted as
+    /// control events, not applied by `decide`.
+    pub pause_storms: BTreeSet<(NodeAddr, Time, Dur)>,
+    /// Overload fault: at `.1`, shrink node `.0`'s bounded RX buffer pool
+    /// to `.2` buffers. Extracted as control events, not applied by
+    /// `decide`.
+    pub buf_shrinks: BTreeSet<(NodeAddr, Time, u32)>,
 }
 
 fn assert_probability(p: f64) -> f64 {
@@ -276,6 +290,38 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a credit-leak overload fault: at `at`, `credits` tx-window
+    /// credits vanish from `addr`'s protocol engine.
+    pub fn with_credit_leak(mut self, addr: NodeAddr, at: Time, credits: u32) -> Self {
+        assert!(credits >= 1, "leaking zero credits is a no-op");
+        self.credit_leaks.insert((addr, at, credits));
+        self
+    }
+
+    /// Adds a pause-storm overload fault: at `at`, `addr`'s NIC is paused
+    /// for `hold` irrespective of egress occupancy.
+    pub fn with_pause_storm(mut self, addr: NodeAddr, at: Time, hold: Dur) -> Self {
+        assert!(hold > Dur::ZERO, "empty pause storm");
+        self.pause_storms.insert((addr, at, hold));
+        self
+    }
+
+    /// Adds a buffer-pool-shrink overload fault: at `at`, `addr`'s bounded
+    /// RX buffer pool shrinks to `bufs` buffers.
+    pub fn with_buf_shrink(mut self, addr: NodeAddr, at: Time, bufs: u32) -> Self {
+        self.buf_shrinks.insert((addr, at, bufs));
+        self
+    }
+
+    /// Whether the plan carries any overload control faults (credit leaks,
+    /// pause storms, buffer shrinks) — the kinds the cluster must extract
+    /// and post as control events rather than leave to the switch.
+    pub fn has_overload_faults(&self) -> bool {
+        !self.credit_leaks.is_empty()
+            || !self.pause_storms.is_empty()
+            || !self.buf_shrinks.is_empty()
+    }
+
     /// Adds a degradation window for `addr`'s link to this plan.
     pub fn with_degradation(mut self, addr: NodeAddr, window: Degradation) -> Self {
         assert!(window.from < window.until, "empty degradation window");
@@ -316,6 +362,7 @@ impl FaultPlan {
             && self.link_schedules.values().all(LinkSchedule::is_empty)
             && self.degradations.values().all(Vec::is_empty)
             && self.node_crashes.is_empty()
+            && !self.has_overload_faults()
     }
 
     /// Decides the fate of the `index`-th frame traversing the switch at
@@ -430,6 +477,15 @@ impl FaultPlan {
         for (&node, &at) in &self.node_crashes {
             events.push(FaultEvent::Crash { node, at });
         }
+        for &(node, at, credits) in &self.credit_leaks {
+            events.push(FaultEvent::CreditLeak { node, at, credits });
+        }
+        for &(node, at, hold) in &self.pause_storms {
+            events.push(FaultEvent::PauseStorm { node, at, hold });
+        }
+        for &(node, at, bufs) in &self.buf_shrinks {
+            events.push(FaultEvent::BufShrink { node, at, bufs });
+        }
         events
     }
 
@@ -463,6 +519,15 @@ impl FaultPlan {
                 }
                 FaultEvent::Crash { node, at } => {
                     plan = plan.with_node_crash(node, at);
+                }
+                FaultEvent::CreditLeak { node, at, credits } => {
+                    plan = plan.with_credit_leak(node, at, credits);
+                }
+                FaultEvent::PauseStorm { node, at, hold } => {
+                    plan = plan.with_pause_storm(node, at, hold);
+                }
+                FaultEvent::BufShrink { node, at, bufs } => {
+                    plan = plan.with_buf_shrink(node, at, bufs);
                 }
             }
         }
@@ -520,6 +585,34 @@ pub enum FaultEvent {
         /// Crash instant.
         at: Time,
     },
+    /// Leak `credits` tx-window credits from `node`'s protocol engine at
+    /// `at` (consumed, never returned — the window shrinks for good).
+    CreditLeak {
+        /// Affected node.
+        node: NodeAddr,
+        /// Leak instant.
+        at: Time,
+        /// Credits leaked.
+        credits: u32,
+    },
+    /// Pause `node`'s NIC for `hold` starting at `at` (PFC pause storm).
+    PauseStorm {
+        /// Affected node.
+        node: NodeAddr,
+        /// Storm start.
+        at: Time,
+        /// Pause duration.
+        hold: Dur,
+    },
+    /// Shrink `node`'s bounded RX buffer pool to `bufs` at `at`.
+    BufShrink {
+        /// Affected node.
+        node: NodeAddr,
+        /// Shrink instant.
+        at: Time,
+        /// New pool capacity, in buffers.
+        bufs: u32,
+    },
 }
 
 /// Intensity knobs for randomly generated fault schedules.
@@ -558,6 +651,20 @@ pub struct ChaosProfile {
     pub max_degradation: Dur,
     /// Highest extra loss a degradation window may carry, in ppm.
     pub max_degradation_loss_ppm: u32,
+    /// Credit-leak overload faults (each leaks up to `max_leak_credits`).
+    pub credit_leaks: u32,
+    /// Most credits one leak event may consume.
+    pub max_leak_credits: u32,
+    /// Pause-storm overload faults (each holds up to `max_pause_hold`).
+    pub pause_storms: u32,
+    /// Longest single pause-storm hold.
+    pub max_pause_hold: Dur,
+    /// Buffer-pool-shrink overload faults (each shrinks a node's RX pool
+    /// to at most `max_shrink_bufs` buffers).
+    pub buf_shrinks: u32,
+    /// Largest residual pool a shrink event may leave (sampled in
+    /// `1..=max_shrink_bufs`).
+    pub max_shrink_bufs: u32,
 }
 
 impl ChaosProfile {
@@ -579,12 +686,49 @@ impl ChaosProfile {
             degradations: 1,
             max_degradation: Dur::from_us(300),
             max_degradation_loss_ppm: 50_000,
+            credit_leaks: 0,
+            max_leak_credits: 4,
+            pause_storms: 0,
+            max_pause_hold: Dur::from_us(200),
+            buf_shrinks: 0,
+            max_shrink_bufs: 2,
+        }
+    }
+
+    /// An overload-focused profile: no frame loss or corruption, but
+    /// resource-pressure faults — credit leaks, pause storms and buffer
+    /// shrinks — that exercise the bounded-capacity/backpressure paths and
+    /// the deadlock detector. Pair with a cluster configured with finite
+    /// capacities (see `accl_core::ClusterConfig::with_overload_limits`).
+    pub fn overload_profile(nodes: u32) -> Self {
+        ChaosProfile {
+            drops: 0,
+            corrupts: 0,
+            duplicates: 0,
+            delays: 2,
+            flaps: 0,
+            degradations: 0,
+            credit_leaks: 1,
+            max_leak_credits: 3,
+            pause_storms: 2,
+            max_pause_hold: Dur::from_us(150),
+            buf_shrinks: 1,
+            max_shrink_bufs: 2,
+            ..Self::default_profile(nodes)
         }
     }
 
     /// Total number of fault events a generated plan will contain.
     pub fn budget(&self) -> u32 {
-        self.drops + self.corrupts + self.duplicates + self.delays + self.flaps + self.degradations
+        self.drops
+            + self.corrupts
+            + self.duplicates
+            + self.delays
+            + self.flaps
+            + self.degradations
+            + self.credit_leaks
+            + self.pause_storms
+            + self.buf_shrinks
     }
 }
 
@@ -647,6 +791,39 @@ impl FaultPlanGen {
                     loss_ppm,
                     throttle_gbps_x100: throttle,
                 },
+            });
+        }
+        // Overload faults draw *after* every legacy kind: plans generated
+        // by profiles with zero overload budget stay bit-identical per
+        // seed to what older versions produced.
+        for _ in 0..profile.credit_leaks {
+            let node = NodeAddr(rng.random_range(0..profile.nodes.max(1)));
+            let at = rng.random_range(0..horizon_ps);
+            let credits = rng.random_range(1..profile.max_leak_credits.max(1) + 1);
+            events.push(FaultEvent::CreditLeak {
+                node,
+                at: Time::from_ps(at),
+                credits,
+            });
+        }
+        for _ in 0..profile.pause_storms {
+            let node = NodeAddr(rng.random_range(0..profile.nodes.max(1)));
+            let at = rng.random_range(0..horizon_ps);
+            let hold = rng.random_range(1..profile.max_pause_hold.as_ps().max(2));
+            events.push(FaultEvent::PauseStorm {
+                node,
+                at: Time::from_ps(at),
+                hold: Dur::from_ps(hold),
+            });
+        }
+        for _ in 0..profile.buf_shrinks {
+            let node = NodeAddr(rng.random_range(0..profile.nodes.max(1)));
+            let at = rng.random_range(0..horizon_ps);
+            let bufs = rng.random_range(1..profile.max_shrink_bufs.max(1) + 1);
+            events.push(FaultEvent::BufShrink {
+                node,
+                at: Time::from_ps(at),
+                bufs,
             });
         }
         FaultPlan::from_events(&events)

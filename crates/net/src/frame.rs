@@ -3,7 +3,7 @@
 use core::any::Any;
 use core::fmt;
 
-use accl_sim::event::Payload;
+use accl_sim::event::{Endpoint, Payload};
 use accl_sim::trace::SpanId;
 
 /// Ethernet + IP + transport header overhead modelled per frame, in bytes.
@@ -79,6 +79,20 @@ pub struct Frame {
     /// the network records its serialization, queueing and hop spans.
     /// [`SpanId::NONE`] when tracing is off (always when compiled out).
     pub span: SpanId,
+    /// Flow-control credit accounting: when set, the sending
+    /// [`crate::switch::NetPort`] posts a [`CreditReturn`] to this endpoint
+    /// once the frame has fully serialized onto the uplink, returning the
+    /// tx-window credit the frame consumed. `None` (the default) means the
+    /// frame is not credit-accounted. Excluded from the FCS, like `src`.
+    pub credit_return: Option<Endpoint>,
+}
+
+/// A returned tx-window credit, posted by the NIC to the endpoint a frame
+/// carried in [`Frame::credit_return`] once that frame cleared the uplink.
+#[derive(Debug, Clone, Copy)]
+pub struct CreditReturn {
+    /// Number of credits returned (one per credit-accounted frame event).
+    pub credits: u32,
 }
 
 impl Frame {
@@ -99,6 +113,7 @@ impl Frame {
             body: Payload::cloneable(body),
             fcs: Frame::compute_fcs(dst, payload_bytes, 1),
             span: SpanId::NONE,
+            credit_return: None,
         }
     }
 
@@ -145,6 +160,7 @@ impl Frame {
                 .expect("frame bodies are always cloneable (Frame::new requires Clone)"),
             fcs: self.fcs,
             span: self.span,
+            credit_return: self.credit_return,
         }
     }
 
@@ -164,6 +180,13 @@ impl Frame {
     /// wire to the network layers and the receiver.
     pub fn with_span(mut self, span: SpanId) -> Self {
         self.span = span;
+        self
+    }
+
+    /// Marks the frame as credit-accounted: the NIC returns one credit to
+    /// `ep` when the frame finishes serializing. Does not disturb the FCS.
+    pub fn with_credit_return(mut self, ep: Endpoint) -> Self {
+        self.credit_return = Some(ep);
         self
     }
 

@@ -21,7 +21,7 @@ pub mod twotier;
 pub use fault::{
     ChaosProfile, Degradation, FaultAction, FaultEvent, FaultPlan, FaultPlanGen, LinkSchedule,
 };
-pub use frame::{Frame, NodeAddr, DEFAULT_MTU, WIRE_OVERHEAD_BYTES};
-pub use switch::{NetPort, PortCounters, Switch};
+pub use frame::{CreditReturn, Frame, NodeAddr, DEFAULT_MTU, WIRE_OVERHEAD_BYTES};
+pub use switch::{NetPort, OverloadPolicy, PauseFrame, PortCounters, Switch};
 pub use topology::{NetConfig, Network};
 pub use twotier::TwoTierNetwork;

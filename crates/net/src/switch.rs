@@ -14,7 +14,30 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::fault::{FaultAction, FaultPlan};
-use crate::frame::{Frame, NodeAddr};
+use crate::frame::{CreditReturn, Frame, NodeAddr};
+
+/// What the switch does with a frame arriving at an egress port whose
+/// buffer is full (see [`Switch::set_buffer_limit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum OverloadPolicy {
+    /// PFC-style lossless backpressure: accept the frame but send a
+    /// [`PauseFrame`] back to the source NIC, which holds further frames
+    /// until the queue drains below the limit.
+    #[default]
+    Pause,
+    /// Lossy tail-drop: discard the frame (counted separately from
+    /// fault-injected drops).
+    Drop,
+}
+
+/// PFC-style pause delivered by the switch to a source [`NetPort`]: hold
+/// the uplink until `until`. Modelled as a control event (pause frames are
+/// tiny and travel on a priority channel; they pay no wire time here).
+#[derive(Debug, Clone, Copy)]
+pub struct PauseFrame {
+    /// When the paused NIC may resume transmitting.
+    pub until: Time,
+}
 
 /// Per-output-port bookkeeping inside the switch.
 struct SwitchPort {
@@ -52,6 +75,15 @@ pub struct Switch {
     frames_dropped: u64,
     frames_corrupted: u64,
     frames_duplicated: u64,
+    /// Per-port egress buffer capacity in frames (`None` = unbounded, the
+    /// historical behaviour) and the policy applied when it overflows.
+    buffer_frames: Option<u32>,
+    overload_policy: OverloadPolicy,
+    /// Where to deliver [`PauseFrame`]s, per source port (wired by
+    /// [`crate::topology::Network::build`]).
+    pause_tx: Vec<Option<Endpoint>>,
+    frames_overflow_dropped: u64,
+    pauses_sent: u64,
     /// Private entropy stream for the statistical fault policies. Owned by
     /// the switch (not the deprecated shared `Ctx::rng`) so its draw order
     /// depends only on the frames this switch sees; builders replace the
@@ -79,8 +111,30 @@ impl Switch {
             frames_dropped: 0,
             frames_corrupted: 0,
             frames_duplicated: 0,
+            buffer_frames: None,
+            overload_policy: OverloadPolicy::default(),
+            pause_tx: vec![None; n_ports],
+            frames_overflow_dropped: 0,
+            pauses_sent: 0,
             rng: StdRng::seed_from_u64(0x5157_11c4),
         }
+    }
+
+    /// Bounds every egress port's buffer to `frames` in-flight frames and
+    /// selects what happens on overflow. `None` restores the historical
+    /// unbounded behaviour.
+    pub fn set_buffer_limit(&mut self, frames: Option<u32>, policy: OverloadPolicy) {
+        if let Some(f) = frames {
+            assert!(f >= 1, "egress buffer needs room for at least one frame");
+        }
+        self.buffer_frames = frames;
+        self.overload_policy = policy;
+    }
+
+    /// Attaches the pause-control channel toward the NIC on port `addr`
+    /// (where [`PauseFrame`]s go under [`OverloadPolicy::Pause`]).
+    pub fn attach_pause(&mut self, addr: NodeAddr, pause: Endpoint) {
+        self.pause_tx[addr.index()] = Some(pause);
     }
 
     /// Installs the fault-policy entropy stream (conventionally
@@ -139,6 +193,17 @@ impl Switch {
         self.frame_index
     }
 
+    /// Frames tail-dropped because an egress buffer was full (under
+    /// [`OverloadPolicy::Drop`]); disjoint from fault-injected drops.
+    pub fn frames_overflow_dropped(&self) -> u64 {
+        self.frames_overflow_dropped
+    }
+
+    /// Pause frames sent to source NICs (under [`OverloadPolicy::Pause`]).
+    pub fn pauses_sent(&self) -> u64 {
+        self.pauses_sent
+    }
+
     /// Cumulative time port `addr`'s egress link has spent serializing —
     /// divide by elapsed simulated time for link utilization.
     pub fn egress_busy_time(&self, addr: NodeAddr) -> Dur {
@@ -155,6 +220,20 @@ impl Switch {
         let rx = port.rx_handler.unwrap_or_else(|| {
             panic!("switch port {dst} has no receiver attached (frame {frame:?})")
         });
+        // Prune drained reservations first: the remainder is the
+        // instantaneous egress queue depth the buffer limit applies to.
+        while port.pending_ends.front().is_some_and(|&t| t <= now) {
+            port.pending_ends.pop_front();
+        }
+        let overflowing = self
+            .buffer_frames
+            .is_some_and(|cap| port.pending_ends.len() >= cap as usize);
+        if overflowing && self.overload_policy == OverloadPolicy::Drop {
+            self.frames_overflow_dropped += 1;
+            ctx.stats().add("net.switch.overflow_drops", 1);
+            accl_sim::trace_instant!(ctx, "net.overflow_drop", frame.span);
+            return;
+        }
         let wire = u64::from(frame.wire_bytes());
         port.frames_out += u64::from(frame.segments);
         port.bytes_out += wire;
@@ -162,12 +241,23 @@ impl Switch {
         let (start, end) = port
             .egress
             .reserve_batch(ready, wire, u64::from(frame.segments));
-        // Egress queue metrics: wait time distribution and instantaneous
-        // depth (in-flight reservations not yet drained).
-        while port.pending_ends.front().is_some_and(|&t| t <= now) {
-            port.pending_ends.pop_front();
-        }
         port.pending_ends.push_back(end);
+        if overflowing {
+            // PFC-style lossless backpressure: the frame is accepted (the
+            // buffer absorbs one overshoot per in-flight source frame) and
+            // the source NIC is paused until the queue drains back below
+            // the limit.
+            let cap = self.buffer_frames.unwrap_or(1) as usize;
+            let depth = port.pending_ends.len();
+            let resume_at = port.pending_ends[depth - cap];
+            self.pauses_sent += 1;
+            ctx.stats().add("net.switch.pauses", 1);
+            accl_sim::trace_instant!(ctx, "net.pause", frame.span);
+            if let Some(pause) = self.pause_tx[frame.src.index()] {
+                ctx.send(pause, Dur::ZERO, PauseFrame { until: resume_at });
+            }
+        }
+        let port = &mut self.ports[dst.index()];
         ctx.stats()
             .add("net.switch.frames", u64::from(frame.segments));
         ctx.stats().add("net.switch.bytes", wire);
@@ -246,6 +336,26 @@ impl Component for Switch {
             self.forward_frame(ctx, frame, extra);
         }
     }
+
+    fn resource_state(&self) -> Option<ResourceState> {
+        // The switch never blocks — it only publishes egress occupancy so a
+        // stall report shows which port's buffer the cluster is wedged on.
+        // `pending_ends` may hold already-drained reservations (pruning
+        // happens on the next arrival); that over-report is harmless for a
+        // gauge and disappears at any quiet point after traffic resumes.
+        let gauges: Vec<ResourceGauge> = self
+            .ports
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.pending_ends.is_empty())
+            .map(|(i, p)| ResourceGauge {
+                name: format!("net.egress(n{i})"),
+                used: p.pending_ends.len() as u64,
+                capacity: self.buffer_frames.map(u64::from),
+            })
+            .collect();
+        (!gauges.is_empty()).then(|| ResourceState::gauges_only(gauges))
+    }
 }
 
 /// The egress side of a node's NIC/MAC: serializes frames onto the uplink.
@@ -260,7 +370,16 @@ pub struct NetPort {
     propagation: Dur,
     frames_in: u64,
     bytes_in: u64,
+    /// PFC pause state: no frame enters the uplink before this instant.
+    paused_until: Time,
+    /// Frames held while paused, flushed in arrival order on resume.
+    held: VecDeque<Frame>,
+    pauses_received: u64,
 }
+
+/// Self-scheduled resume tick for a paused [`NetPort`].
+#[derive(Debug, Clone, Copy)]
+struct Resume;
 
 impl NetPort {
     /// Creates the port for `addr`, uplinked to `switch`.
@@ -272,6 +391,9 @@ impl NetPort {
             propagation,
             frames_in: 0,
             bytes_in: 0,
+            paused_until: Time::ZERO,
+            held: VecDeque::new(),
+            pauses_received: 0,
         }
     }
 
@@ -300,11 +422,20 @@ impl NetPort {
     pub fn egress_busy_time(&self) -> Dur {
         self.egress.busy_time()
     }
-}
 
-impl Component for NetPort {
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, _port: PortId, payload: Payload) {
-        let mut frame = payload.downcast::<Frame>();
+    /// Pause frames this NIC has honoured so far.
+    pub fn pauses_received(&self) -> u64 {
+        self.pauses_received
+    }
+
+    /// Frames currently held back by an active pause.
+    pub fn frames_held(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Serializes `frame` onto the uplink and schedules its arrival at the
+    /// switch; returns any tx-window credit it carried at serialization end.
+    fn transmit(&mut self, ctx: &mut Ctx<'_>, mut frame: Frame) {
         // Stamp the source: devices don't need to know their own address.
         frame.src = self.addr;
         let wire = u64::from(frame.wire_bytes());
@@ -335,7 +466,79 @@ impl Component for NetPort {
                 ],
             );
         }
+        if let Some(ep) = frame.credit_return {
+            ctx.send_at(ep, end, CreditReturn { credits: 1 });
+        }
         ctx.send_at(self.switch, end + self.propagation, frame);
+    }
+}
+
+impl Component for NetPort {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, _port: PortId, payload: Payload) {
+        let payload = match payload.try_downcast::<Frame>() {
+            Ok(frame) => {
+                if ctx.now() < self.paused_until {
+                    self.held.push_back(frame);
+                    ctx.stats()
+                        .observe("net.port.held_depth", self.held.len() as u64);
+                } else {
+                    self.transmit(ctx, frame);
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let payload = match payload.try_downcast::<PauseFrame>() {
+            Ok(pause) => {
+                self.pauses_received += 1;
+                ctx.stats().add("net.port.pauses", 1);
+                if pause.until > self.paused_until {
+                    self.paused_until = pause.until;
+                    // One resume tick per pause edge; a longer pause
+                    // arriving later schedules its own, and stale ticks
+                    // no-op against `paused_until`.
+                    ctx.send_at(Endpoint::of(ctx.self_id()), pause.until, Resume);
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        payload.downcast::<Resume>();
+        if ctx.now() < self.paused_until {
+            return; // a later pause superseded this tick
+        }
+        while let Some(frame) = self.held.pop_front() {
+            self.transmit(ctx, frame);
+        }
+    }
+
+    fn parked_work(&self) -> Option<ParkedWork> {
+        (!self.held.is_empty()).then(|| ParkedWork {
+            rank: Some(self.addr.0),
+            op: format!(
+                "paused until {}: {} frames held",
+                self.paused_until,
+                self.held.len()
+            ),
+        })
+    }
+
+    fn resource_state(&self) -> Option<ResourceState> {
+        let mut st = ResourceState::default();
+        if !self.held.is_empty() {
+            // Blocked on the pause being lifted; any credit-stamped frames
+            // it holds keep their sender's tx window occupied.
+            st.waits.push(format!("net.pause({})", self.addr));
+            if self.held.iter().any(|f| f.credit_return.is_some()) {
+                st.holds.push(format!("net.txcredit({})", self.addr));
+            }
+            st.gauges.push(ResourceGauge {
+                name: format!("net.heldq({})", self.addr),
+                used: self.held.len() as u64,
+                capacity: None,
+            });
+        }
+        (!st.is_empty()).then_some(st)
     }
 }
 
@@ -516,6 +719,124 @@ mod tests {
         let sw = w.sim.component::<Switch>(w.switch);
         assert_eq!(sw.frames_duplicated(), 1);
         assert_eq!(sw.port_counters(NodeAddr(1)).frames_out, 2);
+    }
+
+    #[test]
+    fn overflow_drop_policy_tail_drops() {
+        // Buffer of 1 frame, three frames arriving back to back into the
+        // same egress port: the first occupies the buffer, the other two
+        // overflow and are tail-dropped.
+        let mut w = world(2);
+        w.sim
+            .component_mut::<Switch>(w.switch)
+            .set_buffer_limit(Some(1), OverloadPolicy::Drop);
+        for i in 0..3u64 {
+            w.sim.post(
+                Endpoint::of(w.switch),
+                Time::from_ps(i),
+                Frame::new(NodeAddr(0), NodeAddr(1), 4096, i),
+            );
+        }
+        w.sim.run();
+        let mb = w.sim.component::<Mailbox<Frame>>(w.sinks[1]);
+        assert_eq!(mb.len(), 1);
+        assert_eq!(mb.items()[0].1.body.peek::<u64>(), Some(&0));
+        let sw = w.sim.component::<Switch>(w.switch);
+        assert_eq!(sw.frames_overflow_dropped(), 2);
+        assert_eq!(sw.frames_dropped(), 0, "disjoint from fault drops");
+    }
+
+    #[test]
+    fn overflow_pause_policy_pauses_source_and_resumes() {
+        // Buffer of 1; node 0 sends three frames to node 1 back to back.
+        // The second and third arrivals overflow, pausing the source NIC;
+        // all frames are still delivered (lossless) once the queue drains.
+        let mut w = world(2);
+        w.sim
+            .component_mut::<Switch>(w.switch)
+            .set_buffer_limit(Some(1), OverloadPolicy::Pause);
+        for (i, &port) in w.ports.iter().enumerate() {
+            w.sim
+                .component_mut::<Switch>(w.switch)
+                .attach_pause(NodeAddr(i as u32), Endpoint::of(port));
+        }
+        for i in 0..4u64 {
+            w.sim.post(
+                Endpoint::of(w.ports[0]),
+                Time::from_ps(i),
+                Frame::new(NodeAddr(0), NodeAddr(1), 4096, i),
+            );
+        }
+        w.sim.run();
+        let mb = w.sim.component::<Mailbox<Frame>>(w.sinks[1]);
+        assert_eq!(mb.len(), 4, "pause is lossless");
+        // In-order delivery preserved through the hold queue.
+        let order: Vec<u64> = mb
+            .items()
+            .iter()
+            .map(|(_, f)| *f.body.peek::<u64>().unwrap())
+            .collect();
+        assert_eq!(order, [0, 1, 2, 3]);
+        let sw = w.sim.component::<Switch>(w.switch);
+        assert!(sw.pauses_sent() >= 1);
+        assert_eq!(sw.frames_overflow_dropped(), 0);
+        let port = w.sim.component::<NetPort>(w.ports[0]);
+        assert!(port.pauses_received() >= 1);
+        assert_eq!(port.frames_held(), 0, "everything flushed on resume");
+    }
+
+    #[test]
+    fn credit_return_posts_at_serialization_end() {
+        let mut w = world(2);
+        let credits = w.sim.add("credits", Mailbox::<CreditReturn>::new());
+        let payload = 1000u32;
+        w.sim.post(
+            Endpoint::of(w.ports[0]),
+            Time::ZERO,
+            Frame::new(NodeAddr(0), NodeAddr(1), payload, ())
+                .with_credit_return(Endpoint::of(credits)),
+        );
+        w.sim.run();
+        let mb = w.sim.component::<Mailbox<CreditReturn>>(credits);
+        assert_eq!(mb.len(), 1);
+        let ser = Dur::for_bytes_gbps(u64::from(payload + WIRE_OVERHEAD_BYTES), 100.0);
+        // Returned exactly when the frame clears the NIC uplink: no
+        // propagation, switch or downlink latency on the credit path.
+        assert_eq!(mb.items()[0].0, Time::ZERO + ser);
+        assert_eq!(mb.items()[0].1.credits, 1);
+    }
+
+    #[test]
+    fn paused_port_reports_parked_work_and_resources() {
+        let mut w = world(2);
+        let credits = w.sim.add("credits", Mailbox::<CreditReturn>::new());
+        // A pause storm with no matching resume traffic: frames sent while
+        // paused are held, visible as parked work and a wait-for edge.
+        w.sim.post(
+            Endpoint::of(w.ports[0]),
+            Time::ZERO,
+            PauseFrame {
+                until: Time::from_us(10),
+            },
+        );
+        w.sim.post(
+            Endpoint::of(w.ports[0]),
+            Time::from_ns(1),
+            Frame::new(NodeAddr(0), NodeAddr(1), 64, ()).with_credit_return(Endpoint::of(credits)),
+        );
+        w.sim.run_until(Time::from_us(1));
+        let port = w.sim.component::<NetPort>(w.ports[0]);
+        assert_eq!(port.frames_held(), 1);
+        let parked = port.parked_work().expect("held frames are parked work");
+        assert!(parked.op.contains("1 frames held"), "{}", parked.op);
+        let st = port.resource_state().expect("paused port has state");
+        assert_eq!(st.waits, vec!["net.pause(n0)".to_string()]);
+        assert_eq!(st.holds, vec!["net.txcredit(n0)".to_string()]);
+        // Running to completion lifts the pause and flushes the frame.
+        w.sim.run();
+        let port = w.sim.component::<NetPort>(w.ports[0]);
+        assert_eq!(port.frames_held(), 0);
+        assert_eq!(w.sim.component::<Mailbox<Frame>>(w.sinks[1]).len(), 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::fault::FaultPlan;
 use crate::frame::NodeAddr;
-use crate::switch::{NetPort, PortCounters, Switch};
+use crate::switch::{NetPort, OverloadPolicy, PortCounters, Switch};
 
 /// Physical-layer parameters of the fabric.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -22,6 +22,16 @@ pub struct NetConfig {
     pub switch_latency_ns: u64,
     /// One-way propagation delay of each link, in nanoseconds.
     pub propagation_ns: u64,
+    /// Per-port switch egress buffer capacity in frames. `None` (the
+    /// default) keeps the historical unbounded buffers; finite values turn
+    /// on overload handling per [`NetConfig::overload_policy`].
+    #[serde(default)]
+    pub switch_buffer_frames: Option<u32>,
+    /// What a full egress buffer does to arriving frames: PFC-style pause
+    /// of the source NIC, or lossy tail-drop. Irrelevant while
+    /// [`NetConfig::switch_buffer_frames`] is `None`.
+    #[serde(default)]
+    pub overload_policy: OverloadPolicy,
 }
 
 impl Default for NetConfig {
@@ -31,6 +41,8 @@ impl Default for NetConfig {
             link_gbps: 100.0,
             switch_latency_ns: 500,
             propagation_ns: 150,
+            switch_buffer_frames: None,
+            overload_policy: OverloadPolicy::default(),
         }
     }
 }
@@ -68,8 +80,9 @@ impl Network {
         // `Ctx::rng`): the fault policies' draw order depends only on the
         // traffic this switch sees.
         switch.set_rng(sim.fork_rng("net.switch"));
+        switch.set_buffer_limit(cfg.switch_buffer_frames, cfg.overload_policy);
         sim.install(switch_id, switch);
-        let ports = (0..n_nodes)
+        let ports: Vec<ComponentId> = (0..n_nodes)
             .map(|i| {
                 sim.add(
                     format!("net.port{i}"),
@@ -82,6 +95,13 @@ impl Network {
                 )
             })
             .collect();
+        // Pause frames flow switch -> source NIC regardless of whether the
+        // buffer limit is set now: `set_buffer_limit` can arrive later
+        // (e.g. a chaos buffer-shrink fault) and the channel must exist.
+        for (i, &port) in ports.iter().enumerate() {
+            sim.component_mut::<Switch>(switch_id)
+                .attach_pause(NodeAddr(i as u32), Endpoint::of(port));
+        }
         Network {
             switch: switch_id,
             ports,
@@ -160,6 +180,12 @@ impl Network {
     /// Component id of the switch (for advanced introspection).
     pub fn switch_id(&self) -> ComponentId {
         self.switch
+    }
+
+    /// Component id of node `i`'s [`NetPort`] (for pause-storm fault
+    /// injection and introspection).
+    pub fn port_id(&self, i: usize) -> ComponentId {
+        self.ports[i]
     }
 
     /// Records per-link utilization gauges into the simulator's stats:

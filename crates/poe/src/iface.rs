@@ -196,6 +196,172 @@ pub mod ports {
     pub const NET_RX: PortId = PortId(2);
     /// Internal timers.
     pub const TIMER: PortId = PortId(3);
+    /// Tx-window credit returns from the NIC
+    /// ([`accl_net::CreditReturn`]) and injected credit-leak faults
+    /// ([`super::TxCreditLeak`]).
+    pub const CREDIT: PortId = PortId(4);
+}
+
+/// Injected credit-leak fault (chaos): `credits` tx-window credits are
+/// consumed and never returned, permanently shrinking the engine's window.
+/// Delivered on [`ports::CREDIT`].
+#[derive(Debug, Clone, Copy)]
+pub struct TxCreditLeak {
+    /// Credits to leak.
+    pub credits: u32,
+}
+
+/// Credit-accounted gate between a POE and its NIC: bounds the number of
+/// in-flight (not-yet-serialized) data frames per engine.
+///
+/// Every data frame admitted through the gate consumes one credit and is
+/// stamped with a [`accl_net::Frame::credit_return`] endpoint (the engine's
+/// [`ports::CREDIT`] port); the NIC returns the credit when the frame has
+/// fully serialized onto the uplink — so a paused NIC holds the engine's
+/// credits hostage, propagating backpressure end to end. With no window
+/// configured (the default) the gate is a strict pass-through: frames are
+/// neither stamped nor queued and the simulation timeline is untouched.
+///
+/// Control frames (ACKs, NAKs, RDMA credits) must bypass the gate: gating
+/// the very messages that release peer-side resources can deadlock the
+/// protocol itself rather than model overload.
+#[derive(Debug, Default)]
+pub struct TxCreditGate {
+    window: Option<u32>,
+    in_flight: u32,
+    leaked: u32,
+    queued: std::collections::VecDeque<accl_net::Frame>,
+    resource: String,
+}
+
+impl TxCreditGate {
+    /// Creates a pass-through gate (no window).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bounds the gate to `window` in-flight frames, naming the credit
+    /// resource (conventionally `net.txcredit(nX)`, matching the hold the
+    /// node's NIC publishes) for wait-for-graph attribution. `None`
+    /// restores pass-through.
+    pub fn set_window(&mut self, window: Option<u32>, resource: impl Into<String>) {
+        if let Some(w) = window {
+            assert!(w >= 1, "credit window needs at least one credit");
+        }
+        self.window = window;
+        self.resource = resource.into();
+    }
+
+    /// Admits `frame` through the gate. Returns the (credit-stamped) frame
+    /// when a credit is available — or immediately, unstamped, when no
+    /// window is configured. Returns `None` when the frame was queued
+    /// awaiting credits; [`TxCreditGate::credit`] releases it later.
+    pub fn admit(
+        &mut self,
+        frame: accl_net::Frame,
+        credit_ep: Endpoint,
+    ) -> Option<accl_net::Frame> {
+        let Some(window) = self.window else {
+            return Some(frame);
+        };
+        if self.in_flight < window && self.queued.is_empty() {
+            self.in_flight += 1;
+            Some(frame.with_credit_return(credit_ep))
+        } else {
+            self.queued.push_back(frame);
+            None
+        }
+    }
+
+    /// Returns `credits` to the window and drains queued frames into the
+    /// freed budget, stamping each with `credit_ep`. The caller must put
+    /// the returned frames on the wire.
+    pub fn credit(&mut self, credits: u32, credit_ep: Endpoint) -> Vec<accl_net::Frame> {
+        self.in_flight = self.in_flight.saturating_sub(credits);
+        let Some(window) = self.window else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        while self.in_flight < window {
+            let Some(frame) = self.queued.pop_front() else {
+                break;
+            };
+            self.in_flight += 1;
+            out.push(frame.with_credit_return(credit_ep));
+        }
+        out
+    }
+
+    /// Injected fault: `credits` vanish from the window for good (consumed
+    /// as if in flight, never returned).
+    pub fn leak(&mut self, credits: u32) {
+        self.leaked += credits;
+        self.in_flight += credits;
+    }
+
+    /// Whether frames are queued awaiting credits.
+    pub fn blocked(&self) -> bool {
+        !self.queued.is_empty()
+    }
+
+    /// Frames queued awaiting credits.
+    pub fn queued_frames(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// Credits consumed by injected leaks so far.
+    pub fn leaked(&self) -> u32 {
+        self.leaked
+    }
+
+    /// Credits currently in flight (including leaked ones).
+    pub fn in_flight(&self) -> u32 {
+        self.in_flight
+    }
+
+    /// The configured window, if bounded.
+    pub fn window(&self) -> Option<u32> {
+        self.window
+    }
+
+    /// The gate's contribution to its engine's
+    /// [`Component::resource_state`]: a wait on the credit resource while
+    /// blocked, plus occupancy gauges. `None` when pass-through.
+    pub fn state(&self) -> Option<ResourceState> {
+        let window = self.window?;
+        let mut st = ResourceState::default();
+        if self.blocked() {
+            st.waits.push(self.resource.clone());
+        }
+        st.gauges.push(ResourceGauge {
+            name: self.resource.clone(),
+            used: u64::from(self.in_flight),
+            capacity: Some(u64::from(window)),
+        });
+        if !self.queued.is_empty() {
+            st.gauges.push(ResourceGauge {
+                name: format!("{}.queued", self.resource),
+                used: self.queued.len() as u64,
+                capacity: None,
+            });
+        }
+        Some(st)
+    }
+
+    /// The gate's parked work, for stall reports: frames stuck behind a
+    /// dry credit window.
+    pub fn parked_work(&self) -> Option<ParkedWork> {
+        (!self.queued.is_empty()).then(|| ParkedWork {
+            rank: None,
+            op: format!(
+                "{} frames awaiting tx credits ({}/{} in flight, {} leaked)",
+                self.queued.len(),
+                self.in_flight,
+                self.window.unwrap_or(0),
+                self.leaked
+            ),
+        })
+    }
 }
 
 /// Session table: local session id → (peer address, peer session id).
@@ -661,5 +827,62 @@ mod tests {
             SpanId::NONE,
         );
         assert_eq!(d.inflight(), 2);
+    }
+
+    fn gate_frame() -> accl_net::Frame {
+        accl_net::Frame::new(accl_net::NodeAddr(0), accl_net::NodeAddr(1), 64, 0u8)
+    }
+
+    fn gate_ep() -> Endpoint {
+        let mut sim = Simulator::new(0);
+        let id = sim.add("gate-owner", Mailbox::<u8>::new());
+        Endpoint::new(id, ports::CREDIT)
+    }
+
+    #[test]
+    fn gate_without_window_passes_through_unstamped() {
+        let mut g = TxCreditGate::new();
+        let out = g.admit(gate_frame(), gate_ep()).expect("pass-through");
+        assert!(out.credit_return.is_none(), "must not stamp when ungated");
+        assert_eq!(g.in_flight(), 0);
+        assert!(g.state().is_none());
+        assert!(g.parked_work().is_none());
+    }
+
+    #[test]
+    fn gate_window_queues_overflow_and_credits_release_in_order() {
+        let mut g = TxCreditGate::new();
+        g.set_window(Some(2), "net.txcredit(n0)");
+        let a = g.admit(gate_frame(), gate_ep());
+        let b = g.admit(gate_frame(), gate_ep());
+        assert!(a.is_some() && b.is_some());
+        assert_eq!(a.unwrap().credit_return, Some(gate_ep()));
+        assert!(g.admit(gate_frame(), gate_ep()).is_none(), "window full");
+        assert!(g.blocked());
+        assert_eq!(g.queued_frames(), 1);
+        let st = g.state().expect("bounded gate has state");
+        assert_eq!(st.waits, vec!["net.txcredit(n0)".to_string()]);
+        let released = g.credit(1, gate_ep());
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].credit_return, Some(gate_ep()));
+        assert!(!g.blocked());
+        assert_eq!(g.in_flight(), 2);
+    }
+
+    #[test]
+    fn gate_leak_shrinks_window_permanently() {
+        let mut g = TxCreditGate::new();
+        g.set_window(Some(2), "net.txcredit(n0)");
+        g.leak(2);
+        assert!(
+            g.admit(gate_frame(), gate_ep()).is_none(),
+            "window leaked dry"
+        );
+        // Credits that never existed cannot come back: still blocked.
+        assert!(g.credit(0, gate_ep()).is_empty());
+        assert!(g.blocked());
+        assert_eq!(g.leaked(), 2);
+        let parked = g.parked_work().expect("blocked gate parks work");
+        assert!(parked.op.contains("2 leaked"), "op: {}", parked.op);
     }
 }

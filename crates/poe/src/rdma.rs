@@ -18,7 +18,7 @@ use accl_sim::trace::{Attr, AttrValue, SpanId};
 
 use crate::iface::{
     ports, PoeSessionError, PoeTxCmd, PoeTxDone, PoeUpward, RxDemux, SessionErrorKind, SessionId,
-    SessionTable, StreamChunk, TxAssembler, TxKind, TxSegment,
+    SessionTable, StreamChunk, TxAssembler, TxCreditGate, TxCreditLeak, TxKind, TxSegment,
 };
 
 /// Token-starvation watchdog timer (self-addressed).
@@ -203,6 +203,7 @@ pub struct RdmaPoe {
     starve_gen: BTreeMap<SessionId, u64>,
     /// Queue pairs in the error state.
     qp_error: BTreeMap<SessionId, SessionErrorKind>,
+    gate: TxCreditGate,
     frames_sent: u64,
     frames_received: u64,
     retransmissions: u64,
@@ -229,6 +230,7 @@ impl RdmaPoe {
             owed_credits: BTreeMap::new(),
             starve_gen: BTreeMap::new(),
             qp_error: BTreeMap::new(),
+            gate: TxCreditGate::new(),
             frames_sent: 0,
             frames_received: 0,
             retransmissions: 0,
@@ -272,6 +274,29 @@ impl RdmaPoe {
     /// QP, so iteration is already ordered).
     pub fn failed_qps(&self) -> Vec<(SessionId, SessionErrorKind)> {
         self.qp_error.iter().map(|(&q, &k)| (q, k)).collect()
+    }
+
+    /// Bounds the engine to `window` in-flight (unserialized) data frames,
+    /// attributing waits to `resource` (conventionally `net.txcredit(nX)`).
+    /// Credits and NAKs bypass the gate — gating the messages that release
+    /// the peer's tokens would deadlock the protocol itself. `None` (the
+    /// default) keeps the historical ungated behavior.
+    pub fn set_tx_credit_window(&mut self, window: Option<u32>, resource: impl Into<String>) {
+        self.gate.set_window(window, resource);
+    }
+
+    /// The tx credit gate (for introspection in tests and diagnostics).
+    pub fn tx_credit_gate(&self) -> &TxCreditGate {
+        &self.gate
+    }
+
+    fn send_gated(&mut self, ctx: &mut Ctx<'_>, latency: Dur, frame: Frame) {
+        let credit_ep = Endpoint::new(ctx.self_id(), ports::CREDIT);
+        if let Some(frame) = self.gate.admit(frame, credit_ep) {
+            ctx.send(self.net_tx, latency, frame);
+        } else {
+            ctx.stats().add("poe.rdma.tx_credit_blocked", 1);
+        }
     }
 
     fn latency(&self) -> Dur {
@@ -459,7 +484,7 @@ impl RdmaPoe {
         let frame = Frame::new(accl_net::NodeAddr(0), peer, seg.data.len() as u32, pdu)
             .with_segments(fragments)
             .with_span(wire_span);
-        ctx.send(self.net_tx, latency, frame);
+        self.send_gated(ctx, latency, frame);
     }
 
     /// Go-back-N: retransmits every unacknowledged segment in PSN order.
@@ -786,11 +811,37 @@ impl Component for RdmaPoe {
                     self.retry_round(ctx, timer.qp);
                 }
             },
+            ports::CREDIT => {
+                let latency = self.latency();
+                let credit_ep = Endpoint::new(ctx.self_id(), ports::CREDIT);
+                match payload.try_downcast::<accl_net::CreditReturn>() {
+                    Ok(ret) => {
+                        for frame in self.gate.credit(ret.credits, credit_ep) {
+                            ctx.send(self.net_tx, latency, frame);
+                        }
+                    }
+                    Err(other) => {
+                        let leak = other.downcast::<TxCreditLeak>();
+                        self.gate.leak(leak.credits);
+                        ctx.stats()
+                            .add("poe.rdma.credits_leaked", u64::from(leak.credits));
+                        accl_sim::trace_instant!(ctx, "poe.credit_leak", SpanId::NONE);
+                    }
+                }
+            }
             other => panic!("RDMA engine has no port {other:?}"),
         }
     }
 
+    fn resource_state(&self) -> Option<ResourceState> {
+        self.gate.state()
+    }
+
     fn parked_work(&self) -> Option<ParkedWork> {
+        // Frames stuck behind a dry tx credit window block everything else.
+        if let Some(parked) = self.gate.parked_work() {
+            return Some(parked);
+        }
         // Token-starved queue pairs (lowest QP first, deterministically).
         let starved = self
             .stalled
@@ -1282,6 +1333,26 @@ mod tests {
             events4 * 2 < events1,
             "coalescing saved too few events: {events4} vs {events1}"
         );
+    }
+
+    #[test]
+    fn tx_credit_window_composes_with_token_flow_control() {
+        let mut b = bench(2);
+        b.sim
+            .component_mut::<RdmaPoe>(b.poes[0])
+            .set_tx_credit_window(Some(2), "net.txcredit(n0)");
+        let msg: Vec<u8> = (0..60_000u32).map(|i| (i % 239) as u8).collect();
+        issue(&mut b, 0, 1, TxKind::Send, msg.clone(), 0);
+        b.sim.run();
+        let mut got = vec![0u8; msg.len()];
+        for (_, c) in b.sim.component::<Mailbox<RxChunk>>(b.datas[1]).items() {
+            got[c.offset as usize..c.offset as usize + c.data.len()].copy_from_slice(&c.data);
+        }
+        assert_eq!(got, msg);
+        let poe = b.sim.component::<RdmaPoe>(b.poes[0]);
+        assert!(poe.failed_qps().is_empty());
+        assert!(!poe.tx_credit_gate().blocked());
+        assert_eq!(poe.tx_credit_gate().in_flight(), 0, "all credits returned");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use accl_sim::trace::{Attr, AttrValue, SpanId};
 
 use crate::iface::{
     ports, PoeRxMeta, PoeSessionError, PoeTxCmd, PoeTxDone, PoeUpward, RxChunk, SessionErrorKind,
-    SessionId, SessionTable, StreamChunk, TxKind,
+    SessionId, SessionTable, StreamChunk, TxCreditGate, TxCreditLeak, TxKind,
 };
 
 /// In-stream message header: 8-byte little-endian length prefix.
@@ -231,6 +231,7 @@ pub struct TcpPoe {
     /// Tx data not yet attributed to a message.
     raw: VecDeque<Bytes>,
     raw_len: u64,
+    gate: TxCreditGate,
     segments_sent: u64,
     acks_sent: u64,
     frames_corrupted_discarded: u64,
@@ -249,6 +250,7 @@ impl TcpPoe {
             out_q: VecDeque::new(),
             raw: VecDeque::new(),
             raw_len: 0,
+            gate: TxCreditGate::new(),
             segments_sent: 0,
             acks_sent: 0,
             frames_corrupted_discarded: 0,
@@ -277,6 +279,29 @@ impl TcpPoe {
             .iter()
             .filter_map(|(&s, st)| st.error.map(|k| (s, k)))
             .collect()
+    }
+
+    /// Bounds the engine to `window` in-flight (unserialized) data frames,
+    /// attributing waits to `resource` (conventionally `net.txcredit(nX)`).
+    /// ACKs bypass the gate — gating the segments that open the peer's
+    /// window would deadlock the protocol itself. `None` (the default)
+    /// keeps the historical ungated behavior.
+    pub fn set_tx_credit_window(&mut self, window: Option<u32>, resource: impl Into<String>) {
+        self.gate.set_window(window, resource);
+    }
+
+    /// The tx credit gate (for introspection in tests and diagnostics).
+    pub fn tx_credit_gate(&self) -> &TxCreditGate {
+        &self.gate
+    }
+
+    fn send_gated(&mut self, ctx: &mut Ctx<'_>, latency: Dur, frame: Frame) {
+        let credit_ep = Endpoint::new(ctx.self_id(), ports::CREDIT);
+        if let Some(frame) = self.gate.admit(frame, credit_ep) {
+            ctx.send(self.net_tx, latency, frame);
+        } else {
+            ctx.stats().add("poe.tcp.tx_credit_blocked", 1);
+        }
     }
 
     fn latency(&self) -> Dur {
@@ -421,9 +446,9 @@ impl TcpPoe {
         let unit = mss * u64::from(self.cfg.coalesce.max(1));
         let latency = self.latency();
         let (peer, peer_session) = self.sessions.peer(session);
-        let net_tx = self.net_tx;
         let st = self.tx_state(session);
         let mut sent = 0u64;
+        let mut frames = Vec::new();
         loop {
             let inflight = st.snd_nxt - st.snd_una;
             if st.pending_len == 0 || inflight >= st.peer_rwnd {
@@ -488,9 +513,12 @@ impl TcpPoe {
             )
             .with_segments(segments)
             .with_span(wire_span);
-            ctx.send(net_tx, latency, frame);
+            frames.push(frame);
         }
         self.segments_sent += sent;
+        for frame in frames {
+            self.send_gated(ctx, latency, frame);
+        }
         let st = self.tx_state(session);
         if !st.unacked.is_empty() && !st.timer_armed {
             Self::arm_timer_inner(ctx, st, session);
@@ -539,7 +567,7 @@ impl TcpPoe {
         )
         .with_segments(segments)
         .with_span(parent);
-        ctx.send(self.net_tx, latency, frame);
+        self.send_gated(ctx, latency, frame);
     }
 
     fn on_ack(&mut self, ctx: &mut Ctx<'_>, ack: TcpAck) {
@@ -724,11 +752,37 @@ impl Component for TcpPoe {
                 let st = self.tx_state(session);
                 Self::arm_timer_inner(ctx, st, session);
             }
+            ports::CREDIT => {
+                let latency = self.latency();
+                let credit_ep = Endpoint::new(ctx.self_id(), ports::CREDIT);
+                match payload.try_downcast::<accl_net::CreditReturn>() {
+                    Ok(ret) => {
+                        for frame in self.gate.credit(ret.credits, credit_ep) {
+                            ctx.send(self.net_tx, latency, frame);
+                        }
+                    }
+                    Err(other) => {
+                        let leak = other.downcast::<TxCreditLeak>();
+                        self.gate.leak(leak.credits);
+                        ctx.stats()
+                            .add("poe.tcp.credits_leaked", u64::from(leak.credits));
+                        accl_sim::trace_instant!(ctx, "poe.credit_leak", SpanId::NONE);
+                    }
+                }
+            }
             other => panic!("TCP engine has no port {other:?}"),
         }
     }
 
+    fn resource_state(&self) -> Option<ResourceState> {
+        self.gate.state()
+    }
+
     fn parked_work(&self) -> Option<ParkedWork> {
+        // Frames stuck behind a dry tx credit window block everything else.
+        if let Some(parked) = self.gate.parked_work() {
+            return Some(parked);
+        }
         // Oldest command still waiting for its stream bytes: attribution is
         // FIFO across sessions, so a starved head blocks everything behind.
         if let Some(head) = self.out_q.front() {
@@ -1208,6 +1262,54 @@ mod tests {
             "session-fatal error missing: {tags:?}"
         );
         assert!(tags.contains(&Some(2)), "command error missing: {tags:?}");
+    }
+
+    #[test]
+    fn tx_credit_window_backpressures_and_still_delivers() {
+        let mut b = bench(2);
+        b.sim
+            .component_mut::<TcpPoe>(b.poes[0])
+            .set_tx_credit_window(Some(2), "net.txcredit(n0)");
+        let msg: Vec<u8> = (0..60_000u32).map(|i| (i % 251) as u8).collect();
+        send(&mut b, 0, 1, msg.clone(), 1);
+        b.sim.run();
+        assert_eq!(received(&b, 1, msg.len()), msg);
+        let gate = b.sim.component::<TcpPoe>(b.poes[0]).tx_credit_gate();
+        assert!(!gate.blocked(), "gate must drain once the wire frees up");
+        assert_eq!(gate.in_flight(), 0, "all credits returned");
+    }
+
+    #[test]
+    fn leaked_credits_wedge_tx_and_deadlock_detector_names_the_orphan() {
+        let mut b = bench(2);
+        b.sim
+            .component_mut::<TcpPoe>(b.poes[0])
+            .set_tx_credit_window(Some(2), "net.txcredit(n0)");
+        // The planted bug: both credits leak before any frame is admitted,
+        // so the gate can never open again.
+        b.sim.post(
+            Endpoint::new(b.poes[0], ports::CREDIT),
+            Time::ZERO,
+            TxCreditLeak { credits: 2 },
+        );
+        send(&mut b, 0, 1, vec![1u8; 20_000], 9);
+        match b.sim.run() {
+            RunOutcome::Stalled(report) => {
+                assert!(
+                    report.op.contains("awaiting tx credits"),
+                    "op: {}",
+                    report.op
+                );
+                let dl = report.deadlock.as_ref().expect("deadlock analysis");
+                assert_eq!(dl.kind, DeadlockKind::OrphanedWait);
+                assert!(
+                    dl.chain.iter().any(|s| s.contains("net.txcredit(n0)")),
+                    "chain must name the leaked resource: {:?}",
+                    dl.chain
+                );
+            }
+            other => panic!("expected stall, got {other:?}"),
+        }
     }
 
     #[test]

@@ -13,8 +13,8 @@ use accl_sim::prelude::*;
 use accl_sim::trace::{Attr, AttrValue, SpanId};
 
 use crate::iface::{
-    ports, PoeTxCmd, PoeTxDone, PoeUpward, RxDemux, SessionTable, StreamChunk, TxAssembler, TxKind,
-    TxSegment,
+    ports, PoeTxCmd, PoeTxDone, PoeUpward, RxDemux, SessionTable, StreamChunk, TxAssembler,
+    TxCreditGate, TxCreditLeak, TxKind, TxSegment,
 };
 
 /// Per-datagram header modelled on the wire (message id, offset, total).
@@ -61,6 +61,7 @@ pub struct UdpPoe {
     sessions: SessionTable,
     assembler: TxAssembler,
     demux: RxDemux,
+    gate: TxCreditGate,
     dgrams_sent: u64,
     dgrams_received: u64,
     dgrams_corrupted_dropped: u64,
@@ -77,6 +78,7 @@ impl UdpPoe {
             sessions,
             assembler: TxAssembler::new(),
             demux: RxDemux::new(),
+            gate: TxCreditGate::new(),
             dgrams_sent: 0,
             dgrams_received: 0,
             dgrams_corrupted_dropped: 0,
@@ -102,6 +104,27 @@ impl UdpPoe {
     /// Datagrams discarded as duplicates of already-received segments.
     pub fn dgrams_duplicates_dropped(&self) -> u64 {
         self.demux.duplicates_discarded()
+    }
+
+    /// Bounds the engine to `window` in-flight (unserialized) datagrams,
+    /// attributing waits to `resource` (conventionally `net.txcredit(nX)`).
+    /// `None` (the default) keeps the historical ungated behavior.
+    pub fn set_tx_credit_window(&mut self, window: Option<u32>, resource: impl Into<String>) {
+        self.gate.set_window(window, resource);
+    }
+
+    /// The tx credit gate (for introspection in tests and diagnostics).
+    pub fn tx_credit_gate(&self) -> &TxCreditGate {
+        &self.gate
+    }
+
+    fn send_gated(&mut self, ctx: &mut Ctx<'_>, latency: Dur, frame: Frame) {
+        let credit_ep = Endpoint::new(ctx.self_id(), ports::CREDIT);
+        if let Some(frame) = self.gate.admit(frame, credit_ep) {
+            ctx.send(self.net_tx, latency, frame);
+        } else {
+            ctx.stats().add("poe.udp.tx_credit_blocked", 1);
+        }
     }
 
     fn latency(&self) -> Dur {
@@ -139,7 +162,7 @@ impl UdpPoe {
             // `src` is stamped by the NetPort.
             let frame =
                 Frame::new(accl_net::NodeAddr(0), peer, payload_bytes, dgram).with_span(wire_span);
-            ctx.send(self.net_tx, latency, frame);
+            self.send_gated(ctx, latency, frame);
             if seg.last {
                 ctx.send(
                     self.up.tx_done,
@@ -209,8 +232,34 @@ impl Component for UdpPoe {
                 }
                 ctx.send(self.up.rx_data, latency, chunk);
             }
+            ports::CREDIT => {
+                let latency = self.latency();
+                let credit_ep = Endpoint::new(ctx.self_id(), ports::CREDIT);
+                match payload.try_downcast::<accl_net::CreditReturn>() {
+                    Ok(ret) => {
+                        for frame in self.gate.credit(ret.credits, credit_ep) {
+                            ctx.send(self.net_tx, latency, frame);
+                        }
+                    }
+                    Err(other) => {
+                        let leak = other.downcast::<TxCreditLeak>();
+                        self.gate.leak(leak.credits);
+                        ctx.stats()
+                            .add("poe.udp.credits_leaked", u64::from(leak.credits));
+                        accl_sim::trace_instant!(ctx, "poe.credit_leak", SpanId::NONE);
+                    }
+                }
+            }
             other => panic!("UDP engine has no port {other:?}"),
         }
+    }
+
+    fn parked_work(&self) -> Option<ParkedWork> {
+        self.gate.parked_work()
+    }
+
+    fn resource_state(&self) -> Option<ResourceState> {
+        self.gate.state()
     }
 }
 
@@ -403,6 +452,27 @@ mod tests {
             assert_eq!(metas.len(), 1, "dst={dst}");
         }
         assert_eq!(b.sim.component::<UdpPoe>(b.poes[0]).dgrams_sent(), 4);
+    }
+
+    #[test]
+    fn tx_credit_window_paces_datagrams_without_loss() {
+        let mut b = bench(2);
+        b.sim
+            .component_mut::<UdpPoe>(b.poes[0])
+            .set_tx_credit_window(Some(1), "net.txcredit(n0)");
+        let msg: Vec<u8> = (0..10_000u32).map(|i| (i * 7 % 256) as u8).collect();
+        send(&mut b, 0, 1, msg.clone(), 5);
+        b.sim.run();
+        let mut got = vec![0u8; msg.len()];
+        let chunks = b.sim.component::<Mailbox<RxChunk>>(b.datas[1]);
+        assert_eq!(chunks.len(), 3, "credit pacing must not lose datagrams");
+        for (_, c) in chunks.items() {
+            got[c.offset as usize..c.offset as usize + c.data.len()].copy_from_slice(&c.data);
+        }
+        assert_eq!(got, msg);
+        let gate = b.sim.component::<UdpPoe>(b.poes[0]).tx_credit_gate();
+        assert!(!gate.blocked());
+        assert_eq!(gate.in_flight(), 0, "all credits returned");
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod deadlock;
 pub mod event;
 pub mod mailbox;
 pub mod pipe;
@@ -51,6 +52,7 @@ pub mod trace;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::deadlock::{DeadlockKind, DeadlockReport, ResourceGauge, ResourceState};
     pub use crate::event::{ComponentId, Endpoint, Payload, PortId};
     pub use crate::mailbox::Mailbox;
     pub use crate::pipe::{Latency, Pipe};

@@ -18,6 +18,7 @@ use core::any::Any;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::deadlock::{self, DeadlockReport, ResourceState};
 use crate::event::{ComponentId, Endpoint, Payload, PortId};
 use crate::queue::{EventQueue, QueueKind};
 use crate::stats::Stats;
@@ -55,6 +56,17 @@ pub trait Component: Any + Send {
     /// were handled in a different order; a divergence means the handlers
     /// do not commute. Components return `None` (the default) to opt out.
     fn state_digest(&self) -> Option<u64> {
+        None
+    }
+
+    /// The component's bounded-resource view for the sim-time deadlock
+    /// detector: which resources it is blocked on (`waits`), which it
+    /// currently occupies and will eventually release (`holds`), and
+    /// occupancy gauges for stall diagnosis. Consulted alongside
+    /// [`Component::parked_work`] when a stall is detected; see
+    /// [`crate::deadlock`]. Components without bounded resources return
+    /// `None` (the default).
+    fn resource_state(&self) -> Option<ResourceState> {
         None
     }
 }
@@ -289,6 +301,13 @@ pub struct StallReport {
     /// span recording was enabled) — what the component was *doing*, not
     /// just which payloads it received.
     pub recent_spans: Vec<String>,
+    /// Rendered occupancy gauges (`"component: resource used/cap"`) from
+    /// every component that reported a [`ResourceState`] at stall time —
+    /// queue depths, credit windows, buffer pools, pause state.
+    pub gauges: Vec<String>,
+    /// The diagnosed wait-for chain, when the deadlock detector found a
+    /// cycle or an orphaned wait over the reported resource states.
+    pub deadlock: Option<DeadlockReport>,
 }
 
 impl core::fmt::Display for StallReport {
@@ -304,6 +323,12 @@ impl core::fmt::Display for StallReport {
                 "stall at {}: {} parked on {}",
                 self.at, self.component, self.op
             )?,
+        }
+        if let Some(deadlock) = &self.deadlock {
+            write!(f, "\n    {deadlock}")?;
+        }
+        for gauge in &self.gauges {
+            write!(f, "\n    gauge: {gauge}")?;
         }
         for line in &self.recent_spans {
             write!(f, "\n    span: {line}")?;
@@ -901,8 +926,16 @@ impl Simulator {
     }
 
     /// Sweeps every installed component for parked work and returns one
-    /// [`StallReport`] per stuck component, in component-id order.
+    /// [`StallReport`] per stuck component, in component-id order. Each
+    /// report carries the cluster-wide resource gauges and, when the
+    /// wait-for graph closes, the deadlock diagnosis.
     pub fn stall_reports(&self) -> Vec<StallReport> {
+        let states = self.resource_states();
+        let deadlock = deadlock::analyze(&states);
+        let gauges: Vec<String> = states
+            .iter()
+            .flat_map(|(name, st)| st.gauges.iter().map(move |g| format!("{name}: {g}")))
+            .collect();
         self.components
             .iter()
             .enumerate()
@@ -916,9 +949,35 @@ impl Simulator {
                     op: parked.op,
                     at: self.time,
                     recent_spans: self.span_tail(comp, STALL_SPAN_TAIL),
+                    gauges: gauges.clone(),
+                    deadlock: deadlock.clone(),
                 })
             })
             .collect()
+    }
+
+    /// The non-empty [`ResourceState`]s of every installed component, as
+    /// `(registration name, state)` in component-id order — the input to
+    /// the deadlock detector's wait-for graph.
+    pub fn resource_states(&self) -> Vec<(String, ResourceState)> {
+        self.components
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let st = slot.as_ref()?.resource_state()?;
+                if st.is_empty() {
+                    return None;
+                }
+                Some((self.names[i].clone(), st))
+            })
+            .collect()
+    }
+
+    /// Runs the deadlock detector over the current resource states: the
+    /// diagnosed wait chain, if components are stuck on each other's (or
+    /// leaked) resources. See [`crate::deadlock`].
+    pub fn deadlock_report(&self) -> Option<DeadlockReport> {
+        deadlock::analyze(&self.resource_states())
     }
 }
 
@@ -1246,6 +1305,87 @@ mod tests {
                 assert_eq!(report.comp, stuck);
                 assert_eq!(report.rank, Some(3));
                 assert!(sim.now() >= Time::from_us(50));
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    /// A component blocked on a named resource, for deadlock-report tests.
+    struct Waiter {
+        waits: Vec<String>,
+        holds: Vec<String>,
+    }
+
+    impl Component for Waiter {
+        fn on_event(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _payload: Payload) {}
+
+        fn parked_work(&self) -> Option<ParkedWork> {
+            (!self.waits.is_empty()).then(|| ParkedWork {
+                rank: None,
+                op: format!("waiting on {}", self.waits.join(", ")),
+            })
+        }
+
+        fn resource_state(&self) -> Option<ResourceState> {
+            Some(ResourceState {
+                waits: self.waits.clone(),
+                holds: self.holds.clone(),
+                gauges: vec![crate::deadlock::ResourceGauge {
+                    name: "credits".into(),
+                    used: self.waits.len() as u64,
+                    capacity: Some(4),
+                }],
+            })
+        }
+    }
+
+    #[test]
+    fn stall_report_carries_deadlock_cycle_and_gauges() {
+        let mut sim = Simulator::new(0);
+        sim.add(
+            "a",
+            Waiter {
+                waits: vec!["r1".into()],
+                holds: vec!["r2".into()],
+            },
+        );
+        sim.add(
+            "b",
+            Waiter {
+                waits: vec!["r2".into()],
+                holds: vec!["r1".into()],
+            },
+        );
+        match sim.run() {
+            RunOutcome::Stalled(report) => {
+                let deadlock = report.deadlock.as_ref().expect("cycle diagnosed");
+                assert_eq!(deadlock.kind, crate::deadlock::DeadlockKind::Cycle);
+                assert_eq!(deadlock.chain, vec!["a", "r1", "b", "r2"]);
+                assert!(report.gauges.iter().any(|g| g.contains("a: credits 1/4")));
+                let rendered = report.to_string();
+                assert!(rendered.contains("wait-for cycle"), "{rendered}");
+                assert!(rendered.contains("gauge: b: credits 1/4"), "{rendered}");
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stall_report_names_orphaned_wait() {
+        let mut sim = Simulator::new(0);
+        sim.add(
+            "n0.poe",
+            Waiter {
+                waits: vec!["net.txcredit(n0)".into()],
+                holds: vec![],
+            },
+        );
+        match sim.run() {
+            RunOutcome::Stalled(report) => {
+                let deadlock = report.deadlock.as_ref().expect("orphan diagnosed");
+                assert_eq!(deadlock.kind, crate::deadlock::DeadlockKind::OrphanedWait);
+                assert_eq!(deadlock.chain, vec!["n0.poe", "net.txcredit(n0)"]);
+                assert!(report.to_string().contains("orphaned wait"));
             }
             other => panic!("expected Stalled, got {other:?}"),
         }
