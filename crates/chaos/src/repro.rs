@@ -79,6 +79,7 @@ impl Repro {
             ),
             ("verify_fcs".into(), Json::Bool(self.spec.verify_fcs)),
             ("overload".into(), Json::Bool(self.spec.overload)),
+            ("workers".into(), Json::Num(self.spec.workers as u64)),
         ]);
         Json::Obj(vec![
             ("format".into(), Json::Num(FORMAT)),
@@ -138,6 +139,14 @@ impl Repro {
                 .and_then(Json::as_bool)
                 .unwrap_or(false),
             seed,
+            // Absent in pre-parallel repros: those ran sequentially. The
+            // field is advisory anyway — outcomes are worker-invariant.
+            workers: w
+                .field("workers")
+                .ok()
+                .and_then(Json::as_u64)
+                .unwrap_or(1)
+                .max(1) as usize,
         };
         let events = doc
             .field("events")?
@@ -298,6 +307,7 @@ mod tests {
                 verify_fcs: true,
                 overload: true,
                 seed: 99,
+                workers: 2,
             },
             events: vec![
                 FaultEvent::Drop { index: 3 },
@@ -361,6 +371,7 @@ mod tests {
                    \"verify_fcs\": true}, \"events\": []}";
         let repro = Repro::from_json(old).unwrap();
         assert!(!repro.spec.overload);
+        assert_eq!(repro.spec.workers, 1);
     }
 
     #[test]

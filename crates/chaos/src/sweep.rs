@@ -40,6 +40,9 @@ pub struct SweepConfig {
     pub overload: bool,
     /// Fault intensity.
     pub profile: ChaosProfile,
+    /// Simulator worker threads per experiment (`1` = sequential). Chaos
+    /// outcomes and digests are invariant under this knob.
+    pub workers: usize,
 }
 
 impl SweepConfig {
@@ -56,6 +59,7 @@ impl SweepConfig {
             verify_fcs: true,
             overload: false,
             profile: ChaosProfile::default_profile(nodes as u32),
+            workers: 1,
         }
     }
 
@@ -78,6 +82,7 @@ impl SweepConfig {
         let mut spec = WorkloadSpec::for_seed(seed, self.nodes, self.count, self.transport);
         spec.verify_fcs = self.verify_fcs;
         spec.overload = self.overload;
+        spec.workers = self.workers;
         spec
     }
 

@@ -71,6 +71,10 @@ pub struct WorkloadSpec {
     pub overload: bool,
     /// Simulation seed (also the chaos seed that named this run).
     pub seed: u64,
+    /// Simulator worker threads (`1` = sequential). Chaos outcomes are
+    /// invariant under this knob — parallel runs produce identical
+    /// results and digests — so sweeps can use it purely for throughput.
+    pub workers: usize,
 }
 
 impl WorkloadSpec {
@@ -90,6 +94,7 @@ impl WorkloadSpec {
             verify_fcs: true,
             overload: false,
             seed,
+            workers: 1,
         }
     }
 }
@@ -192,6 +197,7 @@ pub fn run(spec: &WorkloadSpec, plan: FaultPlan) -> RunReport {
     cfg.seed = spec.seed;
     cfg.cclo.collective_timeout_us = Some(WATCHDOG_US);
     cfg.tcp.verify_fcs = spec.verify_fcs;
+    cfg.workers = spec.workers.max(1);
     if spec.overload {
         cfg = cfg.with_overload_limits();
     }
@@ -327,6 +333,7 @@ mod tests {
                     verify_fcs: true,
                     overload: false,
                     seed: 1,
+                    workers: 1,
                 };
                 let report = run(&spec, FaultPlan::none());
                 assert!(

@@ -258,6 +258,84 @@ fn credit_leak_wait_is_named_by_the_deadlock_detector() {
     );
 }
 
+/// The wedge diagnosis survives the parallel engine: replaying the
+/// checked-in credit-leak repro on 2 and 4 simulator workers must produce
+/// the *same* deadlock-detector verdict, down to the exact leaked
+/// resource. The detector runs against the reunited post-gather component
+/// set, so a shard boundary between the leaking port and the waiting POE
+/// must not blind it — rank 0's NIC, its POE and the switch live in
+/// different partitions precisely to pin that.
+#[test]
+fn credit_leak_repro_is_named_identically_in_parallel_mode() {
+    let repro = Repro::from_json(include_str!("data/credit_leak_repro.json")).unwrap();
+    let sequential = repro.replay();
+    let golden_why = match &sequential.violation {
+        Some(Violation::Wedged(why)) => why.clone(),
+        other => panic!("sequential replay must wedge, got: {other:?}"),
+    };
+    for workers in [2usize, 4] {
+        let mut parallel = repro.clone();
+        parallel.spec.workers = workers;
+        let report = parallel.replay();
+        let why = match &report.violation {
+            Some(Violation::Wedged(why)) => why,
+            other => panic!("{workers}-worker replay must wedge, got: {other:?}"),
+        };
+        assert!(
+            why.contains("net.txcredit(n0)"),
+            "{workers}-worker wedge diagnosis lost the leaked credit window:\n{why}"
+        );
+        assert!(
+            why.contains("orphaned wait"),
+            "{workers}-worker diagnosis should stay an orphaned wait:\n{why}"
+        );
+        assert_eq!(
+            *why, golden_why,
+            "{workers}-worker diagnosis text diverged from sequential"
+        );
+        assert_eq!(
+            report.events_executed, sequential.events_executed,
+            "{workers}-worker replay executed a different number of events"
+        );
+    }
+}
+
+/// The unwatched-stall path (no engine watchdog, the simulation simply
+/// drains with parked work) reaches the same cross-shard diagnosis on the
+/// parallel engine.
+#[test]
+fn credit_leak_wait_is_named_by_the_deadlock_detector_in_parallel_mode() {
+    let mut cfg = ClusterConfig::xrt_tcp(3)
+        .with_overload_limits()
+        .with_workers(2);
+    cfg.cclo.collective_timeout_us = None;
+    let mut c = AcclCluster::build(cfg);
+    c.set_fault_plan(FaultPlan::none().with_credit_leak(NodeAddr(0), Time::from_us(5), 32));
+
+    let count = 1024u64;
+    let mut programs = Vec::new();
+    for node in 0..3 {
+        let src = c.alloc(node, BufLoc::Host, count * 4);
+        let dst = c.alloc(node, BufLoc::Host, count * 4);
+        c.write(&src, &vec![node as u8 + 1; (count * 4) as usize]);
+        let spec = CollSpec::new(CollOp::AllReduce, count, DType::I32)
+            .src(src)
+            .dst(dst);
+        programs.push(vec![HostOp::Coll(spec)]);
+    }
+    let why = c
+        .try_run_host_programs(programs)
+        .expect_err("an unwatched full credit leak must stall the parallel run");
+    assert!(
+        why.contains("net.txcredit(n0)"),
+        "parallel stall diagnosis does not name the leaked credit window:\n{why}"
+    );
+    assert!(
+        why.contains("orphaned wait"),
+        "the leak should diagnose as an orphaned wait, not a cycle:\n{why}"
+    );
+}
+
 /// The checked-in minimal repro (emitted by a real `--break-fcs` sweep)
 /// keeps reproducing: guards both the repro format and the harness's
 /// detection power against regressions.

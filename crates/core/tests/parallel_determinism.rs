@@ -1,0 +1,359 @@
+//! Parallel-simulation determinism: the conservative multi-worker engine
+//! must be observationally equivalent to the sequential event loop.
+//!
+//! The contract (see `crates/sim/src/shard.rs` and DESIGN.md): cross-shard
+//! events merge in an order that is a pure function of
+//! `(time, local seq, source partition)` — never of thread scheduling — so
+//! a parallel run at *any* worker count reproduces the sequential run's
+//! results, event counts, component state digests and (canonicalized)
+//! traces bit for bit. These tests pin that promise on the real stack: a
+//! seeded multi-node allreduce, a bounded cluster under an injected
+//! overload fault mix, and — with the race detector — a deliberately
+//! permuted same-timestamp delivery order.
+
+use accl_core::driver::CollSpec;
+use accl_core::{AcclCluster, BufLoc, ClusterConfig, CollOp, DType};
+use accl_net::{FaultPlan, NodeAddr};
+use accl_sim::prelude::*;
+
+fn i32s(vals: &[i32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn pattern(node: usize, count: u64) -> Vec<u8> {
+    i32s(
+        &(0..count)
+            .map(|i| (node as i32) * 1000 + (i as i32 % 17))
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn summed(n: usize, count: u64) -> Vec<u8> {
+    i32s(
+        &(0..count)
+            .map(|i| {
+                (0..n as i32)
+                    .map(|node| node * 1000 + (i as i32 % 17))
+                    .sum::<i32>()
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Everything a run exposes that must not depend on the worker count.
+#[derive(Debug, PartialEq)]
+struct Observables {
+    results: Vec<Vec<u8>>,
+    events_executed: u64,
+    final_time: Time,
+    state_digests: Vec<(ComponentId, u64)>,
+}
+
+/// Runs a seeded `n`-node RDMA allreduce on `workers` simulator threads
+/// and returns every worker-count-invariant observable.
+fn allreduce_observables(n: usize, workers: usize) -> Observables {
+    let count = 2048u64;
+    let mut c = AcclCluster::build(ClusterConfig::coyote_rdma(n).with_workers(workers));
+    let mut specs = Vec::new();
+    let mut dsts = Vec::new();
+    for node in 0..n {
+        let src = c.alloc(node, BufLoc::Host, count * 4);
+        let dst = c.alloc(node, BufLoc::Host, count * 4);
+        c.write(&src, &pattern(node, count));
+        specs.push(
+            CollSpec::new(CollOp::AllReduce, count, DType::I32)
+                .src(src)
+                .dst(dst),
+        );
+        dsts.push(dst);
+    }
+    let records = c.host_collective(specs);
+    let expect = summed(n, count);
+    let results: Vec<Vec<u8>> = dsts.iter().map(|d| c.read(d)).collect();
+    for (node, got) in results.iter().enumerate() {
+        assert_eq!(
+            records[node].result(),
+            Ok(()),
+            "node {node} ({workers} workers)"
+        );
+        assert_eq!(got, &expect, "node {node} ({workers} workers)");
+    }
+    Observables {
+        results,
+        events_executed: c.sim.events_executed(),
+        final_time: c.sim.now(),
+        state_digests: c.sim.state_digests(),
+    }
+}
+
+/// The headline golden-equality gate: a 4-node allreduce at 2, 4 and 8
+/// workers is indistinguishable — results, event count, final sim time,
+/// every component state digest — from the sequential run.
+#[test]
+fn parallel_allreduce_matches_sequential_at_every_worker_count() {
+    let golden = allreduce_observables(4, 1);
+    assert!(
+        !golden.state_digests.is_empty(),
+        "need digestible components"
+    );
+    for workers in [2, 4, 8] {
+        assert_eq!(
+            allreduce_observables(4, workers),
+            golden,
+            "{workers}-worker run diverged from sequential"
+        );
+    }
+}
+
+/// Same gate at a worker count far above the partition count: the engine
+/// clamps to one worker per partition and nothing changes.
+#[test]
+fn worker_oversubscription_is_harmless() {
+    assert_eq!(
+        allreduce_observables(3, 64),
+        allreduce_observables(3, 1),
+        "64 workers on a 3-node cluster diverged from sequential"
+    );
+}
+
+/// The parallel timeline digest (per-shard FNV folds combined in partition
+/// order) is itself deterministic: invariant across worker counts >= 2 and
+/// run to run. (It legitimately differs from the *sequential* digest —
+/// shards fold their local seq numbers — which is why cross-mode equality
+/// above is asserted on seq-independent observables instead.)
+#[test]
+fn parallel_timeline_digest_is_worker_count_invariant() {
+    let digest_at = |workers: usize| {
+        let n = 4;
+        let count = 1024u64;
+        let mut c = AcclCluster::build(ClusterConfig::coyote_rdma(n).with_workers(workers));
+        c.sim.enable_digest();
+        let mut specs = Vec::new();
+        for node in 0..n {
+            let src = c.alloc(node, BufLoc::Host, count * 4);
+            let dst = c.alloc(node, BufLoc::Host, count * 4);
+            c.write(&src, &pattern(node, count));
+            specs.push(
+                CollSpec::new(CollOp::AllReduce, count, DType::I32)
+                    .src(src)
+                    .dst(dst),
+            );
+        }
+        c.host_collective(specs);
+        c.sim.timeline_digest().expect("digest enabled before run")
+    };
+    let golden = digest_at(2);
+    assert_eq!(digest_at(2), golden, "2-worker digest not reproducible");
+    for workers in [3, 4, 8] {
+        assert_eq!(
+            digest_at(workers),
+            golden,
+            "{workers}-worker timeline digest moved"
+        );
+    }
+}
+
+/// Runs a bounded 4-node TCP allreduce under a non-wedging overload fault
+/// mix (a recoverable credit leak, a pause storm, a pool shrink) on
+/// `workers` threads. Exercises exactly the machinery that is hardest to
+/// parallelize: PFC pause frames crossing partitions, credit stalls, and
+/// fault events injected from the external partition.
+fn overloaded_observables(workers: usize) -> Observables {
+    let n = 4;
+    let count = 1024u64;
+    let mut c = AcclCluster::build(
+        ClusterConfig::xrt_tcp(n)
+            .with_overload_limits()
+            .with_workers(workers),
+    );
+    let plan = FaultPlan::none()
+        .with_credit_leak(NodeAddr(1), Time::from_us(5), 4)
+        .with_pause_storm(NodeAddr(2), Time::from_us(10), Dur::from_us(80))
+        .with_buf_shrink(NodeAddr(3), Time::from_us(3), 2);
+    c.set_fault_plan(plan);
+    let mut specs = Vec::new();
+    let mut dsts = Vec::new();
+    for node in 0..n {
+        let src = c.alloc(node, BufLoc::Host, count * 4);
+        let dst = c.alloc(node, BufLoc::Host, count * 4);
+        c.write(&src, &pattern(node, count));
+        specs.push(
+            CollSpec::new(CollOp::AllReduce, count, DType::I32)
+                .src(src)
+                .dst(dst),
+        );
+        dsts.push(dst);
+    }
+    let records = c.host_collective(specs);
+    let expect = summed(n, count);
+    let results: Vec<Vec<u8>> = dsts.iter().map(|d| c.read(d)).collect();
+    for (node, got) in results.iter().enumerate() {
+        assert_eq!(
+            records[node].result(),
+            Ok(()),
+            "node {node} ({workers} workers)"
+        );
+        assert_eq!(got, &expect, "node {node} ({workers} workers)");
+    }
+    // The faults actually landed where the plan aimed them.
+    assert_eq!(c.node_stats(3).rx_buffers_shrunk, 2, "({workers} workers)");
+    Observables {
+        results,
+        events_executed: c.sim.events_executed(),
+        final_time: c.sim.now(),
+        state_digests: c.sim.state_digests(),
+    }
+}
+
+#[test]
+fn overloaded_parallel_run_matches_sequential() {
+    let golden = overloaded_observables(1);
+    for workers in [2, 4] {
+        assert_eq!(
+            overloaded_observables(workers),
+            golden,
+            "{workers}-worker overloaded run diverged from sequential"
+        );
+    }
+}
+
+/// FNV-1a over all ranks' result buffers.
+#[cfg(feature = "race-detect")]
+fn fnv(buffers: &[Vec<u8>]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for buf in buffers {
+        for &b in buf {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// The race-detector acceptance bar extends to the parallel engine: the
+/// seeded allreduce's *data* must survive a deliberately permuted
+/// same-timestamp delivery order at every worker count. A merge rule that
+/// secretly depended on thread interleaving instead of the documented
+/// `(time, seq, source partition)` key would be caught here.
+#[cfg(feature = "race-detect")]
+#[test]
+fn parallel_result_survives_permuted_tie_order() {
+    let run = |workers: usize, salt: Option<u64>| {
+        let n = 4;
+        let count = 2048u64;
+        let mut c = AcclCluster::build(ClusterConfig::coyote_rdma(n).with_workers(workers));
+        if let Some(s) = salt {
+            c.sim.permute_tie_order(s);
+        }
+        let mut specs = Vec::new();
+        let mut dsts = Vec::new();
+        for node in 0..n {
+            let src = c.alloc(node, BufLoc::Host, count * 4);
+            let dst = c.alloc(node, BufLoc::Host, count * 4);
+            c.write(&src, &pattern(node, count));
+            specs.push(
+                CollSpec::new(CollOp::AllReduce, count, DType::I32)
+                    .src(src)
+                    .dst(dst),
+            );
+            dsts.push(dst);
+        }
+        c.host_collective(specs);
+        let results: Vec<Vec<u8>> = dsts.iter().map(|d| c.read(d)).collect();
+        let expect = summed(n, count);
+        for (node, got) in results.iter().enumerate() {
+            assert_eq!(
+                got, &expect,
+                "node {node} ({workers} workers, salt {salt:?})"
+            );
+        }
+        fnv(&results)
+    };
+    let golden = run(1, None);
+    for workers in [1, 2, 4] {
+        for salt in [1u64, 0x5eed, 0xdead_beef] {
+            assert_eq!(
+                run(workers, Some(salt)),
+                golden,
+                "data moved under permuted tie order ({workers} workers, salt {salt:#x})"
+            );
+        }
+    }
+}
+
+/// The tie-normalized canonical trace — which deliveries happened at which
+/// instant, order-insensitive within an instant — is identical between the
+/// sequential and the parallel engine. This is the strongest cross-mode
+/// statement: the two engines execute the *same tie-sets*, differing at
+/// most in the arbitrary order within one.
+#[cfg(feature = "race-detect")]
+#[test]
+fn tie_sets_match_between_sequential_and_parallel() {
+    let canon = |workers: usize| {
+        let n = 4;
+        let count = 1024u64;
+        let mut c = AcclCluster::build(ClusterConfig::coyote_rdma(n).with_workers(workers));
+        c.sim.enable_tie_recording();
+        let mut specs = Vec::new();
+        for node in 0..n {
+            let src = c.alloc(node, BufLoc::Host, count * 4);
+            let dst = c.alloc(node, BufLoc::Host, count * 4);
+            c.write(&src, &pattern(node, count));
+            specs.push(
+                CollSpec::new(CollOp::AllReduce, count, DType::I32)
+                    .src(src)
+                    .dst(dst),
+            );
+        }
+        c.host_collective(specs);
+        c.sim.tie_trace().expect("tie recording enabled")
+    };
+    let golden = canon(1);
+    for workers in [2, 4] {
+        assert_eq!(
+            canon(workers).digest(),
+            golden.digest(),
+            "{workers}-worker tie-sets diverged from sequential"
+        );
+    }
+}
+
+/// The span *population* — what work was traced, how often, on which
+/// component — is identical between sequential and parallel runs. (The
+/// record *order* of same-instant spans from different partitions may
+/// differ, which is exactly what `span_canon_digest` quotients out; the
+/// non-canonical digest is still required to be worker-count-invariant
+/// among parallel runs.)
+#[cfg(feature = "trace")]
+#[test]
+fn span_population_matches_sequential_at_every_worker_count() {
+    use accl_sim::trace::span_canon_digest;
+    let spans = |workers: usize| {
+        let n = 4;
+        let count = 1024u64;
+        let mut c = AcclCluster::build(ClusterConfig::coyote_rdma(n).with_workers(workers));
+        c.enable_tracing(1 << 20);
+        let mut specs = Vec::new();
+        for node in 0..n {
+            let src = c.alloc(node, BufLoc::Device, count * 4);
+            let dst = c.alloc(node, BufLoc::Device, count * 4);
+            c.write(&src, &pattern(node, count));
+            specs.push(
+                CollSpec::new(CollOp::AllReduce, count, DType::I32)
+                    .src(src)
+                    .dst(dst),
+            );
+        }
+        c.host_collective(specs);
+        assert_eq!(c.sim.spans_dropped(), 0, "ring must hold the whole run");
+        c.trace_events()
+    };
+    let golden = span_canon_digest(&spans(1));
+    for workers in [2, 4, 8] {
+        assert_eq!(
+            span_canon_digest(&spans(workers)),
+            golden,
+            "{workers}-worker span population diverged from sequential"
+        );
+    }
+}

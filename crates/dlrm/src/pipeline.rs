@@ -116,8 +116,21 @@ impl PipelineResult {
 ///
 /// Panics if any transported message deviates from the reference trace —
 /// the run doubles as an end-to-end data-integrity check.
-#[allow(clippy::needless_range_loop)] // node indices address several parallel arrays
 pub fn run_pipeline(model: &DlrmModel, timing: DlrmTiming, inferences: usize) -> PipelineResult {
+    run_pipeline_with_workers(model, timing, inferences, 1)
+}
+
+/// [`run_pipeline`] on `workers` simulator threads. Completion times,
+/// verified messages and every data assertion are identical at any worker
+/// count — this is the mixed send/recv/compute workload the parallel
+/// determinism suite pins against the sequential engine.
+#[allow(clippy::needless_range_loop)] // node indices address several parallel arrays
+pub fn run_pipeline_with_workers(
+    model: &DlrmModel,
+    timing: DlrmTiming,
+    inferences: usize,
+    workers: usize,
+) -> PipelineResult {
     let cfg = model.cfg;
     assert_eq!(cfg.fc1_row_groups, 2, "Fig. 15 mapping uses two row groups");
     let cols = cfg.fc1_col_groups;
@@ -144,7 +157,7 @@ pub fn run_pipeline(model: &DlrmModel, timing: DlrmTiming, inferences: usize) ->
             rx_buf_bytes: 32 << 10,
             ..CcloConfig::default()
         },
-        ..ClusterConfig::xrt_tcp(nodes)
+        ..ClusterConfig::xrt_tcp(nodes).with_workers(workers)
     });
 
     let send = |to: usize, elems: usize, t: u64| {
@@ -295,6 +308,26 @@ mod tests {
         assert!(r.done_at.windows(2).all(|w| w[0] < w[1]));
         // x, pa per inference on 4 nodes + chain on 3 + fc1/fc2 hops.
         assert!(r.verified_messages >= 3 * (2 * 4 + 3 + 2));
+    }
+
+    /// The parallel-engine golden gate on the DLRM workload: a mixed
+    /// send/recv/compute pipeline across 10 nodes completes at exactly the
+    /// same instants, with exactly the same verified message stream, at
+    /// any simulator worker count. (Every payload assertion inside
+    /// `run_pipeline` re-runs too — a merge bug that scrambled message
+    /// order would panic before the comparison.)
+    #[test]
+    fn pipeline_is_worker_count_invariant() {
+        let m = small_model();
+        let golden = run_pipeline_with_workers(&m, DlrmTiming::default(), 3, 1);
+        for workers in [2, 4, 8] {
+            let r = run_pipeline_with_workers(&m, DlrmTiming::default(), 3, workers);
+            assert_eq!(
+                r.done_at, golden.done_at,
+                "{workers}-worker completion times diverged from sequential"
+            );
+            assert_eq!(r.verified_messages, golden.verified_messages);
+        }
     }
 
     #[test]

@@ -116,6 +116,19 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Folds `other`'s observations into this histogram, as if every one
+    /// of them had been observed here. Used to aggregate per-shard
+    /// statistics after a parallel run.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, n) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Non-empty buckets as `(bucket floor, count)`, ascending.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -234,6 +247,27 @@ impl Stats {
     /// Iterates over all series names in key order.
     pub fn series_keys(&self) -> impl Iterator<Item = &str> {
         self.series.keys().map(String::as_str)
+    }
+
+    /// Folds another registry into this one: counters add, gauges take
+    /// `other`'s value (last write wins, as if `other`'s writes happened
+    /// after ours), histograms merge observation-wise, series append.
+    /// Used to aggregate per-shard registries after a parallel run;
+    /// callers merge shards in partition order so the result is
+    /// deterministic and independent of the worker count.
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, s) in &other.series {
+            self.series.entry(k.clone()).or_default().extend(s);
+        }
     }
 
     /// Clears all counters, gauges, histograms and series (e.g. between
