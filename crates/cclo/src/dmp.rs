@@ -532,6 +532,23 @@ impl Component for Dmp {
             other => panic!("DMP has no port {other:?}"),
         }
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        // Completion totals, stream-buffer occupancy, in-flight
+        // instruction population, and both datapath horizons.
+        let mut h = 0u64;
+        for v in [
+            self.instrs_completed,
+            self.stream_buf_len,
+            self.inflight.len() as u64,
+            self.stream_waiters.len() as u64,
+            self.tx_path.next_free().as_ps(),
+            self.local_path.next_free().as_ps(),
+        ] {
+            accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        }
+        Some(h)
+    }
 }
 
 #[cfg(test)]

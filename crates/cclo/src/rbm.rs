@@ -516,6 +516,25 @@ impl Component for Rbm {
         }
         Some(st)
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        // Pool accounting (free/shrunk/debt), backpressure totals, and the
+        // message/queue populations (BTreeMap order is canonical).
+        let mut h = 0u64;
+        for v in [
+            u64::from(self.free_bufs),
+            u64::from(self.shrunk),
+            u64::from(self.shrink_debt),
+            self.exhaustion_events,
+            self.msgs.len() as u64,
+            self.waiting_admission.len() as u64,
+            self.write_pipe.next_free().as_ps(),
+            self.read_pipe.next_free().as_ps(),
+        ] {
+            accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        }
+        Some(h)
+    }
 }
 
 #[cfg(test)]

@@ -217,6 +217,14 @@ impl Component for RxSys {
             other => panic!("Rx system has no port {other:?}"),
         }
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        let mut h = 0u64;
+        for v in [self.messages_parsed, self.inflight.len() as u64] {
+            accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        }
+        Some(h)
+    }
 }
 
 #[cfg(test)]

@@ -435,6 +435,28 @@ impl Component for TxSys {
             other => panic!("Tx system has no port {other:?}"),
         }
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        // Job totals, the head job's progress, and every session's Tx
+        // sequence number (part of the message signature contract).
+        let mut h = 0u64;
+        let mut fold = |v: u64| accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        for v in [
+            self.jobs_completed,
+            self.session_errors,
+            self.failovers,
+            self.head_sent,
+            u64::from(self.head_started),
+            self.jobs.len() as u64,
+        ] {
+            fold(v);
+        }
+        for (s, seq) in &self.seq {
+            fold(u64::from(s.0));
+            fold(*seq);
+        }
+        Some(h)
+    }
 }
 
 #[cfg(test)]

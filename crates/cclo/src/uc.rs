@@ -871,6 +871,27 @@ impl Component for Uc {
             capacity: self.cfg.max_pending_calls.map(u64::from),
         }]))
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        // Call lifecycle totals plus admission/abort accounting: the
+        // control plane's entire externally-visible trajectory.
+        let mut h = 0u64;
+        for v in [
+            self.calls_completed,
+            self.calls_aborted,
+            self.calls_rejected,
+            self.orphans_reaped,
+            self.failovers_observed,
+            self.rx_exhausted_events,
+            self.next_ticket,
+            self.call_seq,
+            self.queue.len() as u64,
+            self.orphans.len() as u64,
+        ] {
+            accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        }
+        Some(h)
+    }
 }
 
 #[cfg(test)]

@@ -776,6 +776,28 @@ impl Component for HostDriver {
             capacity: self.max_queued_calls.map(u64::from),
         }]))
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        // Call outcomes, retry/shed accounting, and the exact busy-backoff
+        // schedule (already compared by the determinism golden tests).
+        let mut h = 0u64;
+        let mut fold = |v: u64| accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        for v in [
+            self.calls_completed,
+            self.calls_failed,
+            self.retries_attempted,
+            self.busy_retries,
+            self.calls_shed,
+            self.next_cclo_ticket,
+            self.queue.len() as u64,
+        ] {
+            fold(v);
+        }
+        for d in &self.busy_backoffs {
+            fold(d.as_ps());
+        }
+        Some(h)
+    }
 }
 
 #[cfg(test)]

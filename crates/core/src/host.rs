@@ -148,6 +148,21 @@ impl Component for HostProc {
             other => panic!("host process has no port {other:?}"),
         }
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        // Program position plus each completed op's start/finish instants
+        // (the records are in program order, which is deterministic).
+        let mut h = 0u64;
+        let mut fold = |v: u64| accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        fold(self.index as u64);
+        fold(u64::from(self.running));
+        fold(self.finished_at.map_or(0, |t| t.as_ps()));
+        for r in &self.records {
+            fold(r.started.as_ps());
+            fold(r.finished.as_ps());
+        }
+        Some(h)
+    }
 }
 
 /// Fluent builder for host programs, mirroring the MPI-like API surface.

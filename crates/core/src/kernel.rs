@@ -254,4 +254,28 @@ impl Component for KernelProc {
             other => panic!("kernel has no port {other:?}"),
         }
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        // Stream position, op progress, and a content checksum of every
+        // received message keyed by ticket (BTreeMap order is canonical).
+        let mut h = 0u64;
+        let mut fold = |v: u64| accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        for v in [
+            self.index as u64,
+            u64::from(self.outstanding),
+            self.received_bytes,
+            self.issued_ticket,
+            u64::from(self.running),
+            self.finished_at.map_or(0, |t| t.as_ps()),
+        ] {
+            fold(v);
+        }
+        for (ticket, &idx) in &self.received_index {
+            let mut m = 0u64;
+            accl_sim::digest::fnv_fold(&mut m, &ticket.to_le_bytes());
+            accl_sim::digest::fnv_fold(&mut m, &self.received_msgs[idx].1);
+            h = h.wrapping_add(m);
+        }
+        Some(h)
+    }
 }

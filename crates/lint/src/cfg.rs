@@ -1,0 +1,353 @@
+//! Path-sensitive flow analysis over the statement tree of [`crate::parse`].
+//!
+//! The engine is a small abstract interpreter: it walks a function body
+//! maintaining a *set* of path states, each tracking the multiset of
+//! obligations (acquired-but-unreleased resources) open along that path.
+//! Branch constructs (`if`, `match`) fork the state set and union the
+//! results; loops run to a two-iteration fixpoint (the lattice only moves
+//! by key insertions/removals, so one extra pass reaches all reachable
+//! balances this analysis distinguishes); `return` nodes and the function
+//! end are exit points where every live path must have discharged its
+//! obligations.
+//!
+//! Rules drive the engine by supplying a *leaf scanner* that turns a
+//! straight-line token run into a sequence of [`Event`]s. The engine knows
+//! nothing about spans or credits — only open/close/escape/diverge.
+//!
+//! This is equivalent to a CFG walk for the reducible control flow the
+//! parser recovers; irreducible flow (`goto` does not exist in Rust) and
+//! early exits from closures are out of scope.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parse::Node;
+
+/// One abstract effect of a straight-line token run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A resource identified by `key` is acquired; `note` describes it for
+    /// diagnostics (e.g. the span name or resource class).
+    Open {
+        key: String,
+        line: u32,
+        note: String,
+    },
+    /// The resource `key` is released.
+    Close { key: String },
+    /// The handle for `key` escapes the function (stored, passed on,
+    /// returned): the pairing obligation transfers to the new owner and
+    /// this analysis stops tracking it.
+    Escape { key: String },
+    /// The path diverges (`panic!`, `unreachable!`): no obligations are
+    /// checked past this point.
+    Diverge,
+}
+
+/// An obligation that some path can exit the function without discharging.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Leak {
+    /// Key of the leaked resource.
+    pub key: String,
+    /// Line where it was acquired.
+    pub line: u32,
+    /// Description supplied at the open site.
+    pub note: String,
+    /// Line of the exit (`return` or end of function) that leaks it.
+    pub exit_line: u32,
+}
+
+/// One path's open obligations. `dead` paths (after `return`/`panic!`)
+/// carry no further checks.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+struct PathState {
+    open: BTreeMap<String, (u32, String)>,
+    dead: bool,
+}
+
+/// Cap on distinct path states tracked per function: beyond this the
+/// analysis merges rather than forks, trading precision for termination
+/// on pathological match ladders.
+const MAX_STATES: usize = 48;
+
+/// Analyzes one function body. `scan` maps each leaf token run to events;
+/// `end_line` is used as the exit line for fall-off-the-end paths.
+pub fn analyze(
+    body: &[Node],
+    end_line: u32,
+    scan: &mut dyn FnMut(&Node) -> Vec<Event>,
+) -> Vec<Leak> {
+    let mut leaks = BTreeSet::new();
+    let init = vec![PathState::default()];
+    let finals = walk(body, init, scan, &mut leaks);
+    for st in finals {
+        if st.dead {
+            continue;
+        }
+        for (key, (line, note)) in &st.open {
+            leaks.insert(Leak {
+                key: key.clone(),
+                line: *line,
+                note: note.clone(),
+                exit_line: end_line,
+            });
+        }
+    }
+    leaks.into_iter().collect()
+}
+
+/// Seeds the analysis with an already-open obligation (used for rules of
+/// the form "everything that enters this block must release X").
+pub fn analyze_with_seed(
+    body: &[Node],
+    end_line: u32,
+    seed_key: &str,
+    seed_line: u32,
+    seed_note: &str,
+    scan: &mut dyn FnMut(&Node) -> Vec<Event>,
+) -> Vec<Leak> {
+    let mut leaks = BTreeSet::new();
+    let mut st = PathState::default();
+    st.open
+        .insert(seed_key.to_string(), (seed_line, seed_note.to_string()));
+    let finals = walk(body, vec![st], scan, &mut leaks);
+    for st in finals {
+        if st.dead {
+            continue;
+        }
+        for (key, (line, note)) in &st.open {
+            leaks.insert(Leak {
+                key: key.clone(),
+                line: *line,
+                note: note.clone(),
+                exit_line: end_line,
+            });
+        }
+    }
+    leaks.into_iter().collect()
+}
+
+fn apply_events(st: &mut PathState, events: &[Event]) {
+    for ev in events {
+        if st.dead {
+            return;
+        }
+        match ev {
+            Event::Open { key, line, note } => {
+                st.open.insert(key.clone(), (*line, note.clone()));
+            }
+            Event::Close { key } | Event::Escape { key } => {
+                st.open.remove(key);
+            }
+            Event::Diverge => st.dead = true,
+        }
+    }
+}
+
+fn dedup(states: Vec<PathState>) -> Vec<PathState> {
+    let set: BTreeSet<PathState> = states.into_iter().collect();
+    let mut v: Vec<PathState> = set.into_iter().collect();
+    if v.len() > MAX_STATES {
+        // Merge the overflow into the first state, unioning obligations:
+        // over-approximates (may report a leak a real path pair avoids)
+        // but never drops one.
+        let mut merged = v[0].clone();
+        for st in v.drain(MAX_STATES - 1..) {
+            for (k, val) in st.open {
+                merged.open.entry(k).or_insert(val);
+            }
+            merged.dead &= st.dead;
+        }
+        v.push(merged);
+    }
+    v
+}
+
+fn walk(
+    nodes: &[Node],
+    mut states: Vec<PathState>,
+    scan: &mut dyn FnMut(&Node) -> Vec<Event>,
+    leaks: &mut BTreeSet<Leak>,
+) -> Vec<PathState> {
+    for node in nodes {
+        match node {
+            Node::Leaf(_) => {
+                let events = scan(node);
+                for st in &mut states {
+                    apply_events(st, &events);
+                }
+            }
+            Node::If {
+                cond: _, then, els, ..
+            } => {
+                // The scanner also sees the condition via the whole node.
+                let cond_events = scan(node);
+                for st in &mut states {
+                    apply_events(st, &cond_events);
+                }
+                let then_states = walk(then, states.clone(), scan, leaks);
+                let else_states = match els {
+                    Some(e) => walk(e, states.clone(), scan, leaks),
+                    None => states.clone(),
+                };
+                states = dedup(then_states.into_iter().chain(else_states).collect());
+            }
+            Node::Match { arms, .. } => {
+                let scrut_events = scan(node);
+                for st in &mut states {
+                    apply_events(st, &scrut_events);
+                }
+                let mut merged = Vec::new();
+                for arm in arms {
+                    merged.extend(walk(&arm.body, states.clone(), scan, leaks));
+                }
+                if arms.is_empty() {
+                    merged = states;
+                }
+                states = dedup(merged);
+            }
+            Node::Loop { body, .. } => {
+                let head_events = scan(node);
+                for st in &mut states {
+                    apply_events(st, &head_events);
+                }
+                // Zero or more iterations: two passes reach every balance
+                // this lattice distinguishes.
+                let one = walk(body, states.clone(), scan, leaks);
+                let two = walk(body, one.clone(), scan, leaks);
+                states = dedup(states.into_iter().chain(one).chain(two).collect());
+            }
+            Node::Block(inner) => {
+                states = walk(inner, states, scan, leaks);
+            }
+            Node::Return { line, .. } => {
+                let events = scan(node);
+                for st in &mut states {
+                    apply_events(st, &events);
+                    if st.dead {
+                        continue;
+                    }
+                    for (key, (l, note)) in &st.open {
+                        leaks.insert(Leak {
+                            key: key.clone(),
+                            line: *l,
+                            note: note.clone(),
+                            exit_line: *line,
+                        });
+                    }
+                    st.dead = true;
+                }
+            }
+        }
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, TokKind};
+    use crate::parse::parse_block;
+
+    /// Toy scanner: `acq(name)` opens, `rel(name)` closes, `esc(name)`
+    /// escapes, `boom` diverges.
+    fn scan(node: &Node) -> Vec<Event> {
+        let toks = match node {
+            Node::Leaf(t) => t.clone(),
+            Node::Return { toks, .. } => toks.clone(),
+            _ => return Vec::new(),
+        };
+        let mut evs = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            let t = &toks[i];
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "acq" | "rel" | "esc" => {
+                        if let Some(arg) = toks.get(i + 2) {
+                            let key = arg.text.clone();
+                            match t.text.as_str() {
+                                "acq" => evs.push(Event::Open {
+                                    key,
+                                    line: t.line,
+                                    note: "r".into(),
+                                }),
+                                "rel" => evs.push(Event::Close { key }),
+                                _ => evs.push(Event::Escape { key }),
+                            }
+                            i += 3;
+                            continue;
+                        }
+                    }
+                    "boom" => evs.push(Event::Diverge),
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        evs
+    }
+
+    fn leaks_of(src: &str) -> Vec<Leak> {
+        let body = parse_block(&lex(src).0);
+        analyze(&body, 99, &mut scan)
+    }
+
+    #[test]
+    fn balanced_is_clean() {
+        assert!(leaks_of("acq(a); work(); rel(a);").is_empty());
+    }
+
+    #[test]
+    fn missing_release_leaks() {
+        let l = leaks_of("acq(a); work();");
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].key, "a");
+    }
+
+    #[test]
+    fn one_branch_missing_release_leaks() {
+        let l = leaks_of("acq(a); if c { rel(a); } else { other(); }");
+        assert_eq!(l.len(), 1, "{l:?}");
+        // And releasing on both branches is clean.
+        assert!(leaks_of("acq(a); if c { rel(a); } else { rel(a); }").is_empty());
+    }
+
+    #[test]
+    fn early_return_before_release_leaks_at_return() {
+        let l = leaks_of("acq(a); if c { return; } rel(a);");
+        assert_eq!(l.len(), 1);
+        assert!(l[0].exit_line > 0);
+    }
+
+    #[test]
+    fn escape_discharges() {
+        assert!(leaks_of("acq(a); esc(a);").is_empty());
+    }
+
+    #[test]
+    fn diverging_path_is_exempt() {
+        assert!(leaks_of("acq(a); if c { boom; } else { rel(a); }").is_empty());
+    }
+
+    #[test]
+    fn match_arm_missing_release_leaks() {
+        let l = leaks_of("acq(a); match x { 0 => rel(a), _ => other(), }");
+        assert_eq!(l.len(), 1);
+        assert!(leaks_of("acq(a); match x { 0 => rel(a), _ => rel(a), }").is_empty());
+    }
+
+    #[test]
+    fn loop_balanced_is_clean_and_net_acquire_leaks() {
+        assert!(leaks_of("while c { acq(a); rel(a); }").is_empty());
+        assert_eq!(leaks_of("while c { acq(a); }").len(), 1);
+    }
+
+    #[test]
+    fn seeded_obligation_must_be_discharged() {
+        let body = parse_block(&lex("if c { rel(k); }").0);
+        let l = analyze_with_seed(&body, 9, "k", 1, "credit", &mut scan);
+        assert_eq!(l.len(), 1, "else-path never releases: {l:?}");
+        let body = parse_block(&lex("rel(k);").0);
+        assert!(analyze_with_seed(&body, 9, "k", 1, "credit", &mut scan).is_empty());
+    }
+}

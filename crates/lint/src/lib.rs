@@ -43,7 +43,10 @@
 //! An annotation with the wrong rule name or an empty reason does not
 //! suppress anything (and is itself reported), so exceptions stay audited.
 
+pub mod cfg;
 pub mod lexer;
+pub mod parse;
+pub mod rules;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -138,11 +141,60 @@ const FLOAT_HINTS: &[&str] = &[
     "f32", "f64", "powf", "powi", "sqrt", "round", "ceil", "floor", "exp", "ln", "log2", "log10",
 ];
 
+/// An `allow_nondeterminism` annotation that no longer suppresses any
+/// finding — dead weight that hides real audit state (reported by the
+/// CLI's `--audit-allows` mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleAllow {
+    /// Path as given to the linter.
+    pub file: String,
+    /// 1-based line of the annotation comment.
+    pub line: u32,
+    /// Rule name the annotation claims to allow.
+    pub rule: String,
+}
+
+impl fmt::Display for StaleAllow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: stale allow_nondeterminism({}) — suppresses no finding; remove it",
+            self.file, self.line, self.rule
+        )
+    }
+}
+
+/// Infers the crate name from a workspace-relative label such as
+/// `crates/net/src/switch.rs` (used by the layering rule).
+fn crate_of_label(file: &str) -> Option<&str> {
+    let norm = file.strip_prefix("./").unwrap_or(file);
+    let at = norm.find("crates/")?;
+    let rest = &norm[at + "crates/".len()..];
+    let end = rest.find('/')?;
+    Some(&rest[..end])
+}
+
 /// Lints one source file given as a string. `file` is only used to label
-/// diagnostics.
+/// diagnostics (and to infer the crate for the layering rule).
 pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
+    lint_source_full(file, src).0
+}
+
+/// Like [`lint_source`] but also returns the stale `allow_nondeterminism`
+/// annotations found in the file.
+pub fn lint_source_full(file: &str, src: &str) -> (Vec<Finding>, Vec<StaleAllow>) {
     let (toks, comments) = lex(src);
-    let toks = strip_cfg_test(&toks);
+    let (toks, skipped) = strip_cfg_test_with_spans(&toks);
+    // Comments inside `#[cfg(test)]` items never match a finding (the
+    // tokens are stripped), so their allows must not be audited as stale.
+    let comments: Vec<Comment> = comments
+        .into_iter()
+        .filter(|c| {
+            !skipped
+                .iter()
+                .any(|(lo, hi)| c.line >= *lo && c.line <= *hi)
+        })
+        .collect();
     let mut findings = Vec::new();
 
     let tracked = collect_unordered_names(&toks);
@@ -322,8 +374,14 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
         i += 1;
     }
 
-    apply_allows(file, &mut findings, &comments);
-    findings
+    // Parser-backed rule families (resource-pairing, digest-coverage,
+    // exhaustive-handling, layering, time-safety) run over the structural
+    // view of the same stripped token stream.
+    let parsed = parse::parse_file(&toks);
+    findings.extend(rules::run(file, crate_of_label(file), &toks, &parsed));
+
+    let stale = apply_allows(file, &mut findings, &comments);
+    (findings, stale)
 }
 
 /// Returns true when `toks[i]` is directly preceded by a `.`.
@@ -402,11 +460,20 @@ fn float_in_args(toks: &[Token], start: usize) -> Option<String> {
 /// Removes token ranges covered by `#[cfg(test)]`: the attribute plus the
 /// following item (up to the matching `}` of its first brace block, or the
 /// next `;` for brace-less items).
+#[allow(dead_code)]
 fn strip_cfg_test(toks: &[Token]) -> Vec<Token> {
+    strip_cfg_test_with_spans(toks).0
+}
+
+/// Like [`strip_cfg_test`], also returning the inclusive line spans of the
+/// stripped regions (so comment-based allow auditing can skip them).
+fn strip_cfg_test_with_spans(toks: &[Token]) -> (Vec<Token>, Vec<(u32, u32)>) {
     let mut out = Vec::with_capacity(toks.len());
+    let mut spans = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {
         if is_cfg_test_at(toks, i) {
+            let span_lo = toks[i].line;
             // Skip the attribute itself: `# [ cfg ( test ) ]` = 7 tokens
             // (with `(test)` possibly longer, e.g. `cfg(all(test, ...))`);
             // find the closing `]`.
@@ -466,13 +533,18 @@ fn strip_cfg_test(toks: &[Token]) -> Vec<Token> {
                 }
                 j += 1;
             }
+            let span_hi = toks
+                .get(j.saturating_sub(1))
+                .map(|t| t.line)
+                .unwrap_or(span_lo);
+            spans.push((span_lo, span_hi));
             i = j;
             continue;
         }
         out.push(toks[i].clone());
         i += 1;
     }
-    out
+    (out, spans)
 }
 
 /// Matches `# [ cfg ( test ) ]` or `# [ cfg ( all|any ( … test … ) ) ]`
@@ -502,8 +574,9 @@ fn is_cfg_test_at(toks: &[Token], i: usize) -> bool {
 
 /// Suppresses findings covered by a valid `allow_nondeterminism` comment on
 /// the same line or the line directly above. Invalid annotations (missing
-/// rule or reason) are surfaced as findings themselves.
-fn apply_allows(file: &str, findings: &mut Vec<Finding>, comments: &[Comment]) {
+/// rule or reason) are surfaced as findings themselves. Returns the allows
+/// that matched no finding — stale audits.
+fn apply_allows(file: &str, findings: &mut Vec<Finding>, comments: &[Comment]) -> Vec<StaleAllow> {
     let mut allows: Vec<(u32, String, String)> = Vec::new(); // (line, rule, reason)
     let mut bad: Vec<Finding> = Vec::new();
     for c in comments {
@@ -539,14 +612,28 @@ fn apply_allows(file: &str, findings: &mut Vec<Finding>, comments: &[Comment]) {
             }),
         }
     }
+    let mut used = vec![false; allows.len()];
     for f in findings.iter_mut() {
-        if let Some((_, _, reason)) = allows.iter().find(|(line, rule, _)| {
-            (*line == f.line || *line + 1 == f.line) && (rule == f.rule || rule == "*")
-        }) {
+        if let Some((idx, (_, _, reason))) =
+            allows.iter().enumerate().find(|(_, (line, rule, _))| {
+                (*line == f.line || *line + 1 == f.line) && (rule == f.rule || rule == "*")
+            })
+        {
             f.allowed = Some(reason.clone());
+            used[idx] = true;
         }
     }
     findings.extend(bad);
+    allows
+        .into_iter()
+        .zip(used)
+        .filter(|(_, u)| !u)
+        .map(|((line, rule, _), _)| StaleAllow {
+            file: file.into(),
+            line,
+            rule,
+        })
+        .collect()
 }
 
 /// Recursively collects `.rs` files under `dir`, in sorted path order.
@@ -570,7 +657,16 @@ fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 /// Lints the `src/` trees of every crate in [`LINTED_CRATES`] under
 /// `workspace_root`. Returns all findings (allowed and not) in path order.
 pub fn lint_workspace(workspace_root: &Path) -> std::io::Result<Vec<Finding>> {
+    lint_workspace_full(workspace_root).map(|(f, _)| f)
+}
+
+/// Like [`lint_workspace`] but also returns every stale
+/// `allow_nondeterminism` annotation across the linted crates.
+pub fn lint_workspace_full(
+    workspace_root: &Path,
+) -> std::io::Result<(Vec<Finding>, Vec<StaleAllow>)> {
     let mut findings = Vec::new();
+    let mut stale = Vec::new();
     for krate in LINTED_CRATES {
         let src_dir = workspace_root.join("crates").join(krate).join("src");
         if !src_dir.is_dir() {
@@ -585,8 +681,10 @@ pub fn lint_workspace(workspace_root: &Path) -> std::io::Result<Vec<Finding>> {
                 .unwrap_or(&path)
                 .display()
                 .to_string();
-            findings.extend(lint_source(&label, &src));
+            let (f, s) = lint_source_full(&label, &src);
+            findings.extend(f);
+            stale.extend(s);
         }
     }
-    Ok(findings)
+    Ok((findings, stale))
 }

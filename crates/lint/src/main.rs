@@ -1,18 +1,111 @@
-//! CLI entry point: `cargo run -p accl-lint [workspace-root]`.
+//! CLI entry point: `cargo run -p accl-lint -- [--workspace] [--json]
+//! [--audit-allows] [workspace-root]`.
 //!
-//! Lints the sim-visible crates and exits nonzero on any unannotated
-//! finding — the CI determinism gate.
+//! Lints the sim-visible crates and exits with a CI-friendly code:
+//!
+//! * `0` — clean (no unaudited findings; in `--audit-allows` mode, also no
+//!   stale annotations)
+//! * `1` — findings (or stale allows under `--audit-allows`)
+//! * `2` — internal error (cannot walk/read the workspace, bad usage)
+//!
+//! `--json` switches stdout to one JSON object per finding (a stream CI can
+//! archive as an artifact); the human summary moves to stderr.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use accl_lint::{Finding, StaleAllow};
+
+struct Opts {
+    root: Option<PathBuf>,
+    json: bool,
+    audit_allows: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        json: false,
+        audit_allows: false,
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            // `--workspace` is the (only) default mode; accepted for
+            // explicitness in CI invocations.
+            "--workspace" => {}
+            "--json" => opts.json = true,
+            "--audit-allows" => opts.audit_allows = true,
+            "--help" | "-h" => {
+                return Err("usage: accl-lint [--workspace] [--json] [--audit-allows] \
+                            [workspace-root]"
+                    .into());
+            }
+            s if s.starts_with('-') => return Err(format!("unknown flag `{s}`")),
+            path => {
+                if opts.root.replace(PathBuf::from(path)).is_some() {
+                    return Err("more than one workspace root given".into());
+                }
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// Minimal JSON string escaping (the only non-trivial values are messages
+/// and paths; the crate is dependency-free by construction).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    let allowed = match &f.allowed {
+        Some(r) => format!("\"{}\"", json_escape(r)),
+        None => "null".into(),
+    };
+    format!(
+        "{{\"kind\":\"finding\",\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\
+         \"severity\":\"{}\",\"message\":\"{}\",\"allowed\":{}}}",
+        json_escape(&f.file),
+        f.line,
+        f.rule,
+        f.severity,
+        json_escape(&f.message),
+        allowed
+    )
+}
+
+fn stale_json(s: &StaleAllow) -> String {
+    format!(
+        "{{\"kind\":\"stale-allow\",\"file\":\"{}\",\"line\":{},\"rule\":\"{}\"}}",
+        json_escape(&s.file),
+        s.line,
+        json_escape(&s.rule)
+    )
+}
+
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(find_workspace_root);
-    let findings = match accl_lint::lint_workspace(&root) {
-        Ok(f) => f,
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("accl-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = opts.root.clone().unwrap_or_else(find_workspace_root);
+    let (findings, stale) = match accl_lint::lint_workspace_full(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!(
                 "accl-lint: cannot walk workspace at {}: {e}",
@@ -24,23 +117,48 @@ fn main() -> ExitCode {
     let mut gating = 0usize;
     let mut allowed = 0usize;
     for f in &findings {
-        println!("{f}");
+        if opts.json {
+            println!("{}", finding_json(f));
+        } else {
+            println!("{f}");
+        }
         if f.allowed.is_some() {
             allowed += 1;
         } else {
             gating += 1;
         }
     }
-    println!(
-        "accl-lint: {gating} finding(s), {allowed} audited exception(s) across {} crate(s)",
+    let mut stale_gating = 0usize;
+    if opts.audit_allows {
+        for s in &stale {
+            if opts.json {
+                println!("{}", stale_json(s));
+            } else {
+                println!("{s}");
+            }
+            stale_gating += 1;
+        }
+    }
+    let summary = format!(
+        "accl-lint: {gating} finding(s), {allowed} audited exception(s){} across {} crate(s)",
+        if opts.audit_allows {
+            format!(", {stale_gating} stale allow(s)")
+        } else {
+            String::new()
+        },
         accl_lint::LINTED_CRATES.len()
     );
-    if gating > 0 {
+    if opts.json {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
+    if gating > 0 || stale_gating > 0 {
         eprintln!(
             "accl-lint: determinism gate FAILED — fix the findings above or annotate audited \
              exceptions with `// allow_nondeterminism(rule): reason`"
         );
-        ExitCode::FAILURE
+        ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
     }

@@ -1,0 +1,642 @@
+//! A lightweight structural parser over the lexer's token stream.
+//!
+//! The flow-sensitive rules need more shape than a flat token scan gives:
+//! which function a token belongs to, which `impl` block a function lives
+//! in, and where control flow branches and rejoins. This module recovers
+//! exactly that — items, `impl` blocks, functions, and a statement tree
+//! with explicit `if`/`match`/loop/`return` nodes — without attempting a
+//! full Rust grammar (the environment is offline, so `syn` is not an
+//! option). Expressions stay as raw token runs; the tree only materializes
+//! the constructs the analyses in [`crate::cfg`] and [`crate::rules`]
+//! branch on.
+//!
+//! Precision notes (deliberate approximations):
+//!
+//! - Struct literals and closure bodies at statement level parse as
+//!   anonymous [`Node::Block`]s; inside argument lists they stay in their
+//!   statement's leaf. Both are analyzed as straight-line code, which is
+//!   sound for the pairing rules (a release inside either still counts).
+//! - `else if` chains parse as an `else` branch containing a nested `If`.
+//! - Nested `fn` items inside function bodies are not split out.
+
+use crate::lexer::{TokKind, Token};
+
+/// One parsed source file: its items, flattened through inline modules.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Free functions (including those inside inline `mod`s).
+    pub fns: Vec<FnDef>,
+    /// `impl` blocks with their methods.
+    pub impls: Vec<ImplDef>,
+}
+
+impl ParsedFile {
+    /// All functions in the file: free functions and methods, with the
+    /// surrounding impl context (trait, type) when there is one.
+    pub fn all_fns(&self) -> impl Iterator<Item = (Option<&ImplDef>, &FnDef)> {
+        self.fns.iter().map(|f| (None, f)).chain(
+            self.impls
+                .iter()
+                .flat_map(|i| i.fns.iter().map(move |f| (Some(i), f))),
+        )
+    }
+}
+
+/// An `impl` block: `impl Trait for Type { .. }` or `impl Type { .. }`.
+#[derive(Debug)]
+pub struct ImplDef {
+    /// The trait being implemented (last path segment), if any.
+    pub trait_name: Option<String>,
+    /// The implementing type (last path segment before generics).
+    pub type_name: String,
+    /// Line of the `impl` keyword.
+    pub line: u32,
+    /// Methods defined in the block.
+    pub fns: Vec<FnDef>,
+}
+
+/// A function definition with its parsed body.
+#[derive(Debug)]
+pub struct FnDef {
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Signature tokens between `fn` and the body `{` (args + return type).
+    pub sig: Vec<Token>,
+    /// The body as a statement tree.
+    pub body: Vec<Node>,
+}
+
+/// One node of the statement tree.
+#[derive(Debug)]
+pub enum Node {
+    /// A run of straight-line tokens (no control flow at this level).
+    Leaf(Vec<Token>),
+    /// `if cond { then } [else { els }]` (includes `if let`).
+    If {
+        line: u32,
+        cond: Vec<Token>,
+        then: Vec<Node>,
+        els: Option<Vec<Node>>,
+    },
+    /// `match scrutinee { arms }`.
+    Match {
+        line: u32,
+        scrutinee: Vec<Token>,
+        arms: Vec<Arm>,
+    },
+    /// `loop`/`while`/`for` body (the header tokens are in `head`).
+    Loop {
+        line: u32,
+        head: Vec<Token>,
+        body: Vec<Node>,
+    },
+    /// A bare/anonymous block: `unsafe { .. }`, struct-literal braces,
+    /// closure bodies.
+    Block(Vec<Node>),
+    /// `return expr;` (expr tokens, possibly empty).
+    Return { line: u32, toks: Vec<Token> },
+}
+
+/// One `match` arm: `pat [if guard] => body`.
+#[derive(Debug)]
+pub struct Arm {
+    pub line: u32,
+    /// Pattern tokens, including any `if` guard.
+    pub pat: Vec<Token>,
+    pub body: Vec<Node>,
+}
+
+/// Parses a token stream (already stripped of `#[cfg(test)]` items) into
+/// items. Unrecognized constructs are skipped, never fatal: the linter
+/// must degrade to fewer findings, not crash, on exotic syntax.
+pub fn parse_file(toks: &[Token]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    parse_items(toks, &mut out);
+    out
+}
+
+fn parse_items(toks: &[Token], out: &mut ParsedFile) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "fn" => {
+                if let Some((f, next)) = parse_fn(toks, i) {
+                    out.fns.push(f);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            "impl" => {
+                if let Some((im, next)) = parse_impl(toks, i) {
+                    out.impls.push(im);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            "mod" => {
+                // Inline module: recurse into its braces so nested items
+                // are collected too. `mod name;` has no body.
+                let mut j = i + 1;
+                while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].text == "{" {
+                    let end = match_brace(toks, j);
+                    parse_items(&toks[j + 1..end], out);
+                    i = end + 1;
+                } else {
+                    i = j + 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Parses `fn name … { body }` starting at the `fn` keyword. Returns the
+/// definition and the index one past the closing brace. Trait-method
+/// declarations without bodies (`fn f();`) return a body-less def.
+fn parse_fn(toks: &[Token], at: usize) -> Option<(FnDef, usize)> {
+    let name_tok = toks.get(at + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let mut j = at + 2;
+    // Scan to the body `{` or a terminating `;`, tracking () and <> depth
+    // so `where` clauses and generic bounds don't confuse us. A `{` at
+    // paren depth 0 begins the body.
+    let mut paren = 0i32;
+    let sig_start = j;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" => paren += 1,
+            ")" | "]" => paren -= 1,
+            ";" if paren == 0 => {
+                return Some((
+                    FnDef {
+                        name: name_tok.text.clone(),
+                        line: toks[at].line,
+                        sig: toks[sig_start..j].to_vec(),
+                        body: Vec::new(),
+                    },
+                    j + 1,
+                ));
+            }
+            "{" if paren == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let end = match_brace(toks, j);
+    let body = parse_block(&toks[j + 1..end]);
+    Some((
+        FnDef {
+            name: name_tok.text.clone(),
+            line: toks[at].line,
+            sig: toks[sig_start..j].to_vec(),
+            body,
+        },
+        end + 1,
+    ))
+}
+
+/// Parses `impl …* { items }` starting at the `impl` keyword.
+fn parse_impl(toks: &[Token], at: usize) -> Option<(ImplDef, usize)> {
+    // Header: tokens between `impl` and the block `{`, at angle/paren
+    // depth 0. `for` at depth 0 splits trait from type.
+    let mut j = at + 1;
+    let mut angle = 0i32;
+    let header_start = j;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "{" if angle <= 0 => break,
+            ";" => return None, // `impl Trait for Type;` — not expected
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let header = &toks[header_start..j];
+    let (trait_name, type_name) = split_impl_header(header);
+    let end = match_brace(toks, j);
+    // Collect methods inside the block.
+    let mut fns = Vec::new();
+    let mut k = j + 1;
+    while k < end {
+        if toks[k].text == "fn" {
+            if let Some((f, next)) = parse_fn(toks, k) {
+                fns.push(f);
+                k = next;
+                continue;
+            }
+        }
+        k += 1;
+    }
+    Some((
+        ImplDef {
+            trait_name,
+            type_name: type_name.unwrap_or_default(),
+            line: toks[at].line,
+            fns,
+        },
+        end + 1,
+    ))
+}
+
+/// Splits an impl header into (trait, type) names: the last plain path
+/// segment on each side of a depth-0 `for`, ignoring generics.
+fn split_impl_header(header: &[Token]) -> (Option<String>, Option<String>) {
+    let mut angle = 0i32;
+    let mut for_at = None;
+    for (i, t) in header.iter().enumerate() {
+        match t.text.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "for" if angle == 0 => {
+                for_at = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let last_segment = |toks: &[Token]| -> Option<String> {
+        let mut angle = 0i32;
+        let mut last = None;
+        for t in toks {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                _ if angle == 0 && t.kind == TokKind::Ident && t.text != "dyn" => {
+                    last = Some(t.text.clone());
+                }
+                _ => {}
+            }
+        }
+        last
+    };
+    match for_at {
+        Some(i) => (last_segment(&header[..i]), last_segment(&header[i + 1..])),
+        None => (None, last_segment(header)),
+    }
+}
+
+/// Parses a brace-less token run into a statement tree.
+///
+/// Control keywords and `{` only open tree nodes at paren/bracket depth 0:
+/// a closure body or struct literal inside an argument list stays inside
+/// its statement's leaf (the token-level scans still see it; the flow
+/// engine correctly treats it as part of the straight-line run — and a
+/// `return` inside such a closure is *not* an exit of the enclosing fn).
+pub fn parse_block(toks: &[Token]) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    let mut leaf: Vec<Token> = Vec::new();
+    let mut i = 0usize;
+    let mut depth = 0i32;
+    let flush = |leaf: &mut Vec<Token>, nodes: &mut Vec<Node>| {
+        if !leaf.is_empty() {
+            nodes.push(Node::Leaf(std::mem::take(leaf)));
+        }
+    };
+    while i < toks.len() {
+        if depth > 0 {
+            match toks[i].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                _ => {}
+            }
+            leaf.push(toks[i].clone());
+            i += 1;
+            continue;
+        }
+        match toks[i].text.as_str() {
+            "(" | "[" => {
+                depth += 1;
+                leaf.push(toks[i].clone());
+                i += 1;
+            }
+            "if" => {
+                flush(&mut leaf, &mut nodes);
+                let line = toks[i].line;
+                let (cond, body_open) = scan_to_block(toks, i + 1);
+                if body_open >= toks.len() {
+                    break;
+                }
+                let then_end = match_brace(toks, body_open);
+                let then = parse_block(&toks[body_open + 1..then_end]);
+                let mut els = None;
+                let mut next = then_end + 1;
+                if toks.get(next).is_some_and(|t| t.text == "else") {
+                    if toks.get(next + 1).is_some_and(|t| t.text == "if") {
+                        // else-if chain: parse the rest as a nested block
+                        // beginning at the inner `if`; it consumes the
+                        // whole chain.
+                        let (chain, consumed) = parse_prefix(&toks[next + 1..]);
+                        els = Some(chain);
+                        next = next + 1 + consumed;
+                    } else if toks.get(next + 1).is_some_and(|t| t.text == "{") {
+                        let e_end = match_brace(toks, next + 1);
+                        els = Some(parse_block(&toks[next + 2..e_end]));
+                        next = e_end + 1;
+                    }
+                }
+                nodes.push(Node::If {
+                    line,
+                    cond,
+                    then,
+                    els,
+                });
+                i = next;
+            }
+            "match" => {
+                flush(&mut leaf, &mut nodes);
+                let line = toks[i].line;
+                let (scrutinee, body_open) = scan_to_block(toks, i + 1);
+                if body_open >= toks.len() {
+                    break;
+                }
+                let end = match_brace(toks, body_open);
+                let arms = parse_arms(&toks[body_open + 1..end]);
+                nodes.push(Node::Match {
+                    line,
+                    scrutinee,
+                    arms,
+                });
+                i = end + 1;
+            }
+            "while" | "for" | "loop" => {
+                flush(&mut leaf, &mut nodes);
+                let line = toks[i].line;
+                let (head, body_open) = scan_to_block(toks, i + 1);
+                if body_open >= toks.len() {
+                    break;
+                }
+                let end = match_brace(toks, body_open);
+                let body = parse_block(&toks[body_open + 1..end]);
+                nodes.push(Node::Loop { line, head, body });
+                i = end + 1;
+            }
+            "return" => {
+                flush(&mut leaf, &mut nodes);
+                let line = toks[i].line;
+                let mut j = i + 1;
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                nodes.push(Node::Return {
+                    line,
+                    toks: toks[i + 1..j.min(toks.len())].to_vec(),
+                });
+                i = (j + 1).min(toks.len());
+            }
+            "{" => {
+                flush(&mut leaf, &mut nodes);
+                let end = match_brace(toks, i);
+                nodes.push(Node::Block(parse_block(&toks[i + 1..end])));
+                i = end + 1;
+            }
+            _ => {
+                leaf.push(toks[i].clone());
+                i += 1;
+            }
+        }
+    }
+    if !leaf.is_empty() {
+        nodes.push(Node::Leaf(leaf));
+    }
+    nodes
+}
+
+/// Parses a prefix of `toks` that forms one `if …` chain (used for
+/// `else if`); returns the nodes and the number of tokens consumed.
+fn parse_prefix(toks: &[Token]) -> (Vec<Node>, usize) {
+    // The chain is: if <cond> { .. } [else if <cond> { .. }]* [else { .. }]
+    let mut i = 0usize;
+    loop {
+        if toks.get(i).map(|t| t.text.as_str()) != Some("if") {
+            break;
+        }
+        let (_, body_open) = scan_to_block(toks, i + 1);
+        if body_open >= toks.len() {
+            i = toks.len();
+            break;
+        }
+        let end = match_brace(toks, body_open);
+        i = end + 1;
+        if toks.get(i).is_some_and(|t| t.text == "else") {
+            if toks.get(i + 1).is_some_and(|t| t.text == "if") {
+                i += 1; // continue the chain at the next `if`
+                continue;
+            }
+            if toks.get(i + 1).is_some_and(|t| t.text == "{") {
+                let e = match_brace(toks, i + 1);
+                i = e + 1;
+            }
+        }
+        break;
+    }
+    (parse_block(&toks[..i.min(toks.len())]), i.min(toks.len()))
+}
+
+/// Scans from `start` to the `{` that opens the following block, skipping
+/// over parenthesized/bracketed groups (and closure pipes is out of scope:
+/// a `{` inside `(` depth belongs to the group). Returns the header tokens
+/// and the index of the `{`.
+fn scan_to_block(toks: &[Token], start: usize) -> (Vec<Token>, usize) {
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    (toks[start..j.min(toks.len())].to_vec(), j)
+}
+
+/// Parses the interior of a `match` block into arms.
+fn parse_arms(toks: &[Token]) -> Vec<Arm> {
+    let mut arms = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Pattern: tokens until `=>` at depth 0 (the lexer emits `=` `>`
+        // as two tokens; struct patterns may contain `{ }`).
+        let pat_start = i;
+        let mut depth = 0i32;
+        let mut arrow = None;
+        let mut j = i;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "=" if depth == 0
+                    && toks.get(j + 1).is_some_and(|t| t.text == ">")
+                    // Not `>=`/`<=`/`==`/`!=` from a guard expression:
+                    // those lex as op then `=`, so a bare `=` followed by
+                    // `>` is always the arrow.
+                    && toks
+                        .get(j.wrapping_sub(1))
+                        .is_none_or(|t| !matches!(t.text.as_str(), "<" | ">" | "=" | "!")) =>
+                {
+                    arrow = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        let line = toks[pat_start].line;
+        let pat = toks[pat_start..arrow].to_vec();
+        let mut k = arrow + 2; // past `=` `>`
+        let body;
+        if toks.get(k).is_some_and(|t| t.text == "{") {
+            let end = match_brace(toks, k);
+            body = parse_block(&toks[k + 1..end]);
+            k = end + 1;
+            if toks.get(k).is_some_and(|t| t.text == ",") {
+                k += 1;
+            }
+        } else {
+            // Expression arm: tokens until `,` at depth 0 (or end).
+            let expr_start = k;
+            let mut depth = 0i32;
+            while k < toks.len() {
+                match toks[k].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "," if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            body = parse_block(&toks[expr_start..k.min(toks.len())]);
+            k = (k + 1).min(toks.len());
+        }
+        arms.push(Arm { line, pat, body });
+        i = k;
+    }
+    arms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&lex(src).0)
+    }
+
+    #[test]
+    fn finds_fns_and_impls() {
+        let p = parse(
+            "fn free() {}
+             impl Component for Switch { fn on_event(&mut self) { x(); } fn digest(&self) {} }
+             impl Plain { fn helper() {} }",
+        );
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.impls.len(), 2);
+        assert_eq!(p.impls[0].trait_name.as_deref(), Some("Component"));
+        assert_eq!(p.impls[0].type_name, "Switch");
+        assert_eq!(p.impls[0].fns.len(), 2);
+        assert_eq!(p.impls[1].trait_name, None);
+        assert_eq!(p.impls[1].type_name, "Plain");
+    }
+
+    #[test]
+    fn generic_impl_header() {
+        let p = parse("impl<T: Send> Component for Mailbox<T> { fn f(&self) {} }");
+        assert_eq!(p.impls[0].trait_name.as_deref(), Some("Component"));
+        assert_eq!(p.impls[0].type_name, "Mailbox");
+    }
+
+    #[test]
+    fn if_else_and_match_shape() {
+        let p = parse(
+            "fn f(x: u32) -> u32 {
+                 if x > 1 { a(); } else if x > 0 { b(); } else { c(); }
+                 match x { 0 => zero(), 1 | 2 => { low(); } _ => high(), }
+                 for i in 0..x { body(i); }
+                 return x;
+             }",
+        );
+        let body = &p.fns[0].body;
+        assert!(matches!(body[0], Node::If { els: Some(_), .. }));
+        let Node::Match { arms, .. } = &body[1] else {
+            panic!("expected match, got {:?}", body[1]);
+        };
+        assert_eq!(arms.len(), 3);
+        assert!(matches!(body[2], Node::Loop { .. }));
+        assert!(matches!(body[3], Node::Return { .. }));
+    }
+
+    #[test]
+    fn struct_patterns_in_arms() {
+        let p = parse(
+            "fn f(fr: Frame) {
+                 match fr { Frame { src, .. } => use_it(src), }
+             }",
+        );
+        let Node::Match { arms, .. } = &p.fns[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(arms.len(), 1);
+    }
+
+    #[test]
+    fn guards_do_not_break_arm_split() {
+        let p = parse("fn f(x: u32) { match x { n if n >= 2 => big(), _ => small(), } }");
+        let Node::Match { arms, .. } = &p.fns[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(arms.len(), 2);
+    }
+
+    #[test]
+    fn bodyless_trait_fn() {
+        let p = parse("trait T { fn sig_only(&self); fn with_default(&self) { x(); } }");
+        assert_eq!(p.fns.len(), 2);
+        assert!(p.fns[0].body.is_empty());
+        assert_eq!(p.fns[1].body.len(), 1);
+    }
+}

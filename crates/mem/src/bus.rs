@@ -405,6 +405,23 @@ impl Component for MemoryBus {
             other => panic!("memory bus has no port {other:?}"),
         }
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        // Traffic totals plus each pipe's reservation horizon: the full
+        // externally-visible effect of every read/write the bus served.
+        let mut h = 0u64;
+        for v in [
+            self.bytes_read,
+            self.bytes_written,
+            self.pcie_rd.next_free().as_ps(),
+            self.pcie_wr.next_free().as_ps(),
+            self.hbm_rd.next_free().as_ps(),
+            self.hbm_wr.next_free().as_ps(),
+        ] {
+            accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        }
+        Some(h)
+    }
 }
 
 #[cfg(test)]

@@ -209,6 +209,14 @@ impl Component for XdmaEngine {
             other => panic!("XDMA engine has no port {other:?}"),
         }
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        let mut h = 0u64;
+        for v in [self.bytes_copied, self.next_tag, self.inflight.len() as u64] {
+            accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        }
+        Some(h)
+    }
 }
 
 #[cfg(test)]

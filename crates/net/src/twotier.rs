@@ -93,6 +93,22 @@ impl Component for TierSwitch {
         }
         ctx.send_at(to, end + self.propagation, frame);
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        // The externally-meaningful switch state is its egress occupancy:
+        // each pipe's next-free instant. Two runs that forwarded the same
+        // frames agree on every reservation horizon regardless of
+        // same-timestamp arrival order (reservations serialize to the same
+        // end time either way).
+        let mut h = 0u64;
+        for (pipe, _) in &self.ports {
+            accl_sim::digest::fnv_fold(&mut h, &pipe.next_free().as_ps().to_le_bytes());
+        }
+        if let Some((pipe, _)) = &self.uplink {
+            accl_sim::digest::fnv_fold(&mut h, &pipe.next_free().as_ps().to_le_bytes());
+        }
+        Some(h)
+    }
 }
 
 /// A built leaf–spine fabric.

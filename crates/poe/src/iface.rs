@@ -182,6 +182,30 @@ impl Component for CompletionLog {
                 .push((ctx.now(), other.downcast::<PoeSessionError>())),
         }
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        // The log is append-ordered, and same-timestamp completions from
+        // different sessions may legally arrive in either order — so each
+        // entry is hashed on its own and combined commutatively, keeping
+        // the digest canonical under tie permutation.
+        let mut h = 0u64;
+        let mut fold = |vs: &[u64]| {
+            let mut e = 0u64;
+            for v in vs {
+                accl_sim::digest::fnv_fold(&mut e, &v.to_le_bytes());
+            }
+            h = h.wrapping_add(e);
+        };
+        for (t, d) in &self.dones {
+            fold(&[t.as_ps(), u64::from(d.session.0), d.len, d.tag]);
+        }
+        for (t, e) in &self.errors {
+            fold(&[t.as_ps(), u64::from(e.session.0)]);
+        }
+        accl_sim::digest::fnv_fold(&mut h, &(self.dones.len() as u64).to_le_bytes());
+        accl_sim::digest::fnv_fold(&mut h, &(self.errors.len() as u64).to_le_bytes());
+        Some(h)
+    }
 }
 
 /// Standard input ports shared by all POE components.
@@ -322,6 +346,18 @@ impl TxCreditGate {
     /// The configured window, if bounded.
     pub fn window(&self) -> Option<u32> {
         self.window
+    }
+
+    /// Folds the gate's externally-meaningful state — window accounting
+    /// and queue depth — into a running `state_digest`.
+    pub fn fold_digest(&self, h: &mut u64) {
+        for v in [
+            u64::from(self.in_flight),
+            u64::from(self.leaked),
+            self.queued.len() as u64,
+        ] {
+            accl_sim::digest::fnv_fold(h, &v.to_le_bytes());
+        }
     }
 
     /// The gate's contribution to its engine's

@@ -67,6 +67,14 @@ impl Component for RxMux {
         };
         ctx.send(to, Dur::ZERO, frame);
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        let mut h = 0u64;
+        for v in [self.frames_to_rdma, self.frames_to_other] {
+            accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        }
+        Some(h)
+    }
 }
 
 #[cfg(test)]

@@ -889,6 +889,35 @@ impl Component for RdmaPoe {
         }
         None
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        // Frame totals, the go-back-N positions of every queue pair, the
+        // receiver PSN horizon, error-state population, and the credit
+        // window (BTreeMap order is canonical).
+        let mut h = 0u64;
+        let mut fold = |v: u64| accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        for v in [
+            self.frames_sent,
+            self.frames_received,
+            self.retransmissions,
+            self.frames_corrupted_discarded,
+        ] {
+            fold(v);
+        }
+        for (qp, st) in &self.tx {
+            fold(u64::from(qp.0));
+            fold(st.next_psn);
+            fold(st.acked_psn);
+            fold(st.unacked.len() as u64);
+        }
+        for (qp, psn) in &self.expected_psn {
+            fold(u64::from(qp.0));
+            fold(*psn);
+        }
+        fold(self.qp_error.len() as u64);
+        self.gate.fold_digest(&mut h);
+        Some(h)
+    }
 }
 
 #[cfg(test)]

@@ -830,6 +830,35 @@ impl Component for TcpPoe {
         }
         None
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        // Wire totals, queue depths, credit-window accounting, and the
+        // per-session stream positions (BTreeMap order is canonical).
+        let mut h = 0u64;
+        let mut fold = |v: u64| accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        for v in [
+            self.segments_sent,
+            self.acks_sent,
+            self.frames_corrupted_discarded,
+            self.raw_len,
+            self.out_q.len() as u64,
+        ] {
+            fold(v);
+        }
+        for (s, st) in &self.tx {
+            fold(u64::from(s.0));
+            fold(st.snd_una);
+            fold(st.snd_nxt);
+            fold(st.retransmits);
+        }
+        for (s, st) in &self.rx {
+            fold(u64::from(s.0));
+            fold(st.rcv_nxt);
+            fold(st.ooo.len() as u64);
+        }
+        self.gate.fold_digest(&mut h);
+        Some(h)
+    }
 }
 
 #[cfg(test)]

@@ -261,6 +261,22 @@ impl Component for UdpPoe {
     fn resource_state(&self) -> Option<ResourceState> {
         self.gate.state()
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        // Datagram totals plus the credit-window accounting: two runs that
+        // moved the same traffic agree on all of these regardless of
+        // same-timestamp delivery order.
+        let mut h = 0u64;
+        for v in [
+            self.dgrams_sent,
+            self.dgrams_received,
+            self.dgrams_corrupted_dropped,
+        ] {
+            accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        }
+        self.gate.fold_digest(&mut h);
+        Some(h)
+    }
 }
 
 // Re-exported for doc-links.

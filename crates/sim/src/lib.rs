@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod deadlock;
+pub mod digest;
 pub mod event;
 pub mod mailbox;
 pub mod pipe;

@@ -78,6 +78,19 @@ impl<T: Any + Send> Component for Mailbox<T> {
             }
         }
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        // `T` is opaque, so the digest covers what the mailbox itself
+        // observes: how many items arrived and when. Same-timestamp
+        // arrivals may push in either order under a permuted tie schedule,
+        // but their times are equal, so an in-order fold stays canonical.
+        let mut h = 0u64;
+        crate::digest::fnv_fold(&mut h, &(self.items.len() as u64).to_le_bytes());
+        for (t, _) in &self.items {
+            crate::digest::fnv_fold(&mut h, &t.as_ps().to_le_bytes());
+        }
+        Some(h)
+    }
 }
 
 #[cfg(test)]

@@ -363,14 +363,6 @@ fn report_at(
 }
 
 // Re-exported for fixture components in tests and downstream crates that
-// implement `state_digest` by hashing a few fields.
-/// FNV-1a fold helper for implementing [`crate::sim::Component::state_digest`].
-pub fn fnv_fold(hash: &mut u64, bytes: &[u8]) {
-    if *hash == 0 {
-        *hash = 0xcbf2_9ce4_8422_2325;
-    }
-    for &b in bytes {
-        *hash ^= u64::from(b);
-        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-}
+// implement `state_digest` by hashing a few fields. The definition lives
+// in the always-compiled [`crate::digest`] module.
+pub use crate::digest::fnv_fold;

@@ -784,7 +784,7 @@ impl Breakdown {
                 "  {:<14} {:>12} {:>6}%\n",
                 cat,
                 format!("{d}"),
-                d.as_ps() * 100 / total
+                u128::from(d.as_ps()) * 100 / u128::from(total)
             ));
         }
         out.push_str(&format!(

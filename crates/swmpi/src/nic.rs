@@ -275,6 +275,19 @@ impl Component for SwNic {
             other => panic!("NIC has no port {other:?}"),
         }
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        let mut h = 0u64;
+        for v in [
+            self.messages_sent,
+            self.next_msg_id,
+            self.rx.len() as u64,
+            self.shaper.next_free().as_ps(),
+        ] {
+            accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        }
+        Some(h)
+    }
 }
 
 #[cfg(test)]

@@ -604,4 +604,34 @@ impl Component for MpiProcess {
             other => panic!("MPI process has no port {other:?}"),
         }
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        // Program position, CPU horizon, per-step timings, and the
+        // pt2pt matching populations (BTreeMap order is canonical).
+        let mut h = 0u64;
+        let mut fold = |v: u64| accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        for v in [
+            self.index as u64,
+            self.call_seq,
+            u64::from(self.running),
+            self.finished_at.map_or(0, |t| t.as_ps()),
+            self.cpu_free.as_ps(),
+            u64::from(self.outstanding_cpu),
+        ] {
+            fold(v);
+        }
+        for r in &self.records {
+            fold(r.started.as_ps());
+            fold(r.finished.as_ps());
+        }
+        for (map_salt, len) in [
+            (1u64, self.arrived.len()),
+            (2, self.rts_seen.len()),
+            (3, self.cts_waiting.len()),
+        ] {
+            fold(map_salt);
+            fold(len as u64);
+        }
+        Some(h)
+    }
 }
