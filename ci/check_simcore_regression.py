@@ -13,6 +13,21 @@ contract is written against. The other workloads are reported for
 context — short runs swing tens of percent with CPU frequency state, so
 gating on them would be flaky, not strict.
 
+Two refinements over raw wall-clock comparison:
+
+ - `parallel_scaling` rows are reported only when the run's recorded
+   `host_cpus` exceeds 1 on both sides. On a single-core host the >1
+   worker rows measure engine overhead, not scaling, and comparing them
+   is noise dressed up as signal.
+ - When both sides carry a `critical_path` section (sim-time
+   critical-path digests per workload, produced by `accl-obs`), the
+   gated workload is compared by digest equality instead of wall-clock
+   ratio: equal digests mean the simulated timeline is bit-identical, so
+   the run cannot have regressed in sim time no matter what the host
+   clock says; unequal digests fail loudly because the timeline itself
+   changed. Wall-clock gating remains the fallback when digests are
+   absent.
+
 Usage:
   check_simcore_regression.py --ref ref1.json [ref2.json ...] \
       --cur cur1.json [cur2.json ...] [--tolerance 0.02]
@@ -24,16 +39,34 @@ import sys
 GATED = "chain_1m_events"
 
 
-def best(files):
-    rates = {}
+def collect(files):
+    """Best events/sec per workload, parallel rows, and digests."""
+    rates, parallel, digests = {}, {}, {}
     for path in files:
         with open(path) as f:
-            cur = json.load(f)["current"]
-        for name, row in cur.items():
+            doc = json.load(f)
+        for name, row in doc["current"].items():
             rate = float(row["events_per_sec"])
             if rate > rates.get(name, 0.0):
                 rates[name] = rate
-    return rates
+        scaling = doc.get("parallel_scaling", {})
+        host_cpus = int(scaling.get("host_cpus", 0) or 0)
+        if host_cpus > 1:
+            for key, row in scaling.items():
+                if not key.startswith("workers_"):
+                    continue
+                rate = float(row["events_per_sec"])
+                if rate > parallel.get(key, 0.0):
+                    parallel[key] = rate
+        for name, digest in doc.get("critical_path", {}).items():
+            prior = digests.setdefault(name, digest)
+            if prior != digest:
+                sys.exit(
+                    f"{path}: critical-path digest for {name!r} disagrees "
+                    f"across same-side runs ({prior} vs {digest}) — the "
+                    f"workload is nondeterministic, fix that first"
+                )
+    return rates, parallel, digests
 
 
 def main():
@@ -58,15 +91,26 @@ def main():
     if not refs or not curs:
         sys.exit("need at least one --ref file and one --cur file")
 
-    ref, cur = best(refs), best(curs)
+    (ref, ref_par, ref_dig) = collect(refs)
+    (cur, cur_par, cur_dig) = collect(curs)
     failed = False
+    digest_gated = GATED in ref_dig and GATED in cur_dig
     for name in sorted(ref):
         if name not in cur:
             sys.exit(f"candidate runs are missing workload {name!r}")
         ratio = cur[name] / ref[name]
         gate = name == GATED
         verdict = ""
-        if gate:
+        if gate and digest_gated:
+            if ref_dig[GATED] == cur_dig[GATED]:
+                verdict = "  (gated by digest: identical timeline, OK)"
+            else:
+                verdict = (
+                    f"  << FAIL (critical-path digest changed: "
+                    f"{ref_dig[GATED]} -> {cur_dig[GATED]})"
+                )
+                failed = True
+        elif gate:
             if ratio < 1.0 - tol:
                 verdict = f"  << FAIL (allowed regression {tol:.0%})"
                 failed = True
@@ -76,9 +120,32 @@ def main():
             f"{name:26s} ref {ref[name]:>12,.0f}  cur {cur[name]:>12,.0f}  "
             f"ratio {ratio:5.3f}{verdict}"
         )
+    # Ungated digests still report drift: a changed timeline on an
+    # ungated workload is worth a loud line even when it doesn't fail.
+    for name in sorted(set(ref_dig) & set(cur_dig)):
+        if name == GATED and digest_gated:
+            continue
+        same = ref_dig[name] == cur_dig[name]
+        state = "identical" if same else f"CHANGED {ref_dig[name]} -> {cur_dig[name]}"
+        print(f"{name:26s} critical-path digest: {state}")
+    if ref_par and cur_par:
+        for key in sorted(ref_par):
+            if key not in cur_par:
+                continue
+            ratio = cur_par[key] / ref_par[key]
+            print(
+                f"parallel {key:17s} ref {ref_par[key]:>12,.0f}  "
+                f"cur {cur_par[key]:>12,.0f}  ratio {ratio:5.3f}"
+            )
+    else:
+        print(
+            "parallel_scaling: skipped (host_cpus <= 1 on at least one side; "
+            "multi-worker rows measure overhead, not scaling, on one core)"
+        )
     if failed:
         sys.exit(1)
-    print(f"check_simcore_regression: OK ({GATED} within {tol:.0%} of reference)")
+    how = "digest-identical" if digest_gated else f"within {tol:.0%} of reference"
+    print(f"check_simcore_regression: OK ({GATED} {how})")
 
 
 if __name__ == "__main__":

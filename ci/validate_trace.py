@@ -14,7 +14,7 @@ Usage: validate_trace.py <trace.json> [--min-events N]
 import json
 import sys
 
-ALLOWED_PHASES = {"B", "E", "X", "i", "I", "M"}
+ALLOWED_PHASES = {"B", "E", "X", "i", "I", "M", "s", "f"}
 REQUIRED_NAMES = {"driver.coll", "uc.call", "net.wire"}
 
 
@@ -43,6 +43,7 @@ def main():
         fail("traceEvents must be an array")
 
     names, pids, phases = set(), set(), set()
+    flow_starts, flow_finishes = {}, {}
     span_events = 0
     for i, e in enumerate(events):
         for field in ("name", "ph", "pid", "tid"):
@@ -66,6 +67,16 @@ def main():
             dur = e.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 fail(f"event {i}: X event needs non-negative dur, got {dur!r}")
+        if ph in ("s", "f"):
+            flow_id = e.get("id")
+            if not isinstance(flow_id, str) or not flow_id:
+                fail(f"event {i}: flow event needs a string id, got {flow_id!r}")
+            if ph == "f" and e.get("bp") != "e":
+                fail(f"event {i}: flow finish must bind to enclosing slice (bp='e')")
+            side = flow_starts if ph == "s" else flow_finishes
+            if flow_id in side:
+                fail(f"event {i}: duplicate flow {ph!r} for id {flow_id}")
+            side[flow_id] = (e["name"], ts)
 
     if span_events < min_events:
         fail(f"only {span_events} span events (expected >= {min_events})")
@@ -77,9 +88,26 @@ def main():
     if missing:
         fail(f"required span names absent: {sorted(missing)}")
 
+    # Flow arrows must pair: every start ('s') has exactly one finish
+    # ('f') with the same id and name, and no finish floats free. An
+    # unpaired start means a Tx-side handoff whose Rx side never joined.
+    unpaired = sorted(set(flow_starts) - set(flow_finishes))
+    if unpaired:
+        fail(f"{len(unpaired)} flow starts without a finish: {unpaired[:5]}")
+    orphaned = sorted(set(flow_finishes) - set(flow_starts))
+    if orphaned:
+        fail(f"{len(orphaned)} flow finishes without a start: {orphaned[:5]}")
+    for flow_id, (name, start_ts) in flow_starts.items():
+        fin_name, fin_ts = flow_finishes[flow_id]
+        if fin_name != name:
+            fail(f"flow {flow_id}: start name {name!r} != finish name {fin_name!r}")
+        if fin_ts < start_ts:
+            fail(f"flow {flow_id}: finish ts {fin_ts} precedes start ts {start_ts}")
+
     print(
         f"validate_trace: OK: {span_events} events, {len(pids)} processes, "
-        f"{len(names)} span names, phases {sorted(phases)}"
+        f"{len(names)} span names, {len(flow_starts)} flows, "
+        f"phases {sorted(phases)}"
     )
 
 

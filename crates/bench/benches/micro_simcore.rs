@@ -201,6 +201,39 @@ fn chain_events(n: u64) -> u64 {
     sim.events_executed()
 }
 
+/// A self-chain that exercises the metrics hot path on every event: one
+/// counter add plus one histogram observation, the instrumentation
+/// density of the real engine components (switch, POE, DMP).
+struct MeteredChain {
+    remaining: u64,
+}
+impl Component for MeteredChain {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, port: PortId, payload: Payload) {
+        let v = payload.downcast::<u64>();
+        ctx.stats().add("bench.chain.events", 1);
+        ctx.stats().observe("bench.chain.value", v);
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send_self(port, Dur::from_ns(1), v + 1);
+        }
+    }
+}
+
+/// The windowed-SLO overhead workload: the metered chain with fixed-width
+/// sim-time metric windows on or off. The window router runs on every
+/// stats write, so the `chain_metered` vs `chain_windowed` delta is the
+/// full per-write cost of the `accl-obs` time-series export.
+fn metered_chain(n: u64, window: Option<Dur>) -> u64 {
+    let mut sim = Simulator::new(0);
+    if let Some(width) = window {
+        sim.enable_metric_windows(width);
+    }
+    let id = sim.add("chain", MeteredChain { remaining: n });
+    sim.post(Endpoint::of(id), Time::ZERO, 0u64);
+    sim.run();
+    sim.events_executed()
+}
+
 fn mixed_near_far(n: u64) -> u64 {
     let mut sim = Simulator::new(0);
     let sink = sim.add("sink", Sink);
@@ -413,6 +446,14 @@ fn main() {
         measure("mixed_near_far_256k", reps, move || mixed_near_far(mix_n)),
         measure("post_then_drain_100k", reps, move || {
             post_then_drain(drain_n)
+        }),
+        // Windowed-metrics overhead pair: identical event population and
+        // per-event stats writes; only the sim-time window router differs.
+        measure("chain_100k_metered", reps, move || {
+            metered_chain(drain_n, None)
+        }),
+        measure("chain_100k_windowed", reps, move || {
+            metered_chain(drain_n, Some(Dur::from_us(1)))
         }),
     ];
     for r in &results {

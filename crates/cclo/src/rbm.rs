@@ -129,8 +129,9 @@ pub struct Rbm {
     msgs: BTreeMap<RxMsgKey, MsgState>,
     /// Arrival-ordered completed-or-inflight messages per matching key.
     by_match: BTreeMap<MatchKey, VecDeque<RxMsgKey>>,
-    /// Waiting DMP queries per matching key.
-    queries: BTreeMap<MatchKey, VecDeque<RbmQuery>>,
+    /// Waiting DMP queries per matching key, each with the time it was
+    /// posted (feeds the `rbm.meta_wait_ps` histogram at match commit).
+    queries: BTreeMap<MatchKey, VecDeque<(RbmQuery, Time)>>,
     /// Data pieces that arrived before their message's [`RbmMeta`]. The Rx
     /// system always *sends* META no later than the first DATA of a
     /// message, so an orphan can only exist while both deliveries share a
@@ -315,7 +316,7 @@ impl Rbm {
 
     fn try_match(&mut self, ctx: &mut Ctx<'_>, key: MatchKey) {
         loop {
-            let Some(q) = self.queries.get(&key).and_then(|q| q.front().copied()) else {
+            let Some((q, posted)) = self.queries.get(&key).and_then(|q| q.front().copied()) else {
                 return;
             };
             // Head message for this key must be complete and admitted.
@@ -330,7 +331,12 @@ impl Rbm {
                 q.len, msg.sig.payload_len,
                 "eager match length mismatch for {key:?}"
             );
-            // Commit the match.
+            // Commit the match. The query waited from its post until now
+            // for a complete, admitted message — the "RBM meta wait" that
+            // dominates small-message latency; exported as a histogram so
+            // the windowed SLO series can track it over sim time.
+            let waited = ctx.now().since(posted);
+            ctx.stats().observe("rbm.meta_wait_ps", waited.as_ps());
             self.queries.get_mut(&key).unwrap().pop_front();
             self.by_match.get_mut(&key).unwrap().pop_front();
             let mut msg = self.msgs.remove(&mkey).unwrap();
@@ -472,7 +478,11 @@ impl Component for Rbm {
             }
             ports::QUERY => {
                 let q = payload.downcast::<RbmQuery>();
-                self.queries.entry(q.key).or_default().push_back(q);
+                let posted = ctx.now();
+                self.queries
+                    .entry(q.key)
+                    .or_default()
+                    .push_back((q, posted));
                 self.try_match(ctx, q.key);
             }
             ports::PURGE => {

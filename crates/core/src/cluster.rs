@@ -611,6 +611,16 @@ impl AcclCluster {
         self.sim.span_events()
     }
 
+    /// Enables fixed-width sim-time metric windows on the cluster's
+    /// simulator: every counter/gauge/histogram write made by a component
+    /// is additionally routed into the window containing its simulated
+    /// time, feeding deterministic p50/p99/p999-over-time series (the
+    /// serving-scenario SLO report). Call before the first run. See
+    /// [`accl_sim::stats::Stats::enable_windows`].
+    pub fn enable_metric_windows(&mut self, width: Dur) {
+        self.sim.enable_metric_windows(width);
+    }
+
     /// Chrome/Perfetto `trace_event` JSON of the recorded timeline —
     /// load it at `ui.perfetto.dev` or `chrome://tracing`.
     pub fn chrome_trace(&self) -> String {

@@ -124,13 +124,48 @@ pub fn run_pipeline(model: &DlrmModel, timing: DlrmTiming, inferences: usize) ->
 /// verified messages and every data assertion are identical at any worker
 /// count — this is the mixed send/recv/compute workload the parallel
 /// determinism suite pins against the sequential engine.
-#[allow(clippy::needless_range_loop)] // node indices address several parallel arrays
 pub fn run_pipeline_with_workers(
     model: &DlrmModel,
     timing: DlrmTiming,
     inferences: usize,
     workers: usize,
 ) -> PipelineResult {
+    run_pipeline_observed(
+        model,
+        timing,
+        inferences,
+        workers,
+        &PipelineObserve::default(),
+    )
+    .0
+}
+
+/// Observability knobs for [`run_pipeline_observed`]: span tracing and
+/// windowed metrics, both off by default (the plain pipeline entry points
+/// run unobserved and unchanged).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineObserve {
+    /// Span-ring capacity; zero leaves tracing off. Requires the `trace`
+    /// cargo feature when nonzero.
+    pub span_capacity: usize,
+    /// Fixed sim-time metric window width; `None` leaves windowing off.
+    pub metric_window: Option<Dur>,
+    /// Event-queue structure override for A/B timeline validation; `None`
+    /// keeps the simulator default.
+    pub queue: Option<QueueKind>,
+}
+
+/// [`run_pipeline_with_workers`] with observability enabled, returning
+/// the finished cluster alongside the result so callers (the `accl-obs`
+/// trace dump, SLO reports) can read the span stream and metric windows.
+#[allow(clippy::needless_range_loop)] // node indices address several parallel arrays
+pub fn run_pipeline_observed(
+    model: &DlrmModel,
+    timing: DlrmTiming,
+    inferences: usize,
+    workers: usize,
+    observe: &PipelineObserve,
+) -> (PipelineResult, AcclCluster) {
     let cfg = model.cfg;
     assert_eq!(cfg.fc1_row_groups, 2, "Fig. 15 mapping uses two row groups");
     let cols = cfg.fc1_col_groups;
@@ -159,6 +194,15 @@ pub fn run_pipeline_with_workers(
         },
         ..ClusterConfig::xrt_tcp(nodes).with_workers(workers)
     });
+    if let Some(kind) = observe.queue {
+        cluster.sim.set_queue_kind(kind);
+    }
+    if observe.span_capacity > 0 {
+        cluster.enable_tracing(observe.span_capacity);
+    }
+    if let Some(width) = observe.metric_window {
+        cluster.enable_metric_windows(width);
+    }
 
     let send = |to: usize, elems: usize, t: u64| {
         KernelOp::Issue(
@@ -274,10 +318,13 @@ pub fn run_pipeline_with_workers(
         .map(|&(_, t)| t)
         .collect();
     assert_eq!(done_at.len(), inferences, "missing inference completions");
-    PipelineResult {
-        done_at,
-        verified_messages: verified,
-    }
+    (
+        PipelineResult {
+            done_at,
+            verified_messages: verified,
+        },
+        cluster,
+    )
 }
 
 #[cfg(test)]

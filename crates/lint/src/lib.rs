@@ -54,7 +54,7 @@ use std::path::{Path, PathBuf};
 use lexer::{lex, Comment, TokKind, Token};
 
 /// Crates whose `src/` trees are sim-visible and therefore linted.
-pub const LINTED_CRATES: &[&str] = &["sim", "net", "poe", "mem", "cclo", "core", "swmpi"];
+pub const LINTED_CRATES: &[&str] = &["sim", "net", "poe", "mem", "cclo", "core", "swmpi", "obs"];
 
 /// How severe a finding is. `Deny` findings break the bit-replay contract
 /// outright; `Warn` findings are hazards that need an audit (and an
@@ -667,6 +667,7 @@ pub fn lint_workspace_full(
 ) -> std::io::Result<(Vec<Finding>, Vec<StaleAllow>)> {
     let mut findings = Vec::new();
     let mut stale = Vec::new();
+    let mut flow_uses = Vec::new();
     for krate in LINTED_CRATES {
         let src_dir = workspace_root.join("crates").join(krate).join("src");
         if !src_dir.is_dir() {
@@ -684,7 +685,21 @@ pub fn lint_workspace_full(
             let (f, s) = lint_source_full(&label, &src);
             findings.extend(f);
             stale.extend(s);
+            flow_uses.extend(flow_edge_uses_in(&label, &src));
         }
     }
+    // Both sides of a flow edge live on opposite ends of a handoff, so
+    // the emit/join match is checked across the whole corpus, not per
+    // file — an emitted edge name nothing ever joins dangles in every
+    // trace that crosses it.
+    findings.extend(rules::flow_join_findings(&flow_uses));
     Ok((findings, stale))
+}
+
+/// Collects the named flow emit/join sites of one file (test items
+/// stripped), for the workspace-level flow-pairing check.
+pub fn flow_edge_uses_in(file: &str, src: &str) -> Vec<rules::FlowEdgeUse> {
+    let (toks, _) = lex(src);
+    let (toks, _) = strip_cfg_test_with_spans(&toks);
+    rules::flow_edge_uses(file, src, &toks)
 }

@@ -44,6 +44,11 @@ pub fn run(file: &str, krate: Option<&str>, toks: &[Token], parsed: &ParsedFile)
 const SPAN_ACQUIRE: &[&str] = &["span_begin", "span_begin_attrs"];
 /// Methods that end a span (first argument is the handle).
 const SPAN_RELEASE: &[&str] = &["span_end", "span_end_at", "span_end_attrs"];
+/// Methods that emit a causal flow edge and return its handle.
+const FLOW_ACQUIRE: &[&str] = &["flow_begin"];
+/// Methods that join a flow edge (the *second* argument is the handle —
+/// the first is the static edge name).
+const FLOW_RELEASE: &[&str] = &["flow_end"];
 
 /// Per-file custody table: a counter that models a bounded resource may
 /// only be mutated by its designated acquire/release functions, so the
@@ -74,6 +79,7 @@ const CUSTODY: &[Custody] = &[
 fn resource_pairing(file: &str, parsed: &ParsedFile, findings: &mut Vec<Finding>) {
     for (_, f) in parsed.all_fns() {
         span_pairing(file, f, findings);
+        flow_pairing(file, f, findings);
         credit_consume(file, f, findings);
         must_use_gate_results(file, f, findings);
     }
@@ -215,6 +221,82 @@ fn span_pairing(file: &str, f: &FnDef, findings: &mut Vec<Finding>) {
 
 /// Detects `let [mut] name = … span_begin*( … )` and returns the binding.
 fn span_let_binding(stmt: &[Token]) -> Option<(String, u32)> {
+    acquire_let_binding(stmt, SPAN_ACQUIRE)
+}
+
+/// Flow-sensitive flow-edge pairing: a `FlowId` handle returned by
+/// `flow_begin` must reach a `flow_end` (as its second argument) or escape
+/// into its carrier (a frame field, an in-flight table) on every path out
+/// of the function. A handle dropped on the floor is an emitted edge the
+/// receive side can never join — the Tx→Rx causality the critical-path
+/// walk depends on silently goes missing.
+fn flow_pairing(file: &str, f: &FnDef, findings: &mut Vec<Finding>) {
+    let mut scan = |node: &Node| -> Vec<Event> {
+        let toks = node_tokens(node);
+        let mut events = Vec::new();
+        for stmt in statements(toks) {
+            if stmt_diverges(stmt) {
+                events.push(Event::Diverge);
+                continue;
+            }
+            if let Some((name, line)) = acquire_let_binding(stmt, FLOW_ACQUIRE) {
+                events.push(Event::Open {
+                    key: name,
+                    line,
+                    note: "flow edge emitted here".into(),
+                });
+                continue;
+            }
+            let mut i = 0usize;
+            while i < stmt.len() {
+                let t = &stmt[i];
+                if t.kind != TokKind::Ident {
+                    i += 1;
+                    continue;
+                }
+                if FLOW_RELEASE.contains(&t.text.as_str())
+                    && stmt.get(i + 1).is_some_and(|n| n.text == "(")
+                {
+                    // `flow_end(name, handle, to)` — a bare-local second
+                    // argument joins (releases) the handle.
+                    if let Some((handle, after)) = lone_call_arg(stmt, i + 1, 1) {
+                        events.push(Event::Close { key: handle });
+                        i = after;
+                        continue;
+                    }
+                } else {
+                    // Any other mention moves the handle to its next
+                    // owner (stamped into a frame, stashed in a table).
+                    events.push(Event::Escape {
+                        key: t.text.clone(),
+                    });
+                }
+                i += 1;
+            }
+        }
+        events
+    };
+    let end_line = last_line(&f.body).unwrap_or(f.line);
+    for leak in cfg::analyze(&f.body, end_line, &mut scan) {
+        findings.push(Finding {
+            file: file.into(),
+            line: leak.line,
+            rule: "resource-pairing",
+            severity: Severity::Deny,
+            message: format!(
+                "flow handle `{}` emitted in `{}` is dropped on the exit path at line {}: \
+                 every `flow_begin` must reach a `flow_end` (or the handle must escape into \
+                 its carrier frame/table), or the Tx→Rx causal edge is never joined and the \
+                 critical-path walk loses the handoff",
+                leak.key, f.name, leak.exit_line
+            ),
+            allowed: None,
+        });
+    }
+}
+
+/// Detects `let [mut] name = … <acquire>( … )` and returns the binding.
+fn acquire_let_binding(stmt: &[Token], acquire: &[&str]) -> Option<(String, u32)> {
     if stmt.first().map(|t| t.text.as_str()) != Some("let") {
         return None;
     }
@@ -229,10 +311,150 @@ fn span_let_binding(stmt: &[Token]) -> Option<(String, u32)> {
     if stmt.get(i + 1).map(|t| t.text.as_str()) != Some("=") {
         return None;
     }
-    let has_begin = stmt[i + 2..]
+    let has_acquire = stmt[i + 2..]
         .iter()
-        .any(|t| t.kind == TokKind::Ident && SPAN_ACQUIRE.contains(&t.text.as_str()));
-    has_begin.then(|| (name.text.clone(), name.line))
+        .any(|t| t.kind == TokKind::Ident && acquire.contains(&t.text.as_str()));
+    has_acquire.then(|| (name.text.clone(), name.line))
+}
+
+/// If argument `arg_idx` (0-based) of the call whose `(` sits at
+/// `open_idx` is a single bare identifier, returns it plus the index one
+/// past the call's closing `)`.
+fn lone_call_arg(stmt: &[Token], open_idx: usize, arg_idx: usize) -> Option<(String, usize)> {
+    debug_assert_eq!(stmt.get(open_idx).map(|t| t.text.as_str()), Some("("));
+    let mut depth = 0i32;
+    let mut arg = 0usize;
+    let mut start = open_idx + 1;
+    let mut found: Option<String> = None;
+    for (i, t) in stmt.iter().enumerate().skip(open_idx) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    if arg == arg_idx {
+                        found = lone_ident(&stmt[start..i]);
+                    }
+                    return found.map(|name| (name, i + 1));
+                }
+            }
+            "," if depth == 1 => {
+                if arg == arg_idx {
+                    found = Some(lone_ident(&stmt[start..i])?);
+                }
+                arg += 1;
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    None // unbalanced call — statement splitter artifacts; be conservative
+}
+
+fn lone_ident(toks: &[Token]) -> Option<String> {
+    match toks {
+        [t] if t.kind == TokKind::Ident => Some(t.text.clone()),
+        _ => None,
+    }
+}
+
+/// One side of a named flow edge: an emit (`flow_begin("name", …)`) or a
+/// join (`flow_end("name", …)`) site.
+#[derive(Debug, Clone)]
+pub struct FlowEdgeUse {
+    /// File label the site was found in.
+    pub file: String,
+    /// 1-based source line of the call.
+    pub line: u32,
+    /// The static edge name (the string-literal first argument).
+    pub name: String,
+    /// `true` for `flow_begin`, `false` for `flow_end`.
+    pub emitted: bool,
+}
+
+/// Collects every named flow emit/join site in one file's token stream.
+/// Calls whose first argument is not a string literal (the `Ctx` wrappers
+/// forwarding `name` through) are not sites and are skipped. The lexer
+/// blanks string contents (so literal text cannot confuse depth scans), so
+/// the edge name is recovered from the source line of the call.
+pub fn flow_edge_uses(file: &str, src: &str, toks: &[Token]) -> Vec<FlowEdgeUse> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut uses = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let emitted = FLOW_ACQUIRE.contains(&t.text.as_str());
+        if !emitted && !FLOW_RELEASE.contains(&t.text.as_str()) {
+            continue;
+        }
+        if toks.get(i + 1).map(|n| n.text.as_str()) != Some("(") {
+            continue;
+        }
+        if toks.get(i + 2).is_none_or(|arg| arg.kind != TokKind::Str) {
+            continue;
+        }
+        let Some(name) = lines
+            .get(t.line as usize - 1)
+            .and_then(|l| quoted_after(l, &t.text))
+        else {
+            continue; // name split across lines — out of scope for this scan
+        };
+        uses.push(FlowEdgeUse {
+            file: file.into(),
+            line: t.line,
+            name,
+            emitted,
+        });
+    }
+    uses
+}
+
+/// The first `"…"` literal following `call(` on a source line.
+fn quoted_after(line: &str, call: &str) -> Option<String> {
+    let at = line.find(&format!("{call}("))?;
+    let rest = &line[at..];
+    let open = rest.find('"')?;
+    let body = &rest[open + 1..];
+    let close = body.find('"')?;
+    Some(body[..close].to_string())
+}
+
+/// The workspace-level half of flow pairing: every emitted edge name must
+/// have at least one receive-side join somewhere in the linted crates, and
+/// vice versa. A begin/join pair lives on opposite ends of a handoff
+/// (often opposite ends of a wire), so this check only makes sense over
+/// the whole corpus — per-file analysis cannot see the other side.
+pub fn flow_join_findings(uses: &[FlowEdgeUse]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for u in uses {
+        let other_side = uses
+            .iter()
+            .any(|v| v.name == u.name && v.emitted != u.emitted);
+        if other_side {
+            continue;
+        }
+        let (this, missing) = if u.emitted {
+            ("emitted", "`flow_end` join")
+        } else {
+            ("joined", "`flow_begin` emit")
+        };
+        findings.push(Finding {
+            file: u.file.clone(),
+            line: u.line,
+            rule: "resource-pairing",
+            severity: Severity::Deny,
+            message: format!(
+                "flow edge \"{}\" is {} here but has no matching {} anywhere in the linted \
+                 crates: both sides of a Tx→Rx handoff must exist or the causal graph \
+                 dangles at every crossing",
+                u.name, this, missing
+            ),
+            allowed: None,
+        });
+    }
+    findings
 }
 
 fn last_line(body: &[Node]) -> Option<u32> {
@@ -738,6 +960,17 @@ const LAYERS: &[Layer] = &[
                 &["command", "firmware", "msg", "plugins", "config"],
             ),
         ],
+    },
+    Layer {
+        krate: "obs",
+        // The trace-analytics engine observes through public surfaces
+        // only: the span stream and stats (sim), the assembled cluster
+        // and workload drivers (core, dlrm), and the fault-plan config
+        // it needs to stage degraded captures. It may never reach the
+        // engine or switch internals — an analyzer that depends on
+        // private structure stops being evidence about the system.
+        allowed: &["accl_sim", "accl_core", "accl_dlrm"],
+        restricted: &[("accl_net", &["NodeAddr", "Degradation", "FaultPlan"])],
     },
 ];
 

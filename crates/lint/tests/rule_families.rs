@@ -424,3 +424,97 @@ fn run_op(&mut self, ctx: &mut Ctx<'_>, req: OpReq) {
         "deleting the early-out span_end must trip resource-pairing: {found:?}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// resource-pairing: flow-edge lifecycle
+// ---------------------------------------------------------------------------
+
+#[test]
+fn flow_handle_dropped_on_early_return_is_flagged() {
+    let src = "
+fn send_seg(&mut self, ctx: &mut Ctx<'_>, seg: Seg) {
+    let flow = ctx.flow_begin(\"poe.flow\", seg.span);
+    if seg.bytes == 0 {
+        return;
+    }
+    self.wire(ctx, seg.with_flow(flow));
+}
+";
+    let found = gating("fixture.rs", src);
+    assert!(
+        has_rule(&found, "resource-pairing"),
+        "early return with the flow handle unjoined and unescaped must be flagged: {found:?}"
+    );
+}
+
+#[test]
+fn flow_handle_joined_or_escaping_is_clean() {
+    // The shipping Tx-side shape: the handle is stamped into the frame
+    // (escape — the Rx side joins it later) …
+    let tx = "
+fn send_seg(&mut self, ctx: &mut Ctx<'_>, seg: Seg) {
+    let flow = ctx.flow_begin(\"poe.flow\", seg.span);
+    self.wire(ctx, seg.with_flow(flow));
+}
+";
+    assert_eq!(gating("fixture.rs", tx), vec![]);
+    // … and a local loopback that joins the handle itself.
+    let local = "
+fn loopback(&mut self, ctx: &mut Ctx<'_>, span: SpanId, rx_span: SpanId) {
+    let flow = ctx.flow_begin(\"poe.flow\", span);
+    ctx.flow_end(\"poe.flow\", flow, rx_span);
+}
+";
+    assert_eq!(gating("fixture.rs", local), vec![]);
+}
+
+#[test]
+fn flow_emit_without_any_join_in_the_corpus_is_flagged() {
+    // The workspace-level half: both sides of a handoff live in different
+    // functions (often different files), so the emit/join name match runs
+    // over every collected site at once.
+    let tx = accl_lint::flow_edge_uses_in(
+        "tx.rs",
+        "fn a(&mut self, ctx: &mut Ctx<'_>, s: SpanId) -> FlowId { ctx.flow_begin(\"poe.flow\", s) }",
+    );
+    let rx = accl_lint::flow_edge_uses_in(
+        "rx.rs",
+        "fn b(&mut self, ctx: &mut Ctx<'_>, f: FlowId, s: SpanId) { ctx.flow_end(\"poe.flow\", f, s) }",
+    );
+    let paired: Vec<_> = tx.iter().cloned().chain(rx.iter().cloned()).collect();
+    assert!(accl_lint::rules::flow_join_findings(&paired).is_empty());
+
+    // Tx alone: the edge is emitted but nothing in the corpus joins it.
+    let findings = accl_lint::rules::flow_join_findings(&tx);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "resource-pairing");
+    assert!(findings[0].message.contains("poe.flow"), "{findings:?}");
+
+    // Rx alone: an orphaned join is just as wrong.
+    assert_eq!(accl_lint::rules::flow_join_findings(&rx).len(), 1);
+}
+
+#[test]
+fn planted_bug_deleted_flow_join_is_caught_workspace_wide() {
+    // Take the real UDP engine, verify its flow edges pair, then delete
+    // the Rx-side join. The per-file walk cannot see the loss (the handle
+    // rides inside the frame), but the corpus-level name match must.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../poe/src/udp.rs");
+    let src = std::fs::read_to_string(path).expect("read crates/poe/src/udp.rs");
+    let clean = accl_lint::flow_edge_uses_in("crates/poe/src/udp.rs", &src);
+    assert!(clean.iter().any(|u| u.emitted) && clean.iter().any(|u| !u.emitted));
+    assert!(accl_lint::rules::flow_join_findings(&clean).is_empty());
+
+    let planted = src.replace("ctx.flow_end(\"poe.flow\", frame.flow, rx_span);", "");
+    assert_ne!(
+        planted, src,
+        "flow join site not found — receive path moved?"
+    );
+    let uses = accl_lint::flow_edge_uses_in("crates/poe/src/udp.rs", &planted);
+    let findings = accl_lint::rules::flow_join_findings(&uses);
+    assert!(
+        !findings.is_empty(),
+        "deleting the Rx-side flow_end must trip the workspace flow-pairing check"
+    );
+    assert!(findings.iter().all(|f| f.rule == "resource-pairing"));
+}

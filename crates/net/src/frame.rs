@@ -4,7 +4,7 @@ use core::any::Any;
 use core::fmt;
 
 use accl_sim::event::{Endpoint, Payload};
-use accl_sim::trace::SpanId;
+use accl_sim::trace::{FlowId, SpanId};
 
 /// Ethernet + IP + transport header overhead modelled per frame, in bytes.
 ///
@@ -79,6 +79,13 @@ pub struct Frame {
     /// the network records its serialization, queueing and hop spans.
     /// [`SpanId::NONE`] when tracing is off (always when compiled out).
     pub span: SpanId,
+    /// Explicit cross-rank causal flow edge: the Tx POE emits a flow at
+    /// segment creation ([`accl_sim::trace::FlowId`] via `Ctx::flow_begin`)
+    /// and the Rx POE joins it into its receive span, making the Tx→Rx
+    /// handoff a first-class DAG edge for critical-path analysis (and a
+    /// Chrome `s`/`f` arrow in the trace export). [`FlowId::NONE`] when
+    /// tracing is off. Excluded from the FCS, like `src` and `span`.
+    pub flow: FlowId,
     /// Flow-control credit accounting: when set, the sending
     /// [`crate::switch::NetPort`] posts a [`CreditReturn`] to this endpoint
     /// once the frame has fully serialized onto the uplink, returning the
@@ -113,6 +120,7 @@ impl Frame {
             body: Payload::cloneable(body),
             fcs: Frame::compute_fcs(dst, payload_bytes, 1),
             span: SpanId::NONE,
+            flow: FlowId::NONE,
             credit_return: None,
         }
     }
@@ -160,6 +168,7 @@ impl Frame {
                 .expect("frame bodies are always cloneable (Frame::new requires Clone)"),
             fcs: self.fcs,
             span: self.span,
+            flow: self.flow,
             credit_return: self.credit_return,
         }
     }
@@ -180,6 +189,13 @@ impl Frame {
     /// wire to the network layers and the receiver.
     pub fn with_span(mut self, span: SpanId) -> Self {
         self.span = span;
+        self
+    }
+
+    /// Attaches the Tx-side causal flow edge the receiving POE must join
+    /// with `Ctx::flow_end`. Does not disturb the FCS.
+    pub fn with_flow(mut self, flow: FlowId) -> Self {
+        self.flow = flow;
         self
     }
 

@@ -1,0 +1,199 @@
+//! Reference-workload capture: run a traced simulation, snapshot it
+//! into a [`TraceDoc`].
+//!
+//! Two workloads match what CI gates on: the paper's primary 8-rank
+//! device-data allreduce over Coyote+RDMA, and the 10-node DLRM
+//! inference pipeline. Every capture verifies the run's data (a trace of
+//! a wrong answer is worse than no trace) before snapshotting.
+//!
+//! The degraded-link knob installs a zero-loss bandwidth throttle on one
+//! rank's link for the whole run. Zero loss matters: the fault plan only
+//! draws from the switch RNG for probabilistic faults, so a pure
+//! throttle perturbs timing — which the diff must attribute to that
+//! rank — without forking the random stream.
+
+use accl_core::{AcclCluster, BufLoc, ClusterConfig, CollOp, CollSpec, DType, ReduceFn};
+use accl_dlrm::model::{DlrmConfig, DlrmModel};
+use accl_dlrm::pipeline::{run_pipeline_observed, DlrmTiming, PipelineObserve};
+use accl_net::{Degradation, FaultPlan, NodeAddr};
+use accl_sim::prelude::*;
+
+use crate::model::TraceDoc;
+
+/// Which reference workload to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// 8-rank device-data allreduce (4096 × i32, sum) over Coyote+RDMA.
+    Allreduce8,
+    /// The 10-node DLRM inference pipeline (3 inferences, small model).
+    Dlrm,
+}
+
+impl Workload {
+    /// Label written into the trace document.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Allreduce8 => "allreduce8",
+            Workload::Dlrm => "dlrm",
+        }
+    }
+
+    /// Parses a workload label.
+    pub fn from_label(s: &str) -> Option<Workload> {
+        match s {
+            "allreduce8" => Some(Workload::Allreduce8),
+            "dlrm" => Some(Workload::Dlrm),
+            _ => None,
+        }
+    }
+}
+
+/// Everything that shapes one capture.
+#[derive(Debug, Clone, Copy)]
+pub struct CaptureConfig {
+    /// The workload to run.
+    pub workload: Workload,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Simulator worker threads.
+    pub workers: usize,
+    /// Event-queue kind.
+    pub queue: QueueKind,
+    /// Metric window width; `None` disables windowed metrics.
+    pub window: Option<Dur>,
+    /// Span-ring capacity (the capture asserts nothing was dropped).
+    pub span_capacity: usize,
+    /// Throttle this rank's link to 10 Gb/s for the whole run
+    /// (allreduce only; the DLRM pipeline owns its cluster's fault
+    /// state).
+    pub degrade_rank: Option<u32>,
+}
+
+impl Default for CaptureConfig {
+    fn default() -> Self {
+        CaptureConfig {
+            workload: Workload::Allreduce8,
+            seed: 1,
+            workers: 1,
+            queue: QueueKind::default(),
+            window: Some(Dur::from_us(1)),
+            span_capacity: 1 << 20,
+            degrade_rank: None,
+        }
+    }
+}
+
+/// A `[start-of-time, forever)` 10 Gb/s zero-loss throttle on one link.
+fn whole_run_throttle(rank: u32) -> (NodeAddr, Degradation) {
+    (
+        NodeAddr(rank),
+        Degradation {
+            from: Time::ZERO,
+            until: Time::ZERO + Dur::from_ps(u64::MAX / 2),
+            loss_ppm: 0,
+            throttle_gbps_x100: 1_000,
+        },
+    )
+}
+
+/// Runs the configured workload with tracing on and snapshots the trace.
+pub fn capture(cfg: &CaptureConfig) -> TraceDoc {
+    match cfg.workload {
+        Workload::Allreduce8 => capture_allreduce8(cfg),
+        Workload::Dlrm => capture_dlrm(cfg),
+    }
+}
+
+fn i32s(vals: &[i32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn from_i32s(b: &[u8]) -> Vec<i32> {
+    b.chunks_exact(4)
+        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn capture_allreduce8(cfg: &CaptureConfig) -> TraceDoc {
+    let n = 8usize;
+    let count = 4096u64;
+    let mut cluster = AcclCluster::build(ClusterConfig {
+        seed: cfg.seed,
+        ..ClusterConfig::coyote_rdma(n).with_workers(cfg.workers)
+    });
+    cluster.sim.set_queue_kind(cfg.queue);
+    cluster.enable_tracing(cfg.span_capacity);
+    if let Some(w) = cfg.window {
+        cluster.enable_metric_windows(w);
+    }
+    if let Some(rank) = cfg.degrade_rank {
+        assert!((rank as usize) < n, "degrade rank out of range");
+        let (addr, window) = whole_run_throttle(rank);
+        cluster.set_fault_plan(FaultPlan::none().with_degradation(addr, window));
+    }
+    let mut specs = Vec::new();
+    let mut dsts = Vec::new();
+    for rank in 0..n {
+        let src = cluster.alloc(rank, BufLoc::Device, count * 4);
+        let dst = cluster.alloc(rank, BufLoc::Device, count * 4);
+        let data: Vec<i32> = (0..count as i32).map(|i| i + rank as i32 * 1000).collect();
+        cluster.write(&src, &i32s(&data));
+        specs.push(
+            CollSpec::new(CollOp::AllReduce, count, DType::I32)
+                .src(src)
+                .dst(dst)
+                .func(ReduceFn::Sum),
+        );
+        dsts.push(dst);
+    }
+    cluster.host_collective(specs);
+    let expect: Vec<i32> = (0..count as i32)
+        .map(|i| (0..n as i32).map(|r| i + r * 1000).sum())
+        .collect();
+    for (rank, dst) in dsts.iter().enumerate() {
+        assert_eq!(
+            from_i32s(&cluster.read(dst)),
+            expect,
+            "rank {rank} result wrong; refusing to snapshot a bad run"
+        );
+    }
+    TraceDoc::from_cluster(
+        &cluster,
+        Workload::Allreduce8.label(),
+        cfg.seed,
+        cfg.workers,
+    )
+}
+
+fn capture_dlrm(cfg: &CaptureConfig) -> TraceDoc {
+    assert!(
+        cfg.degrade_rank.is_none(),
+        "degrade-rank is only supported for the allreduce workload"
+    );
+    let model = DlrmModel::generate(
+        DlrmConfig {
+            tables: 16,
+            embed_dim: 8,
+            rows_per_table: 64,
+            fc_dims: [64, 32, 16],
+            fc1_row_groups: 2,
+            fc1_col_groups: 4,
+        },
+        cfg.seed,
+    );
+    let inferences = 3;
+    let observe = PipelineObserve {
+        span_capacity: cfg.span_capacity,
+        metric_window: cfg.window,
+        queue: Some(cfg.queue),
+    };
+    let (result, cluster) = run_pipeline_observed(
+        &model,
+        DlrmTiming::default(),
+        inferences,
+        cfg.workers,
+        &observe,
+    );
+    assert_eq!(result.done_at.len(), inferences, "pipeline did not finish");
+    TraceDoc::from_cluster(&cluster, Workload::Dlrm.label(), cfg.seed, cfg.workers)
+}

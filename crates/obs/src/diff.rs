@@ -1,0 +1,230 @@
+//! Run-to-run trace diffing.
+//!
+//! Two runs of the same workload are compared by their critical-path
+//! attributions: rows join on `(component kind, span type, rank)` — a
+//! key that is stable across seeds and machines because it names *what*
+//! the time was spent on, not *when* — and the report states which keys
+//! grew, by how much, in plain terms ("rbm meta wait on rank 3 grew
+//! 41000 ps"). The CI regression gate fails on any growth that clears
+//! both an absolute and a relative threshold, so picosecond-level noise
+//! in genuinely-changed code does not flap the gate while real
+//! regressions name their culprit.
+
+use crate::critpath::Attribution;
+
+/// One joined attribution row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffRow {
+    /// Component kind (rank prefix stripped).
+    pub comp_kind: String,
+    /// Span name.
+    pub name: String,
+    /// Rank (`None` for harness components).
+    pub rank: Option<u32>,
+    /// Critical-path time in the baseline, picoseconds.
+    pub base_ps: u64,
+    /// Critical-path time in the candidate, picoseconds.
+    pub cur_ps: u64,
+}
+
+impl DiffRow {
+    /// Signed growth, candidate minus baseline.
+    pub fn delta_ps(&self) -> i64 {
+        self.cur_ps as i64 - self.base_ps as i64
+    }
+}
+
+/// The full diff of two attributions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DiffReport {
+    /// Baseline end-to-end total, picoseconds.
+    pub base_total_ps: u64,
+    /// Candidate end-to-end total, picoseconds.
+    pub cur_total_ps: u64,
+    /// All joined rows (outer join: a key present in only one run gets
+    /// zero on the other side), ordered by descending growth.
+    pub rows: Vec<DiffRow>,
+}
+
+impl DiffReport {
+    /// Signed end-to-end growth.
+    pub fn total_delta_ps(&self) -> i64 {
+        self.cur_total_ps as i64 - self.base_total_ps as i64
+    }
+
+    /// Rows whose growth clears both thresholds: at least `abs_ps`
+    /// picoseconds AND at least `permille`/1000 of the row's baseline
+    /// (a row absent from the baseline regresses on the absolute
+    /// threshold alone).
+    pub fn regressions(&self, abs_ps: u64, permille: u64) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| is_regression(r, abs_ps, permille))
+            .collect()
+    }
+
+    /// Renders the report; regressions (per the thresholds) are marked.
+    pub fn render(&self, abs_ps: u64, permille: u64) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "end-to-end: base {} ps, current {} ps, delta {:+} ps\n",
+            self.base_total_ps,
+            self.cur_total_ps,
+            self.total_delta_ps()
+        ));
+        out.push_str(&format!(
+            "  {:<22} {:<18} {:>5} {:>14} {:>14} {:>12}\n",
+            "component", "span", "rank", "base(ps)", "current(ps)", "delta(ps)"
+        ));
+        for r in &self.rows {
+            let mark = if is_regression(r, abs_ps, permille) {
+                " <-- REGRESSION"
+            } else {
+                ""
+            };
+            let rank = r.rank.map(|x| x.to_string()).unwrap_or_else(|| "-".into());
+            out.push_str(&format!(
+                "  {:<22} {:<18} {:>5} {:>14} {:>14} {:>+12}{}\n",
+                r.comp_kind,
+                r.name,
+                rank,
+                r.base_ps,
+                r.cur_ps,
+                r.delta_ps(),
+                mark
+            ));
+        }
+        let regs = self.regressions(abs_ps, permille);
+        if regs.is_empty() {
+            out.push_str("no regressions\n");
+        } else {
+            for r in regs {
+                let rank = r
+                    .rank
+                    .map(|x| format!("rank {x}"))
+                    .unwrap_or_else(|| "harness".into());
+                out.push_str(&format!(
+                    "REGRESSION: {} {} on {} grew {} ps ({} -> {})\n",
+                    r.comp_kind,
+                    r.name,
+                    rank,
+                    r.delta_ps(),
+                    r.base_ps,
+                    r.cur_ps
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn is_regression(r: &DiffRow, abs_ps: u64, permille: u64) -> bool {
+    let delta = r.delta_ps();
+    if delta <= 0 || (delta as u64) < abs_ps {
+        return false;
+    }
+    r.base_ps == 0
+        || u128::from(delta as u64) * 1000 >= u128::from(r.base_ps) * u128::from(permille)
+}
+
+/// Outer-joins two attributions on `(component kind, span type, rank)`.
+pub fn diff_attributions(base: &Attribution, cur: &Attribution) -> DiffReport {
+    use std::collections::BTreeMap;
+    let mut joined: BTreeMap<(String, String, Option<u32>), (u64, u64)> = BTreeMap::new();
+    for r in &base.rows {
+        joined
+            .entry((r.comp_kind.clone(), r.name.clone(), r.rank))
+            .or_default()
+            .0 += r.ps;
+    }
+    for r in &cur.rows {
+        joined
+            .entry((r.comp_kind.clone(), r.name.clone(), r.rank))
+            .or_default()
+            .1 += r.ps;
+    }
+    let mut rows: Vec<DiffRow> = joined
+        .into_iter()
+        .map(|((comp_kind, name, rank), (base_ps, cur_ps))| DiffRow {
+            comp_kind,
+            name,
+            rank,
+            base_ps,
+            cur_ps,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.delta_ps()
+            .cmp(&a.delta_ps())
+            .then_with(|| (&a.comp_kind, &a.name, a.rank).cmp(&(&b.comp_kind, &b.name, b.rank)))
+    });
+    DiffReport {
+        base_total_ps: base.total_ps,
+        cur_total_ps: cur.total_ps,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::critpath::AttributionRow;
+
+    fn attr(rows: Vec<(&str, &str, Option<u32>, u64)>) -> Attribution {
+        let total = rows.iter().map(|r| r.3).sum();
+        Attribution {
+            rows: rows
+                .into_iter()
+                .map(|(c, n, rank, ps)| AttributionRow {
+                    comp_kind: c.to_string(),
+                    name: n.to_string(),
+                    rank,
+                    ps,
+                })
+                .collect(),
+            total_ps: total,
+        }
+    }
+
+    #[test]
+    fn identical_attributions_have_no_regressions() {
+        let a = attr(vec![("poe", "tx.seg", Some(1), 500)]);
+        let d = diff_attributions(&a, &a.clone());
+        assert_eq!(d.total_delta_ps(), 0);
+        assert!(d.regressions(1, 1).is_empty());
+    }
+
+    #[test]
+    fn growth_clears_both_thresholds() {
+        let base = attr(vec![
+            ("rbm", "rbm.meta", Some(3), 1000),
+            ("poe", "tx.seg", Some(0), 1000),
+        ]);
+        let cur = attr(vec![
+            ("rbm", "rbm.meta", Some(3), 42_000), // grew 41 000 ps
+            ("poe", "tx.seg", Some(0), 1004),     // noise
+        ]);
+        let d = diff_attributions(&base, &cur);
+        let regs = d.regressions(1000, 100); // >= 1 ns and >= 10 %
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].comp_kind, "rbm");
+        assert_eq!(regs[0].rank, Some(3));
+        assert_eq!(regs[0].delta_ps(), 41_000);
+        let text = d.render(1000, 100);
+        assert!(text.contains("rbm rbm.meta on rank 3 grew 41000 ps"));
+    }
+
+    #[test]
+    fn outer_join_keeps_one_sided_rows() {
+        let base = attr(vec![("uc", "uc.decode", Some(0), 10)]);
+        let cur = attr(vec![("net", "net.wire", None, 7)]);
+        let d = diff_attributions(&base, &cur);
+        assert_eq!(d.rows.len(), 2);
+        let gone = d.rows.iter().find(|r| r.comp_kind == "uc").unwrap();
+        assert_eq!((gone.base_ps, gone.cur_ps), (10, 0));
+        let new = d.rows.iter().find(|r| r.comp_kind == "net").unwrap();
+        assert_eq!((new.base_ps, new.cur_ps), (0, 7));
+        // A brand-new row regresses on the absolute threshold alone.
+        assert_eq!(d.regressions(5, 100).len(), 1);
+    }
+}

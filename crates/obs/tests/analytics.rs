@@ -1,0 +1,209 @@
+//! End-to-end acceptance tests for the trace-analytics engine, against
+//! the real simulator (not synthetic event lists):
+//!
+//!  - the critical path of the 8-rank allreduce is an exact integer
+//!    partition of each call's end-to-end latency, and its digest is
+//!    bit-identical run-to-run, across event-queue kinds, and across
+//!    1/2/4/8 simulator workers;
+//!  - `diff` between two seeds of the same workload reports zero
+//!    regressions;
+//!  - `diff` against a deliberately degraded link names the affected
+//!    component, span type and rank;
+//!  - windowed metrics merge deterministically across shards;
+//!  - a captured document round-trips bit-exactly through the JSON
+//!    interchange form.
+
+use accl_obs::{
+    attribute, capture, critical_path, critical_path_digest, diff_attributions, json, Attribution,
+    CaptureConfig, CriticalPath, SpanGraph, TraceDoc, Workload,
+};
+use accl_sim::prelude::*;
+
+fn analyze(doc: &TraceDoc) -> (Vec<CriticalPath>, Attribution) {
+    let g = SpanGraph::build(doc);
+    assert!(
+        g.dangling_flows.is_empty(),
+        "every emitted flow edge must be joined on the receive side: {:?}",
+        g.dangling_flows
+    );
+    let roots = g.roots(|n| n == "driver.coll");
+    assert!(!roots.is_empty(), "no collective roots in the trace");
+    let paths: Vec<CriticalPath> = roots
+        .iter()
+        .map(|&r| critical_path(&g, r).expect("root has begin and end"))
+        .collect();
+    let attr = attribute(doc, &paths);
+    (paths, attr)
+}
+
+#[test]
+fn allreduce_critical_path_is_an_exact_integer_partition() {
+    let doc = capture(&CaptureConfig::default());
+    let (paths, attr) = analyze(&doc);
+    assert_eq!(paths.len(), 8, "one root per rank");
+    for p in &paths {
+        // Exact to the picosecond, per root: segments are contiguous
+        // and tile [begin, end].
+        assert_eq!(p.attributed_ps(), p.total_ps());
+        let mut cursor = p.begin_ps;
+        for s in &p.segments {
+            assert_eq!(s.from_ps, cursor, "segments must be contiguous");
+            assert!(s.to_ps > s.from_ps, "segments must be non-empty");
+            cursor = s.to_ps;
+        }
+        assert_eq!(cursor, p.end_ps);
+    }
+    // And in aggregate across the table.
+    assert_eq!(attr.attributed_ps(), attr.total_ps);
+    assert!(attr.total_ps > 0);
+}
+
+#[test]
+fn critical_path_digest_is_replay_queue_and_worker_invariant() {
+    let digest_of = |cfg: &CaptureConfig| {
+        let doc = capture(cfg);
+        let (paths, _) = analyze(&doc);
+        critical_path_digest(&paths)
+    };
+    let golden = digest_of(&CaptureConfig::default());
+    // Run-to-run.
+    assert_eq!(
+        digest_of(&CaptureConfig::default()),
+        golden,
+        "rerun diverged"
+    );
+    // Queue A/B.
+    assert_eq!(
+        digest_of(&CaptureConfig {
+            queue: QueueKind::Heap,
+            ..CaptureConfig::default()
+        }),
+        golden,
+        "heap queue diverged"
+    );
+    // Worker counts.
+    for workers in [2usize, 4, 8] {
+        assert_eq!(
+            digest_of(&CaptureConfig {
+                workers,
+                ..CaptureConfig::default()
+            }),
+            golden,
+            "{workers}-worker run diverged"
+        );
+    }
+}
+
+#[test]
+fn diff_between_seeds_reports_zero_regressions() {
+    let a = capture(&CaptureConfig::default());
+    let b = capture(&CaptureConfig {
+        seed: 2,
+        ..CaptureConfig::default()
+    });
+    let (_, attr_a) = analyze(&a);
+    let (_, attr_b) = analyze(&b);
+    let report = diff_attributions(&attr_a, &attr_b);
+    // CI gate thresholds: 1 µs absolute AND 5 % relative.
+    assert!(
+        report.regressions(1_000_000, 50).is_empty(),
+        "seed change must not register as a regression:\n{}",
+        report.render(1_000_000, 50)
+    );
+}
+
+#[test]
+fn degraded_link_diff_names_component_span_and_rank() {
+    let base = capture(&CaptureConfig::default());
+    let degraded = capture(&CaptureConfig {
+        degrade_rank: Some(3),
+        ..CaptureConfig::default()
+    });
+    let (_, attr_base) = analyze(&base);
+    let (_, attr_deg) = analyze(&degraded);
+    let report = diff_attributions(&attr_base, &attr_deg);
+    assert!(
+        report.total_delta_ps() > 0,
+        "a 10 Gb/s throttle must lengthen the collective"
+    );
+    let regs = report.regressions(1_000_000, 50);
+    assert!(
+        !regs.is_empty(),
+        "the throttle must register as a regression"
+    );
+    // The report names the affected rank — the throttled one — with a
+    // concrete component kind and span type.
+    let on_rank3 = regs.iter().find(|r| r.rank == Some(3)).unwrap_or_else(|| {
+        panic!(
+            "expected a regression attributed to rank 3:\n{}",
+            report.render(1_000_000, 50)
+        )
+    });
+    assert!(!on_rank3.comp_kind.is_empty());
+    assert!(!on_rank3.name.is_empty());
+    let text = report.render(1_000_000, 50);
+    assert!(text.contains("on rank 3 grew"), "report: {text}");
+}
+
+#[test]
+fn windowed_metrics_are_worker_invariant() {
+    let strip_workers = |mut d: TraceDoc| {
+        d.workers = 0;
+        d
+    };
+    let seq = strip_workers(capture(&CaptureConfig::default()));
+    assert!(
+        seq.windows.as_ref().is_some_and(|w| !w.rows.is_empty()),
+        "default capture must produce populated windows"
+    );
+    for workers in [2usize, 4] {
+        let par = strip_workers(capture(&CaptureConfig {
+            workers,
+            ..CaptureConfig::default()
+        }));
+        assert_eq!(
+            par.windows, seq.windows,
+            "{workers}-worker windowed metrics diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn captured_trace_round_trips_through_json() {
+    let doc = capture(&CaptureConfig::default());
+    let text = json::serialize(&doc);
+    let back = json::parse(&text).expect("parse back");
+    assert_eq!(back, doc);
+    // The analyses agree on original and round-tripped documents.
+    let (paths_a, _) = analyze(&doc);
+    let (paths_b, _) = analyze(&back);
+    assert_eq!(
+        critical_path_digest(&paths_a),
+        critical_path_digest(&paths_b)
+    );
+}
+
+#[test]
+fn dlrm_pipeline_traces_and_attributes() {
+    let doc = capture(&CaptureConfig {
+        workload: Workload::Dlrm,
+        ..CaptureConfig::default()
+    });
+    assert!(!doc.events.is_empty());
+    let g = SpanGraph::build(&doc);
+    assert!(g.dangling_flows.is_empty());
+    // Kernel-driven collectives have no host driver; their roots are the
+    // uC call spans. Every completed root attributes exactly.
+    let roots = g.roots(|n| n == "uc.call");
+    assert!(!roots.is_empty(), "DLRM trace has no collective roots");
+    let paths: Vec<CriticalPath> = roots.iter().filter_map(|&r| critical_path(&g, r)).collect();
+    for p in &paths {
+        assert_eq!(p.attributed_ps(), p.total_ps());
+    }
+    // Deterministic across a rerun.
+    let again = capture(&CaptureConfig {
+        workload: Workload::Dlrm,
+        ..CaptureConfig::default()
+    });
+    assert_eq!(again.events, doc.events);
+}

@@ -481,9 +481,11 @@ impl RdmaPoe {
                 }],
             );
         }
+        let flow = ctx.flow_begin("poe.flow", wire_span);
         let frame = Frame::new(accl_net::NodeAddr(0), peer, seg.data.len() as u32, pdu)
             .with_segments(fragments)
-            .with_span(wire_span);
+            .with_span(wire_span)
+            .with_flow(flow);
         self.send_gated(ctx, latency, frame);
     }
 
@@ -701,6 +703,7 @@ impl Component for RdmaPoe {
                 } else {
                     SpanId::NONE
                 };
+                ctx.flow_end("poe.flow", frame.flow, rx_span);
                 match frame.body.downcast::<RdmaPdu>() {
                     RdmaPdu::Send {
                         dst_qp,

@@ -15,7 +15,7 @@ use bytes::{Bytes, BytesMut};
 
 use accl_net::Frame;
 use accl_sim::prelude::*;
-use accl_sim::trace::{Attr, AttrValue, SpanId};
+use accl_sim::trace::{Attr, AttrValue, FlowId, SpanId};
 
 use crate::iface::{
     ports, PoeRxMeta, PoeSessionError, PoeTxCmd, PoeTxDone, PoeUpward, RxChunk, SessionErrorKind,
@@ -501,6 +501,7 @@ impl TcpPoe {
                     }],
                 );
             }
+            let flow = ctx.flow_begin("poe.flow", wire_span);
             let frame = Frame::new(
                 accl_net::NodeAddr(0),
                 peer,
@@ -512,7 +513,8 @@ impl TcpPoe {
                 },
             )
             .with_segments(segments)
-            .with_span(wire_span);
+            .with_span(wire_span)
+            .with_flow(flow);
             frames.push(frame);
         }
         self.segments_sent += sent;
@@ -555,6 +557,7 @@ impl TcpPoe {
         accl_sim::trace_instant!(ctx, "poe.retransmit", parent);
         let segments = (data.len() as u64).div_ceil(u64::from(self.cfg.mss)).max(1) as u32;
         self.segments_sent += u64::from(segments);
+        let flow = ctx.flow_begin("poe.flow", parent);
         let frame = Frame::new(
             accl_net::NodeAddr(0),
             peer,
@@ -566,7 +569,8 @@ impl TcpPoe {
             },
         )
         .with_segments(segments)
-        .with_span(parent);
+        .with_span(parent)
+        .with_flow(flow);
         self.send_gated(ctx, latency, frame);
     }
 
@@ -629,13 +633,14 @@ impl TcpPoe {
         }
     }
 
-    fn on_segment(&mut self, ctx: &mut Ctx<'_>, seg: TcpSegment, wire_span: SpanId) {
+    fn on_segment(&mut self, ctx: &mut Ctx<'_>, seg: TcpSegment, wire_span: SpanId, flow: FlowId) {
         let latency = self.latency();
         let rx_span = if ctx.spans_enabled() {
             ctx.span_interval("poe.rx", wire_span, ctx.now(), ctx.now() + latency)
         } else {
             SpanId::NONE
         };
+        ctx.flow_end("poe.flow", flow, rx_span);
         let session = seg.dst_session;
         let (peer, peer_session) = self.sessions.peer(session);
         let rwnd = self.cfg.rwnd_bytes;
@@ -717,6 +722,7 @@ impl Component for TcpPoe {
                     return;
                 }
                 let wire_span = frame.span;
+                let flow = frame.flow;
                 match frame.body.try_downcast::<TcpSegment>() {
                     Ok(mut seg) => {
                         if corrupted && !seg.data.is_empty() {
@@ -726,7 +732,7 @@ impl Component for TcpPoe {
                             bytes[0] ^= 0xff;
                             seg.data = Bytes::from(bytes);
                         }
-                        self.on_segment(ctx, seg, wire_span)
+                        self.on_segment(ctx, seg, wire_span, flow)
                     }
                     Err(body) => self.on_ack(ctx, body.downcast::<TcpAck>()),
                 }

@@ -159,9 +159,11 @@ impl UdpPoe {
                     }],
                 );
             }
+            let flow = ctx.flow_begin("poe.flow", wire_span);
             // `src` is stamped by the NetPort.
-            let frame =
-                Frame::new(accl_net::NodeAddr(0), peer, payload_bytes, dgram).with_span(wire_span);
+            let frame = Frame::new(accl_net::NodeAddr(0), peer, payload_bytes, dgram)
+                .with_span(wire_span)
+                .with_flow(flow);
             self.send_gated(ctx, latency, frame);
             if seg.last {
                 ctx.send(
@@ -215,6 +217,7 @@ impl Component for UdpPoe {
                 } else {
                     SpanId::NONE
                 };
+                ctx.flow_end("poe.flow", frame.flow, rx_span);
                 let accepted = self.demux.accept(
                     dgram.dst_session,
                     dgram.msg_id,

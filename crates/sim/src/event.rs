@@ -31,6 +31,13 @@ impl ComponentId {
     pub const fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds an id from a registry index, for exporters that persist
+    /// component indices (e.g. trace snapshots) and need to look names
+    /// back up. Indices are only meaningful against the same simulator.
+    pub const fn from_index(i: usize) -> ComponentId {
+        ComponentId(i as u32)
+    }
 }
 
 impl fmt::Debug for ComponentId {

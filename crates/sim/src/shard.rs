@@ -452,6 +452,9 @@ fn scatter(sim: &mut Simulator, nparts: usize) -> Vec<Shard> {
             shard_sim.partition_of = sim.partition_of.clone();
             shard_sim.rng = sim.fork_rng(&format!("shard{p}"));
             shard_sim.spans = sim.spans.fork_for_partition(p, &sim.partition_of);
+            if let Some(w) = sim.stats.window_width() {
+                shard_sim.stats.enable_windows(w);
+            }
             if sim.digest.is_some() {
                 shard_sim.digest = Some(FNV_OFFSET);
             }

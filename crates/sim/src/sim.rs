@@ -23,7 +23,7 @@ use crate::event::{ComponentId, Endpoint, Payload, PortId};
 use crate::queue::{EventQueue, QueueKind};
 use crate::stats::Stats;
 use crate::time::{Dur, Time};
-use crate::trace::{Attr, SpanEvent, SpanId, SpanRecorder};
+use crate::trace::{Attr, FlowId, SpanEvent, SpanId, SpanRecorder};
 
 /// A simulated hardware or software entity.
 ///
@@ -170,8 +170,13 @@ impl Ctx<'_> {
         self.rng
     }
 
-    /// Simulation-wide statistics registry.
+    /// Simulation-wide statistics registry. Stamps the current simulated
+    /// time first, so when metric windowing is enabled
+    /// ([`crate::stats::Stats::enable_windows`]) every write through this
+    /// accessor lands in the window containing *now* without call-site
+    /// changes.
     pub fn stats(&mut self) -> &mut Stats {
+        self.stats.stamp_now(self.now);
         self.stats
     }
 
@@ -259,6 +264,22 @@ impl Ctx<'_> {
     pub fn span_instant_attrs(&mut self, name: &'static str, parent: SpanId, attrs: &[Attr]) {
         self.spans
             .instant(self.now, self.self_id, name, parent, attrs);
+    }
+
+    /// Emits the departure side of a cross-rank/cross-shard flow edge at
+    /// the current time, anchored to the producing span `from`; returns
+    /// the deterministic [`FlowId`] to carry in the payload
+    /// ([`FlowId::NONE`] when recording is off). Every emitted edge must
+    /// be joined by a matching [`Ctx::flow_end`] on the receive side —
+    /// `accl-lint`'s flow-pairing rule checks this statically.
+    pub fn flow_begin(&mut self, name: &'static str, from: SpanId) -> FlowId {
+        self.spans.flow_begin(self.now, self.self_id, name, from)
+    }
+
+    /// Joins flow edge `flow` into the consuming span `to` at the current
+    /// time. No-op for [`FlowId::NONE`].
+    pub fn flow_end(&mut self, name: &'static str, flow: FlowId, to: SpanId) {
+        self.spans.flow_end(self.now, self.self_id, name, flow, to);
     }
 }
 
@@ -609,6 +630,16 @@ impl Simulator {
         self.spans.is_enabled()
     }
 
+    /// Enables fixed-width sim-time metric windows: every counter add,
+    /// gauge write, and histogram observation made through [`Ctx::stats`]
+    /// is additionally routed into the window containing the simulated
+    /// time of the write. Integer-only and deterministic; windows merge
+    /// across parallel shards by `(window index, partition order)`. Call
+    /// before the run starts. See [`crate::stats::Stats::enable_windows`].
+    pub fn enable_metric_windows(&mut self, width: Dur) {
+        self.stats.enable_windows(width);
+    }
+
     /// The surviving span ring contents, oldest first.
     pub fn span_events(&self) -> Vec<SpanEvent> {
         self.spans.events()
@@ -640,6 +671,12 @@ impl Simulator {
                     }
                     SpanEventKind::Instant => {
                         format!("{} instant {} parent={:#018x}", e.time, e.name, e.parent.0)
+                    }
+                    SpanEventKind::FlowBegin => {
+                        format!("{} flow-begin {} from={:#018x}", e.time, e.name, e.parent.0)
+                    }
+                    SpanEventKind::FlowEnd => {
+                        format!("{} flow-end {} into={:#018x}", e.time, e.name, e.parent.0)
                     }
                 }
             })

@@ -13,6 +13,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::time::{Dur, Time};
+
 /// Number of log2 buckets in a [`Histogram`] (covers the full `u64` range).
 pub const HISTOGRAM_BUCKETS: usize = 65;
 
@@ -139,6 +141,66 @@ impl Histogram {
     }
 }
 
+/// One fixed-width sim-time window's worth of metric activity: the
+/// counter *deltas*, last gauge writes, and histogram observations that
+/// landed while simulated time sat inside the window. Integer-only and
+/// deterministic; produced by [`Stats`] when windowing is enabled via
+/// [`Stats::enable_windows`].
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
+pub struct WindowSnapshot {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl WindowSnapshot {
+    /// Counter delta accumulated in this window (zero if never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Last gauge write that landed in this window, if any.
+    pub fn gauge(&self, key: &str) -> Option<i64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Histogram of the observations that landed in this window, if any.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Iterates over this window's counter deltas in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates over this window's gauge writes in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates over this window's histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Folds another snapshot of the *same* window (from another shard)
+    /// into this one: counters add, gauges take `other`'s value (callers
+    /// merge shards in partition order, a pure function of the
+    /// simulation), histograms merge observation-wise.
+    fn merge(&mut self, other: &WindowSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
 /// A set of named counters, gauges, histograms and sample series.
 #[derive(Default, Debug, Clone)]
 pub struct Stats {
@@ -146,6 +208,13 @@ pub struct Stats {
     gauges: BTreeMap<String, i64>,
     histograms: BTreeMap<String, Histogram>,
     series: BTreeMap<String, Vec<f64>>,
+    /// Fixed window width in picoseconds; zero means windowing is off.
+    window_width_ps: u64,
+    /// Last simulated time stamped by the scheduling context (raw ps;
+    /// only ever consumed by integer division, never free arithmetic).
+    now_ps: u64,
+    /// Per-window activity, keyed by window index `now / width`.
+    windows: BTreeMap<u64, WindowSnapshot>,
 }
 
 impl Stats {
@@ -154,9 +223,65 @@ impl Stats {
         Self::default()
     }
 
+    /// Enables fixed-width sim-time windowing: every subsequent counter
+    /// add, gauge write, and histogram observation is *additionally*
+    /// routed into the [`WindowSnapshot`] of the window containing the
+    /// simulated time last stamped by the scheduling context. The
+    /// cumulative registry is unchanged. Call before the run starts so
+    /// the whole timeline is covered.
+    pub fn enable_windows(&mut self, width: Dur) {
+        assert!(width.as_ps() > 0, "zero-width metric window");
+        self.window_width_ps = width.as_ps();
+    }
+
+    /// The configured window width, if windowing is enabled.
+    pub fn window_width(&self) -> Option<Dur> {
+        (self.window_width_ps > 0).then(|| Dur::from_ps(self.window_width_ps))
+    }
+
+    /// Stamps the current simulated time so subsequent instrument writes
+    /// land in the right window. Called by `Ctx::stats()`; harness code
+    /// writing through `Simulator::stats_mut` after a run lands in the
+    /// last stamped window.
+    pub(crate) fn stamp_now(&mut self, now: Time) {
+        self.now_ps = now.as_ps();
+    }
+
+    /// Index of the window the last stamped time falls in (`None` when
+    /// windowing is off).
+    pub fn current_window(&self) -> Option<u64> {
+        (self.window_width_ps > 0).then(|| self.now_ps / self.window_width_ps)
+    }
+
+    /// The recorded activity of window `idx`, if anything landed there.
+    pub fn window(&self, idx: u64) -> Option<&WindowSnapshot> {
+        self.windows.get(&idx)
+    }
+
+    /// Iterates over all non-empty windows in index order.
+    pub fn windows(&self) -> impl Iterator<Item = (u64, &WindowSnapshot)> {
+        self.windows.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Start time of window `idx` (meaningful only when windowing is on).
+    pub fn window_start(&self, idx: u64) -> Time {
+        Time::ZERO + Dur::from_ps(self.window_width_ps) * idx
+    }
+
+    fn live_window(&mut self) -> Option<&mut WindowSnapshot> {
+        if self.window_width_ps == 0 {
+            return None;
+        }
+        let idx = self.now_ps / self.window_width_ps;
+        Some(self.windows.entry(idx).or_default())
+    }
+
     /// Adds `delta` to counter `key`, creating it at zero if absent.
     pub fn add(&mut self, key: &str, delta: u64) {
         *self.counters.entry(key.to_string()).or_insert(0) += delta;
+        if let Some(w) = self.live_window() {
+            *w.counters.entry(key.to_string()).or_insert(0) += delta;
+        }
     }
 
     /// Current value of counter `key` (zero if never touched).
@@ -167,6 +292,9 @@ impl Stats {
     /// Sets gauge `key` to `value` (last write wins).
     pub fn set_gauge(&mut self, key: &str, value: i64) {
         self.gauges.insert(key.to_string(), value);
+        if let Some(w) = self.live_window() {
+            w.gauges.insert(key.to_string(), value);
+        }
     }
 
     /// Current value of gauge `key`, if ever set.
@@ -180,6 +308,12 @@ impl Stats {
             .entry(key.to_string())
             .or_default()
             .observe(value);
+        if let Some(w) = self.live_window() {
+            w.histograms
+                .entry(key.to_string())
+                .or_default()
+                .observe(value);
+        }
     }
 
     /// The histogram under `key`, if any observation was made.
@@ -268,6 +402,16 @@ impl Stats {
         for (k, s) in &other.series {
             self.series.entry(k.clone()).or_default().extend(s);
         }
+        // Windows merge by (window index, partition order): same-index
+        // snapshots from different shards fold together exactly like the
+        // cumulative instruments above.
+        for (idx, w) in &other.windows {
+            self.windows.entry(*idx).or_default().merge(w);
+        }
+        if self.window_width_ps == 0 {
+            self.window_width_ps = other.window_width_ps;
+        }
+        self.now_ps = self.now_ps.max(other.now_ps);
     }
 
     /// Clears all counters, gauges, histograms and series (e.g. between
@@ -277,6 +421,7 @@ impl Stats {
         self.gauges.clear();
         self.histograms.clear();
         self.series.clear();
+        self.windows.clear();
     }
 }
 
@@ -367,6 +512,68 @@ mod tests {
         assert_eq!(h.max(), Some(9));
         assert!(s.histogram("absent").is_none());
         assert_eq!(s.histograms().count(), 1);
+    }
+
+    #[test]
+    fn windows_route_by_stamped_time() {
+        let mut s = Stats::new();
+        s.enable_windows(Dur::from_ps(100));
+        s.stamp_now(Time::from_ps(10));
+        s.add("pkts", 2);
+        s.observe("lat", 8);
+        s.set_gauge("depth", 1);
+        s.stamp_now(Time::from_ps(250));
+        s.add("pkts", 5);
+        s.observe("lat", 32);
+        s.set_gauge("depth", 7);
+        // Cumulative view is unchanged by windowing.
+        assert_eq!(s.counter("pkts"), 7);
+        assert_eq!(s.histogram("lat").unwrap().count(), 2);
+        // Window 0 holds the first batch, window 2 the second, window 1
+        // never materializes.
+        let w0 = s.window(0).unwrap();
+        assert_eq!(w0.counter("pkts"), 2);
+        assert_eq!(w0.gauge("depth"), Some(1));
+        assert_eq!(w0.histogram("lat").unwrap().max(), Some(8));
+        assert!(s.window(1).is_none());
+        let w2 = s.window(2).unwrap();
+        assert_eq!(w2.counter("pkts"), 5);
+        assert_eq!(w2.gauge("depth"), Some(7));
+        assert_eq!(s.windows().count(), 2);
+        assert_eq!(s.window_start(2), Time::from_ps(200));
+        assert_eq!(s.current_window(), Some(2));
+    }
+
+    #[test]
+    fn window_merge_matches_sequential_observation() {
+        // Two "shards" observing the same window indices must merge to
+        // exactly what one sequential registry would have recorded.
+        let mut seq = Stats::new();
+        seq.enable_windows(Dur::from_ps(10));
+        let mut a = Stats::new();
+        a.enable_windows(Dur::from_ps(10));
+        let mut b = Stats::new();
+        b.enable_windows(Dur::from_ps(10));
+        for (t, v) in [(1u64, 3u64), (5, 9), (15, 2)] {
+            seq.stamp_now(Time::from_ps(t));
+            seq.add("n", v);
+            seq.observe("h", v);
+        }
+        for (t, v) in [(1u64, 3u64), (15, 2)] {
+            a.stamp_now(Time::from_ps(t));
+            a.add("n", v);
+            a.observe("h", v);
+        }
+        b.stamp_now(Time::from_ps(5));
+        b.add("n", 9);
+        b.observe("h", 9);
+        let mut merged = Stats::new();
+        merged.enable_windows(Dur::from_ps(10));
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.window(0), seq.window(0));
+        assert_eq!(merged.window(1), seq.window(1));
+        assert_eq!(merged.counter("n"), seq.counter("n"));
     }
 
     #[test]

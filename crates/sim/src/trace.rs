@@ -64,6 +64,33 @@ impl SpanId {
     }
 }
 
+/// Identity of one cross-component *flow edge*: an explicit causal arrow
+/// from a producing span (Tx side of a handoff) to the consuming span (Rx
+/// side), carried through payloads exactly like a [`SpanId`]. Flow ids are
+/// derived by the same content-derived FNV machinery as span ids, so they
+/// replay bit-identically; `FlowId::NONE` (zero) means "no flow" and is
+/// what every emission returns while tracing is disabled.
+///
+/// Flows exist because parent links alone cannot express a *join*: the
+/// receive-side span of a Tx→Rx handoff has the wire span as its parent,
+/// but when the handoff crosses ranks (or shards of a parallel run) the
+/// consumer may also causally depend on state owned by another chain.
+/// Emit with [`crate::sim::Ctx::flow_begin`], join with
+/// [`crate::sim::Ctx::flow_end`]; exporters render them as Chrome `s`/`f`
+/// flow arrows and `accl-obs` treats them as extra DAG edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FlowId(pub u64);
+
+impl FlowId {
+    /// The absent flow (produced when tracing is off).
+    pub const NONE: FlowId = FlowId(0);
+
+    /// Whether this is [`FlowId::NONE`].
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
 /// A typed attribute value. Deliberately float-free: attributes ride in
 /// sim-visible code and must not introduce platform-dependent rounding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +161,12 @@ pub enum SpanEventKind {
     End,
     /// A point event (no duration).
     Instant,
+    /// A flow edge departed: `id` is the [`FlowId`] (as a raw u64),
+    /// `parent` the producing span it is anchored to.
+    FlowBegin,
+    /// A flow edge arrived: `id` is the [`FlowId`], `parent` the
+    /// consuming span it joins into.
+    FlowEnd,
 }
 
 /// One record in the span ring: a span opening, closing, or a point event.
@@ -301,6 +334,59 @@ impl SpanRecorder {
             comp,
             name,
             attrs: attrs.to_vec(),
+        });
+    }
+
+    /// Records the departure side of a cross-component flow edge at
+    /// `time`, anchored to the producing span `from`; returns the
+    /// deterministic [`FlowId`] to carry in the payload. The id is derived
+    /// by the same `(component, name, anchor)` ordinal hash as span ids,
+    /// so it replays bit-identically and never collides with `NONE`.
+    pub(crate) fn flow_begin(
+        &mut self,
+        time: Time,
+        comp: ComponentId,
+        name: &'static str,
+        from: SpanId,
+    ) -> FlowId {
+        if !COMPILED || !self.enabled {
+            return FlowId::NONE;
+        }
+        let id = self.next_id(comp, name, from);
+        self.push(SpanEvent {
+            time,
+            kind: SpanEventKind::FlowBegin,
+            id,
+            parent: from,
+            comp,
+            name,
+            attrs: Vec::new(),
+        });
+        FlowId(id.0)
+    }
+
+    /// Records the arrival side of a flow edge at `time`, joining it into
+    /// the consuming span `to`. No-op for [`FlowId::NONE`] (the edge was
+    /// emitted while tracing was off, or never emitted).
+    pub(crate) fn flow_end(
+        &mut self,
+        time: Time,
+        comp: ComponentId,
+        name: &'static str,
+        flow: FlowId,
+        to: SpanId,
+    ) {
+        if !COMPILED || !self.enabled || flow.is_none() {
+            return;
+        }
+        self.push(SpanEvent {
+            time,
+            kind: SpanEventKind::FlowEnd,
+            id: SpanId(flow.0),
+            parent: to,
+            comp,
+            name,
+            attrs: Vec::new(),
         });
     }
 
@@ -697,6 +783,34 @@ pub fn chrome_trace_json(sim: &crate::sim::Simulator) -> String {
                 ),
                 &mut out,
             ),
+            // Chrome flow events: `s` (start) on the producing slice,
+            // `f` with `bp: "e"` (bind to enclosing slice end) on the
+            // consuming slice. Pairs share `cat`, `name`, and `id`; the
+            // id is the deterministic FlowId rendered in hex.
+            SpanEventKind::FlowBegin => push(
+                format!(
+                    "{{\"ph\": \"s\", \"id\": \"{:#x}\", \"name\": \"{}\", \
+                     \"cat\": \"flow\", \"pid\": {}, \"tid\": {}, \"ts\": {}}}",
+                    e.id.0,
+                    json_escape(e.name),
+                    pid,
+                    tid,
+                    ts(e.time),
+                ),
+                &mut out,
+            ),
+            SpanEventKind::FlowEnd => push(
+                format!(
+                    "{{\"ph\": \"f\", \"bp\": \"e\", \"id\": \"{:#x}\", \"name\": \"{}\", \
+                     \"cat\": \"flow\", \"pid\": {}, \"tid\": {}, \"ts\": {}}}",
+                    e.id.0,
+                    json_escape(e.name),
+                    pid,
+                    tid,
+                    ts(e.time),
+                ),
+                &mut out,
+            ),
             SpanEventKind::End => {}
         }
     }
@@ -832,7 +946,7 @@ pub fn span_breakdown(
                     end = Some(e.time);
                 }
             }
-            SpanEventKind::Instant => {}
+            SpanEventKind::Instant | SpanEventKind::FlowBegin | SpanEventKind::FlowEnd => {}
         }
     }
     let (t0, t1) = (begin?, end?);
