@@ -114,6 +114,46 @@ impl Default for LegacyUcConfig {
     }
 }
 
+/// Adaptive (phi-accrual-style) watchdog configuration.
+///
+/// When set on [`CcloConfig::adaptive_watchdog`], the uC replaces the fixed
+/// `collective_timeout_us` threshold with deadlines derived from observed
+/// progress inter-arrival history (see `accl_sim::detector`): a *suspect*
+/// deadline that raises a counter and span without aborting, and a
+/// *confirm* deadline that aborts like the fixed watchdog. Until
+/// `min_samples` gaps are observed the uC falls back to the permissive
+/// `cap_us` bound (or the fixed timeout if that is smaller), so cold-start
+/// calls on slow links are not killed by an uncalibrated detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptiveWatchdogCfg {
+    /// Gap samples required before adaptive deadlines are trusted.
+    pub min_samples: u32,
+    /// Milli-phi threshold of the suspect level (e.g. 4000 = 4.0).
+    pub suspect_phi_milli: u64,
+    /// Milli-phi threshold of the confirm (abort) level.
+    pub confirm_phi_milli: u64,
+    /// Additive deviation floor, µs (guards against zero-variance history).
+    pub jitter_floor_us: u64,
+    /// Lower clamp on any computed deadline, µs.
+    pub floor_us: u64,
+    /// Upper clamp on any computed deadline — and the cold-start fallback
+    /// when history is insufficient — µs.
+    pub cap_us: u64,
+}
+
+impl Default for AdaptiveWatchdogCfg {
+    fn default() -> Self {
+        AdaptiveWatchdogCfg {
+            min_samples: 4,
+            suspect_phi_milli: 4_000,
+            confirm_phi_milli: 8_000,
+            jitter_floor_us: 50,
+            floor_us: 100,
+            cap_us: 100_000,
+        }
+    }
+}
+
 /// Full CCLO engine configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct CcloConfig {
@@ -162,6 +202,13 @@ pub struct CcloConfig {
     /// an extra event and perturbs event timelines).
     #[serde(default)]
     pub notify_rx_exhaustion: bool,
+    /// Adaptive failure detection: when set, the stall watchdog derives
+    /// its deadlines from observed per-peer progress inter-arrival history
+    /// instead of the fixed `collective_timeout_us`, with a two-level
+    /// suspect/confirm escalation. `None` (the default) keeps the fixed
+    /// watchdog behaviour bit-identical to previous versions.
+    #[serde(default)]
+    pub adaptive_watchdog: Option<AdaptiveWatchdogCfg>,
     /// Algorithm selection thresholds.
     pub algo: AlgoConfig,
 }
@@ -184,6 +231,7 @@ impl Default for CcloConfig {
             collective_timeout_us: None,
             max_pending_calls: None,
             notify_rx_exhaustion: false,
+            adaptive_watchdog: None,
             algo: AlgoConfig::default(),
         }
     }

@@ -31,8 +31,10 @@ pub mod txsys;
 pub mod uc;
 
 pub use command::{CcloCommand, CcloDone, CmdStatus, CollOp, DataLoc, SyncProto};
-pub use config::{AlgoConfig, Algorithm, CcloConfig, CommunicatorCfg, LegacyUcConfig};
+pub use config::{
+    AdaptiveWatchdogCfg, AlgoConfig, Algorithm, CcloConfig, CommunicatorCfg, LegacyUcConfig,
+};
 pub use engine::{CcloEngine, CcloEngineSpec};
 pub use firmware::{CollectiveProgram, FirmwareTable};
 pub use msg::{DType, MsgSignature, MsgType, ReduceFn};
-pub use rbm::RbmPurge;
+pub use rbm::{RbmPurge, RbmResync};

@@ -68,7 +68,16 @@ struct UcTimeout {
     seq: u64,
     /// Progress generation at arming time.
     gen: u64,
+    /// Escalation level this token was armed at. Fixed-threshold watchdogs
+    /// always arm at [`DetectLevel::Confirm`] (a firing aborts directly);
+    /// the adaptive detector arms at Suspect first and only a subsequent
+    /// Confirm firing aborts.
+    level: DetectLevel,
 }
+
+/// Detector stream key for local DMP completions (per-peer streams use the
+/// peer's rank, which is always below this).
+const LOCAL_STREAM: u32 = u32::MAX;
 
 /// Why the current call's op stream is blocked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +150,12 @@ pub struct Uc {
     /// RBM pool-exhaustion notifications since the active call started;
     /// classifies watchdog aborts as [`CmdStatus::ResourceExhausted`].
     rx_exhausted_events: u64,
+    /// Adaptive failure detector (present when
+    /// [`CcloConfig::adaptive_watchdog`] is set); learns per-stream
+    /// inter-arrival gaps and replaces the fixed watchdog threshold.
+    detector: Option<FailureDetector>,
+    /// Suspect-level watchdog firings (soft suspicion, no abort).
+    suspicions: u64,
     /// Resource name of the command queue for stall diagnosis.
     resource: String,
 }
@@ -156,6 +171,7 @@ impl Uc {
         reliable: bool,
         scratch_mem: MemAddr,
     ) -> Self {
+        let detector = Self::build_detector(&cfg);
         Uc {
             cfg,
             firmware,
@@ -180,6 +196,8 @@ impl Uc {
             failovers_observed: 0,
             calls_rejected: 0,
             rx_exhausted_events: 0,
+            detector,
+            suspicions: 0,
             resource: "cclo.jobq".to_string(),
         }
     }
@@ -237,6 +255,39 @@ impl Uc {
     /// Commands rejected with [`CmdStatus::Busy`] at admission so far.
     pub fn calls_rejected(&self) -> u64 {
         self.calls_rejected
+    }
+
+    /// Suspect-level watchdog firings so far (adaptive detector only).
+    pub fn suspicions(&self) -> u64 {
+        self.suspicions
+    }
+
+    /// Forgets a peer's inter-arrival history in the adaptive detector.
+    /// Called on rejoin: gaps measured against the peer's previous
+    /// incarnation say nothing about the new one.
+    pub fn reset_peer_history(&mut self, peer: u32) {
+        if let Some(det) = &mut self.detector {
+            det.reset_peer(peer);
+        }
+    }
+
+    /// Forgets ALL inter-arrival history. Called on the node's own
+    /// restart: a rebooted uC has no memory of any cadence.
+    pub fn reset_all_history(&mut self) {
+        self.detector = Self::build_detector(&self.cfg);
+    }
+
+    fn build_detector(cfg: &CcloConfig) -> Option<FailureDetector> {
+        cfg.adaptive_watchdog.map(|a| {
+            FailureDetector::new(DetectorCfg {
+                min_samples: a.min_samples as usize,
+                suspect_phi_milli: a.suspect_phi_milli,
+                confirm_phi_milli: a.confirm_phi_milli,
+                jitter_floor: Dur::from_us(a.jitter_floor_us),
+                floor: Dur::from_us(a.floor_us),
+                cap: Dur::from_us(a.cap_us),
+            })
+        })
     }
 
     fn comm(&self, id: u32) -> &CommunicatorCfg {
@@ -376,23 +427,54 @@ impl Uc {
 
     /// Arms the collective watchdog for the active call's current blocked
     /// state. Stale tokens (progress happened, or another call is active)
-    /// lapse harmlessly at expiry.
+    /// lapse harmlessly at expiry. With the adaptive detector the first
+    /// deadline is armed at the Suspect level; otherwise the fixed
+    /// threshold arms directly at Confirm.
     fn arm_timeout(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(us) = self.cfg.collective_timeout_us else {
-            return;
+        let level = if self.detector.is_some() {
+            DetectLevel::Suspect
+        } else {
+            DetectLevel::Confirm
         };
+        self.arm_timeout_at(ctx, level);
+    }
+
+    /// Arms one watchdog deadline at `level` for the active call.
+    fn arm_timeout_at(&mut self, ctx: &mut Ctx<'_>, level: DetectLevel) {
         let Some(call) = &self.call else {
             return;
         };
         if call.blocked == Blocked::Stepping {
             return; // a STEP event is in flight: the op stream is moving
         }
+        let wait = match (&self.detector, self.cfg.adaptive_watchdog) {
+            (Some(det), Some(acfg)) => {
+                // Adaptive deadline for the stream(s) the call blocks on;
+                // below `min_samples` fall back to the fixed threshold (or
+                // the permissive cap when none is configured).
+                let learned = match call.blocked {
+                    Blocked::RndzvDone(peer, _) => det.wait(peer, level),
+                    Blocked::WaitAll => det.max_wait(level),
+                    Blocked::Stepping => unreachable!("checked above"),
+                };
+                learned.unwrap_or_else(|| {
+                    Dur::from_us(self.cfg.collective_timeout_us.unwrap_or(acfg.cap_us))
+                })
+            }
+            _ => {
+                let Some(us) = self.cfg.collective_timeout_us else {
+                    return;
+                };
+                Dur::from_us(us)
+            }
+        };
         ctx.send_self(
             ports::TIMEOUT,
-            Dur::from_us(us),
+            wait,
             UcTimeout {
                 seq: call.seq,
                 gen: self.progress_gen,
+                level,
             },
         );
     }
@@ -756,6 +838,9 @@ impl Component for Uc {
             ports::DMP_DONE => {
                 let done = payload.downcast::<DmpDone>();
                 self.progress_gen += 1;
+                if let Some(det) = &mut self.detector {
+                    det.observe(LOCAL_STREAM, ctx.now());
+                }
                 if self.orphans.remove(&done.ticket) {
                     // Completion of an instruction belonging to an aborted
                     // call: reap it without touching the current call.
@@ -785,6 +870,13 @@ impl Component for Uc {
                     return;
                 }
                 self.progress_gen += 1;
+                if let Some(det) = &mut self.detector {
+                    let src = match &notif {
+                        UcNotif::RndzvInit(sig) | UcNotif::RndzvDone(sig) => sig.src_rank,
+                        UcNotif::RxExhausted => unreachable!("handled above"),
+                    };
+                    det.observe(src, ctx.now());
+                }
                 ctx.stats().add("uc.notifs", 1);
                 if ctx.spans_enabled() {
                     if let Some(call) = &self.call {
@@ -818,6 +910,21 @@ impl Component for Uc {
                     None => false,
                 };
                 if expired {
+                    if token.level == DetectLevel::Suspect {
+                        // Soft suspicion: record it, then escalate to a
+                        // Confirm deadline under the SAME progress
+                        // generation — any progress before it fires still
+                        // lapses the token and clears the suspicion.
+                        self.suspicions += 1;
+                        ctx.stats().add("uc.suspects", 1);
+                        if ctx.spans_enabled() {
+                            if let Some(call) = &self.call {
+                                ctx.span_instant("uc.suspect", call.span);
+                            }
+                        }
+                        self.arm_timeout_at(ctx, DetectLevel::Confirm);
+                        return;
+                    }
                     // A watchdog expiry while the eager pool ran dry during
                     // the call is local starvation, not remote silence.
                     let status = if self.rx_exhausted_events > 0 {
@@ -887,8 +994,12 @@ impl Component for Uc {
             self.call_seq,
             self.queue.len() as u64,
             self.orphans.len() as u64,
+            self.suspicions,
         ] {
             accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        }
+        if let Some(det) = &self.detector {
+            det.fold_digest(&mut h);
         }
         Some(h)
     }
@@ -1338,6 +1449,121 @@ mod tests {
             "report should name the parked op: {}",
             report.op
         );
+    }
+
+    fn adaptive_cfg(cap_us: u64) -> CcloConfig {
+        CcloConfig {
+            adaptive_watchdog: Some(crate::config::AdaptiveWatchdogCfg {
+                cap_us,
+                ..crate::config::AdaptiveWatchdogCfg::default()
+            }),
+            ..CcloConfig::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_watchdog_suspects_then_aborts_on_silence() {
+        // No history, no fixed timeout: the detector falls back to its cap
+        // (50 us). Silence first raises a suspicion at ~50 us, then the
+        // Confirm deadline fires and aborts — two levels, one abort.
+        let mut h = harness_with(false, adaptive_cfg(50));
+        let c = cmd(&h, CollOp::Send, 256, 1, SyncProto::Eager);
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c);
+        let out = h.sim.run();
+        assert_eq!(out, accl_sim::sim::RunOutcome::Drained);
+        let done = h.sim.component::<Mailbox<crate::command::CcloDone>>(h.done);
+        assert_eq!(done.len(), 1);
+        let (at, d) = &done.items()[0];
+        assert_eq!(d.status, crate::command::CmdStatus::TimedOut);
+        // Suspect at ~50 us, confirm 50 us later: abort no earlier than
+        // 100 us (strictly after where a single-level 50 us abort lands).
+        assert!(at.as_us_f64() >= 100.0, "aborted at {} us", at.as_us_f64());
+        let uc = h.sim.component::<Uc>(h.uc);
+        assert_eq!(uc.suspicions(), 1);
+        assert_eq!(uc.calls_aborted(), 1);
+    }
+
+    #[test]
+    fn progress_after_suspicion_cancels_the_confirm() {
+        // The suspect level must be recoverable: progress between the
+        // Suspect and Confirm firings completes the call normally.
+        let mut h = harness_with(false, adaptive_cfg(50));
+        let c = cmd(&h, CollOp::Send, 256, 1, SyncProto::Eager);
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c);
+        // Run past the suspect deadline (~50 us) but short of confirm
+        // (~100 us), then complete the DMP op.
+        h.sim.run_until(Time::from_us(70));
+        let ticket = h.sim.component::<Mailbox<Microcode>>(h.dmp).items()[0]
+            .1
+            .ticket;
+        h.sim.post(
+            Endpoint::new(h.uc, ports::DMP_DONE),
+            Time::from_us(70),
+            DmpDone { ticket },
+        );
+        h.sim.run();
+        let done = h.sim.component::<Mailbox<crate::command::CcloDone>>(h.done);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done.items()[0].1.status, crate::command::CmdStatus::Ok);
+        let uc = h.sim.component::<Uc>(h.uc);
+        assert_eq!(uc.suspicions(), 1, "the soft suspicion was recorded");
+        assert_eq!(uc.calls_aborted(), 0, "but nothing was aborted");
+    }
+
+    #[test]
+    fn adaptive_watchdog_learns_slow_cadence_and_stays_quiet() {
+        // Back-to-back sends completed at a slow, steady 200 us cadence:
+        // once the local-completion stream has min_samples gaps, the
+        // adaptive deadline tracks mean + margin and no suspicion fires —
+        // where a fixed 50 us watchdog would have aborted every call.
+        let mut h = harness_with(false, adaptive_cfg(100_000));
+        for i in 0..8u64 {
+            let mut c = cmd(&h, CollOp::Send, 256, 1, SyncProto::Eager);
+            c.ticket = 100 + i;
+            h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c);
+        }
+        for i in 0..8u64 {
+            let at = Time::from_us(200 * (i + 1));
+            h.sim.run_until(at);
+            let mc = h.sim.component::<Mailbox<Microcode>>(h.dmp);
+            assert_eq!(mc.len() as u64, i + 1, "call {i} should have issued");
+            let ticket = mc.items()[i as usize].1.ticket;
+            h.sim
+                .post(Endpoint::new(h.uc, ports::DMP_DONE), at, DmpDone { ticket });
+        }
+        h.sim.run();
+        let done = h.sim.component::<Mailbox<crate::command::CcloDone>>(h.done);
+        assert_eq!(done.len(), 8);
+        assert!(done
+            .values()
+            .all(|d| d.status == crate::command::CmdStatus::Ok));
+        let uc = h.sim.component::<Uc>(h.uc);
+        assert_eq!(uc.calls_aborted(), 0);
+        assert_eq!(
+            uc.suspicions(),
+            0,
+            "steady 200 us cadence must not raise suspicion once learned"
+        );
+    }
+
+    #[test]
+    fn fixed_watchdog_unchanged_when_adaptive_unset() {
+        // Guard for the compatibility promise: with `adaptive_watchdog:
+        // None` the fixed threshold aborts exactly as before, with no
+        // suspect level in between.
+        let mut h = harness_with(false, timeout_cfg(50));
+        let c = cmd(&h, CollOp::Send, 256, 1, SyncProto::Eager);
+        h.sim.post(Endpoint::new(h.uc, ports::CMD), Time::ZERO, c);
+        h.sim.run();
+        let done = h.sim.component::<Mailbox<crate::command::CcloDone>>(h.done);
+        let (at, d) = &done.items()[0];
+        assert_eq!(d.status, crate::command::CmdStatus::TimedOut);
+        assert!(
+            (50.0..60.0).contains(&at.as_us_f64()),
+            "single-level abort right at the fixed threshold, got {} us",
+            at.as_us_f64()
+        );
+        assert_eq!(h.sim.component::<Uc>(h.uc).suspicions(), 0);
     }
 
     #[test]

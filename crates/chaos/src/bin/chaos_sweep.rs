@@ -15,8 +15,8 @@ use accl_core::Transport;
 
 const USAGE: &str = "\
 usage: chaos_sweep [--seeds N] [--start-seed S] [--nodes N] [--count ELEMS]
-                   [--transport tcp|udp|rdma] [--overload] [--break-fcs]
-                   [--threads N] [--out FILE] [-q]
+                   [--transport tcp|udp|rdma] [--overload] [--membership]
+                   [--break-fcs] [--threads N] [--out FILE] [-q]
        chaos_sweep --replay FILE
 
   --seeds N        seeds to run (default 8)
@@ -29,6 +29,11 @@ usage: chaos_sweep [--seeds N] [--start-seed S] [--nodes N] [--count ELEMS]
                    windows, uC admission, driver queue) and swap in the
                    resource-pressure fault mix: credit leaks, pause
                    storms, buffer shrinks
+  --membership     swap in the membership fault mix (crash/restart pairs,
+                   partition windows) and require every schedule to heal:
+                   after the faults play out, restarted nodes are
+                   reinstated and readmitted via expand, and the reissued
+                   collective must complete with golden data
   --break-fcs      disable TCP FCS verification (harness self-test: the
                    sweep must catch the resulting silent corruption)
   --threads N      simulator worker threads per experiment (default 1 =
@@ -96,6 +101,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--overload" => args.cfg.overload = true,
+            "--membership" => args.cfg.membership = true,
             "--threads" => {
                 args.cfg.workers = value(&mut i)?
                     .parse::<usize>()
@@ -118,6 +124,15 @@ fn parse_args() -> Result<Args, String> {
     // `--count` in any order.
     if args.cfg.overload {
         args.cfg.profile = accl_net::ChaosProfile::overload_profile(args.cfg.nodes as u32);
+        if !count_set {
+            args.cfg.count = 16384;
+        }
+    }
+    if args.cfg.membership {
+        if args.cfg.overload {
+            return Err("--membership and --overload are separate fault mixes".into());
+        }
+        args.cfg.profile = accl_net::ChaosProfile::membership_profile(args.cfg.nodes as u32);
         if !count_set {
             args.cfg.count = 16384;
         }
@@ -182,6 +197,9 @@ fn main() -> ExitCode {
         if cfg.verify_fcs { "on" } else { "OFF" },
         if cfg.overload { ", overload" } else { "" },
     );
+    if cfg.membership {
+        println!("  membership mode: every schedule must self-heal");
+    }
     let outcome = run_sweep(&cfg, |seed, report| {
         if !args.quiet {
             println!(

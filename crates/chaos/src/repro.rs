@@ -80,6 +80,7 @@ impl Repro {
             ("verify_fcs".into(), Json::Bool(self.spec.verify_fcs)),
             ("overload".into(), Json::Bool(self.spec.overload)),
             ("workers".into(), Json::Num(self.spec.workers as u64)),
+            ("membership".into(), Json::Bool(self.spec.membership)),
         ]);
         Json::Obj(vec![
             ("format".into(), Json::Num(FORMAT)),
@@ -147,6 +148,13 @@ impl Repro {
                 .and_then(Json::as_u64)
                 .unwrap_or(1)
                 .max(1) as usize,
+            // Absent in pre-membership repros: those did not run the
+            // self-healing recovery loop.
+            membership: w
+                .field("membership")
+                .ok()
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
         };
         let events = doc
             .field("events")?
@@ -230,6 +238,21 @@ fn event_to_json(ev: &FaultEvent) -> Json {
                 ("bufs".into(), Json::Num(bufs as u64)),
             ],
         ),
+        FaultEvent::Restart { node, at } => obj(
+            "restart",
+            vec![
+                ("node".into(), Json::Num(node.0 as u64)),
+                ("at_ps".into(), Json::Num(at.as_ps())),
+            ],
+        ),
+        FaultEvent::Partition { mask, from, until } => obj(
+            "partition",
+            vec![
+                ("mask".into(), Json::Num(mask)),
+                ("from_ps".into(), Json::Num(from.as_ps())),
+                ("until_ps".into(), Json::Num(until.as_ps())),
+            ],
+        ),
     }
 }
 
@@ -287,6 +310,15 @@ fn event_from_json(v: &Json) -> Result<FaultEvent, String> {
             at: Time::from_ps(num("at_ps")?),
             bufs: num("bufs")? as u32,
         }),
+        "restart" => Ok(FaultEvent::Restart {
+            node: node("node")?,
+            at: Time::from_ps(num("at_ps")?),
+        }),
+        "partition" => Ok(FaultEvent::Partition {
+            mask: num("mask")?,
+            from: Time::from_ps(num("from_ps")?),
+            until: Time::from_ps(num("until_ps")?),
+        }),
         other => Err(format!("unknown event kind `{other}`")),
     }
 }
@@ -308,6 +340,7 @@ mod tests {
                 overload: true,
                 seed: 99,
                 workers: 2,
+                membership: true,
             },
             events: vec![
                 FaultEvent::Drop { index: 3 },
@@ -350,6 +383,19 @@ mod tests {
                     at: Time::from_ps(4000),
                     bufs: 2,
                 },
+                FaultEvent::Crash {
+                    node: NodeAddr(1),
+                    at: Time::from_ps(5000),
+                },
+                FaultEvent::Restart {
+                    node: NodeAddr(1),
+                    at: Time::from_ps(6000),
+                },
+                FaultEvent::Partition {
+                    mask: 0b10,
+                    from: Time::from_ps(7000),
+                    until: Time::from_ps(8000),
+                },
             ],
         };
         let text = repro.to_json();
@@ -372,6 +418,7 @@ mod tests {
         let repro = Repro::from_json(old).unwrap();
         assert!(!repro.spec.overload);
         assert_eq!(repro.spec.workers, 1);
+        assert!(!repro.spec.membership);
     }
 
     #[test]

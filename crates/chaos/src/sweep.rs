@@ -43,6 +43,11 @@ pub struct SweepConfig {
     /// Simulator worker threads per experiment (`1` = sequential). Chaos
     /// outcomes and digests are invariant under this knob.
     pub workers: usize,
+    /// Membership mode: every experiment runs the self-healing recovery
+    /// loop after its faults play out (see `WorkloadSpec::membership`).
+    /// Pair with [`ChaosProfile::membership_profile`] so schedules carry
+    /// crash/restart pairs and partition windows.
+    pub membership: bool,
 }
 
 impl SweepConfig {
@@ -60,6 +65,7 @@ impl SweepConfig {
             overload: false,
             profile: ChaosProfile::default_profile(nodes as u32),
             workers: 1,
+            membership: false,
         }
     }
 
@@ -77,12 +83,27 @@ impl SweepConfig {
         }
     }
 
+    /// The membership sweep: crash/restart pairs and partition windows on
+    /// otherwise clean fabrics, with the recovery loop required to heal
+    /// every schedule. Smaller payloads — the pressure is on membership
+    /// transitions, not bandwidth.
+    pub fn membership(seeds: u64) -> Self {
+        let nodes = 3usize;
+        SweepConfig {
+            count: 16384,
+            membership: true,
+            profile: ChaosProfile::membership_profile(nodes as u32),
+            ..Self::new(seeds)
+        }
+    }
+
     /// The workload a given seed runs.
     pub fn spec(&self, seed: u64) -> WorkloadSpec {
         let mut spec = WorkloadSpec::for_seed(seed, self.nodes, self.count, self.transport);
         spec.verify_fcs = self.verify_fcs;
         spec.overload = self.overload;
         spec.workers = self.workers;
+        spec.membership = self.membership;
         spec
     }
 

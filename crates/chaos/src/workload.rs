@@ -75,6 +75,14 @@ pub struct WorkloadSpec {
     /// invariant under this knob — parallel runs produce identical
     /// results and digests — so sweeps can use it purely for throughput.
     pub workers: usize,
+    /// Membership mode: after the scheduled faults play out, the harness
+    /// runs the self-healing recovery loop — reinstate every restarted
+    /// node and partition-minority member, readmit them via
+    /// `Communicator::expand`, and reissue the collective on the rejoined
+    /// world. The rejoined run MUST complete with golden data; a crash
+    /// with no matching restart, or a recovery run that fails, is a
+    /// [`Violation::MembershipUnhealed`].
+    pub membership: bool,
 }
 
 impl WorkloadSpec {
@@ -95,6 +103,7 @@ impl WorkloadSpec {
             overload: false,
             seed,
             workers: 1,
+            membership: false,
         }
     }
 }
@@ -123,6 +132,11 @@ pub enum Violation {
     },
     /// A counter disagreed with the schedule.
     MetricNonsense(String),
+    /// Self-healing failed: a crashed node never restarted (rejoin is
+    /// impossible), or the rejoined world could not complete the
+    /// collective with golden data after every restart and heal had
+    /// passed.
+    MembershipUnhealed(String),
 }
 
 impl std::fmt::Display for Violation {
@@ -139,6 +153,7 @@ impl std::fmt::Display for Violation {
                 write!(f, "rank {rank} failed ({error}) under a fault-free plan")
             }
             Violation::MetricNonsense(why) => write!(f, "metric nonsense: {why}"),
+            Violation::MembershipUnhealed(why) => write!(f, "membership unhealed: {why}"),
         }
     }
 }
@@ -210,9 +225,13 @@ pub fn run(spec: &WorkloadSpec, plan: FaultPlan) -> RunReport {
         ..AlgoConfig::default()
     });
     let transparent = plan.is_transparent();
+    let event_list: Vec<FaultEvent> = if plan.is_explicit() {
+        plan.to_events()
+    } else {
+        Vec::new()
+    };
     let plan_corrupts = !plan.is_explicit()
-        || plan
-            .to_events()
+        || event_list
             .iter()
             .any(|e| matches!(e, FaultEvent::Corrupt { .. }));
     c.set_fault_plan(plan);
@@ -293,6 +312,9 @@ pub fn run(spec: &WorkloadSpec, plan: FaultPlan) -> RunReport {
             "{corrupted_drops} corrupted-frame discards under a corruption-free plan"
         )));
     }
+    if spec.membership && violation.is_none() {
+        violation = run_recovery(&mut c, spec, &event_list, &expected);
+    }
 
     RunReport {
         violation,
@@ -308,6 +330,127 @@ pub fn run(spec: &WorkloadSpec, plan: FaultPlan) -> RunReport {
             })
             .sum(),
     }
+}
+
+/// The membership-mode recovery loop: after the scheduled faults (and
+/// the failing run they caused) have played out, every crash must have a
+/// matching restart, the fabric must have healed, and a collective
+/// reissued on the rejoined world — restarted nodes readmitted via
+/// `Communicator::expand` with their original numbering — must complete
+/// with golden data on every rank. Anything less is a violation: the
+/// cluster did not heal itself.
+fn run_recovery(
+    c: &mut AcclCluster,
+    spec: &WorkloadSpec,
+    events: &[FaultEvent],
+    expected: &[u8],
+) -> Option<Violation> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut crashes: BTreeMap<u32, accl_sim::time::Time> = BTreeMap::new();
+    let mut restarts: BTreeMap<u32, accl_sim::time::Time> = BTreeMap::new();
+    let mut masks: Vec<u64> = Vec::new();
+    for ev in events {
+        match *ev {
+            FaultEvent::Crash { node, at } => {
+                crashes.insert(node.0, at);
+            }
+            FaultEvent::Restart { node, at } => {
+                restarts.insert(node.0, at);
+            }
+            FaultEvent::Partition { mask, .. } => masks.push(mask),
+            _ => {}
+        }
+    }
+    if crashes.is_empty() && masks.is_empty() {
+        // Nothing severed membership: the normal invariants already ruled.
+        return None;
+    }
+    // Heal gate: a crash with no (valid) restart can never rejoin.
+    for (&node, &at) in &crashes {
+        match restarts.get(&node) {
+            Some(&r) if r > at => {}
+            _ => {
+                return Some(Violation::MembershipUnhealed(format!(
+                    "node {node} crashed at {}ps and never restarts — rejoin impossible",
+                    at.as_ps()
+                )))
+            }
+        }
+    }
+    let world = accl_core::Communicator::world(spec.nodes);
+    // Who needs transport reinstatement: every restarted node, plus every
+    // partition-minority member (its sessions across the cut died too).
+    let mut reinstate: BTreeSet<usize> = crashes.keys().map(|&n| n as usize).collect();
+    for &mask in &masks {
+        for n in 0..spec.nodes {
+            if accl_core::resolve_partition(&world, n, mask) == Err(CclError::Partitioned) {
+                reinstate.insert(n);
+            }
+        }
+    }
+    for &n in &reinstate {
+        c.reinstate_node(n);
+    }
+    // Readmit at the communicator layer: shrink past the crashed nodes,
+    // expand them back in — deterministic renumbering restores the world
+    // order exactly, so the golden result is unchanged.
+    let crashed: Vec<usize> = crashes.keys().map(|&n| n as usize).collect();
+    let survivors = match world.shrink(1, &crashed) {
+        Ok(s) => s,
+        Err(e) => return Some(Violation::MembershipUnhealed(format!("shrink failed: {e}"))),
+    };
+    let rejoined = match survivors.expand(2, &crashed) {
+        Ok(r) => r,
+        Err(e) => return Some(Violation::MembershipUnhealed(format!("expand failed: {e}"))),
+    };
+    debug_assert_eq!(rejoined.members(), world.members());
+    c.install_communicator(&rejoined);
+
+    let mut dsts = Vec::new();
+    let mut programs: Vec<Vec<HostOp>> = vec![Vec::new(); spec.nodes];
+    for (rank, program) in programs.iter_mut().enumerate() {
+        let dst = c.alloc(rank, BufLoc::Device, spec.count * 4);
+        let coll = match spec.kind {
+            CollKind::AllReduce => {
+                let src = c.alloc(rank, BufLoc::Device, spec.count * 4);
+                c.write(&src, &pattern(rank, spec.count));
+                CollSpec::new(CollOp::AllReduce, spec.count, DType::I32)
+                    .src(src)
+                    .dst(dst)
+            }
+            CollKind::Bcast => {
+                if rank == 0 {
+                    c.write(&dst, &pattern(0, spec.count));
+                }
+                CollSpec::new(CollOp::Bcast, spec.count, DType::I32).dst(dst)
+            }
+        }
+        .comm(rejoined.id());
+        *program = vec![HostOp::Coll(coll)];
+        dsts.push(dst);
+    }
+    let records = match c.try_run_host_programs(programs) {
+        Ok(records) => records,
+        Err(why) => {
+            return Some(Violation::MembershipUnhealed(format!(
+                "rejoined run wedged: {why}"
+            )))
+        }
+    };
+    for rank in 0..spec.nodes {
+        if let Err(e) = records[rank][0].result() {
+            return Some(Violation::MembershipUnhealed(format!(
+                "rank {rank} failed on the rejoined world: {e}"
+            )));
+        }
+        let got = c.read(&dsts[rank]);
+        if let Some(byte) = first_mismatch(&got, expected) {
+            return Some(Violation::MembershipUnhealed(format!(
+                "rank {rank} rejoined with wrong data (first bad byte {byte})"
+            )));
+        }
+    }
+    None
 }
 
 fn first_mismatch(got: &[u8], expected: &[u8]) -> Option<usize> {
@@ -334,6 +477,7 @@ mod tests {
                     overload: false,
                     seed: 1,
                     workers: 1,
+                    membership: false,
                 };
                 let report = run(&spec, FaultPlan::none());
                 assert!(

@@ -336,6 +336,128 @@ fn credit_leak_wait_is_named_by_the_deadlock_detector_in_parallel_mode() {
     );
 }
 
+/// Membership-mode sweep: crash/restart pairs and partition windows play
+/// out against the collective, then the harness demands the cluster
+/// *self-heals* — restarted nodes are reinstated, the surviving group
+/// shrinks and re-expands, and the reissued collective must complete
+/// with golden data. A crash seed costs real simulated time (watchdog
+/// timeouts and retries), so the PR gate runs a small seed count; the
+/// 64-seed battery lives in the nightly CI sweep.
+fn membership_sweep(transport: Transport) {
+    let mut cfg = SweepConfig::membership(6);
+    cfg.transport = transport;
+    let stats = run_sweep(&cfg, |_, _| {}).unwrap_or_else(|failure| {
+        panic!(
+            "{transport:?} seed {} violated an invariant ({}) — shrunk repro:\n{}",
+            failure.repro.seed,
+            failure.violation,
+            failure.repro.to_json()
+        )
+    });
+    assert_eq!(stats.seeds_run, 6, "{transport:?}");
+    assert!(stats.faults_scheduled > 0, "{transport:?}: empty profile");
+}
+
+#[test]
+fn membership_sweep_is_clean_on_tcp() {
+    membership_sweep(Transport::Tcp);
+}
+
+#[test]
+fn membership_sweep_is_clean_on_udp() {
+    membership_sweep(Transport::Udp);
+}
+
+#[test]
+fn membership_sweep_is_clean_on_rdma() {
+    membership_sweep(Transport::Rdma);
+}
+
+/// Replay determinism extends to membership schedules: crash, restart
+/// and partition events — plus the shrink/expand recovery pass the
+/// harness drives afterwards — replay bit-identically, so ddmin stays
+/// sound for the new fault kinds.
+#[test]
+fn membership_replay_is_bit_identical() {
+    let cfg = SweepConfig::membership(1);
+    for seed in [0u64, 1] {
+        let a = accl_chaos::workload::run(&cfg.spec(seed), cfg.plan(seed));
+        let b = accl_chaos::workload::run(&cfg.spec(seed), cfg.plan(seed));
+        assert_eq!(a.events_executed, b.events_executed, "seed {seed}");
+        assert_eq!(a.results, b.results, "seed {seed}");
+        assert_eq!(a.frames_dropped, b.frames_dropped, "seed {seed}");
+        assert_eq!(a.retries, b.retries, "seed {seed}");
+    }
+}
+
+/// The checked-in rejoin canary: a crash with *no* matching restart can
+/// never heal, so membership mode must flag it (`MembershipUnhealed`).
+/// CI replays this file with an inverted gate — if the replay ever comes
+/// back clean, the self-healing checker itself has gone blind. Appending
+/// the missing restart to the very same schedule must heal it: the node
+/// is reinstated, readmitted via expand, and the reissued collective
+/// completes with golden data.
+#[test]
+fn checked_in_rejoin_canary_fails_until_the_restart_heals_it() {
+    let repro = Repro::from_json(include_str!("data/rejoin_canary.json")).unwrap();
+    assert!(repro.spec.membership, "the canary runs in membership mode");
+    assert_eq!(repro.events.len(), 1, "the checked-in canary is minimal");
+    assert!(
+        matches!(
+            repro.events[0],
+            FaultEvent::Crash {
+                node: NodeAddr(2),
+                ..
+            }
+        ),
+        "expected a lone crash of node 2: {:?}",
+        repro.events[0]
+    );
+
+    let report = repro.replay();
+    match &report.violation {
+        Some(Violation::MembershipUnhealed(why)) => assert!(
+            why.contains("never restarts"),
+            "diagnosis should say the node never restarts:\n{why}"
+        ),
+        other => panic!("a restart-less crash must be flagged unhealed, got: {other:?}"),
+    }
+
+    // The same schedule with the missing restart appended self-heals.
+    let mut healed = repro.clone();
+    healed.events.push(FaultEvent::Restart {
+        node: NodeAddr(2),
+        at: Time::from_us(400),
+    });
+    let report = healed.replay();
+    assert!(
+        report.passed(),
+        "crash + restart must heal via rejoin/expand: {}",
+        report.violation.unwrap()
+    );
+}
+
+/// Pre-membership repro files (checked in by earlier PRs, before the
+/// `membership` field and the restart/partition event kinds existed)
+/// still parse — the new field defaults off and absent kinds are simply
+/// never present. Guards backward compatibility of the repro format.
+#[test]
+fn pre_membership_repros_parse_with_membership_off() {
+    for (name, text) in [
+        ("minimal_repro", include_str!("data/minimal_repro.json")),
+        (
+            "credit_leak_repro",
+            include_str!("data/credit_leak_repro.json"),
+        ),
+    ] {
+        let repro = Repro::from_json(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            !repro.spec.membership,
+            "{name}: membership must default off"
+        );
+    }
+}
+
 /// The checked-in minimal repro (emitted by a real `--break-fcs` sweep)
 /// keeps reproducing: guards both the repro format and the harness's
 /// detection power against regressions.

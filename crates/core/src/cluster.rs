@@ -28,6 +28,7 @@ use crate::driver::{CollSpec, HostDriver};
 use crate::error::{CclError, RetryPolicy};
 use crate::host::{ports as host_ports, HostOp, HostProc, OpRecord};
 use crate::kernel::{ports as kernel_ports, KernelOp, KernelProc};
+use crate::membership::MembershipEvent;
 use crate::platform::{ClusterConfig, Platform, Transport};
 
 /// Per-node component handles.
@@ -38,6 +39,8 @@ pub struct NodeHandles {
     pub poe: ComponentId,
     /// The standby TCP POE (RDMA clusters built with `tcp_fallback`).
     pub fallback_poe: Option<ComponentId>,
+    /// The node's inbound demux / epoch fence in front of its POE(s).
+    pub rxmux: ComponentId,
     /// The CCLO engine blocks.
     pub cclo: CcloEngine,
     /// The XDMA staging engine (partitioned platforms only).
@@ -106,6 +109,10 @@ pub struct AcclCluster {
     nodes: Vec<NodeHandles>,
     spaces: Vec<NodeSpaces>,
     comms: std::collections::BTreeMap<u32, Communicator>,
+    /// Partition windows scheduled on the fabric (for post-run verdicts).
+    partitions_seen: Vec<accl_net::Partition>,
+    /// Membership transitions observed by the harness, in schedule order.
+    membership_log: Vec<(Time, MembershipEvent)>,
 }
 
 impl AcclCluster {
@@ -213,20 +220,22 @@ impl AcclCluster {
                 );
                 fb
             });
-            let rx = match fallback_poe {
-                Some(fb) => {
-                    let mux = sim.add(
-                        format!("n{i}.rxmux"),
-                        RxMux::new(
-                            Endpoint::new(poe, poe_ports::NET_RX),
-                            Endpoint::new(fb, poe_ports::NET_RX),
-                        ),
-                    );
-                    Endpoint::new(mux, poe_ports::NET_RX)
-                }
-                None => Endpoint::new(poe, poe_ports::NET_RX),
-            };
-            net.attach_rx(&mut sim, i, rx);
+            // Every node fronts its engine(s) with an RxMux: dual-stack
+            // nodes use it as the protocol demux, and ALL nodes use it as
+            // the per-source epoch fence that discards frames from a
+            // restarted peer's previous incarnation. Forwarding is
+            // zero-latency, so single-POE timing is unchanged.
+            let rxmux = sim.add(
+                format!("n{i}.rxmux"),
+                match fallback_poe {
+                    Some(fb) => RxMux::new(
+                        Endpoint::new(poe, poe_ports::NET_RX),
+                        Endpoint::new(fb, poe_ports::NET_RX),
+                    ),
+                    None => RxMux::single(Endpoint::new(poe, poe_ports::NET_RX)),
+                },
+            );
+            net.attach_rx(&mut sim, i, Endpoint::new(rxmux, poe_ports::NET_RX));
             cclo.set_communicator(
                 &mut sim,
                 0,
@@ -260,6 +269,7 @@ impl AcclCluster {
                 bus,
                 poe,
                 fallback_poe,
+                rxmux,
                 cclo,
                 xdma,
                 driver,
@@ -282,6 +292,8 @@ impl AcclCluster {
             nodes,
             spaces,
             comms,
+            partitions_seen: Vec::new(),
+            membership_log: Vec::new(),
         }
     }
 
@@ -321,6 +333,135 @@ impl AcclCluster {
     /// with any faults already scheduled.
     pub fn link_down(&mut self, i: usize, from: Time, until: Time) {
         self.net.link_down(&mut self.sim, i, from, until);
+    }
+
+    /// Schedules a *restart* of previously crashed node `i` at `at`: the
+    /// fabric closes its crash window, the NIC comes back with a bumped
+    /// incarnation epoch, every survivor's Rx mux fences the old
+    /// incarnation's in-flight frames, and the node's Rx buffer manager
+    /// wipes its pre-crash state. The node is back on the network but NOT
+    /// yet a communicator member — readmit it between runs with
+    /// [`AcclCluster::reinstate_node`] +
+    /// [`Communicator::expand`](crate::comm::Communicator::expand) +
+    /// [`AcclCluster::install_communicator`].
+    pub fn restart_node(&mut self, i: usize, at: Time) {
+        self.net.restart_node(&mut self.sim, i, at);
+        self.schedule_restart_effects(i, at);
+    }
+
+    /// Schedules a `[from, until)` fabric partition along `mask` (bit
+    /// `n & 63` selects node `n`'s side): frames crossing the cut are
+    /// dropped. Composes with any faults already scheduled.
+    pub fn partition(&mut self, mask: u64, from: Time, until: Time) {
+        self.net.partition(&mut self.sim, mask, from, until);
+        self.record_partition(accl_net::Partition { mask, from, until });
+    }
+
+    /// Posts the non-fabric side effects of node `i` restarting at `at`:
+    /// NIC reincarnation, peer epoch fences, and the RBM wipe.
+    fn schedule_restart_effects(&mut self, i: usize, at: Time) {
+        if i >= self.nodes.len() {
+            return;
+        }
+        self.sim
+            .post(Endpoint::of(self.net.port_id(i)), at, accl_net::Reincarnate);
+        let src = self.net.addr(i);
+        for j in 0..self.nodes.len() {
+            if j != i {
+                self.sim.post(
+                    Endpoint::new(self.nodes[j].rxmux, poe_ports::NET_RX),
+                    at,
+                    accl_poe::EpochFence { src, min_epoch: 1 },
+                );
+            }
+        }
+        self.sim.post(
+            Endpoint::new(self.nodes[i].cclo.rbm, accl_cclo::rbm::ports::RESYNC),
+            at,
+            accl_cclo::rbm::RbmResync,
+        );
+        self.membership_log
+            .push((at, MembershipEvent::Restarted { node: i }));
+    }
+
+    fn record_partition(&mut self, p: accl_net::Partition) {
+        self.membership_log
+            .push((p.from, MembershipEvent::Partitioned { mask: p.mask }));
+        self.membership_log
+            .push((p.until, MembershipEvent::Healed { mask: p.mask }));
+        self.partitions_seen.push(p);
+    }
+
+    /// Membership transitions observed so far, in schedule order:
+    /// restarts, rejoins, partition cuts/heals, and post-run failure
+    /// confirmations.
+    pub fn membership_log(&self) -> &[(Time, MembershipEvent)] {
+        &self.membership_log
+    }
+
+    /// Readmits a restarted node at the transport layer: every session
+    /// (or queue pair) between `node` and its peers — in both directions,
+    /// standby path included — is reinstated, and the adaptive detectors'
+    /// inter-arrival histories involving the node are forgotten (the new
+    /// incarnation's cadence owes nothing to the old one's). Call between
+    /// runs, after the restart instant has passed; then readmit the node
+    /// at the communicator layer with
+    /// [`Communicator::expand`](crate::comm::Communicator::expand) +
+    /// [`AcclCluster::install_communicator`].
+    pub fn reinstate_node(&mut self, node: usize) {
+        assert!(node < self.nodes.len(), "node {node} out of range");
+        for j in 0..self.nodes.len() {
+            if j != node {
+                self.reinstate_pair(node, j);
+            }
+        }
+        for j in 0..self.nodes.len() {
+            let uc = self.nodes[j].cclo.uc;
+            let uc = self.sim.component_mut::<accl_cclo::uc::Uc>(uc);
+            if j == node {
+                uc.reset_all_history();
+            } else {
+                uc.reset_peer_history(node as u32);
+            }
+        }
+        let now = self.sim.now();
+        self.membership_log
+            .push((now, MembershipEvent::Rejoined { node }));
+    }
+
+    /// Reinstates the transport sessions between nodes `a` and `b` in
+    /// both directions (session `j` on a node carries traffic to node
+    /// `j`). UDP is connectionless: nothing to reinstate.
+    fn reinstate_pair(&mut self, a: usize, b: usize) {
+        match self.cfg.transport {
+            Transport::Udp => {}
+            Transport::Tcp => {
+                self.sim
+                    .component_mut::<TcpPoe>(self.nodes[a].poe)
+                    .reinstate_session(SessionId(b as u32));
+                self.sim
+                    .component_mut::<TcpPoe>(self.nodes[b].poe)
+                    .reinstate_session(SessionId(a as u32));
+            }
+            Transport::Rdma => {
+                self.sim
+                    .component_mut::<RdmaPoe>(self.nodes[a].poe)
+                    .reinstate_qp(SessionId(b as u32));
+                self.sim
+                    .component_mut::<RdmaPoe>(self.nodes[b].poe)
+                    .reinstate_qp(SessionId(a as u32));
+                if let Some(fb) = self.nodes[a].fallback_poe {
+                    self.sim
+                        .component_mut::<TcpPoe>(fb)
+                        .reinstate_session(SessionId(b as u32));
+                }
+                if let Some(fb) = self.nodes[b].fallback_poe {
+                    self.sim
+                        .component_mut::<TcpPoe>(fb)
+                        .reinstate_session(SessionId(a as u32));
+                }
+            }
+        }
     }
 
     /// Replaces the fabric's fault plan wholesale (loss, delay, outages).
@@ -364,6 +505,21 @@ impl AcclCluster {
                 at,
                 accl_cclo::rbm::RbmShrink { bufs },
             );
+        }
+        // Node restarts carry side effects beyond the fabric's crash
+        // window: reincarnation, epoch fencing, RBM resync. Only restarts
+        // that actually reopen a crash window count (the plan ignores a
+        // restart with no matching earlier crash).
+        let restarted: Vec<(usize, Time)> = plan
+            .node_restarts
+            .keys()
+            .filter_map(|&addr| plan.restart_time(addr).map(|at| (addr.index(), at)))
+            .collect();
+        for (n, at) in restarted {
+            self.schedule_restart_effects(n, at);
+        }
+        for &p in &plan.partitions {
+            self.record_partition(p);
         }
         self.net.set_fault_plan(&mut self.sim, plan);
     }
@@ -509,6 +665,15 @@ impl AcclCluster {
                 }
             }
         }
+        let confirmed_at = self.sim.now();
+        for &peer in &gossiped {
+            self.membership_log.push((
+                confirmed_at,
+                MembershipEvent::Confirmed {
+                    node: peer as usize,
+                },
+            ));
+        }
         // Integrity diagnosis. On an unreliable transport a corrupted
         // frame is simply dropped — never retransmitted — so a timed-out
         // call on a node whose engine discarded corrupted datagrams is a
@@ -524,6 +689,40 @@ impl AcclCluster {
                     if let Some(b) = &mut rec.breakdown {
                         if matches!(b.result, Err(CclError::Timeout) | Err(CclError::Aborted)) {
                             b.result = Err(CclError::DataCorrupted);
+                        }
+                    }
+                }
+            }
+        }
+        // Partition verdicts. A fabric cut makes both sides accuse each
+        // other — symmetric accusations that must NOT resolve as two
+        // independent shrinks, or both halves would keep running "the"
+        // communicator (split-brain). Every node resolves the cut locally
+        // from the same mask: the majority keeps the communicator, and a
+        // minority-side node's failures are recolored `Partitioned` so
+        // the application fails fast and waits for the heal.
+        let end = self.sim.now();
+        if let Some(world) = self.comms.get(&0).cloned() {
+            for p in self.partitions_seen.clone() {
+                if p.until <= start || p.from >= end {
+                    continue;
+                }
+                for (node, records) in results.iter_mut().enumerate() {
+                    if crate::membership::resolve_partition(&world, node, p.mask)
+                        != Err(CclError::Partitioned)
+                    {
+                        continue;
+                    }
+                    for rec in records.iter_mut() {
+                        if let Some(b) = &mut rec.breakdown {
+                            if matches!(
+                                b.result,
+                                Err(CclError::Timeout)
+                                    | Err(CclError::Aborted)
+                                    | Err(CclError::PeerFailed(_))
+                            ) {
+                                b.result = Err(CclError::Partitioned);
+                            }
                         }
                     }
                 }

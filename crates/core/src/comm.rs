@@ -8,7 +8,11 @@
 //! the User-Level Failure Mitigation (`MPI_Comm_shrink`) workflow —
 //! installs the survivor group via
 //! [`crate::cluster::AcclCluster::install_communicator`], and reissues
-//! the collective on it.
+//! the collective on it. When a failed node restarts and rejoins,
+//! [`Communicator::expand`] (the dual of shrink) readmits it with
+//! deterministic renumbering.
+
+use crate::error::CclError;
 
 /// An ordered group of nodes acting as ranks of one communicator.
 ///
@@ -79,21 +83,58 @@ impl Communicator {
     /// This is a pure description; install it on a cluster with
     /// [`crate::cluster::AcclCluster::install_communicator`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no member survives.
-    pub fn shrink(&self, new_id: u32, failed: &[usize]) -> Communicator {
+    /// [`CclError::InvalidGroup`] if no member survives — a recoverable
+    /// condition (total-failure accusations are often a partition in
+    /// disguise), so it is a typed error rather than a panic.
+    pub fn shrink(&self, new_id: u32, failed: &[usize]) -> Result<Communicator, CclError> {
         let members: Vec<usize> = self
             .members
             .iter()
             .copied()
             .filter(|m| !failed.contains(m))
             .collect();
-        assert!(!members.is_empty(), "shrink left no surviving members");
-        Communicator {
+        if members.is_empty() {
+            return Err(CclError::InvalidGroup);
+        }
+        Ok(Communicator {
             id: new_id,
             members,
+        })
+    }
+
+    /// Dual of [`Communicator::shrink`]: a new communicator `new_id` that
+    /// readmits every node in `rejoining`. Renumbering is deterministic:
+    /// each rejoining node (processed in ascending node order) is inserted
+    /// before the first existing member with a larger node id, so
+    /// re-expanding a shrunk world communicator restores the original
+    /// world numbering exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`CclError::InvalidGroup`] if `rejoining` contains a node that is
+    /// already a member (the rejoin announcement raced an earlier expand;
+    /// re-resolve membership and retry).
+    pub fn expand(&self, new_id: u32, rejoining: &[usize]) -> Result<Communicator, CclError> {
+        let mut adds: Vec<usize> = rejoining.to_vec();
+        adds.sort_unstable();
+        adds.dedup();
+        if adds.iter().any(|n| self.members.contains(n)) || adds.len() != rejoining.len() {
+            return Err(CclError::InvalidGroup);
         }
+        let mut members = self.members.clone();
+        for node in adds {
+            let pos = members
+                .iter()
+                .position(|&m| m > node)
+                .unwrap_or(members.len());
+            members.insert(pos, node);
+        }
+        Ok(Communicator {
+            id: new_id,
+            members,
+        })
     }
 }
 
@@ -113,7 +154,7 @@ mod tests {
     #[test]
     fn shrink_renumbers_survivors() {
         let w = Communicator::world(4);
-        let s = w.shrink(1, &[1]);
+        let s = w.shrink(1, &[1]).unwrap();
         assert_eq!(s.id(), 1);
         assert_eq!(s.members(), &[0, 2, 3]);
         assert_eq!(s.rank_of(2), Some(1));
@@ -122,9 +163,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no surviving members")]
-    fn shrink_to_nothing_panics() {
-        Communicator::world(2).shrink(1, &[0, 1]);
+    fn shrink_to_nothing_is_a_typed_error() {
+        assert_eq!(
+            Communicator::world(2).shrink(1, &[0, 1]),
+            Err(CclError::InvalidGroup)
+        );
+    }
+
+    #[test]
+    fn expand_restores_world_numbering() {
+        let w = Communicator::world(4);
+        let s = w.shrink(1, &[1]).unwrap();
+        let e = s.expand(2, &[1]).unwrap();
+        assert_eq!(e.id(), 2);
+        assert_eq!(e.members(), &[0, 1, 2, 3]);
+        assert_eq!(e.rank_of(1), Some(1));
+        assert_eq!(e.rank_of(3), Some(3));
+    }
+
+    #[test]
+    fn expand_inserts_multiple_rejoiners_deterministically() {
+        let w = Communicator::world(5);
+        let s = w.shrink(1, &[1, 3]).unwrap();
+        assert_eq!(s.members(), &[0, 2, 4]);
+        // Order of the rejoining list must not matter.
+        let a = s.expand(2, &[3, 1]).unwrap();
+        let b = s.expand(2, &[1, 3]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.members(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn expand_rejects_existing_members() {
+        let w = Communicator::world(3);
+        assert_eq!(w.expand(1, &[2]), Err(CclError::InvalidGroup));
+        assert_eq!(
+            w.shrink(1, &[0]).unwrap().expand(2, &[1, 1]),
+            Err(CclError::InvalidGroup)
+        );
     }
 
     #[test]

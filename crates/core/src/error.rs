@@ -45,6 +45,17 @@ pub enum CclError {
     /// buffer pool) was exhausted: the cluster is overloaded rather than
     /// partitioned or crashed. Shed load or raise the pool size.
     ResourceExhausted,
+    /// This node is on the minority side of a network partition: the
+    /// majority side keeps the communicator and continues, the minority
+    /// fails fast so split-brain collectives cannot both "succeed". The
+    /// node should wait for the partition to heal and rejoin via
+    /// [`crate::comm::Communicator::expand`].
+    Partitioned,
+    /// A membership operation would produce an invalid group: a
+    /// [`crate::comm::Communicator::shrink`] leaving no members, or a
+    /// [`crate::comm::Communicator::expand`] readmitting a node that is
+    /// already a member. Recoverable — re-resolve membership and retry.
+    InvalidGroup,
 }
 
 impl core::fmt::Display for CclError {
@@ -67,6 +78,12 @@ impl core::fmt::Display for CclError {
             }
             CclError::ResourceExhausted => {
                 write!(f, "bounded engine resource exhausted (overload)")
+            }
+            CclError::Partitioned => {
+                write!(f, "node is on the minority side of a network partition")
+            }
+            CclError::InvalidGroup => {
+                write!(f, "membership operation produced an invalid group")
             }
         }
     }

@@ -13,7 +13,11 @@
 //! - [`error`] — typed collective failures ([`error::CclError`]) and the
 //!   driver's retry policy (fail-stop fault model).
 //! - [`comm`] — communicator handles and ULFM-style
-//!   [`comm::Communicator::shrink`] recovery.
+//!   [`comm::Communicator::shrink`] / [`comm::Communicator::expand`]
+//!   recovery.
+//! - [`membership`] — the self-healing membership lifecycle
+//!   (suspect → confirm → restart → rejoin) and split-brain-safe
+//!   partition resolution.
 
 #![warn(missing_docs)]
 
@@ -24,6 +28,7 @@ pub mod driver;
 pub mod error;
 pub mod host;
 pub mod kernel;
+pub mod membership;
 pub mod platform;
 
 pub use buffer::{BufLoc, BufferHandle};
@@ -33,10 +38,12 @@ pub use driver::{CollSpec, DriverDone, HostDriver};
 pub use error::{CclError, RetryPolicy};
 pub use host::{HostOp, HostProc, Program};
 pub use kernel::{KernelOp, KernelProc};
+pub use membership::{partition_sides, resolve_partition, MembershipEvent};
 pub use platform::{ClusterConfig, Platform, Transport};
 
 // Re-export the layers below for one-stop consumption.
 pub use accl_cclo::{
-    AlgoConfig, Algorithm, CcloConfig, CollOp, CollectiveProgram, DType, ReduceFn, SyncProto,
+    AdaptiveWatchdogCfg, AlgoConfig, Algorithm, CcloConfig, CollOp, CollectiveProgram, DType,
+    ReduceFn, SyncProto,
 };
 pub use accl_poe::{RdmaConfig, TcpConfig};

@@ -172,7 +172,7 @@ fn shrink_and_reissue_after_crash() {
     assert!(failed.contains(&dead));
 
     let world = c.communicator(0).unwrap().clone();
-    let survivors = world.shrink(1, &[dead]);
+    let survivors = world.shrink(1, &[dead]).expect("survivors remain");
     assert_eq!(survivors.members(), &[0, 1]);
     c.install_communicator(&survivors);
 
@@ -466,7 +466,11 @@ fn shrink_and_reissue_converges_under_sustained_loss() {
             .collect();
         assert!(failed.contains(&dead), "loss {loss}: dead rank undiagnosed");
 
-        let survivors = c.communicator(0).unwrap().shrink(1, &[dead]);
+        let survivors = c
+            .communicator(0)
+            .unwrap()
+            .shrink(1, &[dead])
+            .expect("survivors remain");
         c.install_communicator(&survivors);
         let (mut specs, dsts) = allreduce_setup(&mut c, &[0, 1], count, 1);
         let mut programs: Vec<Vec<HostOp>> = vec![Vec::new(); 3];

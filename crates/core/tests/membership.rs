@@ -1,0 +1,479 @@
+//! Self-healing membership scenarios: a node crashing mid-allreduce,
+//! restarting, and rejoining via [`Communicator::expand`]; degraded links
+//! staying *suspected* (never falsely killed) under the adaptive failure
+//! detector; fabric partitions resolving split-brain-safely and
+//! re-merging after the heal — all bit-replay-stable across queue kinds
+//! and worker counts.
+
+#![allow(clippy::needless_range_loop)] // rank loops index parallel spec/buffer arrays
+
+use accl_cclo::{AdaptiveWatchdogCfg, CollOp, DType};
+use accl_core::host::HostOp;
+use accl_core::{
+    AcclCluster, AlgoConfig, BufLoc, CclError, ClusterConfig, CollSpec, MembershipEvent, Transport,
+};
+use accl_net::Degradation;
+use accl_sim::prelude::{ComponentId, QueueKind, Time};
+
+fn i32s(vals: &[i32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn pattern(rank: usize, count: u64) -> Vec<u8> {
+    i32s(
+        &(0..count as i32)
+            .map(|i| i * 3 + rank as i32 * 97)
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn summed(ranks: usize, count: u64) -> Vec<u8> {
+    i32s(
+        &(0..count as i32)
+            .map(|i| (0..ranks as i32).map(|r| i * 3 + r * 97).sum())
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn cfg_for(transport: Transport, nodes: usize, timeout_us: u64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::coyote_rdma(nodes);
+    cfg.transport = transport;
+    cfg.cclo.collective_timeout_us = Some(timeout_us);
+    cfg
+}
+
+fn allreduce_setup(
+    c: &mut AcclCluster,
+    members: &[usize],
+    count: u64,
+    comm: u32,
+) -> (Vec<CollSpec>, Vec<accl_core::BufferHandle>) {
+    let mut specs = Vec::new();
+    let mut dsts = Vec::new();
+    for &node in members {
+        let src = c.alloc(node, BufLoc::Device, count * 4);
+        let dst = c.alloc(node, BufLoc::Device, count * 4);
+        c.write(&src, &pattern(node, count));
+        specs.push(
+            CollSpec::new(CollOp::AllReduce, count, DType::I32)
+                .src(src)
+                .dst(dst)
+                .comm(comm),
+        );
+        dsts.push(dst);
+    }
+    (specs, dsts)
+}
+
+/// Runs allreduce on a subset of the nodes (the rest idle) and asserts
+/// golden-data equality on every participating rank.
+fn run_subset_allreduce(c: &mut AcclCluster, members: &[usize], count: u64, comm: u32, tag: &str) {
+    let nodes = c.len();
+    let (mut specs, dsts) = allreduce_setup(c, members, count, comm);
+    let mut programs: Vec<Vec<HostOp>> = vec![Vec::new(); nodes];
+    for &m in members {
+        programs[m] = vec![HostOp::Coll(specs.remove(0))];
+    }
+    let results = c.run_host_programs(programs);
+    for (r, &m) in members.iter().enumerate() {
+        assert_eq!(results[m][0].result(), Ok(()), "{tag}: node {m}");
+        assert_eq!(
+            c.read(&dsts[r]),
+            summed(members.len(), count),
+            "{tag}: node {m} data"
+        );
+    }
+}
+
+/// The full self-healing lifecycle on one transport: crash mid-allreduce
+/// → survivors diagnose and shrink → reissue on the survivor group →
+/// restart + transport reinstatement → expand readmits the node with its
+/// original numbering → a full-world allreduce completes with golden
+/// data. Returns the cluster for post-mortem assertions.
+fn crash_restart_rejoin(transport: Transport, timeout_us: u64) -> AcclCluster {
+    let dead = 2usize;
+    let count = 1024u64;
+    let mut c = AcclCluster::build(cfg_for(transport, 3, timeout_us));
+    c.set_algo_config(AlgoConfig {
+        allreduce_ring_min_bytes: 1,
+        ..AlgoConfig::default()
+    });
+    c.crash_node(dead, Time::from_us(1));
+    // The restart instant lands while the first (failing) run drains, so
+    // the NIC reincarnates, survivors fence the old epoch, and the RBM
+    // wipes — all inside run 1's timeline.
+    c.restart_node(dead, Time::from_ms(60));
+
+    // Run 1: the crash fails every rank's collective in bounded time.
+    let (specs, _) = allreduce_setup(&mut c, &[0, 1, 2], count, 0);
+    let records = c.host_collective(specs);
+    for rank in [0usize, 1] {
+        assert!(
+            records[rank].result().is_err(),
+            "{transport:?}: surviving rank {rank} must fail, got {:?}",
+            records[rank].result()
+        );
+        if transport != Transport::Udp {
+            assert_eq!(
+                records[rank].result(),
+                Err(CclError::PeerFailed(dead as u32)),
+                "{transport:?}: rank {rank} verdict"
+            );
+        }
+    }
+
+    // Run 2: ULFM shrink + reissue on the survivor group.
+    let world = c.communicator(0).unwrap().clone();
+    let survivors = world.shrink(1, &[dead]).expect("survivors remain");
+    assert_eq!(survivors.members(), &[0, 1]);
+    c.install_communicator(&survivors);
+    run_subset_allreduce(&mut c, &[0, 1], count, 1, "survivor reissue");
+
+    // Run 3: the restarted node rejoins — sessions reinstated, detector
+    // history forgotten, expand restores the world numbering — and a
+    // full-strength allreduce completes bit-exactly.
+    c.reinstate_node(dead);
+    let rejoined = survivors.expand(2, &[dead]).expect("node readmitted");
+    assert_eq!(rejoined.members(), &[0, 1, 2]);
+    assert_eq!(rejoined.rank_of(dead), Some(dead as u32));
+    c.install_communicator(&rejoined);
+    run_subset_allreduce(&mut c, &[0, 1, 2], count, 2, "rejoined world");
+
+    // The lifecycle is on the record: a restart followed by a rejoin.
+    let log = c.membership_log();
+    let restarted = log
+        .iter()
+        .position(|(_, e)| *e == MembershipEvent::Restarted { node: dead });
+    let rejoined_at = log
+        .iter()
+        .position(|(_, e)| *e == MembershipEvent::Rejoined { node: dead });
+    assert!(
+        restarted.is_some() && rejoined_at > restarted,
+        "{transport:?}: membership log must show restart then rejoin, got {log:?}"
+    );
+    c
+}
+
+#[test]
+fn crash_restart_rejoin_completes_on_tcp() {
+    crash_restart_rejoin(Transport::Tcp, 30_000);
+}
+
+#[test]
+fn crash_restart_rejoin_completes_on_udp() {
+    crash_restart_rejoin(Transport::Udp, 2_000);
+}
+
+#[test]
+fn crash_restart_rejoin_completes_on_rdma() {
+    crash_restart_rejoin(Transport::Rdma, 30_000);
+}
+
+/// Shared shape of the degraded-link-only scenario: a throttle-only
+/// degradation window (no loss, no crash) stretching one node's frame
+/// cadence far past the fixed watchdog's patience.
+fn degraded_cluster(nodes: usize, adaptive: bool, workers: usize) -> AcclCluster {
+    let mut cfg = ClusterConfig::coyote_rdma(nodes);
+    cfg.transport = Transport::Tcp;
+    cfg.workers = workers;
+    if adaptive {
+        // No fixed timeout: unlearned streams fall back to the detector's
+        // cap, learned streams get mean + phi·(MAD + jitter floor).
+        cfg.cclo.collective_timeout_us = None;
+        cfg.cclo.adaptive_watchdog = Some(AdaptiveWatchdogCfg::default());
+    } else {
+        cfg.cclo.collective_timeout_us = Some(200);
+    }
+    let mut c = AcclCluster::build(cfg);
+    c.set_algo_config(AlgoConfig {
+        allreduce_ring_min_bytes: 1,
+        ..AlgoConfig::default()
+    });
+    // Node 1's link runs at 0.01 Gb/s for the whole run: every frame
+    // crawls, inter-arrival gaps stretch toward a millisecond.
+    c.set_fault_plan(accl_net::FaultPlan::none().with_degradation(
+        accl_net::NodeAddr(1),
+        Degradation {
+            from: Time::ZERO,
+            until: Time::from_ms(500),
+            loss_ppm: 0,
+            throttle_gbps_x100: 1,
+        },
+    ));
+    c
+}
+
+/// The acceptance bar for adaptive detection: a degraded-but-alive link
+/// that the fixed 200 µs watchdog kills (false PeerFailed verdicts) is
+/// ridden out by the adaptive detector — zero false verdicts, the
+/// collective completes with golden data, and the degradation registered
+/// as (at most) suspect-level suspicion, never a kill.
+#[test]
+fn degraded_link_survives_adaptive_detector_where_fixed_watchdog_aborts() {
+    let count = 512u64;
+
+    // Fixed watchdog: the stretched cadence looks like death.
+    let mut fixed = degraded_cluster(2, false, 1);
+    let (specs, _) = allreduce_setup(&mut fixed, &[0, 1], count, 0);
+    let records = fixed.host_collective(specs);
+    assert!(
+        records.iter().any(|r| r.result().is_err()),
+        "fixed 200 µs watchdog must abort under the throttle, got {records:?}"
+    );
+
+    // Adaptive detector: same fabric, zero false verdicts.
+    let mut adaptive = degraded_cluster(2, true, 1);
+    let (specs, dsts) = allreduce_setup(&mut adaptive, &[0, 1], count, 0);
+    let records = adaptive.host_collective(specs);
+    for rank in 0..2 {
+        assert_eq!(
+            records[rank].result(),
+            Ok(()),
+            "adaptive detector rank {rank} must ride out the degradation"
+        );
+        assert_eq!(
+            adaptive.read(&dsts[rank]),
+            summed(2, count),
+            "rank {rank} data"
+        );
+        assert_eq!(
+            adaptive.node_stats(rank).collectives_aborted,
+            0,
+            "rank {rank}: no aborts — degraded is not dead"
+        );
+        assert!(
+            adaptive.failed_peers(rank).is_empty(),
+            "rank {rank}: zero false PeerFailed verdicts"
+        );
+    }
+}
+
+/// A fabric partition isolates node 3 mid-allreduce: the majority side
+/// keeps the communicator (its failures stay PeerFailed and it shrinks),
+/// the minority side's failure is recolored `Partitioned` (fail fast, do
+/// NOT shrink — that would be split-brain), and after the heal the
+/// minority re-merges via expand and a full-world allreduce completes.
+#[test]
+fn partition_minority_fails_fast_and_remerges_after_heal() {
+    let count = 1024u64;
+    let mask = 0b1000u64; // node 3 alone vs nodes 0-2
+    let mut c = AcclCluster::build(cfg_for(Transport::Tcp, 4, 30_000));
+    c.set_algo_config(AlgoConfig {
+        allreduce_ring_min_bytes: 1,
+        ..AlgoConfig::default()
+    });
+    c.partition(mask, Time::from_us(1), Time::from_ms(60));
+
+    let (specs, _) = allreduce_setup(&mut c, &[0, 1, 2, 3], count, 0);
+    let records = c.host_collective(specs);
+    assert_eq!(
+        records[3].result(),
+        Err(CclError::Partitioned),
+        "minority side fails fast with the typed partition verdict"
+    );
+    for rank in 0..3 {
+        assert!(
+            records[rank].result().is_err(),
+            "majority rank {rank} must fail this run"
+        );
+        assert_ne!(
+            records[rank].result(),
+            Err(CclError::Partitioned),
+            "majority rank {rank} is NOT partitioned-out"
+        );
+    }
+
+    // Majority resolves the cut locally — identically on every member.
+    let world = c.communicator(0).unwrap().clone();
+    let kept = accl_core::resolve_partition(&world, 0, mask).expect("majority keeps the comm");
+    assert_eq!(kept.members(), &[0, 1, 2]);
+    assert_eq!(
+        accl_core::resolve_partition(&world, 3, mask),
+        Err(CclError::Partitioned)
+    );
+    let majority = world.shrink(1, &[3]).expect("survivors remain");
+    c.install_communicator(&majority);
+    run_subset_allreduce(&mut c, &[0, 1, 2], count, 1, "majority under partition");
+
+    // Heal has passed (run 2 drained beyond it): re-merge.
+    assert!(c.sim.now() > Time::from_ms(60), "heal instant passed");
+    c.reinstate_node(3);
+    let merged = majority.expand(2, &[3]).expect("minority readmitted");
+    assert_eq!(merged.members(), &[0, 1, 2, 3]);
+    c.install_communicator(&merged);
+    run_subset_allreduce(&mut c, &[0, 1, 2, 3], count, 2, "re-merged world");
+
+    // Cut and heal are on the membership record.
+    let log = c.membership_log();
+    assert!(log
+        .iter()
+        .any(|(_, e)| *e == MembershipEvent::Partitioned { mask }));
+    assert!(log
+        .iter()
+        .any(|(_, e)| *e == MembershipEvent::Healed { mask }));
+}
+
+/// Everything the recovery timeline exposes that must be bit-identical
+/// run-to-run, across queue kinds and worker counts.
+#[derive(Debug, PartialEq)]
+struct Observables {
+    events_executed: u64,
+    final_time: Time,
+    state_digests: Vec<(ComponentId, u64)>,
+    suspicions: Vec<u64>,
+    membership: Vec<(Time, MembershipEvent)>,
+}
+
+impl Observables {
+    fn collect(c: &mut AcclCluster) -> Observables {
+        let suspicions = (0..c.len())
+            .map(|i| {
+                c.sim
+                    .component::<accl_cclo::uc::Uc>(c.node(i).cclo.uc)
+                    .suspicions()
+            })
+            .collect();
+        Observables {
+            events_executed: c.sim.events_executed(),
+            final_time: c.sim.now(),
+            state_digests: c.sim.state_digests(),
+            suspicions,
+            membership: c.membership_log().to_vec(),
+        }
+    }
+}
+
+/// The crash → restart → rejoin lifecycle under the adaptive detector,
+/// parameterized by engine configuration. Suspect/confirm decisions are
+/// part of every uC's state digest, so digest equality pins them.
+fn rejoin_observables(kind: QueueKind, workers: usize, tie_salt: Option<u64>) -> Observables {
+    let dead = 2usize;
+    let count = 512u64;
+    let mut cfg = cfg_for(Transport::Tcp, 3, 30_000);
+    cfg.workers = workers;
+    cfg.cclo.adaptive_watchdog = Some(AdaptiveWatchdogCfg::default());
+    let mut c = AcclCluster::build(cfg);
+    c.sim.set_queue_kind(kind);
+    if let Some(salt) = tie_salt {
+        permute_ties(&mut c, salt);
+    }
+    c.set_algo_config(AlgoConfig {
+        allreduce_ring_min_bytes: 1,
+        ..AlgoConfig::default()
+    });
+    c.crash_node(dead, Time::from_us(1));
+    c.restart_node(dead, Time::from_ms(60));
+    let (specs, _) = allreduce_setup(&mut c, &[0, 1, 2], count, 0);
+    c.host_collective(specs);
+    let survivors = c
+        .communicator(0)
+        .unwrap()
+        .shrink(1, &[dead])
+        .expect("survivors remain");
+    c.install_communicator(&survivors);
+    run_subset_allreduce(&mut c, &[0, 1], count, 1, "survivor reissue");
+    c.reinstate_node(dead);
+    let rejoined = survivors.expand(2, &[dead]).expect("node readmitted");
+    c.install_communicator(&rejoined);
+    run_subset_allreduce(&mut c, &[0, 1, 2], count, 2, "rejoined world");
+    Observables::collect(&mut c)
+}
+
+/// The degraded-link-only scenario under the adaptive detector,
+/// parameterized the same way.
+fn degraded_observables(kind: QueueKind, workers: usize, tie_salt: Option<u64>) -> Observables {
+    let count = 512u64;
+    let mut c = degraded_cluster(2, true, workers);
+    c.sim.set_queue_kind(kind);
+    if let Some(salt) = tie_salt {
+        permute_ties(&mut c, salt);
+    }
+    let (specs, dsts) = allreduce_setup(&mut c, &[0, 1], count, 0);
+    let records = c.host_collective(specs);
+    for rank in 0..2 {
+        assert_eq!(records[rank].result(), Ok(()), "rank {rank}");
+        assert_eq!(c.read(&dsts[rank]), summed(2, count), "rank {rank} data");
+    }
+    Observables::collect(&mut c)
+}
+
+#[cfg(feature = "race-detect")]
+fn permute_ties(c: &mut AcclCluster, salt: u64) {
+    c.sim.permute_tie_order(salt);
+}
+
+#[cfg(not(feature = "race-detect"))]
+fn permute_ties(_c: &mut AcclCluster, _salt: u64) {
+    unreachable!("tie permutation requires the race-detect feature")
+}
+
+/// Satellite determinism gate: the full recovery timeline — including
+/// every suspect/confirm decision folded into the uC digests — is
+/// bit-identical across queue kinds and 1/2/4/8 workers.
+#[test]
+fn rejoin_timeline_digest_stable_across_queues_and_workers() {
+    let golden = rejoin_observables(QueueKind::Heap, 1, None);
+    assert!(!golden.state_digests.is_empty());
+    assert!(
+        golden.suspicions.iter().any(|&s| s > 0),
+        "the crash must register suspect-level firings first, got {:?}",
+        golden.suspicions
+    );
+    for kind in [QueueKind::Heap, QueueKind::Calendar] {
+        for workers in [1usize, 2, 4, 8] {
+            if (kind, workers) == (QueueKind::Heap, 1) {
+                continue;
+            }
+            assert_eq!(
+                rejoin_observables(kind, workers, None),
+                golden,
+                "rejoin timeline diverged ({kind:?}, {workers} workers)"
+            );
+        }
+    }
+}
+
+/// Same gate for the degraded-only scenario: adaptive deadlines are
+/// integer arithmetic on observed gaps, so the no-false-positive outcome
+/// is equally replayable.
+#[test]
+fn degraded_timeline_digest_stable_across_queues_and_workers() {
+    let golden = degraded_observables(QueueKind::Heap, 1, None);
+    assert!(!golden.state_digests.is_empty());
+    for kind in [QueueKind::Heap, QueueKind::Calendar] {
+        for workers in [1usize, 2, 4, 8] {
+            if (kind, workers) == (QueueKind::Heap, 1) {
+                continue;
+            }
+            assert_eq!(
+                degraded_observables(kind, workers, None),
+                golden,
+                "degraded timeline diverged ({kind:?}, {workers} workers)"
+            );
+        }
+    }
+}
+
+/// With the race detector, a deliberately permuted same-timestamp
+/// delivery order must not move a single suspect/confirm decision: the
+/// detector reads sim time and per-stream history, never queue order.
+#[cfg(feature = "race-detect")]
+#[test]
+fn detector_decisions_survive_permuted_tie_order() {
+    let golden = rejoin_observables(QueueKind::Heap, 1, None);
+    for salt in [1u64, 0x5eed, 0xdead_beef] {
+        assert_eq!(
+            rejoin_observables(QueueKind::Heap, 1, Some(salt)),
+            golden,
+            "suspect/confirm decisions moved under tie salt {salt:#x}"
+        );
+    }
+    let degraded_golden = degraded_observables(QueueKind::Heap, 1, None);
+    for salt in [1u64, 0x5eed] {
+        assert_eq!(
+            degraded_observables(QueueKind::Heap, 1, Some(salt)),
+            degraded_golden,
+            "degraded-run decisions moved under tie salt {salt:#x}"
+        );
+    }
+}

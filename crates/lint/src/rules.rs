@@ -21,7 +21,13 @@ use crate::{Finding, Severity};
 /// Protocol enums whose `match`es must stay exhaustive: adding a variant
 /// (a new fault kind, a new completion status) must force every handler to
 /// take a position, not fall into a stale `_` arm.
-pub const PROTOCOL_ENUMS: &[&str] = &["FaultAction", "CmdStatus", "CclError", "OverloadPolicy"];
+pub const PROTOCOL_ENUMS: &[&str] = &[
+    "FaultAction",
+    "CmdStatus",
+    "CclError",
+    "OverloadPolicy",
+    "MembershipEvent",
+];
 
 /// Runs every parser-backed rule over one file.
 pub fn run(file: &str, krate: Option<&str>, toks: &[Token], parsed: &ParsedFile) -> Vec<Finding> {
@@ -64,8 +70,9 @@ const CUSTODY: &[Custody] = &[
     Custody {
         file_suffix: "cclo/src/rbm.rs",
         counter: "free_bufs",
-        allowed_fns: &["new", "release_buf"],
-        why: "buffer releases must flow through `release_buf` so shrink debt is paid down first",
+        allowed_fns: &["new", "release_buf", "resync"],
+        why: "buffer releases must flow through `release_buf` (shrink debt is paid down first) \
+              or the restart-time `resync` wipe",
     },
     Custody {
         file_suffix: "poe/src/iface.rs",
@@ -789,8 +796,8 @@ fn exhaustive_handling(file: &str, parsed: &ParsedFile, findings: &mut Vec<Findi
                 rule: "exhaustive-handling",
                 severity: Severity::Deny,
                 message: "`_` wildcard over a protocol enum (FaultAction/CmdStatus/CclError/\
-                          OverloadPolicy): spell the variants out (or diverge loudly) so new \
-                          variants cannot be silently mishandled"
+                          OverloadPolicy/MembershipEvent): spell the variants out (or diverge \
+                          loudly) so new variants cannot be silently mishandled"
                     .into(),
                 allowed: None,
             });

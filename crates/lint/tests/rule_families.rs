@@ -257,6 +257,51 @@ fn apply(&mut self, status: CmdStatus) {
 }
 
 #[test]
+fn wildcard_over_membership_event_is_flagged() {
+    // Recovery handlers must take a position on every lifecycle event:
+    // a stale `_` arm would silently ignore a new membership transition
+    // (and `CclError::Partitioned` carries the same contract).
+    let src = "
+fn on_membership(&mut self, ev: MembershipEvent) {
+    match ev {
+        MembershipEvent::Suspected { node } => self.suspect(node),
+        MembershipEvent::Confirmed { node } => self.confirm(node),
+        _ => {}
+    }
+}
+";
+    let found = gating("fixture.rs", src);
+    assert!(has_rule(&found, "exhaustive-handling"), "{found:?}");
+    let err = "
+fn classify(&mut self, e: CclError) {
+    match e {
+        CclError::Partitioned => self.partitioned += 1,
+        _ => self.other += 1,
+    }
+}
+";
+    let found = gating("fixture.rs", err);
+    assert!(has_rule(&found, "exhaustive-handling"), "{found:?}");
+}
+
+#[test]
+fn spelled_out_membership_match_is_clean() {
+    let src = "
+fn on_membership(&mut self, ev: MembershipEvent) {
+    match ev {
+        MembershipEvent::Suspected { node } => self.suspect(node),
+        MembershipEvent::Confirmed { node } => self.confirm(node),
+        MembershipEvent::Restarted { node } => self.restarted(node),
+        MembershipEvent::Rejoined { node } => self.rejoined(node),
+        MembershipEvent::Partitioned { mask } => self.cut(mask),
+        MembershipEvent::Healed { mask } => self.heal(mask),
+    }
+}
+";
+    assert_eq!(gating("fixture.rs", src), vec![]);
+}
+
+#[test]
 fn diverging_catch_all_over_protocol_enum_is_clean() {
     let src = "
 fn apply(&mut self, action: FaultAction) {

@@ -115,6 +115,37 @@ pub struct Degradation {
     pub throttle_gbps_x100: u32,
 }
 
+/// A `[from, until)` window during which the fabric is split in two: the
+/// nodes whose bit is set in `mask` can only reach each other, and likewise
+/// for the nodes whose bit is clear. Frames crossing the cut are lost.
+///
+/// The mask is a plain `u64` bitmap over port numbers, so a partition is
+/// `Copy`, hashes exactly, and round-trips through the integer-only JSON
+/// repro format without any set encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// Bitmap over node addresses: bit `n` set places `NodeAddr(n)` on
+    /// side A, clear places it on side B.
+    pub mask: u64,
+    /// Window start (inclusive).
+    pub from: Time,
+    /// Window end (exclusive) — the instant the partition heals.
+    pub until: Time,
+}
+
+impl Partition {
+    /// Whether the partition is active at time `t`.
+    pub fn active(&self, t: Time) -> bool {
+        self.from <= t && t < self.until
+    }
+
+    /// Whether `src` and `dst` sit on opposite sides of the cut.
+    pub fn severs(&self, src: NodeAddr, dst: NodeAddr) -> bool {
+        let side = |a: NodeAddr| (self.mask >> (u64::from(a.0) & 63)) & 1;
+        side(src) != side(dst)
+    }
+}
+
 impl Degradation {
     /// Whether the window is active at time `t`.
     pub fn active(&self, t: Time) -> bool {
@@ -179,8 +210,18 @@ pub struct FaultPlan {
     /// windows overlap.
     pub degradations: BTreeMap<NodeAddr, Vec<Degradation>>,
     /// Whole-node crash times; from the crash instant on, the switch
-    /// blackholes every frame to or from the node.
+    /// blackholes every frame to or from the node (until a matching
+    /// restart in `node_restarts`, if any).
     pub node_crashes: BTreeMap<NodeAddr, Time>,
+    /// Node restart times: a crashed node whose restart instant has passed
+    /// is live again (a fresh incarnation — the cluster re-announces it,
+    /// fences its old epoch and re-admits it via `Communicator::expand`).
+    /// A restart at or before the node's crash time is ignored.
+    pub node_restarts: BTreeMap<NodeAddr, Time>,
+    /// Fabric partition windows: while active, frames crossing the bitmap
+    /// cut are lost in both directions. Kept sorted by `(from, until,
+    /// mask)` for canonical event order.
+    pub partitions: Vec<Partition>,
     /// Overload fault: at `.1`, leak `.2` tx-window credits from node
     /// `.0`'s protocol engine (they are consumed and never returned,
     /// permanently shrinking the window — the canonical cause of a
@@ -290,6 +331,24 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a node restart at time `at` to this plan: the node's crash
+    /// window becomes `[crash, at)` instead of `[crash, ∞)`. If the node
+    /// already has a restart time, the earlier one wins (mirroring
+    /// [`FaultPlan::with_node_crash`]).
+    pub fn with_node_restart(mut self, addr: NodeAddr, at: Time) -> Self {
+        let at = self.node_restarts.get(&addr).map_or(at, |&t| t.min(at));
+        self.node_restarts.insert(addr, at);
+        self
+    }
+
+    /// Adds a fabric partition window to this plan.
+    pub fn with_partition(mut self, mask: u64, from: Time, until: Time) -> Self {
+        assert!(from < until, "empty partition window");
+        self.partitions.push(Partition { mask, from, until });
+        self.partitions.sort_by_key(|p| (p.from, p.until, p.mask));
+        self
+    }
+
     /// Adds a credit-leak overload fault: at `at`, `credits` tx-window
     /// credits vanish from `addr`'s protocol engine.
     pub fn with_credit_leak(mut self, addr: NodeAddr, at: Time, credits: u32) -> Self {
@@ -343,9 +402,37 @@ impl FaultPlan {
         self.node_crashes.get(&addr).copied()
     }
 
-    /// Whether `addr` has crashed by time `now`.
+    /// The restart time of `addr`, if one is scheduled *and* it lands
+    /// strictly after the node's crash (a restart without a preceding
+    /// crash, or at/before it, is meaningless and ignored).
+    pub fn restart_time(&self, addr: NodeAddr) -> Option<Time> {
+        let crash = self.crash_time(addr)?;
+        self.node_restarts
+            .get(&addr)
+            .copied()
+            .filter(|&r| r > crash)
+    }
+
+    /// Whether `addr` is down at time `now`: crashed, and not yet past its
+    /// restart instant (if one is scheduled).
     pub fn is_crashed(&self, addr: NodeAddr, now: Time) -> bool {
-        self.crash_time(addr).is_some_and(|at| now >= at)
+        match (self.crash_time(addr), self.restart_time(addr)) {
+            (Some(crash), Some(restart)) => now >= crash && now < restart,
+            (Some(crash), None) => now >= crash,
+            (None, _) => false,
+        }
+    }
+
+    /// The first partition window severing `src` from `dst` at `now`.
+    pub fn severing_partition(
+        &self,
+        src: NodeAddr,
+        dst: NodeAddr,
+        now: Time,
+    ) -> Option<&Partition> {
+        self.partitions
+            .iter()
+            .find(|p| p.active(now) && p.severs(src, dst))
     }
 
     /// Whether this plan can never interfere with traffic.
@@ -362,6 +449,7 @@ impl FaultPlan {
             && self.link_schedules.values().all(LinkSchedule::is_empty)
             && self.degradations.values().all(Vec::is_empty)
             && self.node_crashes.is_empty()
+            && self.partitions.is_empty()
             && !self.has_overload_faults()
     }
 
@@ -375,6 +463,9 @@ impl FaultPlan {
     /// reached, so purely explicit plans never consume entropy.
     pub fn decide(&self, index: u64, now: Time, frame: &Frame, rng: &mut StdRng) -> FaultAction {
         if self.is_crashed(frame.src, now) || self.is_crashed(frame.dst, now) {
+            return FaultAction::Drop;
+        }
+        if self.severing_partition(frame.src, frame.dst, now).is_some() {
             return FaultAction::Drop;
         }
         for addr in [frame.src, frame.dst] {
@@ -486,6 +577,18 @@ impl FaultPlan {
         for &(node, at, bufs) in &self.buf_shrinks {
             events.push(FaultEvent::BufShrink { node, at, bufs });
         }
+        // Membership kinds serialize after every pre-existing kind so old
+        // repro event lists keep their exact positions.
+        for (&node, &at) in &self.node_restarts {
+            events.push(FaultEvent::Restart { node, at });
+        }
+        for &p in &self.partitions {
+            events.push(FaultEvent::Partition {
+                mask: p.mask,
+                from: p.from,
+                until: p.until,
+            });
+        }
         events
     }
 
@@ -528,6 +631,12 @@ impl FaultPlan {
                 }
                 FaultEvent::BufShrink { node, at, bufs } => {
                     plan = plan.with_buf_shrink(node, at, bufs);
+                }
+                FaultEvent::Restart { node, at } => {
+                    plan = plan.with_node_restart(node, at);
+                }
+                FaultEvent::Partition { mask, from, until } => {
+                    plan = plan.with_partition(mask, from, until);
                 }
             }
         }
@@ -613,6 +722,23 @@ pub enum FaultEvent {
         /// New pool capacity, in buffers.
         bufs: u32,
     },
+    /// Restart `node` at `at`: its crash window closes and a fresh
+    /// incarnation comes up (old-epoch frames are fenced at the RxMux).
+    Restart {
+        /// Restarted node.
+        node: NodeAddr,
+        /// Restart instant.
+        at: Time,
+    },
+    /// Split the fabric along `mask` for `[from, until)`.
+    Partition {
+        /// Bitmap over node addresses (bit set = side A).
+        mask: u64,
+        /// Partition start (inclusive).
+        from: Time,
+        /// Heal instant (exclusive).
+        until: Time,
+    },
 }
 
 /// Intensity knobs for randomly generated fault schedules.
@@ -665,6 +791,18 @@ pub struct ChaosProfile {
     /// Largest residual pool a shrink event may leave (sampled in
     /// `1..=max_shrink_bufs`).
     pub max_shrink_bufs: u32,
+    /// Membership faults: crash/restart *pairs* — each contributes a
+    /// `Crash` at a sampled instant and a matching `Restart` up to
+    /// `max_restart_delay` later, so every generated plan is self-healing
+    /// by construction.
+    pub crash_restarts: u32,
+    /// Longest outage a crash/restart pair may span.
+    pub max_restart_delay: Dur,
+    /// Membership faults: fabric partition windows, each at most
+    /// `max_partition` long, with a sampled nontrivial side bitmap.
+    pub partitions: u32,
+    /// Maximum single-partition duration.
+    pub max_partition: Dur,
 }
 
 impl ChaosProfile {
@@ -692,6 +830,30 @@ impl ChaosProfile {
             max_pause_hold: Dur::from_us(200),
             buf_shrinks: 0,
             max_shrink_bufs: 2,
+            crash_restarts: 0,
+            max_restart_delay: Dur::from_ms(1),
+            partitions: 0,
+            max_partition: Dur::from_us(500),
+        }
+    }
+
+    /// A membership-focused profile: crash/restart pairs and partition
+    /// windows (plus a little frame delay for spice), no transient loss —
+    /// exercising the self-healing path: adaptive detection, shrink,
+    /// rejoin via expand, and partition-heal re-merge.
+    pub fn membership_profile(nodes: u32) -> Self {
+        ChaosProfile {
+            drops: 0,
+            corrupts: 0,
+            duplicates: 0,
+            delays: 2,
+            flaps: 0,
+            degradations: 0,
+            crash_restarts: 1,
+            max_restart_delay: Dur::from_ms(1),
+            partitions: 1,
+            max_partition: Dur::from_us(400),
+            ..Self::default_profile(nodes)
         }
     }
 
@@ -729,6 +891,8 @@ impl ChaosProfile {
             + self.credit_leaks
             + self.pause_storms
             + self.buf_shrinks
+            + self.crash_restarts * 2
+            + self.partitions
     }
 }
 
@@ -824,6 +988,33 @@ impl FaultPlanGen {
                 node,
                 at: Time::from_ps(at),
                 bufs,
+            });
+        }
+        // Membership kinds draw after every earlier kind so plans from
+        // profiles with zero membership budget replay bit-identically.
+        for _ in 0..profile.crash_restarts {
+            let node = NodeAddr(rng.random_range(0..profile.nodes.max(1)));
+            let at = rng.random_range(0..horizon_ps);
+            let outage = rng.random_range(1..profile.max_restart_delay.as_ps().max(2));
+            events.push(FaultEvent::Crash {
+                node,
+                at: Time::from_ps(at),
+            });
+            events.push(FaultEvent::Restart {
+                node,
+                at: Time::from_ps(at.saturating_add(outage)),
+            });
+        }
+        for _ in 0..profile.partitions {
+            let nodes = profile.nodes.clamp(2, 63);
+            // A nontrivial cut: at least one node on each side.
+            let mask = rng.random_range(1..(1u64 << nodes) - 1);
+            let len = rng.random_range(1..profile.max_partition.as_ps().max(2));
+            let from = rng.random_range(0..horizon_ps);
+            events.push(FaultEvent::Partition {
+                mask,
+                from: Time::from_ps(from),
+                until: Time::from_ps(from.saturating_add(len)),
             });
         }
         FaultPlan::from_events(&events)
@@ -1005,6 +1196,105 @@ mod tests {
         assert!(plan.is_crashed(NodeAddr(0), Time::from_us(5)));
         assert!(!plan.is_crashed(NodeAddr(0), Time::from_us(4)));
         assert_eq!(plan.crash_time(NodeAddr(0)), Some(Time::from_us(5)));
+    }
+
+    #[test]
+    fn restart_reopens_the_crash_window() {
+        let plan = FaultPlan::node_crash(NodeAddr(0), Time::from_us(5))
+            .with_node_restart(NodeAddr(0), Time::from_us(9));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            plan.decide(0, Time::from_us(4), &frame(), &mut rng),
+            FaultAction::Forward
+        );
+        assert_eq!(
+            plan.decide(1, Time::from_us(6), &frame(), &mut rng),
+            FaultAction::Drop
+        );
+        // From the restart instant on, the node is live again.
+        assert_eq!(
+            plan.decide(2, Time::from_us(9), &frame(), &mut rng),
+            FaultAction::Forward
+        );
+        assert!(plan.is_crashed(NodeAddr(0), Time::from_us(8)));
+        assert!(!plan.is_crashed(NodeAddr(0), Time::from_us(9)));
+        assert_eq!(plan.restart_time(NodeAddr(0)), Some(Time::from_us(9)));
+    }
+
+    #[test]
+    fn restart_without_or_before_crash_is_ignored() {
+        // No crash at all: restart is meaningless.
+        let plan = FaultPlan::none().with_node_restart(NodeAddr(1), Time::from_us(3));
+        assert_eq!(plan.restart_time(NodeAddr(1)), None);
+        assert!(!plan.is_crashed(NodeAddr(1), Time::from_us(10)));
+        // Restart at/before the crash: the crash stays permanent.
+        let plan = FaultPlan::node_crash(NodeAddr(0), Time::from_us(5))
+            .with_node_restart(NodeAddr(0), Time::from_us(5));
+        assert_eq!(plan.restart_time(NodeAddr(0)), None);
+        assert!(plan.is_crashed(NodeAddr(0), Time::from_us(500)));
+    }
+
+    #[test]
+    fn partition_drops_only_cross_cut_frames() {
+        // Nodes {0, 2} vs {1, 3} for [10us, 20us).
+        let mask = 0b0101u64;
+        let plan = FaultPlan::none().with_partition(mask, Time::from_us(10), Time::from_us(20));
+        assert!(!plan.is_transparent());
+        let mut rng = StdRng::seed_from_u64(0);
+        // 0 -> 1 crosses the cut.
+        assert_eq!(
+            plan.decide(0, Time::from_us(15), &frame(), &mut rng),
+            FaultAction::Drop
+        );
+        // 0 -> 2 stays on side A.
+        let same_side = Frame::new(NodeAddr(0), NodeAddr(2), 100, ());
+        assert_eq!(
+            plan.decide(1, Time::from_us(15), &same_side, &mut rng),
+            FaultAction::Forward
+        );
+        // Outside the window everything heals.
+        assert_eq!(
+            plan.decide(2, Time::from_us(20), &frame(), &mut rng),
+            FaultAction::Forward
+        );
+        assert!(plan
+            .severing_partition(NodeAddr(0), NodeAddr(1), Time::from_us(12))
+            .is_some());
+        assert!(plan
+            .severing_partition(NodeAddr(1), NodeAddr(3), Time::from_us(12))
+            .is_none());
+    }
+
+    #[test]
+    fn membership_events_round_trip() {
+        let plan = FaultPlan::node_crash(NodeAddr(2), Time::from_us(50))
+            .with_node_restart(NodeAddr(2), Time::from_us(90))
+            .with_partition(0b11, Time::from_us(10), Time::from_us(30));
+        assert!(plan.is_explicit());
+        let events = plan.to_events();
+        assert_eq!(events.len(), 3);
+        let rebuilt = FaultPlan::from_events(&events);
+        assert_eq!(rebuilt.to_events(), events);
+        assert_eq!(rebuilt.restart_time(NodeAddr(2)), Some(Time::from_us(90)));
+    }
+
+    #[test]
+    fn membership_profile_generates_paired_crash_restart() {
+        let profile = ChaosProfile::membership_profile(4);
+        let plan = FaultPlanGen::generate(&profile, 11);
+        assert!(plan.is_explicit());
+        assert_eq!(plan.node_crashes.len(), 1);
+        assert_eq!(plan.node_restarts.len(), 1);
+        let (&node, &crash) = plan.node_crashes.iter().next().unwrap();
+        assert_eq!(
+            plan.restart_time(node),
+            plan.node_restarts.get(&node).copied()
+        );
+        assert!(plan.restart_time(node).unwrap() > crash);
+        assert_eq!(plan.partitions.len(), 1);
+        // Replays bit-identically.
+        let again = FaultPlanGen::generate(&profile, 11);
+        assert_eq!(plan.to_events(), again.to_events());
     }
 
     #[test]

@@ -92,6 +92,13 @@ pub struct Frame {
     /// tx-window credit the frame consumed. `None` (the default) means the
     /// frame is not credit-accounted. Excluded from the FCS, like `src`.
     pub credit_return: Option<Endpoint>,
+    /// Sender incarnation number, stamped by the NIC alongside `src`: 0
+    /// for a node's first life, bumped each time the node restarts. The
+    /// receiving RxMux fences frames whose epoch predates the sender's
+    /// announced incarnation, so stale pre-crash traffic from an old
+    /// incarnation can never leak into a rejoined session. Excluded from
+    /// the FCS, like `src` (the NIC stamps it after the POE computes FCS).
+    pub epoch: u32,
 }
 
 /// A returned tx-window credit, posted by the NIC to the endpoint a frame
@@ -122,6 +129,7 @@ impl Frame {
             span: SpanId::NONE,
             flow: FlowId::NONE,
             credit_return: None,
+            epoch: 0,
         }
     }
 
@@ -170,6 +178,7 @@ impl Frame {
             span: self.span,
             flow: self.flow,
             credit_return: self.credit_return,
+            epoch: self.epoch,
         }
     }
 
@@ -252,11 +261,14 @@ mod tests {
     fn fcs_fresh_frames_verify_and_survive_restamps() {
         let mut f = Frame::new(NodeAddr(2), NodeAddr(5), 4096, 7u32);
         assert!(f.fcs_ok());
-        // The NIC re-stamps src; FCS must not cover it.
+        // The NIC re-stamps src and epoch; FCS must not cover either.
         f.src = NodeAddr(3);
+        f.epoch = 2;
         assert!(f.fcs_ok());
         let f = f.with_segments(4);
         assert!(f.fcs_ok());
+        assert_eq!(f.epoch, 2, "epoch survives the segment restamp");
+        assert_eq!(f.clone_wire().epoch, 2, "epoch survives duplication");
     }
 
     #[test]

@@ -20,8 +20,9 @@ pub mod twotier;
 
 pub use fault::{
     ChaosProfile, Degradation, FaultAction, FaultEvent, FaultPlan, FaultPlanGen, LinkSchedule,
+    Partition,
 };
 pub use frame::{CreditReturn, Frame, NodeAddr, DEFAULT_MTU, WIRE_OVERHEAD_BYTES};
-pub use switch::{NetPort, OverloadPolicy, PauseFrame, PortCounters, Switch};
+pub use switch::{NetPort, OverloadPolicy, PauseFrame, PortCounters, Reincarnate, Switch};
 pub use topology::{NetConfig, Network};
 pub use twotier::TwoTierNetwork;

@@ -415,11 +415,22 @@ pub struct NetPort {
     /// Frames held while paused, flushed in arrival order on resume.
     held: VecDeque<Frame>,
     pauses_received: u64,
+    /// This node's incarnation number, stamped into every outgoing frame's
+    /// epoch field. 0 for the first life; a [`Reincarnate`] control event
+    /// (posted by the cluster when a node-restart fault fires) bumps it.
+    incarnation: u32,
 }
 
 /// Self-scheduled resume tick for a paused [`NetPort`].
 #[derive(Debug, Clone, Copy)]
 struct Resume;
+
+/// Control event marking a node restart at its NIC: the port's incarnation
+/// is bumped (all subsequent frames carry the new epoch) and any traffic
+/// still held from the previous life is discarded — a rebooted NIC does not
+/// resume a dead incarnation's queue.
+#[derive(Debug, Clone, Copy)]
+pub struct Reincarnate;
 
 impl NetPort {
     /// Creates the port for `addr`, uplinked to `switch`.
@@ -434,12 +445,18 @@ impl NetPort {
             paused_until: Time::ZERO,
             held: VecDeque::new(),
             pauses_received: 0,
+            incarnation: 0,
         }
     }
 
     /// This port's fabric address.
     pub fn addr(&self) -> NodeAddr {
         self.addr
+    }
+
+    /// The incarnation number stamped into outgoing frames' epochs.
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
     }
 
     /// Frames submitted by the local device so far.
@@ -476,8 +493,10 @@ impl NetPort {
     /// Serializes `frame` onto the uplink and schedules its arrival at the
     /// switch; returns any tx-window credit it carried at serialization end.
     fn transmit(&mut self, ctx: &mut Ctx<'_>, mut frame: Frame) {
-        // Stamp the source: devices don't need to know their own address.
+        // Stamp the source and epoch: devices don't need to know their own
+        // address or which life they are on.
         frame.src = self.addr;
+        frame.epoch = self.incarnation;
         let wire = u64::from(frame.wire_bytes());
         self.frames_in += u64::from(frame.segments);
         self.bytes_in += wire;
@@ -549,6 +568,16 @@ impl Component for NetPort {
             }
             Err(other) => other,
         };
+        let payload = match payload.try_downcast::<Reincarnate>() {
+            Ok(Reincarnate) => {
+                self.incarnation += 1;
+                self.held.clear();
+                self.paused_until = ctx.now();
+                ctx.stats().add("net.port.reincarnations", 1);
+                return;
+            }
+            Err(other) => other,
+        };
         payload.downcast::<Resume>();
         if ctx.now() < self.paused_until {
             return; // a later pause superseded this tick
@@ -596,6 +625,7 @@ impl Component for NetPort {
             self.held.len() as u64,
             self.pauses_received,
             self.egress.next_free().as_ps(),
+            u64::from(self.incarnation),
         ] {
             digest_u64(&mut h, v);
         }

@@ -166,6 +166,27 @@ impl Network {
         sw.set_fault_plan(plan.with_node_crash(addr, at));
     }
 
+    /// Schedules a restart of node `i` at simulated time `at`, composing
+    /// with the installed fault plan: the node's crash window (see
+    /// [`Network::crash_node`]) closes at `at` and the fabric carries its
+    /// traffic again. Fencing of the old incarnation's frames is the
+    /// cluster's job (a [`crate::switch::Reincarnate`] control event to the
+    /// node's port plus epoch fences at the peers' RxMuxes).
+    pub fn restart_node(&self, sim: &mut Simulator, i: usize, at: Time) {
+        let addr = self.addr(i);
+        let sw = sim.component_mut::<Switch>(self.switch);
+        let plan = std::mem::take(sw.fault_plan_mut());
+        sw.set_fault_plan(plan.with_node_restart(addr, at));
+    }
+
+    /// Schedules a `[from, until)` fabric partition along `mask`, composing
+    /// with the installed fault plan.
+    pub fn partition(&self, sim: &mut Simulator, mask: u64, from: Time, until: Time) {
+        let sw = sim.component_mut::<Switch>(self.switch);
+        let plan = std::mem::take(sw.fault_plan_mut());
+        sw.set_fault_plan(plan.with_partition(mask, from, until));
+    }
+
     /// Schedules a `[from, until)` outage of node `i`'s link, composing
     /// with the installed fault plan.
     pub fn link_down(&self, sim: &mut Simulator, i: usize, from: Time, until: Time) {

@@ -12,7 +12,10 @@
 //! throttle perturbs timing — which the diff must attribute to that
 //! rank — without forking the random stream.
 
-use accl_core::{AcclCluster, BufLoc, ClusterConfig, CollOp, CollSpec, DType, ReduceFn};
+use accl_core::{
+    AcclCluster, AdaptiveWatchdogCfg, AlgoConfig, BufLoc, ClusterConfig, CollOp, CollSpec, DType,
+    ReduceFn, Transport,
+};
 use accl_dlrm::model::{DlrmConfig, DlrmModel};
 use accl_dlrm::pipeline::{run_pipeline_observed, DlrmTiming, PipelineObserve};
 use accl_net::{Degradation, FaultPlan, NodeAddr};
@@ -27,6 +30,12 @@ pub enum Workload {
     Allreduce8,
     /// The 10-node DLRM inference pipeline (3 inferences, small model).
     Dlrm,
+    /// The self-healing lifecycle: a 3-node TCP allreduce with one node
+    /// crashing mid-collective, restarting, and rejoining via shrink →
+    /// expand. The trace carries the full recovery timeline (suspect,
+    /// confirm, survivor reissue, full-strength round) the MTTR analysis
+    /// attributes.
+    Rejoin,
 }
 
 impl Workload {
@@ -35,6 +44,7 @@ impl Workload {
         match self {
             Workload::Allreduce8 => "allreduce8",
             Workload::Dlrm => "dlrm",
+            Workload::Rejoin => "rejoin",
         }
     }
 
@@ -43,6 +53,7 @@ impl Workload {
         match s {
             "allreduce8" => Some(Workload::Allreduce8),
             "dlrm" => Some(Workload::Dlrm),
+            "rejoin" => Some(Workload::Rejoin),
             _ => None,
         }
     }
@@ -101,6 +112,7 @@ pub fn capture(cfg: &CaptureConfig) -> TraceDoc {
     match cfg.workload {
         Workload::Allreduce8 => capture_allreduce8(cfg),
         Workload::Dlrm => capture_dlrm(cfg),
+        Workload::Rejoin => capture_rejoin(cfg),
     }
 }
 
@@ -163,6 +175,121 @@ fn capture_allreduce8(cfg: &CaptureConfig) -> TraceDoc {
         cfg.seed,
         cfg.workers,
     )
+}
+
+/// Runs the self-healing lifecycle with tracing on: crash node 2 at 1 µs
+/// (restart scheduled at 60 ms), let the first allreduce fail and be
+/// confirmed by the watchdog, shrink and reissue on the survivors, then
+/// reinstate + expand and finish a verified full-strength round. The
+/// resulting trace carries every MTTR milestone.
+fn capture_rejoin(cfg: &CaptureConfig) -> TraceDoc {
+    assert!(
+        cfg.degrade_rank.is_none(),
+        "degrade-rank is only supported for the allreduce workload"
+    );
+    let n = 3usize;
+    let dead = 2usize;
+    let count = 1024u64;
+    let mut base = ClusterConfig::coyote_rdma(n).with_workers(cfg.workers);
+    base.seed = cfg.seed;
+    base.transport = Transport::Tcp;
+    base.cclo.collective_timeout_us = Some(30_000);
+    base.cclo.adaptive_watchdog = Some(AdaptiveWatchdogCfg::default());
+    let mut cluster = AcclCluster::build(base);
+    cluster.sim.set_queue_kind(cfg.queue);
+    cluster.enable_tracing(cfg.span_capacity);
+    if let Some(w) = cfg.window {
+        cluster.enable_metric_windows(w);
+    }
+    cluster.set_algo_config(AlgoConfig {
+        allreduce_ring_min_bytes: 1,
+        ..AlgoConfig::default()
+    });
+    cluster.crash_node(dead, Time::from_us(1));
+    cluster.restart_node(dead, Time::from_ms(60));
+
+    // Run 1: the crash fails the survivors' collectives in bounded time.
+    let (specs, _) = rejoin_allreduce_specs(&mut cluster, &[0, 1, 2], count, 0);
+    let records = cluster.host_collective(specs);
+    for rank in [0usize, 1] {
+        assert!(
+            records[rank].result().is_err(),
+            "rank {rank} must fail while node {dead} is down; refusing to snapshot"
+        );
+    }
+
+    // Run 2: shrink + verified reissue on the survivor group.
+    let world = cluster.communicator(0).expect("world communicator").clone();
+    let survivors = world.shrink(1, &[dead]).expect("survivors remain");
+    cluster.install_communicator(&survivors);
+    rejoin_verified_allreduce(&mut cluster, &[0, 1], count, 1);
+
+    // Run 3: reinstate the restarted node, expand, verified full round.
+    cluster.reinstate_node(dead);
+    let rejoined = survivors.expand(2, &[dead]).expect("node readmitted");
+    cluster.install_communicator(&rejoined);
+    rejoin_verified_allreduce(&mut cluster, &[0, 1, 2], count, 2);
+
+    TraceDoc::from_cluster(&cluster, Workload::Rejoin.label(), cfg.seed, cfg.workers)
+}
+
+fn rejoin_pattern(rank: usize, count: u64) -> Vec<u8> {
+    i32s(
+        &(0..count as i32)
+            .map(|i| i * 3 + rank as i32 * 97)
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn rejoin_allreduce_specs(
+    cluster: &mut AcclCluster,
+    members: &[usize],
+    count: u64,
+    comm: u32,
+) -> (Vec<CollSpec>, Vec<accl_core::BufferHandle>) {
+    let mut specs = Vec::new();
+    let mut dsts = Vec::new();
+    for &node in members {
+        let src = cluster.alloc(node, BufLoc::Device, count * 4);
+        let dst = cluster.alloc(node, BufLoc::Device, count * 4);
+        cluster.write(&src, &rejoin_pattern(node, count));
+        specs.push(
+            CollSpec::new(CollOp::AllReduce, count, DType::I32)
+                .src(src)
+                .dst(dst)
+                .comm(comm),
+        );
+        dsts.push(dst);
+    }
+    (specs, dsts)
+}
+
+fn rejoin_verified_allreduce(cluster: &mut AcclCluster, members: &[usize], count: u64, comm: u32) {
+    use accl_core::host::HostOp;
+    let nodes = cluster.len();
+    let (mut specs, dsts) = rejoin_allreduce_specs(cluster, members, count, comm);
+    let mut programs: Vec<Vec<HostOp>> = vec![Vec::new(); nodes];
+    for &m in members {
+        programs[m] = vec![HostOp::Coll(specs.remove(0))];
+    }
+    let results = cluster.run_host_programs(programs);
+    let expect = i32s(
+        &(0..count as i32)
+            .map(|i| members.iter().map(|&r| i * 3 + r as i32 * 97).sum::<i32>())
+            .collect::<Vec<_>>(),
+    );
+    for (r, &m) in members.iter().enumerate() {
+        assert_eq!(
+            results[m][0].result(),
+            Ok(()),
+            "comm {comm} rank {m} must complete; refusing to snapshot a bad run"
+        );
+        assert_eq!(
+            cluster.read(&dsts[r]),
+            expect,
+            "comm {comm} rank {m} data wrong; refusing to snapshot a bad run"
+        );
+    }
 }
 
 fn capture_dlrm(cfg: &CaptureConfig) -> TraceDoc {

@@ -17,7 +17,13 @@
 //!    slower". CI gates on the diff of critical-path attributions.
 //!  - **Windowed SLO series** ([`slo`]): the simulator's fixed-width
 //!    metric windows (integer-only, deterministic, merged across shards)
-//!    rendered as p50/p99/p999-over-sim-time.
+//!    rendered as p50/p99/p999-over-sim-time, with a derived per-window
+//!    availability column (`availability_milli`).
+//!  - **MTTR / recovery attribution** ([`mttr`]): for self-healing runs
+//!    (the `rejoin` reference workload), the recovery milestones —
+//!    suspect, confirm, survivor reissue, full-strength rejoin — pinned
+//!    to span timestamps, with per-phase deltas and whole-run
+//!    availability.
 //!
 //! Everything is integer picoseconds end to end: parsing, analysis and
 //! serialization never touch floats, so every artifact — including the
@@ -36,6 +42,7 @@ pub mod diff;
 pub mod graph;
 pub mod json;
 pub mod model;
+pub mod mttr;
 pub mod slo;
 
 pub use capture::{capture, CaptureConfig, Workload};
@@ -46,3 +53,4 @@ pub use critpath::{
 pub use diff::{diff_attributions, DiffReport, DiffRow};
 pub use graph::SpanGraph;
 pub use model::{HistSummary, ObsEvent, ObsKind, TraceDoc, WindowRow, WindowSeries};
+pub use mttr::{analyze as recovery_timeline, AvailabilitySummary, RecoveryTimeline};

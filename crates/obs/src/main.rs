@@ -18,6 +18,14 @@
 //!
 //! accl-obs slo trace.json [--metric KEY]
 //!     Print the windowed SLO time-series (or one metric's trajectory).
+//!     Windows that completed collectives carry a derived availability
+//!     column; `--metric availability_milli` prints it as a series.
+//!
+//! accl-obs mttr trace.json
+//!     Extract the recovery timeline of a self-healing run (capture with
+//!     `dump --workload rejoin`): suspect → confirm → service restored →
+//!     full strength, with per-phase deltas, MTTR, and the whole-run
+//!     availability summary.
 //! ```
 //!
 //! Exit codes: 0 success / no gated regression, 1 gated regression,
@@ -25,7 +33,7 @@
 
 use std::process::ExitCode;
 
-use accl_obs::{capture, critpath, diff, graph, json, slo};
+use accl_obs::{capture, critpath, diff, graph, json, mttr, slo};
 use accl_obs::{CaptureConfig, TraceDoc, Workload};
 use accl_sim::prelude::*;
 
@@ -41,8 +49,9 @@ fn main() -> ExitCode {
         Some("critical-path") => cmd_critical_path(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("slo") => cmd_slo(&args[1..]),
+        Some("mttr") => cmd_mttr(&args[1..]),
         Some("--help") | Some("-h") | None => {
-            eprintln!("usage: accl-obs <dump|critical-path|diff|slo> ... (see crate docs)");
+            eprintln!("usage: accl-obs <dump|critical-path|diff|slo|mttr> ... (see crate docs)");
             ExitCode::from(if args.is_empty() { 2 } else { 0 })
         }
         Some(other) => fail(&format!("unknown subcommand \"{other}\"")),
@@ -145,7 +154,7 @@ fn cmd_dump(args: &[String]) -> ExitCode {
     let run = || -> Result<(), String> {
         let workload = match opt_value(args, "--workload")? {
             Some(w) => Workload::from_label(&w)
-                .ok_or_else(|| format!("unknown workload \"{w}\" (allreduce8|dlrm)"))?,
+                .ok_or_else(|| format!("unknown workload \"{w}\" (allreduce8|dlrm|rejoin)"))?,
             None => Workload::Allreduce8,
         };
         let queue = match opt_value(args, "--queue")?.as_deref() {
@@ -253,6 +262,41 @@ fn cmd_diff(args: &[String]) -> ExitCode {
             eprintln!("accl-obs: critical-path regression gate FAILED");
             ExitCode::from(1)
         }
+        Err(e) => fail(&e),
+    }
+}
+
+fn cmd_mttr(args: &[String]) -> ExitCode {
+    let run = || -> Result<(), String> {
+        let pos = positional(args);
+        let path = pos.first().ok_or("mttr needs a trace file")?;
+        let doc = load(path)?;
+        let timeline = mttr::analyze(&doc).ok_or(
+            "no recovery timeline in this trace (no confirmed failure, or no \
+             collective completed afterwards) — capture with `dump --workload rejoin`",
+        )?;
+        print!(
+            "{}",
+            timeline.table(&format!(
+                "recovery timeline: {} (seed {}, {} workers, {} queue)",
+                doc.workload, doc.seed, doc.workers, doc.queue
+            ))
+        );
+        if let Some(w) = &doc.windows {
+            let a = mttr::availability(w);
+            println!(
+                "availability: {} milli ({} of {} completions ok, {} of {} windows degraded)",
+                a.availability_milli(),
+                a.calls - a.failed,
+                a.calls,
+                a.degraded_windows,
+                a.windows
+            );
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(&e),
     }
 }

@@ -5,8 +5,19 @@
 //! window. Because windows are integer-only and merged deterministically
 //! across shards, the report is bit-identical across worker counts —
 //! CI can diff it like any other artifact.
+//!
+//! Every window that completed collectives also gets an **availability**
+//! column (integer milli, derived from `driver.calls` vs
+//! `driver.calls_failed` — see [`crate::mttr::window_availability_milli`]),
+//! so an outage-and-recovery run reads as a dip-and-return directly in
+//! the time series. The derived series is addressable as the pseudo
+//! metric key `availability_milli`.
 
 use crate::model::{TraceDoc, WindowSeries};
+use crate::mttr::window_availability_milli;
+
+/// Pseudo metric key selecting the derived per-window availability.
+pub const AVAILABILITY_KEY: &str = "availability_milli";
 
 /// Renders the full series, every populated window in order.
 pub fn render(doc: &TraceDoc) -> String {
@@ -26,6 +37,13 @@ pub fn render_series(w: &WindowSeries) -> String {
     for row in &w.rows {
         let start = row.idx * w.width_ps;
         out.push_str(&format!("window {} [{} ps ..):\n", row.idx, start));
+        if row.counters.iter().any(|(k, _)| k == "driver.calls") {
+            out.push_str(&format!(
+                "  avail   {:<28} {}\n",
+                AVAILABILITY_KEY,
+                window_availability_milli(row)
+            ));
+        }
         for (k, v) in &row.counters {
             out.push_str(&format!("  counter {k:<28} {v}\n"));
         }
@@ -50,7 +68,10 @@ pub fn metric_series(w: &WindowSeries, key: &str) -> Option<String> {
     let mut found = false;
     for row in &w.rows {
         let start = row.idx * w.width_ps;
-        if let Some((_, h)) = row.hists.iter().find(|(k, _)| k == key) {
+        if key == AVAILABILITY_KEY {
+            out.push_str(&format!("{start} {}\n", window_availability_milli(row)));
+            found = true;
+        } else if let Some((_, h)) = row.hists.iter().find(|(k, _)| k == key) {
             out.push_str(&format!(
                 "{start} p50={} p99={} p999={} n={}\n",
                 h.p50, h.p99, h.p999, h.count
@@ -108,6 +129,24 @@ mod tests {
         let waits = metric_series(&s, "rbm.meta_wait_ps").unwrap();
         assert!(waits.starts_with("0 p50=32 p99=32"));
         assert!(metric_series(&s, "absent").is_none());
+    }
+
+    #[test]
+    fn availability_renders_as_a_window_column_and_a_series() {
+        let mut s = series();
+        s.rows[0]
+            .counters
+            .insert(0, ("driver.calls".to_string(), 2));
+        s.rows[0]
+            .counters
+            .insert(1, ("driver.calls_failed".to_string(), 1));
+        let text = render_series(&s);
+        assert!(text.contains("avail   availability_milli"));
+        assert!(text.contains(" 500\n"), "2 calls, 1 failed -> 500 milli");
+        // As a pseudo metric the derived series covers every window;
+        // idle windows read fully available.
+        let series = metric_series(&s, AVAILABILITY_KEY).unwrap();
+        assert_eq!(series, "0 500\n200 1000\n");
     }
 
     #[test]

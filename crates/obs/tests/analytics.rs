@@ -207,3 +207,41 @@ fn dlrm_pipeline_traces_and_attributes() {
     });
     assert_eq!(again.events, doc.events);
 }
+
+/// The self-healing reference workload traces end to end: the MTTR
+/// analysis pins an ordered recovery timeline to the span stream, the
+/// windowed availability dips during the outage and returns, and the
+/// whole timeline is bit-identical across worker counts.
+#[test]
+fn rejoin_trace_yields_a_recovery_timeline() {
+    let doc = capture(&CaptureConfig {
+        workload: Workload::Rejoin,
+        ..CaptureConfig::default()
+    });
+    let t = accl_obs::recovery_timeline(&doc).expect("self-healing run has a timeline");
+    assert!(t.suspected_ps <= t.confirmed_ps, "suspect precedes confirm");
+    assert!(t.confirmed_ps <= t.last_confirm_ps);
+    assert!(
+        t.last_confirm_ps < t.restored_ps,
+        "service is restored only after the last confirmation"
+    );
+    assert!(t.restored_ps <= t.full_strength_ps);
+    assert!(t.mttr_ps() > 0 && t.mttr_ps() <= t.full_recovery_ps());
+
+    // The availability summary sees both the outage and the recovery.
+    let w = doc.windows.as_ref().expect("windows captured");
+    let a = accl_obs::mttr::availability(w);
+    assert!(a.failed > 0, "the crash must fail at least one collective");
+    assert!(a.calls > a.failed, "the reissues must complete");
+    assert!(a.degraded_windows > 0);
+    assert!(a.availability_milli() < 1000);
+
+    // Milestones are derived from integer span timestamps only, so the
+    // parallel engine reproduces them exactly.
+    let par = capture(&CaptureConfig {
+        workload: Workload::Rejoin,
+        workers: 2,
+        ..CaptureConfig::default()
+    });
+    assert_eq!(accl_obs::recovery_timeline(&par), Some(t));
+}

@@ -27,6 +27,7 @@ pub use iface::{
     RxDemux, SessionErrorKind, SessionId, SessionTable, StreamChunk, TxAssembler, TxKind,
     TxSegment,
 };
+pub use mux::{EpochFence, RxMux};
 pub use rdma::{RdmaConfig, RdmaPdu, RdmaPoe, WriteDelivery};
 pub use tcp::{TcpConfig, TcpPoe, TcpSegment};
 pub use udp::{UdpConfig, UdpDgram, UdpPoe};

@@ -1,4 +1,4 @@
-//! Inbound frame demultiplexer for dual-POE nodes.
+//! Inbound frame demultiplexer and epoch fence for a node's POEs.
 //!
 //! A node running a primary RDMA engine with a standby TCP engine (the
 //! graceful-degradation path) has one physical network port but two
@@ -7,8 +7,19 @@
 //! routed to the engine whose PDU type it carries. Forwarding is
 //! zero-latency, so the timing of a mux-fronted engine is identical to a
 //! directly attached one.
+//!
+//! The mux is also the node's **epoch fence**: every frame carries the
+//! sender's incarnation number (`Frame::epoch`, stamped by the NIC), and
+//! the mux keeps a per-source minimum acceptable epoch. When a peer
+//! restarts, the cluster posts an [`EpochFence`] control event to every
+//! survivor's mux; frames from the peer's *previous* incarnation — stale
+//! traffic still buffered in the fabric at crash time — arrive with an
+//! old epoch, fail the fence, and are dropped before they can confuse the
+//! rejoined session's matching logic.
 
-use accl_net::Frame;
+use std::collections::BTreeMap;
+
+use accl_net::{Frame, NodeAddr};
 use accl_sim::prelude::*;
 
 use crate::rdma::RdmaPdu;
@@ -19,16 +30,32 @@ pub mod ports {
 
     /// Inbound frames from the network (same index as the POEs' `NET_RX`
     /// so the mux can stand in for a POE at the fabric attachment point).
+    /// [`super::EpochFence`] control events arrive here too.
     pub const NET_RX: PortId = crate::iface::ports::NET_RX;
 }
 
+/// Control event raising the minimum acceptable epoch for frames from
+/// `src`: posted to every survivor's mux when `src` restarts, so the old
+/// incarnation's in-flight frames are fenced out.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochFence {
+    /// The peer whose old incarnation is being fenced.
+    pub src: NodeAddr,
+    /// Frames from `src` with `epoch < min_epoch` are dropped.
+    pub min_epoch: u32,
+}
+
 /// Routes one node's inbound frames between two co-resident POEs by PDU
-/// type: RDMA PDUs to the RDMA engine, everything else to the fallback.
+/// type (RDMA PDUs to the RDMA engine, everything else to the fallback)
+/// and fences frames from stale peer incarnations.
 pub struct RxMux {
     rdma: Endpoint,
     other: Endpoint,
     frames_to_rdma: u64,
     frames_to_other: u64,
+    /// Minimum acceptable `Frame::epoch` per source; absent = 0.
+    fences: BTreeMap<u32, u32>,
+    stale_epoch_drops: u64,
 }
 
 impl RxMux {
@@ -40,7 +67,17 @@ impl RxMux {
             other,
             frames_to_rdma: 0,
             frames_to_other: 0,
+            fences: BTreeMap::new(),
+            stale_epoch_drops: 0,
         }
+    }
+
+    /// Creates a fence-only mux for a single-POE node: every surviving
+    /// frame goes to `engine`. (Routing is trivial; the value is the epoch
+    /// fence sitting in front of the engine, identical for every
+    /// transport.)
+    pub fn single(engine: Endpoint) -> Self {
+        RxMux::new(engine, engine)
     }
 
     /// Frames routed to the RDMA engine so far.
@@ -52,12 +89,38 @@ impl RxMux {
     pub fn frames_to_other(&self) -> u64 {
         self.frames_to_other
     }
+
+    /// Frames dropped for carrying a stale incarnation epoch so far.
+    pub fn stale_epoch_drops(&self) -> u64 {
+        self.stale_epoch_drops
+    }
+
+    /// The minimum acceptable epoch currently enforced for `src`.
+    pub fn min_epoch(&self, src: NodeAddr) -> u32 {
+        self.fences.get(&src.0).copied().unwrap_or(0)
+    }
 }
 
 impl Component for RxMux {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, port: PortId, payload: Payload) {
         assert_eq!(port, ports::NET_RX, "Rx mux has only the NET_RX port");
+        let payload = match payload.try_downcast::<EpochFence>() {
+            Ok(fence) => {
+                let e = self.fences.entry(fence.src.0).or_insert(0);
+                *e = (*e).max(fence.min_epoch);
+                return;
+            }
+            Err(other) => other,
+        };
         let frame = payload.downcast::<Frame>();
+        if frame.epoch < self.min_epoch(frame.src) {
+            self.stale_epoch_drops += 1;
+            ctx.stats().add("poe.mux.stale_epoch_drops", 1);
+            if ctx.spans_enabled() {
+                ctx.span_instant("poe.stale_drop", frame.span);
+            }
+            return;
+        }
         let to = if frame.body.is::<RdmaPdu>() {
             self.frames_to_rdma += 1;
             self.rdma
@@ -70,8 +133,17 @@ impl Component for RxMux {
 
     fn state_digest(&self) -> Option<u64> {
         let mut h = 0u64;
-        for v in [self.frames_to_rdma, self.frames_to_other] {
+        for v in [
+            self.frames_to_rdma,
+            self.frames_to_other,
+            self.stale_epoch_drops,
+            self.fences.len() as u64,
+        ] {
             accl_sim::digest::fnv_fold(&mut h, &v.to_le_bytes());
+        }
+        for (&src, &min) in &self.fences {
+            accl_sim::digest::fnv_fold(&mut h, &u64::from(src).to_le_bytes());
+            accl_sim::digest::fnv_fold(&mut h, &u64::from(min).to_le_bytes());
         }
         Some(h)
     }
@@ -119,5 +191,47 @@ mod tests {
         assert_eq!(sim.component::<Mailbox<Frame>>(tcp).len(), 1);
         let m = sim.component::<RxMux>(mux);
         assert_eq!((m.frames_to_rdma(), m.frames_to_other()), (1, 1));
+    }
+
+    #[test]
+    fn stale_epochs_are_fenced() {
+        let mut sim = Simulator::new(0);
+        let sink = sim.add("sink", Mailbox::<Frame>::new());
+        let mux = sim.add("mux", RxMux::single(Endpoint::of(sink)));
+        let at = Endpoint::new(mux, ports::NET_RX);
+        // Epoch-0 frame before any fence: delivered.
+        sim.post(at, Time::ZERO, frame(7u32));
+        // Fence source 0 at epoch 1; subsequent epoch-0 frames drop,
+        // epoch-1 frames pass.
+        sim.post(
+            at,
+            Time::from_us(1),
+            EpochFence {
+                src: NodeAddr(0),
+                min_epoch: 1,
+            },
+        );
+        sim.post(at, Time::from_us(2), frame(8u32));
+        let mut fresh = frame(9u32);
+        fresh.epoch = 1;
+        sim.post(at, Time::from_us(3), fresh);
+        // Frames from *other* sources are unaffected by the fence.
+        let mut other_src = frame(10u32);
+        other_src.src = NodeAddr(3);
+        sim.post(at, Time::from_us(4), other_src);
+        sim.run();
+        assert_eq!(sim.component::<Mailbox<Frame>>(sink).len(), 3);
+        let m = sim.component::<RxMux>(mux);
+        assert_eq!(m.stale_epoch_drops(), 1);
+        assert_eq!(m.min_epoch(NodeAddr(0)), 1);
+        assert_eq!(m.min_epoch(NodeAddr(3)), 0);
+    }
+
+    #[test]
+    fn fences_fold_into_the_digest() {
+        let base = RxMux::single(Endpoint::of(ComponentId::from_index(0)));
+        let mut fenced = RxMux::single(Endpoint::of(ComponentId::from_index(0)));
+        fenced.fences.insert(2, 1);
+        assert_ne!(base.state_digest(), fenced.state_digest());
     }
 }

@@ -276,6 +276,22 @@ impl RdmaPoe {
         self.qp_error.iter().map(|(&q, &k)| (q, k)).collect()
     }
 
+    /// Re-establishes `qp` after a peer restart: drops the error state and
+    /// every per-QP protocol variable (window accounting, PSN cursors,
+    /// stalled fragments, owed credits) so the next message starts a fresh
+    /// conversation with the peer's new incarnation. Both directions of a
+    /// QP pair must be reinstated together — the cluster's rejoin path
+    /// does that.
+    pub fn reinstate_qp(&mut self, qp: SessionId) {
+        self.qp_error.remove(&qp);
+        self.tx.remove(&qp);
+        self.stalled.remove(&qp);
+        self.expected_psn.remove(&qp);
+        self.last_nak.remove(&qp);
+        self.owed_credits.remove(&qp);
+        self.starve_gen.remove(&qp);
+    }
+
     /// Bounds the engine to `window` in-flight (unserialized) data frames,
     /// attributing waits to `resource` (conventionally `net.txcredit(nX)`).
     /// Credits and NAKs bypass the gate — gating the messages that release

@@ -281,6 +281,17 @@ impl TcpPoe {
             .collect()
     }
 
+    /// Re-establishes `session` after a peer restart: discards the dead
+    /// connection's sender and receiver state (error flag, retransmission
+    /// ladder, sequence cursors, reassembly buffers) so the next message
+    /// opens a fresh conversation with the peer's new incarnation. Both
+    /// sides of a session pair must be reinstated together, or sequence
+    /// numbers desynchronize — the cluster's rejoin path does that.
+    pub fn reinstate_session(&mut self, session: SessionId) {
+        self.tx.remove(&session);
+        self.rx.remove(&session);
+    }
+
     /// Bounds the engine to `window` in-flight (unserialized) data frames,
     /// attributing waits to `resource` (conventionally `net.txcredit(nX)`).
     /// ACKs bypass the gate — gating the segments that open the peer's

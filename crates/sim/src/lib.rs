@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod deadlock;
+pub mod detector;
 pub mod digest;
 pub mod event;
 pub mod mailbox;
@@ -55,6 +56,7 @@ pub mod trace;
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::deadlock::{DeadlockKind, DeadlockReport, ResourceGauge, ResourceState};
+    pub use crate::detector::{DetectLevel, DetectorCfg, FailureDetector, GapHistory};
     pub use crate::event::{ComponentId, Endpoint, Payload, PortId};
     pub use crate::mailbox::Mailbox;
     pub use crate::pipe::{Latency, Pipe};

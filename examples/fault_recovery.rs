@@ -95,7 +95,7 @@ fn main() {
 
     // --- Recovery: shrink the world, reissue on the survivor group. -----
     let world = cluster.communicator(0).unwrap().clone();
-    let survivors = world.shrink(1, &[dead]);
+    let survivors = world.shrink(1, &[dead]).expect("survivors remain");
     println!(
         "== shrink: communicator 1 over nodes {:?} ==",
         survivors.members()
